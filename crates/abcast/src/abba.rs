@@ -1,0 +1,463 @@
+//! Asynchronous binary Byzantine agreement with a common coin.
+//!
+//! This is the Mostéfaoui–Moumen–Raynal (PODC 2014) signature-free
+//! protocol, our documented stand-in for the ABBA protocol of Cachin,
+//! Kursawe and Shoup (PODC 2000) used by SINTRA: same interface, same
+//! model (asynchronous, `n > 3t`, termination with probability 1 given a
+//! common coin).
+//!
+//! Guarantees for honest replicas:
+//!
+//! - **Validity** — a decided value was input by some honest replica.
+//! - **Agreement** — no two honest replicas decide differently.
+//! - **Termination** — with probability 1 (expected constant rounds).
+//!
+//! Round structure: `BVAL` broadcasts with `t + 1` amplification build the
+//! set `bin_values` of values supported by at least one honest replica;
+//! `AUX` messages then sample `n − t` opinions within `bin_values`; the
+//! common coin breaks ties. A replica that decides broadcasts `DONE`;
+//! `t + 1` matching `DONE`s let laggards decide directly, and `2t + 1`
+//! allow halting.
+
+use crate::coin::Coin;
+use crate::types::{Action, Group, ReplicaId};
+use std::collections::BTreeMap;
+
+/// Messages of one binary-agreement instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbbaMsg {
+    /// Value support announcement for a round.
+    Bval {
+        /// Protocol round.
+        round: u32,
+        /// The supported binary value.
+        value: bool,
+    },
+    /// Opinion sample for a round.
+    Aux {
+        /// Protocol round.
+        round: u32,
+        /// The sampled value.
+        value: bool,
+    },
+    /// Decision announcement.
+    Done {
+        /// The decided value.
+        value: bool,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct RoundState {
+    bval_sent: [bool; 2],
+    bvals: [Vec<ReplicaId>; 2],
+    bin_values: [bool; 2],
+    aux_sent: bool,
+    auxes: Vec<(ReplicaId, bool)>,
+    advanced: bool,
+}
+
+impl RoundState {
+    fn bin_contains(&self, v: bool) -> bool {
+        self.bin_values[usize::from(v)]
+    }
+}
+
+/// One binary-agreement instance at one replica.
+#[derive(Debug, Clone)]
+pub struct Abba<C> {
+    group: Group,
+    me: ReplicaId,
+    coin: C,
+    /// Coin namespace for this instance.
+    tag: u64,
+    round: u32,
+    est: Option<bool>,
+    rounds: BTreeMap<u32, RoundState>,
+    decided: Option<bool>,
+    done_sent: bool,
+    dones: [Vec<ReplicaId>; 2],
+    halted: bool,
+}
+
+impl<C: Coin> Abba<C> {
+    /// Creates the instance. `tag` namespaces the common coin and must be
+    /// identical at all replicas for this instance.
+    pub fn new(group: Group, me: ReplicaId, coin: C, tag: u64) -> Self {
+        Abba {
+            group,
+            me,
+            coin,
+            tag,
+            round: 0,
+            est: None,
+            rounds: BTreeMap::new(),
+            decided: None,
+            done_sent: false,
+            dones: [Vec::new(), Vec::new()],
+            halted: false,
+        }
+    }
+
+    /// The decision, if reached.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    /// Whether an input (or adopted estimate) exists.
+    pub fn has_input(&self) -> bool {
+        self.est.is_some()
+    }
+
+    /// Whether the instance has halted (decided and seen `2t + 1` DONEs).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Provides this replica's input. Idempotent: later calls and calls
+    /// after an adopted estimate are ignored.
+    pub fn input(&mut self, value: bool) -> Vec<Action<AbbaMsg>> {
+        let mut out = Vec::new();
+        if self.est.is_some() || self.halted {
+            return out;
+        }
+        self.est = Some(value);
+        self.send_bval(self.round, value, &mut out);
+        self.progress(&mut out);
+        out
+    }
+
+    /// Handles a message from `from`.
+    pub fn on_message(&mut self, from: ReplicaId, msg: AbbaMsg) -> Vec<Action<AbbaMsg>> {
+        let mut out = Vec::new();
+        if self.halted {
+            return out;
+        }
+        match msg {
+            AbbaMsg::Bval { round, value } => {
+                let group = self.group;
+                let state = self.rounds.entry(round).or_default();
+                let senders = &mut state.bvals[usize::from(value)];
+                if senders.contains(&from) {
+                    return out;
+                }
+                senders.push(from);
+                // Amplification: t+1 supports prove one honest supporter.
+                let amplify =
+                    senders.len() >= group.one_honest() && !state.bval_sent[usize::from(value)];
+                // 2t+1 supports admit the value into bin_values.
+                if state.bvals[usize::from(value)].len() >= group.quorum() {
+                    state.bin_values[usize::from(value)] = true;
+                }
+                if amplify {
+                    self.send_bval(round, value, &mut out);
+                }
+            }
+            AbbaMsg::Aux { round, value } => {
+                let state = self.rounds.entry(round).or_default();
+                if state.auxes.iter().any(|(s, _)| *s == from) {
+                    return out;
+                }
+                state.auxes.push((from, value));
+            }
+            AbbaMsg::Done { value } => {
+                let senders = &mut self.dones[usize::from(value)];
+                if senders.contains(&from) {
+                    return out;
+                }
+                senders.push(from);
+                if senders.len() >= self.group.one_honest() && self.decided.is_none() {
+                    // One honest replica decided `value`; adopt it.
+                    self.decide(value, &mut out);
+                }
+                self.maybe_halt();
+            }
+        }
+        self.progress(&mut out);
+        out
+    }
+
+    fn send_bval(&mut self, round: u32, value: bool, out: &mut Vec<Action<AbbaMsg>>) {
+        let state = self.rounds.entry(round).or_default();
+        if state.bval_sent[usize::from(value)] {
+            return;
+        }
+        state.bval_sent[usize::from(value)] = true;
+        out.push(Action::Broadcast { msg: AbbaMsg::Bval { round, value } });
+        // Count our own support.
+        let me = self.me;
+        let group = self.group;
+        let senders = &mut state.bvals[usize::from(value)];
+        if !senders.contains(&me) {
+            senders.push(me);
+        }
+        if senders.len() >= group.quorum() {
+            state.bin_values[usize::from(value)] = true;
+        }
+    }
+
+    fn decide(&mut self, value: bool, out: &mut Vec<Action<AbbaMsg>>) {
+        debug_assert!(self.decided.is_none() || self.decided == Some(value));
+        if self.decided.is_none() {
+            self.decided = Some(value);
+        }
+        if !self.done_sent {
+            self.done_sent = true;
+            out.push(Action::Broadcast { msg: AbbaMsg::Done { value } });
+            let senders = &mut self.dones[usize::from(value)];
+            if !senders.contains(&self.me) {
+                senders.push(self.me);
+            }
+            self.maybe_halt();
+        }
+    }
+
+    fn maybe_halt(&mut self) {
+        if let Some(v) = self.decided {
+            if self.dones[usize::from(v)].len() >= self.group.quorum() {
+                self.halted = true;
+            }
+        }
+    }
+
+    /// Drives the current round as far as the received messages allow.
+    fn progress(&mut self, out: &mut Vec<Action<AbbaMsg>>) {
+        loop {
+            if self.halted || self.est.is_none() {
+                return;
+            }
+            let round = self.round;
+            let group = self.group;
+            let state = self.rounds.entry(round).or_default();
+
+            // Send AUX once bin_values is nonempty.
+            if !state.aux_sent && (state.bin_values[0] || state.bin_values[1]) {
+                state.aux_sent = true;
+                let value = state.bin_contains(true);
+                out.push(Action::Broadcast { msg: AbbaMsg::Aux { round, value } });
+                state.auxes.push((self.me, value));
+            }
+
+            // Wait for n-t AUX values within bin_values.
+            if state.advanced || !state.aux_sent {
+                return;
+            }
+            let qualifying: Vec<bool> = state
+                .auxes
+                .iter()
+                .filter(|(_, v)| state.bin_contains(*v))
+                .map(|(_, v)| *v)
+                .collect();
+            if qualifying.len() < group.wait_for() {
+                return;
+            }
+            let has_true = qualifying.contains(&true);
+            let has_false = qualifying.contains(&false);
+            state.advanced = true;
+
+            let coin = self.coin.value(self.tag, round);
+            let next_est = match (has_false, has_true) {
+                (true, false) | (false, true) => {
+                    let b = has_true;
+                    if b == coin && self.decided.is_none() {
+                        self.decide(b, out);
+                    }
+                    b
+                }
+                _ => coin,
+            };
+            self.round += 1;
+            self.est = Some(next_est);
+            let next_round = self.round;
+            self.send_bval(next_round, next_est, out);
+            // Loop: buffered messages may already complete the next round.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::HashCoin;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use std::collections::VecDeque;
+
+    /// Byzantine behaviour in the ABBA test harness.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Byz {
+        /// Crashed: sends nothing.
+        Silent,
+        /// Sends flipped values.
+        Liar,
+    }
+
+    /// Runs a full group to completion with a seeded random schedule.
+    /// Returns each honest replica's decision.
+    fn run(
+        n: usize,
+        t: usize,
+        inputs: &[bool],
+        byzantine: &[(ReplicaId, Byz)],
+        seed: u64,
+    ) -> Vec<Option<bool>> {
+        let group = Group::new(n, t);
+        let coin = HashCoin::new(seed ^ 0xABBA);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut nodes: Vec<Abba<HashCoin>> =
+            (0..n).map(|me| Abba::new(group, me, coin, 1)).collect();
+        let mut queue: VecDeque<(ReplicaId, ReplicaId, AbbaMsg)> = VecDeque::new();
+
+        let behaviour = |i: usize| byzantine.iter().find(|(b, _)| *b == i).map(|(_, k)| *k);
+        let enqueue = |from: usize,
+                       actions: Vec<Action<AbbaMsg>>,
+                       queue: &mut VecDeque<(usize, usize, AbbaMsg)>,
+                       rng: &mut rand::rngs::StdRng| {
+            for a in actions {
+                let msgs: Vec<(usize, AbbaMsg)> = match a {
+                    Action::Broadcast { msg } => {
+                        (0..n).filter(|x| *x != from).map(|x| (x, msg)).collect()
+                    }
+                    Action::Send { to, msg } => vec![(to, msg)],
+                };
+                for (to, mut msg) in msgs {
+                    match behaviour(from) {
+                        Some(Byz::Silent) => continue,
+                        Some(Byz::Liar) => {
+                            msg = match msg {
+                                AbbaMsg::Bval { round, value: _ } => {
+                                    AbbaMsg::Bval { round, value: rng.gen() }
+                                }
+                                AbbaMsg::Aux { round, value } => AbbaMsg::Aux { round, value: !value },
+                                AbbaMsg::Done { value } => AbbaMsg::Done { value: !value },
+                            };
+                        }
+                        None => {}
+                    }
+                    queue.push_back((from, to, msg));
+                }
+            }
+        };
+
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let actions = node.input(inputs[i]);
+            enqueue(i, actions, &mut queue, &mut rng);
+        }
+        let mut steps = 0u64;
+        while !queue.is_empty() {
+            steps += 1;
+            assert!(steps < 2_000_000, "abba did not terminate");
+            // Random schedule: deliver a random queued message.
+            let idx = rng.gen_range(0..queue.len());
+            queue.make_contiguous().shuffle(&mut rng);
+            let (from, to, msg) = queue.remove(idx).expect("index in range");
+            let actions = nodes[to].on_message(from, msg);
+            enqueue(to, actions, &mut queue, &mut rng);
+        }
+        (0..n)
+            .map(|i| if behaviour(i).is_some() { None } else { nodes[i].decision() })
+            .collect()
+    }
+
+    fn assert_agreement(decisions: &[Option<bool>], inputs: &[bool], byz: &[(ReplicaId, Byz)]) {
+        let honest: Vec<(usize, bool)> = decisions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !byz.iter().any(|(b, _)| b == i))
+            .map(|(i, d)| (i, d.unwrap_or_else(|| panic!("replica {i} undecided"))))
+            .collect();
+        let v = honest[0].1;
+        for (i, d) in &honest {
+            assert_eq!(*d, v, "replica {i} disagreed");
+        }
+        // Validity: v was the input of some honest replica.
+        let honest_inputs: Vec<bool> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !byz.iter().any(|(b, _)| b == i))
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(honest_inputs.contains(&v), "decided {v} not an honest input");
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_that_value() {
+        for seed in 0..10 {
+            for v in [false, true] {
+                let inputs = vec![v; 4];
+                let d = run(4, 1, &inputs, &[], seed);
+                assert_agreement(&d, &inputs, &[]);
+                assert_eq!(d[0], Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        for seed in 0..20 {
+            let inputs = vec![true, false, true, false];
+            let d = run(4, 1, &inputs, &[], seed);
+            assert_agreement(&d, &inputs, &[]);
+        }
+    }
+
+    #[test]
+    fn tolerates_silent_replica() {
+        for seed in 0..10 {
+            let inputs = vec![true, false, false, true];
+            let byz = [(2usize, Byz::Silent)];
+            let d = run(4, 1, &inputs, &byz, seed);
+            assert_agreement(&d, &inputs, &byz);
+        }
+    }
+
+    #[test]
+    fn tolerates_lying_replica() {
+        for seed in 0..10 {
+            let inputs = vec![false, true, true, false];
+            let byz = [(0usize, Byz::Liar)];
+            let d = run(4, 1, &inputs, &byz, seed);
+            assert_agreement(&d, &inputs, &byz);
+        }
+    }
+
+    #[test]
+    fn seven_replicas_two_byzantine() {
+        for seed in 0..10 {
+            let inputs = vec![true, false, true, false, true, false, true];
+            let byz = [(1usize, Byz::Liar), (4usize, Byz::Silent)];
+            let d = run(7, 2, &inputs, &byz, seed);
+            assert_agreement(&d, &inputs, &byz);
+        }
+    }
+
+    #[test]
+    fn single_replica_decides_own_input() {
+        let d = run(1, 0, &[true], &[], 3);
+        assert_eq!(d[0], Some(true));
+    }
+
+    #[test]
+    fn input_idempotent() {
+        let group = Group::new(4, 1);
+        let mut a = Abba::new(group, 0, HashCoin::new(1), 0);
+        let first = a.input(true);
+        assert!(!first.is_empty());
+        assert!(a.input(false).is_empty());
+        assert!(a.has_input());
+    }
+
+    #[test]
+    fn done_amplification_decides_laggard() {
+        let group = Group::new(4, 1);
+        let mut a = Abba::new(group, 3, HashCoin::new(1), 0);
+        // Replica 3 never inputs, but receives t+1 = 2 DONE(true).
+        let _ = a.on_message(0, AbbaMsg::Done { value: true });
+        assert_eq!(a.decision(), None);
+        let _ = a.on_message(1, AbbaMsg::Done { value: true });
+        assert_eq!(a.decision(), Some(true));
+        // After 2t+1 DONEs it halts.
+        let _ = a.on_message(2, AbbaMsg::Done { value: true });
+        assert!(a.is_halted());
+    }
+}

@@ -1,0 +1,492 @@
+//! Asynchronous Byzantine atomic broadcast, built from rounds of the
+//! asynchronous common subset.
+//!
+//! Each round, every participating replica proposes a batch of pending
+//! payloads; the ACS agrees on at least `n − t` of the proposals; the
+//! union of the agreed batches — in deterministic (round, proposer,
+//! batch-position) order, deduplicated by payload id — extends the total
+//! order. This is the structure of the protocols implemented in SINTRA
+//! (Cachin–Kursawe–Petzold–Shoup, CRYPTO 2001) and is our documented
+//! stand-in for the Kursawe–Shoup optimistic protocol: identical
+//! abstraction (atomic broadcast with Byzantine faults in the purely
+//! asynchronous model, `n > 3t`), simpler round structure.
+//!
+//! Guarantees for honest replicas:
+//!
+//! - **Agreement & total order** — all honest replicas deliver the same
+//!   payloads in the same order.
+//! - **Validity** — a payload submitted at an honest replica is
+//!   eventually delivered (resubmitted across rounds until it lands).
+//! - **Integrity** — each payload id is delivered at most once.
+
+use crate::acs::{Acs, AcsMsg};
+use crate::coin::Coin;
+use crate::types::{wrap_actions, Action, Group, Payload, ReplicaId};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// How far ahead of the lowest incomplete round we accept traffic;
+/// bounds the state a Byzantine flooder can force us to allocate.
+const ROUND_WINDOW: u64 = 64;
+
+/// Messages of the atomic broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbcMsg {
+    /// An ACS message for the given round.
+    Acs {
+        /// The atomic-broadcast round.
+        round: u64,
+        /// The inner message.
+        inner: AcsMsg,
+    },
+}
+
+/// A payload delivered by atomic broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The round in which it was agreed.
+    pub round: u64,
+    /// The proposer whose batch carried it.
+    pub proposer: ReplicaId,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// The atomic-broadcast endpoint at one replica.
+///
+/// Sans-IO: [`AtomicBroadcast::submit`] and
+/// [`AtomicBroadcast::on_message`] return the network [`Action`]s to
+/// perform and the [`Delivery`]s that became final.
+#[derive(Debug)]
+pub struct AtomicBroadcast<C> {
+    group: Group,
+    me: ReplicaId,
+    coin: C,
+    /// Locally submitted payloads awaiting a proposal slot.
+    pending: VecDeque<Payload>,
+    /// Payload-id dedup across the whole history.
+    delivered_ids: HashSet<u128>,
+    next_payload_seq: u64,
+    /// Active ACS instances by round.
+    rounds: BTreeMap<u64, Acs<C>>,
+    /// Rounds in which we have proposed, with our in-flight payloads.
+    inflight: BTreeMap<u64, Vec<Payload>>,
+    /// Completed-but-undelivered round outputs.
+    outputs: BTreeMap<u64, Vec<(ReplicaId, Vec<u8>)>>,
+    /// The lowest round whose output has not yet been delivered.
+    next_deliver_round: u64,
+}
+
+impl<C: Coin + Clone> AtomicBroadcast<C> {
+    /// Creates the endpoint.
+    pub fn new(group: Group, me: ReplicaId, coin: C) -> Self {
+        AtomicBroadcast {
+            group,
+            me,
+            coin,
+            pending: VecDeque::new(),
+            delivered_ids: HashSet::new(),
+            next_payload_seq: 0,
+            rounds: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            next_deliver_round: 0,
+        }
+    }
+
+    /// The group parameters.
+    pub fn group(&self) -> Group {
+        self.group
+    }
+
+    /// Number of payloads queued locally and not yet proposed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The lowest round not yet delivered.
+    pub fn current_round(&self) -> u64 {
+        self.next_deliver_round
+    }
+
+    /// Exports the durable ordering state for a state transfer: the next
+    /// undelivered round and the set of delivered payload ids.
+    pub fn export_state(&self) -> (u64, Vec<u128>) {
+        let mut ids: Vec<u128> = self.delivered_ids.iter().copied().collect();
+        ids.sort_unstable();
+        (self.next_deliver_round, ids)
+    }
+
+    /// Adopts ordering state from a recovered snapshot: jumps to `round`,
+    /// installs the delivered-id set (so re-proposed old payloads stay
+    /// deduplicated), and resumes local sequence numbering above any of
+    /// this replica's previously delivered payloads (so fresh submissions
+    /// do not collide with pre-crash ones).
+    ///
+    /// All in-progress round state is discarded; pending local payloads
+    /// are kept and re-proposed in the next round.
+    pub fn import_state(&mut self, round: u64, delivered_ids: Vec<u128>) {
+        self.next_deliver_round = round;
+        self.rounds.clear();
+        self.outputs.retain(|r, _| *r >= round);
+        self.inflight.clear();
+        let own_max_seq = delivered_ids
+            .iter()
+            .filter(|id| (*id >> 64) as usize == self.me)
+            .map(|id| *id as u64)
+            .max();
+        if let Some(max) = own_max_seq {
+            self.next_payload_seq = self.next_payload_seq.max(max + 1);
+        }
+        self.delivered_ids = delivered_ids.into_iter().collect();
+    }
+
+    /// Submits a payload for total ordering. Returns the actions to
+    /// perform and any deliveries that became final (in degenerate
+    /// single-replica groups, the submission itself).
+    pub fn submit(&mut self, data: Vec<u8>) -> (Vec<Action<AbcMsg>>, Vec<Delivery>) {
+        let payload = Payload::new(self.me, self.next_payload_seq, data);
+        self.next_payload_seq += 1;
+        self.pending.push_back(payload);
+        let mut actions = Vec::new();
+        let mut deliveries = Vec::new();
+        self.drive(&mut actions, &mut deliveries);
+        (actions, deliveries)
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn on_message(&mut self, from: ReplicaId, msg: AbcMsg) -> (Vec<Action<AbcMsg>>, Vec<Delivery>) {
+        let AbcMsg::Acs { round, inner } = msg;
+        let mut actions = Vec::new();
+        let mut deliveries = Vec::new();
+        if round < self.next_deliver_round || round > self.next_deliver_round + ROUND_WINDOW {
+            return (actions, deliveries);
+        }
+        self.ensure_round(round, &mut actions);
+        let acs = self.rounds.get_mut(&round).expect("ensured above");
+        let (inner_actions, output) = acs.on_message(from, inner);
+        wrap_actions(&mut actions, inner_actions, move |inner| AbcMsg::Acs { round, inner });
+        if let Some(out) = output {
+            self.outputs.insert(round, out);
+        }
+        self.drive(&mut actions, &mut deliveries);
+        (actions, deliveries)
+    }
+
+    /// Creates the ACS for `round` if needed and proposes into it.
+    fn ensure_round(&mut self, round: u64, actions: &mut Vec<Action<AbcMsg>>) {
+        if self.rounds.contains_key(&round) || round < self.next_deliver_round {
+            return;
+        }
+        let mut acs = Acs::new(self.group, self.me, self.coin.clone(), round);
+        // Liveness requires every honest replica to propose in every
+        // round it participates in; drain pending payloads if this is the
+        // earliest round we propose into, else propose an empty batch.
+        let batch: Vec<Payload> = if self.inflight.keys().next_back().map_or(true, |r| *r < round) {
+            self.pending.drain(..).collect()
+        } else {
+            Vec::new()
+        };
+        let encoded = encode_batch(&batch);
+        self.inflight.insert(round, batch);
+        let (inner_actions, output) = acs.propose(encoded);
+        wrap_actions(actions, inner_actions, move |inner| AbcMsg::Acs { round, inner });
+        if let Some(out) = output {
+            self.outputs.insert(round, out);
+        }
+        self.rounds.insert(round, acs);
+    }
+
+    /// Starts rounds demanded by pending payloads and flushes contiguous
+    /// completed rounds to the application.
+    fn drive(&mut self, actions: &mut Vec<Action<AbcMsg>>, deliveries: &mut Vec<Delivery>) {
+        loop {
+            // Deliver every contiguous completed round.
+            while let Some(out) = self.outputs.remove(&self.next_deliver_round) {
+                let round = self.next_deliver_round;
+                let mut sorted = out;
+                sorted.sort_by_key(|(p, _)| *p);
+                for (proposer, bytes) in sorted {
+                    for payload in decode_batch(&bytes) {
+                        if self.delivered_ids.insert(payload.id) {
+                            deliveries.push(Delivery { round, proposer, payload });
+                        }
+                    }
+                }
+                // Re-queue our own payloads that did not land.
+                if let Some(mine) = self.inflight.remove(&round) {
+                    for p in mine.into_iter().rev() {
+                        if !self.delivered_ids.contains(&p.id) {
+                            self.pending.push_front(p);
+                        }
+                    }
+                }
+                self.rounds.remove(&round);
+                self.next_deliver_round += 1;
+            }
+            // Open the next round if we have something to say and have
+            // not proposed at or beyond it yet.
+            let need_round = !self.pending.is_empty()
+                && self
+                    .inflight
+                    .keys()
+                    .next_back()
+                    .map_or(true, |r| *r < self.next_deliver_round);
+            if need_round {
+                let round = self.next_deliver_round;
+                self.ensure_round(round, actions);
+                // ensure_round may complete instantly (n = 1); loop again.
+                continue;
+            }
+            return;
+        }
+    }
+}
+
+/// Encodes a batch of payloads: `count ‖ (id ‖ len ‖ data)*`.
+fn encode_batch(batch: &[Payload]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + batch.iter().map(|p| 20 + p.data.len()).sum::<usize>());
+    out.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+    for p in batch {
+        out.extend_from_slice(&p.id.to_be_bytes());
+        out.extend_from_slice(&(p.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&p.data);
+    }
+    out
+}
+
+/// Decodes a batch; malformed bytes (a Byzantine proposer's prerogative)
+/// decode as the longest valid prefix, identically at every replica.
+fn decode_batch(bytes: &[u8]) -> Vec<Payload> {
+    let mut out = Vec::new();
+    let Some(count_bytes) = bytes.get(..4) else { return out };
+    let count = u32::from_be_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
+    let mut pos = 4;
+    for _ in 0..count.min(65_536) {
+        let Some(id_bytes) = bytes.get(pos..pos + 16) else { return out };
+        let id = u128::from_be_bytes(id_bytes.try_into().expect("16 bytes"));
+        let Some(len_bytes) = bytes.get(pos + 16..pos + 20) else { return out };
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        let Some(data) = bytes.get(pos + 20..pos + 20 + len) else { return out };
+        out.push(Payload { id, data: data.to_vec() });
+        pos += 20 + len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::HashCoin;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use std::collections::VecDeque as Q;
+
+    #[test]
+    fn batch_codec_roundtrip() {
+        let batch = vec![Payload::new(1, 0, b"abc".to_vec()), Payload::new(2, 7, vec![])];
+        assert_eq!(decode_batch(&encode_batch(&batch)), batch);
+        assert_eq!(decode_batch(&encode_batch(&[])), Vec::<Payload>::new());
+    }
+
+    #[test]
+    fn batch_codec_malformed_is_prefix() {
+        let batch = vec![Payload::new(1, 0, b"abcdef".to_vec()), Payload::new(1, 1, b"gh".to_vec())];
+        let mut bytes = encode_batch(&batch);
+        bytes.truncate(bytes.len() - 1); // damage the last payload
+        assert_eq!(decode_batch(&bytes), vec![batch[0].clone()]);
+        assert_eq!(decode_batch(&[]), Vec::<Payload>::new());
+        assert_eq!(decode_batch(&[9, 9]), Vec::<Payload>::new());
+    }
+
+    /// Drives a full group with a seeded random schedule until quiet.
+    /// `crashed` replicas drop all their outgoing messages.
+    struct Net {
+        nodes: Vec<AtomicBroadcast<HashCoin>>,
+        queue: Q<(usize, usize, AbcMsg)>,
+        delivered: Vec<Vec<Delivery>>,
+        crashed: Vec<usize>,
+        rng: rand::rngs::StdRng,
+    }
+
+    impl Net {
+        fn new(n: usize, t: usize, crashed: &[usize], seed: u64) -> Net {
+            let group = Group::new(n, t);
+            let coin = HashCoin::new(seed ^ 0xcafe);
+            Net {
+                nodes: (0..n).map(|me| AtomicBroadcast::new(group, me, coin)).collect(),
+                queue: Q::new(),
+                delivered: vec![Vec::new(); n],
+                crashed: crashed.to_vec(),
+                rng: rand::rngs::StdRng::seed_from_u64(seed),
+            }
+        }
+
+        fn enqueue(&mut self, from: usize, actions: Vec<Action<AbcMsg>>) {
+            if self.crashed.contains(&from) {
+                return;
+            }
+            let n = self.nodes.len();
+            for a in actions {
+                match a {
+                    Action::Broadcast { msg } => {
+                        for to in 0..n {
+                            if to != from {
+                                self.queue.push_back((from, to, msg.clone()));
+                            }
+                        }
+                    }
+                    Action::Send { to, msg } => self.queue.push_back((from, to, msg)),
+                }
+            }
+        }
+
+        fn submit(&mut self, at: usize, data: &[u8]) {
+            let (actions, deliveries) = self.nodes[at].submit(data.to_vec());
+            self.delivered[at].extend(deliveries);
+            self.enqueue(at, actions);
+        }
+
+        fn run(&mut self) {
+            let mut steps = 0u64;
+            while !self.queue.is_empty() {
+                steps += 1;
+                assert!(steps < 10_000_000, "abcast did not terminate");
+                if self.rng.gen_bool(0.05) {
+                    self.queue.make_contiguous().shuffle(&mut self.rng);
+                }
+                let idx = self.rng.gen_range(0..self.queue.len());
+                let (from, to, msg) = self.queue.remove(idx).expect("in range");
+                if self.crashed.contains(&to) {
+                    continue;
+                }
+                let (actions, deliveries) = self.nodes[to].on_message(from, msg);
+                self.delivered[to].extend(deliveries);
+                self.enqueue(to, actions);
+            }
+        }
+
+        fn honest(&self) -> impl Iterator<Item = usize> + '_ {
+            (0..self.nodes.len()).filter(|i| !self.crashed.contains(i))
+        }
+
+        fn assert_total_order(&self) {
+            let mut reference: Option<&Vec<Delivery>> = None;
+            for i in self.honest() {
+                match reference {
+                    None => reference = Some(&self.delivered[i]),
+                    Some(r) => assert_eq!(&self.delivered[i], r, "replica {i} order differs"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_submission_delivered_everywhere() {
+        for seed in 0..10 {
+            let mut net = Net::new(4, 1, &[], seed);
+            net.submit(0, b"request-1");
+            net.run();
+            net.assert_total_order();
+            assert_eq!(net.delivered[1].len(), 1, "seed {seed}");
+            assert_eq!(net.delivered[1][0].payload.data, b"request-1");
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_totally_ordered() {
+        for seed in 0..10 {
+            let mut net = Net::new(4, 1, &[], seed);
+            net.submit(0, b"a");
+            net.submit(1, b"b");
+            net.submit(2, b"c");
+            net.submit(3, b"d");
+            net.run();
+            net.assert_total_order();
+            let count = net.delivered[0].len();
+            assert!(count >= 3, "seed {seed}: at least n-t submissions land, got {count}");
+        }
+    }
+
+    #[test]
+    fn sequential_rounds() {
+        let mut net = Net::new(4, 1, &[], 9);
+        net.submit(0, b"first");
+        net.run();
+        net.submit(2, b"second");
+        net.run();
+        net.submit(1, b"third");
+        net.run();
+        net.assert_total_order();
+        let data: Vec<&[u8]> = net.delivered[3].iter().map(|d| d.payload.data.as_slice()).collect();
+        assert_eq!(data, vec![b"first".as_slice(), b"second", b"third"]);
+    }
+
+    #[test]
+    fn tolerates_crashed_replica() {
+        for seed in 0..5 {
+            let mut net = Net::new(4, 1, &[3], seed);
+            net.submit(0, b"x");
+            net.submit(1, b"y");
+            net.run();
+            net.assert_total_order();
+            let data: Vec<&Payload> = net.delivered[0].iter().map(|d| &d.payload).collect();
+            assert_eq!(data.len(), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seven_replicas_two_crashed() {
+        for seed in 0..3 {
+            let mut net = Net::new(7, 2, &[2, 5], seed);
+            net.submit(0, b"p");
+            net.submit(6, b"q");
+            net.run();
+            net.assert_total_order();
+            assert_eq!(net.delivered[0].len(), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_deliveries() {
+        for seed in 0..5 {
+            let mut net = Net::new(4, 1, &[], seed);
+            for i in 0..8 {
+                net.submit(i % 4, format!("req-{i}").as_bytes());
+            }
+            net.run();
+            net.assert_total_order();
+            let mut ids: Vec<u128> = net.delivered[0].iter().map(|d| d.payload.id).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "seed {seed}: duplicate delivery");
+            assert_eq!(before, 8, "seed {seed}: all submissions eventually land");
+        }
+    }
+
+    #[test]
+    fn single_replica_group() {
+        let group = Group::new(1, 0);
+        let mut ab = AtomicBroadcast::new(group, 0, HashCoin::new(1));
+        let (_, deliveries) = ab.submit(b"solo".to_vec());
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].payload.data, b"solo");
+        let (_, deliveries) = ab.submit(b"again".to_vec());
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].round, 1);
+    }
+
+    #[test]
+    fn stale_and_far_future_rounds_ignored() {
+        let group = Group::new(4, 1);
+        let mut ab = AtomicBroadcast::new(group, 0, HashCoin::new(1));
+        let msg = AbcMsg::Acs {
+            round: ROUND_WINDOW + 10,
+            inner: AcsMsg::Rbc { proposer: 1, inner: crate::rbc::RbcMsg::Init(vec![]) },
+        };
+        let (actions, deliveries) = ab.on_message(1, msg);
+        assert!(actions.is_empty());
+        assert!(deliveries.is_empty());
+        assert!(ab.rounds.is_empty());
+    }
+}

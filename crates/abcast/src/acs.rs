@@ -1,0 +1,317 @@
+//! Asynchronous common subset (ACS), after Ben-Or–Kelmer–Rabin: one
+//! reliable broadcast per replica plus one binary agreement per replica.
+//!
+//! Every replica proposes a value; the honest replicas agree on a common
+//! subset of **at least `n − t`** proposals, which is the heart of the
+//! asynchronous atomic broadcast: each agreed batch of proposals becomes
+//! one slice of the total order.
+//!
+//! Protocol: replica `i` reliably broadcasts its proposal. When `RBC_j`
+//! delivers, input `1` to `ABBA_j`; when `n − t` ABBAs have decided `1`,
+//! input `0` to every ABBA still lacking input. The subset is
+//! `{ j : ABBA_j decided 1 }`; output waits until the corresponding RBCs
+//! have delivered (guaranteed by RBC totality).
+
+use crate::abba::{Abba, AbbaMsg};
+use crate::coin::Coin;
+use crate::rbc::{Rbc, RbcMsg};
+use crate::types::{wrap_actions, Action, Group, ReplicaId};
+
+/// Messages of one ACS instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcsMsg {
+    /// A reliable-broadcast message for proposer `proposer`.
+    Rbc {
+        /// Whose proposal this broadcast carries.
+        proposer: ReplicaId,
+        /// The inner message.
+        inner: RbcMsg,
+    },
+    /// A binary-agreement message for instance `instance`.
+    Abba {
+        /// Which proposal's inclusion is being agreed on.
+        instance: ReplicaId,
+        /// The inner message.
+        inner: AbbaMsg,
+    },
+}
+
+/// The agreed common subset: `(proposer, proposal)` pairs.
+pub type AcsOutput = Vec<(ReplicaId, Vec<u8>)>;
+
+/// One ACS instance at one replica.
+#[derive(Debug)]
+pub struct Acs<C> {
+    group: Group,
+    me: ReplicaId,
+    rbcs: Vec<Rbc>,
+    abbas: Vec<Abba<C>>,
+    delivered: Vec<Option<Vec<u8>>>,
+    zero_filled: bool,
+    output_emitted: bool,
+}
+
+impl<C: Coin + Clone> Acs<C> {
+    /// Creates the instance. `tag` namespaces the common coins of the
+    /// inner ABBA instances; all replicas must use the same tag for the
+    /// same ACS (e.g. the atomic-broadcast round number).
+    pub fn new(group: Group, me: ReplicaId, coin: C, tag: u64) -> Self {
+        let n = group.n();
+        Acs {
+            group,
+            me,
+            rbcs: (0..n).map(|p| Rbc::new(group, me, p)).collect(),
+            abbas: (0..n)
+                .map(|i| Abba::new(group, me, coin.clone(), tag.wrapping_mul(1009).wrapping_add(i as u64)))
+                .collect(),
+            delivered: vec![None; n],
+            zero_filled: false,
+            output_emitted: false,
+        }
+    }
+
+    /// Whether the common subset has been output.
+    pub fn is_complete(&self) -> bool {
+        self.output_emitted
+    }
+
+    /// Proposes this replica's value.
+    ///
+    /// Returns follow-up actions and, in degenerate single-replica
+    /// groups, possibly the immediate output.
+    pub fn propose(&mut self, value: Vec<u8>) -> (Vec<Action<AcsMsg>>, Option<AcsOutput>) {
+        let mut out = Vec::new();
+        let me = self.me;
+        let (actions, delivered) = self.rbcs[me].broadcast(value);
+        wrap_actions(&mut out, actions, move |inner| AcsMsg::Rbc { proposer: me, inner });
+        if let Some(v) = delivered {
+            self.on_rbc_delivered(me, v, &mut out);
+        }
+        let output = self.try_output();
+        (out, output)
+    }
+
+    /// Handles a message from `from`.
+    pub fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: AcsMsg,
+    ) -> (Vec<Action<AcsMsg>>, Option<AcsOutput>) {
+        let mut out = Vec::new();
+        match msg {
+            AcsMsg::Rbc { proposer, inner } => {
+                if proposer >= self.group.n() {
+                    return (out, None);
+                }
+                let (actions, delivered) = self.rbcs[proposer].on_message(from, inner);
+                wrap_actions(&mut out, actions, move |inner| AcsMsg::Rbc { proposer, inner });
+                if let Some(v) = delivered {
+                    self.on_rbc_delivered(proposer, v, &mut out);
+                }
+            }
+            AcsMsg::Abba { instance, inner } => {
+                if instance >= self.group.n() {
+                    return (out, None);
+                }
+                let actions = self.abbas[instance].on_message(from, inner);
+                wrap_actions(&mut out, actions, move |inner| AcsMsg::Abba { instance, inner });
+                self.after_abba_progress(&mut out);
+            }
+        }
+        let output = self.try_output();
+        (out, output)
+    }
+
+    fn on_rbc_delivered(&mut self, proposer: ReplicaId, value: Vec<u8>, out: &mut Vec<Action<AcsMsg>>) {
+        self.delivered[proposer] = Some(value);
+        if !self.abbas[proposer].has_input() && self.abbas[proposer].decision().is_none() {
+            let actions = self.abbas[proposer].input(true);
+            wrap_actions(out, actions, move |inner| AcsMsg::Abba { instance: proposer, inner });
+        }
+        self.after_abba_progress(out);
+    }
+
+    fn after_abba_progress(&mut self, out: &mut Vec<Action<AcsMsg>>) {
+        if self.zero_filled {
+            return;
+        }
+        let ones = self.abbas.iter().filter(|a| a.decision() == Some(true)).count();
+        if ones >= self.group.wait_for() {
+            self.zero_filled = true;
+            for i in 0..self.group.n() {
+                if !self.abbas[i].has_input() && self.abbas[i].decision().is_none() {
+                    let actions = self.abbas[i].input(false);
+                    wrap_actions(out, actions, move |inner| AcsMsg::Abba { instance: i, inner });
+                }
+            }
+        }
+    }
+
+    /// Emits the subset once every ABBA has decided and every included
+    /// RBC has delivered.
+    fn try_output(&mut self) -> Option<AcsOutput> {
+        if self.output_emitted {
+            return None;
+        }
+        if self.abbas.iter().any(|a| a.decision().is_none()) {
+            return None;
+        }
+        let included: Vec<ReplicaId> = (0..self.group.n())
+            .filter(|i| self.abbas[*i].decision() == Some(true))
+            .collect();
+        if included.iter().any(|i| self.delivered[*i].is_none()) {
+            // Totality will bring the missing broadcasts.
+            return None;
+        }
+        self.output_emitted = true;
+        Some(
+            included
+                .into_iter()
+                .map(|i| (i, self.delivered[i].clone().expect("checked above")))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::HashCoin;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use std::collections::VecDeque;
+
+    /// Runs a full ACS with a random schedule; `silent` replicas propose
+    /// nothing and send nothing.
+    fn run(
+        n: usize,
+        t: usize,
+        silent: &[ReplicaId],
+        seed: u64,
+    ) -> Vec<Option<AcsOutput>> {
+        let group = Group::new(n, t);
+        let coin = HashCoin::new(seed ^ 0xAC5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut nodes: Vec<Acs<HashCoin>> =
+            (0..n).map(|me| Acs::new(group, me, coin, 5)).collect();
+        let mut outputs: Vec<Option<AcsOutput>> = vec![None; n];
+        let mut queue: VecDeque<(ReplicaId, ReplicaId, AcsMsg)> = VecDeque::new();
+
+        let enqueue = |from: usize,
+                       actions: Vec<Action<AcsMsg>>,
+                       queue: &mut VecDeque<(usize, usize, AcsMsg)>| {
+            if silent.contains(&from) {
+                return;
+            }
+            for a in actions {
+                match a {
+                    Action::Broadcast { msg } => {
+                        for to in 0..n {
+                            if to != from {
+                                queue.push_back((from, to, msg.clone()));
+                            }
+                        }
+                    }
+                    Action::Send { to, msg } => queue.push_back((from, to, msg)),
+                }
+            }
+        };
+
+        for me in 0..n {
+            if silent.contains(&me) {
+                continue;
+            }
+            let (actions, output) = nodes[me].propose(format!("proposal-{me}").into_bytes());
+            outputs[me] = output;
+            enqueue(me, actions, &mut queue);
+        }
+        let mut steps = 0u64;
+        while !queue.is_empty() {
+            steps += 1;
+            assert!(steps < 5_000_000, "acs did not terminate");
+            let idx = rng.gen_range(0..queue.len());
+            queue.make_contiguous().shuffle(&mut rng);
+            let (from, to, msg) = queue.remove(idx).expect("in range");
+            if silent.contains(&to) {
+                continue;
+            }
+            let (actions, output) = nodes[to].on_message(from, msg);
+            if let Some(o) = output {
+                assert!(outputs[to].is_none(), "double output at {to}");
+                outputs[to] = Some(o);
+            }
+            enqueue(to, actions, &mut queue);
+        }
+        outputs
+    }
+
+    #[test]
+    fn all_honest_agree_on_subset() {
+        for seed in 0..10 {
+            let outputs = run(4, 1, &[], seed);
+            let first = outputs[0].as_ref().unwrap_or_else(|| panic!("seed {seed}: no output"));
+            assert!(first.len() >= 3, "subset must have >= n-t entries");
+            for (i, o) in outputs.iter().enumerate() {
+                assert_eq!(o.as_ref().unwrap(), first, "seed {seed}: replica {i} differs");
+            }
+            // Values are bound to their proposers.
+            for (proposer, value) in first {
+                assert_eq!(value, &format!("proposal-{proposer}").into_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_silent_replica() {
+        for seed in 0..10 {
+            let outputs = run(4, 1, &[2], seed);
+            let reference = outputs[0].as_ref().unwrap_or_else(|| panic!("seed {seed}: no output"));
+            assert!(reference.len() >= 3);
+            assert!(reference.iter().all(|(p, _)| *p != 2), "silent replica not included");
+            for (i, o) in outputs.iter().enumerate() {
+                if i != 2 {
+                    assert_eq!(o.as_ref().unwrap(), reference, "seed {seed}: replica {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seven_with_two_silent() {
+        for seed in 0..5 {
+            let outputs = run(7, 2, &[1, 6], seed);
+            let reference = outputs[0].as_ref().unwrap_or_else(|| panic!("seed {seed}: no output"));
+            assert!(reference.len() >= 5);
+            for (i, o) in outputs.iter().enumerate() {
+                if i != 1 && i != 6 {
+                    assert_eq!(o.as_ref().unwrap(), reference, "seed {seed}: replica {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_replica_trivial_subset() {
+        let group = Group::new(1, 0);
+        let mut acs = Acs::new(group, 0, HashCoin::new(1), 0);
+        let (_, output) = acs.propose(b"solo".to_vec());
+        let output = output.expect("single replica completes immediately");
+        assert_eq!(output, vec![(0usize, b"solo".to_vec())]);
+        assert!(acs.is_complete());
+    }
+
+    #[test]
+    fn out_of_range_ids_ignored() {
+        let group = Group::new(4, 1);
+        let mut acs = Acs::new(group, 0, HashCoin::new(1), 0);
+        let (actions, output) =
+            acs.on_message(1, AcsMsg::Rbc { proposer: 99, inner: RbcMsg::Init(vec![]) });
+        assert!(actions.is_empty());
+        assert!(output.is_none());
+        let (actions, _) = acs.on_message(
+            1,
+            AcsMsg::Abba { instance: 99, inner: AbbaMsg::Done { value: true } },
+        );
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Common coins for randomized Byzantine agreement.
+//!
+//! SINTRA implements its common coin with Diffie–Hellman threshold
+//! cryptography: the coin for round `r` is unpredictable until `t + 1`
+//! servers reveal their shares. We provide two sources:
+//!
+//! - [`HashCoin`] — a pseudorandom coin derived from a pre-shared seed.
+//!   All replicas compute the same value locally with zero messages. It
+//!   is **predictable by the adversary**, which is acceptable for the
+//!   simulator and benchmarks (our test adversaries are not adaptive
+//!   schedulers conditioned on future coins) but would not be for a
+//!   deployment against a strong network adversary. This is a documented
+//!   substitution (DESIGN.md §2).
+//! - [`ThresholdCoin`] — derives the coin from a threshold RSA signature
+//!   on the coin name, the deployment-grade construction: unpredictable
+//!   until a quorum cooperates. It is exercised by tests but not by the
+//!   latency benchmarks (the paper's coin cost is inside its atomic
+//!   broadcast numbers either way).
+
+use crate::types::ReplicaId;
+use sdns_bigint::Ubig;
+use sdns_crypto::threshold::{KeyShare, SignatureShare, ThresholdPublicKey};
+use sdns_crypto::Sha256;
+use std::sync::Arc;
+
+/// A source of common coins, indexed by an instance tag and round.
+pub trait Coin {
+    /// The coin value for (`tag`, `round`). All honest replicas must
+    /// obtain the same value.
+    fn value(&self, tag: u64, round: u32) -> bool;
+}
+
+/// Pseudorandom local coin from a shared seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashCoin {
+    seed: u64,
+}
+
+impl HashCoin {
+    /// Creates a coin source from a seed shared by all replicas.
+    pub fn new(seed: u64) -> Self {
+        HashCoin { seed }
+    }
+}
+
+impl Coin for HashCoin {
+    fn value(&self, tag: u64, round: u32) -> bool {
+        // Optimistic first coins: in the common case all honest inputs
+        // agree (1 for delivered proposals, then 0 for the zero-fill), so
+        // fixing the first two coins to 1 then 0 lets those instances
+        // decide in one round instead of an expected two. Adversarial
+        // termination still rests on the pseudorandom tail.
+        match round {
+            0 => true,
+            1 => false,
+            _ => {
+                let mut h = Sha256::new();
+                h.update(&self.seed.to_be_bytes());
+                h.update(&tag.to_be_bytes());
+                h.update(&round.to_be_bytes());
+                h.finalize()[0] & 1 == 1
+            }
+        }
+    }
+}
+
+/// The name (message representative) of a coin, hashed into the RSA
+/// domain.
+fn coin_name(tag: u64, round: u32, modulus: &Ubig) -> Ubig {
+    let mut h = Sha256::new();
+    h.update(b"sdns-coin");
+    h.update(&tag.to_be_bytes());
+    h.update(&round.to_be_bytes());
+    let x = Ubig::from_bytes_be(&h.finalize());
+    // Reduce into the modulus; avoid 0.
+    let x = &x % modulus;
+    if x.is_zero() {
+        Ubig::one()
+    } else {
+        x
+    }
+}
+
+/// A share of a threshold coin, produced by one replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoinShare {
+    /// The producing replica.
+    pub replica: ReplicaId,
+    /// The underlying threshold-signature share.
+    pub share: SignatureShare,
+}
+
+/// Deployment-grade coin: the value is the parity of the hash of the
+/// unique threshold RSA signature on the coin name.
+///
+/// Unlike [`HashCoin`] this needs one message exchange: each replica
+/// computes a [`CoinShare`] ([`ThresholdCoin::share`]) and any `t + 1`
+/// shares reveal the coin ([`ThresholdCoin::combine`]).
+#[derive(Debug, Clone)]
+pub struct ThresholdCoin {
+    pk: Arc<ThresholdPublicKey>,
+}
+
+impl ThresholdCoin {
+    /// Creates the coin from the group's threshold public key.
+    pub fn new(pk: Arc<ThresholdPublicKey>) -> Self {
+        ThresholdCoin { pk }
+    }
+
+    /// Computes this replica's share of coin (`tag`, `round`).
+    pub fn share(&self, key: &KeyShare, tag: u64, round: u32) -> CoinShare {
+        let x = coin_name(tag, round, self.pk.modulus());
+        CoinShare { replica: key.index() - 1, share: key.sign(&x, &self.pk) }
+    }
+
+    /// Combines `t + 1` shares into the coin value.
+    ///
+    /// Returns `None` if the shares do not assemble to a valid signature
+    /// (some were corrupted) — callers then wait for more shares and try
+    /// other subsets.
+    pub fn combine(&self, tag: u64, round: u32, shares: &[CoinShare]) -> Option<bool> {
+        let x = coin_name(tag, round, self.pk.modulus());
+        let sig_shares: Vec<SignatureShare> = shares.iter().map(|s| s.share.clone()).collect();
+        let sig = self.pk.assemble(&x, &sig_shares).ok()?;
+        let mut h = Sha256::new();
+        h.update(&sig.to_bytes_be());
+        Some(h.finalize()[0] & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdns_crypto::threshold::Dealer;
+
+    #[test]
+    fn hash_coin_deterministic_and_varied() {
+        let c1 = HashCoin::new(7);
+        let c2 = HashCoin::new(7);
+        let mut heads = 0;
+        for round in 0..64 {
+            assert_eq!(c1.value(3, round), c2.value(3, round));
+            if c1.value(3, round) {
+                heads += 1;
+            }
+        }
+        // Roughly balanced: between 16 and 48 heads out of 64.
+        assert!((16..=48).contains(&heads), "suspiciously biased coin: {heads}/64");
+        // Different tags give (eventually) different streams.
+        let differs = (0..64).any(|r| c1.value(3, r) != c1.value(4, r));
+        assert!(differs);
+    }
+
+    #[test]
+    fn threshold_coin_agreement() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        // StepRng is too weak for key generation; use a real seeded rng.
+        let _ = &mut rng;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xC0);
+        let (pk, keys) = Dealer::deal(256, 4, 1, &mut rng);
+        let coin = ThresholdCoin::new(Arc::new(pk));
+        for round in 0..4 {
+            // Any quorum of shares yields the same coin.
+            let shares: Vec<CoinShare> =
+                keys.iter().map(|k| coin.share(k, 9, round)).collect();
+            let v01 = coin.combine(9, round, &shares[0..2]).unwrap();
+            let v23 = coin.combine(9, round, &shares[2..4]).unwrap();
+            assert_eq!(v01, v23, "round {round}");
+        }
+    }
+
+    #[test]
+    fn threshold_coin_rejects_bad_shares() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xC1);
+        let (pk, keys) = Dealer::deal(256, 4, 1, &mut rng);
+        let coin = ThresholdCoin::new(Arc::new(pk));
+        let good = coin.share(&keys[0], 1, 0);
+        let mut bad = coin.share(&keys[1], 1, 0);
+        bad.share = bad.share.bitwise_inverted();
+        assert_eq!(coin.combine(1, 0, &[good, bad]), None);
+    }
+}

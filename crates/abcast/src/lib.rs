@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Asynchronous Byzantine atomic broadcast for the secure distributed DNS.
+//!
+//! The paper disseminates every DNS request to all replicas through the
+//! atomic broadcast of the SINTRA toolkit, tolerating `t < n/3` Byzantine
+//! replicas in a purely asynchronous network. This crate implements that
+//! stack from scratch as sans-IO state machines:
+//!
+//! - [`rbc::Rbc`] — Bracha reliable broadcast (validity, agreement,
+//!   totality),
+//! - [`coin`] — common coins (a pseudorandom shared-seed coin for the
+//!   simulator, and a threshold-RSA coin matching SINTRA's
+//!   threshold-cryptographic construction),
+//! - [`abba::Abba`] — coin-based asynchronous binary Byzantine agreement
+//!   (Mostéfaoui–Moumen–Raynal style, substituting for CKS'00 ABBA),
+//! - [`acs::Acs`] — asynchronous common subset (one RBC + one ABBA per
+//!   replica),
+//! - [`AtomicBroadcast`] — total ordering via rounds of ACS, with
+//!   per-payload integrity and resubmission.
+//!
+//! Every protocol here is message-driven with **no timers and no
+//! synchrony assumptions**; randomization (the common coin) circumvents
+//! the FLP impossibility exactly as in SINTRA.
+//!
+//! # Example
+//!
+//! ```
+//! use sdns_abcast::{AtomicBroadcast, Group, HashCoin};
+//!
+//! // A degenerate single-replica group totally orders instantly.
+//! let mut ab = AtomicBroadcast::new(Group::new(1, 0), 0, HashCoin::new(7));
+//! let (_actions, deliveries) = ab.submit(b"request".to_vec());
+//! assert_eq!(deliveries[0].payload.data, b"request");
+//! ```
+
+pub mod abba;
+mod abcast;
+pub mod acs;
+pub mod coin;
+pub mod rbc;
+mod types;
+
+pub use abcast::{AbcMsg, AtomicBroadcast, Delivery};
+pub use coin::{Coin, CoinShare, HashCoin, ThresholdCoin};
+pub use types::{Action, Group, Payload, ReplicaId};

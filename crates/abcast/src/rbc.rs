@@ -1,0 +1,308 @@
+//! Bracha reliable broadcast.
+//!
+//! Guarantees, with `n > 3t` and up to `t` Byzantine replicas:
+//!
+//! - **Validity** — if the (honest) proposer broadcasts `v`, every honest
+//!   replica eventually delivers `v`.
+//! - **Agreement** — no two honest replicas deliver different values.
+//! - **Totality** — if any honest replica delivers, every honest replica
+//!   eventually delivers.
+//!
+//! Echo and ready messages carry the full payload rather than a digest;
+//! this trades bandwidth for simplicity (the original SINTRA does the
+//! same for its broadcast primitives).
+
+use crate::types::{Action, Group, ReplicaId};
+use std::collections::HashMap;
+
+/// Messages of one reliable-broadcast instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbcMsg {
+    /// The proposer's value announcement.
+    Init(Vec<u8>),
+    /// First-phase agreement on the value.
+    Echo(Vec<u8>),
+    /// Second-phase commitment to the value.
+    Ready(Vec<u8>),
+}
+
+/// One reliable-broadcast instance (a fixed proposer broadcasting one
+/// value to the group).
+///
+/// Drive it with [`Rbc::broadcast`] (proposer only) and [`Rbc::on_message`];
+/// the latter returns the delivered value exactly once.
+#[derive(Debug, Clone)]
+pub struct Rbc {
+    group: Group,
+    me: ReplicaId,
+    proposer: ReplicaId,
+    echo_sent: bool,
+    ready_sent: bool,
+    delivered: bool,
+    /// Echo senders per candidate value.
+    echoes: HashMap<Vec<u8>, Vec<ReplicaId>>,
+    /// Ready senders per candidate value.
+    readys: HashMap<Vec<u8>, Vec<ReplicaId>>,
+}
+
+impl Rbc {
+    /// Creates the instance for `proposer`'s broadcast at replica `me`.
+    pub fn new(group: Group, me: ReplicaId, proposer: ReplicaId) -> Self {
+        Rbc {
+            group,
+            me,
+            proposer,
+            echo_sent: false,
+            ready_sent: false,
+            delivered: false,
+            echoes: HashMap::new(),
+            readys: HashMap::new(),
+        }
+    }
+
+    /// Whether this instance has delivered.
+    pub fn is_delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// Starts the broadcast (proposer only). Returns the send actions and,
+    /// in the degenerate single-replica group, the immediate delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called by a non-proposer.
+    pub fn broadcast(&mut self, value: Vec<u8>) -> (Vec<Action<RbcMsg>>, Option<Vec<u8>>) {
+        assert_eq!(self.me, self.proposer, "only the proposer broadcasts");
+        let mut actions = vec![Action::Broadcast { msg: RbcMsg::Init(value.clone()) }];
+        // The proposer processes its own Init locally.
+        let (more, delivered) = self.on_message(self.me, RbcMsg::Init(value));
+        actions.extend(more);
+        (actions, delivered)
+    }
+
+    /// Handles a message from `from`. Returns follow-up actions and the
+    /// delivered value, if delivery happened now.
+    pub fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: RbcMsg,
+    ) -> (Vec<Action<RbcMsg>>, Option<Vec<u8>>) {
+        let mut actions = Vec::new();
+        match msg {
+            RbcMsg::Init(value) => {
+                // Only the proposer's first Init counts.
+                if from == self.proposer && !self.echo_sent {
+                    self.echo_sent = true;
+                    actions.push(Action::Broadcast { msg: RbcMsg::Echo(value.clone()) });
+                    self.record_echo(self.me, value, &mut actions);
+                }
+            }
+            RbcMsg::Echo(value) => {
+                self.record_echo(from, value, &mut actions);
+            }
+            RbcMsg::Ready(value) => {
+                self.record_ready(from, value, &mut actions);
+            }
+        }
+        let delivered = self.try_deliver();
+        (actions, delivered)
+    }
+
+    fn record_echo(&mut self, from: ReplicaId, value: Vec<u8>, actions: &mut Vec<Action<RbcMsg>>) {
+        let senders = self.echoes.entry(value.clone()).or_default();
+        if senders.contains(&from) {
+            return;
+        }
+        senders.push(from);
+        if senders.len() >= self.group.echo_threshold() && !self.ready_sent {
+            self.send_ready(value, actions);
+        }
+    }
+
+    fn record_ready(&mut self, from: ReplicaId, value: Vec<u8>, actions: &mut Vec<Action<RbcMsg>>) {
+        let senders = self.readys.entry(value.clone()).or_default();
+        if senders.contains(&from) {
+            return;
+        }
+        senders.push(from);
+        // Ready amplification: t+1 readys prove an honest replica is ready.
+        if senders.len() >= self.group.one_honest() && !self.ready_sent {
+            self.send_ready(value, actions);
+        }
+    }
+
+    fn send_ready(&mut self, value: Vec<u8>, actions: &mut Vec<Action<RbcMsg>>) {
+        self.ready_sent = true;
+        actions.push(Action::Broadcast { msg: RbcMsg::Ready(value.clone()) });
+        // Record our own ready locally (no self-delivery of broadcasts).
+        let senders = self.readys.entry(value).or_default();
+        if !senders.contains(&self.me) {
+            senders.push(self.me);
+        }
+    }
+
+    fn try_deliver(&mut self) -> Option<Vec<u8>> {
+        if self.delivered {
+            return None;
+        }
+        for (value, senders) in &self.readys {
+            if senders.len() >= self.group.quorum() {
+                self.delivered = true;
+                return Some(value.clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Runs a full group of Rbc instances over an in-memory network with a
+    /// reordering function, returning each replica's delivered value.
+    fn run(
+        group: Group,
+        proposer: ReplicaId,
+        value: &[u8],
+        byzantine: &[ReplicaId],
+        mut reorder: impl FnMut(&mut VecDeque<(ReplicaId, ReplicaId, RbcMsg)>),
+    ) -> Vec<Option<Vec<u8>>> {
+        let n = group.n();
+        let mut instances: Vec<Rbc> = (0..n).map(|me| Rbc::new(group, me, proposer)).collect();
+        let mut delivered: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut queue: VecDeque<(ReplicaId, ReplicaId, RbcMsg)> = VecDeque::new();
+
+        let enqueue = |from: ReplicaId,
+                       actions: Vec<Action<RbcMsg>>,
+                       queue: &mut VecDeque<(ReplicaId, ReplicaId, RbcMsg)>,
+                       byzantine: &[ReplicaId]| {
+            for a in actions {
+                match a {
+                    Action::Broadcast { mut msg } => {
+                        if byzantine.contains(&from) {
+                            // Byzantine: tamper with the value.
+                            msg = match msg {
+                                RbcMsg::Init(_) => RbcMsg::Init(b"evil".to_vec()),
+                                RbcMsg::Echo(_) => RbcMsg::Echo(b"evil".to_vec()),
+                                RbcMsg::Ready(_) => RbcMsg::Ready(b"evil".to_vec()),
+                            };
+                        }
+                        for to in 0..n {
+                            if to != from {
+                                queue.push_back((from, to, msg.clone()));
+                            }
+                        }
+                    }
+                    Action::Send { to, msg } => queue.push_back((from, to, msg)),
+                }
+            }
+        };
+
+        let (actions, d) = instances[proposer].broadcast(value.to_vec());
+        delivered[proposer] = d;
+        enqueue(proposer, actions, &mut queue, byzantine);
+        let mut steps = 0;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 100_000, "rbc did not terminate");
+            let (actions, d) = instances[to].on_message(from, msg);
+            if let Some(v) = d {
+                assert!(delivered[to].is_none(), "double delivery at {to}");
+                delivered[to] = Some(v);
+            }
+            enqueue(to, actions, &mut queue, byzantine);
+            reorder(&mut queue);
+        }
+        delivered
+    }
+
+    #[test]
+    fn all_honest_deliver() {
+        let group = Group::new(4, 1);
+        let out = run(group, 0, b"hello", &[], |_| {});
+        for d in &out {
+            assert_eq!(d.as_deref(), Some(b"hello".as_slice()));
+        }
+    }
+
+    #[test]
+    fn delivery_with_byzantine_echoer() {
+        // Replica 2 tampers with everything it relays; the other 3 of 4
+        // still deliver the proposer's value.
+        let group = Group::new(4, 1);
+        let out = run(group, 0, b"payload", &[2], |_| {});
+        for (i, d) in out.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(d.as_deref(), Some(b"payload".as_slice()), "replica {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_under_reordering() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        for seed in 0..20 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let group = Group::new(7, 2);
+            let out = run(group, 3, b"v", &[1, 5], |q| {
+                let slice = q.make_contiguous();
+                slice.shuffle(&mut rng);
+            });
+            let honest: Vec<_> = out
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 1 && *i != 5)
+                .map(|(_, d)| d.clone())
+                .collect();
+            // All honest replicas that delivered agree.
+            let values: Vec<_> = honest.iter().flatten().collect();
+            assert!(!values.is_empty(), "seed {seed}: nobody delivered");
+            for v in &values {
+                assert_eq!(v.as_slice(), b"v", "seed {seed}");
+            }
+            // Totality: if one honest delivered, all did (queue drained).
+            assert!(honest.iter().all(|d| d.is_some()), "seed {seed}: totality violated");
+        }
+    }
+
+    #[test]
+    fn single_replica_group_delivers_immediately() {
+        let group = Group::new(1, 0);
+        let mut rbc = Rbc::new(group, 0, 0);
+        let (_, d) = rbc.broadcast(b"solo".to_vec());
+        assert_eq!(d.as_deref(), Some(b"solo".as_slice()));
+        assert!(rbc.is_delivered());
+    }
+
+    #[test]
+    fn non_proposer_init_ignored() {
+        let group = Group::new(4, 1);
+        let mut rbc = Rbc::new(group, 0, 1);
+        // Replica 2 forges an Init claiming to be the broadcast.
+        let (actions, d) = rbc.on_message(2, RbcMsg::Init(b"forged".to_vec()));
+        assert!(actions.is_empty());
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn duplicate_messages_ignored() {
+        let group = Group::new(4, 1);
+        let mut rbc = Rbc::new(group, 0, 1);
+        // The same replica echoing twice only counts once.
+        let _ = rbc.on_message(2, RbcMsg::Echo(b"v".to_vec()));
+        let _ = rbc.on_message(2, RbcMsg::Echo(b"v".to_vec()));
+        let (_, d) = rbc.on_message(3, RbcMsg::Ready(b"v".to_vec()));
+        assert!(d.is_none(), "2 echoes + 1 ready must not deliver");
+    }
+
+    #[test]
+    #[should_panic(expected = "only the proposer")]
+    fn non_proposer_broadcast_panics() {
+        let group = Group::new(4, 1);
+        let mut rbc = Rbc::new(group, 0, 1);
+        let _ = rbc.broadcast(b"x".to_vec());
+    }
+}

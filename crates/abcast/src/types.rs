@@ -1,0 +1,169 @@
+//! Shared protocol types: groups, payloads, actions.
+
+/// A replica index, `0..n`.
+pub type ReplicaId = usize;
+
+/// The replication group parameters: `n` replicas tolerating `t`
+/// Byzantine corruptions, requiring `n > 3t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Group {
+    n: usize,
+    t: usize,
+}
+
+impl Group {
+    /// Creates a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` and `n >= 1`.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(n >= 1, "need at least one replica");
+        assert!(n > 3 * t, "Byzantine fault tolerance requires n > 3t (n={n}, t={t})");
+        Group { n, t }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Corruption threshold.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// `t + 1`: guarantees at least one honest replica.
+    pub fn one_honest(&self) -> usize {
+        self.t + 1
+    }
+
+    /// `2t + 1`: a Byzantine write quorum (any two intersect in an honest
+    /// replica).
+    pub fn quorum(&self) -> usize {
+        2 * self.t + 1
+    }
+
+    /// `n - t`: the most replicas one can wait for without risking a
+    /// deadlock on the `t` possibly-silent corrupted ones.
+    pub fn wait_for(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Bracha's echo threshold `⌈(n + t + 1) / 2⌉`.
+    pub fn echo_threshold(&self) -> usize {
+        (self.n + self.t + 1).div_ceil(2)
+    }
+}
+
+/// A uniquely identified opaque payload submitted to atomic broadcast.
+///
+/// The id must be globally unique (the submitting replica's index plus a
+/// local counter); two payloads with identical `data` but different ids
+/// are distinct requests and are both delivered.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Payload {
+    /// Globally unique id.
+    pub id: u128,
+    /// Opaque request bytes.
+    pub data: Vec<u8>,
+}
+
+impl Payload {
+    /// Builds a payload id from the submitting replica and a local
+    /// sequence number.
+    pub fn make_id(submitter: ReplicaId, seq: u64) -> u128 {
+        ((submitter as u128) << 64) | u128::from(seq)
+    }
+
+    /// Creates a payload.
+    pub fn new(submitter: ReplicaId, seq: u64, data: Vec<u8>) -> Self {
+        Payload { id: Payload::make_id(submitter, seq), data }
+    }
+}
+
+/// A network instruction emitted by a protocol state machine. The caller
+/// owns actually moving bytes (the simulator or the TCP runtime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Send to one replica over the authenticated point-to-point link.
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The message.
+        msg: M,
+    },
+    /// Send to every replica except the emitter.
+    Broadcast {
+        /// The message.
+        msg: M,
+    },
+}
+
+impl<M> Action<M> {
+    /// Maps the message type (used to wrap sub-protocol messages).
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Action<N> {
+        match self {
+            Action::Send { to, msg } => Action::Send { to, msg: f(msg) },
+            Action::Broadcast { msg } => Action::Broadcast { msg: f(msg) },
+        }
+    }
+}
+
+/// Extends a vector of actions with wrapped sub-protocol actions.
+pub(crate) fn wrap_actions<M, N>(
+    out: &mut Vec<Action<N>>,
+    inner: Vec<Action<M>>,
+    f: impl Fn(M) -> N + Copy,
+) {
+    out.extend(inner.into_iter().map(|a| a.map(f)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_thresholds() {
+        let g = Group::new(4, 1);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.t(), 1);
+        assert_eq!(g.one_honest(), 2);
+        assert_eq!(g.quorum(), 3);
+        assert_eq!(g.wait_for(), 3);
+        assert_eq!(g.echo_threshold(), 3);
+
+        let g = Group::new(7, 2);
+        assert_eq!(g.quorum(), 5);
+        assert_eq!(g.wait_for(), 5);
+        assert_eq!(g.echo_threshold(), 5);
+
+        let g = Group::new(1, 0);
+        assert_eq!(g.quorum(), 1);
+        assert_eq!(g.wait_for(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3t")]
+    fn insufficient_replicas_panics() {
+        let _ = Group::new(3, 1);
+    }
+
+    #[test]
+    fn payload_ids_unique() {
+        let a = Payload::new(1, 1, vec![1]);
+        let b = Payload::new(1, 2, vec![1]);
+        let c = Payload::new(2, 1, vec![1]);
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.id, c.id);
+        assert_eq!(Payload::make_id(3, 9), (3u128 << 64) | 9);
+    }
+
+    #[test]
+    fn action_map() {
+        let a: Action<u32> = Action::Send { to: 2, msg: 7 };
+        assert_eq!(a.map(|m| m + 1), Action::Send { to: 2, msg: 8u32 });
+        let b: Action<u32> = Action::Broadcast { msg: 1 };
+        assert_eq!(b.map(|m| m.to_string()), Action::Broadcast { msg: "1".to_owned() });
+    }
+}

@@ -1,0 +1,109 @@
+//! Benchmarks of the DNS substrate: wire codec, zone queries, dynamic
+//! updates, and signing-plan computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdns_dns::sign::{plan_update_resign, SigMeta};
+use sdns_dns::update::{add_record_request, apply_update};
+use sdns_dns::zone::Zone;
+use sdns_dns::{Message, Name, RData, Record, RecordType};
+use std::hint::black_box;
+
+fn big_zone(hosts: usize) -> Zone {
+    let origin: Name = "example.com".parse().expect("valid");
+    let mut zone = Zone::with_default_soa(origin);
+    for i in 0..hosts {
+        zone.insert(Record::new(
+            format!("host{i}.example.com").parse().expect("valid"),
+            300,
+            RData::A(format!("10.{}.{}.{}", i / 65536 % 256, i / 256 % 256, i % 256).parse().expect("valid")),
+        ));
+    }
+    zone
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let q = Message::query(7, "www.example.com".parse().expect("valid"), RecordType::A);
+    let mut resp = q.response(sdns_dns::Rcode::NoError);
+    for i in 0..10 {
+        resp.answers.push(Record::new(
+            "www.example.com".parse().expect("valid"),
+            300,
+            RData::A(format!("10.0.0.{i}").parse().expect("valid")),
+        ));
+    }
+    let bytes = resp.to_bytes();
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("encode_response_10rr", |b| b.iter(|| black_box(resp.to_bytes())));
+    group.bench_function("decode_response_10rr", |b| {
+        b.iter(|| black_box(Message::from_bytes(&bytes).expect("valid")))
+    });
+    group.finish();
+}
+
+fn bench_zone(c: &mut Criterion) {
+    let zone = big_zone(10_000);
+    let name: Name = "host5000.example.com".parse().expect("valid");
+    let missing: Name = "nosuchhost.example.com".parse().expect("valid");
+    let mut group = c.benchmark_group("zone_10k");
+    group.bench_function("query_hit", |b| b.iter(|| black_box(zone.query(&name, RecordType::A))));
+    group.bench_function("query_nxdomain", |b| {
+        b.iter(|| black_box(zone.query(&missing, RecordType::A)))
+    });
+    group.bench_function("state_digest", |b| b.iter(|| black_box(zone.state_digest())));
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_10k");
+    let meta = SigMeta {
+        signer: "example.com".parse().expect("valid"),
+        key_tag: 1,
+        inception: 0,
+        expiration: u32::MAX,
+    };
+    group.bench_function("apply_add", |b| {
+        let zone = big_zone(10_000);
+        let mut i = 0u32;
+        b.iter_batched(
+            || zone.clone(),
+            |mut z| {
+                i += 1;
+                let msg = add_record_request(
+                    1,
+                    &"example.com".parse().expect("valid"),
+                    Record::new(
+                        format!("new{i}.example.com").parse().expect("valid"),
+                        60,
+                        RData::A("203.0.113.1".parse().expect("valid")),
+                    ),
+                );
+                black_box(apply_update(&mut z, &msg))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("plan_resign_after_add", |b| {
+        let zone = big_zone(1_000);
+        b.iter_batched(
+            || zone.clone(),
+            |mut z| {
+                let msg = add_record_request(
+                    1,
+                    &"example.com".parse().expect("valid"),
+                    Record::new(
+                        "brandnew.example.com".parse().expect("valid"),
+                        60,
+                        RData::A("203.0.113.1".parse().expect("valid")),
+                    ),
+                );
+                let outcome = apply_update(&mut z, &msg);
+                black_box(plan_update_resign(&mut z, &outcome, &meta))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_zone, bench_update);
+criterion_main!(benches);

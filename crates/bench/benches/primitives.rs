@@ -1,0 +1,61 @@
+//! Microbenchmarks of the cryptographic substrates: big-integer modular
+//! exponentiation, hashing, and plain RSA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sdns_bigint::Ubig;
+use sdns_crypto::pkcs1::HashAlg;
+use sdns_crypto::rsa::RsaPrivateKey;
+use sdns_crypto::{hmac_sha1, Sha1, Sha256};
+use std::hint::black_box;
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("bigint");
+    for bits in [512usize, 1024, 2048] {
+        let mut m = Ubig::random_bits(&mut rng, bits);
+        m.set_bit(0); // odd modulus -> Montgomery path
+        let base = Ubig::random_below(&mut rng, &m);
+        let exp = Ubig::random_bits(&mut rng, bits);
+        group.bench_function(format!("modpow_{bits}"), |b| {
+            b.iter(|| black_box(base.modpow(&exp, &m)))
+        });
+    }
+    let a = Ubig::random_bits(&mut rng, 1024);
+    let b_val = Ubig::random_bits(&mut rng, 1024);
+    group.bench_function("mul_1024", |b| b.iter(|| black_box(&a * &b_val)));
+    group.bench_function("div_rem_2048_by_1024", |b| {
+        let big = &a * &b_val;
+        b.iter(|| black_box(big.div_rem(&b_val)))
+    });
+    group.bench_function("modinv_1024", |b| {
+        let mut m = Ubig::random_bits(&mut rng, 1024);
+        m.set_bit(0);
+        b.iter(|| black_box(a.modinv(&m)))
+    });
+    group.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xABu8; 4096];
+    let mut group = c.benchmark_group("hash");
+    group.bench_function("sha1_4k", |b| b.iter(|| black_box(Sha1::digest(&data))));
+    group.bench_function("sha256_4k", |b| b.iter(|| black_box(Sha256::digest(&data))));
+    group.bench_function("hmac_sha1_4k", |b| b.iter(|| black_box(hmac_sha1(b"key", &data))));
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let key = RsaPrivateKey::generate(1024, &mut rng);
+    let sig = key.sign(b"zone data", HashAlg::Sha1).expect("signs");
+    let mut group = c.benchmark_group("rsa_1024");
+    group.bench_function("sign", |b| b.iter(|| black_box(key.sign(b"zone data", HashAlg::Sha1))));
+    group.bench_function("verify", |b| {
+        b.iter(|| black_box(key.public_key().verify(b"zone data", &sig, HashAlg::Sha1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint, bench_hash, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Real-time benchmarks of the threshold-RSA primitives — the modern
+//! counterpart of the paper's Table 3 breakdown (generate share /
+//! verify share / assemble / verify), plus the per-signature cost of
+//! each distributed signing protocol.
+//!
+//! The reproduced claim is the *shape*: share generation and
+//! verification dominate; assembly is an order of magnitude cheaper;
+//! final verification (small public exponent) is almost free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sdns_bigint::Ubig;
+use sdns_crypto::threshold::{Dealer, KeyShare, ThresholdPublicKey};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+const KEY_BITS: usize = 512;
+
+fn key() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
+    static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+        Dealer::deal(KEY_BITS, 4, 1, &mut rng)
+    })
+}
+
+fn bench_table3_phases(c: &mut Criterion) {
+    let (pk, shares) = key();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x = Ubig::random_below(&mut rng, pk.modulus());
+    let mut group = c.benchmark_group(format!("table3_{KEY_BITS}bit"));
+
+    group.bench_function("generate_share_with_proof", |b| {
+        b.iter(|| black_box(shares[0].sign_with_proof(&x, pk, &mut rng)))
+    });
+    group.bench_function("generate_share_no_proof", |b| {
+        b.iter(|| black_box(shares[0].sign(&x, pk)))
+    });
+    let proofed = shares[1].sign_with_proof(&x, pk, &mut rng);
+    group.bench_function("verify_share", |b| b.iter(|| black_box(proofed.verify(&x, pk))));
+    let s0 = shares[0].sign(&x, pk);
+    let s1 = shares[1].sign(&x, pk);
+    group.bench_function("assemble", |b| {
+        b.iter(|| black_box(pk.assemble_unchecked(&x, &[s0.clone(), s1.clone()])))
+    });
+    let sig = pk.assemble(&x, &[s0.clone(), s1.clone()]).expect("valid");
+    group.bench_function("verify_signature", |b| b.iter(|| black_box(pk.verify(&x, &sig))));
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    use sdns_crypto::protocol::{SigAction, SigMessage, SigProtocol, SigningSession};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    let (pk, shares) = key();
+    let pk = Arc::new(pk.clone());
+    let mut group = c.benchmark_group("signing_protocol_4of1");
+    group.sample_size(10);
+    for protocol in SigProtocol::ALL {
+        group.bench_function(protocol.name(), |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let x = Ubig::random_below(&mut rng, pk.modulus());
+                let mut sessions = Vec::new();
+                let mut queue: VecDeque<(usize, usize, SigMessage)> = VecDeque::new();
+                for (i, share) in shares.iter().enumerate() {
+                    let (s, actions) = SigningSession::new(
+                        protocol,
+                        Arc::clone(&pk),
+                        share.clone(),
+                        x.clone(),
+                        &mut rng,
+                    );
+                    sessions.push(s);
+                    for a in actions {
+                        if let SigAction::SendAll(m) = a {
+                            for to in 0..4 {
+                                queue.push_back((i, to, m.clone()));
+                            }
+                        }
+                    }
+                }
+                while let Some((from, to, msg)) = queue.pop_front() {
+                    for a in sessions[to].on_message(from + 1, msg, &mut rng) {
+                        if let SigAction::SendAll(m) = a {
+                            for dest in 0..4 {
+                                queue.push_back((to, dest, m.clone()));
+                            }
+                        }
+                    }
+                }
+                black_box(sessions.iter().filter(|s| s.is_done()).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3_phases, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs the ablation studies of DESIGN.md §7: read ordering, OPTTE
+//! subset-search blowup, and atomic-broadcast batching.
+//!
+//! Usage: `cargo run --release -p sdns-bench --bin ablations [seed]`
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2004);
+    println!("{}", sdns_bench::ablations::report(seed));
+}

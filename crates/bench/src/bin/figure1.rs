@@ -1,0 +1,16 @@
+//! Regenerates Figure 1 of the paper: the Internet testbed topology
+//! with average round-trip times, as measured by ping-style probes on
+//! the simulated network.
+//!
+//! Usage: `cargo run --release -p sdns-bench --bin figure1 [seed]`
+
+use sdns_bench::figure1;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2004);
+    println!("Figure 1 — testbed topology, paper vs measured RTTs (5% link jitter):\n");
+    let links = figure1::measure(seed);
+    println!("{}", figure1::render(&links));
+    println!("Setup: 4 replicas + client in Zurich (LAN RTT 0.3 ms); one replica each in");
+    println!("New York, Austin and San Jose, as in the paper's multinational deployment.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 2 of the paper: operation latencies per setup and
+//! threshold-signing protocol.
+//!
+//! Usage: `cargo run --release -p sdns-bench --bin table2 [reps] [key_bits] [seed]`
+//! Defaults: 20 repetitions (as in the paper), 512-bit keys (virtual
+//! time is calibrated to 1024-bit on the 2004 hardware regardless),
+//! seed 2004.
+
+use sdns_bench::{table1_rows, table2};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let key_bits: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(512);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
+
+    println!("Table 1 — machines of the simulated testbed (CPU factor relative to 266 MHz PII):");
+    for (site, count, cpu, mhz, factor) in table1_rows() {
+        println!("  {site:9}  x{count}  {cpu:10}  {mhz:>5} MHz  factor {factor:.3}");
+    }
+    println!();
+    println!(
+        "Table 2 — mean operation latency over {reps} runs, seconds of virtual time \
+         ({key_bits}-bit RSA, costs calibrated to 1024-bit / 266 MHz; seed {seed})."
+    );
+    println!("Reads are reported for uncorrupted rows only, as in the paper.\n");
+
+    let rows = table2::run(reps, key_bits, seed);
+    println!("{}", table2::render(&rows));
+
+    // The shape assertions of §5.3.
+    let add_basic_lan = rows[1].add[0].unwrap_or(f64::NAN);
+    let add_basic_inet = rows[2].add[0].unwrap_or(f64::NAN);
+    let add_optte_inet = rows[2].add[2].unwrap_or(f64::NAN);
+    let add_optproof_72 = rows[6].add[1].unwrap_or(f64::NAN);
+    let add_optte_72 = rows[6].add[2].unwrap_or(f64::NAN);
+    println!("shape checks:");
+    println!(
+        "  BASIC (4,0)* > BASIC (4,0) (compute-bound on slow LAN CPUs): {:.2} > {:.2} -> {}",
+        add_basic_lan,
+        add_basic_inet,
+        add_basic_lan > add_basic_inet
+    );
+    println!(
+        "  BASIC ≫ OPTTE honest (factor 4-6 in the paper): {:.2}x",
+        add_basic_inet / add_optte_inet
+    );
+    println!(
+        "  (7,2): OPTPROOF approaches BASIC, OPTTE stays fast: OPTPROOF {:.2}s vs OPTTE {:.2}s ({:.1}x)",
+        add_optproof_72,
+        add_optte_72,
+        add_optproof_72 / add_optte_72
+    );
+}

@@ -1,0 +1,146 @@
+//! Figure 1: the Internet testbed topology with measured round-trip
+//! times.
+//!
+//! A ping-style actor measures the RTT of every site pair on the
+//! simulated network and reports it next to the paper's values.
+
+use sdns_sim::testbed::Site;
+use sdns_sim::{Actor, Context, LatencyMatrix, NodeId, SimDuration, SimTime, Simulation};
+
+/// All four sites in display order.
+pub const SITES: [Site; 4] = [Site::Zurich, Site::NewYork, Site::Austin, Site::SanJose];
+
+/// A measured link: both endpoints, paper RTT, measured RTT (ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRtt {
+    /// First endpoint.
+    pub a: Site,
+    /// Second endpoint.
+    pub b: Site,
+    /// The paper's reported average RTT in milliseconds.
+    pub paper_ms: f64,
+    /// The RTT measured on the simulated network, in milliseconds.
+    pub measured_ms: f64,
+}
+
+/// Ping-pong actor: node 0 pings every other node several times and
+/// reports mean RTTs.
+struct Pinger {
+    /// Outstanding ping send times by (target, sequence).
+    sent: Vec<(NodeId, u32, SimTime)>,
+    /// Collected RTTs per target.
+    rtts: Vec<Vec<f64>>,
+    rounds: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PingMsg {
+    Ping(u32),
+    Pong(u32),
+}
+
+impl Actor for Pinger {
+    type Msg = PingMsg;
+    type Output = (NodeId, f64);
+
+    fn on_start(&mut self, ctx: &mut Context<'_, PingMsg, (NodeId, f64)>) {
+        if ctx.id() != 0 {
+            return;
+        }
+        for to in 1..ctx.n_nodes() {
+            for seq in 0..self.rounds {
+                ctx.send(to, PingMsg::Ping(seq));
+                self.sent.push((to, seq, ctx.now()));
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: PingMsg, ctx: &mut Context<'_, PingMsg, (NodeId, f64)>) {
+        match msg {
+            PingMsg::Ping(seq) => ctx.send(from, PingMsg::Pong(seq)),
+            PingMsg::Pong(seq) => {
+                if let Some(pos) = self.sent.iter().position(|(t, s, _)| *t == from && *s == seq) {
+                    let (_, _, at) = self.sent.remove(pos);
+                    let rtt_ms = ctx.now().since(at).as_secs_f64() * 1000.0;
+                    self.rtts[from].push(rtt_ms);
+                    if self.rtts[from].len() == self.rounds as usize {
+                        let mean =
+                            self.rtts[from].iter().sum::<f64>() / self.rtts[from].len() as f64;
+                        ctx.output((from, mean));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Measures every inter-site RTT on the simulated topology (with the
+/// jitter used by the scenario harness) and pairs it with Figure 1's
+/// value.
+pub fn measure(seed: u64) -> Vec<LinkRtt> {
+    let mut results = Vec::new();
+    for (i, &a) in SITES.iter().enumerate() {
+        for &b in &SITES[i + 1..] {
+            // Two nodes, one per site.
+            let mut net = LatencyMatrix::uniform(2, SimDuration::ZERO);
+            let one_way = SimDuration::from_secs_f64(a.rtt_ms(b) / 2.0 / 1000.0);
+            net.set_link(0, 1, one_way);
+            let net = net.with_jitter(0.05);
+            let rounds = 20;
+            let nodes = vec![
+                Pinger { sent: Vec::new(), rtts: vec![vec![]; 2], rounds },
+                Pinger { sent: Vec::new(), rtts: vec![vec![]; 2], rounds },
+            ];
+            let mut sim = Simulation::new(nodes, net, seed);
+            sim.run_until_idle(10_000);
+            let outputs = sim.take_outputs();
+            let measured = outputs
+                .iter()
+                .find_map(|o| if o.node == 0 { Some(o.output.1) } else { None })
+                .expect("pings complete");
+            results.push(LinkRtt { a, b, paper_ms: a.rtt_ms(b), measured_ms: measured });
+        }
+    }
+    results
+}
+
+/// Renders the measured topology.
+pub fn render(links: &[LinkRtt]) -> String {
+    let mut out = String::new();
+    out.push_str("link                         paper RTT [ms]   measured RTT [ms]\n");
+    out.push_str(&"-".repeat(62));
+    out.push('\n');
+    for l in links {
+        out.push_str(&format!(
+            "{:10} <-> {:10}  {:>12.1}  {:>15.2}\n",
+            l.a.to_string(),
+            l.b.to_string(),
+            l.paper_ms,
+            l.measured_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rtts_match_figure1() {
+        let links = measure(7);
+        assert_eq!(links.len(), 6);
+        for l in &links {
+            let err = (l.measured_ms - l.paper_ms).abs() / l.paper_ms;
+            assert!(err < 0.06, "{:?}: {} vs {}", (l.a, l.b), l.measured_ms, l.paper_ms);
+        }
+    }
+
+    #[test]
+    fn render_lists_all_links() {
+        let s = render(&measure(7));
+        assert!(s.contains("Zurich"));
+        assert!(s.contains("San Jose"));
+        assert_eq!(s.lines().count(), 8);
+    }
+}

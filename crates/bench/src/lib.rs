@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Experiment harnesses regenerating the paper's evaluation.
+//!
+//! Each table and figure of the paper's §5 has a runner here and a
+//! binary that prints it:
+//!
+//! | Experiment | Runner | Binary |
+//! |---|---|---|
+//! | Table 1 (machines) | [`table1_rows`] | `cargo run -p sdns-bench --bin table2` (header) |
+//! | Figure 1 (topology RTTs) | [`figure1::measure`] | `cargo run -p sdns-bench --bin figure1` |
+//! | Table 2 (operation latencies) | [`table2::run`] | `cargo run -p sdns-bench --bin table2` |
+//! | Table 3 (BASIC signature breakdown) | [`table3::model`], [`table3::measure_real`] | `cargo run -p sdns-bench --bin table3` |
+//!
+//! The runners execute on the deterministic simulator with the paper's
+//! testbed topology (Figure 1), machine speeds (Table 1) and the
+//! cost model calibrated to the paper's own Table 3; cryptography runs
+//! for real, latencies are virtual time. Absolute numbers are expected
+//! to match the paper's in *shape* (orderings, ratios, crossovers), not
+//! to the decimal.
+
+pub mod ablations;
+pub mod figure1;
+pub mod table2;
+pub mod table3;
+
+use sdns_sim::testbed::{table1_machines, Machine};
+
+/// The rows of Table 1, for printing: (site, count, cpu, MHz, factor).
+pub fn table1_rows() -> Vec<(String, usize, &'static str, u32, f64)> {
+    let machines = table1_machines();
+    let mut rows: Vec<(String, usize, &'static str, u32, f64)> = Vec::new();
+    for m in &machines {
+        let site = m.site.to_string();
+        match rows.iter_mut().find(|r| r.0 == site) {
+            Some(row) => row.1 += 1,
+            None => rows.push((site, 1, m.cpu, m.mhz, m.cpu_factor())),
+        }
+    }
+    rows
+}
+
+/// Formats a machine for display.
+pub fn machine_label(m: &Machine) -> String {
+    format!("{} {} {} MHz", m.site, m.cpu, m.mhz)
+}

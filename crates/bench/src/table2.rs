@@ -1,0 +1,198 @@
+//! Table 2: end-to-end latency of Read / Add / Delete per setup and
+//! threshold-signing protocol.
+
+use sdns_client::scenario::{mean_latency, run_scenario, Op, OpResult, ScenarioConfig};
+use sdns_crypto::protocol::SigProtocol;
+use sdns_dns::{Name, RData, Record, RecordType};
+use sdns_replica::ZoneSecurity;
+use sdns_sim::testbed::Setup;
+
+/// The paper's Table 2, in seconds (`None` = not reported).
+/// Row order: (1,0), (4,0)*, (4,0), (4,1), (7,0), (7,1), (7,2);
+/// columns: read, add×{BASIC, OPTPROOF, OPTTE}, delete×{…}.
+pub const PAPER_TABLE2: [[Option<f64>; 7]; 7] = [
+    [None, Some(0.047), None, None, Some(0.022), None, None],
+    [Some(0.05), Some(7.09), Some(1.72), Some(1.53), Some(3.80), Some(0.96), Some(0.92)],
+    [Some(0.37), Some(6.36), Some(3.09), Some(3.01), Some(3.10), Some(1.78), Some(1.80)],
+    [None, Some(9.29), Some(6.48), Some(3.10), Some(5.04), Some(3.99), Some(1.90)],
+    [Some(0.44), Some(21.73), Some(3.06), Some(2.30), Some(10.09), Some(1.74), Some(1.83)],
+    [None, Some(24.57), Some(4.20), Some(3.46), Some(10.85), Some(2.73), Some(2.03)],
+    [None, Some(21.21), Some(15.79), Some(4.01), Some(10.55), Some(8.32), Some(2.27)],
+];
+
+/// One measured row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The paper's row label, e.g. `(4,1)`.
+    pub label: String,
+    /// Mean read latency (only measured in uncorrupted rows, like the
+    /// paper).
+    pub read: Option<f64>,
+    /// Mean add latency per protocol (BASIC, OPTPROOF, OPTTE).
+    pub add: [Option<f64>; 3],
+    /// Mean delete latency per protocol.
+    pub delete: [Option<f64>; 3],
+}
+
+/// The experiment grid of Table 2.
+pub fn setups() -> Vec<(Setup, usize, String)> {
+    vec![
+        (Setup::Single, 0, "(1,0)".into()),
+        (Setup::FourLan, 0, "(4,0)*".into()),
+        (Setup::FourInternet, 0, "(4,0)".into()),
+        (Setup::FourInternet, 1, "(4,1)".into()),
+        (Setup::SevenInternet, 0, "(7,0)".into()),
+        (Setup::SevenInternet, 1, "(7,1)".into()),
+        (Setup::SevenInternet, 2, "(7,2)".into()),
+    ]
+}
+
+fn ops_script(reps: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..reps {
+        ops.push(Op::Read {
+            name: "www.example.com".parse::<Name>().expect("valid"),
+            rtype: RecordType::A,
+        });
+        let host: Name = format!("host{i}.example.com").parse().expect("valid");
+        ops.push(Op::Add {
+            record: Record::new(host.clone(), 300, RData::A("203.0.113.77".parse().expect("valid"))),
+        });
+        ops.push(Op::Delete { name: host });
+    }
+    ops
+}
+
+/// Runs one cell: a setup × protocol with `reps` read/add/delete rounds.
+pub fn run_cell(
+    setup: Setup,
+    corrupted: usize,
+    security: ZoneSecurity,
+    reps: usize,
+    key_bits: usize,
+    seed: u64,
+) -> Vec<OpResult> {
+    let mut cfg = ScenarioConfig::paper(setup, security, corrupted, seed);
+    cfg.key_bits = key_bits;
+    cfg.ops = ops_script(reps);
+    run_scenario(&cfg).ops
+}
+
+/// Runs the whole table. `reps` measurements per cell (the paper used
+/// 20), RSA keys of `key_bits` (virtual-time costs are calibrated to
+/// 1024-bit regardless).
+pub fn run(reps: usize, key_bits: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (setup, k, label) in setups() {
+        if setup == Setup::Single {
+            let results =
+                run_cell(setup, 0, ZoneSecurity::SignedLocal, reps, key_bits, seed);
+            rows.push(Row {
+                label,
+                read: Some(mean_latency(&results, "Read")),
+                add: [Some(mean_latency(&results, "Add")), None, None],
+                delete: [Some(mean_latency(&results, "Delete")), None, None],
+            });
+            continue;
+        }
+        let mut add = [None, None, None];
+        let mut delete = [None, None, None];
+        let mut read = None;
+        for (p_idx, protocol) in SigProtocol::ALL.iter().enumerate() {
+            let results = run_cell(
+                setup,
+                k,
+                ZoneSecurity::SignedThreshold(*protocol),
+                reps,
+                key_bits,
+                seed.wrapping_add(p_idx as u64),
+            );
+            add[p_idx] = Some(mean_latency(&results, "Add"));
+            delete[p_idx] = Some(mean_latency(&results, "Delete"));
+            // Reads reported only for uncorrupted rows, as in the paper.
+            if k == 0 && p_idx == 0 {
+                read = Some(mean_latency(&results, "Read"));
+            }
+        }
+        rows.push(Row { label, read, add, delete });
+    }
+    rows
+}
+
+/// Renders the table with paper values side by side.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let fmt = |v: Option<f64>| match v {
+        Some(x) if x.is_finite() => format!("{x:7.2}"),
+        _ => format!("{:7}", "-"),
+    };
+    out.push_str(
+        "                 Read  |        Add                    |       Delete\n",
+    );
+    out.push_str(
+        " setup           meas  |  BASIC   OPTPROOF  OPTTE     |  BASIC   OPTPROOF  OPTTE\n",
+    );
+    out.push_str(&"-".repeat(88));
+    out.push('\n');
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:8} meas: {} | {}  {}  {} | {}  {}  {}\n",
+            row.label,
+            fmt(row.read),
+            fmt(row.add[0]),
+            fmt(row.add[1]),
+            fmt(row.add[2]),
+            fmt(row.delete[0]),
+            fmt(row.delete[1]),
+            fmt(row.delete[2]),
+        ));
+        let p = &PAPER_TABLE2[i];
+        out.push_str(&format!(
+            "         paper: {} | {}  {}  {} | {}  {}  {}\n",
+            fmt(p[0]),
+            fmt(p[1]),
+            fmt(p[2]),
+            fmt(p[3]),
+            fmt(p[4]),
+            fmt(p[5]),
+            fmt(p[6]),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_rows() {
+        let s = setups();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0].2, "(1,0)");
+        assert_eq!(s[3].1, 1);
+        assert_eq!(s[6].1, 2);
+    }
+
+    #[test]
+    fn script_interleaves_ops() {
+        let ops = ops_script(2);
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[0], Op::Read { .. }));
+        assert!(matches!(ops[1], Op::Add { .. }));
+        assert!(matches!(ops[2], Op::Delete { .. }));
+    }
+
+    #[test]
+    fn render_includes_paper_values() {
+        let rows = vec![Row {
+            label: "(4,0)*".into(),
+            read: Some(0.05),
+            add: [Some(7.0), Some(1.7), Some(1.5)],
+            delete: [Some(3.8), Some(0.9), Some(0.9)],
+        }];
+        let s = render(&rows);
+        assert!(s.contains("(4,0)*"));
+        assert!(s.contains("paper"));
+    }
+}

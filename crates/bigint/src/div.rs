@@ -1,0 +1,196 @@
+//! Long division (Knuth, TAOCP vol. 2, Algorithm 4.3.1 D).
+
+use crate::Ubig;
+
+impl Ubig {
+    /// Computes the quotient and remainder of `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use sdns_bigint::Ubig;
+    /// let (q, r) = Ubig::from(100u64).div_rem(&Ubig::from(7u64));
+    /// assert_eq!((q, r), (Ubig::from(14u64), Ubig::from(2u64)));
+    /// ```
+    pub fn div_rem(&self, divisor: &Ubig) -> (Ubig, Ubig) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Ubig::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = div_rem_by_limb(&self.limbs, divisor.limbs[0]);
+            return (Ubig::from_limbs(q), Ubig::from(r));
+        }
+        div_rem_knuth(self, divisor)
+    }
+}
+
+/// Divides a limb vector by a single limb, returning (quotient limbs, remainder).
+fn div_rem_by_limb(limbs: &[u64], d: u64) -> (Vec<u64>, u64) {
+    let mut q = vec![0u64; limbs.len()];
+    let mut rem = 0u128;
+    for i in (0..limbs.len()).rev() {
+        let cur = (rem << 64) | u128::from(limbs[i]);
+        q[i] = (cur / u128::from(d)) as u64;
+        rem = cur % u128::from(d);
+    }
+    (q, rem as u64)
+}
+
+fn div_rem_knuth(numerator: &Ubig, divisor: &Ubig) -> (Ubig, Ubig) {
+    // D1: normalize so that the top limb of the divisor has its high bit set.
+    let shift = divisor.limbs.last().expect("nonzero").leading_zeros() as usize;
+    let u = numerator << shift; // dividend
+    let v = divisor << shift; // divisor
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // Work on a copy of the dividend with one extra high limb.
+    let mut un = u.limbs.clone();
+    un.push(0);
+    let vn = &v.limbs;
+    let v_top = vn[n - 1];
+    let v_next = vn[n - 2];
+
+    let mut q = vec![0u64; m + 1];
+
+    for j in (0..=m).rev() {
+        // D3: estimate q_hat from the top two limbs.
+        let numerator_hat = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+        let mut q_hat = numerator_hat / u128::from(v_top);
+        let mut r_hat = numerator_hat % u128::from(v_top);
+        while q_hat >= (1u128 << 64)
+            || q_hat * u128::from(v_next) > ((r_hat << 64) | u128::from(un[j + n - 2]))
+        {
+            q_hat -= 1;
+            r_hat += u128::from(v_top);
+            if r_hat >= (1u128 << 64) {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract un[j..j+n+1] -= q_hat * vn.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = q_hat * u128::from(vn[i]) + carry;
+            carry = p >> 64;
+            let sub = i128::from(un[j + i]) - i128::from(p as u64) - borrow;
+            if sub < 0 {
+                un[j + i] = (sub + (1i128 << 64)) as u64;
+                borrow = 1;
+            } else {
+                un[j + i] = sub as u64;
+                borrow = 0;
+            }
+        }
+        let sub = i128::from(un[j + n]) - i128::from(carry as u64) - borrow;
+        if sub < 0 {
+            // D6: q_hat was one too large; add the divisor back.
+            un[j + n] = (sub + (1i128 << 64)) as u64;
+            q_hat -= 1;
+            let mut carry2 = 0u128;
+            for i in 0..n {
+                let s = u128::from(un[j + i]) + u128::from(vn[i]) + carry2;
+                un[j + i] = s as u64;
+                carry2 = s >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry2 as u64);
+        } else {
+            un[j + n] = sub as u64;
+        }
+        q[j] = q_hat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = Ubig::from_limbs(un[..n].to_vec()) >> shift;
+    (Ubig::from_limbs(q), rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &Ubig, b: &Ubig) {
+        let (q, r) = a.div_rem(b);
+        assert!(r < *b, "remainder {} not below divisor {}", r.to_hex(), b.to_hex());
+        assert_eq!(&(&q * b) + &r, *a, "q*b + r != a for a={} b={}", a.to_hex(), b.to_hex());
+    }
+
+    #[test]
+    fn small_cases() {
+        check(&Ubig::from(0u64), &Ubig::from(3u64));
+        check(&Ubig::from(7u64), &Ubig::from(3u64));
+        check(&Ubig::from(u64::MAX), &Ubig::from(1u64));
+        check(&Ubig::from(u64::MAX), &Ubig::from(u64::MAX));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = Ubig::from(5u64).div_rem(&Ubig::from(100u64));
+        assert_eq!(q, Ubig::zero());
+        assert_eq!(r, Ubig::from(5u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Ubig::one().div_rem(&Ubig::zero());
+    }
+
+    #[test]
+    fn multi_limb() {
+        let a = Ubig::from_hex("123456789abcdef0fedcba9876543210ffffffffffffffff").unwrap();
+        let b = Ubig::from_hex("fedcba9876543210").unwrap();
+        check(&a, &b);
+        let c = Ubig::from_hex("100000000000000000000000000000000").unwrap();
+        check(&a, &c);
+        check(&c, &a);
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Constructed to trigger the rare D6 "add back" step:
+        // dividend = 2^128 - 1, divisor = 2^64 + 3.
+        let a = Ubig::from(u128::MAX);
+        let b = Ubig::from((1u128 << 64) + 3);
+        check(&a, &b);
+        // Another classic trigger family.
+        let a = Ubig::from_hex("7fffffff800000010000000000000000").unwrap();
+        let b = Ubig::from_hex("800000008000000200000005").unwrap();
+        check(&a, &b);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = Ubig::from_hex("abcdef123456789abcdef").unwrap();
+        let a = &b * &Ubig::from(123456789u64);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Ubig::from(123456789u64));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn rem_operator() {
+        let a = Ubig::from(1000u64);
+        assert_eq!(&a % &Ubig::from(7u64), Ubig::from(6u64));
+    }
+
+    #[test]
+    fn random_stress() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a_len = rng.gen_range(1..8);
+            let b_len = rng.gen_range(1..8);
+            let a = Ubig::from_limbs((0..a_len).map(|_| rng.gen()).collect());
+            let b = Ubig::from_limbs((0..b_len).map(|_| rng.gen()).collect());
+            if b.is_zero() {
+                continue;
+            }
+            check(&a, &b);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Formatting impls for [`Ubig`].
+
+use crate::Ubig;
+use std::fmt;
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_dec())
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+impl fmt::UpperHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex().to_uppercase())
+    }
+}
+
+impl std::str::FromStr for Ubig {
+    type Err = crate::ParseUbigError;
+
+    /// Parses decimal by default, hexadecimal with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            Ubig::from_hex(hex)
+        } else {
+            Ubig::from_dec(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_debug() {
+        let v = Ubig::from(255u64);
+        assert_eq!(format!("{v}"), "255");
+        assert_eq!(format!("{v:?}"), "Ubig(0xff)");
+        assert_eq!(format!("{v:x}"), "ff");
+        assert_eq!(format!("{v:X}"), "FF");
+        assert_eq!(format!("{:?}", Ubig::zero()), "Ubig(0x0)");
+    }
+
+    #[test]
+    fn from_str() {
+        assert_eq!("123".parse::<Ubig>().unwrap(), Ubig::from(123u64));
+        assert_eq!("0xff".parse::<Ubig>().unwrap(), Ubig::from(255u64));
+        assert!("".parse::<Ubig>().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Arbitrary-precision unsigned integer arithmetic for the sdns workspace.
+//!
+//! The paper's prototype relies on Java's `BigInteger` for all public-key
+//! cryptography; this crate is the from-scratch Rust equivalent used by
+//! [`sdns-crypto`](https://example.org/sdns) for RSA and Shoup threshold RSA.
+//!
+//! The central type is [`Ubig`], an unsigned big integer stored as
+//! little-endian `u64` limbs. On top of the usual ring operations it
+//! provides what RSA-style cryptography needs:
+//!
+//! - [`Ubig::modpow`] — modular exponentiation (Montgomery multiplication
+//!   for odd moduli),
+//! - [`Ubig::modinv`] — modular inverse via the extended Euclidean
+//!   algorithm,
+//! - [`Ubig::gcd`] and [`egcd`] — greatest common divisors and Bézout
+//!   coefficients,
+//! - [`is_probable_prime`], [`gen_prime`] and [`gen_safe_prime`] —
+//!   Miller–Rabin primality testing and random (safe) prime generation,
+//! - [`Ubig::random_below`] / [`Ubig::random_bits`] — uniform sampling.
+//!
+//! # Example
+//!
+//! ```
+//! use sdns_bigint::Ubig;
+//!
+//! let p = Ubig::from(61u64);
+//! let q = Ubig::from(53u64);
+//! let n = &p * &q;
+//! let e = Ubig::from(17u64);
+//! let phi = (&p - &Ubig::one()) * (&q - &Ubig::one());
+//! let d = e.modinv(&phi).unwrap();
+//! let m = Ubig::from(65u64);
+//! let c = m.modpow(&e, &n);
+//! assert_eq!(c.modpow(&d, &n), m);
+//! ```
+
+mod div;
+mod fmt;
+mod modular;
+mod monty;
+mod prime;
+mod rand_ext;
+mod signed;
+mod ubig;
+
+pub use modular::egcd;
+pub use prime::{gen_prime, gen_safe_prime, is_probable_prime};
+pub use signed::{Ibig, Sign};
+pub use ubig::{ParseUbigError, Ubig};

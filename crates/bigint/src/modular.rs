@@ -1,0 +1,219 @@
+//! Modular arithmetic: exponentiation, gcd, extended gcd, inversion.
+
+use crate::monty::MontyCtx;
+use crate::signed::{Ibig, Sign};
+use crate::Ubig;
+
+impl Ubig {
+    /// Computes `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli and a plain
+    /// square-and-multiply with division-based reduction otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// use sdns_bigint::Ubig;
+    /// let r = Ubig::from(4u64).modpow(&Ubig::from(13u64), &Ubig::from(497u64));
+    /// assert_eq!(r, Ubig::from(445u64));
+    /// ```
+    pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if m.is_one() {
+            return Ubig::zero();
+        }
+        if m.is_odd() {
+            return MontyCtx::new(m).pow(self, exp);
+        }
+        // Fallback for even moduli (not on any hot path).
+        let mut acc = Ubig::one();
+        let base = self % m;
+        for i in (0..exp.bit_len()).rev() {
+            acc = (&acc * &acc) % m;
+            if exp.bit(i) {
+                acc = (&acc * &base) % m;
+            }
+        }
+        acc
+    }
+
+    /// Computes the greatest common divisor of `self` and `other`.
+    ///
+    /// ```
+    /// use sdns_bigint::Ubig;
+    /// assert_eq!(Ubig::from(48u64).gcd(&Ubig::from(18u64)), Ubig::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &Ubig) -> Ubig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Computes the multiplicative inverse of `self` modulo `m`, or `None`
+    /// if `gcd(self, m) != 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// use sdns_bigint::Ubig;
+    /// let inv = Ubig::from(3u64).modinv(&Ubig::from(7u64)).unwrap();
+    /// assert_eq!(inv, Ubig::from(5u64));
+    /// ```
+    pub fn modinv(&self, m: &Ubig) -> Option<Ubig> {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if m.is_one() {
+            return Some(Ubig::zero());
+        }
+        let (g, x, _) = egcd(self, m);
+        if g.is_one() {
+            Some(x.rem_euclid(m))
+        } else {
+            None
+        }
+    }
+
+    /// Computes `(self * other) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modmul(&self, other: &Ubig, m: &Ubig) -> Ubig {
+        (self * other) % m
+    }
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `g = gcd(a, b)` and `a·x + b·y = g`.
+///
+/// ```
+/// use sdns_bigint::{egcd, Ibig, Ubig};
+/// let (g, x, y) = egcd(&Ubig::from(240u64), &Ubig::from(46u64));
+/// assert_eq!(g, Ubig::from(2u64));
+/// let check = Ibig::from(Ubig::from(240u64)) * x + Ibig::from(Ubig::from(46u64)) * y;
+/// assert_eq!(check, Ibig::from(Ubig::from(2u64)));
+/// ```
+pub fn egcd(a: &Ubig, b: &Ubig) -> (Ubig, Ibig, Ibig) {
+    let mut old_r = Ibig::from(a.clone());
+    let mut r = Ibig::from(b.clone());
+    let mut old_s = Ibig::one();
+    let mut s = Ibig::zero();
+    let mut old_t = Ibig::zero();
+    let mut t = Ibig::one();
+
+    while !r.is_zero() {
+        debug_assert_eq!(r.sign(), Sign::Plus);
+        let (q, rem) = old_r.magnitude().div_rem(r.magnitude());
+        let q = Ibig::from(q);
+        let new_r = Ibig::from(rem);
+        old_r = std::mem::replace(&mut r, new_r);
+        let new_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    (old_r.into_magnitude(), old_s, old_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modpow_basic() {
+        let m = Ubig::from(1000000007u64);
+        assert_eq!(
+            Ubig::from(2u64).modpow(&Ubig::from(100u64), &m),
+            Ubig::from(976371285u64) // 2^100 mod 1e9+7
+        );
+    }
+
+    #[test]
+    fn modpow_even_modulus() {
+        let m = Ubig::from(1000u64);
+        assert_eq!(Ubig::from(7u64).modpow(&Ubig::from(5u64), &m), Ubig::from(16807u64 % 1000));
+        assert_eq!(Ubig::from(2u64).modpow(&Ubig::from(10u64), &m), Ubig::from(24u64));
+    }
+
+    #[test]
+    fn modpow_mod_one() {
+        assert_eq!(Ubig::from(5u64).modpow(&Ubig::from(3u64), &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p not dividing a.
+        let p = Ubig::from_dec("170141183460469231731687303715884105727").unwrap(); // 2^127-1, prime
+        let pm1 = &p - &Ubig::one();
+        for a in [2u64, 3, 65537, 1234567] {
+            assert_eq!(Ubig::from(a).modpow(&pm1, &p), Ubig::one());
+        }
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(Ubig::from(0u64).gcd(&Ubig::from(5u64)), Ubig::from(5u64));
+        assert_eq!(Ubig::from(5u64).gcd(&Ubig::from(0u64)), Ubig::from(5u64));
+        assert_eq!(Ubig::from(12u64).gcd(&Ubig::from(30u64)), Ubig::from(6u64));
+        let a = Ubig::from_hex("123456789abcdef00000000").unwrap();
+        assert_eq!(a.gcd(&a), a);
+    }
+
+    #[test]
+    fn egcd_bezout() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = Ubig::from(rng.gen::<u64>());
+            let b = Ubig::from(rng.gen::<u64>());
+            let (g, x, y) = egcd(&a, &b);
+            assert_eq!(g, a.gcd(&b));
+            let lhs = Ibig::from(a.clone()) * x + Ibig::from(b.clone()) * y;
+            assert_eq!(lhs, Ibig::from(g));
+        }
+    }
+
+    #[test]
+    fn modinv_roundtrip() {
+        let m = Ubig::from_dec("170141183460469231731687303715884105727").unwrap();
+        for a in [2u64, 3, 12345, 987654321] {
+            let a = Ubig::from(a);
+            let inv = a.modinv(&m).unwrap();
+            assert_eq!((&a * &inv) % &m, Ubig::one());
+        }
+    }
+
+    #[test]
+    fn modinv_not_coprime() {
+        assert_eq!(Ubig::from(4u64).modinv(&Ubig::from(8u64)), None);
+        assert_eq!(Ubig::from(6u64).modinv(&Ubig::from(9u64)), None);
+    }
+
+    #[test]
+    fn modinv_mod_one() {
+        assert_eq!(Ubig::from(5u64).modinv(&Ubig::one()), Some(Ubig::zero()));
+    }
+
+    #[test]
+    fn rsa_toy_roundtrip() {
+        // Tiny RSA with p=61, q=53 exercised end to end through this module.
+        let n = Ubig::from(61u64 * 53);
+        let phi = Ubig::from(60u64 * 52);
+        let e = Ubig::from(17u64);
+        let d = e.modinv(&phi).unwrap();
+        for m in [0u64, 1, 42, 65, 3000] {
+            let m = Ubig::from(m);
+            let c = m.modpow(&e, &n);
+            assert_eq!(c.modpow(&d, &n), m);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+#![allow(clippy::needless_range_loop)] // limb arithmetic reads better indexed
+
+//! Montgomery multiplication for odd moduli.
+//!
+//! Modular exponentiation dominates every cryptographic operation in this
+//! workspace (RSA signing, threshold share generation, share-correctness
+//! proofs). [`MontyCtx`] implements the CIOS (coarsely integrated operand
+//! scanning) variant of Montgomery multiplication, giving an exponentiation
+//! that avoids a long division per multiply.
+
+use crate::Ubig;
+
+/// Precomputed context for repeated modular arithmetic modulo an odd `m`.
+#[derive(Debug, Clone)]
+pub(crate) struct MontyCtx {
+    /// The modulus (odd, > 1).
+    m: Vec<u64>,
+    /// `-m^{-1} mod 2^64`.
+    m_prime: u64,
+    /// `R^2 mod m`, where `R = 2^{64·len(m)}`; used to enter Montgomery form.
+    r2: Vec<u64>,
+}
+
+/// Computes `-a^{-1} mod 2^64` for odd `a` by Newton iteration.
+fn neg_inv_u64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1);
+    let mut inv = a; // 3 correct bits to start (for odd a, a*a ≡ 1 mod 8)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(a.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+impl MontyCtx {
+    /// Creates a context for the odd modulus `m > 1`.
+    pub(crate) fn new(m: &Ubig) -> MontyCtx {
+        assert!(m.is_odd() && !m.is_one(), "Montgomery modulus must be odd and > 1");
+        let limbs = m.limbs.clone();
+        let k = limbs.len();
+        // R^2 mod m computed as 2^(128k) mod m via shifting.
+        let r2 = (&Ubig::one() << (128 * k)) % m;
+        let mut r2_limbs = r2.limbs.clone();
+        r2_limbs.resize(k, 0);
+        MontyCtx { m_prime: neg_inv_u64(limbs[0]), m: limbs, r2: r2_limbs }
+    }
+
+    fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod m`.
+    /// Inputs and output are `len(m)`-limb vectors below `m`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        // t has k+2 limbs.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = u128::from(t[j]) + u128::from(a[i]) * u128::from(b[j]) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = u128::from(t[k]) + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m-reduction step: make t divisible by 2^64.
+            let u = t[0].wrapping_mul(self.m_prime);
+            let mut carry = (u128::from(t[0]) + u128::from(u) * u128::from(self.m[0])) >> 64;
+            for j in 1..k {
+                let s = u128::from(t[j]) + u128::from(u) * u128::from(self.m[j]) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = u128::from(t[k]) + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        // Conditional final subtraction so the result is below m.
+        if t[k] != 0 || !less_than(&t[..k], &self.m) {
+            sub_in_place(&mut t, &self.m);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts into Montgomery form: `a * R mod m`.
+    fn to_mont(&self, a: &Ubig) -> Vec<u64> {
+        let mut limbs = (a % &self.modulus()).limbs;
+        limbs.resize(self.len(), 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn demont(&self, a: &[u64]) -> Ubig {
+        let mut one = vec![0u64; self.len()];
+        one[0] = 1;
+        Ubig::from_limbs(self.mont_mul(a, &one))
+    }
+
+    fn modulus(&self) -> Ubig {
+        Ubig::from_limbs(self.m.clone())
+    }
+
+    /// Computes `base^exp mod m` with a 4-bit fixed window.
+    pub(crate) fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one() % &self.modulus();
+        }
+        let base_m = self.to_mont(base);
+        // Precompute odd powers: table[i] = base^(i) in Montgomery form, i in 0..16.
+        let mut table = Vec::with_capacity(16);
+        let mut one = vec![0u64; self.len()];
+        one[0] = 1;
+        table.push(self.mont_mul(&one, &self.r2)); // 1 in Montgomery form
+        table.push(base_m.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], &base_m));
+        }
+
+        let nbits = exp.bit_len();
+        let nwindows = nbits.div_ceil(4);
+        let mut acc: Option<Vec<u64>> = None;
+        for w in (0..nwindows).rev() {
+            if let Some(a) = acc.take() {
+                let a = self.mont_mul(&a, &a);
+                let a = self.mont_mul(&a, &a);
+                let a = self.mont_mul(&a, &a);
+                let a = self.mont_mul(&a, &a);
+                acc = Some(a);
+            }
+            let mut window = 0usize;
+            for b in 0..4 {
+                if exp.bit(w * 4 + b) {
+                    window |= 1 << b;
+                }
+            }
+            match acc.take() {
+                None => acc = Some(table[window].clone()),
+                Some(a) => acc = Some(self.mont_mul(&a, &table[window])),
+            }
+        }
+        self.demont(&acc.expect("exp is nonzero"))
+    }
+}
+
+fn less_than(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// `a -= b` over the first `b.len()` limbs of `a` (a may have one extra limb).
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0i128;
+    for i in 0..b.len() {
+        let d = i128::from(a[i]) - i128::from(b[i]) - borrow;
+        if d < 0 {
+            a[i] = (d + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            a[i] = d as u64;
+            borrow = 0;
+        }
+    }
+    if borrow != 0 && a.len() > b.len() {
+        a[b.len()] = a[b.len()].wrapping_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inv() {
+        for a in [1u64, 3, 5, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def1] {
+            let ni = neg_inv_u64(a);
+            assert_eq!(a.wrapping_mul(ni), u64::MAX); // a * (-a^-1) == -1 mod 2^64
+            assert_eq!(a.wrapping_mul(ni.wrapping_neg()), 1);
+        }
+    }
+
+    #[test]
+    fn pow_small_modulus() {
+        let m = Ubig::from(97u64);
+        let ctx = MontyCtx::new(&m);
+        for base in 0..20u64 {
+            for exp in 0..20u64 {
+                let expected = mod_pow_naive(base, exp, 97);
+                assert_eq!(
+                    ctx.pow(&Ubig::from(base), &Ubig::from(exp)),
+                    Ubig::from(expected),
+                    "{base}^{exp} mod 97"
+                );
+            }
+        }
+    }
+
+    fn mod_pow_naive(mut b: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc = 1u64;
+        b %= m;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * b % m;
+            }
+            b = b * b % m;
+            e >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn pow_multi_limb_matches_naive_square_multiply() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut m_limbs: Vec<u64> = (0..3).map(|_| rng.gen()).collect();
+            m_limbs[0] |= 1; // odd
+            let m = Ubig::from_limbs(m_limbs);
+            let ctx = MontyCtx::new(&m);
+            let base = Ubig::from_limbs((0..3).map(|_| rng.gen()).collect::<Vec<u64>>()) % &m;
+            let exp = Ubig::from_limbs((0..2).map(|_| rng.gen()).collect::<Vec<u64>>());
+            // Naive square-and-multiply with div_rem reduction as the oracle.
+            let mut acc = Ubig::one();
+            for i in (0..exp.bit_len()).rev() {
+                acc = (&acc * &acc) % &m;
+                if exp.bit(i) {
+                    acc = (&acc * &base) % &m;
+                }
+            }
+            assert_eq!(ctx.pow(&base, &exp), acc);
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = Ubig::from(1000003u64);
+        let ctx = MontyCtx::new(&m);
+        assert_eq!(ctx.pow(&Ubig::from(5u64), &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.pow(&Ubig::zero(), &Ubig::from(5u64)), Ubig::zero());
+        assert_eq!(ctx.pow(&Ubig::from(5u64), &Ubig::one()), Ubig::from(5u64));
+        // Base larger than the modulus is reduced first.
+        assert_eq!(ctx.pow(&(&m + &Ubig::from(2u64)), &Ubig::two()), Ubig::from(4u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_panics() {
+        let _ = MontyCtx::new(&Ubig::from(100u64));
+    }
+}

@@ -1,0 +1,192 @@
+//! Primality testing and (safe) prime generation.
+//!
+//! Shoup's threshold RSA scheme requires the modulus `N = p·q` to be a
+//! product of *safe primes* (`p = 2p' + 1` with `p'` prime), so that the
+//! subgroup of squares of `Z_N^*` is cyclic of order `p'q'` and the
+//! verification keys live in it. [`gen_safe_prime`] provides these.
+
+use crate::Ubig;
+use rand::Rng;
+
+/// Small primes used to quickly sieve candidates before Miller–Rabin.
+const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419,
+    421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Returns `false` for 0 and 1, `true` for definite small primes, and a
+/// probabilistic answer (error probability ≤ 4^-rounds) otherwise.
+///
+/// ```
+/// use sdns_bigint::{is_probable_prime, Ubig};
+/// let mut rng = rand::thread_rng();
+/// assert!(is_probable_prime(&Ubig::from(65537u64), 20, &mut rng));
+/// assert!(!is_probable_prime(&Ubig::from(65536u64), 20, &mut rng));
+/// ```
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &Ubig, rounds: usize, rng: &mut R) -> bool {
+    if n.bit_len() <= 1 {
+        return false; // 0 and 1
+    }
+    for &p in SMALL_PRIMES {
+        let p = Ubig::from(p);
+        if *n == p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let n_minus_1 = n - &Ubig::one();
+    let s = n_minus_1.trailing_zeros().expect("n > 2 and odd here");
+    let d = &n_minus_1 >> s;
+    let two = Ubig::two();
+
+    'witness: for _ in 0..rounds {
+        let a = Ubig::random_range(rng, &two, &n_minus_1);
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.modpow(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Ubig {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = Ubig::random_bits(rng, bits);
+        candidate.set_bit(0); // force odd
+        if is_probable_prime(&candidate, 24, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random *safe prime* `p` with exactly `bits` bits, i.e.
+/// `p = 2q + 1` where `q` is also prime.
+///
+/// Safe primes are much rarer than primes; this is by far the slowest
+/// operation in the workspace (it is only run during key-generation
+/// ceremonies, never during request processing).
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Ubig {
+    assert!(bits >= 3, "safe primes need at least 3 bits");
+    loop {
+        // Sample q and check p = 2q+1. Sieve p against small primes first:
+        // p ≡ 0 mod r iff q ≡ (r-1)/2 mod r.
+        let mut q = Ubig::random_bits(rng, bits - 1);
+        q.set_bit(0);
+        let p = (&q << 1) + Ubig::one();
+        let mut sieved = false;
+        for &r in &SMALL_PRIMES[1..] {
+            let r_big = Ubig::from(r);
+            if (&p % &r_big).is_zero() && p != r_big {
+                sieved = true;
+                break;
+            }
+            if (&q % &r_big).is_zero() && q != r_big {
+                sieved = true;
+                break;
+            }
+        }
+        if sieved {
+            continue;
+        }
+        // Cheap base-2 Fermat screens before the full Miller-Rabin battery.
+        if Ubig::two().modpow(&(&q - &Ubig::one()), &q) != Ubig::one() {
+            continue;
+        }
+        if Ubig::two().modpow(&(&p - &Ubig::one()), &p) != Ubig::one() {
+            continue;
+        }
+        if is_probable_prime(&q, 24, rng) && is_probable_prime(&p, 24, rng) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xD5)
+    }
+
+    #[test]
+    fn small_values() {
+        let mut r = rng();
+        assert!(!is_probable_prime(&Ubig::zero(), 10, &mut r));
+        assert!(!is_probable_prime(&Ubig::one(), 10, &mut r));
+        assert!(is_probable_prime(&Ubig::two(), 10, &mut r));
+        assert!(is_probable_prime(&Ubig::from(3u64), 10, &mut r));
+        assert!(!is_probable_prime(&Ubig::from(4u64), 10, &mut r));
+    }
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut r = rng();
+        for p in [5u64, 7, 541, 65537, 1000000007, 2147483647] {
+            assert!(is_probable_prime(&Ubig::from(p), 20, &mut r), "{p} is prime");
+        }
+        for c in [9u64, 15, 561 /* Carmichael */, 1729, 65536, 1000000008] {
+            assert!(!is_probable_prime(&Ubig::from(c), 20, &mut r), "{c} is composite");
+        }
+        // Mersenne prime 2^127 - 1.
+        let m127 = (&Ubig::one() << 127) - Ubig::one();
+        assert!(is_probable_prime(&m127, 16, &mut r));
+        // 2^128 - 1 is composite.
+        let f = (&Ubig::one() << 128) - Ubig::one();
+        assert!(!is_probable_prime(&f, 16, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_size() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_probable_prime(&p, 20, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut r = rng();
+        let p = gen_safe_prime(48, &mut r);
+        assert_eq!(p.bit_len(), 48);
+        assert!(is_probable_prime(&p, 20, &mut r));
+        let q = (&p - &Ubig::one()) >> 1;
+        assert!(is_probable_prime(&q, 20, &mut r), "q = (p-1)/2 must be prime");
+    }
+
+    #[test]
+    fn primes_are_distinct() {
+        let mut r = rng();
+        let a = gen_prime(64, &mut r);
+        let b = gen_prime(64, &mut r);
+        assert_ne!(a, b);
+    }
+}

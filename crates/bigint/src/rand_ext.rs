@@ -1,0 +1,104 @@
+//! Random sampling of big integers.
+
+use crate::Ubig;
+use rand::Rng;
+
+impl Ubig {
+    /// Samples a uniformly random integer with exactly `bits` significant
+    /// bits (i.e. the top bit is always set). `bits` must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+        assert!(bits >= 1, "bits must be at least 1");
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs - 1) * 64;
+        if top_bits < 64 {
+            v[limbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        v[limbs - 1] |= 1u64 << (top_bits - 1);
+        Ubig::from_limbs(v)
+    }
+
+    /// Samples a uniformly random integer in `[0, bound)` by rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(64);
+        let top_bits = bits - (limbs - 1) * 64;
+        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            v[limbs - 1] &= mask;
+            let candidate = Ubig::from_limbs(v);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Samples a uniformly random integer in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn random_range<R: Rng + ?Sized>(rng: &mut R, low: &Ubig, high: &Ubig) -> Ubig {
+        assert!(low < high, "empty range");
+        low + Ubig::random_below(rng, &(high - low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for bits in [1usize, 2, 63, 64, 65, 100, 512] {
+            for _ in 0..10 {
+                assert_eq!(Ubig::random_bits(&mut rng, bits).bit_len(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let bound = Ubig::from_hex("10000000000000001").unwrap();
+        for _ in 0..100 {
+            assert!(Ubig::random_below(&mut rng, &bound) < bound);
+        }
+        // bound = 1 always yields 0.
+        assert_eq!(Ubig::random_below(&mut rng, &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn random_range_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let low = Ubig::from(100u64);
+        let high = Ubig::from(110u64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = Ubig::random_range(&mut rng, &low, &high);
+            assert!(v >= low && v < high);
+            seen.insert(v.to_u64().unwrap());
+        }
+        // With 200 draws from 10 values, all should appear.
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        assert_eq!(Ubig::random_bits(&mut a, 256), Ubig::random_bits(&mut b, 256));
+    }
+}

@@ -1,0 +1,291 @@
+//! A minimal signed big integer, [`Ibig`].
+//!
+//! Threshold RSA needs signed arithmetic in two places: the extended
+//! Euclidean algorithm (Bézout coefficients) and the Lagrange interpolation
+//! coefficients of Shoup's scheme, which are integers of either sign used as
+//! exponents. `Ibig` is a sign–magnitude wrapper over [`Ubig`] providing
+//! exactly the operations those call sites need.
+
+use crate::Ubig;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The sign of an [`Ibig`]. Zero always carries [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Negative.
+    Minus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// A signed big integer in sign–magnitude form.
+///
+/// ```
+/// use sdns_bigint::{Ibig, Ubig};
+/// let a = Ibig::from(-5i64);
+/// let b = Ibig::from(3i64);
+/// assert_eq!(a + b, Ibig::from(-2i64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ibig {
+    sign: Sign,
+    mag: Ubig,
+}
+
+impl Ibig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ibig { sign: Sign::Plus, mag: Ubig::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ibig { sign: Sign::Plus, mag: Ubig::one() }
+    }
+
+    /// Builds a value from a sign and magnitude. A zero magnitude is
+    /// normalized to [`Sign::Plus`].
+    pub fn from_sign_mag(sign: Sign, mag: Ubig) -> Self {
+        if mag.is_zero() {
+            Ibig::zero()
+        } else {
+            Ibig { sign, mag }
+        }
+    }
+
+    /// Returns the sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns the magnitude.
+    pub fn magnitude(&self) -> &Ubig {
+        &self.mag
+    }
+
+    /// Consumes the value and returns its magnitude.
+    pub fn into_magnitude(self) -> Ubig {
+        self.mag
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Reduces the value into `[0, m)`, i.e. the canonical representative
+    /// of the residue class modulo `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// use sdns_bigint::{Ibig, Ubig};
+    /// let v = Ibig::from(-3i64).rem_euclid(&Ubig::from(7u64));
+    /// assert_eq!(v, Ubig::from(4u64));
+    /// ```
+    pub fn rem_euclid(&self, m: &Ubig) -> Ubig {
+        let r = &self.mag % m;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Ibig {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            Ibig::from_sign_mag(Sign::Minus, Ubig::from(v.unsigned_abs()))
+        } else {
+            Ibig::from_sign_mag(Sign::Plus, Ubig::from(v as u64))
+        }
+    }
+}
+
+impl From<Ubig> for Ibig {
+    fn from(mag: Ubig) -> Self {
+        Ibig::from_sign_mag(Sign::Plus, mag)
+    }
+}
+
+impl Neg for Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        Ibig::from_sign_mag(self.sign.flip(), self.mag)
+    }
+}
+
+impl Neg for &Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        Ibig::from_sign_mag(self.sign.flip(), self.mag.clone())
+    }
+}
+
+impl Add<&Ibig> for &Ibig {
+    type Output = Ibig;
+    fn add(self, rhs: &Ibig) -> Ibig {
+        if self.sign == rhs.sign {
+            Ibig::from_sign_mag(self.sign, &self.mag + &rhs.mag)
+        } else {
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => Ibig::zero(),
+                Ordering::Greater => Ibig::from_sign_mag(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => Ibig::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl Add for Ibig {
+    type Output = Ibig;
+    fn add(self, rhs: Ibig) -> Ibig {
+        &self + &rhs
+    }
+}
+
+impl Sub<&Ibig> for &Ibig {
+    type Output = Ibig;
+    fn sub(self, rhs: &Ibig) -> Ibig {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Ibig {
+    type Output = Ibig;
+    fn sub(self, rhs: Ibig) -> Ibig {
+        &self - &rhs
+    }
+}
+
+impl Mul<&Ibig> for &Ibig {
+    type Output = Ibig;
+    fn mul(self, rhs: &Ibig) -> Ibig {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        Ibig::from_sign_mag(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl Mul for Ibig {
+    type Output = Ibig;
+    fn mul(self, rhs: Ibig) -> Ibig {
+        &self * &rhs
+    }
+}
+
+impl PartialOrd for Ibig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ibig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl fmt::Debug for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{:?}", self.mag)
+    }
+}
+
+impl fmt::Display for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_normalization() {
+        let z = Ibig::from_sign_mag(Sign::Minus, Ubig::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+        assert_eq!(Ibig::from(0i64), Ibig::zero());
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(Ibig::from(5i64) + Ibig::from(-3i64), Ibig::from(2i64));
+        assert_eq!(Ibig::from(3i64) + Ibig::from(-5i64), Ibig::from(-2i64));
+        assert_eq!(Ibig::from(-3i64) + Ibig::from(-5i64), Ibig::from(-8i64));
+        assert_eq!(Ibig::from(5i64) + Ibig::from(-5i64), Ibig::zero());
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(Ibig::from(3i64) - Ibig::from(5i64), Ibig::from(-2i64));
+        assert_eq!(-Ibig::from(7i64), Ibig::from(-7i64));
+        assert_eq!(-Ibig::zero(), Ibig::zero());
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(Ibig::from(-4i64) * Ibig::from(3i64), Ibig::from(-12i64));
+        assert_eq!(Ibig::from(-4i64) * Ibig::from(-3i64), Ibig::from(12i64));
+        assert_eq!(Ibig::from(4i64) * Ibig::from(0i64), Ibig::zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ibig::from(-10i64) < Ibig::from(-2i64));
+        assert!(Ibig::from(-1i64) < Ibig::from(0i64));
+        assert!(Ibig::from(1i64) > Ibig::from(-100i64));
+    }
+
+    #[test]
+    fn rem_euclid_cases() {
+        let m = Ubig::from(7u64);
+        assert_eq!(Ibig::from(10i64).rem_euclid(&m), Ubig::from(3u64));
+        assert_eq!(Ibig::from(-10i64).rem_euclid(&m), Ubig::from(4u64));
+        assert_eq!(Ibig::from(-7i64).rem_euclid(&m), Ubig::zero());
+        assert_eq!(Ibig::from(0i64).rem_euclid(&m), Ubig::zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Ibig::from(-42i64)), "-42");
+        assert_eq!(format!("{}", Ibig::from(42i64)), "42");
+    }
+}

@@ -1,0 +1,700 @@
+#![allow(clippy::needless_range_loop)] // limb arithmetic reads better indexed
+
+//! The [`Ubig`] type: an arbitrary-precision unsigned integer.
+
+use std::cmp::Ordering;
+use std::ops::{Add, BitAnd, BitOr, Mul, Rem, Shl, Shr, Sub};
+
+/// Error returned when parsing a [`Ubig`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUbigError {
+    pub(crate) reason: &'static str,
+}
+
+impl std::fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid big-integer literal: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseUbigError {}
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with no trailing zero limbs;
+/// zero is the empty limb vector. All arithmetic is infallible except
+/// subtraction, which panics on underflow (use [`Ubig::checked_sub`] to
+/// handle that case), and division by zero.
+///
+/// # Example
+///
+/// ```
+/// use sdns_bigint::Ubig;
+/// let a = Ubig::from_hex("ffffffffffffffff").unwrap();
+/// let b = &a + &Ubig::one();
+/// assert_eq!(b.to_hex(), "10000000000000000");
+/// assert_eq!(b.bit_len(), 65);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl Ubig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    pub fn two() -> Self {
+        Ubig { limbs: vec![2] }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even (zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Ubig { limbs }
+    }
+
+    /// Constructs a value from big-endian bytes. Leading zero bytes are
+    /// permitted and ignored.
+    ///
+    /// ```
+    /// use sdns_bigint::Ubig;
+    /// assert_eq!(Ubig::from_bytes_be(&[0x01, 0x00]), Ubig::from(256u64));
+    /// ```
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | u64::from(b);
+            }
+            limbs.push(limb);
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros.
+    /// Zero serializes to an empty vector.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        let top = *self.limbs.last().expect("nonzero");
+        let top_bytes = 8 - (top.leading_zeros() / 8) as usize;
+        for i in (0..top_bytes).rev() {
+            out.push((top >> (8 * i)) as u8);
+        }
+        for limb in self.limbs.iter().rev().skip(1) {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Serializes to big-endian bytes, left-padded with zeros to exactly
+    /// `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUbigError`] if the string is empty or contains a
+    /// non-hexadecimal character.
+    pub fn from_hex(s: &str) -> Result<Self, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError { reason: "empty string" });
+        }
+        let mut value = Ubig::zero();
+        for c in s.chars() {
+            let digit = c.to_digit(16).ok_or(ParseUbigError { reason: "non-hex digit" })?;
+            value = (&value << 4) | Ubig::from(u64::from(digit));
+        }
+        Ok(value)
+    }
+
+    /// Renders as a lowercase hexadecimal string with no leading zeros
+    /// (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUbigError`] if the string is empty or contains a
+    /// non-decimal character.
+    pub fn from_dec(s: &str) -> Result<Self, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError { reason: "empty string" });
+        }
+        let mut value = Ubig::zero();
+        let ten = Ubig::from(10u64);
+        for c in s.chars() {
+            let digit = c.to_digit(10).ok_or(ParseUbigError { reason: "non-decimal digit" })?;
+            value = &value * &ten + Ubig::from(u64::from(digit));
+        }
+        Ok(value)
+    }
+
+    /// Renders as a decimal string.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        let billion = Ubig::from(1_000_000_000u64);
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&billion);
+            digits.push(r.to_u64().expect("below 1e9"));
+            cur = q;
+        }
+        let mut s = format!("{}", digits.pop().expect("nonzero"));
+        for d in digits.iter().rev() {
+            s.push_str(&format!("{d:09}"));
+        }
+        s
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (zero has bit length 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit numbering; bit 0 is the LSB).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to one.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << off;
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * 64 + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Subtraction that returns `None` on underflow instead of panicking.
+    pub fn checked_sub(&self, rhs: &Ubig) -> Option<Ubig> {
+        if self < rhs {
+            None
+        } else {
+            Some(self - rhs)
+        }
+    }
+
+    /// `self * self`.
+    pub fn square(&self) -> Ubig {
+        self * self
+    }
+
+    /// `self % 2^k`, i.e. the low `k` bits.
+    pub fn low_bits(&self, k: usize) -> Ubig {
+        let full = k / 64;
+        let part = k % 64;
+        if full >= self.limbs.len() {
+            return self.clone();
+        }
+        let mut limbs = self.limbs[..full].to_vec();
+        if part > 0 {
+            limbs.push(self.limbs[full] & ((1u64 << part) - 1));
+        }
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Ubig::zero()
+        } else {
+            Ubig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from(u64::from(v))
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        Ubig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<usize> for Ubig {
+    fn from(v: usize) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for Ubig {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+// ---- addition ----
+
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = u128::from(long[i]) + u128::from(*short.get(i).unwrap_or(&0)) + u128::from(carry);
+        out.push(s as u64);
+        carry = (s >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Subtracts `b` from `a` in place semantics; caller must guarantee `a >= b`.
+fn sub_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(a.len() >= b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let d = i128::from(a[i]) - i128::from(*b.get(i).unwrap_or(&0)) - borrow;
+        if d < 0 {
+            out.push((d + (1i128 << 64)) as u64);
+            borrow = 1;
+        } else {
+            out.push(d as u64);
+            borrow = 0;
+        }
+    }
+    assert_eq!(borrow, 0, "Ubig subtraction underflow");
+    out
+}
+
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = u128::from(ai) * u128::from(bj) + u128::from(out[i + j]) + u128::from(carry);
+            out[i + j] = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Ubig> for Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: Ubig) -> Ubig {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Ubig> for Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: &Ubig) -> Ubig {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Ubig> for &Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: Ubig) -> Ubig {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: &Ubig) -> Ubig {
+        Ubig::from_limbs(add_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+forward_binop!(Add, add);
+
+impl Sub<&Ubig> for &Ubig {
+    type Output = Ubig;
+    /// # Panics
+    /// Panics on underflow; see [`Ubig::checked_sub`].
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        assert!(self >= rhs, "Ubig subtraction underflow");
+        Ubig::from_limbs(sub_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+forward_binop!(Sub, sub);
+
+impl Mul<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: &Ubig) -> Ubig {
+        Ubig::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+forward_binop!(Mul, mul);
+
+impl Rem<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn rem(self, rhs: &Ubig) -> Ubig {
+        self.div_rem(rhs).1
+    }
+}
+forward_binop!(Rem, rem);
+
+impl Shl<usize> for &Ubig {
+    type Output = Ubig;
+    fn shl(self, shift: usize) -> Ubig {
+        if self.is_zero() {
+            return Ubig::zero();
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl Shl<usize> for Ubig {
+    type Output = Ubig;
+    fn shl(self, shift: usize) -> Ubig {
+        (&self) << shift
+    }
+}
+
+impl Shr<usize> for &Ubig {
+    type Output = Ubig;
+    fn shr(self, shift: usize) -> Ubig {
+        let limb_shift = shift / 64;
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let bit_shift = shift % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl Shr<usize> for Ubig {
+    type Output = Ubig;
+    fn shr(self, shift: usize) -> Ubig {
+        (&self) >> shift
+    }
+}
+
+impl BitOr<Ubig> for Ubig {
+    type Output = Ubig;
+    fn bitor(self, rhs: Ubig) -> Ubig {
+        let (mut long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self.limbs, rhs.limbs)
+        } else {
+            (rhs.limbs, self.limbs)
+        };
+        for (i, l) in short.iter().enumerate() {
+            long[i] |= l;
+        }
+        Ubig::from_limbs(long)
+    }
+}
+
+impl BitAnd<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn bitand(self, rhs: &Ubig) -> Ubig {
+        let n = self.limbs.len().min(rhs.limbs.len());
+        let limbs = (0..n).map(|i| self.limbs[i] & rhs.limbs[i]).collect();
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl std::iter::Sum for Ubig {
+    fn sum<I: Iterator<Item = Ubig>>(iter: I) -> Ubig {
+        iter.fold(Ubig::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Ubig::zero().is_zero());
+        assert!(Ubig::one().is_one());
+        assert!(!Ubig::one().is_zero());
+        assert_eq!(Ubig::default(), Ubig::zero());
+        assert!(Ubig::zero().is_even());
+        assert!(Ubig::one().is_odd());
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 2, u64::MAX, 12345678901234567] {
+            assert_eq!(Ubig::from(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        for v in [0u128, 1, u128::from(u64::MAX) + 1, u128::MAX] {
+            assert_eq!(Ubig::from(v).to_u128(), Some(v));
+        }
+        assert_eq!(Ubig::from(u128::MAX).to_u64(), None);
+    }
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let v = Ubig::from_hex("0102030405060708090a0b0c0d0e0f").unwrap();
+        assert_eq!(Ubig::from_bytes_be(&v.to_bytes_be()), v);
+        assert_eq!(v.to_bytes_be().len(), 15);
+        assert_eq!(Ubig::zero().to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(Ubig::from_bytes_be(&[]), Ubig::zero());
+        assert_eq!(Ubig::from_bytes_be(&[0, 0, 5]), Ubig::from(5u64));
+    }
+
+    #[test]
+    fn bytes_be_padded() {
+        assert_eq!(Ubig::from(0x0102u64).to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn bytes_be_padded_too_small() {
+        let _ = Ubig::from(0x010203u64).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = Ubig::from_hex(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+        }
+        assert!(Ubig::from_hex("").is_err());
+        assert!(Ubig::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn dec_roundtrip() {
+        for s in ["0", "1", "999999999", "1000000000", "340282366920938463463374607431768211456"] {
+            assert_eq!(Ubig::from_dec(s).unwrap().to_dec(), s);
+        }
+        assert!(Ubig::from_dec("12a").is_err());
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = Ubig::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let b = Ubig::one();
+        let c = &a + &b;
+        assert_eq!(c.to_hex(), "100000000000000000000000000000000");
+        assert_eq!(&c - &b, a);
+        assert_eq!(&c - &c, Ubig::zero());
+        assert_eq!(a.checked_sub(&c), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Ubig::one() - Ubig::two();
+    }
+
+    #[test]
+    fn mul_basic() {
+        let a = Ubig::from(u64::MAX);
+        let sq = &a * &a;
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expected = Ubig::from(u128::MAX - 2 * u128::from(u64::MAX));
+        assert_eq!(sq, expected);
+        assert_eq!(&a * &Ubig::zero(), Ubig::zero());
+        assert_eq!(&a * &Ubig::one(), a);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Ubig::from(5u64);
+        let b = Ubig::from_hex("10000000000000000").unwrap();
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Ubig::from(1u64);
+        assert_eq!((&a << 130).bit_len(), 131);
+        assert_eq!((&a << 130) >> 130, a);
+        assert_eq!((&a << 64).to_u128(), Some(1u128 << 64));
+        assert_eq!(&Ubig::zero() << 100, Ubig::zero());
+        assert_eq!(&a >> 1, Ubig::zero());
+        let b = Ubig::from_hex("abcdef0123456789abcdef").unwrap();
+        assert_eq!((&b << 23) >> 23, b);
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut v = Ubig::zero();
+        v.set_bit(100);
+        assert!(v.bit(100));
+        assert!(!v.bit(99));
+        assert_eq!(v.bit_len(), 101);
+        assert_eq!(v.trailing_zeros(), Some(100));
+        assert_eq!(Ubig::zero().trailing_zeros(), None);
+    }
+
+    #[test]
+    fn low_bits() {
+        let v = Ubig::from_hex("ffffffffffffffffffff").unwrap();
+        assert_eq!(v.low_bits(8), Ubig::from(0xffu64));
+        assert_eq!(v.low_bits(200), v);
+        assert_eq!(v.low_bits(0), Ubig::zero());
+        assert_eq!(v.low_bits(65).bit_len(), 65);
+    }
+
+    #[test]
+    fn bitops() {
+        let a = Ubig::from(0b1100u64);
+        let b = Ubig::from(0b1010u64);
+        assert_eq!(&a & &b, Ubig::from(0b1000u64));
+        assert_eq!(a | b, Ubig::from(0b1110u64));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Ubig = (1..=10u64).map(Ubig::from).sum();
+        assert_eq!(total, Ubig::from(55u64));
+    }
+}

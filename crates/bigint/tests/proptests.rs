@@ -1,0 +1,105 @@
+//! Property-based tests for `sdns-bigint` ring axioms and codecs.
+
+use proptest::prelude::*;
+use sdns_bigint::{egcd, Ibig, Ubig};
+
+fn arb_ubig() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|bytes| Ubig::from_bytes_be(&bytes))
+}
+
+fn arb_ubig_nonzero() -> impl Strategy<Value = Ubig> {
+    arb_ubig().prop_map(|v| if v.is_zero() { Ubig::one() } else { v })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in arb_ubig(), b in arb_ubig(), c in arb_ubig()) {
+        prop_assert_eq!((&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_ubig(), b in arb_ubig(), c in arb_ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_identity(a in arb_ubig(), b in arb_ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_ubig()) {
+        prop_assert_eq!(Ubig::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_ubig()) {
+        prop_assert_eq!(Ubig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn dec_roundtrip(a in arb_ubig()) {
+        prop_assert_eq!(Ubig::from_dec(&a.to_dec()).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_ubig(), s in 0usize..200) {
+        prop_assert_eq!((&a << s) >> s, a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(a in arb_ubig(), e in 0u64..64, m in arb_ubig_nonzero()) {
+        let mut naive = Ubig::one() % &m;
+        for _ in 0..e {
+            naive = (&naive * &a) % &m;
+        }
+        prop_assert_eq!(a.modpow(&Ubig::from(e), &m), naive);
+    }
+
+    #[test]
+    fn egcd_bezout_identity(a in arb_ubig(), b in arb_ubig()) {
+        let (g, x, y) = egcd(&a, &b);
+        prop_assert_eq!(&g, &a.gcd(&b));
+        let lhs = Ibig::from(a) * x + Ibig::from(b) * y;
+        prop_assert_eq!(lhs, Ibig::from(g));
+    }
+
+    #[test]
+    fn modinv_when_coprime(a in arb_ubig_nonzero(), m in arb_ubig_nonzero()) {
+        if m.is_one() {
+            return Ok(());
+        }
+        match a.modinv(&m) {
+            Some(inv) => {
+                prop_assert_eq!(&(&a * &inv) % &m, Ubig::one());
+            }
+            None => prop_assert!(!a.gcd(&m).is_one()),
+        }
+    }
+
+    #[test]
+    fn ibig_add_sub_roundtrip(a in any::<i64>(), b in any::<i64>()) {
+        // Avoid overflow in the i64 oracle.
+        let (a, b) = (i64::from(a as i32), i64::from(b as i32));
+        prop_assert_eq!(Ibig::from(a) + Ibig::from(b), Ibig::from(a + b));
+        prop_assert_eq!(Ibig::from(a) - Ibig::from(b), Ibig::from(a - b));
+        prop_assert_eq!(Ibig::from(a) * Ibig::from(b), Ibig::from(a * b));
+    }
+}

@@ -1,0 +1,468 @@
+//! DNS clients: the unmodified gateway client (dig / nsupdate model) and
+//! the modified majority-voting client.
+//!
+//! Both are sans-IO state machines driven by a host runtime:
+//!
+//! - [`GatewayClient`] models existing resolvers (§3.4): it sends each
+//!   request to a *single* server, waits with a timeout, and fails over
+//!   to the next server round-robin — accepting the first *acceptable*
+//!   response (one whose answer verifies under the zone key, when known).
+//!   This achieves the weakened goals G1'/G2'.
+//! - [`VotingClient`] models the modified client of §3.3: it sends each
+//!   request to *all* replicas, collects `n − t` responses, and accepts
+//!   the majority value — achieving G1/G2.
+
+use sdns_crypto::rsa::RsaPublicKey;
+use sdns_dns::sign::verify_rrset;
+use sdns_dns::{Message, Rcode, RecordType};
+use sdns_replica::{NodeId, ReplicaMsg};
+use std::collections::HashMap;
+
+/// An instruction from a client state machine to its host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Send a message to a node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: ReplicaMsg,
+    },
+    /// Arrange a timer callback after `seconds`.
+    SetTimer {
+        /// Timer identity (passed back on expiry).
+        id: u64,
+        /// Delay in seconds.
+        seconds: f64,
+    },
+    /// The request completed with this accepted response.
+    Accepted {
+        /// The request id.
+        request_id: u64,
+        /// The accepted response.
+        response: Message,
+        /// How many sends it took (1 = first try).
+        attempts: u32,
+    },
+}
+
+/// Checks whether a response is *acceptable* in the DNSSEC sense: the
+/// answered RRset (or the NXT denial) verifies under the zone key.
+/// Responses to updates and responses without data records are accepted
+/// by rcode alone, matching `dig`/`nsupdate` behaviour.
+pub fn acceptable(response: &Message, zone_key: Option<&RsaPublicKey>) -> bool {
+    let Some(key) = zone_key else { return true };
+    match response.rcode {
+        Rcode::NoError => {
+            let data: Vec<_> =
+                response.answers.iter().filter(|r| r.rtype != RecordType::Sig).collect();
+            if data.is_empty() {
+                return true; // updates, NoData answers
+            }
+            verify_rrset(&response.answers, key).is_ok()
+        }
+        Rcode::NxDomain => {
+            // Verify the NXT denial when present.
+            let nxt: Vec<_> = response
+                .authorities
+                .iter()
+                .filter(|r| {
+                    r.rtype == RecordType::Nxt
+                        || matches!(&r.rdata, sdns_dns::RData::Sig(s) if s.type_covered == RecordType::Nxt)
+                })
+                .cloned()
+                .collect();
+            if nxt.is_empty() {
+                return false;
+            }
+            verify_rrset(&nxt, key).is_ok()
+        }
+        _ => true,
+    }
+}
+
+/// The unmodified client: single server, timeout, round-robin failover.
+///
+/// Like real `dig`/`nsupdate`, responses are accepted only from servers
+/// this request was actually sent to (source-address checking); use
+/// [`GatewayClient::accept_any_server`] to relax that to
+/// first-response-wins from any replica.
+#[derive(Debug)]
+pub struct GatewayClient {
+    servers: Vec<NodeId>,
+    timeout_seconds: f64,
+    zone_key: Option<RsaPublicKey>,
+    accept_any: bool,
+    next_request_id: u64,
+    next_timer: u64,
+    inflight: HashMap<u64, Inflight>,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    bytes: Vec<u8>,
+    server_idx: usize,
+    attempts: u32,
+    timer: u64,
+    asked: Vec<NodeId>,
+    accept_any: bool,
+}
+
+impl GatewayClient {
+    /// Creates a client that contacts `servers` in order with the given
+    /// timeout, verifying responses under `zone_key` when provided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn new(servers: Vec<NodeId>, timeout_seconds: f64, zone_key: Option<RsaPublicKey>) -> Self {
+        assert!(!servers.is_empty(), "need at least one server");
+        GatewayClient {
+            servers,
+            timeout_seconds,
+            zone_key,
+            accept_any: false,
+            next_request_id: 1,
+            next_timer: 1,
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// Accept the first acceptable response from *any* replica rather
+    /// than only from queried servers (the other client variant §3.4
+    /// mentions).
+    pub fn accept_any_server(mut self) -> Self {
+        self.accept_any = true;
+        self
+    }
+
+    /// Starts a request; returns its id and the initial actions.
+    pub fn request(&mut self, msg: &Message) -> (u64, Vec<ClientAction>) {
+        self.start_request(msg, self.accept_any)
+    }
+
+    /// Starts a request whose response is accepted from *any* replica
+    /// (the behaviour of `nsupdate`'s unconnected UDP socket: every
+    /// replica answers directly, the first properly signed answer wins).
+    pub fn request_any(&mut self, msg: &Message) -> (u64, Vec<ClientAction>) {
+        self.start_request(msg, true)
+    }
+
+    fn start_request(&mut self, msg: &Message, accept_any: bool) -> (u64, Vec<ClientAction>) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let timer = self.next_timer;
+        self.next_timer += 1;
+        let bytes = msg.to_bytes();
+        let server = self.servers[0];
+        self.inflight.insert(
+            request_id,
+            Inflight {
+                bytes: bytes.clone(),
+                server_idx: 0,
+                attempts: 1,
+                timer,
+                asked: vec![server],
+                accept_any,
+            },
+        );
+        let actions = vec![
+            ClientAction::Send { to: server, msg: ReplicaMsg::ClientRequest { request_id, bytes } },
+            ClientAction::SetTimer { id: timer, seconds: self.timeout_seconds },
+        ];
+        (request_id, actions)
+    }
+
+    /// Handles an incoming message (responses from servers).
+    pub fn on_message(&mut self, from: NodeId, msg: ReplicaMsg) -> Vec<ClientAction> {
+        let ReplicaMsg::ClientResponse { request_id, bytes } = msg else {
+            return Vec::new();
+        };
+        let Some(inflight) = self.inflight.get(&request_id) else {
+            return Vec::new(); // already accepted; late duplicate
+        };
+        if !inflight.accept_any && !inflight.asked.contains(&from) {
+            return Vec::new(); // source-address check: unsolicited response
+        }
+        let Ok(response) = Message::from_bytes(&bytes) else {
+            return Vec::new();
+        };
+        if !acceptable(&response, self.zone_key.as_ref()) {
+            return Vec::new();
+        }
+        let attempts = inflight.attempts;
+        self.inflight.remove(&request_id);
+        vec![ClientAction::Accepted { request_id, response, attempts }]
+    }
+
+    /// Handles a timer expiry: resend to the next server round-robin.
+    pub fn on_timer(&mut self, timer: u64) -> Vec<ClientAction> {
+        let Some((&request_id, _)) =
+            self.inflight.iter().find(|(_, inf)| inf.timer == timer)
+        else {
+            return Vec::new(); // stale timer
+        };
+        let new_timer = self.next_timer;
+        self.next_timer += 1;
+        let inflight = self.inflight.get_mut(&request_id).expect("found above");
+        inflight.server_idx = (inflight.server_idx + 1) % self.servers.len();
+        inflight.attempts += 1;
+        inflight.timer = new_timer;
+        let server = self.servers[inflight.server_idx];
+        if !inflight.asked.contains(&server) {
+            inflight.asked.push(server);
+        }
+        let bytes = inflight.bytes.clone();
+        vec![
+            ClientAction::Send { to: server, msg: ReplicaMsg::ClientRequest { request_id, bytes } },
+            ClientAction::SetTimer { id: new_timer, seconds: self.timeout_seconds },
+        ]
+    }
+
+    /// Whether a request is still unanswered.
+    pub fn is_pending(&self, request_id: u64) -> bool {
+        self.inflight.contains_key(&request_id)
+    }
+}
+
+/// The modified client: sends to all replicas and majority-votes.
+#[derive(Debug)]
+pub struct VotingClient {
+    servers: Vec<NodeId>,
+    /// Corruption threshold `t`; acceptance needs `t + 1` matching
+    /// responses out of `n − t` collected.
+    t: usize,
+    next_request_id: u64,
+    inflight: HashMap<u64, Votes>,
+}
+
+#[derive(Debug, Default)]
+struct Votes {
+    /// Responses by server (first response per server counts).
+    by_server: HashMap<NodeId, Vec<u8>>,
+}
+
+impl VotingClient {
+    /// Creates a voting client for a group of `servers` tolerating `t`
+    /// corruptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `servers.len() > 3t`.
+    pub fn new(servers: Vec<NodeId>, t: usize) -> Self {
+        assert!(servers.len() > 3 * t, "voting requires n > 3t");
+        VotingClient { servers, t, next_request_id: 1, inflight: HashMap::new() }
+    }
+
+    /// Starts a request: sends it to every replica.
+    pub fn request(&mut self, msg: &Message) -> (u64, Vec<ClientAction>) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let bytes = msg.to_bytes();
+        self.inflight.insert(request_id, Votes::default());
+        let actions = self
+            .servers
+            .iter()
+            .map(|&to| ClientAction::Send {
+                to,
+                msg: ReplicaMsg::ClientRequest { request_id, bytes: bytes.clone() },
+            })
+            .collect();
+        (request_id, actions)
+    }
+
+    /// Handles a response; accepts once `n − t` responses arrived and a
+    /// majority (`>= t + 1`) agree.
+    pub fn on_message(&mut self, from: NodeId, msg: ReplicaMsg) -> Vec<ClientAction> {
+        let ReplicaMsg::ClientResponse { request_id, bytes } = msg else {
+            return Vec::new();
+        };
+        let Some(votes) = self.inflight.get_mut(&request_id) else {
+            return Vec::new();
+        };
+        if !self.servers.contains(&from) {
+            return Vec::new();
+        }
+        votes.by_server.entry(from).or_insert(bytes);
+        let n = self.servers.len();
+        if votes.by_server.len() < n - self.t {
+            return Vec::new();
+        }
+        // Majority over the collected responses.
+        let mut counts: HashMap<&[u8], usize> = HashMap::new();
+        for b in votes.by_server.values() {
+            *counts.entry(b.as_slice()).or_default() += 1;
+        }
+        let winner = counts.iter().find(|(_, c)| **c > self.t).map(|(b, _)| b.to_vec());
+        let Some(winner) = winner else {
+            // No majority yet: keep collecting (more responses may come).
+            return Vec::new();
+        };
+        let Ok(response) = Message::from_bytes(&winner) else {
+            return Vec::new();
+        };
+        let attempts = 1;
+        self.inflight.remove(&request_id);
+        vec![ClientAction::Accepted { request_id, response, attempts }]
+    }
+
+    /// Whether a request is still unanswered.
+    pub fn is_pending(&self, request_id: u64) -> bool {
+        self.inflight.contains_key(&request_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdns_dns::Name;
+
+    fn query() -> Message {
+        Message::query(1, "www.example.com".parse::<Name>().unwrap(), RecordType::A)
+    }
+
+    fn response_bytes(msg: &Message, rcode: Rcode) -> Vec<u8> {
+        msg.response(rcode).to_bytes()
+    }
+
+    #[test]
+    fn gateway_accepts_first_response() {
+        let mut c = GatewayClient::new(vec![0, 1, 2, 3], 1.0, None);
+        let (rid, actions) = c.request(&query());
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(&actions[0], ClientAction::Send { to: 0, .. }));
+        assert!(c.is_pending(rid));
+        let out = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
+        );
+        assert!(matches!(&out[0], ClientAction::Accepted { attempts: 1, .. }));
+        assert!(!c.is_pending(rid));
+        // A duplicate response is ignored.
+        let out = c.on_message(
+            1,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gateway_times_out_to_next_server() {
+        let mut c = GatewayClient::new(vec![5, 6, 7], 2.0, None);
+        let (rid, actions) = c.request(&query());
+        let ClientAction::SetTimer { id: timer, seconds } = actions[1] else { panic!() };
+        assert_eq!(seconds, 2.0);
+        let retry = c.on_timer(timer);
+        assert!(matches!(&retry[0], ClientAction::Send { to: 6, .. }), "{retry:?}");
+        // Another timeout rotates to server 7, then wraps to 5.
+        let ClientAction::SetTimer { id: t2, .. } = retry[1] else { panic!() };
+        let retry2 = c.on_timer(t2);
+        assert!(matches!(&retry2[0], ClientAction::Send { to: 7, .. }));
+        let ClientAction::SetTimer { id: t3, .. } = retry2[1] else { panic!() };
+        let retry3 = c.on_timer(t3);
+        assert!(matches!(&retry3[0], ClientAction::Send { to: 5, .. }));
+        // Response after two retries reports 4 attempts... (3 retries + 1).
+        let out = c.on_message(
+            5,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
+        );
+        assert!(matches!(&out[0], ClientAction::Accepted { attempts: 4, .. }));
+    }
+
+    #[test]
+    fn stale_timer_ignored() {
+        let mut c = GatewayClient::new(vec![0], 1.0, None);
+        let (rid, actions) = c.request(&query());
+        let ClientAction::SetTimer { id: timer, .. } = actions[1] else { panic!() };
+        let _ = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
+        );
+        assert!(c.on_timer(timer).is_empty());
+    }
+
+    #[test]
+    fn gateway_rejects_unverifiable_answer() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let key = sdns_crypto::rsa::RsaPrivateKey::generate(512, &mut rng);
+        let mut c = GatewayClient::new(vec![0], 1.0, Some(key.public_key().clone()));
+        let (rid, _) = c.request(&query());
+        // An answer with records but no SIG is not acceptable.
+        let mut resp = query().response(Rcode::NoError);
+        resp.answers.push(sdns_dns::Record::new(
+            "www.example.com".parse().unwrap(),
+            300,
+            sdns_dns::RData::A("192.0.2.1".parse().unwrap()),
+        ));
+        let out = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: resp.to_bytes() },
+        );
+        assert!(out.is_empty());
+        assert!(c.is_pending(rid));
+    }
+
+    #[test]
+    fn voting_needs_quorum_and_majority() {
+        let mut c = VotingClient::new(vec![0, 1, 2, 3], 1);
+        let (rid, actions) = c.request(&query());
+        assert_eq!(actions.len(), 4);
+        let good = response_bytes(&query(), Rcode::NoError);
+        let bad = response_bytes(&query(), Rcode::ServFail);
+        // Two responses: not enough (need n - t = 3).
+        assert!(c
+            .on_message(0, ReplicaMsg::ClientResponse { request_id: rid, bytes: good.clone() })
+            .is_empty());
+        assert!(c
+            .on_message(1, ReplicaMsg::ClientResponse { request_id: rid, bytes: bad.clone() })
+            .is_empty());
+        // Third response gives 2 matching out of 3 >= t+1 = 2: accept.
+        let out =
+            c.on_message(2, ReplicaMsg::ClientResponse { request_id: rid, bytes: good.clone() });
+        match &out[0] {
+            ClientAction::Accepted { response, .. } => assert_eq!(response.rcode, Rcode::NoError),
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn voting_waits_out_split_votes() {
+        let mut c = VotingClient::new(vec![0, 1, 2, 3], 1);
+        let (rid, _) = c.request(&query());
+        let a = response_bytes(&query(), Rcode::NoError);
+        let b = response_bytes(&query(), Rcode::ServFail);
+        let cc = response_bytes(&query(), Rcode::Refused);
+        assert!(c.on_message(0, ReplicaMsg::ClientResponse { request_id: rid, bytes: a.clone() }).is_empty());
+        assert!(c.on_message(1, ReplicaMsg::ClientResponse { request_id: rid, bytes: b }).is_empty());
+        // Three distinct responses: no t+1 majority yet.
+        assert!(c.on_message(2, ReplicaMsg::ClientResponse { request_id: rid, bytes: cc }).is_empty());
+        // The fourth response matches the first: majority reached.
+        let out = c.on_message(3, ReplicaMsg::ClientResponse { request_id: rid, bytes: a });
+        assert!(matches!(&out[0], ClientAction::Accepted { .. }));
+    }
+
+    #[test]
+    fn voting_ignores_duplicate_and_foreign_servers() {
+        let mut c = VotingClient::new(vec![0, 1, 2, 3], 1);
+        let (rid, _) = c.request(&query());
+        let good = response_bytes(&query(), Rcode::NoError);
+        // Same server responding thrice counts once.
+        for _ in 0..3 {
+            assert!(c
+                .on_message(0, ReplicaMsg::ClientResponse { request_id: rid, bytes: good.clone() })
+                .is_empty());
+        }
+        // A non-member node's response is ignored.
+        assert!(c
+            .on_message(9, ReplicaMsg::ClientResponse { request_id: rid, bytes: good.clone() })
+            .is_empty());
+        assert!(c.is_pending(rid));
+    }
+
+    #[test]
+    fn acceptable_plain_when_no_key() {
+        let resp = query().response(Rcode::ServFail);
+        assert!(acceptable(&resp, None));
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Clients and scenario harness for the secure distributed DNS.
+//!
+//! Two client models, matching the paper's deployment story:
+//!
+//! - [`GatewayClient`] — an *unmodified* resolver (`dig` / `nsupdate`):
+//!   one server at a time, timeout, round-robin failover, first
+//!   acceptable (signature-verified) response wins. Goals G1'/G2'.
+//! - [`VotingClient`] — the *modified* client of §3.3: send to all
+//!   replicas, majority-vote over `n − t` responses. Goals G1/G2.
+//!
+//! The [`scenario`] module assembles replicas and a scripted client on
+//! the simulated 2004 testbed and measures per-operation latencies —
+//! the machinery behind the Table 2 / Table 3 / Figure 1 harnesses.
+
+mod client;
+pub mod scenario;
+
+pub use client::{acceptable, ClientAction, GatewayClient, VotingClient};
+pub use scenario::{mean_latency, run_scenario, Op, OpResult, ScenarioConfig, ScenarioOutcome};

@@ -1,0 +1,434 @@
+//! Scenario harness: full deployments of the replicated name service on
+//! the simulated testbed, driven by a scripted client.
+//!
+//! This is the module that regenerates the paper's experiments: it wires
+//! a [`Deployment`] of replicas and a scripted client into the
+//! deterministic simulator, places them on the 2004 testbed topology
+//! (Figure 1 / Table 1), runs the client's operation sequence, and
+//! reports per-operation latencies in virtual time.
+
+use crate::client::{ClientAction, GatewayClient, VotingClient};
+use sdns_dns::update::{add_record_request, delete_name_request};
+use sdns_dns::{Message, Name, Rcode, Record, RecordType};
+use sdns_replica::{
+    deploy, example_zone, Corruption, CostModel, Deployment, Replica, ReplicaAction,
+    ReplicaEvent, ReplicaMsg, ServiceMode, ZoneSecurity,
+};
+use sdns_sim::testbed::{cpu_factors_with_client, latency_matrix_with_client, Setup};
+use sdns_sim::{Actor, Context, NodeId, SimDuration, SimTime, Simulation};
+use std::collections::VecDeque;
+
+/// One client operation, as issued by `dig` / `nsupdate` in the paper's
+/// experiments. `Add` and `Delete` are preceded by a read, exactly as
+/// `nsupdate` precedes each update with a query (§5.2) — the reported
+/// latency includes it.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A `dig`-style read.
+    Read {
+        /// Queried name.
+        name: Name,
+        /// Queried type.
+        rtype: RecordType,
+    },
+    /// An `nsupdate`-style record addition.
+    Add {
+        /// The record to add.
+        record: Record,
+    },
+    /// An `nsupdate`-style deletion of all records at a name.
+    Delete {
+        /// The name to delete.
+        name: Name,
+    },
+}
+
+impl Op {
+    /// The operation's column label in Table 2.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Read { .. } => "Read",
+            Op::Add { .. } => "Add",
+            Op::Delete { .. } => "Delete",
+        }
+    }
+}
+
+/// The outcome of one client operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResult {
+    /// `"Read"`, `"Add"`, or `"Delete"`.
+    pub kind: &'static str,
+    /// Virtual-time latency in seconds, as seen by the client.
+    pub latency: f64,
+    /// The accepted response's code.
+    pub rcode: Rcode,
+    /// Client sends needed (> 1 means timeout failover happened).
+    pub attempts: u32,
+}
+
+/// Events reported by scenario nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// The client began operation `index`.
+    OpStarted {
+        /// Position in the script.
+        index: usize,
+    },
+    /// The client completed operation `index`.
+    OpDone {
+        /// Position in the script.
+        index: usize,
+        /// Operation label.
+        kind: &'static str,
+        /// When the operation started.
+        started: SimTime,
+        /// Accepted response code.
+        rcode: Rcode,
+        /// Sends needed.
+        attempts: u32,
+    },
+    /// A replica-side event (delivered / executed), for instrumentation.
+    Replica(ReplicaEvent),
+}
+
+/// Which client drives the scenario.
+#[derive(Debug)]
+enum ClientKind {
+    Gateway(GatewayClient),
+    Voting(VotingClient),
+}
+
+/// Phases of executing one [`Op`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// The preceding read of an update op.
+    PreRead,
+    /// The op's main request.
+    Main,
+}
+
+/// The scripted client node.
+#[derive(Debug)]
+pub struct ClientNode {
+    kind: ClientKind,
+    zone: Name,
+    ops: VecDeque<Op>,
+    op_index: usize,
+    phase: Phase,
+    started: Option<SimTime>,
+    current_request: Option<u64>,
+    next_dns_id: u16,
+}
+
+impl ClientNode {
+    fn begin_next_op(&mut self, ctx: &mut Context<'_, ReplicaMsg, ScenarioEvent>) {
+        let Some(op) = self.ops.front().cloned() else { return };
+        self.started = Some(ctx.now());
+        ctx.output(ScenarioEvent::OpStarted { index: self.op_index });
+        match op {
+            Op::Read { .. } => {
+                self.phase = Phase::Main;
+                self.send_main(ctx);
+            }
+            Op::Add { .. } | Op::Delete { .. } => {
+                // nsupdate first reads the zone's SOA.
+                self.phase = Phase::PreRead;
+                let id = self.next_id();
+                let msg = Message::query(id, self.zone.clone(), RecordType::Soa);
+                self.dispatch_request(&msg, ctx);
+            }
+        }
+    }
+
+    fn send_main(&mut self, ctx: &mut Context<'_, ReplicaMsg, ScenarioEvent>) {
+        let Some(op) = self.ops.front().cloned() else { return };
+        let id = self.next_id();
+        let msg = match op {
+            Op::Read { name, rtype } => Message::query(id, name, rtype),
+            Op::Add { record } => add_record_request(id, &self.zone, record),
+            Op::Delete { name } => delete_name_request(id, &self.zone, name),
+        };
+        self.dispatch_request(&msg, ctx);
+    }
+
+    fn next_id(&mut self) -> u16 {
+        self.next_dns_id = self.next_dns_id.wrapping_add(1);
+        self.next_dns_id
+    }
+
+    fn dispatch_request(&mut self, msg: &Message, ctx: &mut Context<'_, ReplicaMsg, ScenarioEvent>) {
+        // nsupdate's unconnected UDP socket accepts an update response
+        // from any replica; dig's reads check the source address.
+        let is_update = msg.opcode == sdns_dns::Opcode::Update;
+        let (request_id, actions) = match &mut self.kind {
+            ClientKind::Gateway(c) if is_update => c.request_any(msg),
+            ClientKind::Gateway(c) => c.request(msg),
+            ClientKind::Voting(c) => c.request(msg),
+        };
+        self.current_request = Some(request_id);
+        self.apply(actions, ctx);
+    }
+
+    fn apply(&mut self, actions: Vec<ClientAction>, ctx: &mut Context<'_, ReplicaMsg, ScenarioEvent>) {
+        for action in actions {
+            match action {
+                ClientAction::Send { to, msg } => ctx.send(to, msg),
+                ClientAction::SetTimer { id, seconds } => {
+                    ctx.set_timer(id, SimDuration::from_secs_f64(seconds));
+                }
+                ClientAction::Accepted { request_id, response, attempts } => {
+                    if Some(request_id) != self.current_request {
+                        continue;
+                    }
+                    self.current_request = None;
+                    match self.phase {
+                        Phase::PreRead => {
+                            self.phase = Phase::Main;
+                            self.send_main(ctx);
+                        }
+                        Phase::Main => {
+                            let kind = self.ops.front().map(Op::kind).unwrap_or("?");
+                            ctx.output(ScenarioEvent::OpDone {
+                                index: self.op_index,
+                                kind,
+                                started: self.started.take().unwrap_or(SimTime::ZERO),
+                                rcode: response.rcode,
+                                attempts,
+                            });
+                            self.ops.pop_front();
+                            self.op_index += 1;
+                            // The next op waits for the harness Tick, so
+                            // each measurement starts from quiescence.
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A node of the scenario: a replica or the client.
+#[derive(Debug)]
+pub enum Node {
+    /// A name-server replica (boxed: it is much larger than the client).
+    Replica(Box<Replica>),
+    /// The scripted client (boxed, like the replicas, to keep the enum
+    /// variants similarly sized).
+    Client(Box<ClientNode>),
+}
+
+impl Actor for Node {
+    type Msg = ReplicaMsg;
+    type Output = ScenarioEvent;
+
+    fn on_message(&mut self, from: NodeId, msg: ReplicaMsg, ctx: &mut Context<'_, ReplicaMsg, ScenarioEvent>) {
+        match self {
+            Node::Replica(replica) => {
+                for action in replica.on_message(from, msg) {
+                    match action {
+                        ReplicaAction::Send { to, msg } => ctx.send(to, msg),
+                        ReplicaAction::Work { ref_seconds } => ctx.work(ref_seconds),
+                        ReplicaAction::Event(e) => ctx.output(ScenarioEvent::Replica(e)),
+                    }
+                }
+            }
+            Node::Client(client) => {
+                if matches!(msg, ReplicaMsg::Tick) {
+                    // Pacing signal from the harness: begin the next op.
+                    client.begin_next_op(ctx);
+                    return;
+                }
+                let actions = match &mut client.kind {
+                    ClientKind::Gateway(c) => c.on_message(from, msg),
+                    ClientKind::Voting(c) => c.on_message(from, msg),
+                };
+                client.apply(actions, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, ReplicaMsg, ScenarioEvent>) {
+        if let Node::Client(client) = self {
+            let actions = match &mut client.kind {
+                ClientKind::Gateway(c) => c.on_timer(timer),
+                ClientKind::Voting(_) => Vec::new(),
+            };
+            client.apply(actions, ctx);
+        }
+    }
+}
+
+/// Configuration of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Server placement (Table 2's first column).
+    pub setup: Setup,
+    /// Zone security and signing protocol.
+    pub security: ZoneSecurity,
+    /// Number of corrupted servers `k` (placed per §5.1: first Zurich,
+    /// then Austin), corruption kind `InvertSigShares`.
+    pub corrupted: usize,
+    /// Gateway (unmodified client) or voting (modified client).
+    pub mode: ServiceMode,
+    /// The client's operation script, run sequentially.
+    pub ops: Vec<Op>,
+    /// Determinism seed.
+    pub seed: u64,
+    /// RSA modulus size for the real cryptography (virtual-time costs are
+    /// calibrated to 1024-bit regardless; smaller keys just run the
+    /// simulation faster).
+    pub key_bits: usize,
+    /// Virtual-time cost calibration.
+    pub costs: CostModel,
+    /// Whether reads are ordered through atomic broadcast.
+    pub reads_via_abcast: bool,
+    /// Client timeout before failover, in seconds.
+    pub timeout: f64,
+    /// Whether the client verifies zone signatures on answers.
+    pub verify_responses: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's default configuration for a given setup and protocol:
+    /// signed zone, gateway client with a 60 s timeout (dig/nsupdate
+    /// would use less, but the BASIC protocol at `(7, k)` takes > 20 s),
+    /// reads through atomic broadcast, verification on.
+    pub fn paper(setup: Setup, security: ZoneSecurity, corrupted: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            setup,
+            security,
+            corrupted,
+            mode: ServiceMode::Gateway,
+            ops: Vec::new(),
+            seed,
+            key_bits: 512,
+            costs: CostModel::paper(),
+            reads_via_abcast: true,
+            timeout: 60.0,
+            verify_responses: true,
+        }
+    }
+}
+
+/// The outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Per-operation results, in script order.
+    pub ops: Vec<OpResult>,
+    /// Total virtual time elapsed.
+    pub elapsed: SimDuration,
+    /// Total simulation events processed.
+    pub events: u64,
+    /// OPTPROOF proof-fallback occurrences across all replicas.
+    pub fallbacks: usize,
+}
+
+/// Builds and runs a scenario to completion.
+///
+/// # Panics
+///
+/// Panics if the client script does not complete within the event budget
+/// (indicating a liveness bug).
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
+    let machines = cfg.setup.machines();
+    let n = machines.len();
+    let group = sdns_abcast::Group::new(n, cfg.setup.t());
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+    let deployment: Deployment = deploy(
+        group,
+        cfg.security,
+        cfg.costs,
+        example_zone(),
+        cfg.key_bits,
+        cfg.reads_via_abcast,
+        None,
+        &mut rng,
+    );
+    let corrupted: Vec<(usize, Corruption)> = cfg
+        .setup
+        .corrupted_indices(cfg.corrupted)
+        .into_iter()
+        .map(|i| (i, Corruption::InvertSigShares))
+        .collect();
+    let replicas = deployment.replicas(&corrupted, cfg.seed);
+
+    let zone_key = if cfg.verify_responses { deployment.zone_public_key.clone() } else { None };
+    let servers: Vec<NodeId> = (0..n).collect();
+    let kind = match cfg.mode {
+        ServiceMode::Gateway => {
+            ClientKind::Gateway(GatewayClient::new(servers, cfg.timeout, zone_key))
+        }
+        ServiceMode::Voting => ClientKind::Voting(VotingClient::new(servers, cfg.setup.t())),
+    };
+    let client = ClientNode {
+        kind,
+        zone: deployment.setup.zone.origin().clone(),
+        ops: cfg.ops.iter().cloned().collect(),
+        op_index: 0,
+        phase: Phase::Main,
+        started: None,
+        current_request: None,
+        next_dns_id: 0,
+    };
+
+    let mut nodes: Vec<Node> = replicas.into_iter().map(|r| Node::Replica(Box::new(r))).collect();
+    nodes.push(Node::Client(Box::new(client)));
+    let net = latency_matrix_with_client(&machines).with_jitter(0.05);
+    let factors = cpu_factors_with_client(&machines);
+    // ±25 % compute-time noise models the OS/JVM variance of the paper's
+    // 2004 Java testbed — it is what decides the races between honest and
+    // corrupted shares for quorum slots.
+    let mut sim =
+        Simulation::with_cpu_factors(nodes, net, factors, cfg.seed).with_work_jitter(0.25);
+
+    let total_ops = cfg.ops.len();
+    let client_id = n;
+    let budget = 2_000_000u64;
+    // Each op is measured from group quiescence: kick the client, run
+    // until the op completes, then drain residual protocol work (late
+    // signing sessions, straggler broadcasts) before the next op.
+    sim.run_until_idle(budget);
+    for i in 0..total_ops {
+        sim.inject(SimDuration::ZERO, client_id, client_id, ReplicaMsg::Tick);
+        let done = sim.run_until(budget, |ev| {
+            matches!(&ev.output, ScenarioEvent::OpDone { index, .. } if *index == i)
+        });
+        assert!(done, "op {i} did not complete within {budget} events");
+        sim.run_until_idle(budget);
+    }
+
+    let outputs = sim.take_outputs();
+    let mut ops = Vec::with_capacity(total_ops);
+    let mut fallbacks = 0;
+    for ev in &outputs {
+        match &ev.output {
+            ScenarioEvent::OpDone { kind, started, rcode, attempts, .. } => {
+                ops.push(OpResult {
+                    kind,
+                    latency: ev.at.since(*started).as_secs_f64(),
+                    rcode: *rcode,
+                    attempts: *attempts,
+                });
+            }
+            ScenarioEvent::Replica(ReplicaEvent::ProofFallback { .. }) => fallbacks += 1,
+            _ => {}
+        }
+    }
+    ScenarioOutcome {
+        ops,
+        elapsed: sim.now().since(SimTime::ZERO),
+        events: sim.events_processed(),
+        fallbacks,
+    }
+}
+
+/// Convenience: the mean latency of ops of a given kind.
+pub fn mean_latency(results: &[OpResult], kind: &str) -> f64 {
+    let matching: Vec<f64> =
+        results.iter().filter(|r| r.kind == kind).map(|r| r.latency).collect();
+    if matching.is_empty() {
+        return f64::NAN;
+    }
+    matching.iter().sum::<f64>() / matching.len() as f64
+}

@@ -1,0 +1,125 @@
+//! HMAC (RFC 2104) over SHA-1 and SHA-256.
+//!
+//! DNS transaction signatures (TSIG, RFC 2845) authenticate requests and
+//! responses between a client and a server with `HMAC-SHA1` under a shared
+//! secret. The paper requires every dynamic-update request to carry such a
+//! transaction signature.
+
+use crate::sha1::{Sha1, SHA1_LEN};
+use crate::sha256::{Sha256, SHA256_LEN};
+
+macro_rules! hmac_impl {
+    ($(#[$doc:meta])* $name:ident, $hasher:ident, $len:expr) => {
+        $(#[$doc])*
+        pub fn $name(key: &[u8], message: &[u8]) -> [u8; $len] {
+            let mut key_block = [0u8; 64];
+            if key.len() > 64 {
+                let digest = $hasher::digest(key);
+                key_block[..$len].copy_from_slice(&digest);
+            } else {
+                key_block[..key.len()].copy_from_slice(key);
+            }
+            let mut inner = $hasher::new();
+            let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+            inner.update(&ipad);
+            inner.update(message);
+            let inner_digest = inner.finalize();
+
+            let mut outer = $hasher::new();
+            let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+            outer.update(&opad);
+            outer.update(&inner_digest);
+            outer.finalize()
+        }
+    };
+}
+
+hmac_impl!(
+    /// Computes `HMAC-SHA1(key, message)`.
+    ///
+    /// ```
+    /// use sdns_crypto::hmac_sha1;
+    /// let mac = hmac_sha1(b"key", b"The quick brown fox jumps over the lazy dog");
+    /// assert_eq!(mac[..4], [0xde, 0x7c, 0x9b, 0x85]);
+    /// ```
+    hmac_sha1,
+    Sha1,
+    SHA1_LEN
+);
+
+hmac_impl!(
+    /// Computes `HMAC-SHA256(key, message)`.
+    hmac_sha256,
+    Sha256,
+    SHA256_LEN
+);
+
+/// Constant-time comparison of two MACs.
+///
+/// Returns `false` when lengths differ.
+pub fn mac_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_sha1_vectors() {
+        // Test case 1
+        assert_eq!(
+            hex(&hmac_sha1(&[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        // Test case 2
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        // Test case 3
+        assert_eq!(hex(&hmac_sha1(&[0xaa; 20], &[0xdd; 50])), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+        // Test case 6: key longer than block size
+        assert_eq!(
+            hex(&hmac_sha1(&[0xaa; 80], b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn rfc4231_sha256_vectors() {
+        assert_eq!(
+            hex(&hmac_sha256(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn mac_eq_behaviour() {
+        assert!(mac_eq(b"abc", b"abc"));
+        assert!(!mac_eq(b"abc", b"abd"));
+        assert!(!mac_eq(b"abc", b"abcd"));
+        assert!(mac_eq(b"", b""));
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        assert_ne!(hmac_sha1(b"k1", b"msg"), hmac_sha1(b"k2", b"msg"));
+        assert_ne!(hmac_sha1(b"k", b"msg1"), hmac_sha1(b"k", b"msg2"));
+    }
+}

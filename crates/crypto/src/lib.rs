@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Cryptography for the secure distributed DNS.
+//!
+//! This crate provides, from scratch, every cryptographic building block
+//! the paper's system uses:
+//!
+//! - [`Sha1`] / [`Sha256`] / [`hmac_sha1`] — hashing and transaction-
+//!   signature MACs,
+//! - [`rsa`] — plain RSA with PKCS#1 v1.5 signatures (what DNSSEC clients
+//!   verify),
+//! - [`threshold`] — Shoup's practical threshold RSA, with which the zone
+//!   key is kept online yet never materialized at any single server,
+//! - [`protocol`] — the three distributed signing protocols evaluated in
+//!   the paper: BASIC, OPTPROOF (optimistic with on-demand proofs) and
+//!   OPTTE (optimistic with trial-and-error assembly), implemented as
+//!   sans-IO state machines,
+//! - [`ops`] — operation counting for calibrated virtual-time benchmarks.
+//!
+//! # Quick start: threshold signing
+//!
+//! ```
+//! use sdns_crypto::threshold::Dealer;
+//! use sdns_bigint::Ubig;
+//!
+//! let mut rng = rand::thread_rng();
+//! let (pk, shares) = Dealer::deal(256, 4, 1, &mut rng);
+//! let x = Ubig::from(1234567u64);
+//! let sig = pk.assemble(&x, &[shares[0].sign(&x, &pk), shares[2].sign(&x, &pk)])?;
+//! assert!(pk.verify(&x, &sig));
+//! # Ok::<(), sdns_crypto::threshold::ThresholdError>(())
+//! ```
+
+pub mod hmac;
+pub mod ops;
+pub mod pkcs1;
+pub mod protocol;
+pub mod rsa;
+mod sha1;
+mod sha256;
+pub mod threshold;
+
+pub use hmac::{hmac_sha1, hmac_sha256, mac_eq};
+pub use pkcs1::HashAlg;
+pub use sha1::{Sha1, SHA1_LEN};
+pub use sha256::{Sha256, SHA256_LEN};

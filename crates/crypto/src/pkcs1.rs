@@ -1,0 +1,140 @@
+//! EMSA-PKCS1-v1_5 message encoding (RFC 3447 §9.2).
+//!
+//! The zone-signing algorithm of the paper is DNSSEC algorithm 5:
+//! RSA/SHA-1 with PKCS #1 encoding. The encoded message is the integer that
+//! the (threshold) RSA signing exponentiation is applied to.
+
+use crate::sha1::Sha1;
+use crate::sha256::Sha256;
+
+/// The hash function used inside a PKCS#1 v1.5 signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashAlg {
+    /// SHA-1, DNSSEC algorithm 5 (the paper's configuration).
+    Sha1,
+    /// SHA-256, provided as a modern alternative.
+    Sha256,
+}
+
+/// DER encoding of `DigestInfo` for SHA-1.
+const DIGEST_INFO_SHA1: &[u8] = &[
+    0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14,
+];
+
+/// DER encoding of `DigestInfo` for SHA-256.
+const DIGEST_INFO_SHA256: &[u8] = &[
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// Error returned when the modulus is too small for the encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    pub(crate) needed: usize,
+    pub(crate) available: usize,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "modulus too small for PKCS#1 encoding: need {} bytes, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Produces the EMSA-PKCS1-v1_5 encoding of `message` for a modulus of
+/// `em_len` bytes: `0x00 0x01 0xFF.. 0x00 DigestInfo || H(message)`.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if `em_len` is too small to hold the encoding
+/// (at least 11 bytes of framing plus the `DigestInfo`).
+///
+/// ```
+/// use sdns_crypto::pkcs1::{emsa_encode, HashAlg};
+/// let em = emsa_encode(b"hello", HashAlg::Sha1, 128)?;
+/// assert_eq!(em.len(), 128);
+/// assert_eq!(&em[..2], &[0x00, 0x01]);
+/// # Ok::<(), sdns_crypto::pkcs1::EncodeError>(())
+/// ```
+pub fn emsa_encode(message: &[u8], alg: HashAlg, em_len: usize) -> Result<Vec<u8>, EncodeError> {
+    let t = digest_info(message, alg);
+    if em_len < t.len() + 11 {
+        return Err(EncodeError { needed: t.len() + 11, available: em_len });
+    }
+    let mut em = Vec::with_capacity(em_len);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(em_len - t.len() - 1, 0xFF);
+    em.push(0x00);
+    em.extend_from_slice(&t);
+    Ok(em)
+}
+
+/// Returns `DigestInfo || H(message)`.
+fn digest_info(message: &[u8], alg: HashAlg) -> Vec<u8> {
+    match alg {
+        HashAlg::Sha1 => {
+            let mut t = DIGEST_INFO_SHA1.to_vec();
+            t.extend_from_slice(&Sha1::digest(message));
+            t
+        }
+        HashAlg::Sha256 => {
+            let mut t = DIGEST_INFO_SHA256.to_vec();
+            t.extend_from_slice(&Sha256::digest(message));
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let em = emsa_encode(b"test", HashAlg::Sha1, 128).unwrap();
+        assert_eq!(em.len(), 128);
+        assert_eq!(em[0], 0x00);
+        assert_eq!(em[1], 0x01);
+        // padding of 0xFF until the 0x00 separator
+        let sep = em.iter().skip(2).position(|&b| b != 0xFF).unwrap() + 2;
+        assert_eq!(em[sep], 0x00);
+        assert!(sep >= 10, "at least 8 bytes of FF padding");
+        // DigestInfo follows
+        assert_eq!(&em[sep + 1..sep + 1 + DIGEST_INFO_SHA1.len()], DIGEST_INFO_SHA1);
+        assert_eq!(em.len() - (sep + 1 + DIGEST_INFO_SHA1.len()), 20);
+    }
+
+    #[test]
+    fn sha256_structure() {
+        let em = emsa_encode(b"test", HashAlg::Sha256, 256).unwrap();
+        assert_eq!(em.len(), 256);
+        assert!(em.windows(DIGEST_INFO_SHA256.len()).any(|w| w == DIGEST_INFO_SHA256));
+    }
+
+    #[test]
+    fn too_small_modulus() {
+        let err = emsa_encode(b"x", HashAlg::Sha1, 20).unwrap_err();
+        assert!(err.to_string().contains("too small"));
+        // Smallest workable size succeeds.
+        assert!(emsa_encode(b"x", HashAlg::Sha1, 46).is_ok());
+        assert!(emsa_encode(b"x", HashAlg::Sha1, 45).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            emsa_encode(b"msg", HashAlg::Sha1, 64).unwrap(),
+            emsa_encode(b"msg", HashAlg::Sha1, 64).unwrap()
+        );
+        assert_ne!(
+            emsa_encode(b"msg1", HashAlg::Sha1, 64).unwrap(),
+            emsa_encode(b"msg2", HashAlg::Sha1, 64).unwrap()
+        );
+    }
+}

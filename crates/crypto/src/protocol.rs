@@ -1,0 +1,648 @@
+//! The distributed threshold-signing protocols: BASIC, OPTPROOF and OPTTE.
+//!
+//! These are the three protocol variants the paper evaluates (§3.3, §3.5):
+//!
+//! - **BASIC** — every server generates its signature share *with* a
+//!   correctness proof, verifies every share it receives, and assembles
+//!   `t + 1` valid shares. Robust but slow: proof generation and
+//!   verification dominate (Table 3).
+//! - **OPTPROOF** — optimistic: servers send bare share values; each server
+//!   assembles the first `t + 1` and checks only the final signature. On
+//!   failure it asks all servers to resend shares *with* proofs and falls
+//!   back to the BASIC processing rule, while concurrently accepting a
+//!   valid final signature from any server that already terminated.
+//! - **OPTTE** — optimistic with trial and error: servers send bare shares;
+//!   a server that fails to assemble the first `t + 1` keeps receiving
+//!   shares (up to `2t + 1`) and tries every `(t + 1)`-subset until one
+//!   yields a valid signature. Exponential in the worst case but the
+//!   fastest variant for practical `n`.
+//!
+//! Each protocol is a sans-IO state machine ([`SigningSession`]): callers
+//! feed in messages and carry out the returned [`SigAction`]s. The same
+//! state machine runs under the deterministic simulator (which prices the
+//! reported [`OpCounts`]) and the real-time runtime.
+
+use crate::ops::OpCounts;
+use crate::threshold::{KeyShare, SignatureShare, ThresholdPublicKey};
+use rand::Rng;
+use sdns_bigint::Ubig;
+use std::sync::Arc;
+
+/// Which threshold-signing protocol a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SigProtocol {
+    /// Shares always carry proofs; every share is verified.
+    Basic,
+    /// Optimistic, with proofs generated and verified only on demand.
+    OptProof,
+    /// Optimistic, with trial-and-error subset assembly.
+    OptTe,
+}
+
+impl SigProtocol {
+    /// All three variants, in the paper's order.
+    pub const ALL: [SigProtocol; 3] = [SigProtocol::Basic, SigProtocol::OptProof, SigProtocol::OptTe];
+
+    /// The paper's name for the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SigProtocol::Basic => "BASIC",
+            SigProtocol::OptProof => "OPTPROOF",
+            SigProtocol::OptTe => "OPTTE",
+        }
+    }
+}
+
+impl std::fmt::Display for SigProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A message exchanged between servers during a signing session.
+///
+/// These travel over authenticated point-to-point links (not atomic
+/// broadcast); the enclosing replica layer tags them with a session id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigMessage {
+    /// A signature share, with or without proof.
+    Share(SignatureShare),
+    /// OPTPROOF fallback: "resend your share, this time with a proof".
+    ProofRequest,
+    /// A final assembled signature.
+    Final(Ubig),
+}
+
+/// An instruction emitted by a [`SigningSession`] for its host to carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigAction {
+    /// Send the message to every server **including the sender itself**
+    /// over point-to-point links: like the paper's Wrapper, a session
+    /// receives its own share back through the messaging stack, so its
+    /// own share races remote shares for a place in the quorum.
+    SendAll(SigMessage),
+    /// Computation performed, for virtual-time accounting.
+    Work(OpCounts),
+    /// The session completed with this standard RSA signature.
+    Done(Ubig),
+}
+
+/// State of one distributed signing session at one server.
+///
+/// # Example
+///
+/// ```
+/// use sdns_crypto::protocol::{SigningSession, SigProtocol, SigAction, SigMessage};
+/// use sdns_crypto::threshold::Dealer;
+/// use sdns_bigint::Ubig;
+/// use std::sync::Arc;
+///
+/// let mut rng = rand::thread_rng();
+/// let (pk, shares) = Dealer::deal(256, 4, 1, &mut rng);
+/// let pk = Arc::new(pk);
+/// let x = Ubig::from(77u64);
+///
+/// // Start a session at server 1 and capture its broadcast share.
+/// let (mut s1, actions) = SigningSession::new(
+///     SigProtocol::OptTe, Arc::clone(&pk), shares[0].clone(), x.clone(), &mut rng);
+/// let share1 = actions.iter().find_map(|a| match a {
+///     SigAction::SendAll(m) => Some(m.clone()),
+///     _ => None,
+/// }).unwrap();
+///
+/// // Server 2 starts its own session; it receives its own share back
+/// // through the loopback, then server 1's share completes the quorum.
+/// let (mut s2, actions2) = SigningSession::new(
+///     SigProtocol::OptTe, Arc::clone(&pk), shares[1].clone(), x.clone(), &mut rng);
+/// let share2 = actions2.iter().find_map(|a| match a {
+///     SigAction::SendAll(m) => Some(m.clone()),
+///     _ => None,
+/// }).unwrap();
+/// let _ = s2.on_message(2, share2, &mut rng); // loopback
+/// let out = s2.on_message(1, share1, &mut rng);
+/// assert!(out.iter().any(|a| matches!(a, SigAction::Done(_))));
+/// ```
+#[derive(Debug)]
+pub struct SigningSession {
+    protocol: SigProtocol,
+    pk: Arc<ThresholdPublicKey>,
+    key: KeyShare,
+    x: Ubig,
+    /// Shares accepted so far (at most one per signer; all with valid
+    /// proofs in proof mode).
+    shares: Vec<SignatureShare>,
+    /// Signers from which a share (valid or not) has been taken.
+    seen: Vec<usize>,
+    /// OPTPROOF: whether the fallback-to-proofs phase is active.
+    proof_mode: bool,
+    /// OPTPROOF: whether our proofed share was already published
+    /// (answer only the first `ProofRequest`; the reply is a broadcast).
+    proof_sent: bool,
+    /// OPTTE: subsets already tried, encoded as sorted signer lists.
+    signature: Option<Ubig>,
+    /// Accumulated operation counts over the session's lifetime.
+    ops_total: OpCounts,
+}
+
+impl SigningSession {
+    /// Starts a signing session on message representative `x`.
+    ///
+    /// Returns the session and the initial actions (the broadcast of this
+    /// server's share and its compute cost; in degenerate single-server
+    /// configurations possibly already `Done`).
+    pub fn new<R: Rng + ?Sized>(
+        protocol: SigProtocol,
+        pk: Arc<ThresholdPublicKey>,
+        key: KeyShare,
+        x: Ubig,
+        rng: &mut R,
+    ) -> (Self, Vec<SigAction>) {
+        let mut session = SigningSession {
+            protocol,
+            pk,
+            key,
+            x,
+            shares: Vec::new(),
+            seen: Vec::new(),
+            proof_mode: false,
+            proof_sent: false,
+            signature: None,
+            ops_total: OpCounts::none(),
+        };
+        let mut out = Vec::new();
+        let own = match protocol {
+            SigProtocol::Basic => {
+                session.work(OpCounts::share_gen() + OpCounts::proof_gen(), &mut out);
+                session.key.sign_with_proof(&session.x, &session.pk, rng)
+            }
+            SigProtocol::OptProof | SigProtocol::OptTe => {
+                session.work(OpCounts::share_gen(), &mut out);
+                session.key.sign(&session.x, &session.pk)
+            }
+        };
+        // The own share is not accepted here: it comes back through the
+        // host's loopback delivery of the SendAll, ordered against remote
+        // shares by real arrival time.
+        out.push(SigAction::SendAll(SigMessage::Share(own)));
+        (session, out)
+    }
+
+    /// Whether the session has produced a signature.
+    pub fn is_done(&self) -> bool {
+        self.signature.is_some()
+    }
+
+    /// The final signature, if the session completed.
+    pub fn signature(&self) -> Option<&Ubig> {
+        self.signature.as_ref()
+    }
+
+    /// The protocol variant this session runs.
+    pub fn protocol(&self) -> SigProtocol {
+        self.protocol
+    }
+
+    /// Total operations performed so far (for reporting).
+    pub fn ops_total(&self) -> OpCounts {
+        self.ops_total
+    }
+
+    /// Handles a message from server `from` (1-based index).
+    ///
+    /// Messages arriving after completion are ignored, except that a
+    /// `ProofRequest` is still answered (the requester may be lagging).
+    pub fn on_message<R: Rng + ?Sized>(
+        &mut self,
+        from: usize,
+        msg: SigMessage,
+        rng: &mut R,
+    ) -> Vec<SigAction> {
+        let mut out = Vec::new();
+        match msg {
+            SigMessage::Share(share) => {
+                if self.is_done() {
+                    return out;
+                }
+                // Reject mislabelled or duplicate shares outright.
+                if share.signer() != from || self.seen.contains(&from) {
+                    return out;
+                }
+                self.accept_share(share, &mut out);
+            }
+            SigMessage::ProofRequest => {
+                if self.protocol == SigProtocol::OptProof && !self.proof_sent {
+                    // Re-send our share, this time with a proof. The reply
+                    // is a broadcast, so one answer serves every requester.
+                    self.proof_sent = true;
+                    self.work(OpCounts::proof_gen(), &mut out);
+                    let proofed = self.key.sign_with_proof(&self.x, &self.pk, rng);
+                    out.push(SigAction::SendAll(SigMessage::Share(proofed)));
+                }
+            }
+            SigMessage::Final(sig) => {
+                if self.is_done() {
+                    return out;
+                }
+                self.work(OpCounts::sig_verify(), &mut out);
+                if self.pk.verify(&self.x, &sig) {
+                    self.complete(sig, false, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn work(&mut self, counts: OpCounts, out: &mut Vec<SigAction>) {
+        self.ops_total += counts;
+        out.push(SigAction::Work(counts));
+    }
+
+    fn complete(&mut self, sig: Ubig, broadcast: bool, out: &mut Vec<SigAction>) {
+        self.signature = Some(sig.clone());
+        if broadcast {
+            out.push(SigAction::SendAll(SigMessage::Final(sig.clone())));
+        }
+        out.push(SigAction::Done(sig));
+    }
+
+    /// Processes a share (own or received) according to the protocol rules.
+    fn accept_share(&mut self, share: SignatureShare, out: &mut Vec<SigAction>) {
+        match self.protocol {
+            SigProtocol::Basic => self.accept_share_verified(share, out),
+            SigProtocol::OptProof => {
+                if self.proof_mode {
+                    // Fallback phase: only proofed shares count, and they
+                    // are processed exactly like BASIC.
+                    if share.has_proof() {
+                        self.accept_share_verified(share, out);
+                    } else {
+                        // A late plain share still marks the sender as seen?
+                        // No: the sender will resend with proof under the
+                        // same signer index, so plain shares are dropped.
+                    }
+                } else {
+                    self.seen.push(share.signer());
+                    self.shares.push(share);
+                    if self.shares.len() == self.pk.quorum() {
+                        self.optimistic_attempt(out);
+                    }
+                }
+            }
+            SigProtocol::OptTe => {
+                self.seen.push(share.signer());
+                self.shares.push(share);
+                if self.shares.len() >= self.pk.quorum() {
+                    self.trial_and_error(out);
+                }
+            }
+        }
+    }
+
+    /// BASIC share rule: verify the proof, collect `t + 1` valid shares,
+    /// assemble, verify.
+    fn accept_share_verified(&mut self, share: SignatureShare, out: &mut Vec<SigAction>) {
+        if self.shares.len() >= self.pk.quorum() {
+            return;
+        }
+        self.seen.push(share.signer());
+        self.work(OpCounts::proof_verify(), out);
+        if !share.verify(&self.x, &self.pk) {
+            return;
+        }
+        self.shares.push(share);
+        if self.shares.len() == self.pk.quorum() {
+            self.work(OpCounts::assemble() + OpCounts::sig_verify(), out);
+            match self.pk.assemble(&self.x, &self.shares) {
+                Ok(sig) => {
+                    let broadcast = self.protocol == SigProtocol::OptProof;
+                    self.complete(sig, broadcast, out);
+                }
+                Err(_) => {
+                    // Unreachable with sound proofs; tolerate by waiting
+                    // for more shares.
+                    self.shares.pop();
+                    self.seen.pop();
+                }
+            }
+        }
+    }
+
+    /// OPTPROOF first attempt: assemble the first `t + 1` plain shares.
+    fn optimistic_attempt(&mut self, out: &mut Vec<SigAction>) {
+        self.work(OpCounts::assemble() + OpCounts::sig_verify(), out);
+        match self.pk.assemble(&self.x, &self.shares) {
+            Ok(sig) => self.complete(sig, true, out),
+            Err(_) => {
+                // Fall back: ask everyone (the loopback included — our own
+                // proofed share arrives like the others') for proofs, and
+                // restart collection under the BASIC processing rule.
+                self.proof_mode = true;
+                self.shares.clear();
+                self.seen.clear();
+                out.push(SigAction::SendAll(SigMessage::ProofRequest));
+            }
+        }
+    }
+
+    /// OPTTE: try every untried `(t + 1)`-subset that includes the newest
+    /// share; keep at most `2t + 1` shares in total.
+    fn trial_and_error(&mut self, out: &mut Vec<SigAction>) {
+        let quorum = self.pk.quorum();
+        let newest = self.shares.len() - 1;
+        // Enumerate (quorum-1)-subsets of the older shares and append the
+        // newest; this tries each subset exactly once across all calls.
+        let older: Vec<usize> = (0..newest).collect();
+        let mut combo: Vec<usize> = Vec::with_capacity(quorum);
+        let mut candidates: Vec<Vec<usize>> = Vec::new();
+        fn enumerate(older: &[usize], need: usize, start: usize, cur: &mut Vec<usize>, acc: &mut Vec<Vec<usize>>) {
+            if need == 0 {
+                acc.push(cur.clone());
+                return;
+            }
+            for i in start..older.len() {
+                cur.push(older[i]);
+                enumerate(older, need - 1, i + 1, cur, acc);
+                cur.pop();
+            }
+        }
+        enumerate(&older, quorum - 1, 0, &mut combo, &mut candidates);
+
+        for subset in candidates {
+            let mut attempt: Vec<SignatureShare> =
+                subset.iter().map(|&i| self.shares[i].clone()).collect();
+            attempt.push(self.shares[newest].clone());
+            self.work(OpCounts::assemble() + OpCounts::sig_verify(), out);
+            if let Ok(sig) = self.pk.assemble(&self.x, &attempt) {
+                self.complete(sig, false, out);
+                return;
+            }
+        }
+        // Guaranteed to succeed once 2t+1 distinct shares have arrived;
+        // until then, keep waiting.
+        debug_assert!(
+            self.shares.len() <= 2 * self.pk.threshold() + 1,
+            "2t+1 distinct shares must contain t+1 valid ones"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::test_support::{key_4_1, key_7_2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::VecDeque;
+
+    /// Runs `n` sessions to completion over an in-memory network.
+    /// `corrupted` servers invert the bits of every share they send.
+    /// Returns the signatures (by server, None for corrupted servers that
+    /// never complete is not possible here — corrupted servers still run
+    /// the protocol, only their outgoing shares are tampered with) and the
+    /// op counts per server.
+    fn run(
+        protocol: SigProtocol,
+        pk: &ThresholdPublicKey,
+        shares: &[KeyShare],
+        corrupted: &[usize],
+        x: u64,
+    ) -> (Vec<Ubig>, Vec<OpCounts>) {
+        let n = pk.parties();
+        let pk = Arc::new(pk.clone());
+        let x = Ubig::from(x);
+        let mut rng = StdRng::seed_from_u64(x.to_u64().unwrap() ^ 0xFEED);
+        let mut queue: VecDeque<(usize, usize, SigMessage)> = VecDeque::new();
+        let mut sessions: Vec<SigningSession> = Vec::new();
+
+        let handle = |me: usize,
+                          actions: Vec<SigAction>,
+                          queue: &mut VecDeque<(usize, usize, SigMessage)>| {
+            for a in actions {
+                if let SigAction::SendAll(m) = a {
+                    // SendAll includes the loopback to self; corruption
+                    // inverts share bits on the way out to *others* (§4.4).
+                    for to in 0..n {
+                        let msg = if corrupted.contains(&me) && to != me {
+                            match &m {
+                                SigMessage::Share(s) => SigMessage::Share(s.bitwise_inverted()),
+                                other => other.clone(),
+                            }
+                        } else {
+                            m.clone()
+                        };
+                        queue.push_back((me, to, msg));
+                    }
+                }
+            }
+        };
+
+        for (i, share) in shares.iter().enumerate().take(n) {
+            let (s, actions) =
+                SigningSession::new(protocol, Arc::clone(&pk), share.clone(), x.clone(), &mut rng);
+            sessions.push(s);
+            handle(i, actions, &mut queue);
+        }
+        let mut guard = 0;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 100_000, "protocol did not terminate");
+            let actions = sessions[to].on_message(from + 1, msg, &mut rng);
+            handle(to, actions, &mut queue);
+        }
+        let sigs: Vec<Ubig> = sessions
+            .iter()
+            .map(|s| s.signature().cloned().unwrap_or_else(|| panic!("session incomplete")))
+            .collect();
+        let ops = sessions.iter().map(|s| s.ops_total()).collect();
+        (sigs, ops)
+    }
+
+    #[test]
+    fn basic_honest_4() {
+        let (pk, shares) = key_4_1();
+        let (sigs, ops) = run(SigProtocol::Basic, pk, shares, &[], 1001);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(1001u64), s));
+        }
+        // BASIC always pays for proofs.
+        for o in &ops {
+            assert!(o.proof_gens >= 1);
+            assert!(o.proof_verifies >= pk.quorum() as u32);
+        }
+    }
+
+    #[test]
+    fn optproof_honest_4() {
+        let (pk, shares) = key_4_1();
+        let (sigs, ops) = run(SigProtocol::OptProof, pk, shares, &[], 1002);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(1002u64), s));
+        }
+        // Honest case: nobody generates or verifies a proof.
+        for o in &ops {
+            assert_eq!(o.proof_gens, 0);
+            assert_eq!(o.proof_verifies, 0);
+        }
+    }
+
+    #[test]
+    fn optte_honest_4() {
+        let (pk, shares) = key_4_1();
+        let (sigs, ops) = run(SigProtocol::OptTe, pk, shares, &[], 1003);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(1003u64), s));
+        }
+        // Honest case: exactly one assembly attempt each, no proofs ever.
+        for o in &ops {
+            assert_eq!(o.proof_gens, 0);
+            assert_eq!(o.assembles, 1);
+        }
+    }
+
+    #[test]
+    fn basic_with_one_corruption() {
+        let (pk, shares) = key_4_1();
+        let (sigs, _) = run(SigProtocol::Basic, pk, shares, &[0], 2001);
+        // Corrupted server 0 only tampers its *outgoing* shares; every
+        // session still completes with a valid signature.
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(2001u64), s));
+        }
+    }
+
+    #[test]
+    fn optproof_with_one_corruption_falls_back() {
+        let (pk, shares) = key_4_1();
+        let (sigs, ops) = run(SigProtocol::OptProof, pk, shares, &[0], 2002);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(2002u64), s));
+        }
+        // At least one honest server must have fallen back to proofs OR
+        // received a final signature from a server that succeeded
+        // optimistically (possible when its first t+1 shares were all honest).
+        let any_proofs = ops.iter().any(|o| o.proof_gens > 0 || o.proof_verifies > 0);
+        let any_final_verify = ops.iter().any(|o| o.sig_verifies > 1);
+        assert!(any_proofs || any_final_verify);
+    }
+
+    #[test]
+    fn optte_with_two_corruptions_7() {
+        let (pk, shares) = key_7_2();
+        let (sigs, ops) = run(SigProtocol::OptTe, pk, shares, &[1, 4], 2003);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(2003u64), s));
+        }
+        // Someone needed more than one attempt.
+        assert!(ops.iter().any(|o| o.assembles > 1));
+        // Nobody ever needs proofs in OPTTE.
+        for o in &ops {
+            assert_eq!(o.proof_gens, 0);
+            assert_eq!(o.proof_verifies, 0);
+        }
+    }
+
+    #[test]
+    fn basic_with_two_corruptions_7() {
+        let (pk, shares) = key_7_2();
+        let (sigs, _) = run(SigProtocol::Basic, pk, shares, &[0, 6], 2004);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(2004u64), s));
+        }
+    }
+
+    #[test]
+    fn optproof_with_two_corruptions_7() {
+        let (pk, shares) = key_7_2();
+        let (sigs, _) = run(SigProtocol::OptProof, pk, shares, &[2, 3], 2005);
+        for s in &sigs {
+            assert!(pk.verify(&Ubig::from(2005u64), s));
+        }
+    }
+
+    #[test]
+    fn all_protocols_agree_on_signature() {
+        let (pk, shares) = key_4_1();
+        let x = 3001;
+        let mut results = Vec::new();
+        for p in SigProtocol::ALL {
+            let (sigs, _) = run(p, pk, shares, &[], x);
+            results.push(sigs[0].clone());
+        }
+        // RSA signatures are deterministic and unique.
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn work_ordering_basic_heavier_than_optte() {
+        let (pk, shares) = key_7_2();
+        let costs = crate::ops::OpCosts::paper_table3();
+        let (_, basic) = run(SigProtocol::Basic, pk, shares, &[], 4001);
+        let (_, optte) = run(SigProtocol::OptTe, pk, shares, &[], 4001);
+        let avg = |v: &[OpCounts]| {
+            v.iter().map(|c| costs.seconds(*c)).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            avg(&basic) > 3.0 * avg(&optte),
+            "BASIC ({}) must cost much more than OPTTE ({})",
+            avg(&basic),
+            avg(&optte)
+        );
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(SigProtocol::Basic.to_string(), "BASIC");
+        assert_eq!(SigProtocol::OptProof.to_string(), "OPTPROOF");
+        assert_eq!(SigProtocol::OptTe.to_string(), "OPTTE");
+    }
+
+    #[test]
+    fn late_share_after_done_is_ignored() {
+        let (pk, shares) = key_4_1();
+        let pk_arc = Arc::new(pk.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Ubig::from(88u64);
+        let (mut s1, _) =
+            SigningSession::new(SigProtocol::OptTe, Arc::clone(&pk_arc), shares[0].clone(), x.clone(), &mut rng);
+        // Loopback of the own share, then a remote share completes the quorum.
+        let own = shares[0].sign(&x, pk);
+        let _ = s1.on_message(1, SigMessage::Share(own), &mut rng);
+        let share2 = shares[1].sign(&x, pk);
+        let out = s1.on_message(2, SigMessage::Share(share2), &mut rng);
+        assert!(out.iter().any(|a| matches!(a, SigAction::Done(_))));
+        assert!(s1.is_done());
+        // A third share arrives late: no actions.
+        let share3 = shares[2].sign(&x, pk);
+        assert!(s1.on_message(3, SigMessage::Share(share3), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn mislabelled_share_rejected() {
+        let (pk, shares) = key_4_1();
+        let pk_arc = Arc::new(pk.clone());
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Ubig::from(99u64);
+        let (mut s1, _) =
+            SigningSession::new(SigProtocol::Basic, Arc::clone(&pk_arc), shares[0].clone(), x.clone(), &mut rng);
+        // Share claims signer 3 but arrives "from" 2: dropped without work.
+        let share3 = shares[2].sign_with_proof(&x, pk, &mut rng);
+        let out = s1.on_message(2, SigMessage::Share(share3), &mut rng);
+        assert!(out.is_empty());
+        assert!(!s1.is_done());
+    }
+
+    #[test]
+    fn bogus_final_signature_rejected() {
+        let (pk, shares) = key_4_1();
+        let pk_arc = Arc::new(pk.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Ubig::from(111u64);
+        let (mut s1, _) =
+            SigningSession::new(SigProtocol::OptProof, Arc::clone(&pk_arc), shares[0].clone(), x.clone(), &mut rng);
+        let out = s1.on_message(2, SigMessage::Final(Ubig::from(1234u64)), &mut rng);
+        assert!(!s1.is_done());
+        // It did cost a verification.
+        assert!(out.iter().any(|a| matches!(a, SigAction::Work(c) if c.sig_verifies == 1)));
+    }
+}

@@ -1,0 +1,272 @@
+//! Plain (non-threshold) RSA with PKCS#1 v1.5 signatures.
+//!
+//! This is the signature scheme DNSSEC clients verify; the threshold scheme
+//! in [`crate::threshold`] produces signatures indistinguishable from these.
+//! The plain scheme is used for the base-case experiments (a single
+//! unreplicated server, row `(1,0)` of Table 2) and as the verification
+//! counterpart everywhere.
+
+use crate::pkcs1::{emsa_encode, EncodeError, HashAlg};
+use rand::Rng;
+use sdns_bigint::{gen_prime, Ubig};
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The message could not be PKCS#1-encoded for this modulus.
+    Encode(EncodeError),
+    /// The signature value is not smaller than the modulus.
+    SignatureOutOfRange,
+    /// The signature did not verify.
+    BadSignature,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::Encode(e) => write!(f, "{e}"),
+            RsaError::SignatureOutOfRange => write!(f, "signature value out of range"),
+            RsaError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+impl From<EncodeError> for RsaError {
+    fn from(e: EncodeError) -> Self {
+        RsaError::Encode(e)
+    }
+}
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    n: Ubig,
+    e: Ubig,
+}
+
+impl RsaPublicKey {
+    /// Creates a public key from a modulus and public exponent.
+    pub fn new(n: Ubig, e: Ubig) -> Self {
+        RsaPublicKey { n, e }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// The public exponent.
+    pub fn exponent(&self) -> &Ubig {
+        &self.e
+    }
+
+    /// The modulus size in whole bytes (ceiling).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Verifies a PKCS#1 v1.5 signature over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::BadSignature`] when the signature is invalid,
+    /// [`RsaError::SignatureOutOfRange`] when `signature >= n`.
+    ///
+    /// ```
+    /// # use sdns_crypto::rsa::RsaPrivateKey;
+    /// # use sdns_crypto::pkcs1::HashAlg;
+    /// # let mut rng = rand::thread_rng();
+    /// let key = RsaPrivateKey::generate(512, &mut rng);
+    /// let sig = key.sign(b"zone data", HashAlg::Sha1)?;
+    /// key.public_key().verify(b"zone data", &sig, HashAlg::Sha1)?;
+    /// # Ok::<(), sdns_crypto::rsa::RsaError>(())
+    /// ```
+    pub fn verify(&self, message: &[u8], signature: &Ubig, alg: HashAlg) -> Result<(), RsaError> {
+        if signature >= &self.n {
+            return Err(RsaError::SignatureOutOfRange);
+        }
+        let em = emsa_encode(message, alg, self.modulus_len())?;
+        let recovered = signature.modpow(&self.e, &self.n);
+        if recovered.to_bytes_be_padded(self.modulus_len()) == em {
+            Ok(())
+        } else {
+            Err(RsaError::BadSignature)
+        }
+    }
+
+    /// Returns the PKCS#1-encoded representative of `message` as an integer
+    /// below the modulus — the value the (threshold) signing exponentiation
+    /// operates on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::Encode`] when the modulus is too small.
+    pub fn message_representative(&self, message: &[u8], alg: HashAlg) -> Result<Ubig, RsaError> {
+        let em = emsa_encode(message, alg, self.modulus_len())?;
+        Ok(Ubig::from_bytes_be(&em))
+    }
+}
+
+/// An RSA private key with CRT acceleration.
+#[derive(Debug, Clone)]
+pub struct RsaPrivateKey {
+    public: RsaPublicKey,
+    d: Ubig,
+    p: Ubig,
+    q: Ubig,
+    d_p: Ubig,
+    d_q: Ubig,
+    q_inv: Ubig,
+}
+
+impl RsaPrivateKey {
+    /// Generates a fresh key with a modulus of `bits` bits and `e = 65537`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 96` (too small to hold a PKCS#1 SHA-1 encoding
+    /// would in fact need more; 96 is the hard floor for the arithmetic).
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 96, "RSA modulus must be at least 96 bits");
+        let e = Ubig::from(65537u64);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let phi = (&p - &Ubig::one()) * (&q - &Ubig::one());
+            let Some(d) = e.modinv(&phi) else { continue };
+            return Self::from_factors(p, q, e, d);
+        }
+    }
+
+    /// Reconstructs a key from its prime factors and exponents.
+    pub fn from_factors(p: Ubig, q: Ubig, e: Ubig, d: Ubig) -> Self {
+        let n = &p * &q;
+        let d_p = &d % &(&p - &Ubig::one());
+        let d_q = &d % &(&q - &Ubig::one());
+        let q_inv = q.modinv(&p).expect("p, q distinct primes");
+        RsaPrivateKey { public: RsaPublicKey::new(n, e), d, p, q, d_p, d_q, q_inv }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// The private exponent.
+    pub fn private_exponent(&self) -> &Ubig {
+        &self.d
+    }
+
+    /// Raw RSA private-key operation `x^d mod n` using the CRT.
+    pub fn raw_decrypt(&self, x: &Ubig) -> Ubig {
+        let m1 = x.modpow(&self.d_p, &self.p);
+        let m2 = x.modpow(&self.d_q, &self.q);
+        // h = q_inv * (m1 - m2) mod p
+        let diff = if m1 >= m2 { &m1 - &m2 } else { &self.p - &((&m2 - &m1) % &self.p) } % &self.p;
+        let h = (&self.q_inv * &diff) % &self.p;
+        m2 + &self.q * &h
+    }
+
+    /// Signs `message` with PKCS#1 v1.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::Encode`] when the modulus is too small for the
+    /// chosen hash.
+    pub fn sign(&self, message: &[u8], alg: HashAlg) -> Result<Ubig, RsaError> {
+        let x = self.public.message_representative(message, alg)?;
+        Ok(self.raw_decrypt(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x15A)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(512, &mut r);
+        for msg in [b"".as_slice(), b"a", b"the quick brown fox", &[0u8; 1000]] {
+            let sig = key.sign(msg, HashAlg::Sha1).unwrap();
+            key.public_key().verify(msg, &sig, HashAlg::Sha1).unwrap();
+        }
+    }
+
+    #[test]
+    fn sha256_roundtrip() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(512, &mut r);
+        let sig = key.sign(b"m", HashAlg::Sha256).unwrap();
+        key.public_key().verify(b"m", &sig, HashAlg::Sha256).unwrap();
+        assert!(key.public_key().verify(b"m", &sig, HashAlg::Sha1).is_err());
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(512, &mut r);
+        let sig = key.sign(b"genuine", HashAlg::Sha1).unwrap();
+        assert_eq!(
+            key.public_key().verify(b"forged", &sig, HashAlg::Sha1),
+            Err(RsaError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(512, &mut r);
+        let sig = key.sign(b"msg", HashAlg::Sha1).unwrap();
+        let tampered = &sig + &Ubig::one();
+        assert!(key.public_key().verify(b"msg", &tampered, HashAlg::Sha1).is_err());
+    }
+
+    #[test]
+    fn signature_out_of_range() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(512, &mut r);
+        let huge = key.public_key().modulus() + &Ubig::one();
+        assert_eq!(
+            key.public_key().verify(b"msg", &huge, HashAlg::Sha1),
+            Err(RsaError::SignatureOutOfRange)
+        );
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(256, &mut r);
+        let n = key.public_key().modulus();
+        for _ in 0..5 {
+            let x = Ubig::random_below(&mut r, n);
+            assert_eq!(key.raw_decrypt(&x), x.modpow(key.private_exponent(), n));
+        }
+    }
+
+    #[test]
+    fn verify_with_wrong_key_fails() {
+        let mut r = rng();
+        let k1 = RsaPrivateKey::generate(512, &mut r);
+        let k2 = RsaPrivateKey::generate(512, &mut r);
+        let sig = k1.sign(b"msg", HashAlg::Sha1).unwrap();
+        assert!(k2.public_key().verify(b"msg", &sig, HashAlg::Sha1).is_err());
+    }
+
+    #[test]
+    fn modulus_len() {
+        let mut r = rng();
+        let key = RsaPrivateKey::generate(512, &mut r);
+        assert_eq!(key.public_key().modulus_len(), 64);
+    }
+}

@@ -1,0 +1,157 @@
+//! The trusted dealer: key generation and share distribution.
+//!
+//! The paper's prototype runs this as an offline "key generation utility
+//! ... run by a trusted entity" whose output is transported to each server
+//! over a secure channel (§4.3). The dealer is the only place the private
+//! exponent `d` ever exists in one piece.
+
+use super::{factorial, KeyShare, ThresholdPublicKey};
+use rand::Rng;
+use sdns_bigint::{gen_safe_prime, Ubig};
+
+/// Generates `(n, t)` threshold RSA keys.
+///
+/// See [`Dealer::deal`].
+#[derive(Debug)]
+pub struct Dealer;
+
+impl Dealer {
+    /// Deals an `(n, t)` threshold RSA key with a modulus of `bits` bits.
+    ///
+    /// Returns the public key and one [`KeyShare`] per server (server
+    /// indices are 1-based: `shares[i]` belongs to server `i + 1`).
+    ///
+    /// The modulus is a product of two safe primes as Shoup's scheme
+    /// requires. Generating safe primes is expensive (minutes for
+    /// 1024-bit moduli); production deployments run this once, offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t + 1 > n`, if `n >= 65537` (the public exponent must
+    /// exceed `n`), or if `bits < 96`.
+    pub fn deal<R: Rng + ?Sized>(
+        bits: usize,
+        n: usize,
+        t: usize,
+        rng: &mut R,
+    ) -> (ThresholdPublicKey, Vec<KeyShare>) {
+        assert!(n >= 1, "need at least one server");
+        assert!(t < n, "quorum t+1 must not exceed n");
+        assert!(n < 65537, "public exponent 65537 must exceed n");
+        assert!(bits >= 96, "modulus must be at least 96 bits");
+
+        let e = Ubig::from(65537u64);
+        let (modulus, m) = loop {
+            let p = gen_safe_prime(bits / 2, rng);
+            let q = gen_safe_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let p1 = (&p - &Ubig::one()) >> 1;
+            let q1 = (&q - &Ubig::one()) >> 1;
+            let m = &p1 * &q1;
+            // e must be invertible mod m = p'q'; since e is prime this only
+            // fails when e equals p' or q'.
+            if (&m % &e).is_zero() || p1 == e || q1 == e {
+                continue;
+            }
+            break (&p * &q, m);
+        };
+        let d = e.modinv(&m).expect("e invertible mod m by construction");
+
+        // Share d with a random degree-t polynomial over Z_m: f(0) = d.
+        let mut coefficients = vec![d];
+        for _ in 0..t {
+            coefficients.push(Ubig::random_below(rng, &m));
+        }
+        let shares: Vec<KeyShare> = (1..=n)
+            .map(|i| KeyShare::new(i, eval_poly(&coefficients, i, &m)))
+            .collect();
+
+        // Verification base: a random square (generates Q_N w.h.p.).
+        let v = loop {
+            let u = Ubig::random_below(rng, &modulus);
+            if u.gcd(&modulus).is_one() && !u.is_zero() {
+                break u.modpow(&Ubig::two(), &modulus);
+            }
+        };
+        let verification_keys =
+            shares.iter().map(|s| v.modpow(s.secret(), &modulus)).collect();
+
+        let pk = ThresholdPublicKey {
+            n_parties: n,
+            threshold: t,
+            modulus,
+            exponent: e,
+            v,
+            verification_keys,
+        };
+        debug_assert!(factorial(n) > Ubig::zero());
+        (pk, shares)
+    }
+}
+
+/// Evaluates `f(x) = Σ c_k x^k mod m` at integer `x` (Horner).
+fn eval_poly(coefficients: &[Ubig], x: usize, m: &Ubig) -> Ubig {
+    let x = Ubig::from(x as u64);
+    let mut acc = Ubig::zero();
+    for c in coefficients.iter().rev() {
+        acc = (&(&acc * &x) + c) % m;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::test_support::key_4_1;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_poly_horner() {
+        // f(x) = 3 + 2x + x^2 mod 101
+        let coeffs = vec![Ubig::from(3u64), Ubig::from(2u64), Ubig::from(1u64)];
+        let m = Ubig::from(101u64);
+        assert_eq!(eval_poly(&coeffs, 0, &m), Ubig::from(3u64));
+        assert_eq!(eval_poly(&coeffs, 1, &m), Ubig::from(6u64));
+        assert_eq!(eval_poly(&coeffs, 10, &m), Ubig::from((3 + 20 + 100u64) % 101));
+    }
+
+    #[test]
+    fn deal_basic_structure() {
+        let (pk, shares) = key_4_1();
+        assert_eq!(shares.len(), 4);
+        for (i, s) in shares.iter().enumerate() {
+            assert_eq!(s.index(), i + 1);
+            assert!(s.secret() < pk.modulus());
+        }
+        // Modulus is odd and not prime-sized small.
+        assert!(pk.modulus().is_odd());
+    }
+
+    #[test]
+    fn shares_are_distinct() {
+        let (_, shares) = key_4_1();
+        for i in 0..shares.len() {
+            for j in i + 1..shares.len() {
+                assert_ne!(shares[i].secret(), shares[j].secret());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_server() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (pk, shares) = Dealer::deal(128, 1, 0, &mut rng);
+        assert_eq!(pk.parties(), 1);
+        assert_eq!(pk.quorum(), 1);
+        assert_eq!(shares.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn quorum_larger_than_n_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = Dealer::deal(128, 3, 3, &mut rng);
+    }
+}

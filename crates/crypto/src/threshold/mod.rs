@@ -1,0 +1,253 @@
+//! Shoup's practical threshold RSA signatures (EUROCRYPT 2000).
+//!
+//! An `(n, t)`-threshold signature scheme lets any `t + 1` of `n` servers
+//! collaboratively issue a signature while `t` or fewer servers learn
+//! nothing about the private key. This is how the paper keeps the DNSSEC
+//! zone key *online* for dynamic updates without creating a single point of
+//! compromise (goal G3). Shoup's scheme is non-interactive and produces
+//! **standard RSA signatures**, so unmodified DNSSEC clients can verify
+//! them.
+//!
+//! The scheme in brief:
+//!
+//! - A trusted dealer picks safe primes `p = 2p' + 1`, `q = 2q' + 1`,
+//!   sets `N = pq`, `m = p'q'`, public exponent `e` (prime, `> n`), and
+//!   `d = e^{-1} mod m`. It shares `d` with a random degree-`t` polynomial
+//!   `f` over `Z_m`, giving server `i` the share `s_i = f(i)`.
+//! - A *signature share* on message representative `x` is
+//!   `x_i = x^{2Δs_i} mod N` with `Δ = n!`, optionally accompanied by a
+//!   non-interactive zero-knowledge proof of correctness (a Chaum–Pedersen
+//!   style discrete-log equality proof made non-interactive with
+//!   Fiat–Shamir over SHA-256).
+//! - Any `t + 1` valid shares combine via integer Lagrange interpolation to
+//!   `w` with `w^e = x^{4Δ²}`, and since `gcd(4Δ², e) = 1`, Bézout
+//!   coefficients recover `y` with `y^e = x` — a plain RSA signature.
+//!
+//! # Example
+//!
+//! ```
+//! use sdns_crypto::threshold::Dealer;
+//! use sdns_bigint::Ubig;
+//!
+//! let mut rng = rand::thread_rng();
+//! // (n, t) = (4, 1): 4 servers, any 2 can sign, 1 may be corrupted.
+//! let (pk, shares) = Dealer::deal(256, 4, 1, &mut rng);
+//! let x = Ubig::from(0xDEADBEEFu64); // message representative
+//! let s1 = shares[0].sign(&x, &pk);
+//! let s3 = shares[2].sign(&x, &pk);
+//! let sig = pk.assemble(&x, &[s1, s3]).expect("two valid shares suffice");
+//! assert_eq!(sig.modpow(pk.exponent(), pk.modulus()), x);
+//! ```
+
+mod assemble;
+mod dealer;
+pub mod refresh;
+mod share;
+
+pub use dealer::Dealer;
+pub use share::{KeyShare, ShareProof, SignatureShare};
+
+use sdns_bigint::Ubig;
+
+/// Errors from threshold RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdError {
+    /// Fewer than `t + 1` shares were supplied.
+    NotEnoughShares {
+        /// How many shares were supplied.
+        got: usize,
+        /// The quorum `t + 1`.
+        need: usize,
+    },
+    /// Two shares carried the same signer index.
+    DuplicateSigner(usize),
+    /// A signer index was outside `1..=n`.
+    BadSignerIndex(usize),
+    /// The assembled value failed the final RSA verification, meaning at
+    /// least one supplied share was invalid.
+    InvalidShares,
+    /// A share value was not invertible modulo `N` (would reveal a factor).
+    NotInvertible,
+}
+
+impl std::fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThresholdError::NotEnoughShares { got, need } => {
+                write!(f, "not enough signature shares: got {got}, need {need}")
+            }
+            ThresholdError::DuplicateSigner(i) => write!(f, "duplicate share from signer {i}"),
+            ThresholdError::BadSignerIndex(i) => write!(f, "signer index {i} out of range"),
+            ThresholdError::InvalidShares => write!(f, "assembled signature is invalid"),
+            ThresholdError::NotInvertible => write!(f, "share value not invertible mod N"),
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+/// The public portion of an `(n, t)` threshold RSA key.
+///
+/// Contains everything needed to verify signature shares and to assemble
+/// and verify final signatures; the private key exists only as the `n`
+/// [`KeyShare`]s (and, transiently, inside the [`Dealer`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdPublicKey {
+    /// Total number of servers `n`.
+    n_parties: usize,
+    /// Corruption threshold `t`; `t + 1` shares assemble a signature.
+    threshold: usize,
+    /// RSA modulus `N = pq`, a product of safe primes.
+    modulus: Ubig,
+    /// Public exponent `e` (prime, `> n_parties`).
+    exponent: Ubig,
+    /// Verification base `v`, a generator of the subgroup of squares.
+    v: Ubig,
+    /// Per-server verification keys `v_i = v^{s_i} mod N` (index `i - 1`).
+    verification_keys: Vec<Ubig>,
+}
+
+impl ThresholdPublicKey {
+    /// Reconstructs a public key from its components (for loading from
+    /// disk or the wire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verification_keys.len() != n` or `t + 1 > n`.
+    pub fn from_parts(
+        n: usize,
+        t: usize,
+        modulus: Ubig,
+        exponent: Ubig,
+        verification_base: Ubig,
+        verification_keys: Vec<Ubig>,
+    ) -> Self {
+        assert_eq!(verification_keys.len(), n, "one verification key per server");
+        assert!(t < n, "quorum t+1 must not exceed n");
+        ThresholdPublicKey {
+            n_parties: n,
+            threshold: t,
+            modulus,
+            exponent,
+            v: verification_base,
+            verification_keys,
+        }
+    }
+
+    /// Number of servers `n`.
+    pub fn parties(&self) -> usize {
+        self.n_parties
+    }
+
+    /// Corruption threshold `t`.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of shares needed to sign (`t + 1`).
+    pub fn quorum(&self) -> usize {
+        self.threshold + 1
+    }
+
+    /// The RSA modulus `N`.
+    pub fn modulus(&self) -> &Ubig {
+        &self.modulus
+    }
+
+    /// The RSA public exponent `e`.
+    pub fn exponent(&self) -> &Ubig {
+        &self.exponent
+    }
+
+    /// The proof verification base `v`.
+    pub fn verification_base(&self) -> &Ubig {
+        &self.v
+    }
+
+    /// The verification key `v_i` for server `i` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not in `1..=n`.
+    pub fn verification_key(&self, i: usize) -> &Ubig {
+        &self.verification_keys[i - 1]
+    }
+
+    /// `Δ = n!` as a big integer.
+    pub fn delta(&self) -> Ubig {
+        factorial(self.n_parties)
+    }
+
+    /// Verifies a final assembled signature: `sig^e == x (mod N)`.
+    pub fn verify(&self, x: &Ubig, sig: &Ubig) -> bool {
+        sig.modpow(&self.exponent, &self.modulus) == (x % &self.modulus)
+    }
+
+    /// The corresponding plain RSA public key (for DNSSEC clients).
+    pub fn to_rsa_public_key(&self) -> crate::rsa::RsaPublicKey {
+        crate::rsa::RsaPublicKey::new(self.modulus.clone(), self.exponent.clone())
+    }
+}
+
+pub(crate) fn factorial(n: usize) -> Ubig {
+    let mut acc = Ubig::one();
+    for i in 2..=n {
+        acc = acc * Ubig::from(i as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// A (4, 1) key on a small modulus, generated once per test process.
+    pub fn key_4_1() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
+        static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0x41);
+            Dealer::deal(256, 4, 1, &mut rng)
+        })
+    }
+
+    /// A (7, 2) key on a small modulus, generated once per test process.
+    pub fn key_7_2() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
+        static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0x72);
+            Dealer::deal(256, 7, 2, &mut rng)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), Ubig::one());
+        assert_eq!(factorial(1), Ubig::one());
+        assert_eq!(factorial(4), Ubig::from(24u64));
+        assert_eq!(factorial(7), Ubig::from(5040u64));
+        assert_eq!(factorial(20), Ubig::from(2432902008176640000u64));
+    }
+
+    #[test]
+    fn accessors() {
+        let (pk, shares) = test_support::key_4_1();
+        assert_eq!(pk.parties(), 4);
+        assert_eq!(pk.threshold(), 1);
+        assert_eq!(pk.quorum(), 2);
+        assert_eq!(shares.len(), 4);
+        assert_eq!(pk.delta(), Ubig::from(24u64));
+        assert_eq!(pk.exponent(), &Ubig::from(65537u64));
+        assert!(pk.modulus().bit_len() >= 250);
+        for i in 1..=4 {
+            assert!(!pk.verification_key(i).is_zero());
+        }
+    }
+}

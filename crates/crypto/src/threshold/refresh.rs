@@ -1,0 +1,285 @@
+//! Proactive share refresh — the classic hardening the paper's related
+//! work (COCA, proactive RSA) applies to long-lived threshold keys: the
+//! servers periodically re-randomize their shares so that an attacker
+//! must corrupt `t + 1` servers *within one epoch*; shares stolen across
+//! epochs do not combine.
+//!
+//! Construction (Herzberg-style, adapted to Shoup's integer shares):
+//! each participating server deals a random degree-`t` polynomial
+//! `g(z) = a_1 z + … + a_t z^t` with **zero constant term** over a large
+//! integer interval, sends `g(j)` privately to server `j`, and publishes
+//! commitments `v^{a_c} mod N`. Receivers verify their point against the
+//! commitments; the group then applies an agreed set of verified
+//! dealings: `s'_j = s_j + Σ_i g_i(j)` (over the integers — nobody knows
+//! the secret modulus `m = p'q'`, and integer arithmetic preserves the
+//! Lagrange identity), and the public verification keys update as
+//! `v'_j = v_j · Π_i v^{g_i(j)}`, computable from the commitments alone.
+//!
+//! The zone key `d = f(0)` is unchanged (every dealing has `g(0) = 0`),
+//! so the zone's public key and all previously issued signatures remain
+//! valid. Shares grow by ~`|N| + 128` bits per epoch; deployments that
+//! refresh frequently should re-deal occasionally.
+//!
+//! Scope: this implements the share-rerandomization core. Full proactive
+//! security also needs reboot-time share recovery and agreement on the
+//! dealing set — in this system the dealing set is agreed by running the
+//! dealings through the atomic broadcast, which the caller owns.
+
+use super::{KeyShare, ThresholdPublicKey};
+use rand::Rng;
+use sdns_bigint::Ubig;
+
+/// Extra randomness bits beyond the modulus length in each coefficient.
+const SLACK_BITS: usize = 128;
+
+/// The public part of one server's refresh dealing: commitments to the
+/// polynomial coefficients (`v^{a_1} … v^{a_t}`). The constant term is
+/// implicitly zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshDealing {
+    /// The dealing server (1-based).
+    pub dealer: usize,
+    /// `v^{a_c} mod N` for `c = 1..=t`.
+    pub commitments: Vec<Ubig>,
+}
+
+/// One server's complete dealing: the public commitments plus the
+/// private points `g(j)` for every server `j` (to be sent over the
+/// authenticated private links).
+#[derive(Debug, Clone)]
+pub struct RefreshSecrets {
+    /// The public part.
+    pub dealing: RefreshDealing,
+    /// `points[j - 1] = g(j)` for server `j` (1-based).
+    pub points: Vec<Ubig>,
+}
+
+/// Creates server `dealer`'s refresh dealing for the group of `pk`.
+///
+/// # Panics
+///
+/// Panics if `dealer` is not in `1..=n`.
+pub fn create_dealing<R: Rng + ?Sized>(
+    pk: &ThresholdPublicKey,
+    dealer: usize,
+    rng: &mut R,
+) -> RefreshSecrets {
+    assert!((1..=pk.parties()).contains(&dealer), "dealer index out of range");
+    let bound = Ubig::one() << (pk.modulus().bit_len() + SLACK_BITS);
+    let coefficients: Vec<Ubig> =
+        (0..pk.threshold()).map(|_| Ubig::random_below(rng, &bound)).collect();
+    let commitments = coefficients
+        .iter()
+        .map(|a| pk.verification_base().modpow(a, pk.modulus()))
+        .collect();
+    let points = (1..=pk.parties())
+        .map(|j| {
+            // g(j) = Σ a_c · j^c, c = 1..=t (integer arithmetic).
+            let mut acc = Ubig::zero();
+            let j_big = Ubig::from(j as u64);
+            let mut power = j_big.clone();
+            for a in &coefficients {
+                acc = acc + a * &power;
+                power = &power * &j_big;
+            }
+            acc
+        })
+        .collect();
+    RefreshSecrets { dealing: RefreshDealing { dealer, commitments }, points }
+}
+
+/// The committed value `v^{g(j)} mod N`, computed publicly from the
+/// dealing's commitments.
+pub fn committed_point(pk: &ThresholdPublicKey, dealing: &RefreshDealing, j: usize) -> Ubig {
+    let modulus = pk.modulus();
+    let j_big = Ubig::from(j as u64);
+    let mut power = j_big.clone();
+    let mut acc = Ubig::one();
+    for c in &dealing.commitments {
+        acc = (acc * c.modpow(&power, modulus)) % modulus;
+        power = &power * &j_big;
+    }
+    acc
+}
+
+/// Verifies that a privately received `point` matches `dealing` for
+/// server `j`: `v^{point} == Π v^{a_c · j^c}`.
+pub fn verify_point(
+    pk: &ThresholdPublicKey,
+    dealing: &RefreshDealing,
+    j: usize,
+    point: &Ubig,
+) -> bool {
+    if dealing.commitments.len() != pk.threshold() {
+        return false;
+    }
+    pk.verification_base().modpow(point, pk.modulus()) == committed_point(pk, dealing, j)
+}
+
+/// Applies an agreed set of verified dealings to this server's share.
+/// `received` pairs each dealing with the point this server received
+/// from its dealer (already verified with [`verify_point`]).
+///
+/// Every honest server must apply the *same* dealings in the same epoch
+/// (agree on the set through atomic broadcast); the new share is
+/// `s + Σ g_i(me)`.
+pub fn refresh_share(share: &KeyShare, received: &[(RefreshDealing, Ubig)]) -> KeyShare {
+    let mut secret = share.secret().clone();
+    for (_, point) in received {
+        secret = secret + point;
+    }
+    KeyShare::new(share.index(), secret)
+}
+
+/// Computes the refreshed public key: verification keys updated with the
+/// committed points of the agreed dealings. The modulus, exponent and
+/// verification base — and therefore the zone key — are unchanged.
+pub fn refresh_public_key(pk: &ThresholdPublicKey, dealings: &[RefreshDealing]) -> ThresholdPublicKey {
+    let modulus = pk.modulus().clone();
+    let verification_keys = (1..=pk.parties())
+        .map(|j| {
+            let mut vk = pk.verification_key(j).clone();
+            for d in dealings {
+                vk = (vk * committed_point(pk, d, j)) % &modulus;
+            }
+            vk
+        })
+        .collect();
+    ThresholdPublicKey::from_parts(
+        pk.parties(),
+        pk.threshold(),
+        modulus,
+        pk.exponent().clone(),
+        pk.verification_base().clone(),
+        verification_keys,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::test_support::key_4_1;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x2EF2)
+    }
+
+    /// Full epoch: every server deals; all dealings applied everywhere.
+    fn run_epoch(
+        pk: &ThresholdPublicKey,
+        shares: &[KeyShare],
+        dealers: &[usize],
+    ) -> (ThresholdPublicKey, Vec<KeyShare>) {
+        let mut r = rng();
+        let secrets: Vec<RefreshSecrets> =
+            dealers.iter().map(|&d| create_dealing(pk, d, &mut r)).collect();
+        // Every receiver verifies every point addressed to it.
+        for s in &secrets {
+            for (j, point) in s.points.iter().enumerate() {
+                assert!(verify_point(pk, &s.dealing, j + 1, point), "honest dealing verifies");
+            }
+        }
+        let dealings: Vec<RefreshDealing> = secrets.iter().map(|s| s.dealing.clone()).collect();
+        let new_shares = shares
+            .iter()
+            .map(|share| {
+                let received: Vec<(RefreshDealing, Ubig)> = secrets
+                    .iter()
+                    .map(|s| (s.dealing.clone(), s.points[share.index() - 1].clone()))
+                    .collect();
+                refresh_share(share, &received)
+            })
+            .collect();
+        (refresh_public_key(pk, &dealings), new_shares)
+    }
+
+    #[test]
+    fn refreshed_shares_still_sign_under_the_same_key() {
+        let (pk, shares) = key_4_1();
+        let (new_pk, new_shares) = run_epoch(pk, shares, &[1, 2, 3, 4]);
+        // The RSA public key is unchanged.
+        assert_eq!(new_pk.modulus(), pk.modulus());
+        assert_eq!(new_pk.exponent(), pk.exponent());
+        // New quorums produce valid (and identical) signatures.
+        let x = Ubig::from(0xEF0C_2004u64);
+        let old_sig = pk
+            .assemble(&x, &[shares[0].sign(&x, pk), shares[2].sign(&x, pk)])
+            .expect("old quorum");
+        let new_sig = new_pk
+            .assemble(&x, &[new_shares[1].sign(&x, &new_pk), new_shares[3].sign(&x, &new_pk)])
+            .expect("refreshed quorum");
+        assert_eq!(old_sig, new_sig, "RSA signatures are unique: same key, same signature");
+        assert!(pk.verify(&x, &new_sig), "verifies under the ORIGINAL public key");
+    }
+
+    #[test]
+    fn old_and_new_shares_do_not_mix() {
+        let (pk, shares) = key_4_1();
+        let (new_pk, new_shares) = run_epoch(pk, shares, &[1, 2, 3, 4]);
+        let x = Ubig::from(0x0DD_817u64);
+        // A cross-epoch quorum (one stale share + one fresh) fails: this
+        // is the proactive-security property.
+        let mixed = new_pk.assemble(&x, &[shares[0].sign(&x, &new_pk), new_shares[1].sign(&x, &new_pk)]);
+        assert!(mixed.is_err(), "stale + fresh shares must not combine");
+    }
+
+    #[test]
+    fn refreshed_proofs_verify_under_new_keys_only() {
+        let (pk, shares) = key_4_1();
+        let (new_pk, new_shares) = run_epoch(pk, shares, &[1, 2]);
+        let mut r = rng();
+        let x = Ubig::from(0xBEEFu64);
+        let share = new_shares[0].sign_with_proof(&x, &new_pk, &mut r);
+        assert!(share.verify(&x, &new_pk), "proof verifies against refreshed v_i");
+        assert!(!share.verify(&x, pk), "proof must not verify against the stale v_i");
+    }
+
+    #[test]
+    fn tampered_point_rejected() {
+        let (pk, _) = key_4_1();
+        let mut r = rng();
+        let secrets = create_dealing(pk, 2, &mut r);
+        let tampered = &secrets.points[0] + &Ubig::one();
+        assert!(!verify_point(pk, &secrets.dealing, 1, &tampered));
+        // A point for the wrong recipient fails too.
+        assert!(!verify_point(pk, &secrets.dealing, 2, &secrets.points[0]));
+    }
+
+    #[test]
+    fn wrong_commitment_count_rejected() {
+        let (pk, _) = key_4_1();
+        let mut r = rng();
+        let mut secrets = create_dealing(pk, 1, &mut r);
+        secrets.dealing.commitments.push(Ubig::one());
+        assert!(!verify_point(pk, &secrets.dealing, 1, &secrets.points[0]));
+    }
+
+    #[test]
+    fn partial_dealer_set_works() {
+        // Only t + 1 = 2 servers deal (enough for secrecy against t).
+        let (pk, shares) = key_4_1();
+        let (new_pk, new_shares) = run_epoch(pk, shares, &[2, 4]);
+        let x = Ubig::from(0x7777u64);
+        let sig = new_pk
+            .assemble(&x, &[new_shares[0].sign(&x, &new_pk), new_shares[2].sign(&x, &new_pk)])
+            .expect("signs");
+        assert!(pk.verify(&x, &sig));
+    }
+
+    #[test]
+    fn two_consecutive_epochs() {
+        let (pk, shares) = key_4_1();
+        let (pk1, shares1) = run_epoch(pk, shares, &[1, 2, 3, 4]);
+        let (pk2, shares2) = run_epoch(&pk1, &shares1, &[1, 3]);
+        let x = Ubig::from(0x2222u64);
+        let sig = pk2
+            .assemble(&x, &[shares2[1].sign(&x, &pk2), shares2[2].sign(&x, &pk2)])
+            .expect("epoch-2 quorum signs");
+        assert!(pk.verify(&x, &sig), "still the original zone key");
+        // Epoch-1 shares don't mix with epoch-2 shares.
+        assert!(pk2
+            .assemble(&x, &[shares1[0].sign(&x, &pk2), shares2[1].sign(&x, &pk2)])
+            .is_err());
+    }
+}

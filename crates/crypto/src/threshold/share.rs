@@ -1,0 +1,322 @@
+//! Key shares, signature shares, and share-correctness proofs.
+
+use super::ThresholdPublicKey;
+use crate::sha256::Sha256;
+use rand::Rng;
+use sdns_bigint::Ubig;
+
+/// Bit length of the Fiat–Shamir challenge (Shoup's `L1`).
+const CHALLENGE_BITS: usize = 128;
+
+/// Server `i`'s share `s_i = f(i)` of the private exponent.
+///
+/// This value must be kept secret by its server; `t + 1` of them determine
+/// the key, `t` of them are statistically independent of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyShare {
+    index: usize,
+    secret: Ubig,
+}
+
+impl KeyShare {
+    pub(crate) fn new(index: usize, secret: Ubig) -> Self {
+        assert!(index >= 1, "server indices are 1-based");
+        KeyShare { index, secret }
+    }
+
+    /// Reconstructs a share from its components (for loading from disk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero (indices are 1-based).
+    pub fn from_parts(index: usize, secret: Ubig) -> Self {
+        KeyShare::new(index, secret)
+    }
+
+    /// The 1-based server index `i`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The secret polynomial evaluation `s_i`.
+    pub fn secret(&self) -> &Ubig {
+        &self.secret
+    }
+
+    /// Computes this server's signature share `x_i = x^{2Δs_i} mod N`
+    /// **without** a correctness proof (used by the optimistic protocols).
+    pub fn sign(&self, x: &Ubig, pk: &ThresholdPublicKey) -> SignatureShare {
+        let exponent = Ubig::two() * pk.delta() * &self.secret;
+        SignatureShare {
+            signer: self.index,
+            value: x.modpow(&exponent, pk.modulus()),
+            proof: None,
+        }
+    }
+
+    /// Computes this server's signature share together with a
+    /// non-interactive zero-knowledge proof of its correctness
+    /// (used by the BASIC protocol and by OPTPROOF on demand).
+    pub fn sign_with_proof<R: Rng + ?Sized>(
+        &self,
+        x: &Ubig,
+        pk: &ThresholdPublicKey,
+        rng: &mut R,
+    ) -> SignatureShare {
+        let mut share = self.sign(x, pk);
+        share.proof = Some(self.prove(x, &share.value, pk, rng));
+        share
+    }
+
+    /// Produces a correctness proof for an already-computed share value.
+    ///
+    /// The proof is a Chaum–Pedersen discrete-log-equality proof that
+    /// `log_{x̃}(x_i²) = log_v(v_i)` where `x̃ = x^{4Δ}`, made
+    /// non-interactive with Fiat–Shamir over SHA-256.
+    pub fn prove<R: Rng + ?Sized>(
+        &self,
+        x: &Ubig,
+        share_value: &Ubig,
+        pk: &ThresholdPublicKey,
+        rng: &mut R,
+    ) -> ShareProof {
+        let modulus = pk.modulus();
+        let x_tilde = x.modpow(&(Ubig::from(4u64) * pk.delta()), modulus);
+        let x_i_sq = share_value.modpow(&Ubig::two(), modulus);
+
+        // r ∈ [0, 2^(|N| + 2·L1))
+        let r_bound = Ubig::one() << (modulus.bit_len() + 2 * CHALLENGE_BITS);
+        let r = Ubig::random_below(rng, &r_bound);
+        let v_prime = pk.verification_base().modpow(&r, modulus);
+        let x_prime = x_tilde.modpow(&r, modulus);
+
+        let c = challenge(
+            pk.verification_base(),
+            &x_tilde,
+            pk.verification_key(self.index),
+            &x_i_sq,
+            &v_prime,
+            &x_prime,
+        );
+        // z = s_i·c + r over the integers.
+        let z = &(&self.secret * &c) + &r;
+        ShareProof { z, c }
+    }
+}
+
+/// A non-interactive proof that a signature share is correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareProof {
+    /// The response `z = s_i·c + r`.
+    z: Ubig,
+    /// The Fiat–Shamir challenge `c`.
+    c: Ubig,
+}
+
+/// A signature share `x_i` from server `i`, optionally carrying a
+/// correctness proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureShare {
+    pub(crate) signer: usize,
+    pub(crate) value: Ubig,
+    pub(crate) proof: Option<ShareProof>,
+}
+
+impl SignatureShare {
+    /// The 1-based index of the server that produced this share.
+    pub fn signer(&self) -> usize {
+        self.signer
+    }
+
+    /// The share value `x_i`.
+    pub fn value(&self) -> &Ubig {
+        &self.value
+    }
+
+    /// Whether the share carries a correctness proof.
+    pub fn has_proof(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Constructs a share from raw parts (for wire decoding).
+    pub fn from_parts(signer: usize, value: Ubig, proof: Option<ShareProof>) -> Self {
+        SignatureShare { signer, value, proof }
+    }
+
+    /// Decomposes the share into raw parts (for wire encoding).
+    pub fn proof(&self) -> Option<&ShareProof> {
+        self.proof.as_ref()
+    }
+
+    /// Verifies this share's correctness proof against message
+    /// representative `x`.
+    ///
+    /// Returns `false` if the share carries no proof, the signer index is
+    /// out of range, or the proof does not check out. This is the
+    /// *expensive* verification (two double exponentiations); the paper's
+    /// Table 3 attributes ~47 % of BASIC signing time to it.
+    pub fn verify(&self, x: &Ubig, pk: &ThresholdPublicKey) -> bool {
+        let Some(proof) = &self.proof else { return false };
+        if self.signer < 1 || self.signer > pk.parties() {
+            return false;
+        }
+        let modulus = pk.modulus();
+        let x_tilde = x.modpow(&(Ubig::from(4u64) * pk.delta()), modulus);
+        let x_i_sq = self.value.modpow(&Ubig::two(), modulus);
+        let v_i = pk.verification_key(self.signer);
+
+        // v' = v^z · v_i^{-c},  x' = x̃^z · x_i^{-2c}
+        let Some(v_i_inv) = v_i.modinv(modulus) else { return false };
+        let Some(x_i_inv) = self.value.modinv(modulus) else { return false };
+        let v_prime = (pk.verification_base().modpow(&proof.z, modulus)
+            * v_i_inv.modpow(&proof.c, modulus))
+            % modulus;
+        let x_prime = (x_tilde.modpow(&proof.z, modulus)
+            * x_i_inv.modpow(&(Ubig::two() * &proof.c), modulus))
+            % modulus;
+
+        challenge(pk.verification_base(), &x_tilde, v_i, &x_i_sq, &v_prime, &x_prime) == proof.c
+    }
+
+    /// Returns a copy of this share with all bits of the share value
+    /// inverted — the corruption the paper injects for its experiments
+    /// ("inverts all the bits in its signature share", §4.4).
+    pub fn bitwise_inverted(&self) -> SignatureShare {
+        let len = self.value.to_bytes_be().len().max(1);
+        let inverted: Vec<u8> = self.value.to_bytes_be_padded(len).iter().map(|b| !b).collect();
+        SignatureShare {
+            signer: self.signer,
+            value: Ubig::from_bytes_be(&inverted),
+            proof: self.proof.clone(),
+        }
+    }
+}
+
+impl ShareProof {
+    /// The response component `z`.
+    pub fn z(&self) -> &Ubig {
+        &self.z
+    }
+
+    /// The challenge component `c`.
+    pub fn c(&self) -> &Ubig {
+        &self.c
+    }
+
+    /// Reconstructs a proof from raw parts (for wire decoding).
+    pub fn from_parts(z: Ubig, c: Ubig) -> Self {
+        ShareProof { z, c }
+    }
+}
+
+/// Fiat–Shamir challenge: `H(v ‖ x̃ ‖ v_i ‖ x_i² ‖ v' ‖ x')` truncated to
+/// [`CHALLENGE_BITS`].
+fn challenge(v: &Ubig, x_tilde: &Ubig, v_i: &Ubig, x_i_sq: &Ubig, v_p: &Ubig, x_p: &Ubig) -> Ubig {
+    let mut h = Sha256::new();
+    for part in [v, x_tilde, v_i, x_i_sq, v_p, x_p] {
+        let bytes = part.to_bytes_be();
+        h.update(&(bytes.len() as u32).to_be_bytes());
+        h.update(&bytes);
+    }
+    Ubig::from_bytes_be(&h.finalize()[..CHALLENGE_BITS / 8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::test_support::{key_4_1, key_7_2};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5A)
+    }
+
+    #[test]
+    fn honest_share_with_proof_verifies() {
+        let (pk, shares) = key_4_1();
+        let mut r = rng();
+        let x = Ubig::from(123456789u64);
+        for s in shares {
+            let sig_share = s.sign_with_proof(&x, pk, &mut r);
+            assert!(sig_share.has_proof());
+            assert!(sig_share.verify(&x, pk), "share {} must verify", s.index());
+        }
+    }
+
+    #[test]
+    fn share_without_proof_fails_verification() {
+        let (pk, shares) = key_4_1();
+        let x = Ubig::from(42u64);
+        let sig_share = shares[0].sign(&x, pk);
+        assert!(!sig_share.has_proof());
+        assert!(!sig_share.verify(&x, pk));
+    }
+
+    #[test]
+    fn inverted_share_fails_verification() {
+        let (pk, shares) = key_4_1();
+        let mut r = rng();
+        let x = Ubig::from(987654321u64);
+        let honest = shares[1].sign_with_proof(&x, pk, &mut r);
+        let corrupted = honest.bitwise_inverted();
+        assert!(!corrupted.verify(&x, pk));
+        assert_ne!(corrupted.value(), honest.value());
+        // Double inversion restores the original value.
+        assert_eq!(corrupted.bitwise_inverted().value(), honest.value());
+    }
+
+    #[test]
+    fn proof_bound_to_message() {
+        let (pk, shares) = key_4_1();
+        let mut r = rng();
+        let x1 = Ubig::from(1111u64);
+        let x2 = Ubig::from(2222u64);
+        let share = shares[0].sign_with_proof(&x1, pk, &mut r);
+        assert!(share.verify(&x1, pk));
+        assert!(!share.verify(&x2, pk));
+    }
+
+    #[test]
+    fn proof_bound_to_signer() {
+        let (pk, shares) = key_4_1();
+        let mut r = rng();
+        let x = Ubig::from(777u64);
+        let mut share = shares[0].sign_with_proof(&x, pk, &mut r);
+        // Claiming another server's identity must fail.
+        share.signer = 2;
+        assert!(!share.verify(&x, pk));
+        // Out-of-range signer is rejected, not a panic.
+        share.signer = 99;
+        assert!(!share.verify(&x, pk));
+    }
+
+    #[test]
+    fn wrong_value_with_honest_proof_fails() {
+        let (pk, shares) = key_7_2();
+        let mut r = rng();
+        let x = Ubig::from(31337u64);
+        let honest = shares[3].sign_with_proof(&x, pk, &mut r);
+        let forged = SignatureShare {
+            signer: honest.signer,
+            value: (honest.value() + &Ubig::one()) % pk.modulus(),
+            proof: honest.proof.clone(),
+        };
+        assert!(!forged.verify(&x, pk));
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let (pk, shares) = key_4_1();
+        let mut r = rng();
+        let x = Ubig::from(5u64);
+        let share = shares[0].sign_with_proof(&x, pk, &mut r);
+        let proof = share.proof().unwrap().clone();
+        let rebuilt = SignatureShare::from_parts(
+            share.signer(),
+            share.value().clone(),
+            Some(ShareProof::from_parts(proof.z().clone(), proof.c().clone())),
+        );
+        assert_eq!(rebuilt, share);
+        assert!(rebuilt.verify(&x, pk));
+    }
+}

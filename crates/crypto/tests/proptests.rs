@@ -1,0 +1,130 @@
+//! Property-based tests for the cryptographic layer: hash incrementality,
+//! MAC tamper-detection, RSA and threshold-RSA signing invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sdns_bigint::Ubig;
+use sdns_crypto::pkcs1::HashAlg;
+use sdns_crypto::rsa::RsaPrivateKey;
+use sdns_crypto::threshold::{Dealer, KeyShare, ThresholdPublicKey};
+use sdns_crypto::{hmac_sha1, Sha1, Sha256};
+use std::sync::OnceLock;
+
+/// One (7, 2) threshold key shared by every property (dealt once).
+fn threshold_key() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
+    static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x97);
+        Dealer::deal(256, 7, 2, &mut rng)
+    })
+}
+
+fn rsa_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x98);
+        RsaPrivateKey::generate(512, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                       splits in proptest::collection::vec(0usize..600, 0..4)) {
+        let mut h = Sha1::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c]);
+            prev = c;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                         cut in 0usize..600) {
+        let cut = cut % (data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_detects_any_single_bit_flip(key in proptest::collection::vec(any::<u8>(), 1..40),
+                                        msg in proptest::collection::vec(any::<u8>(), 1..120),
+                                        bit in any::<u32>()) {
+        let mac = hmac_sha1(&key, &msg);
+        let mut tampered = msg.clone();
+        let idx = (bit as usize / 8) % tampered.len();
+        tampered[idx] ^= 1 << (bit % 8);
+        prop_assert_ne!(hmac_sha1(&key, &tampered), mac);
+    }
+
+    #[test]
+    fn rsa_roundtrip_and_cross_rejection(msg in proptest::collection::vec(any::<u8>(), 0..200),
+                                         other in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let key = rsa_key();
+        let sig = key.sign(&msg, HashAlg::Sha1).expect("fits");
+        prop_assert!(key.public_key().verify(&msg, &sig, HashAlg::Sha1).is_ok());
+        if other != msg {
+            prop_assert!(key.public_key().verify(&other, &sig, HashAlg::Sha1).is_err());
+        }
+    }
+
+    #[test]
+    fn any_quorum_signs_and_agrees(x in 1u64..u64::MAX,
+                                   mut picks in proptest::collection::vec(0usize..7, 3)) {
+        picks.sort_unstable();
+        picks.dedup();
+        if picks.len() < 3 {
+            return Ok(()); // need 3 distinct signers
+        }
+        let (pk, shares) = threshold_key();
+        let x = Ubig::from(x) % pk.modulus();
+        if x.is_zero() {
+            return Ok(());
+        }
+        let quorum: Vec<_> = picks.iter().map(|&i| shares[i].sign(&x, pk)).collect();
+        let sig = pk.assemble(&x, &quorum).expect("any t+1 honest shares sign");
+        prop_assert!(pk.verify(&x, &sig));
+        // Signature is unique: the canonical quorum produces the same value.
+        let canonical = pk
+            .assemble(&x, &[shares[0].sign(&x, pk), shares[1].sign(&x, pk), shares[2].sign(&x, pk)])
+            .expect("canonical quorum");
+        prop_assert_eq!(sig, canonical);
+    }
+
+    #[test]
+    fn quorum_with_corrupted_share_fails(x in 1u64..u64::MAX, bad in 0usize..3) {
+        let (pk, shares) = threshold_key();
+        let x = Ubig::from(x) % pk.modulus();
+        if x.is_zero() {
+            return Ok(());
+        }
+        let mut quorum: Vec<_> = (0..3).map(|i| shares[i].sign(&x, pk)).collect();
+        quorum[bad] = quorum[bad].bitwise_inverted();
+        prop_assert!(pk.assemble(&x, &quorum).is_err());
+    }
+
+    #[test]
+    fn proofs_bind_message_and_signer(x in 2u64..u64::MAX, y in 2u64..u64::MAX) {
+        let (pk, shares) = threshold_key();
+        let x = Ubig::from(x) % pk.modulus();
+        let y = Ubig::from(y) % pk.modulus();
+        if x.is_zero() || y.is_zero() {
+            return Ok(());
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(x.to_u64().unwrap_or(1));
+        let share = shares[3].sign_with_proof(&x, pk, &mut rng);
+        prop_assert!(share.verify(&x, pk));
+        if x != y {
+            prop_assert!(!share.verify(&y, pk), "proof must not transfer to another message");
+        }
+    }
+}

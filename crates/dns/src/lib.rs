@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! DNS substrate for the secure distributed name service.
+//!
+//! This crate stands in for the paper's modified BIND `named`: a
+//! deterministic, embeddable DNS implementation covering everything the
+//! replicated service needs —
+//!
+//! - [`Name`] — domain names with DNSSEC canonical ordering,
+//! - [`rr`] — resource records including the DNSSEC-era `KEY`/`SIG`/`NXT`
+//!   types the paper uses (RFC 2535),
+//! - [`wire`] / [`Message`] — the RFC 1035 wire codec with name
+//!   compression,
+//! - [`zone`] — the authoritative zone store and query engine (this is the
+//!   replicated state machine's state),
+//! - [`update`] — RFC 2136 dynamic updates with prerequisites,
+//! - [`sign`] — zone signing split into deterministic *planning* and
+//!   signature *installation*, so the threshold signer can drive it,
+//! - [`tsig`] — transaction signatures authenticating client requests.
+//!
+//! # Example: a signed zone answering a verified query
+//!
+//! ```
+//! use sdns_dns::{zone::Zone, sign, Name, RData, Record, RecordType};
+//! use sdns_crypto::rsa::RsaPrivateKey;
+//!
+//! let mut rng = rand::thread_rng();
+//! let origin: Name = "example.com".parse()?;
+//! let mut zone = Zone::with_default_soa(origin.clone());
+//! zone.insert(Record::new("www.example.com".parse()?, 300,
+//!     RData::A("192.0.2.1".parse().unwrap())));
+//!
+//! let signer = sign::LocalSigner::new(RsaPrivateKey::generate(512, &mut rng));
+//! let meta = sign::SigMeta {
+//!     signer: origin, key_tag: 1, inception: 0, expiration: u32::MAX };
+//! signer.sign_zone(&mut zone, &meta);
+//!
+//! match zone.query(&"www.example.com".parse()?, RecordType::A) {
+//!     sdns_dns::zone::QueryResult::Answer(records) => {
+//!         sign::verify_rrset(&records, signer.public_key()).expect("signed answer");
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), sdns_dns::NameError>(())
+//! ```
+
+pub mod message;
+pub mod name;
+pub mod rr;
+pub mod sign;
+pub mod tsig;
+pub mod update;
+pub mod wire;
+pub mod zone;
+pub mod zonefile;
+
+pub use message::{Flags, Message, Opcode, Question, Rcode};
+pub use name::{Name, NameError};
+pub use rr::{RData, Record, RecordClass, RecordType};
+pub use zone::{QueryResult, Zone};

@@ -1,0 +1,397 @@
+//! DNS messages: header, question, sections, and the wire codec.
+
+use crate::name::Name;
+use crate::rr::{Record, RecordClass, RecordType};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Message opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Opcode {
+    /// A standard query.
+    #[default]
+    Query,
+    /// A dynamic update (RFC 2136).
+    Update,
+    /// An opcode we do not model.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// The 4-bit opcode value.
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Update => 5,
+            Opcode::Unknown(c) => c & 0xF,
+        }
+    }
+
+    /// Decodes a 4-bit opcode value.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0xF {
+            0 => Opcode::Query,
+            5 => Opcode::Update,
+            c => Opcode::Unknown(c),
+        }
+    }
+}
+
+/// Response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// No such name.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused.
+    Refused,
+    /// RFC 2136: a name exists when it should not.
+    YxDomain,
+    /// RFC 2136: an RRset exists when it should not.
+    YxRrset,
+    /// RFC 2136: an RRset that should exist does not.
+    NxRrset,
+    /// Server is not authoritative / TSIG key unknown.
+    NotAuth,
+    /// RFC 2136: a name is outside the zone.
+    NotZone,
+    /// An rcode we do not model.
+    Unknown(u8),
+}
+
+impl Rcode {
+    /// The 4-bit rcode value.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::YxDomain => 6,
+            Rcode::YxRrset => 7,
+            Rcode::NxRrset => 8,
+            Rcode::NotAuth => 9,
+            Rcode::NotZone => 10,
+            Rcode::Unknown(c) => c & 0xF,
+        }
+    }
+
+    /// Decodes a 4-bit rcode value.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0xF {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            6 => Rcode::YxDomain,
+            7 => Rcode::YxRrset,
+            8 => Rcode::NxRrset,
+            9 => Rcode::NotAuth,
+            10 => Rcode::NotZone,
+            c => Rcode::Unknown(c),
+        }
+    }
+}
+
+/// Header flag bits (QR/AA/TC/RD/RA and DNSSEC AD/CD).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Response (1) or query (0).
+    pub qr: bool,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncation.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Authenticated data (DNSSEC).
+    pub ad: bool,
+    /// Checking disabled (DNSSEC).
+    pub cd: bool,
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// Queried class.
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// A standard `IN`-class question.
+    pub fn new(name: Name, qtype: RecordType) -> Self {
+        Question { name, qtype, qclass: RecordClass::In }
+    }
+}
+
+/// A complete DNS message.
+///
+/// For update messages (RFC 2136) the four sections are reinterpreted as
+/// Zone / Prerequisite / Update / Additional; the field names here keep
+/// the query-form names, as RFC 2136 does.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Flag bits.
+    pub flags: Flags,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question (or Zone) section.
+    pub questions: Vec<Question>,
+    /// Answer (or Prerequisite) section.
+    pub answers: Vec<Record>,
+    /// Authority (or Update) section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+
+
+impl Message {
+    /// Builds a query for `name`/`qtype` with a given transaction id.
+    ///
+    /// ```
+    /// use sdns_dns::{Message, RecordType};
+    /// let q = Message::query(7, "www.example.com".parse().unwrap(), RecordType::A);
+    /// assert_eq!(q.id, 7);
+    /// assert_eq!(q.questions.len(), 1);
+    /// ```
+    pub fn query(id: u16, name: Name, qtype: RecordType) -> Self {
+        Message {
+            id,
+            opcode: Opcode::Query,
+            flags: Flags { rd: false, ..Default::default() },
+            rcode: Rcode::NoError,
+            questions: vec![Question::new(name, qtype)],
+            ..Default::default()
+        }
+    }
+
+    /// Builds the skeleton of an RFC 2136 update message for `zone`.
+    pub fn update(id: u16, zone: Name) -> Self {
+        Message {
+            id,
+            opcode: Opcode::Update,
+            questions: vec![Question { name: zone, qtype: RecordType::Soa, qclass: RecordClass::In }],
+            ..Default::default()
+        }
+    }
+
+    /// Builds a response skeleton echoing this message's id, opcode and
+    /// question, with the QR and AA bits set.
+    pub fn response(&self, rcode: Rcode) -> Message {
+        Message {
+            id: self.id,
+            opcode: self.opcode,
+            flags: Flags { qr: true, aa: true, rd: self.flags.rd, ..Default::default() },
+            rcode,
+            questions: self.questions.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Encodes to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u16(self.id);
+        let mut hi = (self.opcode.code() & 0xF) << 3;
+        if self.flags.qr {
+            hi |= 0x80;
+        }
+        if self.flags.aa {
+            hi |= 0x04;
+        }
+        if self.flags.tc {
+            hi |= 0x02;
+        }
+        if self.flags.rd {
+            hi |= 0x01;
+        }
+        let mut lo = self.rcode.code() & 0xF;
+        if self.flags.ra {
+            lo |= 0x80;
+        }
+        if self.flags.ad {
+            lo |= 0x20;
+        }
+        if self.flags.cd {
+            lo |= 0x10;
+        }
+        w.put_u8(hi);
+        w.put_u8(lo);
+        w.put_u16(self.questions.len() as u16);
+        w.put_u16(self.answers.len() as u16);
+        w.put_u16(self.authorities.len() as u16);
+        w.put_u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            w.put_name(&q.name);
+            w.put_u16(q.qtype.code());
+            w.put_u16(q.qclass.code());
+        }
+        for section in [&self.answers, &self.authorities, &self.additionals] {
+            for r in section {
+                w.put_record(r);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut r = WireReader::new(bytes);
+        let id = r.get_u16()?;
+        let hi = r.get_u8()?;
+        let lo = r.get_u8()?;
+        let opcode = Opcode::from_code((hi >> 3) & 0xF);
+        let flags = Flags {
+            qr: hi & 0x80 != 0,
+            aa: hi & 0x04 != 0,
+            tc: hi & 0x02 != 0,
+            rd: hi & 0x01 != 0,
+            ra: lo & 0x80 != 0,
+            ad: lo & 0x20 != 0,
+            cd: lo & 0x10 != 0,
+        };
+        let rcode = Rcode::from_code(lo & 0xF);
+        let qd = r.get_u16()? as usize;
+        let an = r.get_u16()? as usize;
+        let ns = r.get_u16()? as usize;
+        let ar = r.get_u16()? as usize;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            questions.push(Question {
+                name: r.get_name()?,
+                qtype: RecordType::from_code(r.get_u16()?),
+                qclass: RecordClass::from_code(r.get_u16()?),
+            });
+        }
+        let mut read_section = |count: usize| -> Result<Vec<Record>, WireError> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(r.get_record()?);
+            }
+            Ok(out)
+        };
+        let answers = read_section(an)?;
+        let authorities = read_section(ns)?;
+        let additionals = read_section(ar)?;
+        Ok(Message { id, opcode, flags, rcode, questions, answers, authorities, additionals })
+    }
+
+    /// Total record count across the three record sections.
+    pub fn record_count(&self) -> usize {
+        self.answers.len() + self.authorities.len() + self.additionals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::RData;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, n("www.example.com"), RecordType::A);
+        let bytes = q.to_bytes();
+        let decoded = Message::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, q);
+        assert_eq!(decoded.id, 0x1234);
+        assert_eq!(decoded.opcode, Opcode::Query);
+    }
+
+    #[test]
+    fn response_roundtrip_with_records() {
+        let q = Message::query(7, n("www.example.com"), RecordType::A);
+        let mut resp = q.response(Rcode::NoError);
+        resp.answers.push(Record::new(n("www.example.com"), 300, RData::A("192.0.2.1".parse().unwrap())));
+        resp.authorities.push(Record::new(n("example.com"), 600, RData::Ns(n("ns1.example.com"))));
+        resp.additionals.push(Record::new(n("ns1.example.com"), 600, RData::A("192.0.2.53".parse().unwrap())));
+        let decoded = Message::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(decoded, resp);
+        assert!(decoded.flags.qr);
+        assert!(decoded.flags.aa);
+        assert_eq!(decoded.record_count(), 3);
+    }
+
+    #[test]
+    fn update_message_roundtrip() {
+        let mut u = Message::update(99, n("example.com"));
+        u.authorities.push(Record::new(n("new.example.com"), 300, RData::A("203.0.113.9".parse().unwrap())));
+        let decoded = Message::from_bytes(&u.to_bytes()).unwrap();
+        assert_eq!(decoded.opcode, Opcode::Update);
+        assert_eq!(decoded, u);
+    }
+
+    #[test]
+    fn all_rcodes_roundtrip() {
+        for code in 0..=11u8 {
+            let rc = Rcode::from_code(code);
+            assert_eq!(rc.code(), code);
+            let mut m = Message::query(1, n("x.example.com"), RecordType::A);
+            m.rcode = rc;
+            assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap().rcode, rc);
+        }
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let mut m = Message::query(1, n("example.com"), RecordType::Soa);
+        m.flags = Flags { qr: true, aa: true, tc: true, rd: true, ra: true, ad: true, cd: true };
+        let d = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(d.flags, m.flags);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(Message::from_bytes(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn opcode_codes() {
+        assert_eq!(Opcode::Query.code(), 0);
+        assert_eq!(Opcode::Update.code(), 5);
+        assert_eq!(Opcode::from_code(5), Opcode::Update);
+        assert_eq!(Opcode::from_code(9), Opcode::Unknown(9));
+    }
+
+    #[test]
+    fn response_echoes_question() {
+        let q = Message::query(55, n("a.example.com"), RecordType::Txt);
+        let r = q.response(Rcode::NxDomain);
+        assert_eq!(r.id, 55);
+        assert_eq!(r.questions, q.questions);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        assert!(r.flags.qr);
+    }
+}

@@ -1,0 +1,314 @@
+//! Domain names.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a single label in bytes (RFC 1035).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole name on the wire in bytes (RFC 1035).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Error returned when a domain name is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label exceeded 63 bytes.
+    LabelTooLong,
+    /// The whole name exceeded 255 bytes on the wire.
+    NameTooLong,
+    /// An empty label appeared in the middle of a name (`a..b`).
+    EmptyLabel,
+    /// A label contained a byte we do not accept (control characters).
+    BadCharacter,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::LabelTooLong => write!(f, "label exceeds 63 bytes"),
+            NameError::NameTooLong => write!(f, "name exceeds 255 bytes"),
+            NameError::EmptyLabel => write!(f, "empty label inside name"),
+            NameError::BadCharacter => write!(f, "invalid character in label"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A fully-qualified domain name: a sequence of labels, stored
+/// lowercase (DNS names compare case-insensitively; we canonicalize at
+/// construction, as DNSSEC's canonical form requires).
+///
+/// The root name has zero labels.
+///
+/// ```
+/// use sdns_dns::Name;
+/// let n: Name = "WWW.Example.COM.".parse()?;
+/// assert_eq!(n.to_string(), "www.example.com.");
+/// assert_eq!(n.label_count(), 3);
+/// assert!(n.is_subdomain_of(&"example.com".parse()?));
+/// # Ok::<(), sdns_dns::NameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Name {
+    /// Labels in textual order (`www`, `example`, `com`), lowercase.
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from label byte strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NameError`] if any label is empty or too long, or if
+    /// the total wire length exceeds 255 bytes.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, NameError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        let mut wire_len = 1; // trailing root byte
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(NameError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(NameError::LabelTooLong);
+            }
+            if l.iter().any(|&b| b < 0x21 || b == b'.') {
+                return Err(NameError::BadCharacter);
+            }
+            wire_len += 1 + l.len();
+            out.push(l.to_ascii_lowercase());
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(Name { labels: out })
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over the labels in textual order.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// The length of this name in uncompressed wire form.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Returns the parent name (this name minus its leftmost label), or
+    /// `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.is_root() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// Prepends a label, e.g. `example.com -> www.example.com`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Name::from_labels`].
+    pub fn child(&self, label: &str) -> Result<Name, NameError> {
+        let mut labels: Vec<&[u8]> = vec![label.as_bytes()];
+        labels.extend(self.labels.iter().map(|l| l.as_slice()));
+        Name::from_labels(labels)
+    }
+
+    /// Whether `self` is equal to or a subdomain of `ancestor`
+    /// (the DNS "is contained within" relation).
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - ancestor.labels.len();
+        self.labels[offset..] == ancestor.labels[..]
+    }
+
+    /// DNSSEC canonical ordering (RFC 2535 §8.3 / RFC 4034 §6.1):
+    /// names sort by reversed label sequence, labels as lowercase octet
+    /// strings. This is the ordering of the zone's NXT chain.
+    pub fn canonical_cmp(&self, other: &Name) -> Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
+        }
+    }
+
+    /// The canonical (lowercase, uncompressed) wire encoding, used in
+    /// signature computations.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        for l in &self.labels {
+            out.push(l.len() as u8);
+            out.extend_from_slice(l);
+        }
+        out.push(0);
+        out
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+
+    /// Parses `"www.example.com"` or `"www.example.com."`; `"."` and `""`
+    /// are the root.
+    fn from_str(s: &str) -> Result<Self, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        Name::from_labels(s.split('.'))
+    }
+}
+
+impl fmt::Display for Name {
+    /// Formats with a trailing dot (`www.example.com.`); root is `"."`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            // Labels are validated printable-ASCII at construction.
+            f.write_str(std::str::from_utf8(l).map_err(|_| fmt::Error)?)?;
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Total order = canonical DNSSEC order, so `BTreeMap<Name, _>` is
+    /// automatically in NXT-chain order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("www.example.com").to_string(), "www.example.com.");
+        assert_eq!(n("www.example.com.").to_string(), "www.example.com.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+        assert_eq!(n("WWW.EXAMPLE.COM").to_string(), "www.example.com.");
+    }
+
+    #[test]
+    fn case_insensitive_eq() {
+        assert_eq!(n("Example.COM"), n("example.com"));
+        assert_ne!(n("example.com"), n("example.org"));
+    }
+
+    #[test]
+    fn label_validation() {
+        assert_eq!("a..b".parse::<Name>(), Err(NameError::EmptyLabel));
+        let long = "x".repeat(64);
+        assert_eq!(long.parse::<Name>(), Err(NameError::LabelTooLong));
+        let ok = "x".repeat(63);
+        assert!(ok.parse::<Name>().is_ok());
+        assert_eq!("bad label.com".parse::<Name>(), Err(NameError::BadCharacter));
+    }
+
+    #[test]
+    fn name_too_long() {
+        let label = "a".repeat(60);
+        let long_name = [label.as_str(); 5].join(".");
+        assert_eq!(long_name.parse::<Name>(), Err(NameError::NameTooLong));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let name = n("www.example.com");
+        assert_eq!(name.parent().unwrap(), n("example.com"));
+        assert_eq!(n("com").parent().unwrap(), Name::root());
+        assert_eq!(Name::root().parent(), None);
+        assert_eq!(n("example.com").child("mail").unwrap(), n("mail.example.com"));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
+        assert!(!n("badexample.com").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn canonical_ordering_rfc4034() {
+        // The example ordering from RFC 4034 §6.1 (adapted to our charset).
+        let ordered = ["example", "a.example", "yljkjljk.a.example", "z.a.example", "b.example"];
+        for w in ordered.windows(2) {
+            assert_eq!(n(w[0]).canonical_cmp(&n(w[1])), Ordering::Less, "{} < {}", w[0], w[1]);
+        }
+        assert_eq!(Name::root().canonical_cmp(&n("com")), Ordering::Less);
+    }
+
+    #[test]
+    fn btree_order_matches_canonical() {
+        let mut names: Vec<Name> =
+            ["b.example", "a.example", "example", "z.a.example"].iter().map(|s| n(s)).collect();
+        names.sort();
+        let rendered: Vec<String> = names.iter().map(|x| x.to_string()).collect();
+        assert_eq!(rendered, vec!["example.", "a.example.", "z.a.example.", "b.example."]);
+    }
+
+    #[test]
+    fn canonical_bytes() {
+        assert_eq!(n("ab.c").to_canonical_bytes(), vec![2, b'a', b'b', 1, b'c', 0]);
+        assert_eq!(Name::root().to_canonical_bytes(), vec![0]);
+        assert_eq!(n("ab.c").wire_len(), 6);
+    }
+
+    #[test]
+    fn labels_iterator() {
+        let name = n("www.example.com");
+        let labels: Vec<&[u8]> = name.labels().collect();
+        assert_eq!(labels, vec![b"www".as_slice(), b"example", b"com"]);
+        assert_eq!(name.label_count(), 3);
+    }
+}

@@ -1,0 +1,432 @@
+//! Resource records: types, classes, and RDATA.
+
+use crate::name::Name;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A resource record type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Domain name pointer.
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text strings.
+    Txt,
+    /// IPv6 host address.
+    Aaaa,
+    /// Public key (RFC 2535; DNSSEC zone keys).
+    Key,
+    /// Security signature (RFC 2535).
+    Sig,
+    /// Next name in the zone (RFC 2535 authenticated denial).
+    Nxt,
+    /// Transaction signature (RFC 2845).
+    Tsig,
+    /// Query-only: any type.
+    Any,
+    /// A type we do not model further.
+    Unknown(u16),
+}
+
+impl RecordType {
+    /// The IANA type code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Key => 25,
+            RecordType::Sig => 24,
+            RecordType::Nxt => 30,
+            RecordType::Tsig => 250,
+            RecordType::Any => 255,
+            RecordType::Unknown(c) => c,
+        }
+    }
+
+    /// Decodes an IANA type code.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            24 => RecordType::Sig,
+            25 => RecordType::Key,
+            28 => RecordType::Aaaa,
+            30 => RecordType::Nxt,
+            250 => RecordType::Tsig,
+            255 => RecordType::Any,
+            c => RecordType::Unknown(c),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Cname => "CNAME",
+            RecordType::Soa => "SOA",
+            RecordType::Ptr => "PTR",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+            RecordType::Aaaa => "AAAA",
+            RecordType::Key => "KEY",
+            RecordType::Sig => "SIG",
+            RecordType::Nxt => "NXT",
+            RecordType::Tsig => "TSIG",
+            RecordType::Any => "ANY",
+            RecordType::Unknown(c) => return write!(f, "TYPE{c}"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// A record class. `IN` everywhere in practice; `ANY` and `NONE` carry
+/// the RFC 2136 update semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordClass {
+    /// The Internet.
+    In,
+    /// RFC 2136: delete an RRset / prerequisite "name in use".
+    Any,
+    /// RFC 2136: delete a specific record / prerequisite "RRset absent".
+    None,
+    /// A class we do not model further.
+    Unknown(u16),
+}
+
+impl RecordClass {
+    /// The IANA class code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::None => 254,
+            RecordClass::Any => 255,
+            RecordClass::Unknown(c) => c,
+        }
+    }
+
+    /// Decodes an IANA class code.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RecordClass::In,
+            254 => RecordClass::None,
+            255 => RecordClass::Any,
+            c => RecordClass::Unknown(c),
+        }
+    }
+}
+
+impl fmt::Display for RecordClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordClass::In => f.write_str("IN"),
+            RecordClass::Any => f.write_str("ANY"),
+            RecordClass::None => f.write_str("NONE"),
+            RecordClass::Unknown(c) => write!(f, "CLASS{c}"),
+        }
+    }
+}
+
+/// SOA RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SoaData {
+    /// Primary master name.
+    pub mname: Name,
+    /// Responsible mailbox.
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval (seconds).
+    pub retry: u32,
+    /// Expiry (seconds).
+    pub expire: u32,
+    /// Negative-caching TTL (seconds).
+    pub minimum: u32,
+}
+
+/// SIG RDATA (RFC 2535 §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SigData {
+    /// The type of the RRset this SIG covers.
+    pub type_covered: RecordType,
+    /// Signature algorithm (5 = RSA/SHA-1, the paper's setting).
+    pub algorithm: u8,
+    /// Number of labels in the signed name.
+    pub labels: u8,
+    /// The original TTL of the covered RRset.
+    pub original_ttl: u32,
+    /// Expiration time (seconds since the epoch).
+    pub expiration: u32,
+    /// Inception time (seconds since the epoch).
+    pub inception: u32,
+    /// Tag identifying the signing key.
+    pub key_tag: u16,
+    /// Name of the zone that signed.
+    pub signer: Name,
+    /// The RSA signature bytes (big-endian).
+    pub signature: Vec<u8>,
+}
+
+/// KEY RDATA (RFC 2535 §3.1), holding the zone's public key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeyData {
+    /// Flags field (0x0100 = zone key).
+    pub flags: u16,
+    /// Protocol (3 = DNSSEC).
+    pub protocol: u8,
+    /// Algorithm (5 = RSA/SHA-1).
+    pub algorithm: u8,
+    /// The public key bytes (exponent-length prefix ‖ exponent ‖ modulus).
+    pub public_key: Vec<u8>,
+}
+
+/// NXT RDATA (RFC 2535 §5.2): the next name in canonical order plus a
+/// bitmap of the types present at this name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NxtData {
+    /// The next name in the zone's canonical ordering (wrapping to the
+    /// zone apex at the end of the chain).
+    pub next: Name,
+    /// Type codes present at the owner name, sorted ascending.
+    pub types: Vec<u16>,
+}
+
+/// TSIG RDATA (RFC 2845, simplified): transaction signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TsigData {
+    /// Key name identifying the shared secret.
+    pub key_name: Name,
+    /// Signing time (seconds since the epoch).
+    pub time_signed: u64,
+    /// Permitted clock skew (seconds).
+    pub fudge: u16,
+    /// The HMAC-SHA1 over the message.
+    pub mac: Vec<u8>,
+    /// The original message id.
+    pub original_id: u16,
+}
+
+/// The data portion of a resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Name server.
+    Ns(Name),
+    /// Alias.
+    Cname(Name),
+    /// Pointer.
+    Ptr(Name),
+    /// Start of authority.
+    Soa(SoaData),
+    /// Mail exchange: preference and exchanger.
+    Mx(u16, Name),
+    /// Text.
+    Txt(Vec<Vec<u8>>),
+    /// Zone public key.
+    Key(KeyData),
+    /// Signature.
+    Sig(SigData),
+    /// Authenticated denial chain link.
+    Nxt(NxtData),
+    /// Transaction signature.
+    Tsig(TsigData),
+    /// Uninterpreted bytes (unknown types, or empty RDATA in updates).
+    Raw(Vec<u8>),
+}
+
+impl RData {
+    /// The record type corresponding to this data.
+    ///
+    /// [`RData::Raw`] has no intrinsic type; records carry their type
+    /// explicitly for that reason.
+    pub fn record_type(&self) -> Option<RecordType> {
+        Some(match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Ptr(_) => RecordType::Ptr,
+            RData::Soa(_) => RecordType::Soa,
+            RData::Mx(..) => RecordType::Mx,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Key(_) => RecordType::Key,
+            RData::Sig(_) => RecordType::Sig,
+            RData::Nxt(_) => RecordType::Nxt,
+            RData::Tsig(_) => RecordType::Tsig,
+            RData::Raw(_) => return None,
+        })
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Record type (explicit so empty-RDATA update records are expressible).
+    pub rtype: RecordType,
+    /// Record class.
+    pub class: RecordClass,
+    /// Time to live (seconds).
+    pub ttl: u32,
+    /// The data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for ordinary `IN` records; the type is
+    /// derived from the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rdata` is [`RData::Raw`] (no intrinsic type).
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        let rtype = rdata.record_type().expect("RData::Raw needs an explicit type");
+        Record { name, rtype, class: RecordClass::In, ttl, rdata }
+    }
+
+    /// Convenience constructor with explicit type and class (update
+    /// sections need `ANY`/`NONE` classes and empty RDATA).
+    pub fn with_class(
+        name: Name,
+        rtype: RecordType,
+        class: RecordClass,
+        ttl: u32,
+        rdata: RData,
+    ) -> Self {
+        Record { name, rtype, class, ttl, rdata }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} {}", self.name, self.ttl, self.class, self.rtype)?;
+        match &self.rdata {
+            RData::A(a) => write!(f, " {a}"),
+            RData::Aaaa(a) => write!(f, " {a}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, " {n}"),
+            RData::Mx(p, n) => write!(f, " {p} {n}"),
+            RData::Soa(s) => write!(
+                f,
+                " {} {} {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            ),
+            RData::Txt(parts) => {
+                for p in parts {
+                    write!(f, " \"{}\"", String::from_utf8_lossy(p))?;
+                }
+                Ok(())
+            }
+            RData::Key(k) => write!(f, " {} {} {} ({} key bytes)", k.flags, k.protocol, k.algorithm, k.public_key.len()),
+            RData::Sig(s) => write!(
+                f,
+                " {} alg={} labels={} keytag={} signer={} ({} sig bytes)",
+                s.type_covered, s.algorithm, s.labels, s.key_tag, s.signer, s.signature.len()
+            ),
+            RData::Nxt(n) => {
+                write!(f, " {}", n.next)?;
+                for t in &n.types {
+                    write!(f, " {}", RecordType::from_code(*t))?;
+                }
+                Ok(())
+            }
+            RData::Tsig(t) => write!(f, " key={} time={} ({} mac bytes)", t.key_name, t.time_signed, t.mac.len()),
+            RData::Raw(b) => write!(f, " \\# {}", b.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_code_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Key,
+            RecordType::Sig,
+            RecordType::Nxt,
+            RecordType::Tsig,
+            RecordType::Any,
+            RecordType::Unknown(999),
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn class_code_roundtrip() {
+        for c in [RecordClass::In, RecordClass::Any, RecordClass::None, RecordClass::Unknown(42)]
+        {
+            assert_eq!(RecordClass::from_code(c.code()), c);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RecordType::A.to_string(), "A");
+        assert_eq!(RecordType::Unknown(777).to_string(), "TYPE777");
+        assert_eq!(RecordClass::In.to_string(), "IN");
+        let r = Record::new("www.example.com".parse().unwrap(), 300, RData::A("1.2.3.4".parse().unwrap()));
+        assert_eq!(r.to_string(), "www.example.com. 300 IN A 1.2.3.4");
+    }
+
+    #[test]
+    fn rdata_intrinsic_type() {
+        assert_eq!(RData::A("0.0.0.0".parse().unwrap()).record_type(), Some(RecordType::A));
+        assert_eq!(RData::Raw(vec![1, 2]).record_type(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit type")]
+    fn raw_rdata_needs_explicit_type() {
+        let _ = Record::new(Name::root(), 0, RData::Raw(vec![]));
+    }
+
+    #[test]
+    fn with_class_constructor() {
+        let r = Record::with_class(
+            "x.example.com".parse().unwrap(),
+            RecordType::A,
+            RecordClass::Any,
+            0,
+            RData::Raw(vec![]),
+        );
+        assert_eq!(r.class, RecordClass::Any);
+        assert_eq!(r.rtype, RecordType::A);
+    }
+}

@@ -1,0 +1,681 @@
+//! Zone signing (RFC 2535 style): SIG and NXT maintenance, signing plans,
+//! and client-side verification.
+//!
+//! Signing is deliberately split into two phases so that the *distributed*
+//! threshold signer can drive it:
+//!
+//! 1. **Planning** ([`plan_zone_signing`], [`plan_update_resign`]) computes,
+//!    deterministically from zone state, the list of [`SigTask`]s: which
+//!    RRsets need (re-)signing and the exact bytes to sign.
+//! 2. **Installation** ([`install_signature`]) places a completed signature
+//!    into the zone as a SIG record.
+//!
+//! A single-server deployment completes tasks locally with [`LocalSigner`];
+//! the replicated service completes them with the threshold protocols of
+//! `sdns-crypto`. Either way the resulting SIG records verify with
+//! [`verify_rrset`] under the zone's public key, exactly as a standard
+//! DNSSEC client would.
+//!
+//! The paper's latency model falls out of this structure: an "add name"
+//! update yields 4 tasks (the new RRset, the predecessor's NXT, the new
+//! name's NXT, and the SOA), a "delete name" update yields 2 (the
+//! predecessor's NXT and the SOA) — matching the 4 : 2 signature-count
+//! ratio the paper reports for add vs delete.
+
+use crate::name::Name;
+use crate::rr::{KeyData, NxtData, RData, Record, RecordType, SigData};
+use crate::update::UpdateOutcome;
+use crate::wire::{encode_rdata, sig_rdata_prefix};
+use crate::zone::Zone;
+use sdns_bigint::Ubig;
+use sdns_crypto::pkcs1::HashAlg;
+use sdns_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use std::collections::BTreeSet;
+
+/// DNSSEC algorithm number 5: RSA/SHA-1 (the paper's configuration).
+pub const ALG_RSA_SHA1: u8 = 5;
+
+/// Signing metadata shared by all SIGs produced in one signing pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigMeta {
+    /// The signing zone (the SIG `signer` field).
+    pub signer: Name,
+    /// Key tag of the zone key.
+    pub key_tag: u16,
+    /// Inception timestamp (seconds since epoch).
+    pub inception: u32,
+    /// Expiration timestamp (seconds since epoch).
+    pub expiration: u32,
+}
+
+/// One signature to produce: an RRset to cover and the bytes to sign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigTask {
+    /// Owner name of the covered RRset.
+    pub name: Name,
+    /// Type of the covered RRset.
+    pub type_covered: RecordType,
+    /// The SIG record, complete except for the signature bytes.
+    pub template: SigData,
+    /// The exact bytes the RSA signature covers.
+    pub data: Vec<u8>,
+    /// TTL for the SIG record (the covered RRset's TTL).
+    pub ttl: u32,
+}
+
+/// Computes the RFC 2535 §4.1.8 signing buffer: the SIG RDATA prefix
+/// followed by the covered RRset in canonical form.
+fn signing_data(zone: &Zone, name: &Name, rtype: RecordType, template: &SigData) -> Option<SigTask> {
+    let set = zone.rrset(name, rtype)?;
+    let mut data = sig_rdata_prefix(template);
+    // Canonical RRset: records sorted by RDATA bytes.
+    let mut encoded: Vec<Vec<u8>> = set.rdatas.iter().map(encode_rdata).collect();
+    encoded.sort();
+    for rdata in &encoded {
+        data.extend_from_slice(&name.to_canonical_bytes());
+        data.extend_from_slice(&rtype.code().to_be_bytes());
+        data.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        data.extend_from_slice(&set.ttl.to_be_bytes());
+        data.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+        data.extend_from_slice(rdata);
+    }
+    Some(SigTask {
+        name: name.clone(),
+        type_covered: rtype,
+        template: template.clone(),
+        data,
+        ttl: set.ttl,
+    })
+}
+
+/// Builds the SIG template for an RRset.
+fn template_for(zone: &Zone, name: &Name, rtype: RecordType, meta: &SigMeta) -> Option<SigData> {
+    let set = zone.rrset(name, rtype)?;
+    Some(SigData {
+        type_covered: rtype,
+        algorithm: ALG_RSA_SHA1,
+        labels: name.label_count() as u8,
+        original_ttl: set.ttl,
+        expiration: meta.expiration,
+        inception: meta.inception,
+        key_tag: meta.key_tag,
+        signer: meta.signer.clone(),
+        signature: Vec::new(),
+    })
+}
+
+/// Creates one [`SigTask`] for the RRset of `rtype` at `name`.
+pub fn plan_rrset(zone: &Zone, name: &Name, rtype: RecordType, meta: &SigMeta) -> Option<SigTask> {
+    let template = template_for(zone, name, rtype, meta)?;
+    signing_data(zone, name, rtype, &template)
+}
+
+/// Rebuilds the complete NXT chain of the zone (used at initial signing).
+///
+/// Returns the names whose NXT RRset was created or changed.
+pub fn rebuild_nxt_chain(zone: &mut Zone) -> BTreeSet<Name> {
+    let names: Vec<Name> = zone.names().cloned().collect();
+    let mut changed = BTreeSet::new();
+    for (i, name) in names.iter().enumerate() {
+        let next = names[(i + 1) % names.len()].clone();
+        let mut types: Vec<u16> = zone
+            .types_at(name)
+            .filter(|t| *t != RecordType::Nxt)
+            .map(|t| t.code())
+            .collect();
+        types.push(RecordType::Nxt.code());
+        types.push(RecordType::Sig.code());
+        types.sort_unstable();
+        types.dedup();
+        let new_nxt = NxtData { next, types };
+        let current = zone.rrset(name, RecordType::Nxt).map(|s| s.rdatas.clone());
+        if current.as_deref() != Some(std::slice::from_ref(&RData::Nxt(new_nxt.clone()))) {
+            zone.remove_rrset(name, RecordType::Nxt);
+            let minimum = zone.soa().minimum;
+            zone.insert(Record::new(name.clone(), minimum, RData::Nxt(new_nxt)));
+            changed.insert(name.clone());
+        }
+    }
+    changed
+}
+
+/// Incrementally repairs the NXT chain after an update described by
+/// `outcome`. Returns the names whose NXT RRset changed (these need
+/// re-signing).
+pub fn repair_nxt_chain(zone: &mut Zone, outcome: &UpdateOutcome) -> BTreeSet<Name> {
+    let mut dirty: BTreeSet<Name> = BTreeSet::new();
+    // Any added name needs a fresh NXT and dirties its predecessor.
+    for name in &outcome.added_names {
+        dirty.insert(name.clone());
+        if let Some(prev) = zone.predecessor(name) {
+            dirty.insert(prev.clone());
+        }
+    }
+    // Any removed name dirties its (former) predecessor, which now points
+    // past it. Stale NXT/SIG records of the removed name died with it.
+    for name in &outcome.removed_names {
+        if let Some(prev) = zone.predecessor(name) {
+            dirty.insert(prev.clone());
+        }
+    }
+    // A changed type list (records added/removed at an existing name)
+    // changes that name's NXT bitmap.
+    for name in &outcome.changed_names {
+        if zone.contains_name(name) {
+            dirty.insert(name.clone());
+        }
+    }
+
+    let mut rewritten = BTreeSet::new();
+    for name in dirty {
+        if !zone.contains_name(&name) {
+            continue;
+        }
+        let next = zone.successor(&name).cloned().unwrap_or_else(|| name.clone());
+        let mut types: Vec<u16> = zone
+            .types_at(&name)
+            .filter(|t| *t != RecordType::Nxt)
+            .map(|t| t.code())
+            .collect();
+        types.push(RecordType::Nxt.code());
+        types.push(RecordType::Sig.code());
+        types.sort_unstable();
+        types.dedup();
+        let new_nxt = NxtData { next, types };
+        let current = zone.rrset(&name, RecordType::Nxt).map(|s| s.rdatas.clone());
+        if current.as_deref() != Some(std::slice::from_ref(&RData::Nxt(new_nxt.clone()))) {
+            zone.remove_rrset(&name, RecordType::Nxt);
+            let minimum = zone.soa().minimum;
+            zone.insert(Record::new(name.clone(), minimum, RData::Nxt(new_nxt)));
+            rewritten.insert(name);
+        }
+    }
+    rewritten
+}
+
+/// Plans the signing of an entire zone: NXT chain rebuild plus one task
+/// per non-SIG RRset. This is the "special command ... to sign the zone
+/// data using the distributed key" of §4.3.
+pub fn plan_zone_signing(zone: &mut Zone, meta: &SigMeta) -> Vec<SigTask> {
+    rebuild_nxt_chain(zone);
+    let pairs: Vec<(Name, RecordType)> = zone
+        .names()
+        .cloned()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|name| {
+            zone.types_at(&name)
+                .filter(|t| *t != RecordType::Sig)
+                .map(move |t| (name.clone(), t))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    pairs
+        .iter()
+        .filter_map(|(name, rtype)| plan_rrset(zone, name, *rtype, meta))
+        .collect()
+}
+
+/// Plans the re-signing needed after a dynamic update: repairs the NXT
+/// chain and emits one task per changed RRset (changed data RRsets, the
+/// rewritten NXTs, and the SOA whose serial was bumped).
+pub fn plan_update_resign(zone: &mut Zone, outcome: &UpdateOutcome, meta: &SigMeta) -> Vec<SigTask> {
+    if !outcome.changed {
+        return Vec::new();
+    }
+    let nxt_rewritten = repair_nxt_chain(zone, outcome);
+
+    // Collect (name, type) pairs to sign, deduplicated, in deterministic
+    // order: data RRsets first, then NXTs, then the SOA last — mirroring
+    // named's sequential SIG computation.
+    let mut tasks: Vec<(Name, RecordType)> = Vec::new();
+    let push = |tasks: &mut Vec<(Name, RecordType)>, name: &Name, t: RecordType| {
+        let pair = (name.clone(), t);
+        if !tasks.contains(&pair) {
+            tasks.push(pair);
+        }
+    };
+    for name in &outcome.changed_names {
+        if !zone.contains_name(name) {
+            continue;
+        }
+        let types: Vec<RecordType> = zone
+            .types_at(name)
+            .filter(|t| *t != RecordType::Sig && *t != RecordType::Nxt && *t != RecordType::Soa)
+            .collect();
+        for t in types {
+            push(&mut tasks, name, t);
+        }
+    }
+    for name in &nxt_rewritten {
+        push(&mut tasks, name, RecordType::Nxt);
+    }
+    push(&mut tasks, &zone.origin().clone(), RecordType::Soa);
+
+    // Drop stale SIGs for types no longer present at changed names.
+    for name in outcome.changed_names.iter().chain(nxt_rewritten.iter()) {
+        prune_stale_sigs(zone, name);
+    }
+
+    tasks.iter().filter_map(|(name, t)| plan_rrset(zone, name, *t, meta)).collect()
+}
+
+/// Removes SIG records covering types that no longer exist at `name`.
+fn prune_stale_sigs(zone: &mut Zone, name: &Name) {
+    let Some(set) = zone.rrset(name, RecordType::Sig) else { return };
+    let present: Vec<RecordType> = zone.types_at(name).collect();
+    let stale: Vec<RData> = set
+        .rdatas
+        .iter()
+        .filter(|rd| match rd {
+            RData::Sig(s) => !present.contains(&s.type_covered),
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    for rd in stale {
+        zone.remove_record(name, RecordType::Sig, &rd);
+    }
+}
+
+/// Installs a completed signature into the zone, replacing any previous
+/// SIG covering the same type at that name.
+pub fn install_signature(zone: &mut Zone, task: &SigTask, signature_bytes: Vec<u8>) {
+    // Remove the old SIG for this covered type.
+    if let Some(set) = zone.rrset(&task.name, RecordType::Sig) {
+        let old: Vec<RData> = set
+            .rdatas
+            .iter()
+            .filter(
+                |rd| matches!(rd, RData::Sig(s) if s.type_covered == task.type_covered),
+            )
+            .cloned()
+            .collect();
+        for rd in old {
+            zone.remove_record(&task.name, RecordType::Sig, &rd);
+        }
+    }
+    let mut sig = task.template.clone();
+    sig.signature = signature_bytes;
+    zone.insert(Record::new(task.name.clone(), task.ttl, RData::Sig(sig)));
+}
+
+/// A local (single-key, unreplicated) signer: the base case `(1, 0)` of
+/// the paper's experiments, equivalent to classic DNSSEC zone signing
+/// with the private key held on the server.
+#[derive(Debug, Clone)]
+pub struct LocalSigner {
+    key: RsaPrivateKey,
+}
+
+impl LocalSigner {
+    /// Wraps an RSA private key as a zone signer.
+    pub fn new(key: RsaPrivateKey) -> Self {
+        LocalSigner { key }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.key.public_key()
+    }
+
+    /// Completes one signing task.
+    pub fn complete(&self, task: &SigTask) -> Vec<u8> {
+        let sig = self.key.sign(&task.data, HashAlg::Sha1).expect("modulus fits SHA-1 encoding");
+        sig.to_bytes_be_padded(self.key.public_key().modulus_len())
+    }
+
+    /// Signs a whole zone in place: plans, completes, installs.
+    pub fn sign_zone(&self, zone: &mut Zone, meta: &SigMeta) {
+        for task in plan_zone_signing(zone, meta) {
+            let sig = self.complete(&task);
+            install_signature(zone, &task, sig);
+        }
+    }
+}
+
+/// Builds the KEY record publishing the zone public key.
+pub fn zone_key_record(origin: &Name, pk: &RsaPublicKey, ttl: u32) -> Record {
+    Record::new(origin.clone(), ttl, RData::Key(key_data(pk)))
+}
+
+/// Encodes an RSA public key as DNSSEC KEY RDATA (RFC 2537: exponent
+/// length, exponent, modulus).
+pub fn key_data(pk: &RsaPublicKey) -> KeyData {
+    let e = pk.exponent().to_bytes_be();
+    let n = pk.modulus().to_bytes_be();
+    let mut bytes = Vec::with_capacity(1 + e.len() + n.len());
+    assert!(e.len() < 256, "public exponent too large for 1-byte length");
+    bytes.push(e.len() as u8);
+    bytes.extend_from_slice(&e);
+    bytes.extend_from_slice(&n);
+    KeyData { flags: 0x0100, protocol: 3, algorithm: ALG_RSA_SHA1, public_key: bytes }
+}
+
+/// Decodes KEY RDATA back into an RSA public key.
+///
+/// Returns `None` if the key bytes are malformed.
+pub fn public_key_from_key_data(kd: &KeyData) -> Option<RsaPublicKey> {
+    let bytes = &kd.public_key;
+    let e_len = *bytes.first()? as usize;
+    if bytes.len() < 1 + e_len + 1 {
+        return None;
+    }
+    let e = Ubig::from_bytes_be(&bytes[1..1 + e_len]);
+    let n = Ubig::from_bytes_be(&bytes[1 + e_len..]);
+    Some(RsaPublicKey::new(n, e))
+}
+
+/// Computes the RFC 2535 key tag (Appendix C) over the KEY RDATA.
+pub fn key_tag(kd: &KeyData) -> u16 {
+    let rdata = encode_rdata(&RData::Key(kd.clone()));
+    let mut acc: u32 = 0;
+    for (i, b) in rdata.iter().enumerate() {
+        if i % 2 == 0 {
+            acc += u32::from(*b) << 8;
+        } else {
+            acc += u32::from(*b);
+        }
+    }
+    acc += (acc >> 16) & 0xFFFF;
+    (acc & 0xFFFF) as u16
+}
+
+/// Verification failures for signed RRsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// No SIG covering the RRset's type was supplied.
+    MissingSig,
+    /// The SIG's metadata (algorithm, signer, labels) is unacceptable.
+    BadMeta,
+    /// The RSA verification failed.
+    BadSignature,
+    /// The record set was empty.
+    EmptyRrset,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::MissingSig => write!(f, "no covering SIG record"),
+            VerifyError::BadMeta => write!(f, "unacceptable SIG metadata"),
+            VerifyError::BadSignature => write!(f, "signature verification failed"),
+            VerifyError::EmptyRrset => write!(f, "empty RRset"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies that `records` (an RRset of a single name/type together with
+/// its SIG records, as returned in a DNS answer section) is correctly
+/// signed under `zone_key`. This is exactly the check an unmodified
+/// DNSSEC client performs — threshold-produced signatures must pass it.
+///
+/// # Errors
+///
+/// A [`VerifyError`] describing what failed.
+pub fn verify_rrset(records: &[Record], zone_key: &RsaPublicKey) -> Result<(), VerifyError> {
+    let data: Vec<&Record> = records.iter().filter(|r| r.rtype != RecordType::Sig).collect();
+    let Some(first) = data.first() else { return Err(VerifyError::EmptyRrset) };
+    let name = &first.name;
+    let rtype = first.rtype;
+
+    let sig = records
+        .iter()
+        .find_map(|r| match &r.rdata {
+            RData::Sig(s) if s.type_covered == rtype && r.name == *name => Some(s),
+            _ => None,
+        })
+        .ok_or(VerifyError::MissingSig)?;
+    if sig.algorithm != ALG_RSA_SHA1 || sig.labels as usize != name.label_count() {
+        return Err(VerifyError::BadMeta);
+    }
+
+    // Reconstruct the signing buffer.
+    let mut buf = sig_rdata_prefix(sig);
+    let mut encoded: Vec<Vec<u8>> = data.iter().map(|r| encode_rdata(&r.rdata)).collect();
+    encoded.sort();
+    for rdata in &encoded {
+        buf.extend_from_slice(&name.to_canonical_bytes());
+        buf.extend_from_slice(&rtype.code().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        // RFC 2535: the RRset is canonicalized with the original TTL.
+        buf.extend_from_slice(&sig.original_ttl.to_be_bytes());
+        buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+        buf.extend_from_slice(rdata);
+    }
+    let sig_int = Ubig::from_bytes_be(&sig.signature);
+    zone_key.verify(&buf, &sig_int, HashAlg::Sha1).map_err(|_| VerifyError::BadSignature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a(ip: &str) -> RData {
+        RData::A(ip.parse().unwrap())
+    }
+
+    fn meta() -> SigMeta {
+        SigMeta { signer: n("example.com"), key_tag: 4242, inception: 1_080_000_000, expiration: 1_110_000_000 }
+    }
+
+    fn signer() -> LocalSigner {
+        use std::sync::OnceLock;
+        static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+        LocalSigner::new(
+            KEY.get_or_init(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0x51);
+                RsaPrivateKey::generate(512, &mut rng)
+            })
+            .clone(),
+        )
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::with_default_soa(n("example.com"));
+        z.insert(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))));
+        z.insert(Record::new(n("ns1.example.com"), 3600, a("192.0.2.53")));
+        z.insert(Record::new(n("www.example.com"), 300, a("192.0.2.1")));
+        z
+    }
+
+    #[test]
+    fn nxt_chain_rebuild() {
+        let mut z = test_zone();
+        let changed = rebuild_nxt_chain(&mut z);
+        assert_eq!(changed.len(), 3);
+        // Chain: example.com -> ns1 -> www -> example.com (canonical order).
+        let apex_nxt = z.rrset(&n("example.com"), RecordType::Nxt).unwrap();
+        match &apex_nxt.rdatas[0] {
+            RData::Nxt(d) => {
+                assert_eq!(d.next, n("ns1.example.com"));
+                assert!(d.types.contains(&RecordType::Soa.code()));
+                assert!(d.types.contains(&RecordType::Nxt.code()));
+            }
+            other => panic!("expected NXT, got {other:?}"),
+        }
+        match &z.rrset(&n("www.example.com"), RecordType::Nxt).unwrap().rdatas[0] {
+            RData::Nxt(d) => assert_eq!(d.next, n("example.com")), // wraps
+            other => panic!("expected NXT, got {other:?}"),
+        }
+        // Rebuilding again is a no-op.
+        assert!(rebuild_nxt_chain(&mut z).is_empty());
+    }
+
+    #[test]
+    fn full_zone_signing_and_verification() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        // Every non-SIG RRset now has a covering SIG that verifies.
+        match z.query(&n("www.example.com"), RecordType::A) {
+            crate::zone::QueryResult::Answer(recs) => {
+                assert!(recs.iter().any(|r| r.rtype == RecordType::Sig));
+                verify_rrset(&recs, s.public_key()).unwrap();
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_record_fails_verification() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        if let crate::zone::QueryResult::Answer(mut recs) = z.query(&n("www.example.com"), RecordType::A) {
+            recs[0].rdata = a("203.0.113.99");
+            assert_eq!(verify_rrset(&recs, s.public_key()), Err(VerifyError::BadSignature));
+        } else {
+            panic!("expected answer");
+        }
+    }
+
+    #[test]
+    fn missing_sig_detected() {
+        let recs = vec![Record::new(n("www.example.com"), 300, a("192.0.2.1"))];
+        assert_eq!(verify_rrset(&recs, signer().public_key()), Err(VerifyError::MissingSig));
+        assert_eq!(verify_rrset(&[], signer().public_key()), Err(VerifyError::EmptyRrset));
+    }
+
+    #[test]
+    fn add_update_produces_four_tasks() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        let msg = crate::update::add_record_request(
+            1,
+            &n("example.com"),
+            Record::new(n("new.example.com"), 300, a("203.0.113.5")),
+        );
+        let outcome = crate::update::apply_update(&mut z, &msg);
+        assert_eq!(outcome.rcode, crate::message::Rcode::NoError);
+        let tasks = plan_update_resign(&mut z, &outcome, &meta());
+        // Paper: an add computes 4 new SIG records.
+        assert_eq!(tasks.len(), 4, "tasks: {:?}", tasks.iter().map(|t| (t.name.to_string(), t.type_covered)).collect::<Vec<_>>());
+        let kinds: Vec<(String, RecordType)> =
+            tasks.iter().map(|t| (t.name.to_string(), t.type_covered)).collect();
+        assert!(kinds.contains(&("new.example.com.".into(), RecordType::A)));
+        assert!(kinds.contains(&("new.example.com.".into(), RecordType::Nxt)));
+        assert!(kinds.contains(&("example.com.".into(), RecordType::Soa)));
+        // The predecessor of new.example.com is ns1.example.com in
+        // canonical order... (example.com, mail?, new, ns1, www) — actually
+        // "new" sorts between example.com and ns1.
+        assert!(kinds.iter().filter(|(_, t)| *t == RecordType::Nxt).count() == 2);
+    }
+
+    #[test]
+    fn delete_update_produces_two_tasks() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        let msg = crate::update::delete_name_request(2, &n("example.com"), n("www.example.com"));
+        let outcome = crate::update::apply_update(&mut z, &msg);
+        let tasks = plan_update_resign(&mut z, &outcome, &meta());
+        // Paper: a delete computes 2 new SIG records.
+        assert_eq!(tasks.len(), 2, "tasks: {:?}", tasks.iter().map(|t| (t.name.to_string(), t.type_covered)).collect::<Vec<_>>());
+        let kinds: Vec<(String, RecordType)> =
+            tasks.iter().map(|t| (t.name.to_string(), t.type_covered)).collect();
+        assert!(kinds.contains(&("ns1.example.com.".into(), RecordType::Nxt)));
+        assert!(kinds.contains(&("example.com.".into(), RecordType::Soa)));
+    }
+
+    #[test]
+    fn update_then_resign_keeps_zone_verifiable() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        let msg = crate::update::add_record_request(
+            1,
+            &n("example.com"),
+            Record::new(n("host9.example.com"), 120, a("203.0.113.9")),
+        );
+        let outcome = crate::update::apply_update(&mut z, &msg);
+        for task in plan_update_resign(&mut z, &outcome, &meta()) {
+            let sig = s.complete(&task);
+            install_signature(&mut z, &task, sig);
+        }
+        // The new record verifies.
+        if let crate::zone::QueryResult::Answer(recs) = z.query(&n("host9.example.com"), RecordType::A) {
+            verify_rrset(&recs, s.public_key()).unwrap();
+        } else {
+            panic!("expected answer");
+        }
+        // The updated SOA verifies.
+        if let crate::zone::QueryResult::Answer(recs) = z.query(&n("example.com"), RecordType::Soa) {
+            verify_rrset(&recs, s.public_key()).unwrap();
+        } else {
+            panic!("expected answer");
+        }
+        // The NXT chain denial for a missing name carries verifiable NXT.
+        if let crate::zone::QueryResult::NxDomain(proof) = z.query(&n("missing.example.com"), RecordType::A) {
+            assert!(!proof.is_empty());
+            verify_rrset(&proof, s.public_key()).unwrap();
+        } else {
+            panic!("expected NXDOMAIN");
+        }
+    }
+
+    #[test]
+    fn key_record_roundtrip() {
+        let s = signer();
+        let rec = zone_key_record(&n("example.com"), s.public_key(), 3600);
+        match &rec.rdata {
+            RData::Key(kd) => {
+                let pk = public_key_from_key_data(kd).unwrap();
+                assert_eq!(&pk, s.public_key());
+                let tag = key_tag(kd);
+                assert_eq!(tag, key_tag(kd)); // deterministic
+            }
+            other => panic!("expected KEY, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_key_data_rejected() {
+        assert_eq!(
+            public_key_from_key_data(&KeyData { flags: 0, protocol: 3, algorithm: 5, public_key: vec![] }),
+            None
+        );
+        assert_eq!(
+            public_key_from_key_data(&KeyData { flags: 0, protocol: 3, algorithm: 5, public_key: vec![200, 1] }),
+            None
+        );
+    }
+
+    #[test]
+    fn install_replaces_previous_sig() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        let task = plan_rrset(&z, &n("www.example.com"), RecordType::A, &meta()).unwrap();
+        install_signature(&mut z, &task, vec![1, 2, 3]);
+        install_signature(&mut z, &task, vec![4, 5, 6]);
+        let sigs = z.sig_for(&n("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(sigs.len(), 1);
+        match &sigs[0].rdata {
+            RData::Sig(sd) => assert_eq!(sd.signature, vec![4, 5, 6]),
+            other => panic!("expected SIG, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let mut z = test_zone();
+        let s = signer();
+        s.sign_zone(&mut z, &meta());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x99);
+        let other = RsaPrivateKey::generate(512, &mut rng);
+        if let crate::zone::QueryResult::Answer(recs) = z.query(&n("www.example.com"), RecordType::A) {
+            assert!(verify_rrset(&recs, other.public_key()).is_err());
+        } else {
+            panic!("expected answer");
+        }
+    }
+}

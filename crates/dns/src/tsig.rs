@@ -1,0 +1,209 @@
+//! Transaction signatures (TSIG, RFC 2845, simplified).
+//!
+//! The paper requires every dynamic-update request to be "authorized by a
+//! transaction signature of the client" (§3.3) and assumes authenticated
+//! client–server links. TSIG provides this with an HMAC-SHA1 under a
+//! shared secret, carried as a pseudo-record in the additional section.
+
+use crate::message::Message;
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordType, TsigData};
+use sdns_crypto::{hmac_sha1, mac_eq};
+use std::collections::HashMap;
+
+/// A shared TSIG key: a name identifying it and the secret bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsigKey {
+    /// The key's name (conventionally something like `update-key.example.com`).
+    pub name: Name,
+    /// The shared secret.
+    pub secret: Vec<u8>,
+}
+
+/// A set of TSIG keys known to a server, looked up by key name.
+#[derive(Debug, Clone, Default)]
+pub struct TsigKeyring {
+    keys: HashMap<Name, Vec<u8>>,
+}
+
+impl TsigKeyring {
+    /// An empty keyring.
+    pub fn new() -> Self {
+        TsigKeyring::default()
+    }
+
+    /// Adds a key.
+    pub fn add(&mut self, key: TsigKey) {
+        self.keys.insert(key.name, key.secret);
+    }
+
+    /// Looks up a secret by key name.
+    pub fn secret(&self, name: &Name) -> Option<&[u8]> {
+        self.keys.get(name).map(|s| s.as_slice())
+    }
+}
+
+/// Errors from TSIG verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsigError {
+    /// The message carries no TSIG record.
+    Missing,
+    /// The key name is not in the server's keyring.
+    UnknownKey,
+    /// The MAC does not verify.
+    BadMac,
+    /// The signing time is outside the permitted fudge window.
+    BadTime,
+}
+
+impl std::fmt::Display for TsigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsigError::Missing => write!(f, "message is not signed"),
+            TsigError::UnknownKey => write!(f, "unknown TSIG key"),
+            TsigError::BadMac => write!(f, "TSIG MAC verification failed"),
+            TsigError::BadTime => write!(f, "TSIG timestamp outside fudge window"),
+        }
+    }
+}
+
+impl std::error::Error for TsigError {}
+
+/// The bytes the TSIG MAC covers: the message (without the TSIG record)
+/// plus the key name and the signing time.
+fn mac_input(msg: &Message, key_name: &Name, time_signed: u64, fudge: u16) -> Vec<u8> {
+    let mut stripped = msg.clone();
+    stripped
+        .additionals
+        .retain(|r| r.rtype != RecordType::Tsig);
+    let mut buf = stripped.to_bytes();
+    buf.extend_from_slice(&key_name.to_canonical_bytes());
+    buf.extend_from_slice(&time_signed.to_be_bytes()[2..]);
+    buf.extend_from_slice(&fudge.to_be_bytes());
+    buf
+}
+
+/// Signs `msg` in place: appends a TSIG record computed with `key`.
+pub fn sign_message(msg: &mut Message, key: &TsigKey, time_signed: u64) {
+    let fudge = 300;
+    let mac = hmac_sha1(&key.secret, &mac_input(msg, &key.name, time_signed, fudge));
+    msg.additionals.push(Record::new(
+        key.name.clone(),
+        0,
+        RData::Tsig(TsigData {
+            key_name: key.name.clone(),
+            time_signed,
+            fudge,
+            mac: mac.to_vec(),
+            original_id: msg.id,
+        }),
+    ));
+}
+
+/// Verifies the TSIG record on `msg` against `keyring`, checking the MAC
+/// and that `now` lies within the fudge window.
+///
+/// # Errors
+///
+/// A [`TsigError`] describing what failed.
+pub fn verify_message(msg: &Message, keyring: &TsigKeyring, now: u64) -> Result<(), TsigError> {
+    let tsig = msg
+        .additionals
+        .iter()
+        .find_map(|r| match &r.rdata {
+            RData::Tsig(t) => Some(t),
+            _ => None,
+        })
+        .ok_or(TsigError::Missing)?;
+    let secret = keyring.secret(&tsig.key_name).ok_or(TsigError::UnknownKey)?;
+    let input = mac_input(msg, &tsig.key_name, tsig.time_signed, tsig.fudge);
+    let expected = hmac_sha1(secret, &input);
+    if !mac_eq(&expected, &tsig.mac) {
+        return Err(TsigError::BadMac);
+    }
+    let fudge = u64::from(tsig.fudge);
+    if now > tsig.time_signed + fudge || tsig.time_signed > now + fudge {
+        return Err(TsigError::BadTime);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::add_record_request;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn key() -> TsigKey {
+        TsigKey { name: n("update-key.example.com"), secret: b"sooper-secret".to_vec() }
+    }
+
+    fn ring() -> TsigKeyring {
+        let mut r = TsigKeyring::new();
+        r.add(key());
+        r
+    }
+
+    fn sample_update() -> Message {
+        add_record_request(
+            42,
+            &n("example.com"),
+            Record::new(n("x.example.com"), 60, RData::A("203.0.113.1".parse().unwrap())),
+        )
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let mut msg = sample_update();
+        sign_message(&mut msg, &key(), 1_088_000_000);
+        verify_message(&msg, &ring(), 1_088_000_100).unwrap();
+    }
+
+    #[test]
+    fn unsigned_rejected() {
+        assert_eq!(verify_message(&sample_update(), &ring(), 0), Err(TsigError::Missing));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let mut msg = sample_update();
+        let other = TsigKey { name: n("other-key"), secret: b"zzz".to_vec() };
+        sign_message(&mut msg, &other, 1_088_000_000);
+        assert_eq!(verify_message(&msg, &ring(), 1_088_000_000), Err(TsigError::UnknownKey));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut msg = sample_update();
+        sign_message(&mut msg, &key(), 1_088_000_000);
+        msg.authorities[0].ttl = 999;
+        assert_eq!(verify_message(&msg, &ring(), 1_088_000_000), Err(TsigError::BadMac));
+    }
+
+    #[test]
+    fn wrong_secret_rejected() {
+        let mut msg = sample_update();
+        let bad = TsigKey { name: key().name, secret: b"wrong".to_vec() };
+        sign_message(&mut msg, &bad, 1_088_000_000);
+        assert_eq!(verify_message(&msg, &ring(), 1_088_000_000), Err(TsigError::BadMac));
+    }
+
+    #[test]
+    fn stale_timestamp_rejected() {
+        let mut msg = sample_update();
+        sign_message(&mut msg, &key(), 1_088_000_000);
+        assert_eq!(verify_message(&msg, &ring(), 1_088_001_000), Err(TsigError::BadTime));
+        assert_eq!(verify_message(&msg, &ring(), 1_087_999_000), Err(TsigError::BadTime));
+    }
+
+    #[test]
+    fn survives_wire_roundtrip() {
+        let mut msg = sample_update();
+        sign_message(&mut msg, &key(), 1_088_000_000);
+        let decoded = Message::from_bytes(&msg.to_bytes()).unwrap();
+        verify_message(&decoded, &ring(), 1_088_000_000).unwrap();
+    }
+}

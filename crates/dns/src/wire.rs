@@ -1,0 +1,616 @@
+//! DNS wire-format encoding and decoding (RFC 1035 §4.1), including
+//! name compression.
+
+use crate::name::Name;
+use crate::rr::{
+    KeyData, NxtData, RData, Record, RecordClass, RecordType, SigData, SoaData, TsigData,
+};
+use bytes::{BufMut, BytesMut};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Errors from wire decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes.
+    Truncated,
+    /// A compression pointer pointed forward or looped.
+    BadPointer,
+    /// A label length byte was invalid.
+    BadLabel,
+    /// A name failed validation.
+    BadName,
+    /// RDATA did not parse for its declared type.
+    BadRdata,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadLabel => write!(f, "invalid label"),
+            WireError::BadName => write!(f, "invalid name"),
+            WireError::BadRdata => write!(f, "invalid rdata"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encoder with name compression.
+#[derive(Debug)]
+pub struct WireWriter {
+    buf: BytesMut,
+    /// Offsets of previously written names (by display form) for
+    /// compression-pointer reuse.
+    name_offsets: HashMap<String, u16>,
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: BytesMut::with_capacity(512), name_offsets: HashMap::new() }
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Current length of the output.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether anything has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Writes a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Writes raw bytes.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Writes a name with compression: the longest previously written
+    /// suffix is replaced by a pointer.
+    pub fn put_name(&mut self, name: &Name) {
+        let mut suffix = name.clone();
+        let mut prefix_labels: Vec<Vec<u8>> = Vec::new();
+        loop {
+            let key = suffix.to_string();
+            if let Some(&offset) = self.name_offsets.get(&key) {
+                for l in &prefix_labels {
+                    self.buf.put_u8(l.len() as u8);
+                    self.buf.put_slice(l);
+                }
+                self.buf.put_u16(0xC000 | offset);
+                return;
+            }
+            if suffix.is_root() {
+                break;
+            }
+            // Remember where this suffix will start if written in full.
+            let this_offset = self.buf.len()
+                + prefix_labels.iter().map(|l| 1 + l.len()).sum::<usize>();
+            if this_offset <= 0x3FFF {
+                self.name_offsets.insert(key, this_offset as u16);
+            }
+            let first = suffix.labels().next().expect("non-root").to_vec();
+            prefix_labels.push(first);
+            suffix = suffix.parent().expect("non-root");
+        }
+        // No suffix matched: write everything and the root byte.
+        for l in &prefix_labels {
+            self.buf.put_u8(l.len() as u8);
+            self.buf.put_slice(l);
+        }
+        self.buf.put_u8(0);
+    }
+
+    /// Writes a name without compression (required inside RDATA that is
+    /// covered by signatures).
+    pub fn put_name_uncompressed(&mut self, name: &Name) {
+        self.buf.put_slice(&name.to_canonical_bytes());
+    }
+
+    /// Writes a complete resource record.
+    pub fn put_record(&mut self, record: &Record) {
+        self.put_name(&record.name);
+        self.put_u16(record.rtype.code());
+        self.put_u16(record.class.code());
+        self.put_u32(record.ttl);
+        let rdata = encode_rdata(&record.rdata);
+        self.put_u16(rdata.len() as u16);
+        self.put_slice(&rdata);
+    }
+}
+
+/// Encodes RDATA in uncompressed form (names inside RDATA are never
+/// compressed here, keeping signatures well-defined).
+pub fn encode_rdata(rdata: &RData) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rdata {
+        RData::A(a) => out.extend_from_slice(&a.octets()),
+        RData::Aaaa(a) => out.extend_from_slice(&a.octets()),
+        RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => {
+            out.extend_from_slice(&n.to_canonical_bytes())
+        }
+        RData::Mx(pref, n) => {
+            out.extend_from_slice(&pref.to_be_bytes());
+            out.extend_from_slice(&n.to_canonical_bytes());
+        }
+        RData::Soa(s) => {
+            out.extend_from_slice(&s.mname.to_canonical_bytes());
+            out.extend_from_slice(&s.rname.to_canonical_bytes());
+            for v in [s.serial, s.refresh, s.retry, s.expire, s.minimum] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        RData::Txt(parts) => {
+            for p in parts {
+                out.push(p.len() as u8);
+                out.extend_from_slice(p);
+            }
+        }
+        RData::Key(k) => {
+            out.extend_from_slice(&k.flags.to_be_bytes());
+            out.push(k.protocol);
+            out.push(k.algorithm);
+            out.extend_from_slice(&k.public_key);
+        }
+        RData::Sig(s) => {
+            out.extend_from_slice(&sig_rdata_prefix(s));
+            out.extend_from_slice(&s.signature);
+        }
+        RData::Nxt(n) => {
+            out.extend_from_slice(&n.next.to_canonical_bytes());
+            out.extend_from_slice(&(n.types.len() as u16).to_be_bytes());
+            for t in &n.types {
+                out.extend_from_slice(&t.to_be_bytes());
+            }
+        }
+        RData::Tsig(t) => {
+            out.extend_from_slice(&t.key_name.to_canonical_bytes());
+            out.extend_from_slice(&t.time_signed.to_be_bytes()[2..]); // 48 bits
+            out.extend_from_slice(&t.fudge.to_be_bytes());
+            out.extend_from_slice(&(t.mac.len() as u16).to_be_bytes());
+            out.extend_from_slice(&t.mac);
+            out.extend_from_slice(&t.original_id.to_be_bytes());
+        }
+        RData::Raw(b) => out.extend_from_slice(b),
+    }
+    out
+}
+
+/// The SIG RDATA with the signature field left empty — exactly the bytes
+/// that are prepended to the canonical RRset when computing the signature
+/// (RFC 2535 §4.1.8).
+pub fn sig_rdata_prefix(s: &SigData) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&s.type_covered.code().to_be_bytes());
+    out.push(s.algorithm);
+    out.push(s.labels);
+    out.extend_from_slice(&s.original_ttl.to_be_bytes());
+    out.extend_from_slice(&s.expiration.to_be_bytes());
+    out.extend_from_slice(&s.inception.to_be_bytes());
+    out.extend_from_slice(&s.key_tag.to_be_bytes());
+    out.extend_from_slice(&s.signer.to_canonical_bytes());
+    out
+}
+
+/// Decoder over a full message buffer (compression pointers need access
+/// to earlier bytes).
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `data` starting at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        if self.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads a big-endian u16.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes([self.get_u8()?, self.get_u8()?]))
+    }
+
+    /// Reads a big-endian u32.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes([
+            self.get_u8()?,
+            self.get_u8()?,
+            self.get_u8()?,
+            self.get_u8()?,
+        ]))
+    }
+
+    /// Reads `len` raw bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_slice(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    /// Reads a possibly compressed name.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadPointer`] on forward or looping pointers,
+    /// [`WireError::Truncated`] / [`WireError::BadName`] on malformed input.
+    pub fn get_name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 128 {
+                return Err(WireError::BadPointer);
+            }
+            let len = *self.data.get(pos).ok_or(WireError::Truncated)? as usize;
+            if len & 0xC0 == 0xC0 {
+                let lo = *self.data.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+                let target = ((len & 0x3F) << 8) | lo;
+                if target >= pos {
+                    return Err(WireError::BadPointer);
+                }
+                if !jumped {
+                    self.pos = pos + 2;
+                    jumped = true;
+                }
+                pos = target;
+            } else if len & 0xC0 != 0 {
+                return Err(WireError::BadLabel);
+            } else if len == 0 {
+                if !jumped {
+                    self.pos = pos + 1;
+                }
+                return Name::from_labels(labels).map_err(|_| WireError::BadName);
+            } else {
+                let end = pos + 1 + len;
+                if end > self.data.len() {
+                    return Err(WireError::Truncated);
+                }
+                labels.push(self.data[pos + 1..end].to_vec());
+                pos = end;
+            }
+        }
+    }
+
+    /// Reads a complete resource record.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input.
+    pub fn get_record(&mut self) -> Result<Record, WireError> {
+        let name = self.get_name()?;
+        let rtype = RecordType::from_code(self.get_u16()?);
+        let class = RecordClass::from_code(self.get_u16()?);
+        let ttl = self.get_u32()?;
+        let rdlen = self.get_u16()? as usize;
+        let rdata_bytes = self.get_slice(rdlen)?;
+        let rdata = decode_rdata(rtype, rdata_bytes)?;
+        Ok(Record { name, rtype, class, ttl, rdata })
+    }
+}
+
+/// Decodes RDATA for a known record type.
+///
+/// # Errors
+///
+/// [`WireError::BadRdata`] when the bytes do not parse for the type.
+pub fn decode_rdata(rtype: RecordType, bytes: &[u8]) -> Result<RData, WireError> {
+    let mut r = WireReader::new(bytes);
+    let full = |r: &WireReader| r.remaining() == 0;
+    let res = match rtype {
+        _ if bytes.is_empty() => RData::Raw(Vec::new()),
+        RecordType::A => {
+            let o = r.get_slice(4)?;
+            RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+        }
+        RecordType::Aaaa => {
+            let o: [u8; 16] = r.get_slice(16)?.try_into().expect("16 bytes");
+            RData::Aaaa(Ipv6Addr::from(o))
+        }
+        RecordType::Ns => RData::Ns(r.get_name()?),
+        RecordType::Cname => RData::Cname(r.get_name()?),
+        RecordType::Ptr => RData::Ptr(r.get_name()?),
+        RecordType::Mx => RData::Mx(r.get_u16()?, r.get_name()?),
+        RecordType::Soa => RData::Soa(SoaData {
+            mname: r.get_name()?,
+            rname: r.get_name()?,
+            serial: r.get_u32()?,
+            refresh: r.get_u32()?,
+            retry: r.get_u32()?,
+            expire: r.get_u32()?,
+            minimum: r.get_u32()?,
+        }),
+        RecordType::Txt => {
+            let mut parts = Vec::new();
+            while r.remaining() > 0 {
+                let len = r.get_u8()? as usize;
+                parts.push(r.get_slice(len)?.to_vec());
+            }
+            RData::Txt(parts)
+        }
+        RecordType::Key => RData::Key(KeyData {
+            flags: r.get_u16()?,
+            protocol: r.get_u8()?,
+            algorithm: r.get_u8()?,
+            public_key: r.get_slice(r.remaining())?.to_vec(),
+        }),
+        RecordType::Sig => RData::Sig(SigData {
+            type_covered: RecordType::from_code(r.get_u16()?),
+            algorithm: r.get_u8()?,
+            labels: r.get_u8()?,
+            original_ttl: r.get_u32()?,
+            expiration: r.get_u32()?,
+            inception: r.get_u32()?,
+            key_tag: r.get_u16()?,
+            signer: r.get_name()?,
+            signature: r.get_slice(r.remaining())?.to_vec(),
+        }),
+        RecordType::Nxt => {
+            let next = r.get_name()?;
+            let count = r.get_u16()? as usize;
+            let mut types = Vec::with_capacity(count);
+            for _ in 0..count {
+                types.push(r.get_u16()?);
+            }
+            RData::Nxt(NxtData { next, types })
+        }
+        RecordType::Tsig => {
+            let key_name = r.get_name()?;
+            let time_bytes = r.get_slice(6)?;
+            let mut time = [0u8; 8];
+            time[2..].copy_from_slice(time_bytes);
+            let time_signed = u64::from_be_bytes(time);
+            let fudge = r.get_u16()?;
+            let mac_len = r.get_u16()? as usize;
+            let mac = r.get_slice(mac_len)?.to_vec();
+            let original_id = r.get_u16()?;
+            RData::Tsig(TsigData { key_name, time_signed, fudge, mac, original_id })
+        }
+        _ => RData::Raw(r.get_slice(r.remaining())?.to_vec()),
+    };
+    if !full(&r) {
+        return Err(WireError::BadRdata);
+    }
+    Ok(res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn name_roundtrip_uncompressed() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("www.example.com"));
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 17);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn name_compression() {
+        let mut w = WireWriter::new();
+        w.put_name(&n("www.example.com"));
+        w.put_name(&n("mail.example.com"));
+        w.put_name(&n("example.com"));
+        let bytes = w.into_bytes();
+        // Second name shares "example.com" suffix: 1+4 label bytes + 2 ptr.
+        // Third is a bare 2-byte pointer.
+        assert_eq!(bytes.len(), 17 + 7 + 2);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.get_name().unwrap(), n("mail.example.com"));
+        assert_eq!(r.get_name().unwrap(), n("example.com"));
+    }
+
+    #[test]
+    fn root_name() {
+        let mut w = WireWriter::new();
+        w.put_name(&Name::root());
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0]);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap(), Name::root());
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer to offset 4 from position 0 (forward) is invalid.
+        let bytes = [0xC0, 0x04, 0, 0, 0];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name(), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Name at offset 2 points to itself through offset 0.
+        let bytes = [0xC0, 0x02, 0xC0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        r.pos = 2;
+        assert!(r.get_name().is_err());
+    }
+
+    #[test]
+    fn truncated_inputs() {
+        let mut r = WireReader::new(&[5, b'h']);
+        assert_eq!(r.get_name(), Err(WireError::Truncated));
+        let mut r = WireReader::new(&[]);
+        assert_eq!(r.get_u8(), Err(WireError::Truncated));
+        let mut r = WireReader::new(&[1]);
+        assert_eq!(r.get_u16(), Err(WireError::Truncated));
+    }
+
+    fn rdata_roundtrip(rtype: RecordType, rdata: RData) {
+        let bytes = encode_rdata(&rdata);
+        let decoded = decode_rdata(rtype, &bytes).unwrap();
+        assert_eq!(decoded, rdata, "{rtype} rdata roundtrip");
+    }
+
+    #[test]
+    fn all_rdata_roundtrip() {
+        rdata_roundtrip(RecordType::A, RData::A("192.0.2.1".parse().unwrap()));
+        rdata_roundtrip(RecordType::Aaaa, RData::Aaaa("2001:db8::1".parse().unwrap()));
+        rdata_roundtrip(RecordType::Ns, RData::Ns(n("ns1.example.com")));
+        rdata_roundtrip(RecordType::Cname, RData::Cname(n("alias.example.com")));
+        rdata_roundtrip(RecordType::Ptr, RData::Ptr(n("host.example.com")));
+        rdata_roundtrip(RecordType::Mx, RData::Mx(10, n("mx.example.com")));
+        rdata_roundtrip(
+            RecordType::Soa,
+            RData::Soa(SoaData {
+                mname: n("ns1.example.com"),
+                rname: n("admin.example.com"),
+                serial: 2004010100,
+                refresh: 3600,
+                retry: 900,
+                expire: 604800,
+                minimum: 300,
+            }),
+        );
+        rdata_roundtrip(RecordType::Txt, RData::Txt(vec![b"hello".to_vec(), b"world".to_vec()]));
+        rdata_roundtrip(
+            RecordType::Key,
+            RData::Key(KeyData { flags: 0x0100, protocol: 3, algorithm: 5, public_key: vec![1, 0, 1, 9, 9] }),
+        );
+        rdata_roundtrip(
+            RecordType::Sig,
+            RData::Sig(SigData {
+                type_covered: RecordType::A,
+                algorithm: 5,
+                labels: 3,
+                original_ttl: 300,
+                expiration: 1_100_000_000,
+                inception: 1_000_000_000,
+                key_tag: 12345,
+                signer: n("example.com"),
+                signature: vec![0xde, 0xad, 0xbe, 0xef],
+            }),
+        );
+        rdata_roundtrip(
+            RecordType::Nxt,
+            RData::Nxt(NxtData { next: n("b.example.com"), types: vec![1, 2, 6, 24] }),
+        );
+        rdata_roundtrip(
+            RecordType::Tsig,
+            RData::Tsig(TsigData {
+                key_name: n("update-key"),
+                time_signed: 1_088_000_000,
+                fudge: 300,
+                mac: vec![7; 20],
+                original_id: 0xBEEF,
+            }),
+        );
+        rdata_roundtrip(RecordType::Unknown(333), RData::Raw(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn record_roundtrip_through_writer() {
+        let rec = Record::new(n("www.example.com"), 600, RData::A("198.51.100.7".parse().unwrap()));
+        let mut w = WireWriter::new();
+        w.put_record(&rec);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_record().unwrap(), rec);
+    }
+
+    #[test]
+    fn trailing_rdata_garbage_rejected() {
+        // A record with 4 address bytes + 1 stray byte.
+        assert_eq!(decode_rdata(RecordType::A, &[1, 2, 3, 4, 5]), Err(WireError::BadRdata));
+    }
+
+    #[test]
+    fn empty_rdata_decodes_as_raw() {
+        assert_eq!(decode_rdata(RecordType::A, &[]), Ok(RData::Raw(Vec::new())));
+    }
+
+    #[test]
+    fn sig_prefix_excludes_signature() {
+        let sig = SigData {
+            type_covered: RecordType::A,
+            algorithm: 5,
+            labels: 2,
+            original_ttl: 60,
+            expiration: 2,
+            inception: 1,
+            key_tag: 7,
+            signer: n("example.com"),
+            signature: vec![9; 64],
+        };
+        let prefix = sig_rdata_prefix(&sig);
+        let full = encode_rdata(&RData::Sig(sig));
+        assert_eq!(&full[..prefix.len()], &prefix[..]);
+        assert_eq!(full.len(), prefix.len() + 64);
+    }
+}

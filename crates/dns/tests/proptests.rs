@@ -1,0 +1,131 @@
+//! Property-based tests: wire-codec roundtrips for arbitrary names,
+//! records, and messages.
+
+use proptest::prelude::*;
+use sdns_dns::message::{Flags, Message, Opcode, Question, Rcode};
+use sdns_dns::rr::{NxtData, RData, Record, RecordClass, RecordType, SoaData};
+use sdns_dns::wire::{decode_rdata, encode_rdata, WireReader, WireWriter};
+use sdns_dns::Name;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9-]{0,14}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| Name::from_labels(labels.iter().map(|l| l.as_bytes())).expect("valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = (RecordType, RData)> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| (RecordType::A, RData::A(o.into()))),
+        any::<[u8; 16]>().prop_map(|o| (RecordType::Aaaa, RData::Aaaa(o.into()))),
+        arb_name().prop_map(|n| (RecordType::Ns, RData::Ns(n))),
+        arb_name().prop_map(|n| (RecordType::Cname, RData::Cname(n))),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| (RecordType::Mx, RData::Mx(p, n))),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..30), 1..4)
+            .prop_map(|parts| (RecordType::Txt, RData::Txt(parts))),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                (
+                    RecordType::Soa,
+                    RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum }),
+                )
+            }),
+        (arb_name(), proptest::collection::vec(any::<u16>(), 0..8)).prop_map(|(next, mut types)| {
+            types.sort_unstable();
+            types.dedup();
+            (RecordType::Nxt, RData::Nxt(NxtData { next, types }))
+        }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, (rtype, rdata))| {
+        Record::with_class(name, rtype, RecordClass::In, ttl, rdata)
+    })
+}
+
+proptest! {
+    #[test]
+    fn name_wire_roundtrip(name in arb_name()) {
+        let mut w = WireWriter::new();
+        w.put_name(&name);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.get_name().unwrap(), name);
+    }
+
+    #[test]
+    fn names_with_compression_roundtrip(names in proptest::collection::vec(arb_name(), 1..6)) {
+        let mut w = WireWriter::new();
+        for n in &names {
+            w.put_name(n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        for n in &names {
+            prop_assert_eq!(&r.get_name().unwrap(), n);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn rdata_roundtrip((rtype, rdata) in arb_rdata()) {
+        let bytes = encode_rdata(&rdata);
+        if bytes.is_empty() {
+            // Empty RDATA decodes as Raw by design (update messages).
+            return Ok(());
+        }
+        prop_assert_eq!(decode_rdata(rtype, &bytes).unwrap(), rdata);
+    }
+
+    #[test]
+    fn record_roundtrip(rec in arb_record()) {
+        if encode_rdata(&rec.rdata).is_empty() {
+            return Ok(());
+        }
+        let mut w = WireWriter::new();
+        w.put_record(&rec);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.get_record().unwrap(), rec);
+    }
+
+    #[test]
+    fn message_roundtrip(
+        id in any::<u16>(),
+        name in arb_name(),
+        answers in proptest::collection::vec(arb_record(), 0..5),
+        authorities in proptest::collection::vec(arb_record(), 0..5),
+        qr in any::<bool>(),
+        aa in any::<bool>(),
+    ) {
+        let msg = Message {
+            id,
+            opcode: Opcode::Query,
+            flags: Flags { qr, aa, ..Default::default() },
+            rcode: Rcode::NoError,
+            questions: vec![Question::new(name, RecordType::A)],
+            answers: answers.into_iter().filter(|r| !encode_rdata(&r.rdata).is_empty()).collect(),
+            authorities: authorities.into_iter().filter(|r| !encode_rdata(&r.rdata).is_empty()).collect(),
+            additionals: vec![],
+        };
+        prop_assert_eq!(Message::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn canonical_order_total(a in arb_name(), b in arb_name(), c in arb_name()) {
+        use std::cmp::Ordering;
+        // Antisymmetry and transitivity spot-checks.
+        prop_assert_eq!(a.canonical_cmp(&b), b.canonical_cmp(&a).reverse());
+        if a.canonical_cmp(&b) == Ordering::Less && b.canonical_cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.canonical_cmp(&c), Ordering::Less);
+        }
+    }
+}

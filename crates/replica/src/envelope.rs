@@ -1,0 +1,78 @@
+//! The request envelope carried through atomic broadcast.
+//!
+//! When a gateway replica receives a client request it wraps it with the
+//! client's identity and request id, so that after total ordering every
+//! replica knows whom to answer and can deduplicate requests that were
+//! submitted through several gateways (the voting client sends to all
+//! replicas).
+
+/// A client request after envelope wrapping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Envelope {
+    /// The client's node id.
+    pub client: usize,
+    /// The client's request id.
+    pub request_id: u64,
+    /// The DNS message, wire format.
+    pub bytes: Vec<u8>,
+}
+
+impl Envelope {
+    /// The deduplication key: one execution per client attempt.
+    pub fn dedup_key(&self) -> (usize, u64) {
+        (self.client, self.request_id)
+    }
+
+    /// Encodes to bytes for the atomic-broadcast payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.bytes.len());
+        out.extend_from_slice(&(self.client as u64).to_be_bytes());
+        out.extend_from_slice(&self.request_id.to_be_bytes());
+        out.extend_from_slice(&(self.bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Decodes from bytes; `None` on malformed input (a Byzantine gateway
+    /// may submit garbage — every replica rejects it identically).
+    pub fn decode(bytes: &[u8]) -> Option<Envelope> {
+        let client = u64::from_be_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        let request_id = u64::from_be_bytes(bytes.get(8..16)?.try_into().ok()?);
+        let len = u32::from_be_bytes(bytes.get(16..20)?.try_into().ok()?) as usize;
+        let payload = bytes.get(20..20 + len)?;
+        if bytes.len() != 20 + len {
+            return None;
+        }
+        Some(Envelope { client, request_id, bytes: payload.to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = Envelope { client: 9, request_id: 77, bytes: vec![1, 2, 3] };
+        assert_eq!(Envelope::decode(&e.encode()), Some(e.clone()));
+        assert_eq!(e.dedup_key(), (9, 77));
+    }
+
+    #[test]
+    fn empty_payload() {
+        let e = Envelope { client: 0, request_id: 0, bytes: vec![] };
+        assert_eq!(Envelope::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(Envelope::decode(&[]), None);
+        assert_eq!(Envelope::decode(&[0; 19]), None);
+        let e = Envelope { client: 1, request_id: 2, bytes: vec![5; 10] };
+        let mut enc = e.encode();
+        enc.push(0); // trailing garbage
+        assert_eq!(Envelope::decode(&enc), None);
+        enc.truncate(25); // truncated payload
+        assert_eq!(Envelope::decode(&enc), None);
+    }
+}

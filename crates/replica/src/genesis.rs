@@ -1,0 +1,199 @@
+//! Deployment ceremony: the trusted dealer's setup of a replica group.
+//!
+//! Mirrors §4.3 of the paper: a trusted entity generates the threshold
+//! key shares, signs the initial zone data under the distributed key,
+//! publishes the zone KEY record, and hands each server its private
+//! initialization data.
+
+use crate::config::{CostModel, ZoneSecurity};
+use crate::replica::{Replica, ReplicaSetup, ReplicaSigner};
+use crate::Corruption;
+use rand::Rng;
+use sdns_abcast::Group;
+use sdns_crypto::pkcs1::HashAlg;
+use sdns_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sdns_crypto::threshold::{Dealer, ThresholdPublicKey};
+use sdns_dns::sign::{
+    install_signature, key_data, key_tag, plan_zone_signing, zone_key_record, LocalSigner, SigMeta,
+};
+use sdns_dns::tsig::TsigKeyring;
+use sdns_dns::Zone;
+use std::sync::Arc;
+
+/// The inception timestamp used for all genesis SIG records
+/// (2004-07-01, the paper's era).
+pub const GENESIS_INCEPTION: u32 = 1_088_640_000;
+/// Genesis SIG expiration (30 days later).
+pub const GENESIS_EXPIRATION: u32 = GENESIS_INCEPTION + 30 * 24 * 3600;
+
+/// Everything needed to instantiate the replicas of one zone.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The shared replica configuration (zone pre-signed).
+    pub setup: ReplicaSetup,
+    /// Per-replica signing material (index-aligned).
+    pub signers: Vec<ReplicaSigner>,
+    /// The zone public key clients verify against (`None` for unsigned
+    /// zones).
+    pub zone_public_key: Option<RsaPublicKey>,
+    /// The threshold public key (threshold deployments only).
+    pub threshold_public_key: Option<Arc<ThresholdPublicKey>>,
+}
+
+impl Deployment {
+    /// Builds replica `i` of this deployment.
+    pub fn replica(&self, i: usize, corruption: Corruption, seed: u64) -> Replica {
+        Replica::new(&self.setup, i, self.signers[i].clone(), corruption, seed)
+    }
+
+    /// Builds all `n` replicas, with the given replicas corrupted.
+    pub fn replicas(&self, corrupted: &[(usize, Corruption)], seed: u64) -> Vec<Replica> {
+        (0..self.setup.group.n())
+            .map(|i| {
+                let corruption = corrupted
+                    .iter()
+                    .find(|(idx, _)| *idx == i)
+                    .map(|(_, c)| *c)
+                    .unwrap_or(Corruption::None);
+                self.replica(i, corruption, seed.wrapping_add(i as u64))
+            })
+            .collect()
+    }
+}
+
+/// Runs the dealer ceremony for a group serving `zone`.
+///
+/// For signed deployments the zone's KEY record is added, the NXT chain
+/// built, and every RRset signed — with the local key for
+/// [`ZoneSecurity::SignedLocal`], or by assembling threshold shares
+/// dealer-side for [`ZoneSecurity::SignedThreshold`] (the "special
+/// command ... to sign the zone data using the distributed key").
+///
+/// `key_bits` sizes the RSA modulus (the paper uses 1024; tests use
+/// smaller moduli for speed).
+#[allow(clippy::too_many_arguments)] // a ceremony has many independent knobs
+pub fn deploy<R: Rng + ?Sized>(
+    group: Group,
+    security: ZoneSecurity,
+    costs: CostModel,
+    mut zone: Zone,
+    key_bits: usize,
+    reads_via_abcast: bool,
+    keyring: Option<TsigKeyring>,
+    rng: &mut R,
+) -> Deployment {
+    let origin = zone.origin().clone();
+    let mut sig_meta = SigMeta {
+        signer: origin.clone(),
+        key_tag: 0,
+        inception: GENESIS_INCEPTION,
+        expiration: GENESIS_EXPIRATION,
+    };
+    match security {
+        ZoneSecurity::Unsigned => {
+            let setup = ReplicaSetup {
+                group,
+                security,
+                costs,
+                sig_meta,
+                zone,
+                coin_seed: rng.gen(),
+                reads_via_abcast,
+                keyring,
+            };
+            Deployment {
+                setup,
+                signers: vec![ReplicaSigner::Unsigned; group.n()],
+                zone_public_key: None,
+                threshold_public_key: None,
+            }
+        }
+        ZoneSecurity::SignedLocal => {
+            assert_eq!(group.n(), 1, "local signing is the single-server base case");
+            let key = RsaPrivateKey::generate(key_bits, rng);
+            let signer = LocalSigner::new(key);
+            let kd = key_data(signer.public_key());
+            sig_meta.key_tag = key_tag(&kd);
+            zone.insert(zone_key_record(&origin, signer.public_key(), 3600));
+            signer.sign_zone(&mut zone, &sig_meta);
+            let public = signer.public_key().clone();
+            let setup = ReplicaSetup {
+                group,
+                security,
+                costs,
+                sig_meta,
+                zone,
+                coin_seed: rng.gen(),
+                reads_via_abcast,
+                keyring,
+            };
+            Deployment {
+                setup,
+                signers: vec![ReplicaSigner::Local(signer)],
+                zone_public_key: Some(public),
+                threshold_public_key: None,
+            }
+        }
+        ZoneSecurity::SignedThreshold(_) => {
+            let (pk, shares) = Dealer::deal(key_bits, group.n(), group.t(), rng);
+            let pk = Arc::new(pk);
+            let rsa_pk = pk.to_rsa_public_key();
+            let kd = key_data(&rsa_pk);
+            sig_meta.key_tag = key_tag(&kd);
+            zone.insert(zone_key_record(&origin, &rsa_pk, 3600));
+            // Dealer-side genesis signing: assemble each SIG from a quorum
+            // of shares (the dealer transiently holds them all).
+            for task in plan_zone_signing(&mut zone, &sig_meta) {
+                let x = rsa_pk
+                    .message_representative(&task.data, HashAlg::Sha1)
+                    .expect("modulus large enough");
+                let quorum: Vec<_> =
+                    shares.iter().take(pk.quorum()).map(|s| s.sign(&x, &pk)).collect();
+                let sig = pk.assemble(&x, &quorum).expect("honest dealer shares");
+                install_signature(&mut zone, &task, sig.to_bytes_be_padded(rsa_pk.modulus_len()));
+            }
+            let signers = shares
+                .into_iter()
+                .map(|share| ReplicaSigner::Threshold { pk: Arc::clone(&pk), share })
+                .collect();
+            let setup = ReplicaSetup {
+                group,
+                security,
+                costs,
+                sig_meta,
+                zone,
+                coin_seed: rng.gen(),
+                reads_via_abcast,
+                keyring,
+            };
+            Deployment {
+                setup,
+                signers,
+                zone_public_key: Some(rsa_pk),
+                threshold_public_key: Some(pk),
+            }
+        }
+    }
+}
+
+/// A small example zone for tests, examples, and benchmarks: the
+/// `example.com` zone with a handful of hosts.
+pub fn example_zone() -> Zone {
+    use sdns_dns::{RData, Record};
+    let origin: sdns_dns::Name = "example.com".parse().expect("valid name");
+    let mut zone = Zone::with_default_soa(origin.clone());
+    let records = [
+        ("example.com", RData::Ns("ns1.example.com".parse().expect("valid"))),
+        ("example.com", RData::Ns("ns2.example.com".parse().expect("valid"))),
+        ("ns1.example.com", RData::A("192.0.2.53".parse().expect("valid"))),
+        ("ns2.example.com", RData::A("198.51.100.53".parse().expect("valid"))),
+        ("www.example.com", RData::A("192.0.2.80".parse().expect("valid"))),
+        ("mail.example.com", RData::A("192.0.2.25".parse().expect("valid"))),
+        ("mail.example.com", RData::Mx(10, "mail.example.com".parse().expect("valid"))),
+        ("ftp.example.com", RData::Cname("www.example.com".parse().expect("valid"))),
+    ];
+    for (name, rdata) in records {
+        zone.insert(Record::new(name.parse().expect("valid"), 3600, rdata));
+    }
+    zone
+}

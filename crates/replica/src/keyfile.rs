@@ -1,0 +1,343 @@
+//! On-disk replica initialization files — the artifact of the dealer
+//! ceremony (§4.3: "the file with these private keys must be transported
+//! over a secure channel to every server").
+//!
+//! A deployment directory contains:
+//!
+//! - `zone.bin` — the signed zone snapshot (shared by all replicas),
+//! - `replica-<i>.conf` — per-replica private configuration: the key
+//!   share, the group public key, peers, and the link key.
+//!
+//! The format is a plain `key = value` text file with hex-encoded big
+//! integers; see [`ReplicaFile`].
+
+use crate::config::{CostModel, ZoneSecurity};
+use crate::genesis::Deployment;
+use crate::replica::{Replica, ReplicaSetup, ReplicaSigner};
+use crate::tcp::TcpConfig;
+use crate::Corruption;
+use sdns_abcast::Group;
+use sdns_bigint::Ubig;
+use sdns_crypto::protocol::SigProtocol;
+use sdns_crypto::threshold::{KeyShare, ThresholdPublicKey};
+use sdns_dns::sign::SigMeta;
+use sdns_dns::Zone;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Error loading or saving replica files.
+#[derive(Debug)]
+pub enum KeyFileError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// A missing or malformed field.
+    Parse(String),
+}
+
+impl std::fmt::Display for KeyFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyFileError::Io(e) => write!(f, "i/o error: {e}"),
+            KeyFileError::Parse(what) => write!(f, "config error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyFileError {}
+
+impl From<std::io::Error> for KeyFileError {
+    fn from(e: std::io::Error) -> Self {
+        KeyFileError::Io(e)
+    }
+}
+
+fn perr(what: impl Into<String>) -> KeyFileError {
+    KeyFileError::Parse(what.into())
+}
+
+/// A parsed `replica-<i>.conf`, sufficient to instantiate the replica
+/// and its TCP runtime.
+#[derive(Debug)]
+pub struct ReplicaFile {
+    /// This replica's index.
+    pub me: usize,
+    /// The restored shared setup.
+    pub setup: ReplicaSetup,
+    /// This replica's signer material.
+    pub signer: ReplicaSigner,
+    /// Peer listen addresses (index-aligned).
+    pub peers: Vec<SocketAddr>,
+    /// The link-authentication key.
+    pub link_key: Vec<u8>,
+}
+
+impl ReplicaFile {
+    /// Instantiates the replica state machine.
+    pub fn replica(&self, corruption: Corruption, seed: u64) -> Replica {
+        Replica::new(&self.setup, self.me, self.signer.clone(), corruption, seed)
+    }
+
+    /// The TCP runtime configuration.
+    pub fn tcp_config(&self) -> TcpConfig {
+        TcpConfig::new(self.me, self.peers.clone(), self.link_key.clone())
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, KeyFileError> {
+    if s.len() % 2 != 0 {
+        return Err(perr("odd-length hex value"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| perr("bad hex digit")))
+        .collect()
+}
+
+/// Writes the whole deployment: `zone.bin` and one `replica-<i>.conf`
+/// per replica.
+///
+/// # Errors
+///
+/// Any I/O error; the deployment must be threshold-signed (the
+/// standalone binaries exist to run the distributed service).
+pub fn save_deployment(
+    deployment: &Deployment,
+    peers: &[SocketAddr],
+    link_key: &[u8],
+    dir: &Path,
+) -> Result<(), KeyFileError> {
+    let n = deployment.setup.group.n();
+    if peers.len() != n {
+        return Err(perr(format!("{n} replicas need {n} peer addresses, got {}", peers.len())));
+    }
+    let Some(pk) = &deployment.threshold_public_key else {
+        return Err(perr("only threshold deployments can be saved"));
+    };
+    let ZoneSecurity::SignedThreshold(protocol) = deployment.setup.security else {
+        return Err(perr("only threshold deployments can be saved"));
+    };
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("zone.bin"), deployment.setup.zone.snapshot())?;
+
+    for i in 0..n {
+        let ReplicaSigner::Threshold { share, .. } = &deployment.signers[i] else {
+            return Err(perr("signer mismatch"));
+        };
+        let mut out = String::new();
+        out.push_str("# sdns replica configuration (keep private!)\n");
+        out.push_str("format = sdns-replica-v1\n");
+        out.push_str(&format!("me = {i}\n"));
+        out.push_str(&format!("n = {n}\n"));
+        out.push_str(&format!("t = {}\n", deployment.setup.group.t()));
+        out.push_str(&format!("protocol = {}\n", protocol.name()));
+        for p in peers {
+            out.push_str(&format!("peer = {p}\n"));
+        }
+        out.push_str(&format!("link_key = {}\n", hex_encode(link_key)));
+        out.push_str(&format!("coin_seed = {}\n", deployment.setup.coin_seed));
+        out.push_str(&format!("reads_via_abcast = {}\n", deployment.setup.reads_via_abcast));
+        out.push_str(&format!("sig_signer = {}\n", deployment.setup.sig_meta.signer));
+        out.push_str(&format!("sig_keytag = {}\n", deployment.setup.sig_meta.key_tag));
+        out.push_str(&format!("sig_inception = {}\n", deployment.setup.sig_meta.inception));
+        out.push_str(&format!("sig_expiration = {}\n", deployment.setup.sig_meta.expiration));
+        out.push_str(&format!("modulus = {}\n", pk.modulus().to_hex()));
+        out.push_str(&format!("exponent = {}\n", pk.exponent().to_hex()));
+        out.push_str(&format!("verification_base = {}\n", pk.verification_base().to_hex()));
+        for j in 1..=n {
+            out.push_str(&format!("verification_key = {}\n", pk.verification_key(j).to_hex()));
+        }
+        out.push_str(&format!("share_index = {}\n", share.index()));
+        out.push_str(&format!("share_secret = {}\n", share.secret().to_hex()));
+        std::fs::write(dir.join(format!("replica-{i}.conf")), out)?;
+    }
+    Ok(())
+}
+
+/// Loads one replica's configuration from its `.conf` file (the signed
+/// zone snapshot `zone.bin` is read from the same directory).
+///
+/// # Errors
+///
+/// [`KeyFileError`] on I/O or parse failure.
+pub fn load_replica(conf_path: &Path) -> Result<ReplicaFile, KeyFileError> {
+    let text = std::fs::read_to_string(conf_path)?;
+    let mut fields: HashMap<&str, Vec<&str>> = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line.split_once('=').ok_or_else(|| perr(format!("bad line: {line}")))?;
+        fields.entry(k.trim()).or_default().push(v.trim());
+    }
+    let one = |k: &str| -> Result<&str, KeyFileError> {
+        fields
+            .get(k)
+            .and_then(|v| v.first())
+            .copied()
+            .ok_or_else(|| perr(format!("missing field {k}")))
+    };
+    let ubig = |k: &str| -> Result<Ubig, KeyFileError> {
+        Ubig::from_hex(one(k)?).map_err(|e| perr(format!("bad {k}: {e}")))
+    };
+
+    if one("format")? != "sdns-replica-v1" {
+        return Err(perr("unknown format"));
+    }
+    let me: usize = one("me")?.parse().map_err(|_| perr("bad me"))?;
+    let n: usize = one("n")?.parse().map_err(|_| perr("bad n"))?;
+    let t: usize = one("t")?.parse().map_err(|_| perr("bad t"))?;
+    let protocol = match one("protocol")? {
+        "BASIC" => SigProtocol::Basic,
+        "OPTPROOF" => SigProtocol::OptProof,
+        "OPTTE" => SigProtocol::OptTe,
+        other => return Err(perr(format!("unknown protocol {other}"))),
+    };
+    let peers: Vec<SocketAddr> = fields
+        .get("peer")
+        .ok_or_else(|| perr("missing peers"))?
+        .iter()
+        .map(|p| p.parse().map_err(|_| perr(format!("bad peer address {p}"))))
+        .collect::<Result<_, _>>()?;
+    if peers.len() != n {
+        return Err(perr(format!("expected {n} peers, found {}", peers.len())));
+    }
+    let verification_keys: Vec<Ubig> = fields
+        .get("verification_key")
+        .ok_or_else(|| perr("missing verification keys"))?
+        .iter()
+        .map(|h| Ubig::from_hex(h).map_err(|e| perr(format!("bad verification key: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if verification_keys.len() != n {
+        return Err(perr("verification key count mismatch"));
+    }
+
+    let pk = Arc::new(ThresholdPublicKey::from_parts(
+        n,
+        t,
+        ubig("modulus")?,
+        ubig("exponent")?,
+        ubig("verification_base")?,
+        verification_keys,
+    ));
+    let share = KeyShare::from_parts(
+        one("share_index")?.parse().map_err(|_| perr("bad share index"))?,
+        ubig("share_secret")?,
+    );
+
+    let zone_bytes = std::fs::read(
+        conf_path.parent().unwrap_or_else(|| Path::new(".")).join("zone.bin"),
+    )?;
+    let zone = Zone::from_snapshot(&zone_bytes).map_err(|e| perr(format!("bad zone.bin: {e}")))?;
+
+    let setup = ReplicaSetup {
+        group: Group::new(n, t),
+        security: ZoneSecurity::SignedThreshold(protocol),
+        costs: CostModel::free(), // real time on the TCP runtime
+        sig_meta: SigMeta {
+            signer: one("sig_signer")?
+                .parse()
+                .map_err(|e| perr(format!("bad sig_signer: {e}")))?,
+            key_tag: one("sig_keytag")?.parse().map_err(|_| perr("bad sig_keytag"))?,
+            inception: one("sig_inception")?.parse().map_err(|_| perr("bad sig_inception"))?,
+            expiration: one("sig_expiration")?.parse().map_err(|_| perr("bad sig_expiration"))?,
+        },
+        zone,
+        coin_seed: one("coin_seed")?.parse().map_err(|_| perr("bad coin_seed"))?,
+        reads_via_abcast: one("reads_via_abcast")? == "true",
+        keyring: None,
+    };
+    Ok(ReplicaFile {
+        me,
+        setup,
+        signer: ReplicaSigner::Threshold { pk, share },
+        peers,
+        link_key: hex_decode(one("link_key")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genesis::{deploy, example_zone};
+    use rand::SeedableRng;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF11E);
+        let deployment = deploy(
+            Group::new(4, 1),
+            ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+            CostModel::free(),
+            example_zone(),
+            384,
+            true,
+            None,
+            &mut rng,
+        );
+        let dir = std::env::temp_dir().join(format!("sdns-keyfile-test-{}", std::process::id()));
+        let peers: Vec<SocketAddr> =
+            (0..4).map(|i| format!("127.0.0.1:{}", 5300 + i).parse().unwrap()).collect();
+        save_deployment(&deployment, &peers, b"link-secret", &dir).unwrap();
+
+        for i in 0..4 {
+            let loaded = load_replica(&dir.join(format!("replica-{i}.conf"))).unwrap();
+            assert_eq!(loaded.me, i);
+            assert_eq!(loaded.peers, peers);
+            assert_eq!(loaded.link_key, b"link-secret");
+            assert_eq!(loaded.setup.group.n(), 4);
+            assert_eq!(
+                loaded.setup.zone.state_digest(),
+                deployment.setup.zone.state_digest(),
+                "signed zone survives the round trip"
+            );
+            // The restored key material actually signs.
+            let ReplicaSigner::Threshold { pk, share } = &loaded.signer else { panic!() };
+            let x = Ubig::from(777u64);
+            let ReplicaSigner::Threshold { share: other, .. } = &deployment.signers[(i + 1) % 4]
+            else {
+                panic!()
+            };
+            let sig = pk.assemble(&x, &[share.sign(&x, pk), other.sign(&x, pk)]).unwrap();
+            assert!(pk.verify(&x, &sig));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed() {
+        let dir = std::env::temp_dir().join(format!("sdns-keyfile-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("replica-0.conf");
+        std::fs::write(&p, "format = wrong\n").unwrap();
+        assert!(load_replica(&p).is_err());
+        std::fs::write(&p, "format = sdns-replica-v1\nme = 0\n").unwrap();
+        assert!(load_replica(&p).is_err()); // missing everything else
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_refuses_unsigned_deployments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let deployment = deploy(
+            Group::new(4, 1),
+            ZoneSecurity::Unsigned,
+            CostModel::free(),
+            example_zone(),
+            384,
+            true,
+            None,
+            &mut rng,
+        );
+        let peers: Vec<SocketAddr> =
+            (0..4).map(|i| format!("127.0.0.1:{}", 5400 + i).parse().unwrap()).collect();
+        let out = save_deployment(&deployment, &peers, b"k", Path::new("/tmp/nope-sdns"));
+        assert!(out.is_err());
+    }
+}

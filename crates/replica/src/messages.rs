@@ -1,0 +1,65 @@
+//! The unified message type of the replicated name service.
+
+use sdns_abcast::AbcMsg;
+use sdns_crypto::protocol::SigMessage;
+
+/// A message on the wire between nodes (replicas and clients).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaMsg {
+    /// A DNS request from a client (wire-format DNS message bytes).
+    ClientRequest {
+        /// Client-chosen id for matching responses (the DNS message id is
+        /// inside the bytes; this one is unique per client *attempt*).
+        request_id: u64,
+        /// The DNS message, wire format.
+        bytes: Vec<u8>,
+    },
+    /// A DNS response to a client (wire-format DNS message bytes).
+    ClientResponse {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The DNS message, wire format.
+        bytes: Vec<u8>,
+    },
+    /// Atomic-broadcast traffic between replicas.
+    Abcast(AbcMsg),
+    /// Threshold-signing traffic between replicas, tagged by session.
+    Signing {
+        /// The signing-session id (deterministically derived from the
+        /// delivered request and task index, so all replicas agree).
+        session: u64,
+        /// The protocol message.
+        inner: SigMessage,
+    },
+    /// A harness pacing signal (replicas ignore it; scripted clients
+    /// start their next operation on it).
+    Tick,
+    /// Recovery: a (re)starting replica asks the group for its state.
+    StateRequest,
+    /// Recovery: a replica's serialized state (answered when idle, so the
+    /// snapshot is a consistent cut).
+    StateResponse {
+        /// The snapshot bytes (see `ReplicaSnapshot`).
+        snapshot: Vec<u8>,
+    },
+}
+
+impl ReplicaMsg {
+    /// Whether this is inter-replica protocol traffic (as opposed to
+    /// client-facing traffic).
+    pub fn is_protocol(&self) -> bool {
+        matches!(self, ReplicaMsg::Abcast(_) | ReplicaMsg::Signing { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_classification() {
+        assert!(!ReplicaMsg::ClientRequest { request_id: 1, bytes: vec![] }.is_protocol());
+        assert!(!ReplicaMsg::ClientResponse { request_id: 1, bytes: vec![] }.is_protocol());
+        assert!(ReplicaMsg::Signing { session: 1, inner: SigMessage::ProofRequest }.is_protocol());
+    }
+}

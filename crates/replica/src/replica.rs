@@ -1,0 +1,768 @@
+//! The replica: the paper's "Wrapper" plus `named`, as one deterministic
+//! state machine.
+//!
+//! Every replica runs the zone as a replicated state machine: client
+//! requests are disseminated with atomic broadcast, executed in delivery
+//! order against the local zone copy, and answered directly to the
+//! client. Dynamic updates in a signed zone trigger the distributed
+//! threshold-signing protocol for each SIG record they dirty (4 for an
+//! add, 2 for a delete), during which subsequent requests queue — the
+//! same serialization the paper's `named` exhibits.
+
+use crate::config::{Corruption, CostModel, ZoneSecurity};
+use crate::envelope::Envelope;
+use crate::messages::ReplicaMsg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdns_abcast::{Action as NetAction, AtomicBroadcast, Group, HashCoin, ReplicaId};
+use sdns_bigint::Ubig;
+use sdns_crypto::pkcs1::HashAlg;
+use sdns_crypto::protocol::{SigAction, SigMessage, SigProtocol, SigningSession};
+use sdns_crypto::threshold::{KeyShare, ThresholdPublicKey};
+use sdns_dns::sign::{install_signature, plan_update_resign, LocalSigner, SigMeta, SigTask};
+use sdns_dns::tsig::{verify_message, TsigKeyring};
+use sdns_dns::update::apply_update;
+use sdns_dns::zone::QueryResult;
+use sdns_dns::{Message, Opcode, Rcode, RecordType, Zone};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// A node id in the deployment: replicas occupy `0..n`, clients are
+/// `>= n`.
+pub type NodeId = usize;
+
+/// An instruction emitted by the replica for its host runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaAction {
+    /// Send a message to a node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: ReplicaMsg,
+    },
+    /// Charge compute time (reference-machine seconds).
+    Work {
+        /// Seconds on the reference machine.
+        ref_seconds: f64,
+    },
+    /// An observable event, for harness instrumentation.
+    Event(ReplicaEvent),
+}
+
+/// Observable replica events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaEvent {
+    /// A request was delivered by atomic broadcast.
+    Delivered {
+        /// The client attempt it originated from.
+        key: (usize, u64),
+    },
+    /// A request finished executing.
+    Executed {
+        /// The client attempt.
+        key: (usize, u64),
+        /// The response code.
+        rcode: Rcode,
+    },
+    /// An OPTPROOF signing session fell back to proofs at this replica.
+    ProofFallback {
+        /// The signing session.
+        session: u64,
+    },
+    /// This replica completed state-transfer recovery.
+    Recovered {
+        /// The atomic-broadcast round it resumed at.
+        round: u64,
+    },
+}
+
+/// The signing capability of the zone at this replica.
+#[derive(Debug)]
+enum Signer {
+    /// Unsigned zone.
+    None,
+    /// Classic DNSSEC: the private key lives on this (single) server.
+    Local(LocalSigner),
+    /// The paper's design: the key is threshold-shared.
+    Threshold {
+        protocol: SigProtocol,
+        pk: Arc<ThresholdPublicKey>,
+        share: KeyShare,
+    },
+}
+
+/// An update whose re-signing is in progress.
+#[derive(Debug)]
+struct ActiveUpdate {
+    envelope: Envelope,
+    response: Message,
+    tasks: Vec<SigTask>,
+    next_task: usize,
+    base_session: u64,
+}
+
+/// Shared configuration for building a replica group.
+#[derive(Debug, Clone)]
+pub struct ReplicaSetup {
+    /// Group parameters (`n > 3t`).
+    pub group: Group,
+    /// Zone security and signing protocol.
+    pub security: ZoneSecurity,
+    /// Virtual-time cost calibration.
+    pub costs: CostModel,
+    /// SIG metadata (deterministic across replicas).
+    pub sig_meta: SigMeta,
+    /// The initial (already signed, if applicable) zone.
+    pub zone: Zone,
+    /// Seed for the atomic-broadcast common coin (shared by the group).
+    pub coin_seed: u64,
+    /// Whether reads are totally ordered through atomic broadcast
+    /// (paper §3.4: zones with rare updates may skip this).
+    pub reads_via_abcast: bool,
+    /// TSIG keys accepted for dynamic updates; `None` disables the
+    /// transaction-signature requirement.
+    pub keyring: Option<TsigKeyring>,
+}
+
+/// One replica of the secure distributed name service.
+#[derive(Debug)]
+pub struct Replica {
+    me: ReplicaId,
+    group: Group,
+    corruption: Corruption,
+    costs: CostModel,
+    zone: Zone,
+    stale_zone: Option<Zone>,
+    signer: Signer,
+    sig_meta: SigMeta,
+    reads_via_abcast: bool,
+    keyring: Option<TsigKeyring>,
+    abcast: AtomicBroadcast<HashCoin>,
+    executed: HashSet<(usize, u64)>,
+    exec_queue: VecDeque<Envelope>,
+    active: Option<ActiveUpdate>,
+    sessions: HashMap<u64, SigningSession>,
+    /// Signing traffic for sessions this replica has not started yet.
+    early_signing: HashMap<u64, Vec<(ReplicaId, SigMessage)>>,
+    /// Sessions completed and retired (ignore stragglers).
+    finished_sessions: HashSet<u64>,
+    update_counter: u64,
+    /// Set while this replica is recovering via state transfer.
+    recovering: Option<crate::snapshot::SnapshotQuorum>,
+    /// State requests deferred until the pipeline is idle.
+    pending_state_requests: Vec<NodeId>,
+    rng: StdRng,
+}
+
+/// Maximum signing tasks per update (sessions are numbered within this).
+const MAX_TASKS_PER_UPDATE: u64 = 64;
+
+impl Replica {
+    /// Creates replica `me`. For threshold-signed zones, `key_share` must
+    /// be this replica's share from the dealer; for locally signed zones
+    /// (`n = 1` base case) pass the signer via `setup.security`.
+    pub fn new(
+        setup: &ReplicaSetup,
+        me: ReplicaId,
+        signer: ReplicaSigner,
+        corruption: Corruption,
+        seed: u64,
+    ) -> Self {
+        let signer = match (&setup.security, signer) {
+            (ZoneSecurity::Unsigned, _) => Signer::None,
+            (ZoneSecurity::SignedLocal, ReplicaSigner::Local(s)) => Signer::Local(s),
+            (ZoneSecurity::SignedThreshold(p), ReplicaSigner::Threshold { pk, share }) => {
+                Signer::Threshold { protocol: *p, pk, share }
+            }
+            (sec, _) => panic!("signer does not match security mode {sec:?}"),
+        };
+        Replica {
+            me,
+            group: setup.group,
+            corruption,
+            costs: setup.costs,
+            stale_zone: if corruption == Corruption::StaleReplies {
+                Some(setup.zone.clone())
+            } else {
+                None
+            },
+            zone: setup.zone.clone(),
+            signer,
+            sig_meta: setup.sig_meta.clone(),
+            reads_via_abcast: setup.reads_via_abcast,
+            keyring: setup.keyring.clone(),
+            abcast: AtomicBroadcast::new(setup.group, me, HashCoin::new(setup.coin_seed)),
+            executed: HashSet::new(),
+            exec_queue: VecDeque::new(),
+            active: None,
+            sessions: HashMap::new(),
+            early_signing: HashMap::new(),
+            finished_sessions: HashSet::new(),
+            update_counter: 0,
+            recovering: None,
+            pending_state_requests: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ me as u64),
+        }
+    }
+
+    /// This replica's index.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// Read access to the zone (for test assertions).
+    pub fn zone(&self) -> &Zone {
+        &self.zone
+    }
+
+    /// The configured corruption.
+    pub fn corruption(&self) -> Corruption {
+        self.corruption
+    }
+
+    /// Diagnostic snapshot: (queued envelopes, has active update, active
+    /// task index, open signing sessions, buffered early messages).
+    pub fn debug_state(&self) -> (usize, bool, usize, usize, usize) {
+        (
+            self.exec_queue.len(),
+            self.active.is_some(),
+            self.active.as_ref().map(|a| a.next_task).unwrap_or(0),
+            self.sessions.len(),
+            self.early_signing.values().map(|v| v.len()).sum(),
+        )
+    }
+
+    /// Starts crash recovery: this replica discards nothing (it is
+    /// assumed freshly constructed from the genesis setup) and asks the
+    /// group for the current state, adopting it once `t + 1` replicas
+    /// answer with byte-identical snapshots.
+    pub fn begin_recovery(&mut self) -> Vec<ReplicaAction> {
+        self.recovering = Some(crate::snapshot::SnapshotQuorum::new());
+        (0..self.group.n())
+            .filter(|&to| to != self.me)
+            .map(|to| ReplicaAction::Send { to, msg: ReplicaMsg::StateRequest })
+            .collect()
+    }
+
+    /// Whether this replica is mid-recovery.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Builds a consistent state snapshot (caller must ensure idleness).
+    fn snapshot(&self) -> crate::snapshot::ReplicaSnapshot {
+        let (round, delivered_ids) = self.abcast.export_state();
+        crate::snapshot::ReplicaSnapshot {
+            round,
+            update_counter: self.update_counter,
+            executed: crate::snapshot::executed_to_wire(&self.executed),
+            delivered_ids,
+            zone: self.zone.clone(),
+        }
+    }
+
+    /// Whether the execution pipeline is idle (safe to snapshot).
+    fn is_idle(&self) -> bool {
+        self.active.is_none() && self.exec_queue.is_empty()
+    }
+
+    /// Answers deferred state requests once idle.
+    fn flush_state_requests(&mut self, out: &mut Vec<ReplicaAction>) {
+        if !self.is_idle() || self.pending_state_requests.is_empty() {
+            return;
+        }
+        let snapshot = self.snapshot().encode();
+        for to in std::mem::take(&mut self.pending_state_requests) {
+            out.push(ReplicaAction::Send {
+                to,
+                msg: ReplicaMsg::StateResponse { snapshot: snapshot.clone() },
+            });
+        }
+    }
+
+    /// Handles a state response while recovering.
+    fn on_state_response(&mut self, from: NodeId, snapshot: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+        let quorum_size = self.group.one_honest();
+        let Some(quorum) = &mut self.recovering else { return };
+        let Some(winner) = quorum.add(from, snapshot, quorum_size) else { return };
+        let Ok(state) = crate::snapshot::ReplicaSnapshot::decode(&winner) else {
+            // t+1 matching copies include an honest one, so this cannot
+            // happen against <= t corruptions; tolerate by waiting.
+            return;
+        };
+        self.zone = state.zone;
+        self.executed = state.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
+        self.update_counter = state.update_counter;
+        self.abcast.import_state(state.round, state.delivered_ids);
+        self.exec_queue.clear();
+        self.active = None;
+        self.sessions.clear();
+        self.early_signing.clear();
+        self.finished_sessions.clear();
+        self.recovering = None;
+        out.push(ReplicaAction::Event(ReplicaEvent::Recovered { round: state.round }));
+    }
+
+    /// Handles a message from node `from`.
+    pub fn on_message(&mut self, from: NodeId, msg: ReplicaMsg) -> Vec<ReplicaAction> {
+        let mut out = Vec::new();
+        if self.corruption == Corruption::Mute {
+            return out;
+        }
+        if self.recovering.is_some() {
+            // Mid-recovery: only state responses matter; everything else
+            // refers to state we are about to adopt wholesale.
+            if let ReplicaMsg::StateResponse { snapshot } = msg {
+                if from < self.group.n() {
+                    self.on_state_response(from, snapshot, &mut out);
+                }
+            }
+            return out;
+        }
+        match msg {
+            ReplicaMsg::ClientRequest { request_id, bytes } => {
+                self.on_client_request(from, request_id, bytes, &mut out);
+            }
+            ReplicaMsg::Abcast(inner) => {
+                if from >= self.group.n() {
+                    return out; // clients cannot speak the replica protocol
+                }
+                out.push(ReplicaAction::Work { ref_seconds: self.costs.per_message });
+                let (actions, deliveries) = self.abcast.on_message(from, inner);
+                self.emit_abcast(actions, &mut out);
+                for d in deliveries {
+                    self.on_delivery(d.payload.data, &mut out);
+                }
+                self.try_execute(&mut out);
+            }
+            ReplicaMsg::Signing { session, inner } => {
+                if from >= self.group.n() {
+                    return out;
+                }
+                out.push(ReplicaAction::Work { ref_seconds: self.costs.per_message });
+                self.on_signing_message(session, from, inner, &mut out);
+            }
+            ReplicaMsg::StateRequest => {
+                if from < self.group.n() {
+                    self.pending_state_requests.push(from);
+                    self.flush_state_requests(&mut out);
+                }
+            }
+            ReplicaMsg::StateResponse { .. } => {
+                // Not recovering: a stale response; ignore.
+            }
+            ReplicaMsg::ClientResponse { .. } | ReplicaMsg::Tick => {
+                // Replicas never receive responses or pacing ticks; ignore.
+            }
+        }
+        self.flush_state_requests(&mut out);
+        out
+    }
+
+    /// Gateway path: a client request arrives at this replica.
+    fn on_client_request(
+        &mut self,
+        client: NodeId,
+        request_id: u64,
+        bytes: Vec<u8>,
+        out: &mut Vec<ReplicaAction>,
+    ) {
+        if self.corruption == Corruption::DropClientRequests {
+            return;
+        }
+        let envelope = Envelope { client, request_id, bytes };
+
+        // Fast path: serve reads directly when the deployment does not
+        // order reads (paper §3.4 last paragraph), or when unreplicated.
+        let is_query = Message::from_bytes(&envelope.bytes)
+            .map(|m| m.opcode == Opcode::Query)
+            .unwrap_or(false);
+        if is_query && (!self.reads_via_abcast || self.group.n() == 1) {
+            self.execute_query(&envelope, out);
+            return;
+        }
+        if self.group.n() == 1 {
+            // Unreplicated base case: skip atomic broadcast entirely.
+            self.on_delivery(envelope.encode(), out);
+            self.try_execute(out);
+            return;
+        }
+        // Gateway TSIG screening: reject unauthenticated updates before
+        // wasting a broadcast (full verification also happens after
+        // delivery, deterministically, at every replica).
+        if !is_query {
+            if let Some(keyring) = &self.keyring {
+                if let Ok(m) = Message::from_bytes(&envelope.bytes) {
+                    let mac_ok = verify_tsig_mac(&m, keyring);
+                    if !mac_ok {
+                        let resp = m.response(Rcode::NotAuth);
+                        self.respond(&envelope, resp, out);
+                        return;
+                    }
+                }
+            }
+        }
+        let (actions, deliveries) = self.abcast.submit(envelope.encode());
+        self.emit_abcast(actions, out);
+        for d in deliveries {
+            self.on_delivery(d.payload.data, out);
+        }
+        self.try_execute(out);
+    }
+
+    /// A payload came out of atomic broadcast.
+    fn on_delivery(&mut self, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+        let Some(envelope) = Envelope::decode(&data) else {
+            return; // Byzantine garbage, identically dropped everywhere
+        };
+        out.push(ReplicaAction::Event(ReplicaEvent::Delivered { key: envelope.dedup_key() }));
+        self.exec_queue.push_back(envelope);
+    }
+
+    /// Executes queued requests until one blocks on distributed signing.
+    fn try_execute(&mut self, out: &mut Vec<ReplicaAction>) {
+        while self.active.is_none() {
+            let Some(envelope) = self.exec_queue.pop_front() else { return };
+            if !self.executed.insert(envelope.dedup_key()) {
+                continue; // duplicate submission via another gateway
+            }
+            let Ok(msg) = Message::from_bytes(&envelope.bytes) else {
+                let resp = Message {
+                    rcode: Rcode::FormErr,
+                    flags: sdns_dns::Flags { qr: true, ..Default::default() },
+                    ..Default::default()
+                };
+                self.respond(&envelope, resp, out);
+                continue;
+            };
+            match msg.opcode {
+                Opcode::Query => self.execute_query(&envelope, out),
+                Opcode::Update => self.execute_update(envelope, msg, out),
+                Opcode::Unknown(_) => {
+                    let resp = msg.response(Rcode::NotImp);
+                    self.respond(&envelope, resp, out);
+                }
+            }
+        }
+    }
+
+    /// Answers a query from the zone (or the stale snapshot, when this
+    /// replica simulates the stale-replay corruption).
+    fn execute_query(&mut self, envelope: &Envelope, out: &mut Vec<ReplicaAction>) {
+        out.push(ReplicaAction::Work { ref_seconds: self.costs.dns_query });
+        let Ok(msg) = Message::from_bytes(&envelope.bytes) else {
+            let resp = Message {
+                rcode: Rcode::FormErr,
+                flags: sdns_dns::Flags { qr: true, ..Default::default() },
+                ..Default::default()
+            };
+            self.respond(envelope, resp, out);
+            return;
+        };
+        let zone = self.stale_zone.as_ref().unwrap_or(&self.zone);
+        let resp = answer_query(zone, &msg);
+        let key = envelope.dedup_key();
+        out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: resp.rcode }));
+        self.respond(envelope, resp, out);
+    }
+
+    /// Applies a dynamic update; in signed zones, kicks off the
+    /// distributed signing of the dirtied SIG records.
+    fn execute_update(&mut self, envelope: Envelope, msg: Message, out: &mut Vec<ReplicaAction>) {
+        // Deterministic authorization check at every replica: MAC only
+        // (clock-dependent freshness was screened at the gateway).
+        if let Some(keyring) = &self.keyring {
+            if !verify_tsig_mac(&msg, keyring) {
+                let resp = msg.response(Rcode::NotAuth);
+                let key = envelope.dedup_key();
+                out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: resp.rcode }));
+                self.respond(&envelope, resp, out);
+                return;
+            }
+        }
+        out.push(ReplicaAction::Work { ref_seconds: self.costs.dns_update });
+        let outcome = apply_update(&mut self.zone, &msg);
+        let response = msg.response(outcome.rcode);
+        let key = envelope.dedup_key();
+        if outcome.rcode != Rcode::NoError || !outcome.changed {
+            out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: response.rcode }));
+            self.respond(&envelope, response, out);
+            return;
+        }
+        match &self.signer {
+            Signer::None => {
+                out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: response.rcode }));
+                self.respond(&envelope, response, out);
+            }
+            Signer::Local(signer) => {
+                // Classic DNSSEC: sign each dirty RRset with the local key.
+                let tasks = plan_update_resign(&mut self.zone, &outcome, &self.sig_meta);
+                out.push(ReplicaAction::Work {
+                    ref_seconds: self.costs.local_sign * tasks.len() as f64,
+                });
+                let signer = signer.clone();
+                for task in &tasks {
+                    let sig = signer.complete(task);
+                    install_signature(&mut self.zone, task, sig);
+                }
+                out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: response.rcode }));
+                self.respond(&envelope, response, out);
+            }
+            Signer::Threshold { .. } => {
+                let tasks = plan_update_resign(&mut self.zone, &outcome, &self.sig_meta);
+                assert!(
+                    (tasks.len() as u64) < MAX_TASKS_PER_UPDATE,
+                    "update dirtied too many RRsets"
+                );
+                if tasks.is_empty() {
+                    out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: response.rcode }));
+                    self.respond(&envelope, response, out);
+                    return;
+                }
+                self.update_counter += 1;
+                let base_session = self.update_counter * MAX_TASKS_PER_UPDATE;
+                self.active = Some(ActiveUpdate {
+                    envelope,
+                    response,
+                    tasks,
+                    next_task: 0,
+                    base_session,
+                });
+                self.start_next_task(out);
+            }
+        }
+    }
+
+    /// Starts the signing session for the active update's next task.
+    fn start_next_task(&mut self, out: &mut Vec<ReplicaAction>) {
+        let Some(active) = &self.active else { return };
+        let task_idx = active.next_task;
+        let session_id = active.base_session + task_idx as u64;
+        let data = active.tasks[task_idx].data.clone();
+        let Signer::Threshold { protocol, pk, share } = &self.signer else {
+            unreachable!("active updates only exist with threshold signing")
+        };
+        let x = pk
+            .to_rsa_public_key()
+            .message_representative(&data, HashAlg::Sha1)
+            .expect("modulus large enough for SHA-1 PKCS#1");
+        let (session, actions) = SigningSession::new(
+            *protocol,
+            Arc::clone(pk),
+            share.clone(),
+            x,
+            &mut self.rng,
+        );
+        self.sessions.insert(session_id, session);
+        self.emit_signing(session_id, actions, out);
+        // Replay any traffic that arrived before we started this session.
+        if let Some(buffered) = self.early_signing.remove(&session_id) {
+            for (from, inner) in buffered {
+                self.on_signing_message(session_id, from, inner, out);
+            }
+        }
+    }
+
+    /// Routes a signing-protocol message to its session.
+    fn on_signing_message(
+        &mut self,
+        session_id: u64,
+        from: ReplicaId,
+        inner: SigMessage,
+        out: &mut Vec<ReplicaAction>,
+    ) {
+        let Some(session) = self.sessions.get_mut(&session_id) else {
+            // Not started here yet (we lag behind) — buffer, unless the
+            // session already finished.
+            if !self.finished_sessions.contains(&session_id) {
+                self.early_signing.entry(session_id).or_default().push((from, inner));
+            }
+            return;
+        };
+        // Signer indices in the crypto layer are 1-based.
+        let actions = session.on_message(from + 1, inner, &mut self.rng);
+        self.emit_signing(session_id, actions, out);
+    }
+
+    /// Translates signing-session actions into replica actions, applying
+    /// the share-inversion corruption and completing tasks on `Done`.
+    fn emit_signing(&mut self, session_id: u64, actions: Vec<SigAction>, out: &mut Vec<ReplicaAction>) {
+        for action in actions {
+            match action {
+                SigAction::Work(counts) => {
+                    // The paper's corrupted server computes its share
+                    // honestly and only then inverts the bits (§4.4), so
+                    // it pays the same compute time as an honest one.
+                    out.push(ReplicaAction::Work { ref_seconds: self.costs.ops.seconds(counts) });
+                }
+                SigAction::SendAll(msg) => {
+                    if matches!(msg, SigMessage::ProofRequest) {
+                        out.push(ReplicaAction::Event(ReplicaEvent::ProofFallback {
+                            session: session_id,
+                        }));
+                    }
+                    // Point-to-point to every replica *including self*:
+                    // the session's own share loops back through the
+                    // messaging stack, racing remote shares for a quorum
+                    // slot just like in the paper's Wrapper.
+                    for to in 0..self.group.n() {
+                        let inner = if self.corruption == Corruption::InvertSigShares && to != self.me
+                        {
+                            match &msg {
+                                SigMessage::Share(share) => {
+                                    SigMessage::Share(share.bitwise_inverted())
+                                }
+                                // A corrupted server does not helpfully
+                                // rescue honest replicas with a valid
+                                // assembled signature or a proof request.
+                                SigMessage::Final(_) | SigMessage::ProofRequest => continue,
+                            }
+                        } else {
+                            msg.clone()
+                        };
+                        out.push(ReplicaAction::Send {
+                            to,
+                            msg: ReplicaMsg::Signing { session: session_id, inner },
+                        });
+                    }
+                }
+                SigAction::Done(sig) => {
+                    self.sessions.remove(&session_id);
+                    self.finished_sessions.insert(session_id);
+                    self.complete_task(session_id, sig, out);
+                }
+            }
+        }
+    }
+
+    /// Installs a finished signature and advances the active update.
+    fn complete_task(&mut self, session_id: u64, sig: Ubig, out: &mut Vec<ReplicaAction>) {
+        let Some(active) = &mut self.active else { return };
+        let expected = active.base_session + active.next_task as u64;
+        if session_id != expected {
+            return; // stale completion
+        }
+        let Signer::Threshold { pk, .. } = &self.signer else { return };
+        let sig_bytes = sig.to_bytes_be_padded(pk.to_rsa_public_key().modulus_len());
+        let task = active.tasks[active.next_task].clone();
+        install_signature(&mut self.zone, &task, sig_bytes);
+        let active = self.active.as_mut().expect("checked above");
+        active.next_task += 1;
+        if active.next_task < active.tasks.len() {
+            self.start_next_task(out);
+        } else {
+            let active = self.active.take().expect("checked above");
+            let key = active.envelope.dedup_key();
+            out.push(ReplicaAction::Event(ReplicaEvent::Executed {
+                key,
+                rcode: active.response.rcode,
+            }));
+            self.respond(&active.envelope, active.response, out);
+            self.try_execute(out);
+        }
+    }
+
+    /// Sends a DNS response to the client.
+    fn respond(&mut self, envelope: &Envelope, response: Message, out: &mut Vec<ReplicaAction>) {
+        // An adversary-controlled server would answer with data of its
+        // own choosing, which the client's signature verification rejects;
+        // modelled as not answering at all.
+        if self.corruption == Corruption::InvertSigShares {
+            return;
+        }
+        out.push(ReplicaAction::Send {
+            to: envelope.client,
+            msg: ReplicaMsg::ClientResponse {
+                request_id: envelope.request_id,
+                bytes: response.to_bytes(),
+            },
+        });
+    }
+
+    /// Wraps atomic-broadcast actions, expanding broadcasts to the
+    /// replica set only (clients are not in the group).
+    fn emit_abcast(&mut self, actions: Vec<NetAction<sdns_abcast::AbcMsg>>, out: &mut Vec<ReplicaAction>) {
+        for a in actions {
+            match a {
+                NetAction::Send { to, msg } => {
+                    out.push(ReplicaAction::Send { to, msg: ReplicaMsg::Abcast(msg) });
+                }
+                NetAction::Broadcast { msg } => {
+                    for to in 0..self.group.n() {
+                        if to != self.me {
+                            out.push(ReplicaAction::Send { to, msg: ReplicaMsg::Abcast(msg.clone()) });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// How a replica signs (mirrors [`ZoneSecurity`], carrying the keys).
+#[derive(Debug, Clone)]
+pub enum ReplicaSigner {
+    /// No signing capability (unsigned zones).
+    Unsigned,
+    /// The full private key (single-server base case).
+    Local(LocalSigner),
+    /// A threshold key share (the paper's design).
+    Threshold {
+        /// The group's threshold public key.
+        pk: Arc<ThresholdPublicKey>,
+        /// This replica's share.
+        share: KeyShare,
+    },
+}
+
+/// Verifies only the TSIG MAC of a message (clock-free, deterministic
+/// across replicas). Unsigned messages fail.
+fn verify_tsig_mac(msg: &Message, keyring: &TsigKeyring) -> bool {
+    // Use the message's own timestamp so only the MAC is checked.
+    let time = msg.additionals.iter().find_map(|r| match &r.rdata {
+        sdns_dns::RData::Tsig(t) => Some(t.time_signed),
+        _ => None,
+    });
+    match time {
+        Some(t) => verify_message(msg, keyring, t).is_ok(),
+        None => false,
+    }
+}
+
+/// Builds the answer to a DNS query against a zone.
+pub fn answer_query(zone: &Zone, msg: &Message) -> Message {
+    let Some(question) = msg.questions.first() else {
+        let mut resp = msg.response(Rcode::FormErr);
+        resp.flags.aa = false;
+        return resp;
+    };
+    match zone.query(&question.name, question.qtype) {
+        QueryResult::Answer(records) => {
+            let mut resp = msg.response(Rcode::NoError);
+            resp.answers = records;
+            resp
+        }
+        QueryResult::NoData => {
+            let mut resp = msg.response(Rcode::NoError);
+            // SOA in authority for negative caching.
+            if let QueryResult::Answer(soa) = zone.query(zone.origin(), RecordType::Soa) {
+                resp.authorities = soa;
+            }
+            resp
+        }
+        QueryResult::NxDomain(proof) => {
+            let mut resp = msg.response(Rcode::NxDomain);
+            resp.authorities = proof;
+            if let QueryResult::Answer(soa) = zone.query(zone.origin(), RecordType::Soa) {
+                resp.authorities.extend(soa);
+            }
+            resp
+        }
+        QueryResult::NotZone => {
+            let mut resp = msg.response(Rcode::Refused);
+            resp.flags.aa = false;
+            resp
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Replica state snapshots for crash recovery.
+//!
+//! A snapshot is a consistent cut of everything a replica needs to
+//! rejoin the group after losing its state: the zone (including SIG
+//! records), the request-deduplication set, the signing-session counter,
+//! and the atomic-broadcast frontier. Snapshots are only taken when the
+//! execution pipeline is idle (no half-signed update in flight).
+//!
+//! Recovery is Byzantine-safe by quorum matching: a recovering replica
+//! adopts a snapshot only after receiving `t + 1` byte-identical copies
+//! from distinct replicas — at least one of which is honest.
+
+use sdns_crypto::Sha256;
+use sdns_dns::wire::WireError;
+use sdns_dns::Zone;
+use std::collections::HashSet;
+
+/// A consistent replica state cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// The next undelivered atomic-broadcast round.
+    pub round: u64,
+    /// The signing-session counter.
+    pub update_counter: u64,
+    /// Executed request keys (client, request id).
+    pub executed: Vec<(u64, u64)>,
+    /// Delivered payload ids at the broadcast layer.
+    pub delivered_ids: Vec<u128>,
+    /// The zone.
+    pub zone: Zone,
+}
+
+const MAGIC: &[u8; 9] = b"SDNSSTATE";
+
+impl ReplicaSnapshot {
+    /// Serializes the snapshot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.round.to_be_bytes());
+        out.extend_from_slice(&self.update_counter.to_be_bytes());
+        out.extend_from_slice(&(self.executed.len() as u32).to_be_bytes());
+        for (c, r) in &self.executed {
+            out.extend_from_slice(&c.to_be_bytes());
+            out.extend_from_slice(&r.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.delivered_ids.len() as u32).to_be_bytes());
+        for id in &self.delivered_ids {
+            out.extend_from_slice(&id.to_be_bytes());
+        }
+        let zone = self.zone.snapshot();
+        out.extend_from_slice(&(zone.len() as u32).to_be_bytes());
+        out.extend_from_slice(&zone);
+        out
+    }
+
+    /// Deserializes a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<ReplicaSnapshot, WireError> {
+        let take = |bytes: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>, WireError> {
+            let s = bytes.get(*pos..*pos + n).ok_or(WireError::Truncated)?;
+            *pos += n;
+            Ok(s.to_vec())
+        };
+        let mut pos = 0usize;
+        if take(bytes, &mut pos, MAGIC.len())? != MAGIC {
+            return Err(WireError::BadRdata);
+        }
+        let round = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+        let update_counter = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+        let n_exec = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
+        if n_exec > 1 << 22 {
+            return Err(WireError::BadRdata);
+        }
+        let mut executed = Vec::with_capacity(n_exec);
+        for _ in 0..n_exec {
+            let c = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+            let r = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+            executed.push((c, r));
+        }
+        let n_ids = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
+        if n_ids > 1 << 22 {
+            return Err(WireError::BadRdata);
+        }
+        let mut delivered_ids = Vec::with_capacity(n_ids);
+        for _ in 0..n_ids {
+            delivered_ids.push(u128::from_be_bytes(take(bytes, &mut pos, 16)?.try_into().expect("16")));
+        }
+        let zlen = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
+        let zone_bytes = take(bytes, &mut pos, zlen)?;
+        if pos != bytes.len() {
+            return Err(WireError::BadRdata);
+        }
+        let zone = Zone::from_snapshot(&zone_bytes)?;
+        Ok(ReplicaSnapshot { round, update_counter, executed, delivered_ids, zone })
+    }
+
+    /// A digest identifying this snapshot (quorum matching compares
+    /// these via byte equality of the encodings; the digest is for
+    /// logging).
+    pub fn digest(&self) -> [u8; 32] {
+        Sha256::digest(&self.encode())
+    }
+}
+
+/// Collects `StateResponse`s until `t + 1` byte-identical snapshots from
+/// distinct replicas arrive.
+#[derive(Debug, Default)]
+pub struct SnapshotQuorum {
+    /// (responder, snapshot bytes) pairs, one per responder.
+    responses: Vec<(usize, Vec<u8>)>,
+}
+
+impl SnapshotQuorum {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SnapshotQuorum::default()
+    }
+
+    /// Records a response; returns the winning snapshot bytes once some
+    /// snapshot has `quorum` supporters.
+    pub fn add(&mut self, from: usize, snapshot: Vec<u8>, quorum: usize) -> Option<Vec<u8>> {
+        if self.responses.iter().any(|(f, _)| *f == from) {
+            return None; // one vote per replica
+        }
+        self.responses.push((from, snapshot));
+        let candidate = &self.responses.last().expect("just pushed").1;
+        let count = self.responses.iter().filter(|(_, s)| s == candidate).count();
+        if count >= quorum {
+            Some(candidate.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Distinct responders seen so far.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Whether no responses have arrived.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+}
+
+/// Converts an executed-key set to the snapshot's wire form,
+/// deterministically ordered.
+pub fn executed_to_wire(executed: &HashSet<(usize, u64)>) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = executed.iter().map(|(c, r)| (*c as u64, *r)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdns_dns::{RData, Record};
+
+    fn sample() -> ReplicaSnapshot {
+        let mut zone = Zone::with_default_soa("example.com".parse().expect("valid"));
+        zone.insert(Record::new(
+            "www.example.com".parse().expect("valid"),
+            60,
+            RData::A("192.0.2.1".parse().expect("valid")),
+        ));
+        ReplicaSnapshot {
+            round: 42,
+            update_counter: 7,
+            executed: vec![(1004, 1), (1004, 2), (2000001, 9)],
+            delivered_ids: vec![1, (3u128 << 64) | 5],
+            zone,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let decoded = ReplicaSnapshot::decode(&s.encode()).unwrap();
+        assert_eq!(decoded, s);
+        assert_eq!(decoded.digest(), s.digest());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ReplicaSnapshot::decode(b"").is_err());
+        assert!(ReplicaSnapshot::decode(b"SDNSSTATE").is_err());
+        let mut good = sample().encode();
+        good.push(0);
+        assert!(ReplicaSnapshot::decode(&good).is_err());
+        good.truncate(20);
+        assert!(ReplicaSnapshot::decode(&good).is_err());
+    }
+
+    #[test]
+    fn quorum_matching() {
+        let a = sample().encode();
+        let mut b_snapshot = sample();
+        b_snapshot.round = 43;
+        let b = b_snapshot.encode();
+        let mut q = SnapshotQuorum::new();
+        assert_eq!(q.add(1, a.clone(), 2), None);
+        assert_eq!(q.add(2, b, 2), None); // diverging snapshot
+        // Duplicate votes ignored.
+        assert_eq!(q.add(1, a.clone(), 2), None);
+        assert_eq!(q.len(), 2);
+        // A second matching copy wins.
+        assert_eq!(q.add(3, a.clone(), 2), Some(a));
+    }
+
+    #[test]
+    fn executed_wire_is_deterministic() {
+        let mut set = HashSet::new();
+        set.insert((9usize, 1u64));
+        set.insert((2usize, 7u64));
+        let w = executed_to_wire(&set);
+        assert_eq!(w, vec![(2, 7), (9, 1)]);
+    }
+}

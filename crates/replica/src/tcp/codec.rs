@@ -1,0 +1,364 @@
+//! Binary wire codec for [`ReplicaMsg`], used by the TCP runtime.
+//!
+//! Frames are length-prefixed on the socket; this module encodes the
+//! message bodies. The format is a simple tagged binary encoding —
+//! big-endian integers, length-prefixed byte strings and big integers.
+
+use crate::messages::ReplicaMsg;
+use sdns_abcast::abba::AbbaMsg;
+use sdns_abcast::acs::AcsMsg;
+use sdns_abcast::rbc::RbcMsg;
+use sdns_abcast::AbcMsg;
+use sdns_bigint::Ubig;
+use sdns_crypto::protocol::SigMessage;
+use sdns_crypto::threshold::{ShareProof, SignatureShare};
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed message: {}", self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(what: &'static str) -> CodecError {
+    CodecError { what }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::with_capacity(128) }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn ubig(&mut self, v: &Ubig) {
+        self.bytes(&v.to_bytes_be());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let v = *self.buf.get(self.pos).ok_or_else(|| err("truncated u8"))?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.buf.get(self.pos..self.pos + 4).ok_or_else(|| err("truncated u32"))?;
+        self.pos += 4;
+        Ok(u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.buf.get(self.pos..self.pos + 8).ok_or_else(|| err("truncated u64"))?;
+        self.pos += 8;
+        Ok(u64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(err("invalid bool")),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 24 {
+            return Err(err("oversized byte string"));
+        }
+        let s = self.buf.get(self.pos..self.pos + len).ok_or_else(|| err("truncated bytes"))?;
+        self.pos += len;
+        Ok(s.to_vec())
+    }
+
+    fn ubig(&mut self) -> Result<Ubig, CodecError> {
+        Ok(Ubig::from_bytes_be(&self.bytes()?))
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes"))
+        }
+    }
+}
+
+/// Encodes a message to bytes.
+pub fn encode(msg: &ReplicaMsg) -> Vec<u8> {
+    let mut w = Writer::new();
+    match msg {
+        ReplicaMsg::ClientRequest { request_id, bytes } => {
+            w.u8(0);
+            w.u64(*request_id);
+            w.bytes(bytes);
+        }
+        ReplicaMsg::ClientResponse { request_id, bytes } => {
+            w.u8(1);
+            w.u64(*request_id);
+            w.bytes(bytes);
+        }
+        ReplicaMsg::Abcast(AbcMsg::Acs { round, inner }) => {
+            w.u8(2);
+            w.u64(*round);
+            encode_acs(inner, &mut w);
+        }
+        ReplicaMsg::Signing { session, inner } => {
+            w.u8(3);
+            w.u64(*session);
+            encode_sig(inner, &mut w);
+        }
+        ReplicaMsg::Tick => w.u8(4),
+        ReplicaMsg::StateRequest => w.u8(5),
+        ReplicaMsg::StateResponse { snapshot } => {
+            w.u8(6);
+            w.bytes(snapshot);
+        }
+    }
+    w.buf
+}
+
+fn encode_acs(msg: &AcsMsg, w: &mut Writer) {
+    match msg {
+        AcsMsg::Rbc { proposer, inner } => {
+            w.u8(0);
+            w.u64(*proposer as u64);
+            match inner {
+                RbcMsg::Init(v) => {
+                    w.u8(0);
+                    w.bytes(v);
+                }
+                RbcMsg::Echo(v) => {
+                    w.u8(1);
+                    w.bytes(v);
+                }
+                RbcMsg::Ready(v) => {
+                    w.u8(2);
+                    w.bytes(v);
+                }
+            }
+        }
+        AcsMsg::Abba { instance, inner } => {
+            w.u8(1);
+            w.u64(*instance as u64);
+            match inner {
+                AbbaMsg::Bval { round, value } => {
+                    w.u8(0);
+                    w.u32(*round);
+                    w.bool(*value);
+                }
+                AbbaMsg::Aux { round, value } => {
+                    w.u8(1);
+                    w.u32(*round);
+                    w.bool(*value);
+                }
+                AbbaMsg::Done { value } => {
+                    w.u8(2);
+                    w.bool(*value);
+                }
+            }
+        }
+    }
+}
+
+fn encode_sig(msg: &SigMessage, w: &mut Writer) {
+    match msg {
+        SigMessage::Share(share) => {
+            w.u8(0);
+            w.u64(share.signer() as u64);
+            w.ubig(share.value());
+            match share.proof() {
+                Some(p) => {
+                    w.u8(1);
+                    w.ubig(p.z());
+                    w.ubig(p.c());
+                }
+                None => w.u8(0),
+            }
+        }
+        SigMessage::ProofRequest => w.u8(1),
+        SigMessage::Final(sig) => {
+            w.u8(2);
+            w.ubig(sig);
+        }
+    }
+}
+
+/// Decodes a message from bytes.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on any malformed input; decoding never panics.
+pub fn decode(bytes: &[u8]) -> Result<ReplicaMsg, CodecError> {
+    let mut r = Reader::new(bytes);
+    let msg = match r.u8()? {
+        0 => ReplicaMsg::ClientRequest { request_id: r.u64()?, bytes: r.bytes()? },
+        1 => ReplicaMsg::ClientResponse { request_id: r.u64()?, bytes: r.bytes()? },
+        2 => {
+            let round = r.u64()?;
+            let inner = decode_acs(&mut r)?;
+            ReplicaMsg::Abcast(AbcMsg::Acs { round, inner })
+        }
+        3 => {
+            let session = r.u64()?;
+            let inner = decode_sig(&mut r)?;
+            ReplicaMsg::Signing { session, inner }
+        }
+        4 => ReplicaMsg::Tick,
+        5 => ReplicaMsg::StateRequest,
+        6 => ReplicaMsg::StateResponse { snapshot: r.bytes()? },
+        _ => return Err(err("unknown message tag")),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+fn decode_acs(r: &mut Reader<'_>) -> Result<AcsMsg, CodecError> {
+    match r.u8()? {
+        0 => {
+            let proposer = r.u64()? as usize;
+            let inner = match r.u8()? {
+                0 => RbcMsg::Init(r.bytes()?),
+                1 => RbcMsg::Echo(r.bytes()?),
+                2 => RbcMsg::Ready(r.bytes()?),
+                _ => return Err(err("unknown rbc tag")),
+            };
+            Ok(AcsMsg::Rbc { proposer, inner })
+        }
+        1 => {
+            let instance = r.u64()? as usize;
+            let inner = match r.u8()? {
+                0 => AbbaMsg::Bval { round: r.u32()?, value: r.bool()? },
+                1 => AbbaMsg::Aux { round: r.u32()?, value: r.bool()? },
+                2 => AbbaMsg::Done { value: r.bool()? },
+                _ => return Err(err("unknown abba tag")),
+            };
+            Ok(AcsMsg::Abba { instance, inner })
+        }
+        _ => Err(err("unknown acs tag")),
+    }
+}
+
+fn decode_sig(r: &mut Reader<'_>) -> Result<SigMessage, CodecError> {
+    match r.u8()? {
+        0 => {
+            let signer = r.u64()? as usize;
+            let value = r.ubig()?;
+            let proof = match r.u8()? {
+                0 => None,
+                1 => Some(ShareProof::from_parts(r.ubig()?, r.ubig()?)),
+                _ => return Err(err("invalid proof flag")),
+            };
+            Ok(SigMessage::Share(SignatureShare::from_parts(signer, value, proof)))
+        }
+        1 => Ok(SigMessage::ProofRequest),
+        2 => Ok(SigMessage::Final(r.ubig()?)),
+        _ => Err(err("unknown signing tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ReplicaMsg) {
+        let bytes = encode(&msg);
+        assert_eq!(decode(&bytes).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn client_messages() {
+        roundtrip(ReplicaMsg::ClientRequest { request_id: 7, bytes: vec![1, 2, 3] });
+        roundtrip(ReplicaMsg::ClientResponse { request_id: u64::MAX, bytes: vec![] });
+        roundtrip(ReplicaMsg::Tick);
+        roundtrip(ReplicaMsg::StateRequest);
+        roundtrip(ReplicaMsg::StateResponse { snapshot: vec![9; 64] });
+    }
+
+    #[test]
+    fn abcast_messages() {
+        for inner in [
+            AcsMsg::Rbc { proposer: 3, inner: RbcMsg::Init(vec![9; 100]) },
+            AcsMsg::Rbc { proposer: 0, inner: RbcMsg::Echo(vec![]) },
+            AcsMsg::Rbc { proposer: 6, inner: RbcMsg::Ready(vec![1]) },
+            AcsMsg::Abba { instance: 2, inner: AbbaMsg::Bval { round: 9, value: true } },
+            AcsMsg::Abba { instance: 5, inner: AbbaMsg::Aux { round: 0, value: false } },
+            AcsMsg::Abba { instance: 1, inner: AbbaMsg::Done { value: true } },
+        ] {
+            roundtrip(ReplicaMsg::Abcast(AbcMsg::Acs { round: 42, inner }));
+        }
+    }
+
+    #[test]
+    fn signing_messages() {
+        let share = SignatureShare::from_parts(3, Ubig::from(0xDEADBEEFu64), None);
+        roundtrip(ReplicaMsg::Signing { session: 65, inner: SigMessage::Share(share) });
+        let proofed = SignatureShare::from_parts(
+            1,
+            Ubig::from_hex("abcdef123456789").unwrap(),
+            Some(ShareProof::from_parts(Ubig::from(111u64), Ubig::from(222u64))),
+        );
+        roundtrip(ReplicaMsg::Signing { session: 0, inner: SigMessage::Share(proofed) });
+        roundtrip(ReplicaMsg::Signing { session: 1, inner: SigMessage::ProofRequest });
+        roundtrip(ReplicaMsg::Signing {
+            session: 2,
+            inner: SigMessage::Final(Ubig::from_hex("ffeeddccbbaa99887766554433221100").unwrap()),
+        });
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99]).is_err());
+        assert!(decode(&[0, 1, 2]).is_err()); // truncated request
+        let mut ok = encode(&ReplicaMsg::Tick);
+        ok.push(0); // trailing garbage
+        assert!(decode(&ok).is_err());
+        // Oversized length prefix.
+        let mut huge = vec![0u8];
+        huge.extend_from_slice(&7u64.to_be_bytes());
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode(&huge).is_err());
+    }
+}

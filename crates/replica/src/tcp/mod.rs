@@ -1,0 +1,17 @@
+//! Real-network runtime: the replica over TCP sockets.
+//!
+//! The deterministic simulator is the primary evaluation vehicle; this
+//! module provides the *laptop-scale multi-process testbed*: each
+//! replica runs its state machine on its own thread behind real TCP
+//! sockets, with HMAC-authenticated replica-to-replica links (the
+//! paper's authenticated point-to-point link assumption) and a framed
+//! binary codec. `dig`/`nsupdate`-style clients connect over TCP as
+//! well.
+//!
+//! See `examples/tcp_testbed.rs` for a full deployment.
+
+mod codec;
+mod runtime;
+
+pub use codec::{decode, encode, CodecError};
+pub use runtime::{TcpClient, TcpConfig, TcpReplica};

@@ -1,0 +1,484 @@
+//! The threaded TCP runtime hosting a [`Replica`].
+
+use super::codec;
+use crate::messages::ReplicaMsg;
+use crate::replica::{Replica, ReplicaAction};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sdns_crypto::{hmac_sha1, mac_eq};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Frame kind: an authenticated replica-to-replica message.
+const KIND_REPLICA: u8 = 0;
+/// Frame kind: a client message (unauthenticated transport; updates are
+/// authorized by TSIG at the DNS layer).
+const KIND_CLIENT: u8 = 1;
+
+/// Upper bound on a frame body (a zone transfer would need more; the
+/// request/response traffic here never does).
+const MAX_FRAME: usize = 16 << 20;
+
+/// Network configuration of one replica.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This replica's index.
+    pub me: usize,
+    /// Listen address of every replica, index-aligned (`peers[me]` is
+    /// this replica's own listen address).
+    pub peers: Vec<SocketAddr>,
+    /// The shared link-authentication key (stands in for per-link keys;
+    /// the dealer distributes it with the key shares).
+    pub link_key: Vec<u8>,
+    /// Optional plain-DNS UDP front end (what real resolvers speak):
+    /// raw DNS datagrams in, raw DNS datagrams out.
+    pub udp_listen: Option<SocketAddr>,
+}
+
+impl TcpConfig {
+    /// A configuration without the UDP front end.
+    pub fn new(me: usize, peers: Vec<SocketAddr>, link_key: Vec<u8>) -> Self {
+        TcpConfig { me, peers, link_key, udp_listen: None }
+    }
+}
+
+/// Writes one frame: `len ‖ kind ‖ body`.
+fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result<()> {
+    let len = (body.len() + 1) as u32;
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)
+}
+
+/// Reads one frame, returning `(kind, body)`.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let kind = body.remove(0);
+    Ok((kind, body))
+}
+
+/// Builds the authenticated replica-frame body: `from ‖ mac ‖ msg`.
+fn seal(from: usize, msg: &ReplicaMsg, key: &[u8]) -> Vec<u8> {
+    let encoded = codec::encode(msg);
+    let mut body = Vec::with_capacity(8 + 20 + encoded.len());
+    body.extend_from_slice(&(from as u64).to_be_bytes());
+    let mut mac_input = (from as u64).to_be_bytes().to_vec();
+    mac_input.extend_from_slice(&encoded);
+    body.extend_from_slice(&hmac_sha1(key, &mac_input));
+    body.extend_from_slice(&encoded);
+    body
+}
+
+/// Verifies and opens a replica-frame body.
+fn unseal(body: &[u8], key: &[u8]) -> Option<(usize, ReplicaMsg)> {
+    if body.len() < 28 {
+        return None;
+    }
+    let from = u64::from_be_bytes(body[..8].try_into().expect("8 bytes")) as usize;
+    let mac = &body[8..28];
+    let encoded = &body[28..];
+    let mut mac_input = body[..8].to_vec();
+    mac_input.extend_from_slice(encoded);
+    if !mac_eq(&hmac_sha1(key, &mac_input), mac) {
+        return None;
+    }
+    let msg = codec::decode(encoded).ok()?;
+    Some((from, msg))
+}
+
+/// Events fed to the core loop.
+enum Event {
+    /// A message from another replica.
+    FromReplica(usize, ReplicaMsg),
+    /// A message from a client connection.
+    FromClient(usize, ReplicaMsg),
+    /// Shut down.
+    Stop,
+}
+
+/// A running replica bound to TCP sockets.
+///
+/// Drop or call [`TcpReplica::shutdown`] to stop it.
+#[derive(Debug)]
+pub struct TcpReplica {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    events: Sender<Event>,
+    core: Option<JoinHandle<Replica>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpReplica {
+    /// Spawns `replica` behind `config`. The listener binds immediately;
+    /// outgoing peer connections are established lazily with retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn spawn(replica: Replica, config: TcpConfig) -> std::io::Result<TcpReplica> {
+        let listener = TcpListener::bind(config.peers[config.me])?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded::<Event>();
+
+        // Client response routing: envelope client id -> connection.
+        let clients: Arc<Mutex<HashMap<usize, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        // UDP front end routing: envelope client id -> datagram source.
+        let udp_clients: Arc<Mutex<HashMap<usize, SocketAddr>>> = Arc::new(Mutex::new(HashMap::new()));
+        let udp_socket: Option<std::net::UdpSocket> = match config.udp_listen {
+            Some(addr) => Some(std::net::UdpSocket::bind(addr)?),
+            None => None,
+        };
+        if let Some(socket) = &udp_socket {
+            let rx_socket = socket.try_clone()?;
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let udp_clients = Arc::clone(&udp_clients);
+            let n = config.peers.len();
+            let me = config.me;
+            std::thread::spawn(move || {
+                // UDP client ids live in their own range, disjoint from
+                // the TCP ids and across replicas.
+                let mut next_client = n + (me + 1) * 1_000_000 + 500_000;
+                let mut buf = [0u8; 65_535];
+                while let Ok((len, from_addr)) = rx_socket.recv_from(&mut buf) {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let client_id = next_client;
+                    next_client += 1;
+                    udp_clients.lock().insert(client_id, from_addr);
+                    let _ = tx.send(Event::FromClient(
+                        client_id,
+                        ReplicaMsg::ClientRequest {
+                            request_id: client_id as u64,
+                            bytes: buf[..len].to_vec(),
+                        },
+                    ));
+                }
+            });
+        }
+
+        // --- accept loop ---
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            let key = config.link_key.clone();
+            let clients = Arc::clone(&clients);
+            let n = config.peers.len();
+            let me = config.me;
+            std::thread::spawn(move || {
+                // Client ids start above the replica id space and are
+                // disjoint across replicas: the envelope's client id is
+                // the request's dedup key group-wide, so two gateways
+                // must never assign the same id to different clients.
+                let mut next_client = n + (me + 1) * 1_000_000;
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let client_id = next_client;
+                    next_client += 1;
+                    let tx = tx.clone();
+                    let key = key.clone();
+                    let clients = Arc::clone(&clients);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        let _ = stream.set_nodelay(true);
+                        let mut registered = false;
+                        loop {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            match read_frame(&mut stream) {
+                                Ok((KIND_REPLICA, body)) => {
+                                    if let Some((from, msg)) = unseal(&body, &key) {
+                                        let _ = tx.send(Event::FromReplica(from, msg));
+                                    }
+                                }
+                                Ok((KIND_CLIENT, body)) => {
+                                    let Ok(msg) = codec::decode(&body) else { continue };
+                                    if !registered {
+                                        if let Ok(clone) = stream.try_clone() {
+                                            clients.lock().insert(client_id, clone);
+                                            registered = true;
+                                        }
+                                    }
+                                    let _ = tx.send(Event::FromClient(client_id, msg));
+                                }
+                                _ => break,
+                            }
+                        }
+                        clients.lock().remove(&client_id);
+                    });
+                }
+            })
+        };
+
+        // --- per-peer writers ---
+        let mut peer_txs: Vec<Option<Sender<Vec<u8>>>> = Vec::new();
+        for (i, &peer) in config.peers.iter().enumerate() {
+            if i == config.me {
+                peer_txs.push(None);
+                continue;
+            }
+            let (ptx, prx) = unbounded::<Vec<u8>>();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || peer_writer(peer, prx, stop));
+            peer_txs.push(Some(ptx));
+        }
+
+        // --- core loop ---
+        let core = {
+            let key = config.link_key.clone();
+            let me = config.me;
+            let clients = Arc::clone(&clients);
+            let udp = udp_socket.as_ref().map(|s| s.try_clone()).transpose()?;
+            let udp_clients = Arc::clone(&udp_clients);
+            std::thread::spawn(move || {
+                core_loop(replica, rx, peer_txs, clients, udp, udp_clients, key, me)
+            })
+        };
+
+        Ok(TcpReplica { addr, stop, events: tx, core: Some(core), accept: Some(accept) })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the replica and returns its final state machine.
+    pub fn shutdown(mut self) -> Replica {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.events.send(Event::Stop);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        let replica = self.core.take().expect("not yet joined").join().expect("core loop");
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        replica
+    }
+}
+
+impl Drop for TcpReplica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.events.send(Event::Stop);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Maintains one outgoing connection, (re)connecting as needed.
+fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
+    let mut stream: Option<TcpStream> = None;
+    while let Ok(frame_body) = rx.recv() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut attempts = 0;
+        loop {
+            if stream.is_none() {
+                match TcpStream::connect_timeout(&peer, Duration::from_millis(500)) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        stream = Some(s);
+                    }
+                    Err(_) => {
+                        attempts += 1;
+                        if attempts > 100 || stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                        continue;
+                    }
+                }
+            }
+            let s = stream.as_mut().expect("connected above");
+            match write_frame(s, KIND_REPLICA, &frame_body) {
+                Ok(()) => break,
+                Err(_) => {
+                    stream = None; // reconnect and retry once
+                    attempts += 1;
+                    if attempts > 100 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The single-threaded core owning the replica state machine.
+#[allow(clippy::too_many_arguments)]
+fn core_loop(
+    mut replica: Replica,
+    rx: Receiver<Event>,
+    peer_txs: Vec<Option<Sender<Vec<u8>>>>,
+    clients: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    udp: Option<std::net::UdpSocket>,
+    udp_clients: Arc<Mutex<HashMap<usize, SocketAddr>>>,
+    key: Vec<u8>,
+    me: usize,
+) -> Replica {
+    // Self-sends loop back through this queue (FIFO) to preserve the
+    // sans-IO loopback semantics of the signing sessions.
+    let mut loopback: std::collections::VecDeque<ReplicaMsg> = std::collections::VecDeque::new();
+    loop {
+        let event = if let Some(msg) = loopback.pop_front() {
+            Event::FromReplica(me, msg)
+        } else {
+            match rx.recv() {
+                Ok(e) => e,
+                Err(_) => break,
+            }
+        };
+        let (from, msg) = match event {
+            Event::Stop => break,
+            Event::FromReplica(from, msg) => (from, msg),
+            Event::FromClient(client, msg) => (client, msg),
+        };
+        if std::env::var("SDNS_TRACE").is_ok() {
+            let kind = match &msg {
+                ReplicaMsg::ClientRequest { request_id, .. } => format!("creq({request_id})"),
+                ReplicaMsg::ClientResponse { .. } => "cresp".into(),
+                ReplicaMsg::Abcast(sdns_abcast::AbcMsg::Acs { round, inner }) => {
+                    let what = match inner {
+                        sdns_abcast::acs::AcsMsg::Rbc { proposer, .. } => format!("rbc(p{proposer})"),
+                        sdns_abcast::acs::AcsMsg::Abba { instance, .. } => format!("abba(i{instance})"),
+                    };
+                    format!("acs(r{round},{what})")
+                }
+                ReplicaMsg::Signing { session, inner } => {
+                    let what = match inner {
+                        sdns_crypto::protocol::SigMessage::Share(_) => "share",
+                        sdns_crypto::protocol::SigMessage::ProofRequest => "preq",
+                        sdns_crypto::protocol::SigMessage::Final(_) => "final",
+                    };
+                    format!("sig(s{session},{what})")
+                }
+                ReplicaMsg::Tick => "tick".into(),
+                ReplicaMsg::StateRequest => "state-req".into(),
+                ReplicaMsg::StateResponse { .. } => "state-resp".into(),
+            };
+            eprintln!("[{me}] <- {from}: {kind}");
+        }
+        for action in replica.on_message(from, msg) {
+            match action {
+                ReplicaAction::Work { .. } => {} // real time: work already happened
+                ReplicaAction::Event(_) => {}
+                ReplicaAction::Send { to, msg } => {
+                    if to == me {
+                        loopback.push_back(msg);
+                    } else if let Some(Some(tx)) = peer_txs.get(to) {
+                        let _ = tx.send(seal(me, &msg, &key));
+                    } else if let Some(addr) = udp_clients.lock().remove(&to) {
+                        // A UDP client: raw DNS bytes back to the source.
+                        if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) =
+                            (udp.as_ref(), &msg)
+                        {
+                            let _ = socket.send_to(bytes, addr);
+                        }
+                    } else {
+                        // A TCP client: write on its registered connection.
+                        let encoded = codec::encode(&msg);
+                        let mut clients = clients.lock();
+                        if let Some(stream) = clients.get_mut(&to) {
+                            let _ = write_frame(stream, KIND_CLIENT, &encoded);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    replica
+}
+
+/// A blocking TCP client in the style of `dig` / `nsupdate`: one server
+/// at a time, a timeout, round-robin failover.
+#[derive(Debug)]
+pub struct TcpClient {
+    servers: Vec<SocketAddr>,
+    timeout: Duration,
+    next_request_id: u64,
+    rr: usize,
+}
+
+impl TcpClient {
+    /// Creates a client for a server list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn new(servers: Vec<SocketAddr>, timeout: Duration) -> Self {
+        assert!(!servers.is_empty(), "need at least one server");
+        TcpClient { servers, timeout, next_request_id: 1, rr: 0 }
+    }
+
+    /// Sends a DNS message (wire bytes) and awaits the response,
+    /// failing over to the next server on timeout. Tries each server
+    /// once before giving up.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error when every server failed.
+    pub fn request(&mut self, dns_bytes: &[u8]) -> std::io::Result<Vec<u8>> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let msg = ReplicaMsg::ClientRequest { request_id, bytes: dns_bytes.to_vec() };
+        let encoded = codec::encode(&msg);
+        let mut last_err =
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "no servers reachable");
+        for _ in 0..self.servers.len() {
+            let server = self.servers[self.rr % self.servers.len()];
+            self.rr += 1;
+            match self.try_one(server, &encoded, request_id) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn try_one(
+        &self,
+        server: SocketAddr,
+        encoded: &[u8],
+        request_id: u64,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect_timeout(&server, self.timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.timeout))?;
+        write_frame(&mut stream, KIND_CLIENT, encoded)?;
+        loop {
+            let (kind, body) = read_frame(&mut stream)?;
+            if kind != KIND_CLIENT {
+                continue;
+            }
+            if let Ok(ReplicaMsg::ClientResponse { request_id: rid, bytes }) = codec::decode(&body)
+            {
+                if rid == request_id {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return Ok(bytes);
+                }
+            }
+        }
+    }
+}

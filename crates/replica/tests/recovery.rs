@@ -1,0 +1,211 @@
+//! Crash-recovery tests: a replica loses its state and rejoins via
+//! quorum-matched state transfer, then participates in new updates.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdns_abcast::Group;
+use sdns_crypto::protocol::SigProtocol;
+use sdns_dns::update::add_record_request;
+use sdns_dns::{Message, Name, RData, Record, RecordType};
+use sdns_replica::{
+    deploy, example_zone, Corruption, CostModel, Deployment, Replica, ReplicaAction,
+    ReplicaEvent, ReplicaMsg, ZoneSecurity,
+};
+use std::collections::VecDeque;
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+struct Net {
+    replicas: Vec<Replica>,
+    queue: VecDeque<(usize, usize, ReplicaMsg)>,
+    responses: Vec<(usize, u64)>,
+    events: Vec<(usize, ReplicaEvent)>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Net {
+    fn new(deployment: &Deployment, seed: u64) -> Net {
+        Net {
+            replicas: deployment.replicas(&[], seed),
+            queue: VecDeque::new(),
+            responses: Vec::new(),
+            events: Vec::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn dispatch(&mut self, from: usize, actions: Vec<ReplicaAction>) {
+        for a in actions {
+            match a {
+                ReplicaAction::Send { to, msg } => self.queue.push_back((from, to, msg)),
+                ReplicaAction::Event(e) => self.events.push((from, e)),
+                ReplicaAction::Work { .. } => {}
+            }
+        }
+    }
+
+    fn request(&mut self, gateway: usize, request_id: u64, msg: &Message) {
+        let client = self.replicas.len();
+        self.queue.push_back((
+            client,
+            gateway,
+            ReplicaMsg::ClientRequest { request_id, bytes: msg.to_bytes() },
+        ));
+    }
+
+    fn run(&mut self) {
+        let client = self.replicas.len();
+        let mut steps = 0u64;
+        while !self.queue.is_empty() {
+            steps += 1;
+            assert!(steps < 10_000_000, "did not quiesce");
+            if self.rng.gen_bool(0.02) {
+                self.queue.make_contiguous().shuffle(&mut self.rng);
+            }
+            let idx = self.rng.gen_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.remove(idx).expect("in range");
+            if to >= client {
+                if let ReplicaMsg::ClientResponse { request_id, .. } = msg {
+                    self.responses.push((from, request_id));
+                }
+                continue;
+            }
+            let actions = self.replicas[to].on_message(from, msg);
+            self.dispatch(to, actions);
+        }
+    }
+}
+
+fn deployment(seed: u64) -> Deployment {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    deploy(
+        Group::new(4, 1),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    )
+}
+
+#[test]
+fn crashed_replica_recovers_and_rejoins() {
+    let d = deployment(0xEC0);
+    let mut net = Net::new(&d, 0xEC0);
+
+    // Phase 1: two updates while everyone is healthy.
+    for (i, host) in ["a", "b"].iter().enumerate() {
+        let update = add_record_request(
+            i as u16 + 1,
+            &n("example.com"),
+            Record::new(
+                n(&format!("{host}.example.com")),
+                60,
+                RData::A("203.0.113.1".parse().unwrap()),
+            ),
+        );
+        net.request(0, 100 + i as u64, &update);
+        net.run();
+    }
+    let healthy_digest = net.replicas[0].zone().state_digest();
+
+    // Phase 2: replica 3 crashes and loses everything — replace it with a
+    // freshly constructed genesis replica and start recovery.
+    net.replicas[3] = d.replica(3, Corruption::None, 999);
+    assert_ne!(net.replicas[3].zone().state_digest(), healthy_digest, "state really lost");
+    let actions = net.replicas[3].begin_recovery();
+    assert!(net.replicas[3].is_recovering());
+    net.dispatch(3, actions);
+    net.run();
+
+    // Recovery completed and the state matches.
+    assert!(!net.replicas[3].is_recovering());
+    assert!(net
+        .events
+        .iter()
+        .any(|(who, e)| *who == 3 && matches!(e, ReplicaEvent::Recovered { .. })));
+    assert_eq!(net.replicas[3].zone().state_digest(), healthy_digest);
+
+    // Phase 3: a new update executes at all four replicas, including the
+    // recovered one, and states converge.
+    let update = add_record_request(
+        9,
+        &n("example.com"),
+        Record::new(n("after.example.com"), 60, RData::A("203.0.113.9".parse().unwrap())),
+    );
+    net.request(1, 300, &update);
+    net.run();
+    let responses: Vec<&usize> =
+        net.responses.iter().filter(|(_, r)| *r == 300).map(|(f, _)| f).collect();
+    assert_eq!(responses.len(), 4, "all replicas answer, including the recovered one");
+    let digest = net.replicas[0].zone().state_digest();
+    for (i, r) in net.replicas.iter().enumerate() {
+        assert_eq!(r.zone().state_digest(), digest, "replica {i}");
+        assert!(r.zone().contains_name(&n("after.example.com")));
+        assert!(r.zone().contains_name(&n("a.example.com")));
+    }
+}
+
+#[test]
+fn recovery_tolerates_a_lying_responder() {
+    let d = deployment(0xEC1);
+    let mut net = Net::new(&d, 0xEC1);
+    let update = add_record_request(
+        1,
+        &n("example.com"),
+        Record::new(n("x.example.com"), 60, RData::A("203.0.113.2".parse().unwrap())),
+    );
+    net.request(0, 100, &update);
+    net.run();
+    let healthy_digest = net.replicas[0].zone().state_digest();
+
+    net.replicas[3] = d.replica(3, Corruption::None, 1000);
+    let actions = net.replicas[3].begin_recovery();
+    net.dispatch(3, actions);
+    // A Byzantine replica injects a bogus snapshot before honest answers.
+    let forged = sdns_replica::snapshot::ReplicaSnapshot {
+        round: 999,
+        update_counter: 0,
+        executed: vec![],
+        delivered_ids: vec![],
+        zone: example_zone(),
+    };
+    net.queue.push_front((2, 3, ReplicaMsg::StateResponse { snapshot: forged.encode() }));
+    net.run();
+    // The forged snapshot never reached t + 1 = 2 matching copies, the
+    // two honest ones did.
+    assert!(!net.replicas[3].is_recovering());
+    assert_eq!(net.replicas[3].zone().state_digest(), healthy_digest);
+    // (Replica 2 also answered honestly later, but one vote per replica
+    // is counted — the forgery consumed its vote.)
+}
+
+#[test]
+fn queries_after_recovery_are_served_by_recovered_replica() {
+    let d = deployment(0xEC2);
+    let mut net = Net::new(&d, 0xEC2);
+    let update = add_record_request(
+        1,
+        &n("example.com"),
+        Record::new(n("q.example.com"), 60, RData::A("203.0.113.3".parse().unwrap())),
+    );
+    net.request(0, 100, &update);
+    net.run();
+
+    net.replicas[2] = d.replica(2, Corruption::None, 1001);
+    let actions = net.replicas[2].begin_recovery();
+    net.dispatch(2, actions);
+    net.run();
+    assert!(!net.replicas[2].is_recovering());
+
+    // The recovered replica serves as a gateway for a fresh read.
+    let q = Message::query(5, n("q.example.com"), RecordType::A);
+    net.request(2, 200, &q);
+    net.run();
+    let answered = net.responses.iter().filter(|(_, r)| *r == 200).count();
+    assert_eq!(answered, 4);
+}

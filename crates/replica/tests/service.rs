@@ -1,0 +1,581 @@
+//! End-to-end tests of the replicated name service over an in-memory
+//! network with randomized schedules: queries, signed dynamic updates,
+//! corruption tolerance, and the trusted-server oracle of §3.1.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdns_abcast::Group;
+use sdns_crypto::protocol::SigProtocol;
+use sdns_dns::sign::verify_rrset;
+use sdns_dns::update::{add_record_request, delete_name_request};
+use sdns_dns::zone::QueryResult;
+use sdns_dns::{Message, Name, Opcode, RData, Rcode, Record, RecordType};
+use sdns_replica::{
+    answer_query, deploy, example_zone, Corruption, CostModel, Deployment, Replica,
+    ReplicaAction, ReplicaMsg, ZoneSecurity,
+};
+use std::collections::VecDeque;
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+/// An in-memory deployment of `n` replicas plus one client slot.
+struct Net {
+    replicas: Vec<Replica>,
+    queue: VecDeque<(usize, usize, ReplicaMsg)>,
+    /// Responses the client node received: (from_replica, request_id, message).
+    responses: Vec<(usize, u64, Message)>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Net {
+    fn new(deployment: &Deployment, corrupted: &[(usize, Corruption)], seed: u64) -> Net {
+        Net {
+            replicas: deployment.replicas(corrupted, seed),
+            queue: VecDeque::new(),
+            responses: Vec::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn client_node(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn dispatch(&mut self, from: usize, actions: Vec<ReplicaAction>) {
+        for a in actions {
+            if let ReplicaAction::Send { to, msg } = a {
+                self.queue.push_back((from, to, msg));
+            }
+        }
+    }
+
+    /// Sends a client request to one replica (gateway mode).
+    fn request(&mut self, gateway: usize, request_id: u64, msg: &Message) {
+        let client = self.client_node();
+        self.queue.push_back((
+            client,
+            gateway,
+            ReplicaMsg::ClientRequest { request_id, bytes: msg.to_bytes() },
+        ));
+    }
+
+    /// Sends a client request to all replicas (voting mode).
+    fn request_all(&mut self, request_id: u64, msg: &Message) {
+        for gateway in 0..self.replicas.len() {
+            self.request(gateway, request_id, msg);
+        }
+    }
+
+    /// Runs until quiescence with a randomized schedule.
+    fn run(&mut self) {
+        let client = self.client_node();
+        let mut steps = 0u64;
+        while !self.queue.is_empty() {
+            steps += 1;
+            assert!(steps < 20_000_000, "service did not quiesce");
+            if self.rng.gen_bool(0.02) {
+                self.queue.make_contiguous().shuffle(&mut self.rng);
+            }
+            let idx = self.rng.gen_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.remove(idx).expect("in range");
+            if to == client {
+                if let ReplicaMsg::ClientResponse { request_id, bytes } = msg {
+                    if let Ok(m) = Message::from_bytes(&bytes) {
+                        self.responses.push((from, request_id, m));
+                    }
+                }
+                continue;
+            }
+            let actions = self.replicas[to].on_message(from, msg);
+            self.dispatch(to, actions);
+        }
+    }
+
+    /// The responses to a given request id.
+    fn responses_to(&self, request_id: u64) -> Vec<&Message> {
+        self.responses.iter().filter(|(_, r, _)| *r == request_id).map(|(_, _, m)| m).collect()
+    }
+}
+
+fn deployment(
+    nreps: usize,
+    t: usize,
+    protocol: SigProtocol,
+    seed: u64,
+) -> Deployment {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    deploy(
+        Group::new(nreps, t),
+        ZoneSecurity::SignedThreshold(protocol),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    )
+}
+
+#[test]
+fn query_answered_by_all_replicas_with_valid_sigs() {
+    let d = deployment(4, 1, SigProtocol::OptTe, 1);
+    let mut net = Net::new(&d, &[], 1);
+    let q = Message::query(7, n("www.example.com"), RecordType::A);
+    net.request_all(100, &q);
+    net.run();
+    let responses = net.responses_to(100);
+    assert_eq!(responses.len(), 4, "every replica answers");
+    let pk = d.zone_public_key.as_ref().unwrap();
+    for resp in &responses {
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.id, 7);
+        assert!(resp.answers.iter().any(|r| r.rtype == RecordType::A));
+        verify_rrset(&resp.answers, pk).expect("answer carries a valid zone signature");
+    }
+    // Majority vote trivially succeeds: all responses identical.
+    for r in &responses[1..] {
+        assert_eq!(r, &responses[0]);
+    }
+}
+
+#[test]
+fn signed_add_update_executes_and_resigns() {
+    let d = deployment(4, 1, SigProtocol::OptTe, 2);
+    let mut net = Net::new(&d, &[], 2);
+    let update = add_record_request(
+        21,
+        &n("example.com"),
+        Record::new(n("new.example.com"), 300, RData::A("203.0.113.10".parse().unwrap())),
+    );
+    net.request(0, 200, &update);
+    net.run();
+    let responses = net.responses_to(200);
+    assert_eq!(responses.len(), 4);
+    for r in &responses {
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert_eq!(r.opcode, Opcode::Update);
+    }
+    // All replicas converged to identical zone state.
+    let digest = net.replicas[0].zone().state_digest();
+    for r in &net.replicas[1..] {
+        assert_eq!(r.zone().state_digest(), digest);
+    }
+    // The new record is present, signed, and verifiable at every replica.
+    let pk = d.zone_public_key.as_ref().unwrap();
+    for rep in &net.replicas {
+        match rep.zone().query(&n("new.example.com"), RecordType::A) {
+            QueryResult::Answer(records) => {
+                verify_rrset(&records, pk).expect("threshold signature verifies");
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn add_then_delete_with_each_protocol() {
+    for (i, protocol) in SigProtocol::ALL.iter().enumerate() {
+        let d = deployment(4, 1, *protocol, 10 + i as u64);
+        let mut net = Net::new(&d, &[], 10 + i as u64);
+        let add = add_record_request(
+            1,
+            &n("example.com"),
+            Record::new(n("host.example.com"), 60, RData::A("203.0.113.1".parse().unwrap())),
+        );
+        net.request(1, 300, &add);
+        net.run();
+        assert_eq!(net.responses_to(300).len(), 4, "{protocol}: add answered");
+
+        let del = delete_name_request(2, &n("example.com"), n("host.example.com"));
+        net.request(2, 301, &del);
+        net.run();
+        assert_eq!(net.responses_to(301).len(), 4, "{protocol}: delete answered");
+        for rep in &net.replicas {
+            assert!(!rep.zone().contains_name(&n("host.example.com")), "{protocol}");
+        }
+        let digest = net.replicas[0].zone().state_digest();
+        for r in &net.replicas[1..] {
+            assert_eq!(r.zone().state_digest(), digest, "{protocol}");
+        }
+    }
+}
+
+#[test]
+fn update_tolerates_share_inverting_corruption() {
+    for protocol in [SigProtocol::Basic, SigProtocol::OptProof, SigProtocol::OptTe] {
+        let d = deployment(4, 1, protocol, 33);
+        let mut net = Net::new(&d, &[(2, Corruption::InvertSigShares)], 33);
+        let update = add_record_request(
+            5,
+            &n("example.com"),
+            Record::new(n("h2.example.com"), 60, RData::A("203.0.113.2".parse().unwrap())),
+        );
+        net.request(0, 400, &update);
+        net.run();
+        let responses = net.responses_to(400);
+        assert!(responses.len() >= 3, "{protocol}: honest replicas respond");
+        // Honest replicas converge and the new record verifies.
+        let pk = d.zone_public_key.as_ref().unwrap();
+        let digest = net.replicas[0].zone().state_digest();
+        for (i, rep) in net.replicas.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            assert_eq!(rep.zone().state_digest(), digest, "{protocol}: replica {i}");
+            match rep.zone().query(&n("h2.example.com"), RecordType::A) {
+                QueryResult::Answer(records) => verify_rrset(&records, pk).unwrap(),
+                other => panic!("{protocol}: expected answer, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn seven_replicas_two_corrupted() {
+    let d = deployment(7, 2, SigProtocol::OptTe, 44);
+    let corrupted = [(1, Corruption::InvertSigShares), (4, Corruption::InvertSigShares)];
+    let mut net = Net::new(&d, &corrupted, 44);
+    let update = add_record_request(
+        9,
+        &n("example.com"),
+        Record::new(n("h7.example.com"), 60, RData::A("203.0.113.7".parse().unwrap())),
+    );
+    net.request(0, 500, &update);
+    net.run();
+    assert!(net.responses_to(500).len() >= 5);
+    let digest = net.replicas[0].zone().state_digest();
+    for (i, rep) in net.replicas.iter().enumerate() {
+        if i != 1 && i != 4 {
+            assert_eq!(rep.zone().state_digest(), digest, "replica {i}");
+        }
+    }
+}
+
+#[test]
+fn mute_replica_does_not_block_service() {
+    let d = deployment(4, 1, SigProtocol::OptTe, 55);
+    let mut net = Net::new(&d, &[(3, Corruption::Mute)], 55);
+    let update = add_record_request(
+        3,
+        &n("example.com"),
+        Record::new(n("h3.example.com"), 60, RData::A("203.0.113.3".parse().unwrap())),
+    );
+    net.request(0, 600, &update);
+    net.run();
+    // The three live replicas answer.
+    assert_eq!(net.responses_to(600).len(), 3);
+}
+
+#[test]
+fn gateway_dropping_requests_is_survived_by_retry() {
+    let d = deployment(4, 1, SigProtocol::OptTe, 66);
+    let mut net = Net::new(&d, &[(0, Corruption::DropClientRequests)], 66);
+    let q = Message::query(8, n("www.example.com"), RecordType::A);
+    // First attempt goes to the corrupted gateway: no response.
+    net.request(0, 700, &q);
+    net.run();
+    assert!(net.responses_to(700).is_empty());
+    // The client's timeout-driven failover resends to the next server.
+    net.request(1, 701, &q);
+    net.run();
+    assert_eq!(net.responses_to(701).len(), 4);
+}
+
+#[test]
+fn stale_replica_serves_old_data() {
+    // The replay-like attack weak correctness (G1') permits: a corrupted
+    // replica answers queries from a stale snapshot with old (but validly
+    // signed) data.
+    let d = deployment(4, 1, SigProtocol::OptTe, 77);
+    let mut net = Net::new(&d, &[(2, Corruption::StaleReplies)], 77);
+    let update = add_record_request(
+        4,
+        &n("example.com"),
+        Record::new(n("fresh.example.com"), 60, RData::A("203.0.113.4".parse().unwrap())),
+    );
+    net.request(0, 800, &update);
+    net.run();
+    let q = Message::query(9, n("fresh.example.com"), RecordType::A);
+    net.request_all(801, &q);
+    net.run();
+    let responses: Vec<(usize, &Message)> = net
+        .responses
+        .iter()
+        .filter(|(_, r, _)| *r == 801)
+        .map(|(f, _, m)| (*f, m))
+        .collect();
+    assert_eq!(responses.len(), 4);
+    for (from, resp) in responses {
+        if from == 2 {
+            assert_eq!(resp.rcode, Rcode::NxDomain, "stale replica denies the new name");
+        } else {
+            assert_eq!(resp.rcode, Rcode::NoError, "honest replica {from} has it");
+        }
+    }
+}
+
+#[test]
+fn duplicate_submissions_execute_once() {
+    let d = deployment(4, 1, SigProtocol::OptTe, 88);
+    let mut net = Net::new(&d, &[], 88);
+    let update = add_record_request(
+        6,
+        &n("example.com"),
+        Record::new(n("once.example.com"), 60, RData::A("203.0.113.6".parse().unwrap())),
+    );
+    // Voting client: the same attempt goes to all four gateways.
+    net.request_all(900, &update);
+    net.run();
+    // Each replica answers the attempt exactly once.
+    let responses = net.responses_to(900);
+    assert_eq!(responses.len(), 4);
+    // The record is present exactly once and the serial bumped exactly once.
+    for rep in &net.replicas {
+        let set = rep.zone().rrset(&n("once.example.com"), RecordType::A).unwrap();
+        assert_eq!(set.rdatas.len(), 1);
+        assert_eq!(rep.zone().serial(), 2004010101);
+    }
+}
+
+#[test]
+fn trusted_server_oracle() {
+    // §3.1: responses are correct iff they match a single trusted server
+    // processing the same request sequence. Run the replicated service,
+    // then replay the executed sequence against a lone zone copy.
+    let d = deployment(4, 1, SigProtocol::OptTe, 99);
+    let mut net = Net::new(&d, &[], 99);
+    let reqs = vec![
+        add_record_request(
+            1,
+            &n("example.com"),
+            Record::new(n("a.example.com"), 60, RData::A("203.0.113.11".parse().unwrap())),
+        ),
+        add_record_request(
+            2,
+            &n("example.com"),
+            Record::new(n("b.example.com"), 60, RData::A("203.0.113.12".parse().unwrap())),
+        ),
+        delete_name_request(3, &n("example.com"), n("a.example.com")),
+    ];
+    for (i, r) in reqs.iter().enumerate() {
+        net.request(i % 4, 1000 + i as u64, r);
+        net.run();
+    }
+    // Trusted server: the same updates in the same (total) order.
+    let mut trusted = d.setup.zone.clone();
+    for r in &reqs {
+        sdns_dns::update::apply_update(&mut trusted, r);
+    }
+    // Compare query answers (ignoring SIGs, which the trusted server
+    // does not maintain).
+    for name in ["a.example.com", "b.example.com", "www.example.com"] {
+        let q = Message::query(50, n(name), RecordType::A);
+        let expected = answer_query(&trusted, &q);
+        let actual = answer_query(net.replicas[0].zone(), &q);
+        assert_eq!(actual.rcode, expected.rcode, "{name}");
+        let strip = |m: &Message| -> Vec<Record> {
+            m.answers.iter().filter(|r| r.rtype != RecordType::Sig).cloned().collect()
+        };
+        assert_eq!(strip(&actual), strip(&expected), "{name}");
+    }
+}
+
+#[test]
+fn unsigned_zone_updates_need_no_signing() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(111);
+    let d = deploy(
+        Group::new(4, 1),
+        ZoneSecurity::Unsigned,
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    );
+    let mut net = Net::new(&d, &[], 111);
+    let update = add_record_request(
+        1,
+        &n("example.com"),
+        Record::new(n("u.example.com"), 60, RData::A("203.0.113.20".parse().unwrap())),
+    );
+    net.request(0, 1100, &update);
+    net.run();
+    assert_eq!(net.responses_to(1100).len(), 4);
+    for rep in &net.replicas {
+        assert!(rep.zone().contains_name(&n("u.example.com")));
+        // No SIG records anywhere.
+        assert!(rep.zone().rrset(&n("u.example.com"), RecordType::Sig).is_none());
+    }
+}
+
+#[test]
+fn single_server_base_case_with_local_signing() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(222);
+    let d = deploy(
+        Group::new(1, 0),
+        ZoneSecurity::SignedLocal,
+        CostModel::free(),
+        example_zone(),
+        512,
+        false,
+        None,
+        &mut rng,
+    );
+    let mut net = Net::new(&d, &[], 222);
+    let q = Message::query(1, n("www.example.com"), RecordType::A);
+    net.request(0, 1200, &q);
+    net.run();
+    let responses = net.responses_to(1200);
+    assert_eq!(responses.len(), 1);
+    verify_rrset(&responses[0].answers, d.zone_public_key.as_ref().unwrap()).unwrap();
+
+    let update = add_record_request(
+        2,
+        &n("example.com"),
+        Record::new(n("solo.example.com"), 60, RData::A("203.0.113.30".parse().unwrap())),
+    );
+    net.request(0, 1201, &update);
+    net.run();
+    assert_eq!(net.responses_to(1201).len(), 1);
+    match net.replicas[0].zone().query(&n("solo.example.com"), RecordType::A) {
+        QueryResult::Answer(records) => {
+            verify_rrset(&records, d.zone_public_key.as_ref().unwrap()).unwrap();
+        }
+        other => panic!("expected answer, got {other:?}"),
+    }
+}
+
+#[test]
+fn nxdomain_carries_verifiable_denial() {
+    let d = deployment(4, 1, SigProtocol::OptTe, 123);
+    let mut net = Net::new(&d, &[], 123);
+    let q = Message::query(5, n("missing.example.com"), RecordType::A);
+    net.request(0, 1300, &q);
+    net.run();
+    let responses = net.responses_to(1300);
+    assert_eq!(responses.len(), 4);
+    let pk = d.zone_public_key.as_ref().unwrap();
+    for resp in responses {
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        // The NXT proof (first records of the authority section) verifies.
+        let nxt: Vec<Record> = resp
+            .authorities
+            .iter()
+            .filter(|r| {
+                r.rtype == RecordType::Nxt
+                    || matches!(&r.rdata, RData::Sig(s) if s.type_covered == RecordType::Nxt)
+            })
+            .cloned()
+            .collect();
+        assert!(!nxt.is_empty());
+        verify_rrset(&nxt, pk).unwrap();
+    }
+}
+
+#[test]
+fn tsig_required_updates_enforced() {
+    use sdns_dns::tsig::{sign_message, TsigKey, TsigKeyring};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(333);
+    let key = TsigKey { name: n("update-key.example.com"), secret: b"s3cret".to_vec() };
+    let mut keyring = TsigKeyring::new();
+    keyring.add(key.clone());
+    let d = deploy(
+        Group::new(4, 1),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        Some(keyring),
+        &mut rng,
+    );
+    let mut net = Net::new(&d, &[], 333);
+
+    // An unsigned update is rejected with NotAuth and changes nothing.
+    let unsigned = add_record_request(
+        1,
+        &n("example.com"),
+        Record::new(n("evil.example.com"), 60, RData::A("203.0.113.66".parse().unwrap())),
+    );
+    net.request(0, 100, &unsigned);
+    net.run();
+    let responses = net.responses_to(100);
+    assert!(!responses.is_empty());
+    for r in &responses {
+        assert_eq!(r.rcode, Rcode::NotAuth);
+    }
+    assert!(!net.replicas[0].zone().contains_name(&n("evil.example.com")));
+
+    // A TSIG-signed update is accepted.
+    let mut signed = add_record_request(
+        2,
+        &n("example.com"),
+        Record::new(n("good.example.com"), 60, RData::A("203.0.113.67".parse().unwrap())),
+    );
+    sign_message(&mut signed, &key, 1_088_650_000);
+    net.request(0, 101, &signed);
+    net.run();
+    let responses = net.responses_to(101);
+    assert_eq!(responses.len(), 4);
+    for r in &responses {
+        assert_eq!(r.rcode, Rcode::NoError);
+    }
+    for rep in &net.replicas {
+        assert!(rep.zone().contains_name(&n("good.example.com")));
+    }
+
+    // A signed update under an unknown key is rejected.
+    let mut wrong = add_record_request(
+        3,
+        &n("example.com"),
+        Record::new(n("evil2.example.com"), 60, RData::A("203.0.113.68".parse().unwrap())),
+    );
+    let bad_key = TsigKey { name: n("rogue-key"), secret: b"zzz".to_vec() };
+    sign_message(&mut wrong, &bad_key, 1_088_650_000);
+    net.request(1, 102, &wrong);
+    net.run();
+    for r in &net.responses_to(102) {
+        assert_eq!(r.rcode, Rcode::NotAuth);
+    }
+    assert!(!net.replicas[2].zone().contains_name(&n("evil2.example.com")));
+
+    // TSIG does not get in the way of plain reads.
+    let q = Message::query(9, n("good.example.com"), RecordType::A);
+    net.request(2, 103, &q);
+    net.run();
+    assert_eq!(net.responses_to(103).len(), 4);
+}
+
+#[test]
+fn ten_replicas_three_corrupted() {
+    // Scale check beyond the paper's 7-server maximum: (10, 3) with the
+    // full tolerated corruption load.
+    let d = deployment(10, 3, SigProtocol::OptTe, 1010);
+    let corrupted = [
+        (1, Corruption::InvertSigShares),
+        (4, Corruption::Mute),
+        (8, Corruption::StaleReplies),
+    ];
+    let mut net = Net::new(&d, &corrupted, 1010);
+    let update = add_record_request(
+        1,
+        &n("example.com"),
+        Record::new(n("big.example.com"), 60, RData::A("203.0.113.10".parse().unwrap())),
+    );
+    net.request(0, 100, &update);
+    net.run();
+    // At least n - (mute + share-inverter) responses arrive (the stale
+    // replica answers updates normally).
+    assert!(net.responses_to(100).len() >= 7);
+    let digest = net.replicas[0].zone().state_digest();
+    for (i, rep) in net.replicas.iter().enumerate() {
+        if i != 4 {
+            // The mute replica received nothing; everyone else converged.
+            assert_eq!(rep.zone().state_digest(), digest, "replica {i}");
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The discrete-event engine: actors, contexts, and the event loop.
+//!
+//! Nodes are single-threaded state machines ([`Actor`]s). The engine pops
+//! events in virtual-time order; a node starts handling an event at
+//! `max(arrival, node_free_time)` and [`Context::work`] advances its free
+//! time, so compute-bound nodes queue work exactly like the paper's slow
+//! 266 MHz machines did. Messages depart after the work accumulated so
+//! far and arrive after the sampled link latency.
+
+use crate::network::{LatencyMatrix, NodeId};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulated node: a deterministic event handler.
+pub trait Actor {
+    /// The message type exchanged between nodes.
+    type Msg: Clone;
+    /// The type of externally visible events this node reports.
+    type Output;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg, Self::Output>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    );
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut Context<'_, Self::Msg, Self::Output>) {}
+}
+
+/// The per-invocation handle through which an actor interacts with the
+/// simulated world.
+#[derive(Debug)]
+pub struct Context<'a, M, O> {
+    node: NodeId,
+    n_nodes: usize,
+    start: SimTime,
+    work: SimDuration,
+    cpu_factor: f64,
+    work_jitter: f64,
+    rng: &'a mut StdRng,
+    effects: Vec<Effect<M, O>>,
+}
+
+#[derive(Debug)]
+enum Effect<M, O> {
+    Send { to: NodeId, msg: M, offset: SimDuration },
+    Timer { id: u64, fire_offset: SimDuration },
+    Output { out: O, offset: SimDuration },
+}
+
+impl<M: Clone, O> Context<'_, M, O> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the simulation.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The virtual time at which the current handling started, plus any
+    /// work charged so far.
+    pub fn now(&self) -> SimTime {
+        self.start + self.work
+    }
+
+    /// The deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Charges `ref_seconds` of compute time (reference-machine seconds;
+    /// the node's CPU factor scales it, and the simulation's work jitter
+    /// perturbs it multiplicatively). Subsequent sends, outputs and
+    /// timers happen after this work.
+    pub fn work(&mut self, ref_seconds: f64) {
+        let mut seconds = ref_seconds * self.cpu_factor;
+        if self.work_jitter > 0.0 && seconds > 0.0 {
+            use rand::Rng;
+            seconds *= 1.0 + self.rng.gen_range(-self.work_jitter..self.work_jitter);
+        }
+        self.work += SimDuration::from_secs_f64(seconds);
+    }
+
+    /// Sends `msg` to `to` (departing after the work charged so far).
+    /// Sending to self is allowed and goes through the loopback latency.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg, offset: self.work });
+    }
+
+    /// Sends `msg` to every *other* node.
+    pub fn broadcast_others(&mut self, msg: M) {
+        for to in 0..self.n_nodes {
+            if to != self.node {
+                self.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Arranges for [`Actor::on_timer`] to fire with `id` after `delay`.
+    pub fn set_timer(&mut self, id: u64, delay: SimDuration) {
+        self.effects.push(Effect::Timer { id, fire_offset: self.work + delay });
+    }
+
+    /// Reports an externally visible event.
+    pub fn output(&mut self, out: O) {
+        self.effects.push(Effect::Output { out, offset: self.work });
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Start,
+    Message { from: NodeId, msg: M },
+    Timer { id: u64 },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+// Order events by (time, insertion sequence) for determinism.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// An output event with its timestamp and reporting node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputEvent<O> {
+    /// When the output was reported.
+    pub at: SimTime,
+    /// The reporting node.
+    pub node: NodeId,
+    /// The payload.
+    pub output: O,
+}
+
+/// The deterministic discrete-event simulation.
+///
+/// # Example
+///
+/// ```
+/// use sdns_sim::{Actor, Context, LatencyMatrix, NodeId, SimDuration, Simulation};
+///
+/// /// Each node forwards a counter to the next until it reaches 10.
+/// struct Relay;
+/// impl Actor for Relay {
+///     type Msg = u32;
+///     type Output = u32;
+///     fn on_start(&mut self, ctx: &mut Context<'_, u32, u32>) {
+///         if ctx.id() == 0 {
+///             ctx.send(1, 1);
+///         }
+///     }
+///     fn on_message(&mut self, _from: NodeId, msg: u32, ctx: &mut Context<'_, u32, u32>) {
+///         if msg == 10 {
+///             ctx.output(msg);
+///         } else {
+///             ctx.send((ctx.id() + 1) % ctx.n_nodes(), msg + 1);
+///         }
+///     }
+/// }
+///
+/// let net = LatencyMatrix::uniform(3, SimDuration::from_millis(10));
+/// let mut sim = Simulation::new(vec![Relay, Relay, Relay], net, 42);
+/// sim.run_until_idle(1_000);
+/// let outputs = sim.take_outputs();
+/// assert_eq!(outputs[0].output, 10);
+/// assert_eq!(outputs[0].at.as_secs_f64(), 0.100); // ten 10 ms hops
+/// ```
+#[derive(Debug)]
+pub struct Simulation<A: Actor> {
+    nodes: Vec<A>,
+    free_at: Vec<SimTime>,
+    cpu_factors: Vec<f64>,
+    work_jitter: f64,
+    net: LatencyMatrix,
+    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    outputs: Vec<OutputEvent<A::Output>>,
+    events_processed: u64,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over `nodes` with unit CPU factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency matrix size differs from the node count.
+    pub fn new(nodes: Vec<A>, net: LatencyMatrix, seed: u64) -> Self {
+        let factors = vec![1.0; nodes.len()];
+        Simulation::with_cpu_factors(nodes, net, factors, seed)
+    }
+
+    /// Creates a simulation with per-node CPU speed factors (a factor of
+    /// 2.0 means the node takes twice the reference time per unit work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix or factor vector sizes differ from the node
+    /// count.
+    pub fn with_cpu_factors(
+        nodes: Vec<A>,
+        net: LatencyMatrix,
+        cpu_factors: Vec<f64>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(net.len(), nodes.len(), "latency matrix size mismatch");
+        assert_eq!(cpu_factors.len(), nodes.len(), "cpu factor count mismatch");
+        let n = nodes.len();
+        let mut sim = Simulation {
+            nodes,
+            free_at: vec![SimTime::ZERO; n],
+            cpu_factors,
+            work_jitter: 0.0,
+            net,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            outputs: Vec::new(),
+            events_processed: 0,
+        };
+        for node in 0..n {
+            sim.push_event(SimTime::ZERO, node, EventKind::Start);
+        }
+        sim
+    }
+
+    fn push_event(&mut self, at: SimTime, to: NodeId, kind: EventKind<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, to, kind }));
+    }
+
+    /// Sets the multiplicative compute-time jitter fraction (e.g. `0.1`
+    /// for ±10 %), modelling OS scheduling and runtime noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not in `[0, 1)`.
+    pub fn with_work_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "work jitter must be in [0, 1)");
+        self.work_jitter = jitter;
+        self
+    }
+
+    /// Current virtual time (the arrival time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &A {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node (for test instrumentation).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Injects a message from the environment, arriving at `to` after
+    /// `delay` (attributed to sender `from` — typically a client node).
+    pub fn inject(&mut self, delay: SimDuration, from: NodeId, to: NodeId, msg: A::Msg) {
+        let at = self.now + delay;
+        self.push_event(at, to, EventKind::Message { from, msg });
+    }
+
+    /// Drains the outputs reported so far.
+    pub fn take_outputs(&mut self) -> Vec<OutputEvent<A::Output>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else { return false };
+        self.now = event.at;
+        self.events_processed += 1;
+        let node = event.to;
+        let start = self.free_at[node].max(event.at);
+        let mut ctx = Context {
+            node,
+            n_nodes: self.nodes.len(),
+            start,
+            work: SimDuration::ZERO,
+            cpu_factor: self.cpu_factors[node],
+            work_jitter: self.work_jitter,
+            rng: &mut self.rng,
+            effects: Vec::new(),
+        };
+        match event.kind {
+            EventKind::Start => self.nodes[node].on_start(&mut ctx),
+            EventKind::Message { from, msg } => self.nodes[node].on_message(from, msg, &mut ctx),
+            EventKind::Timer { id } => self.nodes[node].on_timer(id, &mut ctx),
+        }
+        let total_work = ctx.work;
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+        self.free_at[node] = start + total_work;
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg, offset } => {
+                    let latency = self.net.sample(node, to, &mut self.rng);
+                    let at = start + offset + latency;
+                    self.push_event(at, to, EventKind::Message { from: node, msg });
+                }
+                Effect::Timer { id, fire_offset } => {
+                    self.push_event(start + fire_offset, node, EventKind::Timer { id });
+                }
+                Effect::Output { out, offset } => {
+                    self.outputs.push(OutputEvent { at: start + offset, node, output: out });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty or `max_events` have been
+    /// processed. Returns the number of events processed by this call.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until `pred` holds for some reported output (which is *not*
+    /// consumed), the queue empties, or `max_events` are processed.
+    /// Returns whether the predicate was satisfied.
+    pub fn run_until<F>(&mut self, max_events: u64, mut pred: F) -> bool
+    where
+        F: FnMut(&OutputEvent<A::Output>) -> bool,
+    {
+        let mut checked = 0;
+        for _ in 0..max_events {
+            while checked < self.outputs.len() {
+                if pred(&self.outputs[checked]) {
+                    return true;
+                }
+                checked += 1;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.outputs[checked..].iter().any(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back to its sender, charging fixed work.
+    struct Echo {
+        work: f64,
+    }
+
+    impl Actor for Echo {
+        type Msg = u64;
+        type Output = (u64, NodeId);
+
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64, (u64, NodeId)>) {
+            ctx.work(self.work);
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            } else {
+                ctx.output((msg, from));
+            }
+        }
+    }
+
+    fn two_nodes(work: f64, latency_ms: u64) -> Simulation<Echo> {
+        let net = LatencyMatrix::uniform(2, SimDuration::from_millis(latency_ms));
+        Simulation::new(vec![Echo { work }, Echo { work }], net, 7)
+    }
+
+    #[test]
+    fn ping_pong_latency_accounting() {
+        let mut sim = two_nodes(0.0, 10);
+        sim.inject(SimDuration::ZERO, 0, 1, 4);
+        sim.run_until_idle(100);
+        let out = sim.take_outputs();
+        assert_eq!(out.len(), 1);
+        // 4 hops after injection: 0->1 (injected at t=0 arrives instantly,
+        // since inject uses explicit delay 0)... then 4 sends of 10ms each.
+        assert_eq!(out[0].at.as_secs_f64(), 0.040);
+    }
+
+    #[test]
+    fn work_is_scaled_by_cpu_factor() {
+        let net = LatencyMatrix::uniform(2, SimDuration::ZERO);
+        let mut sim = Simulation::with_cpu_factors(
+            vec![Echo { work: 1.0 }, Echo { work: 1.0 }],
+            net,
+            vec![1.0, 3.0],
+            7,
+        );
+        sim.inject(SimDuration::ZERO, 0, 1, 1); // node1 works 3s, replies
+        sim.run_until_idle(100);
+        let out = sim.take_outputs();
+        // node1: 3s work; node0: 1s work; output at 4s.
+        assert_eq!(out[0].at.as_secs_f64(), 4.0);
+        assert_eq!(out[0].node, 0);
+    }
+
+    #[test]
+    fn busy_node_queues_events() {
+        // Two messages arrive at once; the second waits for the first.
+        let net = LatencyMatrix::uniform(2, SimDuration::ZERO);
+        let mut sim = Simulation::new(vec![Echo { work: 2.0 }, Echo { work: 2.0 }], net, 7);
+        sim.inject(SimDuration::ZERO, 0, 1, 0);
+        sim.inject(SimDuration::ZERO, 0, 1, 0);
+        sim.run_until_idle(100);
+        let out = sim.take_outputs();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].at.as_secs_f64(), 2.0);
+        assert_eq!(out[1].at.as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed| {
+            let net = LatencyMatrix::uniform(2, SimDuration::from_millis(5)).with_jitter(0.5);
+            let mut sim = Simulation::new(vec![Echo { work: 0.001 }, Echo { work: 0.002 }], net, seed);
+            sim.inject(SimDuration::ZERO, 0, 1, 20);
+            sim.run_until_idle(1000);
+            sim.take_outputs().into_iter().map(|o| o.at.as_nanos()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2)); // jitter differs across seeds
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim = two_nodes(0.0, 1);
+        sim.inject(SimDuration::ZERO, 0, 1, 10);
+        let hit = sim.run_until(10_000, |o| o.output.0 == 0);
+        assert!(hit);
+    }
+
+    struct TimerActor {
+        fired: Vec<u64>,
+    }
+
+    impl Actor for TimerActor {
+        type Msg = ();
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, (), u64>) {
+            ctx.set_timer(7, SimDuration::from_millis(100));
+            ctx.set_timer(8, SimDuration::from_millis(50));
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, (), u64>) {
+            unreachable!("no messages in this test");
+        }
+
+        fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, (), u64>) {
+            self.fired.push(timer);
+            ctx.output(timer);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let net = LatencyMatrix::uniform(1, SimDuration::ZERO);
+        let mut sim = Simulation::new(vec![TimerActor { fired: vec![] }], net, 7);
+        sim.run_until_idle(100);
+        let out = sim.take_outputs();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].output, 8);
+        assert_eq!(out[0].at.as_secs_f64(), 0.050);
+        assert_eq!(out[1].output, 7);
+        assert_eq!(out[1].at.as_secs_f64(), 0.100);
+        assert_eq!(sim.node(0).fired, vec![8, 7]);
+    }
+
+    #[test]
+    fn max_events_bounds_run() {
+        let mut sim = two_nodes(0.0, 1);
+        sim.inject(SimDuration::ZERO, 0, 1, 1_000_000);
+        assert_eq!(sim.run_until_idle(10), 10);
+        assert_eq!(sim.events_processed(), 10);
+    }
+}

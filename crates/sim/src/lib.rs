@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation for the secure distributed DNS.
+//!
+//! The paper evaluates its prototype on seven physical machines across
+//! four sites (Table 1, Figure 1). This crate replaces that testbed with
+//! a deterministic simulator:
+//!
+//! - [`Simulation`] — a virtual-time event loop hosting [`Actor`] state
+//!   machines, with per-node CPU speed factors and a latency-matrix
+//!   network model. Nodes are single-threaded: handling starts when the
+//!   node is free, and [`Context::work`] advances its busy time, so
+//!   compute-bound protocols behave exactly like they did on the paper's
+//!   slow machines.
+//! - [`LatencyMatrix`] — one-way link latencies with optional jitter,
+//!   modelling authenticated reliable links with unbounded delay.
+//! - [`testbed`] — the paper's machines and topology as data: Table 1's
+//!   machine inventory, Figure 1's round-trip times, and the server
+//!   placements of Table 2's setups.
+//!
+//! Determinism: given the same actors and seed, a simulation replays
+//! identically — the foundation for the adversarial-schedule protocol
+//! tests in `sdns-abcast` and `sdns-replica`.
+
+mod engine;
+mod network;
+pub mod testbed;
+mod time;
+
+pub use engine::{Actor, Context, OutputEvent, Simulation};
+pub use network::{LatencyMatrix, NodeId};
+pub use time::{SimDuration, SimTime};

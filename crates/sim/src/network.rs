@@ -1,0 +1,164 @@
+//! Network models: latency matrices with jitter.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// Identifies a simulated node (0-based).
+pub type NodeId = usize;
+
+/// A symmetric matrix of one-way link latencies with multiplicative
+/// jitter, modelling authenticated reliable point-to-point links (the
+/// paper's network assumption: no bounds on delay, but every message is
+/// eventually delivered).
+#[derive(Debug, Clone)]
+pub struct LatencyMatrix {
+    n: usize,
+    /// One-way latency in nanoseconds, row-major `n × n`.
+    latency: Vec<u64>,
+    /// Jitter fraction: each delivery is scaled by a uniform factor in
+    /// `[1 - jitter, 1 + jitter]`.
+    jitter: f64,
+}
+
+impl LatencyMatrix {
+    /// A uniform matrix: every distinct pair has the same one-way latency.
+    pub fn uniform(n: usize, latency: SimDuration) -> Self {
+        let mut m = LatencyMatrix { n, latency: vec![latency.as_nanos(); n * n], jitter: 0.0 };
+        for i in 0..n {
+            m.latency[i * n + i] = 0;
+        }
+        m
+    }
+
+    /// Builds a matrix from explicit one-way latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies` is not `n × n`.
+    pub fn from_matrix(latencies: Vec<Vec<SimDuration>>) -> Self {
+        let n = latencies.len();
+        let mut latency = Vec::with_capacity(n * n);
+        for row in &latencies {
+            assert_eq!(row.len(), n, "latency matrix must be square");
+            latency.extend(row.iter().map(|d| d.as_nanos()));
+        }
+        LatencyMatrix { n, latency, jitter: 0.0 }
+    }
+
+    /// Sets the jitter fraction (e.g. `0.1` for ±10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not in `[0, 1)`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The base (jitter-free) one-way latency between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn base_latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        assert!(from < self.n && to < self.n, "node id out of range");
+        SimDuration::from_nanos(self.latency[from * self.n + to])
+    }
+
+    /// Overrides the latency of one directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn set_latency(&mut self, from: NodeId, to: NodeId, latency: SimDuration) {
+        assert!(from < self.n && to < self.n, "node id out of range");
+        self.latency[from * self.n + to] = latency.as_nanos();
+    }
+
+    /// Sets the latency of both directions of a link.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, one_way: SimDuration) {
+        self.set_latency(a, b, one_way);
+        self.set_latency(b, a, one_way);
+    }
+
+    /// Samples the delivery latency for one message.
+    pub fn sample<R: Rng + ?Sized>(&self, from: NodeId, to: NodeId, rng: &mut R) -> SimDuration {
+        let base = self.base_latency(from, to).as_nanos() as f64;
+        if self.jitter == 0.0 {
+            return SimDuration::from_nanos(base as u64);
+        }
+        let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        SimDuration::from_nanos((base * factor) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_matrix() {
+        let m = LatencyMatrix::uniform(3, SimDuration::from_millis(10));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.base_latency(0, 1), SimDuration::from_millis(10));
+        assert_eq!(m.base_latency(2, 2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn explicit_matrix_and_links() {
+        let z = SimDuration::ZERO;
+        let ms = SimDuration::from_millis;
+        let mut m = LatencyMatrix::from_matrix(vec![
+            vec![z, ms(5)],
+            vec![ms(5), z],
+        ]);
+        assert_eq!(m.base_latency(0, 1), ms(5));
+        m.set_link(0, 1, ms(50));
+        assert_eq!(m.base_latency(1, 0), ms(50));
+        m.set_latency(0, 1, ms(7));
+        assert_eq!(m.base_latency(0, 1), ms(7));
+        assert_eq!(m.base_latency(1, 0), ms(50));
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let m = LatencyMatrix::uniform(2, SimDuration::from_millis(100)).with_jitter(0.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = m.sample(0, 1, &mut rng).as_secs_f64();
+            assert!((0.08..=0.12).contains(&s), "sample {s} outside ±20 % of 100ms");
+        }
+    }
+
+    #[test]
+    fn no_jitter_is_deterministic() {
+        let m = LatencyMatrix::uniform(2, SimDuration::from_millis(10));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(m.sample(0, 1, &mut rng), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let m = LatencyMatrix::uniform(2, SimDuration::ZERO);
+        let _ = m.base_latency(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let _ = LatencyMatrix::from_matrix(vec![vec![SimDuration::ZERO], vec![]]);
+    }
+}

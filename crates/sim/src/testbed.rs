@@ -1,0 +1,284 @@
+//! The paper's experimental testbed (Table 1 and Figure 1), as data.
+//!
+//! Seven machines across four sites, connected by the IBM intranet, with
+//! the average round-trip times reported in Figure 1. CPU speed is
+//! modelled as a factor relative to the 266 MHz Pentium II reference
+//! machines in Zurich (factor = 266 / MHz), which is what makes the
+//! BASIC protocol *slower* on the all-Zurich LAN setup than on the
+//! Internet setup that includes the fast Austin and San Jose machines —
+//! the counter-intuitive artifact the paper highlights in §5.3.
+
+use crate::network::LatencyMatrix;
+use crate::time::SimDuration;
+
+/// A geographic site of the 2004 testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// IBM Zurich Research Laboratory (4 machines + the client).
+    Zurich,
+    /// IBM T.J. Watson Research Center, New York.
+    NewYork,
+    /// IBM Austin Research Laboratory.
+    Austin,
+    /// IBM Almaden Research Center, San Jose.
+    SanJose,
+}
+
+impl Site {
+    /// Average round-trip time between two sites (Figure 1), as reported
+    /// by the paper in milliseconds.
+    pub fn rtt_ms(self, other: Site) -> f64 {
+        use Site::*;
+        match (self, other) {
+            (a, b) if a == b => {
+                if a == Zurich {
+                    0.3 // the Zurich switched-Ethernet LAN
+                } else {
+                    0.1 // same-host/same-site loopback
+                }
+            }
+            (Zurich, NewYork) | (NewYork, Zurich) => 93.0,
+            (Zurich, Austin) | (Austin, Zurich) => 128.0,
+            (Zurich, SanJose) | (SanJose, Zurich) => 161.0,
+            (NewYork, Austin) | (Austin, NewYork) => 55.0,
+            (NewYork, SanJose) | (SanJose, NewYork) => 72.0,
+            (Austin, SanJose) | (SanJose, Austin) => 45.0,
+            _ => unreachable!("all site pairs covered"),
+        }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Site::Zurich => "Zurich",
+            Site::NewYork => "New York",
+            Site::Austin => "Austin",
+            Site::SanJose => "San Jose",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One machine of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Where it lives.
+    pub site: Site,
+    /// Human-readable CPU description.
+    pub cpu: &'static str,
+    /// Clock speed in MHz.
+    pub mhz: u32,
+}
+
+impl Machine {
+    /// CPU time factor relative to the 266 MHz reference machines: the
+    /// multiplier applied to reference-machine compute costs.
+    pub fn cpu_factor(&self) -> f64 {
+        266.0 / f64::from(self.mhz)
+    }
+}
+
+/// The four Zurich machines (266 MHz PII, Linux 2.2, IBM JVM 1.4.1).
+fn zurich_machine() -> Machine {
+    Machine { site: Site::Zurich, cpu: "P II", mhz: 266 }
+}
+
+/// All seven machines of Table 1, in the paper's site order: four in
+/// Zurich, one in New York, one in Austin (dual P III 1260), one in
+/// San Jose.
+pub fn table1_machines() -> Vec<Machine> {
+    vec![
+        zurich_machine(),
+        zurich_machine(),
+        zurich_machine(),
+        zurich_machine(),
+        Machine { site: Site::NewYork, cpu: "P II", mhz: 300 },
+        Machine { site: Site::Austin, cpu: "dual P III", mhz: 1260 },
+        Machine { site: Site::SanJose, cpu: "P III", mhz: 930 },
+    ]
+}
+
+/// A named server placement from Table 2's first column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setup {
+    /// `(1,0)`: one unreplicated Zurich server (the BIND base case).
+    Single,
+    /// `(4,0)*`: four Zurich machines on the LAN.
+    FourLan,
+    /// `(4,k)`: two Zurich, one New York, one San Jose.
+    FourInternet,
+    /// `(7,k)`: all seven machines.
+    SevenInternet,
+}
+
+impl Setup {
+    /// The machines of this setup, in replica-index order.
+    pub fn machines(self) -> Vec<Machine> {
+        let all = table1_machines();
+        match self {
+            Setup::Single => vec![all[0].clone()],
+            Setup::FourLan => all[..4].to_vec(),
+            Setup::FourInternet => {
+                vec![all[0].clone(), all[1].clone(), all[4].clone(), all[6].clone()]
+            }
+            Setup::SevenInternet => all,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(self) -> usize {
+        self.machines().len()
+    }
+
+    /// The tolerated corruptions `t = floor((n - 1) / 3)`.
+    pub fn t(self) -> usize {
+        (self.n() - 1) / 3
+    }
+
+    /// The paper's label for this setup.
+    pub fn label(self) -> &'static str {
+        match self {
+            Setup::Single => "(1,0)",
+            Setup::FourLan => "(4,0)*",
+            Setup::FourInternet => "(4,k)",
+            Setup::SevenInternet => "(7,k)",
+        }
+    }
+
+    /// Replica indices configured to simulate corruption for `k`
+    /// corrupted servers, matching §5.1: the first corruption is a Zurich
+    /// server (the last one, so the client's primary gateway — replica
+    /// 0 — stays honest); the second is the Austin server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds what the paper's experiments use (2) or the
+    /// setup's machine count supports.
+    pub fn corrupted_indices(self, k: usize) -> Vec<usize> {
+        assert!(k <= 2, "the paper's experiments corrupt at most 2 servers");
+        let machines = self.machines();
+        let mut out = Vec::new();
+        if k >= 1 {
+            let zurich = machines
+                .iter()
+                .rposition(|m| m.site == Site::Zurich)
+                .expect("every setup contains a Zurich machine");
+            out.push(zurich);
+        }
+        if k >= 2 {
+            let austin = machines
+                .iter()
+                .position(|m| m.site == Site::Austin)
+                .expect("two corruptions only used in the 7-server setup");
+            out.push(austin);
+        }
+        out
+    }
+}
+
+/// Builds the latency matrix for a set of machines **plus a client node**
+/// appended at index `machines.len()`, located on the Zurich LAN (the
+/// paper's clients always run there). One-way latency = RTT / 2.
+pub fn latency_matrix_with_client(machines: &[Machine]) -> LatencyMatrix {
+    let n = machines.len() + 1;
+    let site_of = |i: usize| {
+        if i < machines.len() {
+            machines[i].site
+        } else {
+            Site::Zurich
+        }
+    };
+    let mut m = LatencyMatrix::uniform(n, SimDuration::ZERO);
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let rtt = site_of(a).rtt_ms(site_of(b));
+            m.set_latency(a, b, SimDuration::from_secs_f64(rtt / 2.0 / 1000.0));
+        }
+    }
+    m
+}
+
+/// CPU factors for a set of machines plus the client (the client is a
+/// reference machine).
+pub fn cpu_factors_with_client(machines: &[Machine]) -> Vec<f64> {
+    let mut f: Vec<f64> = machines.iter().map(Machine::cpu_factor).collect();
+    f.push(1.0);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_inventory() {
+        let machines = table1_machines();
+        assert_eq!(machines.len(), 7);
+        assert_eq!(machines.iter().filter(|m| m.site == Site::Zurich).count(), 4);
+        assert_eq!(machines[4].mhz, 300);
+        assert_eq!(machines[5].mhz, 1260);
+        assert_eq!(machines[6].mhz, 930);
+    }
+
+    #[test]
+    fn cpu_factors() {
+        let machines = table1_machines();
+        assert!((machines[0].cpu_factor() - 1.0).abs() < 1e-12);
+        assert!(machines[5].cpu_factor() < 0.25); // Austin is >4x faster
+        assert!(machines[6].cpu_factor() < 0.3);
+    }
+
+    #[test]
+    fn figure1_rtts() {
+        assert_eq!(Site::Zurich.rtt_ms(Site::NewYork), 93.0);
+        assert_eq!(Site::NewYork.rtt_ms(Site::Zurich), 93.0);
+        assert_eq!(Site::Zurich.rtt_ms(Site::Zurich), 0.3);
+        assert_eq!(Site::Austin.rtt_ms(Site::SanJose), 45.0);
+        assert_eq!(Site::Zurich.rtt_ms(Site::SanJose), 161.0);
+    }
+
+    #[test]
+    fn setups() {
+        assert_eq!(Setup::Single.n(), 1);
+        assert_eq!(Setup::Single.t(), 0);
+        assert_eq!(Setup::FourLan.n(), 4);
+        assert_eq!(Setup::FourLan.t(), 1);
+        assert_eq!(Setup::SevenInternet.n(), 7);
+        assert_eq!(Setup::SevenInternet.t(), 2);
+        // (4,k) Internet: 2 Zurich + NY + SJ.
+        let m = Setup::FourInternet.machines();
+        assert_eq!(m.iter().filter(|x| x.site == Site::Zurich).count(), 2);
+        assert!(m.iter().any(|x| x.site == Site::NewYork));
+        assert!(m.iter().any(|x| x.site == Site::SanJose));
+    }
+
+    #[test]
+    fn corrupted_indices_follow_paper() {
+        assert_eq!(Setup::FourInternet.corrupted_indices(0), Vec::<usize>::new());
+        // First corruption: a Zurich machine.
+        let one = Setup::FourInternet.corrupted_indices(1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(Setup::FourInternet.machines()[one[0]].site, Site::Zurich);
+        // Second: the Austin machine (7-server setup).
+        let two = Setup::SevenInternet.corrupted_indices(2);
+        assert_eq!(Setup::SevenInternet.machines()[two[1]].site, Site::Austin);
+    }
+
+    #[test]
+    fn client_matrix() {
+        let machines = Setup::FourInternet.machines();
+        let m = latency_matrix_with_client(&machines);
+        assert_eq!(m.len(), 5);
+        // Client (index 4) to first Zurich replica: LAN latency 0.15 ms.
+        assert!((m.base_latency(4, 0).as_secs_f64() - 0.00015).abs() < 1e-9);
+        // Client to San Jose replica: 80.5 ms.
+        assert!((m.base_latency(4, 3).as_secs_f64() - 0.0805).abs() < 1e-9);
+        let f = cpu_factors_with_client(&machines);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[4], 1.0);
+    }
+}

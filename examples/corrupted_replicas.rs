@@ -1,0 +1,135 @@
+//! Fault injection: the service under Byzantine corruption.
+//!
+//! Demonstrates, on a (7, 2) deployment, that the replicated name
+//! service keeps its guarantees with two corrupted servers:
+//!
+//! 1. share-inverting servers (the paper's §4.4 corruption) cannot stop
+//!    updates from being signed,
+//! 2. a stale-replying server can serve old data to an unmodified client
+//!    (the weak-correctness G1' limit), and
+//! 3. the majority-voting client (§3.3) masks exactly that attack.
+//!
+//! Run with: `cargo run --release --example corrupted_replicas`
+
+use rand::SeedableRng;
+use sdns::abcast::Group;
+use sdns::client::{ClientAction, VotingClient};
+use sdns::crypto::protocol::SigProtocol;
+use sdns::dns::sign::verify_rrset;
+use sdns::dns::update::add_record_request;
+use sdns::dns::zone::QueryResult;
+use sdns::dns::{Message, RData, Rcode, Record, RecordType};
+use sdns::replica::{
+    deploy, example_zone, Corruption, CostModel, Replica, ReplicaAction, ReplicaMsg, ZoneSecurity,
+};
+use std::collections::VecDeque;
+
+/// Runs the queue to quiescence, collecting client responses by sender.
+fn pump(
+    replicas: &mut [Replica],
+    queue: &mut VecDeque<(usize, usize, ReplicaMsg)>,
+    client_node: usize,
+) -> Vec<(usize, u64, Message)> {
+    let mut responses = Vec::new();
+    while let Some((from, to, msg)) = queue.pop_front() {
+        if to >= client_node {
+            if let ReplicaMsg::ClientResponse { request_id, bytes } = msg {
+                if let Ok(m) = Message::from_bytes(&bytes) {
+                    responses.push((from, request_id, m));
+                }
+            }
+            continue;
+        }
+        for action in replicas[to].on_message(from, msg) {
+            if let ReplicaAction::Send { to: dest, msg } = action {
+                queue.push_back((to, dest, msg));
+            }
+        }
+    }
+    responses
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let deployment = deploy(
+        Group::new(7, 2),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        512,
+        true,
+        None,
+        &mut rng,
+    );
+    // Replica 2 inverts its signature shares; replica 5 replays stale data.
+    let corrupted = [(2, Corruption::InvertSigShares), (5, Corruption::StaleReplies)];
+    let mut replicas = deployment.replicas(&corrupted, 77);
+    let client_node = replicas.len();
+    let mut queue = VecDeque::new();
+    println!("deployment: n=7, t=2; replica 2 inverts shares, replica 5 replays stale data\n");
+
+    // --- 1. An update still completes and verifies despite bad shares ---
+    let update = add_record_request(
+        1,
+        &"example.com".parse().expect("valid"),
+        Record::new(
+            "fresh.example.com".parse().expect("valid"),
+            300,
+            RData::A("203.0.113.66".parse().expect("valid")),
+        ),
+    );
+    queue.push_back((client_node, 0, ReplicaMsg::ClientRequest { request_id: 1, bytes: update.to_bytes() }));
+    let responses = pump(&mut replicas, &mut queue, client_node);
+    println!("update answered by {} replicas, rcode {:?}", responses.len(), responses[0].2.rcode);
+    let zone_key = deployment.zone_public_key.as_ref().expect("signed");
+    if let QueryResult::Answer(records) =
+        replicas[0].zone().query(&"fresh.example.com".parse().expect("valid"), RecordType::A)
+    {
+        verify_rrset(&records, zone_key).expect("verifies despite 1 share-inverting corruption");
+        println!("fresh.example.com is signed and verifies: G3 holds under corruption\n");
+    }
+
+    // --- 2. The stale replica's replay attack on an unmodified client ---
+    let query = Message::query(2, "fresh.example.com".parse().expect("valid"), RecordType::A);
+    for gateway in 0..replicas.len() {
+        queue.push_back((
+            client_node,
+            gateway,
+            ReplicaMsg::ClientRequest { request_id: 2, bytes: query.to_bytes() },
+        ));
+    }
+    let responses = pump(&mut replicas, &mut queue, client_node);
+    for (from, _, m) in &responses {
+        let tag = match corrupted.iter().find(|(i, _)| i == from) {
+            Some((_, Corruption::StaleReplies)) => " <- STALE REPLAY (old but validly signed)",
+            Some(_) => " <- corrupted",
+            None => "",
+        };
+        println!("replica {from}: {:?}{tag}", m.rcode);
+    }
+    println!("an unmodified client that asked only replica 5 would accept NXDOMAIN: that is G1'\n");
+
+    // --- 3. The voting client masks the stale replica ---
+    // The voter is a separate client node (fresh request-id space).
+    let voter_node = client_node + 1;
+    let mut voter = VotingClient::new((0..7).collect(), 2);
+    let (request_id, actions) = voter.request(&query);
+    for a in actions {
+        if let ClientAction::Send { to, msg } = a {
+            queue.push_back((voter_node, to, msg));
+        }
+    }
+    let responses = pump(&mut replicas, &mut queue, client_node);
+    let mut accepted = None;
+    for (from, _, m) in responses {
+        let out = voter.on_message(from, ReplicaMsg::ClientResponse { request_id, bytes: m.to_bytes() });
+        for a in out {
+            if let ClientAction::Accepted { response, .. } = a {
+                accepted = Some(response);
+            }
+        }
+    }
+    let accepted = accepted.expect("n-t responses reach a majority");
+    assert_eq!(accepted.rcode, Rcode::NoError);
+    println!("voting client (n-t responses, t+1 majority) accepted: {:?} — G1 restored", accepted.rcode);
+}

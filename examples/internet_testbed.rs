@@ -1,0 +1,61 @@
+//! The paper's Internet experiment in miniature: replicas in Zurich,
+//! New York and San Jose serve a signed zone to a client on the Zurich
+//! LAN; latencies come out of the calibrated discrete-event simulation.
+//!
+//! Run with: `cargo run --release --example internet_testbed`
+
+use sdns::client::scenario::{mean_latency, run_scenario, Op, ScenarioConfig};
+use sdns::crypto::protocol::SigProtocol;
+use sdns::dns::{RData, Record, RecordType};
+use sdns::replica::ZoneSecurity;
+use sdns::sim::testbed::Setup;
+
+fn main() {
+    println!("Setup (4,0): two replicas in Zurich, one in New York, one in San Jose;");
+    println!("client on the Zurich LAN. Virtual time calibrated to the 2004 testbed.\n");
+
+    for protocol in [SigProtocol::Basic, SigProtocol::OptProof, SigProtocol::OptTe] {
+        let mut cfg = ScenarioConfig::paper(
+            Setup::FourInternet,
+            ZoneSecurity::SignedThreshold(protocol),
+            0,
+            2004,
+        );
+        cfg.key_bits = 512;
+        cfg.ops = (0..5)
+            .flat_map(|i| {
+                let host: sdns::dns::Name =
+                    format!("host{i}.example.com").parse().expect("valid");
+                vec![
+                    Op::Read {
+                        name: "www.example.com".parse().expect("valid"),
+                        rtype: RecordType::A,
+                    },
+                    Op::Add {
+                        record: Record::new(
+                            host.clone(),
+                            300,
+                            RData::A("203.0.113.1".parse().expect("valid")),
+                        ),
+                    },
+                    Op::Delete { name: host },
+                ]
+            })
+            .collect();
+        let outcome = run_scenario(&cfg);
+        println!(
+            "{:9}  read {:6.3}s   add {:6.3}s   delete {:6.3}s   ({} sim events)",
+            protocol.name(),
+            mean_latency(&outcome.ops, "Read"),
+            mean_latency(&outcome.ops, "Add"),
+            mean_latency(&outcome.ops, "Delete"),
+            outcome.events,
+        );
+    }
+    println!("\nCompare with the paper's Table 2, row (4,0):");
+    println!("BASIC      read  0.370s   add  6.360s   delete  3.100s");
+    println!("OPTPROOF   read  0.370s   add  3.090s   delete  1.780s");
+    println!("OPTTE      read  0.370s   add  3.010s   delete  1.800s");
+    println!("\nThe optimistic protocols cut write latency by the factor the paper");
+    println!("reports; reads cost a few hundred ms of atomic-broadcast latency.");
+}

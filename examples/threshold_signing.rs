@@ -1,0 +1,125 @@
+//! The threshold-cryptography layer by itself: deal a key, sign with
+//! shares, survive corrupted shares with each of the three protocols.
+//!
+//! Run with: `cargo run --release --example threshold_signing`
+
+use rand::SeedableRng;
+use sdns::bigint::Ubig;
+use sdns::crypto::protocol::{SigAction, SigMessage, SigProtocol, SigningSession};
+use sdns::crypto::threshold::Dealer;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2004);
+
+    // (n, t) = (4, 1): any 2 shares sign; 1 server may be corrupted.
+    println!("dealing a (4,1) threshold RSA key (512-bit modulus, safe primes)...");
+    let (pk, shares) = Dealer::deal(512, 4, 1, &mut rng);
+    let pk = Arc::new(pk);
+    println!("modulus: {} bits, e = {}", pk.modulus().bit_len(), pk.exponent());
+
+    // --- Direct API: sign with any quorum of shares ---
+    let x = Ubig::from(0xD5D5_2004u64);
+    let s1 = shares[0].sign(&x, &pk);
+    let s3 = shares[2].sign(&x, &pk);
+    let sig = pk.assemble(&x, &[s1, s3]).expect("2 honest shares suffice");
+    assert!(pk.verify(&x, &sig));
+    println!("\n2-of-4 shares assembled a standard RSA signature: sig^e == x  ✓");
+
+    // A single share must not suffice (secrecy goal G3).
+    let lone = shares[1].sign(&x, &pk);
+    assert!(pk.assemble(&x, &[lone]).is_err());
+    println!("1 share alone cannot sign (G3)  ✓");
+
+    // --- The three distributed protocols, with server 4 corrupted ---
+    for protocol in SigProtocol::ALL {
+        let mut sessions: Vec<SigningSession> = Vec::new();
+        let mut queue: VecDeque<(usize, usize, SigMessage)> = VecDeque::new();
+        let corrupted = 3usize; // 0-based index of the corrupted server
+
+        let dispatch = |me: usize,
+                            actions: Vec<SigAction>,
+                            queue: &mut VecDeque<(usize, usize, SigMessage)>,
+                            done: &mut Option<Ubig>| {
+            for a in actions {
+                match a {
+                    SigAction::SendAll(m) => {
+                        for to in 0..4 {
+                            let msg = if me == corrupted && to != me {
+                                match &m {
+                                    SigMessage::Share(s) => SigMessage::Share(s.bitwise_inverted()),
+                                    other => other.clone(),
+                                }
+                            } else {
+                                m.clone()
+                            };
+                            queue.push_back((me, to, msg));
+                        }
+                    }
+                    SigAction::Done(sig) => *done = Some(sig),
+                    SigAction::Work(_) => {}
+                }
+            }
+        };
+
+        let mut first_done: Option<Ubig> = None;
+        for (i, share) in shares.iter().enumerate() {
+            let (s, actions) =
+                SigningSession::new(protocol, Arc::clone(&pk), share.clone(), x.clone(), &mut rng);
+            sessions.push(s);
+            dispatch(i, actions, &mut queue, &mut first_done);
+        }
+        while let Some((from, to, msg)) = queue.pop_front() {
+            let actions = sessions[to].on_message(from + 1, msg, &mut rng);
+            let mut done = None;
+            dispatch(to, actions, &mut queue, &mut done);
+            if done.is_some() && first_done.is_none() {
+                first_done = done;
+            }
+        }
+        let sig = first_done.expect("all protocols terminate");
+        assert!(pk.verify(&x, &sig));
+        let total_ops: u64 = sessions.iter().map(|s| s.ops_total().total()).sum();
+        println!(
+            "{:9} completed despite server {} inverting its shares ({} crypto ops group-wide)",
+            protocol.name(),
+            corrupted + 1,
+            total_ops
+        );
+    }
+    println!("\nOPTTE does the least work when shares are bad; BASIC pays for proofs always.");
+
+    // --- Proactive share refresh (future-work hardening) ---
+    use sdns::crypto::threshold::refresh::{
+        create_dealing, refresh_public_key, refresh_share, verify_point,
+    };
+    let secrets: Vec<_> = (1..=4).map(|d| create_dealing(&pk, d, &mut rng)).collect();
+    for s in &secrets {
+        for (j, point) in s.points.iter().enumerate() {
+            assert!(verify_point(&pk, &s.dealing, j + 1, point));
+        }
+    }
+    let dealings: Vec<_> = secrets.iter().map(|s| s.dealing.clone()).collect();
+    let new_pk = refresh_public_key(&pk, &dealings);
+    let new_shares: Vec<_> = shares
+        .iter()
+        .map(|share| {
+            let received: Vec<_> = secrets
+                .iter()
+                .map(|s| (s.dealing.clone(), s.points[share.index() - 1].clone()))
+                .collect();
+            refresh_share(share, &received)
+        })
+        .collect();
+    let sig2 = new_pk
+        .assemble(&x, &[new_shares[0].sign(&x, &new_pk), new_shares[3].sign(&x, &new_pk)])
+        .expect("refreshed shares sign");
+    assert_eq!(sig2, sig, "same zone key, same signature");
+    assert!(
+        new_pk.assemble(&x, &[shares[0].sign(&x, &new_pk), new_shares[1].sign(&x, &new_pk)]).is_err(),
+        "stale shares no longer combine with fresh ones"
+    );
+    println!("\nproactive refresh: shares re-randomized; the zone key (and old signatures)");
+    println!("are unchanged, but shares stolen before the refresh are now useless.");
+}

@@ -1,0 +1,97 @@
+//! `sdig` — a dig-style query client for the replicated name service.
+//!
+//! ```text
+//! sdig @SERVER[,SERVER...] NAME [TYPE] [--timeout SECS]
+//! ```
+//!
+//! Multiple servers fail over round-robin on timeout, like real `dig`
+//! with a resolver list.
+
+use sdns::dns::{Message, Name, RecordType};
+use sdns::replica::tcp::TcpClient;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: sdig @SERVER[,SERVER...] NAME [A|AAAA|NS|MX|TXT|SOA|ANY|SIG|NXT|KEY] [--timeout SECS]");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut servers: Vec<SocketAddr> = Vec::new();
+    let mut name: Option<Name> = None;
+    let mut rtype = RecordType::A;
+    let mut timeout = 10.0f64;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(list) = arg.strip_prefix('@') {
+            for s in list.split(',') {
+                servers.push(s.parse().unwrap_or_else(|e| {
+                    eprintln!("bad server {s}: {e}");
+                    exit(2)
+                }));
+            }
+        } else if arg == "--timeout" {
+            timeout = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        } else if name.is_none() {
+            name = Some(arg.parse().unwrap_or_else(|e| {
+                eprintln!("bad name {arg}: {e}");
+                exit(2)
+            }));
+        } else {
+            rtype = match arg.to_uppercase().as_str() {
+                "A" => RecordType::A,
+                "AAAA" => RecordType::Aaaa,
+                "NS" => RecordType::Ns,
+                "MX" => RecordType::Mx,
+                "TXT" => RecordType::Txt,
+                "SOA" => RecordType::Soa,
+                "CNAME" => RecordType::Cname,
+                "PTR" => RecordType::Ptr,
+                "SIG" => RecordType::Sig,
+                "KEY" => RecordType::Key,
+                "NXT" => RecordType::Nxt,
+                "ANY" => RecordType::Any,
+                other => {
+                    eprintln!("unknown type {other}");
+                    exit(2)
+                }
+            };
+        }
+    }
+    let (Some(name), false) = (name, servers.is_empty()) else { usage() };
+
+    let query = Message::query(rand::random(), name.clone(), rtype);
+    let mut client = TcpClient::new(servers, Duration::from_secs_f64(timeout));
+    let started = std::time::Instant::now();
+    match client.request(&query.to_bytes()) {
+        Ok(bytes) => {
+            let resp = Message::from_bytes(&bytes).unwrap_or_else(|e| {
+                eprintln!("malformed response: {e}");
+                exit(1)
+            });
+            println!(";; ->>HEADER<<- opcode: QUERY, status: {:?}, id: {}", resp.rcode, resp.id);
+            println!(";; QUESTION: {} {}", name, rtype);
+            if !resp.answers.is_empty() {
+                println!(";; ANSWER SECTION:");
+                for r in &resp.answers {
+                    println!("{r}");
+                }
+            }
+            if !resp.authorities.is_empty() {
+                println!(";; AUTHORITY SECTION:");
+                for r in &resp.authorities {
+                    println!("{r}");
+                }
+            }
+            println!(";; Query time: {} ms", started.elapsed().as_millis());
+        }
+        Err(e) => {
+            eprintln!(";; no response: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! `sdns-keygen` — the trusted dealer's ceremony as a command-line tool.
+//!
+//! Generates an `(n, t)` threshold RSA zone key, signs the zone under
+//! it, and writes one private configuration file per replica plus the
+//! signed zone snapshot (§4.3 of the paper: the output "must be
+//! transported over a secure channel to every server").
+//!
+//! ```text
+//! sdns-keygen --out DIR [--zone-file FILE] [--origin NAME] [-n N] [-t T]
+//!             [--bits BITS] [--protocol basic|optproof|optte]
+//!             [--base-port PORT] [--host HOST]
+//! ```
+
+use rand::SeedableRng;
+use sdns::abcast::Group;
+use sdns::crypto::protocol::SigProtocol;
+use sdns::dns::{zonefile, Name};
+use sdns::replica::keyfile::save_deployment;
+use sdns::replica::{deploy, example_zone, CostModel, ZoneSecurity};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdns-keygen --out DIR [--zone-file FILE] [--origin NAME] [-n N] [-t T]\n\
+         \x20                 [--bits BITS] [--protocol basic|optproof|optte]\n\
+         \x20                 [--base-port PORT] [--host HOST]\n\
+         \n\
+         Runs the dealer ceremony: deals an (n,t) threshold RSA zone key, signs the\n\
+         zone under it, and writes replica-<i>.conf + zone.bin into DIR."
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut zone_file: Option<PathBuf> = None;
+    let mut origin: Name = "example.com".parse().expect("valid default");
+    let mut n = 4usize;
+    let mut t = 1usize;
+    let mut bits = 1024usize;
+    let mut protocol = SigProtocol::OptTe;
+    let mut base_port = 5300u16;
+    let mut host = "127.0.0.1".to_owned();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(val())),
+            "--zone-file" => zone_file = Some(PathBuf::from(val())),
+            "--origin" => {
+                origin = val().parse().unwrap_or_else(|e| {
+                    eprintln!("bad origin: {e}");
+                    exit(2)
+                })
+            }
+            "-n" => n = val().parse().unwrap_or_else(|_| usage()),
+            "-t" => t = val().parse().unwrap_or_else(|_| usage()),
+            "--bits" => bits = val().parse().unwrap_or_else(|_| usage()),
+            "--protocol" => {
+                protocol = match val().to_lowercase().as_str() {
+                    "basic" => SigProtocol::Basic,
+                    "optproof" => SigProtocol::OptProof,
+                    "optte" => SigProtocol::OptTe,
+                    other => {
+                        eprintln!("unknown protocol {other}");
+                        exit(2)
+                    }
+                }
+            }
+            "--base-port" => base_port = val().parse().unwrap_or_else(|_| usage()),
+            "--host" => host = val(),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+    if n <= 3 * t {
+        eprintln!("Byzantine fault tolerance requires n > 3t (got n={n}, t={t})");
+        exit(2);
+    }
+
+    let zone = match &zone_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                exit(1)
+            });
+            zonefile::parse_zone(&text, &origin).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1)
+            })
+        }
+        None => {
+            eprintln!("no --zone-file given; using the built-in example.com zone");
+            example_zone()
+        }
+    };
+    eprintln!(
+        "dealing a ({n},{t}) threshold RSA key, {bits}-bit modulus (safe primes; this can take a while)..."
+    );
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    let deployment = deploy(
+        Group::new(n, t),
+        ZoneSecurity::SignedThreshold(protocol),
+        CostModel::free(),
+        zone,
+        bits,
+        true,
+        None,
+        &mut rng,
+    );
+    let peers: Vec<SocketAddr> = (0..n)
+        .map(|i| {
+            format!("{host}:{}", base_port + i as u16).parse().unwrap_or_else(|e| {
+                eprintln!("bad peer address: {e}");
+                exit(2)
+            })
+        })
+        .collect();
+    let link_key: Vec<u8> = {
+        use rand::RngCore;
+        let mut k = vec![0u8; 32];
+        rng.fill_bytes(&mut k);
+        k
+    };
+    save_deployment(&deployment, &peers, &link_key, &out).unwrap_or_else(|e| {
+        eprintln!("cannot write deployment: {e}");
+        exit(1)
+    });
+    println!("wrote {} replica configs + zone.bin to {}", n, out.display());
+    println!("zone: {} ({} records, serial {})",
+        deployment.setup.zone.origin(),
+        deployment.setup.zone.record_count(),
+        deployment.setup.zone.serial());
+    for (i, p) in peers.iter().enumerate() {
+        println!("  start replica {i}: sdnsd {}/replica-{i}.conf   (listens on {p})", out.display());
+    }
+}

@@ -1,0 +1,68 @@
+//! `sdnsd` — one replica of the secure distributed name service.
+//!
+//! Loads a `replica-<i>.conf` written by `sdns-keygen` (plus the
+//! `zone.bin` next to it) and serves until interrupted.
+//!
+//! ```text
+//! sdnsd CONFIG-FILE [--udp PORT]
+//! ```
+//!
+//! With `--udp`, the replica additionally answers plain DNS-over-UDP on
+//! that port, so unmodified resolvers (`dig`) can query it directly.
+
+use sdns::replica::keyfile::load_replica;
+use sdns::replica::tcp::TcpReplica;
+use sdns::replica::Corruption;
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut udp_port: Option<u16> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--udp" {
+            udp_port = iter.next().and_then(|v| v.parse().ok());
+            if udp_port.is_none() {
+                eprintln!("--udp needs a port number");
+                exit(2);
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT]\n\nRun one replica from a config written by sdns-keygen.");
+        exit(2);
+    };
+    let file = load_replica(Path::new(&path)).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1)
+    });
+    let me = file.me;
+    let listen = file.peers[me];
+    let n = file.setup.group.n();
+    let t = file.setup.group.t();
+    let origin = file.setup.zone.origin().clone();
+    let replica = file.replica(Corruption::None, rand::random());
+    let mut config = file.tcp_config();
+    if let Some(port) = udp_port {
+        let mut addr = config.peers[me];
+        addr.set_port(port);
+        config.udp_listen = Some(addr);
+    }
+    let udp_note = config
+        .udp_listen
+        .map(|a| format!(", plain DNS/UDP on {a}"))
+        .unwrap_or_default();
+    let _handle = TcpReplica::spawn(replica, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        exit(1)
+    });
+    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}");
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,105 @@
+//! `snsupdate` — an nsupdate-style dynamic-update client.
+//!
+//! ```text
+//! snsupdate @SERVER[,SERVER...] --zone ZONE add NAME TTL A IP
+//! snsupdate @SERVER[,SERVER...] --zone ZONE delete NAME
+//! ```
+//!
+//! Like `nsupdate`, the update is preceded by a SOA query for the zone.
+
+use sdns::dns::update::{add_record_request, delete_name_request};
+use sdns::dns::{Message, Name, RData, Record, RecordType};
+use sdns::replica::tcp::TcpClient;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: snsupdate @SERVER[,SERVER...] --zone ZONE add NAME TTL A IP\n\
+         \x20      snsupdate @SERVER[,SERVER...] --zone ZONE delete NAME"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut servers: Vec<SocketAddr> = Vec::new();
+    let mut zone: Option<Name> = None;
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if let Some(list) = arg.strip_prefix('@') {
+            for s in list.split(',') {
+                servers.push(s.parse().unwrap_or_else(|e| {
+                    eprintln!("bad server {s}: {e}");
+                    exit(2)
+                }));
+            }
+        } else if arg == "--zone" {
+            let v = iter.next().unwrap_or_else(|| usage());
+            zone = Some(v.parse().unwrap_or_else(|e| {
+                eprintln!("bad zone {v}: {e}");
+                exit(2)
+            }));
+        } else {
+            rest.push(arg);
+        }
+    }
+    let (Some(zone), false) = (zone, servers.is_empty()) else { usage() };
+
+    let update = match rest.first().map(String::as_str) {
+        Some("add") => {
+            if rest.len() != 5 || rest[3].to_uppercase() != "A" {
+                usage()
+            }
+            let name: Name = rest[1].parse().unwrap_or_else(|e| {
+                eprintln!("bad name: {e}");
+                exit(2)
+            });
+            let ttl: u32 = rest[2].parse().unwrap_or_else(|_| usage());
+            let ip = rest[4].parse().unwrap_or_else(|e| {
+                eprintln!("bad address: {e}");
+                exit(2)
+            });
+            add_record_request(rand::random(), &zone, Record::new(name, ttl, RData::A(ip)))
+        }
+        Some("delete") => {
+            if rest.len() != 2 {
+                usage()
+            }
+            let name: Name = rest[1].parse().unwrap_or_else(|e| {
+                eprintln!("bad name: {e}");
+                exit(2)
+            });
+            delete_name_request(rand::random(), &zone, name)
+        }
+        _ => usage(),
+    };
+
+    let mut client = TcpClient::new(servers, Duration::from_secs(30));
+    // nsupdate behaviour: query the zone SOA first.
+    let soa_query = Message::query(rand::random(), zone.clone(), RecordType::Soa);
+    if let Err(e) = client.request(&soa_query.to_bytes()) {
+        eprintln!("zone SOA query failed: {e}");
+        exit(1);
+    }
+    let started = std::time::Instant::now();
+    match client.request(&update.to_bytes()) {
+        Ok(bytes) => {
+            let resp = Message::from_bytes(&bytes).unwrap_or_else(|e| {
+                eprintln!("malformed response: {e}");
+                exit(1)
+            });
+            println!("update status: {:?} ({} ms)", resp.rcode, started.elapsed().as_millis());
+            if resp.rcode != sdns::dns::Rcode::NoError {
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("update failed: {e}");
+            exit(1);
+        }
+    }
+}

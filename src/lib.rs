@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # sdns — Secure Distributed DNS
+//!
+//! A from-scratch Rust implementation of the Byzantine fault-tolerant,
+//! threshold-signed replicated DNS zone service of *Secure Distributed
+//! DNS* (Cachin & Samar, DSN 2004).
+//!
+//! The system replicates the authoritative name servers of a DNS zone as
+//! a state machine over asynchronous Byzantine atomic broadcast
+//! (tolerating `t < n/3` corrupted servers) and keeps the DNSSEC
+//! zone-signing key *online but distributed* with Shoup threshold RSA,
+//! so dynamic updates can be signed without any single server ever
+//! holding the private key.
+//!
+//! This crate re-exports the workspace:
+//!
+//! - [`bigint`] — arbitrary-precision arithmetic (the `BigInteger`
+//!   substrate),
+//! - [`crypto`] — SHA-1/SHA-256/HMAC, RSA PKCS#1, Shoup threshold RSA,
+//!   and the BASIC/OPTPROOF/OPTTE distributed signing protocols,
+//! - [`dns`] — names, records, wire codec, zone store, RFC 2136 dynamic
+//!   updates, DNSSEC-style signing (the `named` substrate),
+//! - [`abcast`] — reliable broadcast, binary Byzantine agreement,
+//!   asynchronous common subset, atomic broadcast (the SINTRA
+//!   substrate),
+//! - [`sim`] — the deterministic discrete-event simulator with the
+//!   paper's 2004 testbed topology,
+//! - [`replica`] — the replicated name service itself,
+//! - [`client`] — dig/nsupdate-style and majority-voting clients, plus
+//!   the scenario harness that regenerates the paper's experiments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sdns::client::scenario::{run_scenario, Op, ScenarioConfig};
+//! use sdns::crypto::protocol::SigProtocol;
+//! use sdns::replica::ZoneSecurity;
+//! use sdns::sim::testbed::Setup;
+//! use sdns::dns::RecordType;
+//!
+//! // Four replicas on the simulated 2004 LAN, OPTTE signing.
+//! let mut cfg = ScenarioConfig::paper(
+//!     Setup::FourLan,
+//!     ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+//!     0,
+//!     42,
+//! );
+//! cfg.key_bits = 384; // small keys: doc tests must be fast
+//! cfg.ops = vec![Op::Read {
+//!     name: "www.example.com".parse().unwrap(),
+//!     rtype: RecordType::A,
+//! }];
+//! let outcome = run_scenario(&cfg);
+//! assert_eq!(outcome.ops.len(), 1);
+//! assert!(outcome.ops[0].latency < 1.0, "LAN reads are fast");
+//! ```
+
+pub use sdns_abcast as abcast;
+pub use sdns_bigint as bigint;
+pub use sdns_client as client;
+pub use sdns_crypto as crypto;
+pub use sdns_dns as dns;
+pub use sdns_replica as replica;
+pub use sdns_sim as sim;

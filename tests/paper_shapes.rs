@@ -1,0 +1,153 @@
+//! Integration tests asserting the *shape* of the paper's evaluation
+//! results (§5.3) on the simulated testbed: who wins, by roughly what
+//! factor, and where the crossovers fall.
+//!
+//! These run small repetitions with small RSA keys: virtual-time costs
+//! are calibrated independently of the real key size, so the shapes are
+//! stable.
+
+use sdns::client::scenario::{mean_latency, run_scenario, Op, OpResult, ScenarioConfig};
+use sdns::crypto::protocol::SigProtocol;
+use sdns::dns::{Name, RData, Record, RecordType};
+use sdns::replica::ZoneSecurity;
+use sdns::sim::testbed::Setup;
+
+const KEY_BITS: usize = 384;
+
+fn ops(reps: usize) -> Vec<Op> {
+    let mut out = Vec::new();
+    for i in 0..reps {
+        out.push(Op::Read {
+            name: "www.example.com".parse::<Name>().expect("valid"),
+            rtype: RecordType::A,
+        });
+        let host: Name = format!("h{i}.example.com").parse().expect("valid");
+        out.push(Op::Add {
+            record: Record::new(host.clone(), 300, RData::A("203.0.113.5".parse().expect("valid"))),
+        });
+        out.push(Op::Delete { name: host });
+    }
+    out
+}
+
+fn run(setup: Setup, protocol: SigProtocol, k: usize, reps: usize, seed: u64) -> Vec<OpResult> {
+    let mut cfg = ScenarioConfig::paper(setup, ZoneSecurity::SignedThreshold(protocol), k, seed);
+    cfg.key_bits = KEY_BITS;
+    cfg.ops = ops(reps);
+    run_scenario(&cfg).ops
+}
+
+#[test]
+fn reads_are_subsecond_and_writes_are_seconds() {
+    let results = run(Setup::FourInternet, SigProtocol::Basic, 0, 2, 1);
+    let read = mean_latency(&results, "Read");
+    let add = mean_latency(&results, "Add");
+    assert!(read < 1.0, "Internet read {read} below a second");
+    assert!(read > 0.05, "Internet read {read} slower than the LAN base case");
+    assert!(add > 3.0, "BASIC add {add} takes seconds");
+    // Every operation succeeded on the first attempt (no failovers).
+    assert!(results.iter().all(|r| r.attempts == 1));
+}
+
+#[test]
+fn lan_read_matches_paper_order_of_magnitude() {
+    let results = run(Setup::FourLan, SigProtocol::OptTe, 0, 2, 2);
+    let read = mean_latency(&results, "Read");
+    // Paper: 0.05 s.
+    assert!((0.01..0.15).contains(&read), "LAN read {read}");
+}
+
+#[test]
+fn add_costs_roughly_twice_a_delete() {
+    // 4 signatures for an add vs 2 for a delete (§5.2).
+    for (setup, seed) in [(Setup::FourLan, 3), (Setup::FourInternet, 4)] {
+        let results = run(setup, SigProtocol::Basic, 0, 2, seed);
+        let add = mean_latency(&results, "Add");
+        let delete = mean_latency(&results, "Delete");
+        let ratio = add / delete;
+        assert!((1.5..3.0).contains(&ratio), "{setup:?}: add/delete ratio {ratio}");
+    }
+}
+
+#[test]
+fn optimistic_protocols_beat_basic_by_factor_four_to_six() {
+    let basic = run(Setup::FourLan, SigProtocol::Basic, 0, 2, 5);
+    let optte = run(Setup::FourLan, SigProtocol::OptTe, 0, 2, 5);
+    let optproof = run(Setup::FourLan, SigProtocol::OptProof, 0, 2, 5);
+    let b = mean_latency(&basic, "Add");
+    let te = mean_latency(&optte, "Add");
+    let pr = mean_latency(&optproof, "Add");
+    assert!(b / te > 3.0, "BASIC {b} vs OPTTE {te}");
+    assert!(b / pr > 3.0, "BASIC {b} vs OPTPROOF {pr}");
+    // The two optimistic variants are nearly equal when honest.
+    let diff = (te - pr).abs() / te;
+    assert!(diff < 0.25, "OPTTE {te} ~ OPTPROOF {pr}");
+}
+
+#[test]
+fn basic_is_slower_on_the_lan_than_on_the_internet() {
+    // §5.3: the LAN machines are the slowest CPUs, and BASIC is
+    // compute-bound, so (4,0)* beats (4,0) *in the wrong direction*.
+    let lan = mean_latency(&run(Setup::FourLan, SigProtocol::Basic, 0, 3, 6), "Add");
+    let inet = mean_latency(&run(Setup::FourInternet, SigProtocol::Basic, 0, 3, 6), "Add");
+    assert!(
+        lan > inet,
+        "BASIC on the LAN ({lan}) must exceed BASIC over the Internet ({inet})"
+    );
+}
+
+#[test]
+fn at_7_2_optproof_degrades_sharply_but_optte_does_not() {
+    // §5.3: "the performance of the OptProof protocol deteriorates much
+    // faster with an increasing number of corrupted servers than that of
+    // the OptTE protocol; in particular, consider the (7,2) case".
+    let optproof_0 = mean_latency(&run(Setup::SevenInternet, SigProtocol::OptProof, 0, 2, 7), "Add");
+    let optproof_2 = mean_latency(&run(Setup::SevenInternet, SigProtocol::OptProof, 2, 2, 7), "Add");
+    let optte_0 = mean_latency(&run(Setup::SevenInternet, SigProtocol::OptTe, 0, 2, 7), "Add");
+    let optte_2 = mean_latency(&run(Setup::SevenInternet, SigProtocol::OptTe, 2, 2, 7), "Add");
+    let optproof_blowup = optproof_2 / optproof_0;
+    let optte_blowup = optte_2 / optte_0;
+    assert!(
+        optproof_blowup > 2.0 * optte_blowup,
+        "OPTPROOF blowup {optproof_blowup} vs OPTTE blowup {optte_blowup}"
+    );
+    // OPTTE stays within a factor ~2 of its honest-case latency.
+    assert!(optte_blowup < 2.5, "OPTTE blowup {optte_blowup}");
+}
+
+#[test]
+fn at_7_2_basic_still_beats_nothing_but_optte_beats_basic() {
+    let basic = mean_latency(&run(Setup::SevenInternet, SigProtocol::Basic, 2, 2, 8), "Add");
+    let optte = mean_latency(&run(Setup::SevenInternet, SigProtocol::OptTe, 2, 2, 8), "Add");
+    // Paper: OPTTE is a factor 4-5 faster than BASIC at (7,2).
+    assert!(basic / optte > 2.0, "BASIC {basic} vs OPTTE {optte} at (7,2)");
+}
+
+#[test]
+fn base_case_single_server_matches_paper() {
+    let mut cfg = ScenarioConfig::paper(Setup::Single, ZoneSecurity::SignedLocal, 0, 9);
+    cfg.key_bits = 512;
+    cfg.ops = ops(3);
+    let results = run_scenario(&cfg).ops;
+    let add = mean_latency(&results, "Add");
+    let delete = mean_latency(&results, "Delete");
+    // Paper (1,0): add 0.047 s, delete 0.022 s on the unmodified server.
+    assert!((0.02..0.12).contains(&add), "base add {add}");
+    assert!((0.01..0.06).contains(&delete), "base delete {delete}");
+    assert!(add > delete);
+}
+
+#[test]
+fn corrupted_servers_never_break_correctness() {
+    // Latency aside, every operation must still complete successfully at
+    // every corruption level the model tolerates.
+    for k in 0..=2 {
+        for protocol in SigProtocol::ALL {
+            let results = run(Setup::SevenInternet, protocol, k, 1, 10 + k as u64);
+            assert_eq!(results.len(), 3, "{protocol} k={k}");
+            for r in &results {
+                assert_eq!(r.rcode, sdns::dns::Rcode::NoError, "{protocol} k={k} {}", r.kind);
+            }
+        }
+    }
+}
