@@ -48,6 +48,38 @@ fn bench_table3_phases(c: &mut Criterion) {
     group.finish();
 }
 
+fn key_10_3() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
+    static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x10_3);
+        Dealer::deal(KEY_BITS, 10, 3, &mut rng)
+    })
+}
+
+/// The larger (10, 3) group: a quorum of four factors per assembly and a
+/// four-share proof batch per verification, enough independent work for
+/// the scoped-thread fan-out in `assemble_unchecked` and
+/// `verify_shares` to engage (it only does so when the host reports
+/// more than one core; on a single-core host the same calls run the
+/// serial path, so this group then measures the arithmetic alone).
+fn bench_assemble_parallel(c: &mut Criterion) {
+    let (pk, shares) = key_10_3();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let x = Ubig::random_below(&mut rng, pk.modulus());
+    let quorum: Vec<_> = shares.iter().take(pk.quorum()).map(|s| s.sign(&x, pk)).collect();
+    let proofed: Vec<_> =
+        shares.iter().take(pk.quorum()).map(|s| s.sign_with_proof(&x, pk, &mut rng)).collect();
+    let mut group = c.benchmark_group(format!("assemble_parallel_10of3_{KEY_BITS}bit"));
+
+    group.bench_function("assemble_unchecked", |b| {
+        b.iter(|| black_box(pk.assemble_unchecked(&x, &quorum)))
+    });
+    group.bench_function("verify_shares_batch", |b| {
+        b.iter(|| black_box(pk.verify_shares(&x, &proofed)))
+    });
+    group.finish();
+}
+
 fn bench_protocols(c: &mut Criterion) {
     use sdns_crypto::protocol::{SigAction, SigMessage, SigProtocol, SigningSession};
     use std::collections::VecDeque;
@@ -97,5 +129,5 @@ fn bench_protocols(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table3_phases, bench_protocols);
+criterion_group!(benches, bench_table3_phases, bench_assemble_parallel, bench_protocols);
 criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Emits `BENCH_threshold.json`: a machine-readable snapshot of the
+//! threshold-RSA phase timings (the criterion `threshold` bench's
+//! numbers, in a form the perf trajectory can be tracked and diffed
+//! from PR to PR).
+//!
+//! Timing is min-of-samples: each phase runs `ITERS` times per sample
+//! and the best sample wins, which discards scheduler noise instead of
+//! averaging it in (the minimum is the best estimate of the true cost
+//! of a CPU-bound operation).
+//!
+//! Usage: `cargo run --release -p sdns-bench --bin threshold_json [out.json]`
+
+use rand::SeedableRng;
+use sdns_bigint::Ubig;
+use sdns_crypto::threshold::{Dealer, KeyShare, ThresholdPublicKey};
+use std::hint::black_box;
+use std::time::Instant;
+
+const KEY_BITS: usize = 512;
+const SAMPLES: usize = 30;
+const ITERS: usize = 10;
+
+fn min_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3 / ITERS as f64;
+        if ms < best {
+            best = ms;
+        }
+    }
+    best
+}
+
+fn phases_4_1(pk: &ThresholdPublicKey, shares: &[KeyShare]) -> Vec<(&'static str, f64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x = Ubig::random_below(&mut rng, pk.modulus());
+    let proofed = shares[1].sign_with_proof(&x, pk, &mut rng);
+    let s0 = shares[0].sign(&x, pk);
+    let s1 = shares[1].sign(&x, pk);
+    let quorum = [s0, s1];
+    let sig = pk.assemble(&x, &quorum).expect("honest shares");
+    vec![
+        ("generate_share_no_proof", min_ms(|| {
+            black_box(shares[0].sign(&x, pk));
+        })),
+        ("generate_share_with_proof", min_ms(|| {
+            black_box(shares[0].sign_with_proof(&x, pk, &mut rng));
+        })),
+        ("verify_share", min_ms(|| {
+            black_box(proofed.verify(&x, pk));
+        })),
+        ("assemble", min_ms(|| {
+            black_box(pk.assemble_unchecked(&x, &quorum)).ok();
+        })),
+        ("verify_signature", min_ms(|| {
+            black_box(pk.verify(&x, &sig));
+        })),
+    ]
+}
+
+fn phases_10_3(pk: &ThresholdPublicKey, shares: &[KeyShare]) -> Vec<(&'static str, f64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let x = Ubig::random_below(&mut rng, pk.modulus());
+    let quorum: Vec<_> = shares.iter().take(pk.quorum()).map(|s| s.sign(&x, pk)).collect();
+    let proofed: Vec<_> =
+        shares.iter().take(pk.quorum()).map(|s| s.sign_with_proof(&x, pk, &mut rng)).collect();
+    vec![
+        ("assemble_10_3", min_ms(|| {
+            black_box(pk.assemble_unchecked(&x, &quorum)).ok();
+        })),
+        ("verify_shares_batch_10_3", min_ms(|| {
+            black_box(pk.verify_shares(&x, &proofed));
+        })),
+    ]
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_threshold.json".to_string());
+
+    eprintln!("dealing {KEY_BITS}-bit (4,1) and (10,3) keys (safe primes; takes a moment)...");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let (pk4, shares4) = Dealer::deal(KEY_BITS, 4, 1, &mut rng);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x10_3);
+    let (pk10, shares10) = Dealer::deal(KEY_BITS, 10, 3, &mut rng);
+
+    let mut rows = Vec::new();
+    for (name, ms) in phases_4_1(&pk4, &shares4) {
+        rows.push((name, 4usize, 1usize, ms));
+    }
+    for (name, ms) in phases_10_3(&pk10, &shares10) {
+        rows.push((name, 10, 3, ms));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"key_bits\": {KEY_BITS},\n"));
+    json.push_str(&format!(
+        "  \"timing\": \"min of {SAMPLES} samples x {ITERS} iterations, milliseconds\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str("  \"phases\": [\n");
+    for (i, (name, n, t, ms)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"n\": {n}, \"t\": {t}, \"ms\": {ms:.4}}}{comma}\n"
+        ));
+        println!("{name}: {ms:.4} ms");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("write BENCH_threshold.json");
+    eprintln!("wrote {out_path}");
+}

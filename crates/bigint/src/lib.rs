@@ -12,6 +12,9 @@
 //!
 //! - [`Ubig::modpow`] — modular exponentiation (Montgomery multiplication
 //!   for odd moduli),
+//! - [`ModCtx`] — a reusable per-modulus context caching the Montgomery
+//!   precomputation, with simultaneous multi-exponentiation
+//!   ([`ModCtx::pow2`]) for proof verification,
 //! - [`Ubig::modinv`] — modular inverse via the extended Euclidean
 //!   algorithm,
 //! - [`Ubig::gcd`] and [`egcd`] — greatest common divisors and Bézout
@@ -38,13 +41,14 @@
 
 mod div;
 mod fmt;
+mod modctx;
 mod modular;
-mod monty;
 mod prime;
 mod rand_ext;
 mod signed;
 mod ubig;
 
+pub use modctx::ModCtx;
 pub use modular::egcd;
 pub use prime::{gen_prime, gen_safe_prime, is_probable_prime};
 pub use signed::{Ibig, Sign};

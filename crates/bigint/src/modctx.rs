@@ -1,0 +1,678 @@
+#![allow(clippy::needless_range_loop)] // limb arithmetic reads better indexed
+
+//! Reusable modular-arithmetic contexts.
+//!
+//! Modular exponentiation dominates every cryptographic operation in this
+//! workspace (RSA signing, threshold share generation, share-correctness
+//! proofs). A [`ModCtx`] captures everything that depends only on the
+//! modulus — for odd moduli the Montgomery constants `-m⁻¹ mod 2⁶⁴`,
+//! `R mod m` and `R² mod m` (with `R = 2^{64·k}` for a `k`-limb modulus) —
+//! so that the expensive precomputation (one full 2k-limb division for
+//! `R² mod m`) is paid once per modulus instead of once per exponentiation.
+//!
+//! Callers with a long-lived modulus (an RSA key, a threshold public key)
+//! should build one `ModCtx` and reuse it for every operation. One-shot
+//! callers can keep using [`Ubig::modpow`], which builds a throwaway
+//! context internally.
+//!
+//! Internals: Montgomery multiplication uses the CIOS (coarsely integrated
+//! operand scanning) variant; squarings in the exponentiation ladders take
+//! a dedicated path that computes the off-diagonal limb products once,
+//! doubles them, and Montgomery-reduces the full product (≈⅔ the limb
+//! multiplications of a general multiply). All inner loops write into
+//! scratch buffers owned by the exponentiation, so a `k`-bit ladder
+//! performs no per-multiply heap allocation.
+
+use crate::Ubig;
+
+/// Precomputed context for repeated arithmetic modulo a fixed `m`.
+///
+/// Odd moduli (the only kind that occur on cryptographic hot paths — RSA
+/// moduli are products of odd primes) use Montgomery arithmetic; even
+/// moduli fall back to division-based square-and-multiply so that a
+/// context can be cached unconditionally. Results are identical to
+/// [`Ubig::modpow`] in every case.
+///
+/// # Example
+///
+/// ```
+/// use sdns_bigint::{ModCtx, Ubig};
+/// let m = Ubig::from(497u64);
+/// let ctx = ModCtx::new(&m);
+/// assert_eq!(ctx.pow(&Ubig::from(4u64), &Ubig::from(13u64)), Ubig::from(445u64));
+/// // a^e1 · b^e2 mod m with one shared squaring chain:
+/// let r = ctx.pow2(&Ubig::from(4u64), &Ubig::from(13u64), &Ubig::from(3u64), &Ubig::from(7u64));
+/// assert_eq!(r, (Ubig::from(445u64) * Ubig::from(3u64.pow(7) % 497)) % &m);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModCtx {
+    modulus: Ubig,
+    monty: Option<Monty>,
+}
+
+impl ModCtx {
+    /// Creates a context for the modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn new(m: &Ubig) -> ModCtx {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        let monty = if m.is_odd() && !m.is_one() { Some(Monty::new(m)) } else { None };
+        ModCtx { modulus: m.clone(), monty }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.modulus
+    }
+
+    /// Computes `base^exp mod m`.
+    ///
+    /// Identical to [`Ubig::modpow`] with this context's modulus, but
+    /// without rebuilding the Montgomery constants per call.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if self.modulus.is_one() {
+            return Ubig::zero();
+        }
+        match &self.monty {
+            Some(mt) => mt.pow(base, exp, &self.modulus),
+            None => pow_binary(base, exp, &self.modulus),
+        }
+    }
+
+    /// Computes `a^e1 · b^e2 mod m` by simultaneous multi-exponentiation
+    /// (Shamir's trick): both exponents share one squaring chain, with a
+    /// 16-entry table of the joint 2-bit windows `aⁱ·bʲ`.
+    ///
+    /// Agrees with `(a.modpow(e1, m) * b.modpow(e2, m)) % m` for all
+    /// inputs, at roughly the cost of the single longer exponentiation.
+    pub fn pow2(&self, a: &Ubig, e1: &Ubig, b: &Ubig, e2: &Ubig) -> Ubig {
+        if self.modulus.is_one() {
+            return Ubig::zero();
+        }
+        match &self.monty {
+            Some(mt) => mt.pow2(a, e1, b, e2, &self.modulus),
+            None => {
+                (pow_binary(a, e1, &self.modulus) * pow_binary(b, e2, &self.modulus))
+                    % &self.modulus
+            }
+        }
+    }
+
+    /// Computes `(a * b) mod m` by plain multiply-then-reduce.
+    ///
+    /// A one-shot modular multiply does not benefit from Montgomery form
+    /// (entering and leaving it costs more than the division it saves),
+    /// so this is a plain long multiplication followed by one reduction.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        (a * b) % &self.modulus
+    }
+
+    /// Reduces `a` modulo `m`.
+    pub fn reduce(&self, a: &Ubig) -> Ubig {
+        a % &self.modulus
+    }
+}
+
+/// Division-based square-and-multiply for even moduli (`m > 1`); not on
+/// any hot path — RSA-style moduli are always odd.
+fn pow_binary(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+    let mut acc = Ubig::one();
+    let base = base % m;
+    for i in (0..exp.bit_len()).rev() {
+        acc = (&acc * &acc) % m;
+        if exp.bit(i) {
+            acc = (&acc * &base) % m;
+        }
+    }
+    acc
+}
+
+/// Window width for a single-base ladder: wider windows amortize more
+/// multiplies but cost `2^w` table entries, which short exponents (the
+/// tiny Lagrange exponents in threshold assembly) never recoup.
+fn window_bits(exp_bits: usize) -> usize {
+    if exp_bits >= 128 {
+        4
+    } else if exp_bits >= 24 {
+        3
+    } else if exp_bits >= 8 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Montgomery constants and kernels for an odd modulus `m > 1`.
+#[derive(Debug, Clone)]
+struct Monty {
+    /// The modulus limbs (little-endian, length `k`).
+    m: Vec<u64>,
+    /// `-m^{-1} mod 2^64`.
+    m_prime: u64,
+    /// `R^2 mod m`, used to enter Montgomery form.
+    r2: Vec<u64>,
+    /// `R mod m`: the Montgomery form of 1.
+    one: Vec<u64>,
+}
+
+/// Computes `-a^{-1} mod 2^64` for odd `a` by Newton iteration.
+fn neg_inv_u64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1);
+    let mut inv = a; // 3 correct bits to start (for odd a, a*a ≡ 1 mod 8)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(a.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+impl Monty {
+    fn new(m: &Ubig) -> Monty {
+        debug_assert!(m.is_odd() && !m.is_one());
+        let limbs = m.limbs.clone();
+        let k = limbs.len();
+        // R^2 mod m computed as 2^(128k) mod m via shifting: the one full
+        // long division a context ever performs.
+        let r2 = {
+            let r2 = (&Ubig::one() << (128 * k)) % m;
+            let mut l = r2.limbs;
+            l.resize(k, 0);
+            l
+        };
+        let mut mt = Monty { m_prime: neg_inv_u64(limbs[0]), m: limbs, r2, one: Vec::new() };
+        // R mod m = mont(1 · R²) without another division.
+        let mut unit = vec![0u64; k];
+        unit[0] = 1;
+        let mut t = Vec::new();
+        let mut one = Vec::new();
+        mt.mul_into(&unit, &mt.r2.clone(), &mut t, &mut one);
+        mt.one = one;
+        mt
+    }
+
+    fn k(&self) -> usize {
+        self.m.len()
+    }
+
+    /// CIOS Montgomery multiplication: `out = a · b · R⁻¹ mod m`.
+    ///
+    /// `a` and `b` are `k`-limb vectors below `m`; `t` is a reusable
+    /// scratch buffer (resized to `k + 2` limbs). No allocation occurs
+    /// when `t` and `out` retain their capacity across calls.
+    fn mul_into(&self, a: &[u64], b: &[u64], t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        t.clear();
+        t.resize(k + 2, 0);
+        for i in 0..k {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = u128::from(t[j]) + u128::from(a[i]) * u128::from(b[j]) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = u128::from(t[k]) + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m-reduction step: make t divisible by 2^64.
+            let u = t[0].wrapping_mul(self.m_prime);
+            let mut carry = (u128::from(t[0]) + u128::from(u) * u128::from(self.m[0])) >> 64;
+            for j in 1..k {
+                let s = u128::from(t[j]) + u128::from(u) * u128::from(self.m[j]) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = u128::from(t[k]) + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction so the result is below m.
+        if t[k] != 0 || !less_than(&t[..k], &self.m) {
+            sub_in_place(&mut t[..k + 1], &self.m);
+        }
+        out.clear();
+        out.extend_from_slice(&t[..k]);
+    }
+
+    /// Montgomery squaring: `out = a² · R⁻¹ mod m`.
+    ///
+    /// Computes the off-diagonal limb products once, doubles, adds the
+    /// diagonal squares, then Montgomery-reduces the full `2k`-limb
+    /// product — ≈⅔ the limb multiplications of `mul_into(a, a, ..)`.
+    /// `t` is resized to `2k + 1` limbs.
+    fn sqr_into(&self, a: &[u64], t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        t.clear();
+        t.resize(2 * k + 1, 0);
+        // Off-diagonal products a[i]·a[j] for i < j. In round i the
+        // highest previously written limb is t[i + k - 1] (round i-1's
+        // carry), so the closing carry lands in an untouched t[i + k]
+        // with no further propagation.
+        for i in 0..k {
+            let ai = u128::from(a[i]);
+            let mut carry = 0u128;
+            for j in (i + 1)..k {
+                let s = u128::from(t[i + j]) + ai * u128::from(a[j]) + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            t[i + k] = carry as u64;
+        }
+        // Double and add the diagonal squares in one pass: the 2k-limb
+        // result is a² < 2^{128k}, so the top limb needs no carry out.
+        let mut shifted_out = 0u64;
+        let mut carry = 0u128;
+        for i in 0..k {
+            let sq = u128::from(a[i]) * u128::from(a[i]);
+            let (lo, hi) = (t[2 * i], t[2 * i + 1]);
+            let s = u128::from((lo << 1) | shifted_out) + (sq & u128::from(u64::MAX)) + carry;
+            t[2 * i] = s as u64;
+            let s2 = u128::from((hi << 1) | (lo >> 63)) + (sq >> 64) + (s >> 64);
+            t[2 * i + 1] = s2 as u64;
+            carry = s2 >> 64;
+            shifted_out = hi >> 63;
+        }
+        debug_assert_eq!(u128::from(shifted_out) + carry, 0, "a² fits in 2k limbs");
+        t[2 * k] = 0;
+        // Montgomery reduction of the full product (SOS): clear one limb
+        // per round; the result is t / R, held in t[k..=2k]. Per-round
+        // carries out of t[i + k] are collected in `top` and folded into
+        // the t[2k] overflow limb at the end (Σ t + u_i·m·2^{64i} <
+        // m·R + m·R < 2^{128k+1}, so one extra limb suffices).
+        let mut top = 0u128;
+        for i in 0..k {
+            let u = u128::from(t[i].wrapping_mul(self.m_prime));
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = u128::from(t[i + j]) + u * u128::from(self.m[j]) + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            top += u128::from(t[i + k]) + carry;
+            t[i + k] = top as u64;
+            top >>= 64;
+        }
+        t[2 * k] = top as u64;
+        if t[2 * k] != 0 || !less_than(&t[k..2 * k], &self.m) {
+            sub_in_place(&mut t[k..=2 * k], &self.m);
+        }
+        out.clear();
+        out.extend_from_slice(&t[k..2 * k]);
+    }
+
+    /// Converts into Montgomery form: `out = a · R mod m`.
+    fn to_mont(&self, a: &Ubig, modulus: &Ubig, t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        let mut limbs = if a < modulus { a.limbs.clone() } else { (a % modulus).limbs };
+        limbs.resize(self.k(), 0);
+        self.mul_into(&limbs, &self.r2, t, out);
+    }
+
+    /// Converts out of Montgomery form into a normalized [`Ubig`].
+    fn demont(&self, a: &[u64], t: &mut Vec<u64>) -> Ubig {
+        let mut unit = vec![0u64; self.k()];
+        unit[0] = 1;
+        let mut out = Vec::with_capacity(self.k());
+        self.mul_into(a, &unit, t, &mut out);
+        Ubig::from_limbs(out)
+    }
+
+    /// Builds the odd-powers table `table[i] = base^{2i+1}` (Montgomery
+    /// form) for a `w`-bit sliding window: one squaring plus `2^{w-1} - 1`
+    /// multiplications.
+    fn odd_powers(&self, base_m: Vec<u64>, w: usize, t: &mut Vec<u64>) -> Vec<Vec<u64>> {
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(1 << (w - 1));
+        table.push(base_m);
+        if w > 1 {
+            let mut sq = Vec::with_capacity(self.k());
+            self.sqr_into(&table[0], t, &mut sq);
+            for i in 1..(1 << (w - 1)) {
+                let mut next = Vec::with_capacity(self.k());
+                self.mul_into(&table[i - 1], &sq, t, &mut next);
+                table.push(next);
+            }
+        }
+        table
+    }
+
+    /// `base^exp mod m` by left-to-right sliding windows with a shared
+    /// squaring/scratch buffer.
+    fn pow(&self, base: &Ubig, exp: &Ubig, modulus: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one() % modulus;
+        }
+        let k = self.k();
+        let mut t = Vec::with_capacity(2 * k + 1);
+        let mut base_m = Vec::with_capacity(k);
+        self.to_mont(base, modulus, &mut t, &mut base_m);
+
+        let w = window_bits(exp.bit_len());
+        let table = self.odd_powers(base_m, w, &mut t);
+        let windows = decompose(exp, w);
+
+        let (first_pos, first_val) = windows[0];
+        let mut acc = table[first_val >> 1].clone();
+        let mut tmp = Vec::with_capacity(k);
+        let mut cur_pos = first_pos;
+        for &(pos, val) in &windows[1..] {
+            for _ in 0..(cur_pos - pos) {
+                self.sqr_into(&acc, &mut t, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            self.mul_into(&acc, &table[val >> 1], &mut t, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+            cur_pos = pos;
+        }
+        for _ in 0..cur_pos {
+            self.sqr_into(&acc, &mut t, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        self.demont(&acc, &mut t)
+    }
+
+    /// `a^e1 · b^e2 mod m` by interleaved sliding-window exponentiation:
+    /// both exponents ride one squaring chain, each with its own
+    /// odd-powers table sized to its bit length, so strongly asymmetric
+    /// pairs (a long response `z` and a short challenge `c`) still pay
+    /// only the longer exponent's squarings.
+    fn pow2(&self, a: &Ubig, e1: &Ubig, b: &Ubig, e2: &Ubig, modulus: &Ubig) -> Ubig {
+        if e1.is_zero() {
+            return self.pow(b, e2, modulus);
+        }
+        if e2.is_zero() {
+            return self.pow(a, e1, modulus);
+        }
+        let k = self.k();
+        let mut t = Vec::with_capacity(2 * k + 1);
+        let mut am = Vec::with_capacity(k);
+        let mut bm = Vec::with_capacity(k);
+        self.to_mont(a, modulus, &mut t, &mut am);
+        self.to_mont(b, modulus, &mut t, &mut bm);
+
+        let w1 = window_bits(e1.bit_len());
+        let w2 = window_bits(e2.bit_len());
+        let table1 = self.odd_powers(am, w1, &mut t);
+        let table2 = self.odd_powers(bm, w2, &mut t);
+        let win1 = decompose(e1, w1);
+        let win2 = decompose(e2, w2);
+
+        let nbits = e1.bit_len().max(e2.bit_len());
+        let mut acc: Vec<u64> = Vec::new();
+        let mut tmp = Vec::with_capacity(k);
+        let mut started = false;
+        let (mut i1, mut i2) = (0usize, 0usize);
+        // Invariant: after processing position `bit`, acc holds
+        // a^{e1 >> bit} · b^{e2 >> bit} — each squaring doubles both
+        // partial exponents, and a window whose low bit sits at `bit`
+        // contributes its (odd) value exactly once.
+        for bit in (0..nbits).rev() {
+            if started {
+                self.sqr_into(&acc, &mut t, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            if i1 < win1.len() && win1[i1].0 == bit {
+                let entry = &table1[win1[i1].1 >> 1];
+                if started {
+                    self.mul_into(&acc, entry, &mut t, &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                } else {
+                    acc = entry.clone();
+                    started = true;
+                }
+                i1 += 1;
+            }
+            if i2 < win2.len() && win2[i2].0 == bit {
+                let entry = &table2[win2[i2].1 >> 1];
+                if started {
+                    self.mul_into(&acc, entry, &mut t, &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                } else {
+                    acc = entry.clone();
+                    started = true;
+                }
+                i2 += 1;
+            }
+        }
+        debug_assert!(started, "both exponents are nonzero");
+        self.demont(&acc, &mut t)
+    }
+}
+
+/// Left-to-right sliding-window decomposition: returns `(low_bit, value)`
+/// pairs in descending position order with every `value` odd, such that
+/// `exp = Σ value · 2^{low_bit}`. Windows span at most `w` bits.
+fn decompose(exp: &Ubig, w: usize) -> Vec<(usize, usize)> {
+    debug_assert!(!exp.is_zero());
+    let mut windows = Vec::with_capacity(exp.bit_len() / (w + 1) + 1);
+    let mut i = exp.bit_len() as isize - 1;
+    while i >= 0 {
+        if !exp.bit(i as usize) {
+            i -= 1;
+            continue;
+        }
+        // Window [j, i]; shrink from below until the value is odd.
+        let mut j = (i + 1 - w as isize).max(0) as usize;
+        while !exp.bit(j) {
+            j += 1;
+        }
+        let mut val = 0usize;
+        for b in j..=i as usize {
+            if exp.bit(b) {
+                val |= 1 << (b - j);
+            }
+        }
+        windows.push((j, val));
+        i = j as isize - 1;
+    }
+    windows
+}
+
+fn less_than(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// `a -= b` over the first `b.len()` limbs of `a` (a may have one extra limb).
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0i128;
+    for i in 0..b.len() {
+        let d = i128::from(a[i]) - i128::from(b[i]) - borrow;
+        if d < 0 {
+            a[i] = (d + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            a[i] = d as u64;
+            borrow = 0;
+        }
+    }
+    if borrow != 0 && a.len() > b.len() {
+        a[b.len()] = a[b.len()].wrapping_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inv() {
+        for a in [1u64, 3, 5, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def1] {
+            let ni = neg_inv_u64(a);
+            assert_eq!(a.wrapping_mul(ni), u64::MAX); // a * (-a^-1) == -1 mod 2^64
+            assert_eq!(a.wrapping_mul(ni.wrapping_neg()), 1);
+        }
+    }
+
+    #[test]
+    fn pow_small_modulus() {
+        let m = Ubig::from(97u64);
+        let ctx = ModCtx::new(&m);
+        for base in 0..20u64 {
+            for exp in 0..20u64 {
+                let expected = mod_pow_naive(base, exp, 97);
+                assert_eq!(
+                    ctx.pow(&Ubig::from(base), &Ubig::from(exp)),
+                    Ubig::from(expected),
+                    "{base}^{exp} mod 97"
+                );
+            }
+        }
+    }
+
+    fn mod_pow_naive(mut b: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc = 1u64;
+        b %= m;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * b % m;
+            }
+            b = b * b % m;
+            e >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn pow_multi_limb_matches_naive_square_multiply() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut m_limbs: Vec<u64> = (0..3).map(|_| rng.gen()).collect();
+            m_limbs[0] |= 1; // odd
+            let m = Ubig::from_limbs(m_limbs);
+            let ctx = ModCtx::new(&m);
+            let base = Ubig::from_limbs((0..3).map(|_| rng.gen()).collect::<Vec<u64>>()) % &m;
+            let exp = Ubig::from_limbs((0..2).map(|_| rng.gen()).collect::<Vec<u64>>());
+            // Naive square-and-multiply with div_rem reduction as the oracle.
+            let mut acc = Ubig::one();
+            for i in (0..exp.bit_len()).rev() {
+                acc = (&acc * &acc) % &m;
+                if exp.bit(i) {
+                    acc = (&acc * &base) % &m;
+                }
+            }
+            assert_eq!(ctx.pow(&base, &exp), acc);
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = Ubig::from(1000003u64);
+        let ctx = ModCtx::new(&m);
+        assert_eq!(ctx.pow(&Ubig::from(5u64), &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.pow(&Ubig::zero(), &Ubig::from(5u64)), Ubig::zero());
+        assert_eq!(ctx.pow(&Ubig::from(5u64), &Ubig::one()), Ubig::from(5u64));
+        // Base larger than the modulus is reduced first.
+        assert_eq!(ctx.pow(&(&m + &Ubig::from(2u64)), &Ubig::two()), Ubig::from(4u64));
+    }
+
+    #[test]
+    fn even_modulus_supported() {
+        // Even moduli take the division-based fallback; results must match
+        // the naive oracle exactly.
+        let m = Ubig::from(1000u64);
+        let ctx = ModCtx::new(&m);
+        assert_eq!(ctx.pow(&Ubig::from(7u64), &Ubig::from(5u64)), Ubig::from(16807u64 % 1000));
+        assert_eq!(ctx.pow(&Ubig::from(2u64), &Ubig::from(10u64)), Ubig::from(24u64));
+        assert_eq!(ctx.pow(&Ubig::from(7u64), &Ubig::zero()), Ubig::one());
+        assert_eq!(
+            ctx.pow2(&Ubig::from(7u64), &Ubig::from(5u64), &Ubig::from(2u64), &Ubig::from(10u64)),
+            Ubig::from(16807u64 % 1000 * 24 % 1000)
+        );
+    }
+
+    #[test]
+    fn modulus_one_is_all_zero() {
+        let ctx = ModCtx::new(&Ubig::one());
+        assert_eq!(ctx.pow(&Ubig::from(5u64), &Ubig::from(3u64)), Ubig::zero());
+        assert_eq!(
+            ctx.pow2(&Ubig::from(5u64), &Ubig::from(3u64), &Ubig::from(2u64), &Ubig::from(4u64)),
+            Ubig::zero()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_modulus_panics() {
+        let _ = ModCtx::new(&Ubig::zero());
+    }
+
+    #[test]
+    fn pow_matches_modpow_across_window_sizes() {
+        // Exercise every adaptive window width (1, 2, 3, 4 bits).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let m = Ubig::from_limbs((0..4).map(|_| rng.gen::<u64>() | 1).collect::<Vec<u64>>());
+        let ctx = ModCtx::new(&m);
+        for bits in [1usize, 5, 9, 30, 70, 130, 250] {
+            let base = Ubig::random_below(&mut rng, &m);
+            let exp = Ubig::random_bits(&mut rng, bits);
+            assert_eq!(ctx.pow(&base, &exp), base.modpow(&exp, &m), "exp bits {bits}");
+        }
+    }
+
+    #[test]
+    fn pow2_matches_separate_exponentiations() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for limbs in [1usize, 2, 5] {
+            let m = Ubig::from_limbs((0..limbs).map(|_| rng.gen::<u64>() | 1).collect::<Vec<u64>>());
+            let ctx = ModCtx::new(&m);
+            for (b1, b2) in [(0usize, 0usize), (1, 1), (64, 1), (1, 64), (200, 130), (130, 200)] {
+                let a = Ubig::random_below(&mut rng, &m);
+                let b = Ubig::random_below(&mut rng, &m);
+                let e1 = if b1 == 0 { Ubig::zero() } else { Ubig::random_bits(&mut rng, b1) };
+                let e2 = if b2 == 0 { Ubig::zero() } else { Ubig::random_bits(&mut rng, b2) };
+                let expected = (a.modpow(&e1, &m) * b.modpow(&e2, &m)) % &m;
+                assert_eq!(ctx.pow2(&a, &e1, &b, &e2), expected, "{limbs} limbs, {b1}/{b2} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn squaring_path_matches_general_multiply() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for limbs in [1usize, 2, 3, 8] {
+            let m = Ubig::from_limbs((0..limbs).map(|_| rng.gen::<u64>() | 1).collect::<Vec<u64>>());
+            let ctx = ModCtx::new(&m);
+            let mt = ctx.monty.as_ref().expect("odd modulus");
+            let mut t = Vec::new();
+            for _ in 0..20 {
+                let a = Ubig::random_below(&mut rng, &m);
+                let mut a_limbs = a.limbs.clone();
+                a_limbs.resize(limbs, 0);
+                let mut via_mul = Vec::new();
+                mt.mul_into(&a_limbs, &a_limbs, &mut t, &mut via_mul);
+                let mut via_sqr = Vec::new();
+                mt.sqr_into(&a_limbs, &mut t, &mut via_sqr);
+                assert_eq!(via_sqr, via_mul, "{limbs}-limb squaring");
+            }
+        }
+    }
+
+    #[test]
+    fn context_reuse_is_stateless() {
+        // Interleaved pow/pow2 calls on one context must not contaminate
+        // each other through the shared kernels.
+        let m = Ubig::from_dec("170141183460469231731687303715884105727").unwrap();
+        let ctx = ModCtx::new(&m);
+        let a = Ubig::from(123456789u64);
+        let e = Ubig::from(987654321u64);
+        let first = ctx.pow(&a, &e);
+        let _ = ctx.pow2(&a, &e, &Ubig::from(3u64), &Ubig::from(77u64));
+        assert_eq!(ctx.pow(&a, &e), first);
+        assert_eq!(first, a.modpow(&e, &m));
+    }
+}

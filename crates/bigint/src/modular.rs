@@ -1,14 +1,19 @@
 //! Modular arithmetic: exponentiation, gcd, extended gcd, inversion.
 
-use crate::monty::MontyCtx;
+use crate::modctx::ModCtx;
 use crate::signed::{Ibig, Sign};
 use crate::Ubig;
+use std::cmp::Ordering;
 
 impl Ubig {
     /// Computes `self^exp mod m`.
     ///
     /// Uses Montgomery multiplication for odd moduli and a plain
     /// square-and-multiply with division-based reduction otherwise.
+    ///
+    /// This builds a throwaway [`ModCtx`] per call; callers exponentiating
+    /// repeatedly under one modulus should build a [`ModCtx`] once and use
+    /// [`ModCtx::pow`] to amortize the Montgomery precomputation.
     ///
     /// # Panics
     ///
@@ -20,23 +25,7 @@ impl Ubig {
     /// assert_eq!(r, Ubig::from(445u64));
     /// ```
     pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
-        assert!(!m.is_zero(), "modulus must be nonzero");
-        if m.is_one() {
-            return Ubig::zero();
-        }
-        if m.is_odd() {
-            return MontyCtx::new(m).pow(self, exp);
-        }
-        // Fallback for even moduli (not on any hot path).
-        let mut acc = Ubig::one();
-        let base = self % m;
-        for i in (0..exp.bit_len()).rev() {
-            acc = (&acc * &acc) % m;
-            if exp.bit(i) {
-                acc = (&acc * &base) % m;
-            }
-        }
-        acc
+        ModCtx::new(m).pow(self, exp)
     }
 
     /// Computes the greatest common divisor of `self` and `other`.
@@ -73,6 +62,9 @@ impl Ubig {
         if m.is_one() {
             return Some(Ubig::zero());
         }
+        if m.is_odd() {
+            return modinv_odd(self, m);
+        }
         let (g, x, _) = egcd(self, m);
         if g.is_one() {
             Some(x.rem_euclid(m))
@@ -81,14 +73,153 @@ impl Ubig {
         }
     }
 
-    /// Computes `(self * other) mod m`.
+    /// Computes `(self * other) mod m` by plain multiply-then-reduce.
+    ///
+    /// This is *not* Montgomery arithmetic: a one-shot modular multiply
+    /// does not recoup the cost of entering and leaving Montgomery form,
+    /// so a long multiplication plus one division is the right tool. For
+    /// repeated products under a fixed modulus, see [`ModCtx::mul`].
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn modmul(&self, other: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "modulus must be nonzero");
         (self * other) % m
     }
+}
+
+/// Inverse of `a` modulo an odd `m > 1` by the binary extended GCD.
+///
+/// The division-based [`egcd`] pays a multi-limb division per quotient,
+/// which dominates the proof checks and signature assembly in the
+/// threshold scheme; the binary variant only shifts, adds and subtracts,
+/// all in place over four scratch buffers. Restricted to odd moduli
+/// because halving a cofactor needs `m` invertible mod 2.
+///
+/// Invariants: `x1·a ≡ u (mod m)` and `x2·a ≡ v (mod m)` throughout; the
+/// loop preserves `gcd(u, v) = gcd(a, m)` and strictly shrinks `u + v`,
+/// terminating with `u = v = gcd(a, m)`.
+fn modinv_odd(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    debug_assert!(m.is_odd() && !m.is_one());
+    let a = a % m;
+    if a.is_zero() {
+        return None;
+    }
+    let mlimbs: &[u64] = &m.limbs;
+    let mut u = a.limbs;
+    let mut v = mlimbs.to_vec();
+    let mut x1: Vec<u64> = vec![1];
+    let mut x2: Vec<u64> = Vec::new();
+    loop {
+        // u, v stay nonzero: both are odd when compared, and the larger
+        // minus the smaller of two distinct odd numbers is positive.
+        while limbs_even(&u) {
+            limbs_shr1(&mut u);
+            limbs_halve_mod(&mut x1, mlimbs);
+        }
+        while limbs_even(&v) {
+            limbs_shr1(&mut v);
+            limbs_halve_mod(&mut x2, mlimbs);
+        }
+        match limbs_cmp(&u, &v) {
+            Ordering::Equal => break,
+            Ordering::Greater => {
+                limbs_sub(&mut u, &v);
+                limbs_sub_mod(&mut x1, &x2, mlimbs);
+            }
+            Ordering::Less => {
+                limbs_sub(&mut v, &u);
+                limbs_sub_mod(&mut x2, &x1, mlimbs);
+            }
+        }
+    }
+    if u == [1] {
+        Some(Ubig::from_limbs(x1))
+    } else {
+        None
+    }
+}
+
+/// `true` when the normalized little-endian limb vector is even.
+fn limbs_even(x: &[u64]) -> bool {
+    x.is_empty() || x[0] & 1 == 0
+}
+
+fn limbs_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    a.len().cmp(&b.len()).then_with(|| {
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    })
+}
+
+/// In-place `x >>= 1`, keeping the vector normalized.
+fn limbs_shr1(x: &mut Vec<u64>) {
+    let mut carry = 0u64;
+    for l in x.iter_mut().rev() {
+        let next = *l << 63;
+        *l = (*l >> 1) | carry;
+        carry = next;
+    }
+    if x.last() == Some(&0) {
+        x.pop();
+    }
+}
+
+/// In-place `x += y`.
+fn limbs_add(x: &mut Vec<u64>, y: &[u64]) {
+    if x.len() < y.len() {
+        x.resize(y.len(), 0);
+    }
+    let mut carry = 0u64;
+    for i in 0..x.len() {
+        let yi = y.get(i).copied().unwrap_or(0);
+        let (s, c1) = x[i].overflowing_add(yi);
+        let (s, c2) = s.overflowing_add(carry);
+        x[i] = s;
+        carry = u64::from(c1 | c2);
+    }
+    if carry != 0 {
+        x.push(carry);
+    }
+}
+
+/// In-place `x -= y`; requires `x >= y`. Keeps the vector normalized.
+fn limbs_sub(x: &mut Vec<u64>, y: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..x.len() {
+        let yi = y.get(i).copied().unwrap_or(0);
+        let (d, b1) = x[i].overflowing_sub(yi);
+        let (d, b2) = d.overflowing_sub(borrow);
+        x[i] = d;
+        borrow = u64::from(b1 | b2);
+    }
+    debug_assert_eq!(borrow, 0, "limbs_sub underflow");
+    while x.last() == Some(&0) {
+        x.pop();
+    }
+}
+
+/// In-place `x = x / 2 mod m` for odd `m` and `x < m`: add `m` first when
+/// `x` is odd (making it even without changing its residue), then shift.
+fn limbs_halve_mod(x: &mut Vec<u64>, m: &[u64]) {
+    if !limbs_even(x) {
+        limbs_add(x, m);
+    }
+    limbs_shr1(x);
+}
+
+/// In-place `x = x - y mod m` for `x, y < m`.
+fn limbs_sub_mod(x: &mut Vec<u64>, y: &[u64], m: &[u64]) {
+    if limbs_cmp(x, y) == Ordering::Less {
+        limbs_add(x, m);
+    }
+    limbs_sub(x, y);
 }
 
 /// Extended Euclidean algorithm.
@@ -201,6 +332,38 @@ mod tests {
     #[test]
     fn modinv_mod_one() {
         assert_eq!(Ubig::from(5u64).modinv(&Ubig::one()), Some(Ubig::zero()));
+    }
+
+    #[test]
+    fn modinv_binary_matches_euclid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB14);
+        for _ in 0..40 {
+            let bits = 64 + rng.gen_range(0..512);
+            let mut m = Ubig::random_bits(&mut rng, bits);
+            m = m | Ubig::one(); // force odd so the binary path is taken
+            if m.is_one() {
+                continue;
+            }
+            let a = Ubig::random_below(&mut rng, &m);
+            let via_euclid = {
+                let (g, x, _) = egcd(&a, &m);
+                g.is_one().then(|| x.rem_euclid(&m))
+            };
+            assert_eq!(a.modinv(&m), via_euclid);
+            if let Some(inv) = a.modinv(&m) {
+                assert_eq!((&a * &inv) % &m, Ubig::one());
+                assert!(inv < m);
+            }
+        }
+    }
+
+    #[test]
+    fn modinv_odd_not_coprime() {
+        // 3 divides both: the binary path must report no inverse.
+        assert_eq!(Ubig::from(6u64).modinv(&Ubig::from(21u64)), None);
+        assert_eq!(Ubig::from(0u64).modinv(&Ubig::from(21u64)), None);
+        assert_eq!(Ubig::from(21u64).modinv(&Ubig::from(21u64)), None);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Property-based tests for `sdns-bigint` ring axioms and codecs.
+//! Property-based tests for `sdns-bigint` ring axioms, codecs, and the
+//! cached modular-arithmetic context.
 
 use proptest::prelude::*;
-use sdns_bigint::{egcd, Ibig, Ubig};
+use sdns_bigint::{egcd, Ibig, ModCtx, Ubig};
 
 fn arb_ubig() -> impl Strategy<Value = Ubig> {
     proptest::collection::vec(any::<u8>(), 0..40).prop_map(|bytes| Ubig::from_bytes_be(&bytes))
@@ -9,6 +10,12 @@ fn arb_ubig() -> impl Strategy<Value = Ubig> {
 
 fn arb_ubig_nonzero() -> impl Strategy<Value = Ubig> {
     arb_ubig().prop_map(|v| if v.is_zero() { Ubig::one() } else { v })
+}
+
+/// Wider values (up to 640 bits) so the multi-limb Montgomery paths
+/// (CIOS rounds, the squaring ladder, window decomposition) are hit.
+fn arb_ubig_wide() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u8>(), 0..80).prop_map(|bytes| Ubig::from_bytes_be(&bytes))
 }
 
 proptest! {
@@ -92,6 +99,41 @@ proptest! {
             }
             None => prop_assert!(!a.gcd(&m).is_one()),
         }
+    }
+
+    #[test]
+    fn pow2_matches_separate_modpows(
+        a in arb_ubig_wide(), e1 in arb_ubig(),
+        b in arb_ubig_wide(), e2 in arb_ubig(),
+        m in arb_ubig_nonzero(),
+    ) {
+        let ctx = ModCtx::new(&m);
+        let expected = (a.modpow(&e1, &m) * b.modpow(&e2, &m)) % &m;
+        prop_assert_eq!(ctx.pow2(&a, &e1, &b, &e2), expected);
+    }
+
+    #[test]
+    fn cached_ctx_matches_cold_modpow(
+        base in arb_ubig_wide(), e in arb_ubig(), m in arb_ubig_nonzero(),
+    ) {
+        // One context reused across calls must be byte-identical to a
+        // cold modpow per call — including exp = 0 and base ≥ m.
+        let ctx = ModCtx::new(&m);
+        prop_assert_eq!(ctx.pow(&base, &e), base.modpow(&e, &m));
+        prop_assert_eq!(ctx.pow(&base, &Ubig::zero()), base.modpow(&Ubig::zero(), &m));
+        let big_base = &base + &m;
+        prop_assert_eq!(ctx.pow(&big_base, &e), big_base.modpow(&e, &m));
+    }
+
+    #[test]
+    fn ctx_even_modulus_matches_modpow(
+        base in arb_ubig_wide(), e in arb_ubig(), m in arb_ubig_nonzero(),
+    ) {
+        // Even moduli take the non-Montgomery fallback path.
+        let m = &m << 1;
+        let ctx = ModCtx::new(&m);
+        prop_assert_eq!(ctx.pow(&base, &e), base.modpow(&e, &m));
+        prop_assert_eq!(ctx.mul(&base, &e), base.modmul(&e, &m));
     }
 
     #[test]

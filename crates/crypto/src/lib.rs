@@ -44,3 +44,15 @@ pub use hmac::{hmac_sha1, hmac_sha256, mac_eq};
 pub use pkcs1::HashAlg;
 pub use sha1::{Sha1, SHA1_LEN};
 pub use sha256::{Sha256, SHA256_LEN};
+
+/// Number of hardware threads available to this process (cached).
+///
+/// The batch verification and assembly paths fan work out onto scoped
+/// threads only when this exceeds 1: on a single-core host the spawn
+/// cost (~100µs per thread) dwarfs the per-task arithmetic and the
+/// serial path is strictly faster.
+pub(crate) fn parallelism() -> usize {
+    use std::sync::OnceLock;
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}

@@ -367,15 +367,40 @@ impl SigningSession {
         }
         enumerate(&older, quorum - 1, 0, &mut combo, &mut candidates);
 
-        for subset in candidates {
+        // Candidate subsets are independent, so when a corrupted share has
+        // forced more than one they are attempted on scoped threads. The
+        // signature is unique, so which attempt succeeds first in wall
+        // clock does not matter; results are consumed in enumeration
+        // order. Virtual-time accounting still models the paper's serial
+        // trial-and-error: work is charged for the attempts up to and
+        // including the first success, exactly as the sequential loop did.
+        let evaluate = |subset: &Vec<usize>| -> Option<Ubig> {
             let mut attempt: Vec<SignatureShare> =
                 subset.iter().map(|&i| self.shares[i].clone()).collect();
             attempt.push(self.shares[newest].clone());
+            self.pk.assemble(&self.x, &attempt).ok()
+        };
+        let mut results: Vec<Option<Ubig>> = if candidates.len() <= 1 || crate::parallelism() == 1 {
+            candidates.iter().map(&evaluate).collect()
+        } else {
+            let mut slots: Vec<Option<Ubig>> = vec![None; candidates.len()];
+            std::thread::scope(|scope| {
+                for (subset, slot) in candidates.iter().zip(slots.iter_mut()) {
+                    let evaluate = &evaluate;
+                    scope.spawn(move || *slot = evaluate(subset));
+                }
+            });
+            slots
+        };
+        let first_ok = results.iter().position(|r| r.is_some());
+        let attempts = first_ok.map_or(candidates.len(), |i| i + 1);
+        for _ in 0..attempts {
             self.work(OpCounts::assemble() + OpCounts::sig_verify(), out);
-            if let Ok(sig) = self.pk.assemble(&self.x, &attempt) {
-                self.complete(sig, false, out);
-                return;
-            }
+        }
+        if let Some(i) = first_ok {
+            let sig = results[i].take().expect("position() found a success");
+            self.complete(sig, false, out);
+            return;
         }
         // Guaranteed to succeed once 2t+1 distinct shares have arrived;
         // until then, keep waiting.

@@ -8,7 +8,9 @@
 
 use crate::pkcs1::{emsa_encode, EncodeError, HashAlg};
 use rand::Rng;
-use sdns_bigint::{gen_prime, Ubig};
+use sdns_bigint::{gen_prime, ModCtx, Ubig};
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// Errors from RSA operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,16 +42,44 @@ impl From<EncodeError> for RsaError {
 }
 
 /// An RSA public key `(n, e)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct RsaPublicKey {
     n: Ubig,
     e: Ubig,
+    /// Lazily-built Montgomery context for `n` — derived data, excluded
+    /// from equality/hashing and skipped by any serializer (it is rebuilt
+    /// on first use after deserialization).
+    ctx: OnceLock<ModCtx>,
+}
+
+// Equality and hashing cover the key material `(n, e)` only; the lazy
+// context cache must not make otherwise-equal keys compare or hash
+// differently.
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+impl Hash for RsaPublicKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.e.hash(state);
+    }
 }
 
 impl RsaPublicKey {
     /// Creates a public key from a modulus and public exponent.
     pub fn new(n: Ubig, e: Ubig) -> Self {
-        RsaPublicKey { n, e }
+        RsaPublicKey { n, e, ctx: OnceLock::new() }
+    }
+
+    /// The cached modular-arithmetic context for `n`, built on first use
+    /// and shared by every verification under this key.
+    pub fn ctx(&self) -> &ModCtx {
+        self.ctx.get_or_init(|| ModCtx::new(&self.n))
     }
 
     /// The modulus.
@@ -88,7 +118,7 @@ impl RsaPublicKey {
             return Err(RsaError::SignatureOutOfRange);
         }
         let em = emsa_encode(message, alg, self.modulus_len())?;
-        let recovered = signature.modpow(&self.e, &self.n);
+        let recovered = self.ctx().pow(signature, &self.e);
         if recovered.to_bytes_be_padded(self.modulus_len()) == em {
             Ok(())
         } else {
@@ -119,6 +149,9 @@ pub struct RsaPrivateKey {
     d_p: Ubig,
     d_q: Ubig,
     q_inv: Ubig,
+    /// Lazily-built contexts for the CRT prime moduli (derived data).
+    ctx_p: OnceLock<ModCtx>,
+    ctx_q: OnceLock<ModCtx>,
 }
 
 impl RsaPrivateKey {
@@ -149,7 +182,17 @@ impl RsaPrivateKey {
         let d_p = &d % &(&p - &Ubig::one());
         let d_q = &d % &(&q - &Ubig::one());
         let q_inv = q.modinv(&p).expect("p, q distinct primes");
-        RsaPrivateKey { public: RsaPublicKey::new(n, e), d, p, q, d_p, d_q, q_inv }
+        RsaPrivateKey {
+            public: RsaPublicKey::new(n, e),
+            d,
+            p,
+            q,
+            d_p,
+            d_q,
+            q_inv,
+            ctx_p: OnceLock::new(),
+            ctx_q: OnceLock::new(),
+        }
     }
 
     /// The corresponding public key.
@@ -164,8 +207,10 @@ impl RsaPrivateKey {
 
     /// Raw RSA private-key operation `x^d mod n` using the CRT.
     pub fn raw_decrypt(&self, x: &Ubig) -> Ubig {
-        let m1 = x.modpow(&self.d_p, &self.p);
-        let m2 = x.modpow(&self.d_q, &self.q);
+        let ctx_p = self.ctx_p.get_or_init(|| ModCtx::new(&self.p));
+        let ctx_q = self.ctx_q.get_or_init(|| ModCtx::new(&self.q));
+        let m1 = ctx_p.pow(x, &self.d_p);
+        let m2 = ctx_q.pow(x, &self.d_q);
         // h = q_inv * (m1 - m2) mod p
         let diff = if m1 >= m2 { &m1 - &m2 } else { &self.p - &((&m2 - &m1) % &self.p) } % &self.p;
         let h = (&self.q_inv * &diff) % &self.p;

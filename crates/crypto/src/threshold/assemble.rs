@@ -67,10 +67,14 @@ impl ThresholdPublicKey {
         }
 
         let modulus = self.modulus();
-        // w = Π x_j^{2·λ_{0,j}} mod N
-        let mut w = Ubig::one();
-        for s in quorum {
-            let lambda = lagrange_at_zero(&self.delta(), s.signer(), &indices);
+        let ctx = self.ctx();
+        let delta = self.delta_ref();
+
+        // Each factor x_j^{2·λ_{0,j}} of w is independent of the others,
+        // so larger quorums compute them on scoped threads when the host
+        // actually has spare cores.
+        let factor = |s: &SignatureShare| -> Result<Ubig, ThresholdError> {
+            let lambda = lagrange_at_zero(delta, s.signer(), &indices);
             let two_lambda_mag = Ubig::two() * lambda.magnitude();
             let base = match lambda.sign() {
                 Sign::Plus => s.value().clone(),
@@ -78,22 +82,44 @@ impl ThresholdPublicKey {
                     s.value().modinv(modulus).ok_or(ThresholdError::NotInvertible)?
                 }
             };
-            w = (w * base.modpow(&two_lambda_mag, modulus)) % modulus;
+            Ok(ctx.pow(&base, &two_lambda_mag))
+        };
+        let factors: Vec<Result<Ubig, ThresholdError>> = if need >= 3 && crate::parallelism() > 1 {
+            let mut out: Vec<Result<Ubig, ThresholdError>> =
+                vec![Err(ThresholdError::InvalidShares); need];
+            std::thread::scope(|scope| {
+                for (s, slot) in quorum.iter().zip(out.iter_mut()) {
+                    let factor = &factor;
+                    scope.spawn(move || *slot = factor(s));
+                }
+            });
+            out
+        } else {
+            quorum.iter().map(&factor).collect()
+        };
+        // w = Π x_j^{2·λ_{0,j}} mod N
+        let mut w = Ubig::one();
+        for f in factors {
+            w = ctx.mul(&w, &f?);
         }
 
         // w^e = x^{4Δ²}; with a·4Δ² + b·e = 1, y = w^a · x^b satisfies y^e = x.
-        let delta = self.delta();
-        let e_prime = Ubig::from(4u64) * &delta * &delta;
+        let e_prime = Ubig::from(4u64) * delta * delta;
         let (g, a, b) = egcd(&e_prime, self.exponent());
         debug_assert!(g.is_one(), "gcd(4Δ², e) = 1 since e is prime > n");
-        let pow_signed = |base: &Ubig, exp: &Ibig| -> Result<Ubig, ThresholdError> {
-            let b = match exp.sign() {
-                Sign::Plus => base.clone(),
-                Sign::Minus => base.modinv(modulus).ok_or(ThresholdError::NotInvertible)?,
-            };
-            Ok(b.modpow(exp.magnitude(), modulus))
+        let signed_base = |base: &Ubig, exp: &Ibig| -> Result<Ubig, ThresholdError> {
+            match exp.sign() {
+                Sign::Plus => Ok(base.clone()),
+                Sign::Minus => base.modinv(modulus).ok_or(ThresholdError::NotInvertible),
+            }
         };
-        let y = (pow_signed(&w, &a)? * pow_signed(&(x % modulus), &b)?) % modulus;
+        // y = w^±a · x^±b as one simultaneous double exponentiation.
+        let y = ctx.pow2(
+            &signed_base(&w, &a)?,
+            a.magnitude(),
+            &signed_base(&(x % modulus), &b)?,
+            b.magnitude(),
+        );
         Ok(y)
     }
 }

@@ -7,7 +7,8 @@
 
 use super::{factorial, KeyShare, ThresholdPublicKey};
 use rand::Rng;
-use sdns_bigint::{gen_safe_prime, Ubig};
+use sdns_bigint::{gen_safe_prime, ModCtx, Ubig};
+use std::sync::OnceLock;
 
 /// Generates `(n, t)` threshold RSA keys.
 ///
@@ -68,16 +69,21 @@ impl Dealer {
             .map(|i| KeyShare::new(i, eval_poly(&coefficients, i, &m)))
             .collect();
 
+        // The dealer performs n + 1 exponentiations under the freshly
+        // generated modulus; build its context once and hand it to the
+        // public key pre-seeded.
+        let ctx = ModCtx::new(&modulus);
         // Verification base: a random square (generates Q_N w.h.p.).
         let v = loop {
             let u = Ubig::random_below(rng, &modulus);
             if u.gcd(&modulus).is_one() && !u.is_zero() {
-                break u.modpow(&Ubig::two(), &modulus);
+                break ctx.pow(&u, &Ubig::two());
             }
         };
-        let verification_keys =
-            shares.iter().map(|s| v.modpow(s.secret(), &modulus)).collect();
+        let verification_keys = shares.iter().map(|s| ctx.pow(&v, s.secret())).collect();
 
+        let ctx_cell = OnceLock::new();
+        ctx_cell.set(ctx).expect("freshly created cell");
         let pk = ThresholdPublicKey {
             n_parties: n,
             threshold: t,
@@ -85,6 +91,9 @@ impl Dealer {
             exponent: e,
             v,
             verification_keys,
+            ctx: ctx_cell,
+            delta: OnceLock::new(),
+            four_delta: OnceLock::new(),
         };
         debug_assert!(factorial(n) > Ubig::zero());
         (pk, shares)

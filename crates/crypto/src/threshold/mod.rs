@@ -47,7 +47,8 @@ mod share;
 pub use dealer::Dealer;
 pub use share::{KeyShare, ShareProof, SignatureShare};
 
-use sdns_bigint::Ubig;
+use sdns_bigint::{ModCtx, Ubig};
+use std::sync::OnceLock;
 
 /// Errors from threshold RSA operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +92,7 @@ impl std::error::Error for ThresholdError {}
 /// Contains everything needed to verify signature shares and to assemble
 /// and verify final signatures; the private key exists only as the `n`
 /// [`KeyShare`]s (and, transiently, inside the [`Dealer`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ThresholdPublicKey {
     /// Total number of servers `n`.
     n_parties: usize,
@@ -105,7 +106,32 @@ pub struct ThresholdPublicKey {
     v: Ubig,
     /// Per-server verification keys `v_i = v^{s_i} mod N` (index `i - 1`).
     verification_keys: Vec<Ubig>,
+    /// Lazily-built Montgomery context for `N`. Derived from `modulus`,
+    /// so it is excluded from equality and must be skipped by any future
+    /// serializer — it is rebuilt on first use after deserialization.
+    ctx: OnceLock<ModCtx>,
+    /// Cached `Δ = n!` (derived from `n_parties`, lazily built).
+    delta: OnceLock<Ubig>,
+    /// Cached `4Δ`, the exponent of `x̃ = x^{4Δ}` used by every proof
+    /// generation and verification.
+    four_delta: OnceLock<Ubig>,
 }
+
+// Equality is over the key material only; the lazily-built caches are
+// derived data and must not influence comparisons (a freshly
+// deserialized key equals a long-used one).
+impl PartialEq for ThresholdPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_parties == other.n_parties
+            && self.threshold == other.threshold
+            && self.modulus == other.modulus
+            && self.exponent == other.exponent
+            && self.v == other.v
+            && self.verification_keys == other.verification_keys
+    }
+}
+
+impl Eq for ThresholdPublicKey {}
 
 impl ThresholdPublicKey {
     /// Reconstructs a public key from its components (for loading from
@@ -131,6 +157,9 @@ impl ThresholdPublicKey {
             exponent,
             v: verification_base,
             verification_keys,
+            ctx: OnceLock::new(),
+            delta: OnceLock::new(),
+            four_delta: OnceLock::new(),
         }
     }
 
@@ -173,14 +202,57 @@ impl ThresholdPublicKey {
         &self.verification_keys[i - 1]
     }
 
+    /// The cached modular-arithmetic context for `N`.
+    ///
+    /// Built on first use and reused by every share signing, proof, and
+    /// assembly under this key, so the Montgomery precomputation for the
+    /// fixed modulus is paid once per key rather than once per
+    /// exponentiation.
+    pub fn ctx(&self) -> &ModCtx {
+        self.ctx.get_or_init(|| ModCtx::new(&self.modulus))
+    }
+
     /// `Δ = n!` as a big integer.
     pub fn delta(&self) -> Ubig {
-        factorial(self.n_parties)
+        self.delta_ref().clone()
+    }
+
+    /// Cached `Δ = n!`.
+    pub(crate) fn delta_ref(&self) -> &Ubig {
+        self.delta.get_or_init(|| factorial(self.n_parties))
+    }
+
+    /// Cached `4Δ`: the exponent of `x̃ = x^{4Δ}` in share proofs.
+    pub(crate) fn four_delta(&self) -> &Ubig {
+        self.four_delta.get_or_init(|| Ubig::from(4u64) * self.delta_ref())
     }
 
     /// Verifies a final assembled signature: `sig^e == x (mod N)`.
     pub fn verify(&self, x: &Ubig, sig: &Ubig) -> bool {
-        sig.modpow(&self.exponent, &self.modulus) == (x % &self.modulus)
+        let ctx = self.ctx();
+        ctx.pow(sig, &self.exponent) == ctx.reduce(x)
+    }
+
+    /// Verifies the correctness proofs of many shares on the same message
+    /// representative `x`, in parallel.
+    ///
+    /// Equivalent to calling [`SignatureShare::verify`] on each share, but
+    /// `x̃ = x^{4Δ}` is computed once for the whole batch and the
+    /// per-share proof checks (two double exponentiations each) run on
+    /// scoped threads. Returns one bool per share, index-aligned.
+    pub fn verify_shares(&self, x: &Ubig, shares: &[SignatureShare]) -> Vec<bool> {
+        let x_tilde = self.ctx().pow(x, self.four_delta());
+        if shares.len() <= 1 || crate::parallelism() == 1 {
+            return shares.iter().map(|s| s.verify_with_x_tilde(&x_tilde, self)).collect();
+        }
+        let mut results = vec![false; shares.len()];
+        std::thread::scope(|scope| {
+            for (share, out) in shares.iter().zip(results.iter_mut()) {
+                let x_tilde = &x_tilde;
+                scope.spawn(move || *out = share.verify_with_x_tilde(x_tilde, self));
+            }
+        });
+        results
     }
 
     /// The corresponding plain RSA public key (for DNSSEC clients).

@@ -68,10 +68,9 @@ pub fn create_dealing<R: Rng + ?Sized>(
     let bound = Ubig::one() << (pk.modulus().bit_len() + SLACK_BITS);
     let coefficients: Vec<Ubig> =
         (0..pk.threshold()).map(|_| Ubig::random_below(rng, &bound)).collect();
-    let commitments = coefficients
-        .iter()
-        .map(|a| pk.verification_base().modpow(a, pk.modulus()))
-        .collect();
+    let ctx = pk.ctx();
+    let commitments =
+        coefficients.iter().map(|a| ctx.pow(pk.verification_base(), a)).collect();
     let points = (1..=pk.parties())
         .map(|j| {
             // g(j) = Σ a_c · j^c, c = 1..=t (integer arithmetic).
@@ -91,12 +90,12 @@ pub fn create_dealing<R: Rng + ?Sized>(
 /// The committed value `v^{g(j)} mod N`, computed publicly from the
 /// dealing's commitments.
 pub fn committed_point(pk: &ThresholdPublicKey, dealing: &RefreshDealing, j: usize) -> Ubig {
-    let modulus = pk.modulus();
+    let ctx = pk.ctx();
     let j_big = Ubig::from(j as u64);
     let mut power = j_big.clone();
     let mut acc = Ubig::one();
     for c in &dealing.commitments {
-        acc = (acc * c.modpow(&power, modulus)) % modulus;
+        acc = ctx.mul(&acc, &ctx.pow(c, &power));
         power = &power * &j_big;
     }
     acc
@@ -113,7 +112,7 @@ pub fn verify_point(
     if dealing.commitments.len() != pk.threshold() {
         return false;
     }
-    pk.verification_base().modpow(point, pk.modulus()) == committed_point(pk, dealing, j)
+    pk.ctx().pow(pk.verification_base(), point) == committed_point(pk, dealing, j)
 }
 
 /// Applies an agreed set of verified dealings to this server's share.

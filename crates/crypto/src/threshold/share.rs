@@ -46,12 +46,8 @@ impl KeyShare {
     /// Computes this server's signature share `x_i = x^{2Δs_i} mod N`
     /// **without** a correctness proof (used by the optimistic protocols).
     pub fn sign(&self, x: &Ubig, pk: &ThresholdPublicKey) -> SignatureShare {
-        let exponent = Ubig::two() * pk.delta() * &self.secret;
-        SignatureShare {
-            signer: self.index,
-            value: x.modpow(&exponent, pk.modulus()),
-            proof: None,
-        }
+        let exponent = Ubig::two() * pk.delta_ref() * &self.secret;
+        SignatureShare { signer: self.index, value: pk.ctx().pow(x, &exponent), proof: None }
     }
 
     /// Computes this server's signature share together with a
@@ -80,15 +76,15 @@ impl KeyShare {
         pk: &ThresholdPublicKey,
         rng: &mut R,
     ) -> ShareProof {
-        let modulus = pk.modulus();
-        let x_tilde = x.modpow(&(Ubig::from(4u64) * pk.delta()), modulus);
-        let x_i_sq = share_value.modpow(&Ubig::two(), modulus);
+        let ctx = pk.ctx();
+        let x_tilde = ctx.pow(x, pk.four_delta());
+        let x_i_sq = ctx.pow(share_value, &Ubig::two());
 
         // r ∈ [0, 2^(|N| + 2·L1))
-        let r_bound = Ubig::one() << (modulus.bit_len() + 2 * CHALLENGE_BITS);
+        let r_bound = Ubig::one() << (pk.modulus().bit_len() + 2 * CHALLENGE_BITS);
         let r = Ubig::random_below(rng, &r_bound);
-        let v_prime = pk.verification_base().modpow(&r, modulus);
-        let x_prime = x_tilde.modpow(&r, modulus);
+        let v_prime = ctx.pow(pk.verification_base(), &r);
+        let x_prime = ctx.pow(&x_tilde, &r);
 
         let c = challenge(
             pk.verification_base(),
@@ -156,26 +152,36 @@ impl SignatureShare {
     /// *expensive* verification (two double exponentiations); the paper's
     /// Table 3 attributes ~47 % of BASIC signing time to it.
     pub fn verify(&self, x: &Ubig, pk: &ThresholdPublicKey) -> bool {
+        let x_tilde = pk.ctx().pow(x, pk.four_delta());
+        self.verify_with_x_tilde(&x_tilde, pk)
+    }
+
+    /// Verifies this share's proof given a precomputed `x̃ = x^{4Δ}`.
+    ///
+    /// The Fiat–Shamir challenge binds the message only through `x̃`, so
+    /// batch verifiers ([`ThresholdPublicKey::verify_shares`]) compute it
+    /// once and share it across every proof on the same message.
+    pub(crate) fn verify_with_x_tilde(&self, x_tilde: &Ubig, pk: &ThresholdPublicKey) -> bool {
         let Some(proof) = &self.proof else { return false };
         if self.signer < 1 || self.signer > pk.parties() {
             return false;
         }
+        let ctx = pk.ctx();
         let modulus = pk.modulus();
-        let x_tilde = x.modpow(&(Ubig::from(4u64) * pk.delta()), modulus);
-        let x_i_sq = self.value.modpow(&Ubig::two(), modulus);
+        let x_i_sq = ctx.pow(&self.value, &Ubig::two());
         let v_i = pk.verification_key(self.signer);
 
-        // v' = v^z · v_i^{-c},  x' = x̃^z · x_i^{-2c}
-        let Some(v_i_inv) = v_i.modinv(modulus) else { return false };
-        let Some(x_i_inv) = self.value.modinv(modulus) else { return false };
-        let v_prime = (pk.verification_base().modpow(&proof.z, modulus)
-            * v_i_inv.modpow(&proof.c, modulus))
-            % modulus;
-        let x_prime = (x_tilde.modpow(&proof.z, modulus)
-            * x_i_inv.modpow(&(Ubig::two() * &proof.c), modulus))
-            % modulus;
+        // v' = v^z · v_i^{-c},  x' = x̃^z · x_i^{-2c}, each as one
+        // simultaneous double exponentiation. The two inverses come from
+        // a single extended GCD on the product: (v_i·x_i)⁻¹·x_i = v_i⁻¹
+        // and (v_i·x_i)⁻¹·v_i = x_i⁻¹.
+        let Some(inv_prod) = ctx.mul(v_i, &self.value).modinv(modulus) else { return false };
+        let v_i_inv = ctx.mul(&inv_prod, &self.value);
+        let x_i_inv = ctx.mul(&inv_prod, v_i);
+        let v_prime = ctx.pow2(pk.verification_base(), &proof.z, &v_i_inv, &proof.c);
+        let x_prime = ctx.pow2(x_tilde, &proof.z, &x_i_inv, &(Ubig::two() * &proof.c));
 
-        challenge(pk.verification_base(), &x_tilde, v_i, &x_i_sq, &v_prime, &x_prime) == proof.c
+        challenge(pk.verification_base(), x_tilde, v_i, &x_i_sq, &v_prime, &x_prime) == proof.c
     }
 
     /// Returns a copy of this share with all bits of the share value

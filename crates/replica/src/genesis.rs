@@ -15,6 +15,7 @@ use sdns_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sdns_crypto::threshold::{Dealer, ThresholdPublicKey};
 use sdns_dns::sign::{
     install_signature, key_data, key_tag, plan_zone_signing, zone_key_record, LocalSigner, SigMeta,
+    SigTask,
 };
 use sdns_dns::tsig::TsigKeyring;
 use sdns_dns::Zone;
@@ -142,15 +143,43 @@ pub fn deploy<R: Rng + ?Sized>(
             sig_meta.key_tag = key_tag(&kd);
             zone.insert(zone_key_record(&origin, &rsa_pk, 3600));
             // Dealer-side genesis signing: assemble each SIG from a quorum
-            // of shares (the dealer transiently holds them all).
-            for task in plan_zone_signing(&mut zone, &sig_meta) {
+            // of shares (the dealer transiently holds them all). Each
+            // record set signs independently, so the exponentiation-heavy
+            // part fans out across the host's cores; signatures are
+            // installed serially afterwards because installation mutates
+            // the zone.
+            let tasks = plan_zone_signing(&mut zone, &sig_meta);
+            let sign_task = |task: &SigTask| -> Vec<u8> {
                 let x = rsa_pk
                     .message_representative(&task.data, HashAlg::Sha1)
                     .expect("modulus large enough");
                 let quorum: Vec<_> =
                     shares.iter().take(pk.quorum()).map(|s| s.sign(&x, &pk)).collect();
                 let sig = pk.assemble(&x, &quorum).expect("honest dealer shares");
-                install_signature(&mut zone, &task, sig.to_bytes_be_padded(rsa_pk.modulus_len()));
+                sig.to_bytes_be_padded(rsa_pk.modulus_len())
+            };
+            let workers = std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(tasks.len());
+            let signatures: Vec<Vec<u8>> = if workers > 1 {
+                let mut out = vec![Vec::new(); tasks.len()];
+                let chunk = tasks.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (task_chunk, out_chunk) in tasks.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                        let sign_task = &sign_task;
+                        scope.spawn(move || {
+                            for (task, slot) in task_chunk.iter().zip(out_chunk.iter_mut()) {
+                                *slot = sign_task(task);
+                            }
+                        });
+                    }
+                });
+                out
+            } else {
+                tasks.iter().map(&sign_task).collect()
+            };
+            for (task, sig) in tasks.iter().zip(signatures) {
+                install_signature(&mut zone, task, sig);
             }
             let signers = shares
                 .into_iter()
