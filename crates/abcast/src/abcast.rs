@@ -103,6 +103,14 @@ impl<C: Coin + Clone> AtomicBroadcast<C> {
         self.pending.len()
     }
 
+    /// Number of rounds currently open (ACS instances held in memory).
+    /// Bounded by `ROUND_WINDOW + 1` no matter what peers send: rounds
+    /// below the delivery frontier or beyond the window are discarded
+    /// before any state is allocated for them.
+    pub fn open_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
     /// The lowest round not yet delivered.
     pub fn current_round(&self) -> u64 {
         self.next_deliver_round
@@ -474,6 +482,42 @@ mod tests {
         let (_, deliveries) = ab.submit(b"again".to_vec());
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].round, 1);
+    }
+
+    #[test]
+    fn round_flooding_is_bounded_and_harmless() {
+        // A flooding replica sprays ACS-init messages across every round
+        // it can name: nearby rounds it may open (bounded by the window),
+        // far-future rounds must be dropped without allocating anything.
+        // The honest group still delivers the real payload.
+        for seed in 0..3 {
+            let mut net = Net::new(4, 1, &[3], seed);
+            net.submit(0, b"real-request");
+            let junk = |round| AbcMsg::Acs {
+                round,
+                inner: AcsMsg::Rbc { proposer: 3, inner: crate::rbc::RbcMsg::Init(b"junk".to_vec()) },
+            };
+            for to in 0..3 {
+                for round in 1..6 {
+                    net.queue.push_back((3, to, junk(round)));
+                }
+                for offset in 0..1_000 {
+                    net.queue.push_back((3, to, junk(ROUND_WINDOW + 1 + offset)));
+                }
+            }
+            net.run();
+            for i in 0..3 {
+                let open = net.nodes[i].open_rounds();
+                assert!(
+                    open <= ROUND_WINDOW as usize + 1,
+                    "seed {seed}: replica {i} holds {open} open rounds"
+                );
+                assert_eq!(net.nodes[i].pending_len(), 0, "seed {seed}: replica {i} stuck");
+            }
+            net.assert_total_order();
+            assert_eq!(net.delivered[0].len(), 1, "seed {seed}: flooding stalled delivery");
+            assert_eq!(net.delivered[0][0].payload.data, b"real-request");
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn bench_table3_phases(c: &mut Criterion) {
 fn key_10_3() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
     static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
     KEY.get_or_init(|| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x10_3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x103);
         Dealer::deal(KEY_BITS, 10, 3, &mut rng)
     })
 }

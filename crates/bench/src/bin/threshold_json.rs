@@ -85,7 +85,7 @@ fn main() {
     eprintln!("dealing {KEY_BITS}-bit (4,1) and (10,3) keys (safe primes; takes a moment)...");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
     let (pk4, shares4) = Dealer::deal(KEY_BITS, 4, 1, &mut rng);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x10_3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x103);
     let (pk10, shares10) = Dealer::deal(KEY_BITS, 10, 3, &mut rng);
 
     let mut rows = Vec::new();

@@ -177,11 +177,11 @@ fn limbs_add(x: &mut Vec<u64>, y: &[u64]) {
         x.resize(y.len(), 0);
     }
     let mut carry = 0u64;
-    for i in 0..x.len() {
+    for (i, xi) in x.iter_mut().enumerate() {
         let yi = y.get(i).copied().unwrap_or(0);
-        let (s, c1) = x[i].overflowing_add(yi);
+        let (s, c1) = xi.overflowing_add(yi);
         let (s, c2) = s.overflowing_add(carry);
-        x[i] = s;
+        *xi = s;
         carry = u64::from(c1 | c2);
     }
     if carry != 0 {
@@ -192,11 +192,11 @@ fn limbs_add(x: &mut Vec<u64>, y: &[u64]) {
 /// In-place `x -= y`; requires `x >= y`. Keeps the vector normalized.
 fn limbs_sub(x: &mut Vec<u64>, y: &[u64]) {
     let mut borrow = 0u64;
-    for i in 0..x.len() {
+    for (i, xi) in x.iter_mut().enumerate() {
         let yi = y.get(i).copied().unwrap_or(0);
-        let (d, b1) = x[i].overflowing_sub(yi);
+        let (d, b1) = xi.overflowing_sub(yi);
         let (d, b2) = d.overflowing_sub(borrow);
-        x[i] = d;
+        *xi = d;
         borrow = u64::from(b1 | b2);
     }
     debug_assert_eq!(borrow, 0, "limbs_sub underflow");
@@ -339,7 +339,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xB14);
         for _ in 0..40 {
-            let bits = 64 + rng.gen_range(0..512);
+            let bits = 64 + rng.gen_range(0..512usize);
             let mut m = Ubig::random_bits(&mut rng, bits);
             m = m | Ubig::one(); // force odd so the binary path is taken
             if m.is_one() {

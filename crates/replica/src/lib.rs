@@ -34,6 +34,7 @@ mod envelope;
 pub mod genesis;
 pub mod keyfile;
 mod messages;
+pub mod reliable;
 pub mod snapshot;
 mod replica;
 pub mod tcp;
@@ -42,4 +43,5 @@ pub use config::{Corruption, CostModel, ServiceMode, ZoneSecurity};
 pub use envelope::Envelope;
 pub use genesis::{deploy, example_zone, Deployment};
 pub use messages::ReplicaMsg;
+pub use reliable::{LinkLayer, RetransmitCfg};
 pub use replica::{answer_query, NodeId, Replica, ReplicaAction, ReplicaEvent, ReplicaSetup, ReplicaSigner};

@@ -42,13 +42,36 @@ pub enum ReplicaMsg {
         /// The snapshot bytes (see `ReplicaSnapshot`).
         snapshot: Vec<u8>,
     },
+    /// Reliable-link sublayer: a sequenced frame carrying a protocol
+    /// message, retransmitted until acked (see `reliable`).
+    Seq {
+        /// The sender's incarnation (strictly increases across restarts).
+        epoch: u64,
+        /// Per-(sender, receiver, epoch) sequence number.
+        seq: u64,
+        /// The wrapped message. Never itself `Seq` or `LinkAck`.
+        inner: Box<ReplicaMsg>,
+    },
+    /// Reliable-link sublayer: positive acknowledgement of `Seq` frames.
+    LinkAck {
+        /// The sender epoch the acked seqs belong to.
+        epoch: u64,
+        /// The acknowledged sequence numbers.
+        seqs: Vec<u64>,
+    },
 }
 
 impl ReplicaMsg {
     /// Whether this is inter-replica protocol traffic (as opposed to
     /// client-facing traffic).
     pub fn is_protocol(&self) -> bool {
-        matches!(self, ReplicaMsg::Abcast(_) | ReplicaMsg::Signing { .. })
+        matches!(
+            self,
+            ReplicaMsg::Abcast(_)
+                | ReplicaMsg::Signing { .. }
+                | ReplicaMsg::Seq { .. }
+                | ReplicaMsg::LinkAck { .. }
+        )
     }
 }
 

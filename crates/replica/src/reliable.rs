@@ -1,0 +1,295 @@
+//! Reliable point-to-point links: positive acks plus retransmission.
+//!
+//! The paper assumes *authenticated reliable links* between replicas —
+//! every protocol message eventually arrives. Real networks drop,
+//! duplicate and reorder, so this sublayer supplies the assumption: each
+//! inter-replica protocol message is wrapped in a sequenced frame, the
+//! receiver acks every frame it sees, and the sender re-sends unacked
+//! frames on a tick-driven schedule with exponential backoff.
+//!
+//! The layer is sans-IO like the replica itself: the host injects
+//! [`crate::ReplicaMsg::Tick`] (a simulator timer or a wall-clock ticker
+//! thread) and the layer turns ticks into resend actions. Epochs make
+//! the scheme survive crash-recovery: a restarting sender picks a fresh,
+//! larger epoch, and receivers discard the dedup state of older epochs —
+//! so a recovered replica's seq numbers restart at zero without being
+//! mistaken for duplicates.
+//!
+//! Duplicate *delivery* suppression is per-(epoch, seq): the receiver
+//! tracks a floor below which everything was delivered plus a sparse set
+//! above it, so memory stays proportional to reordering, not to traffic.
+
+use crate::messages::ReplicaMsg;
+use crate::replica::NodeId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Retransmission tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RetransmitCfg {
+    /// Per-peer cap on unacked frames held for resend. When full, the
+    /// oldest frame is evicted (giving up on it); protocols above are
+    /// built for lossy links, so this only bounds memory, it does not
+    /// affect safety.
+    pub max_unacked: usize,
+    /// Backoff ceiling, in ticks: resend intervals double from 1 tick up
+    /// to this value and then stay there.
+    pub backoff_cap: u32,
+}
+
+impl Default for RetransmitCfg {
+    fn default() -> Self {
+        RetransmitCfg { max_unacked: 1024, backoff_cap: 8 }
+    }
+}
+
+/// An unacked frame awaiting (re)transmission.
+#[derive(Debug)]
+struct Pending {
+    /// The full sequenced frame, ready to resend verbatim.
+    frame: ReplicaMsg,
+    /// Ticks until the next resend.
+    ticks_until: u32,
+    /// Current resend interval (doubles up to the cap).
+    interval: u32,
+}
+
+/// Per-peer sender state.
+#[derive(Debug, Default)]
+struct TxPeer {
+    next_seq: u64,
+    unacked: BTreeMap<u64, Pending>,
+}
+
+/// Per-peer receiver state.
+#[derive(Debug)]
+struct RxPeer {
+    /// The sender incarnation this state belongs to.
+    epoch: u64,
+    /// Every seq below this was delivered.
+    floor: u64,
+    /// Delivered seqs at or above the floor (sparse, from reordering).
+    seen: BTreeSet<u64>,
+}
+
+impl RxPeer {
+    fn new(epoch: u64) -> Self {
+        RxPeer { epoch, floor: 0, seen: BTreeSet::new() }
+    }
+
+    /// Records a frame; returns whether it is new (deliver) or a dup.
+    fn accept(&mut self, seq: u64) -> bool {
+        if seq < self.floor || !self.seen.insert(seq) {
+            return false;
+        }
+        while self.seen.remove(&self.floor) {
+            self.floor += 1;
+        }
+        true
+    }
+}
+
+/// The reliable-link sublayer of one replica.
+#[derive(Debug)]
+pub struct LinkLayer {
+    /// This sender incarnation. Must strictly increase across restarts
+    /// of the same replica (e.g. a restart counter or a coarse clock);
+    /// receivers treat larger epochs as newer.
+    epoch: u64,
+    cfg: RetransmitCfg,
+    tx: HashMap<NodeId, TxPeer>,
+    rx: HashMap<NodeId, RxPeer>,
+}
+
+impl LinkLayer {
+    /// Creates the layer for a sender incarnation `epoch`.
+    pub fn new(epoch: u64, cfg: RetransmitCfg) -> Self {
+        LinkLayer { epoch, cfg, tx: HashMap::new(), rx: HashMap::new() }
+    }
+
+    /// This sender's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total unacked frames across all peers (diagnostics / tests).
+    pub fn unacked_total(&self) -> usize {
+        self.tx.values().map(|p| p.unacked.len()).sum()
+    }
+
+    /// Wraps an outgoing message in a sequenced frame and remembers it
+    /// for retransmission until acked.
+    pub fn wrap(&mut self, to: NodeId, msg: ReplicaMsg) -> ReplicaMsg {
+        let peer = self.tx.entry(to).or_default();
+        let seq = peer.next_seq;
+        peer.next_seq += 1;
+        let frame = ReplicaMsg::Seq { epoch: self.epoch, seq, inner: Box::new(msg) };
+        if peer.unacked.len() >= self.cfg.max_unacked {
+            peer.unacked.pop_first();
+        }
+        peer.unacked.insert(
+            seq,
+            Pending { frame: frame.clone(), ticks_until: 1, interval: 1 },
+        );
+        frame
+    }
+
+    /// Handles an incoming sequenced frame header. Returns the ack to
+    /// send back (if any) and whether the payload should be delivered
+    /// up the stack (false for duplicates and stale epochs).
+    pub fn on_seq(&mut self, from: NodeId, epoch: u64, seq: u64) -> (Option<ReplicaMsg>, bool) {
+        let peer = self.rx.entry(from).or_insert_with(|| RxPeer::new(epoch));
+        if epoch < peer.epoch {
+            // A frame from a dead incarnation of the sender: the sender
+            // that could act on an ack no longer exists.
+            return (None, false);
+        }
+        if epoch > peer.epoch {
+            *peer = RxPeer::new(epoch);
+        }
+        let deliver = peer.accept(seq);
+        // Ack duplicates too: a dup means our previous ack was lost.
+        (Some(ReplicaMsg::LinkAck { epoch, seqs: vec![seq] }), deliver)
+    }
+
+    /// Handles an ack from a peer.
+    pub fn on_ack(&mut self, from: NodeId, epoch: u64, seqs: &[u64]) {
+        if epoch != self.epoch {
+            return; // ack for a previous incarnation of us
+        }
+        if let Some(peer) = self.tx.get_mut(&from) {
+            for seq in seqs {
+                peer.unacked.remove(seq);
+            }
+        }
+    }
+
+    /// Advances the resend schedule by one tick, returning the frames
+    /// due for retransmission.
+    pub fn on_tick(&mut self) -> Vec<(NodeId, ReplicaMsg)> {
+        let mut resends = Vec::new();
+        let mut peers: Vec<_> = self.tx.iter_mut().collect();
+        peers.sort_by_key(|(to, _)| **to); // deterministic order
+        for (&to, peer) in peers {
+            for pending in peer.unacked.values_mut() {
+                pending.ticks_until -= 1;
+                if pending.ticks_until == 0 {
+                    pending.interval = (pending.interval * 2).min(self.cfg.backoff_cap);
+                    pending.ticks_until = pending.interval;
+                    resends.push((to, pending.frame.clone()));
+                }
+            }
+        }
+        resends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: u64) -> ReplicaMsg {
+        ReplicaMsg::Signing {
+            session: n,
+            inner: sdns_crypto::protocol::SigMessage::ProofRequest,
+        }
+    }
+
+    fn seq_of(frame: &ReplicaMsg) -> (u64, u64) {
+        match frame {
+            ReplicaMsg::Seq { epoch, seq, .. } => (*epoch, *seq),
+            other => panic!("not a Seq frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrap_assigns_increasing_seqs_per_peer() {
+        let mut link = LinkLayer::new(7, RetransmitCfg::default());
+        assert_eq!(seq_of(&link.wrap(1, payload(0))), (7, 0));
+        assert_eq!(seq_of(&link.wrap(1, payload(1))), (7, 1));
+        assert_eq!(seq_of(&link.wrap(2, payload(2))), (7, 0));
+        assert_eq!(link.unacked_total(), 3);
+    }
+
+    #[test]
+    fn ack_clears_pending_and_stops_resends() {
+        let mut link = LinkLayer::new(1, RetransmitCfg::default());
+        link.wrap(1, payload(0));
+        link.on_ack(1, 1, &[0]);
+        assert_eq!(link.unacked_total(), 0);
+        assert!(link.on_tick().is_empty());
+        // Acks for a different epoch are ignored.
+        link.wrap(1, payload(1));
+        link.on_ack(1, 99, &[1]);
+        assert_eq!(link.unacked_total(), 1);
+    }
+
+    #[test]
+    fn resends_back_off_exponentially_to_the_cap() {
+        let cfg = RetransmitCfg { max_unacked: 16, backoff_cap: 4 };
+        let mut link = LinkLayer::new(1, cfg);
+        link.wrap(1, payload(0));
+        // Intervals after each resend: 2, 4, 4, 4 ... (cap 4).
+        let mut gaps = Vec::new();
+        let mut since_last = 0;
+        for _ in 0..16 {
+            since_last += 1;
+            if !link.on_tick().is_empty() {
+                gaps.push(since_last);
+                since_last = 0;
+            }
+        }
+        assert_eq!(gaps, vec![1, 2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn receiver_dedups_and_acks_everything() {
+        let mut link = LinkLayer::new(1, RetransmitCfg::default());
+        let (ack, deliver) = link.on_seq(0, 5, 0);
+        assert!(deliver);
+        assert_eq!(ack, Some(ReplicaMsg::LinkAck { epoch: 5, seqs: vec![0] }));
+        // Duplicate: acked again, not delivered again.
+        let (ack, deliver) = link.on_seq(0, 5, 0);
+        assert!(!deliver);
+        assert!(ack.is_some());
+        // Out of order is fine.
+        assert!(link.on_seq(0, 5, 2).1);
+        assert!(link.on_seq(0, 5, 1).1);
+        assert!(!link.on_seq(0, 5, 1).1);
+    }
+
+    #[test]
+    fn floor_compaction_keeps_seen_sparse() {
+        let mut link = LinkLayer::new(1, RetransmitCfg::default());
+        for seq in 0..1000 {
+            assert!(link.on_seq(0, 5, seq).1);
+        }
+        let peer = link.rx.get(&0).unwrap();
+        assert_eq!(peer.floor, 1000);
+        assert!(peer.seen.is_empty());
+    }
+
+    #[test]
+    fn newer_epoch_resets_receiver_state() {
+        let mut link = LinkLayer::new(1, RetransmitCfg::default());
+        assert!(link.on_seq(0, 5, 0).1);
+        // The peer restarted with a larger epoch: seq 0 is new again.
+        assert!(link.on_seq(0, 6, 0).1);
+        // Frames from the dead incarnation are dropped without an ack.
+        let (ack, deliver) = link.on_seq(0, 5, 1);
+        assert!(ack.is_none());
+        assert!(!deliver);
+    }
+
+    #[test]
+    fn unacked_buffer_is_bounded() {
+        let cfg = RetransmitCfg { max_unacked: 8, backoff_cap: 8 };
+        let mut link = LinkLayer::new(1, cfg);
+        for n in 0..100 {
+            link.wrap(1, payload(n));
+        }
+        assert_eq!(link.unacked_total(), 8);
+        // The survivors are the newest frames.
+        let peer = link.tx.get(&1).unwrap();
+        assert_eq!(*peer.unacked.keys().next().unwrap(), 92);
+    }
+}

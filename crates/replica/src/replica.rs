@@ -78,6 +78,10 @@ pub enum ReplicaEvent {
 }
 
 /// The signing capability of the zone at this replica.
+///
+/// One instance per replica, so the size spread between the unsigned
+/// and threshold variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Signer {
     /// Unsigned zone.
@@ -152,6 +156,9 @@ pub struct Replica {
     recovering: Option<crate::snapshot::SnapshotQuorum>,
     /// State requests deferred until the pipeline is idle.
     pending_state_requests: Vec<NodeId>,
+    /// Reliable-link sublayer (ack + retransmission); `None` means the
+    /// host provides reliable links itself (the default).
+    link: Option<crate::reliable::LinkLayer>,
     rng: StdRng,
 }
 
@@ -202,8 +209,25 @@ impl Replica {
             update_counter: 0,
             recovering: None,
             pending_state_requests: Vec::new(),
+            link: None,
             rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ me as u64),
         }
+    }
+
+    /// Turns on the reliable-link sublayer: inter-replica protocol
+    /// messages are wrapped in sequenced frames, acked by receivers,
+    /// and re-sent on every [`ReplicaMsg::Tick`] the host injects until
+    /// acknowledged (exponential backoff per frame). `epoch` must
+    /// strictly increase across restarts of this replica (a restart
+    /// counter or coarse clock) so receivers can discard stale dedup
+    /// state from previous incarnations.
+    pub fn enable_retransmission(&mut self, epoch: u64, cfg: crate::reliable::RetransmitCfg) {
+        self.link = Some(crate::reliable::LinkLayer::new(epoch, cfg));
+    }
+
+    /// Whether the reliable-link sublayer is on.
+    pub fn retransmission_enabled(&self) -> bool {
+        self.link.is_some()
     }
 
     /// This replica's index.
@@ -239,10 +263,12 @@ impl Replica {
     /// answer with byte-identical snapshots.
     pub fn begin_recovery(&mut self) -> Vec<ReplicaAction> {
         self.recovering = Some(crate::snapshot::SnapshotQuorum::new());
-        (0..self.group.n())
+        let mut out: Vec<ReplicaAction> = (0..self.group.n())
             .filter(|&to| to != self.me)
             .map(|to| ReplicaAction::Send { to, msg: ReplicaMsg::StateRequest })
-            .collect()
+            .collect();
+        self.wrap_outgoing(&mut out);
+        out
     }
 
     /// Whether this replica is mid-recovery.
@@ -310,6 +336,50 @@ impl Replica {
         if self.corruption == Corruption::Mute {
             return out;
         }
+        // Reliable-link sublayer: runs below recovery and the protocols,
+        // so acks and resends flow even while this replica recovers.
+        let msg = match msg {
+            ReplicaMsg::Seq { epoch, seq, inner } => {
+                if from >= self.group.n() {
+                    return out; // clients cannot speak the link protocol
+                }
+                let Some(link) = &mut self.link else {
+                    return out; // sublayer off: sequenced frames unexpected
+                };
+                let (ack, deliver) = link.on_seq(from, epoch, seq);
+                if let Some(ack) = ack {
+                    out.push(ReplicaAction::Send { to: from, msg: ack });
+                }
+                if !deliver {
+                    return out;
+                }
+                match *inner {
+                    // Frames never nest transport frames; drop Byzantine
+                    // attempts to smuggle them through.
+                    ReplicaMsg::Seq { .. } | ReplicaMsg::LinkAck { .. } => return out,
+                    m => m,
+                }
+            }
+            ReplicaMsg::LinkAck { epoch, seqs } => {
+                if from < self.group.n() {
+                    if let Some(link) = &mut self.link {
+                        link.on_ack(from, epoch, &seqs);
+                    }
+                }
+                return out;
+            }
+            ReplicaMsg::Tick => {
+                // With the sublayer on, ticks drive the resend schedule;
+                // otherwise they remain a harness signal replicas ignore.
+                if let Some(link) = &mut self.link {
+                    for (to, m) in link.on_tick() {
+                        out.push(ReplicaAction::Send { to, msg: m });
+                    }
+                }
+                return out;
+            }
+            m => m,
+        };
         if self.recovering.is_some() {
             // Mid-recovery: only state responses matter; everything else
             // refers to state we are about to adopt wholesale.
@@ -318,6 +388,7 @@ impl Replica {
                     self.on_state_response(from, snapshot, &mut out);
                 }
             }
+            self.wrap_outgoing(&mut out);
             return out;
         }
         match msg {
@@ -352,12 +423,39 @@ impl Replica {
             ReplicaMsg::StateResponse { .. } => {
                 // Not recovering: a stale response; ignore.
             }
-            ReplicaMsg::ClientResponse { .. } | ReplicaMsg::Tick => {
-                // Replicas never receive responses or pacing ticks; ignore.
+            ReplicaMsg::ClientResponse { .. }
+            | ReplicaMsg::Tick
+            | ReplicaMsg::Seq { .. }
+            | ReplicaMsg::LinkAck { .. } => {
+                // Responses never target replicas; transport frames and
+                // ticks were consumed by the sublayer above.
             }
         }
         self.flush_state_requests(&mut out);
+        self.wrap_outgoing(&mut out);
         out
+    }
+
+    /// Routes eligible outgoing inter-replica messages through the
+    /// reliable-link sublayer (no-op when the sublayer is off).
+    /// Self-sends stay unwrapped: the host's loopback is lossless.
+    fn wrap_outgoing(&mut self, out: &mut [ReplicaAction]) {
+        let Some(link) = &mut self.link else { return };
+        for action in out.iter_mut() {
+            if let ReplicaAction::Send { to, msg } = action {
+                let eligible = matches!(
+                    msg,
+                    ReplicaMsg::Abcast(_)
+                        | ReplicaMsg::Signing { .. }
+                        | ReplicaMsg::StateRequest
+                        | ReplicaMsg::StateResponse { .. }
+                );
+                if eligible && *to != self.me && *to < self.group.n() {
+                    let inner = std::mem::replace(msg, ReplicaMsg::Tick);
+                    *msg = link.wrap(*to, inner);
+                }
+            }
+        }
     }
 
     /// Gateway path: a client request arrives at this replica.
@@ -701,6 +799,10 @@ impl Replica {
 }
 
 /// How a replica signs (mirrors [`ZoneSecurity`], carrying the keys).
+///
+/// One instance per replica, so the size spread between the unsigned
+/// and threshold variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ReplicaSigner {
     /// No signing capability (unsigned zones).

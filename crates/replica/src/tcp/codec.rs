@@ -128,6 +128,11 @@ impl<'a> Reader<'a> {
 /// Encodes a message to bytes.
 pub fn encode(msg: &ReplicaMsg) -> Vec<u8> {
     let mut w = Writer::new();
+    encode_into(msg, &mut w);
+    w.buf
+}
+
+fn encode_into(msg: &ReplicaMsg, w: &mut Writer) {
     match msg {
         ReplicaMsg::ClientRequest { request_id, bytes } => {
             w.u8(0);
@@ -142,12 +147,12 @@ pub fn encode(msg: &ReplicaMsg) -> Vec<u8> {
         ReplicaMsg::Abcast(AbcMsg::Acs { round, inner }) => {
             w.u8(2);
             w.u64(*round);
-            encode_acs(inner, &mut w);
+            encode_acs(inner, w);
         }
         ReplicaMsg::Signing { session, inner } => {
             w.u8(3);
             w.u64(*session);
-            encode_sig(inner, &mut w);
+            encode_sig(inner, w);
         }
         ReplicaMsg::Tick => w.u8(4),
         ReplicaMsg::StateRequest => w.u8(5),
@@ -155,8 +160,21 @@ pub fn encode(msg: &ReplicaMsg) -> Vec<u8> {
             w.u8(6);
             w.bytes(snapshot);
         }
+        ReplicaMsg::Seq { epoch, seq, inner } => {
+            w.u8(7);
+            w.u64(*epoch);
+            w.u64(*seq);
+            encode_into(inner, w);
+        }
+        ReplicaMsg::LinkAck { epoch, seqs } => {
+            w.u8(8);
+            w.u64(*epoch);
+            w.u32(seqs.len() as u32);
+            for s in seqs {
+                w.u64(*s);
+            }
+        }
     }
-    w.buf
 }
 
 fn encode_acs(msg: &AcsMsg, w: &mut Writer) {
@@ -232,26 +250,56 @@ fn encode_sig(msg: &SigMessage, w: &mut Writer) {
 /// Returns [`CodecError`] on any malformed input; decoding never panics.
 pub fn decode(bytes: &[u8]) -> Result<ReplicaMsg, CodecError> {
     let mut r = Reader::new(bytes);
-    let msg = match r.u8()? {
+    let msg = decode_msg(&mut r, 0)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+fn decode_msg(r: &mut Reader<'_>, depth: u8) -> Result<ReplicaMsg, CodecError> {
+    Ok(match r.u8()? {
         0 => ReplicaMsg::ClientRequest { request_id: r.u64()?, bytes: r.bytes()? },
         1 => ReplicaMsg::ClientResponse { request_id: r.u64()?, bytes: r.bytes()? },
         2 => {
             let round = r.u64()?;
-            let inner = decode_acs(&mut r)?;
+            let inner = decode_acs(r)?;
             ReplicaMsg::Abcast(AbcMsg::Acs { round, inner })
         }
         3 => {
             let session = r.u64()?;
-            let inner = decode_sig(&mut r)?;
+            let inner = decode_sig(r)?;
             ReplicaMsg::Signing { session, inner }
         }
         4 => ReplicaMsg::Tick,
         5 => ReplicaMsg::StateRequest,
         6 => ReplicaMsg::StateResponse { snapshot: r.bytes()? },
+        7 => {
+            // Transport frames never nest: reject rather than recurse so
+            // crafted input cannot blow the stack.
+            if depth > 0 {
+                return Err(err("nested transport frame"));
+            }
+            let epoch = r.u64()?;
+            let seq = r.u64()?;
+            let inner = decode_msg(r, depth + 1)?;
+            if matches!(inner, ReplicaMsg::LinkAck { .. }) {
+                return Err(err("nested transport frame"));
+            }
+            ReplicaMsg::Seq { epoch, seq, inner: Box::new(inner) }
+        }
+        8 => {
+            let epoch = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > 1 << 16 {
+                return Err(err("oversized ack list"));
+            }
+            let mut seqs = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                seqs.push(r.u64()?);
+            }
+            ReplicaMsg::LinkAck { epoch, seqs }
+        }
         _ => return Err(err("unknown message tag")),
-    };
-    r.finish()?;
-    Ok(msg)
+    })
 }
 
 fn decode_acs(r: &mut Reader<'_>) -> Result<AcsMsg, CodecError> {
@@ -345,6 +393,52 @@ mod tests {
             session: 2,
             inner: SigMessage::Final(Ubig::from_hex("ffeeddccbbaa99887766554433221100").unwrap()),
         });
+    }
+
+    #[test]
+    fn transport_messages() {
+        roundtrip(ReplicaMsg::Seq {
+            epoch: 3,
+            seq: 41,
+            inner: Box::new(ReplicaMsg::StateRequest),
+        });
+        roundtrip(ReplicaMsg::Seq {
+            epoch: u64::MAX,
+            seq: 0,
+            inner: Box::new(ReplicaMsg::Abcast(AbcMsg::Acs {
+                round: 7,
+                inner: AcsMsg::Rbc { proposer: 1, inner: RbcMsg::Echo(vec![5; 30]) },
+            })),
+        });
+        roundtrip(ReplicaMsg::LinkAck { epoch: 9, seqs: vec![] });
+        roundtrip(ReplicaMsg::LinkAck { epoch: 9, seqs: vec![0, 5, u64::MAX] });
+    }
+
+    #[test]
+    fn nested_transport_frames_rejected() {
+        // Seq-in-Seq: hand-craft since the Rust type allows it.
+        let inner = encode(&ReplicaMsg::Seq {
+            epoch: 1,
+            seq: 2,
+            inner: Box::new(ReplicaMsg::Tick),
+        });
+        let mut outer = vec![7u8];
+        outer.extend_from_slice(&1u64.to_be_bytes());
+        outer.extend_from_slice(&3u64.to_be_bytes());
+        outer.extend_from_slice(&inner);
+        assert!(decode(&outer).is_err());
+        // LinkAck-in-Seq is rejected too.
+        let ack = encode(&ReplicaMsg::LinkAck { epoch: 1, seqs: vec![4] });
+        let mut outer = vec![7u8];
+        outer.extend_from_slice(&1u64.to_be_bytes());
+        outer.extend_from_slice(&3u64.to_be_bytes());
+        outer.extend_from_slice(&ack);
+        assert!(decode(&outer).is_err());
+        // Absurd ack count.
+        let mut huge = vec![8u8];
+        huge.extend_from_slice(&1u64.to_be_bytes());
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode(&huge).is_err());
     }
 
     #[test]

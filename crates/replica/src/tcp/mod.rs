@@ -14,4 +14,7 @@ mod codec;
 mod runtime;
 
 pub use codec::{decode, encode, CodecError};
-pub use runtime::{TcpClient, TcpConfig, TcpReplica};
+pub use runtime::{
+    read_frame, seal, unseal, write_frame, TcpClient, TcpConfig, TcpReplica, KIND_CLIENT,
+    KIND_REPLICA,
+};

@@ -3,7 +3,7 @@
 use super::codec;
 use crate::messages::ReplicaMsg;
 use crate::replica::{Replica, ReplicaAction};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdns_crypto::{hmac_sha1, mac_eq};
 use std::collections::HashMap;
@@ -15,14 +15,26 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Frame kind: an authenticated replica-to-replica message.
-const KIND_REPLICA: u8 = 0;
+pub const KIND_REPLICA: u8 = 0;
 /// Frame kind: a client message (unauthenticated transport; updates are
 /// authorized by TSIG at the DNS layer).
-const KIND_CLIENT: u8 = 1;
+pub const KIND_CLIENT: u8 = 1;
 
 /// Upper bound on a frame body (a zone transfer would need more; the
 /// request/response traffic here never does).
 const MAX_FRAME: usize = 16 << 20;
+
+/// Per-peer outbox capacity. A dead peer's queue fills up to here and
+/// then sheds the *newest* frames (`try_send`): the replica protocols
+/// tolerate loss, and with the retransmission sublayer on, dropped
+/// frames are re-sent once the peer heals — so a partition costs bounded
+/// memory instead of unbounded growth.
+const OUTBOX_CAP: usize = 4096;
+
+/// First reconnect delay of the peer writer.
+const RECONNECT_MIN: Duration = Duration::from_millis(10);
+/// Reconnect backoff ceiling of the peer writer.
+const RECONNECT_MAX: Duration = Duration::from_secs(1);
 
 /// Network configuration of one replica.
 #[derive(Debug, Clone)]
@@ -38,17 +50,28 @@ pub struct TcpConfig {
     /// Optional plain-DNS UDP front end (what real resolvers speak):
     /// raw DNS datagrams in, raw DNS datagrams out.
     pub udp_listen: Option<SocketAddr>,
+    /// Optional wall-clock pacing: a ticker thread injects
+    /// [`ReplicaMsg::Tick`] at this interval, driving the reliable-link
+    /// resend schedule (enable it on the replica too).
+    pub tick: Option<Duration>,
 }
 
 impl TcpConfig {
     /// A configuration without the UDP front end.
     pub fn new(me: usize, peers: Vec<SocketAddr>, link_key: Vec<u8>) -> Self {
-        TcpConfig { me, peers, link_key, udp_listen: None }
+        TcpConfig { me, peers, link_key, udp_listen: None, tick: None }
+    }
+
+    /// Adds a wall-clock tick at `interval` (see [`TcpConfig::tick`]).
+    #[must_use]
+    pub fn with_tick(mut self, interval: Duration) -> Self {
+        self.tick = Some(interval);
+        self
     }
 }
 
 /// Writes one frame: `len ‖ kind ‖ body`.
-fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result<()> {
+pub fn write_frame(stream: &mut impl Write, kind: u8, body: &[u8]) -> std::io::Result<()> {
     let len = (body.len() + 1) as u32;
     let mut frame = Vec::with_capacity(5 + body.len());
     frame.extend_from_slice(&len.to_be_bytes());
@@ -58,7 +81,13 @@ fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result
 }
 
 /// Reads one frame, returning `(kind, body)`.
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+///
+/// # Errors
+///
+/// Any I/O error from the stream; `InvalidData` for a length prefix of
+/// zero or beyond the frame bound. Never panics and never allocates
+/// more than the frame bound.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
@@ -72,7 +101,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
 }
 
 /// Builds the authenticated replica-frame body: `from ‖ mac ‖ msg`.
-fn seal(from: usize, msg: &ReplicaMsg, key: &[u8]) -> Vec<u8> {
+pub fn seal(from: usize, msg: &ReplicaMsg, key: &[u8]) -> Vec<u8> {
     let encoded = codec::encode(msg);
     let mut body = Vec::with_capacity(8 + 20 + encoded.len());
     body.extend_from_slice(&(from as u64).to_be_bytes());
@@ -84,7 +113,7 @@ fn seal(from: usize, msg: &ReplicaMsg, key: &[u8]) -> Vec<u8> {
 }
 
 /// Verifies and opens a replica-frame body.
-fn unseal(body: &[u8], key: &[u8]) -> Option<(usize, ReplicaMsg)> {
+pub fn unseal(body: &[u8], key: &[u8]) -> Option<(usize, ReplicaMsg)> {
     if body.len() < 28 {
         return None;
     }
@@ -231,17 +260,32 @@ impl TcpReplica {
             })
         };
 
-        // --- per-peer writers ---
+        // --- per-peer writers (bounded outboxes) ---
         let mut peer_txs: Vec<Option<Sender<Vec<u8>>>> = Vec::new();
         for (i, &peer) in config.peers.iter().enumerate() {
             if i == config.me {
                 peer_txs.push(None);
                 continue;
             }
-            let (ptx, prx) = unbounded::<Vec<u8>>();
+            let (ptx, prx) = bounded::<Vec<u8>>(OUTBOX_CAP);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || peer_writer(peer, prx, stop));
             peer_txs.push(Some(ptx));
+        }
+
+        // --- optional wall-clock ticker ---
+        if let Some(interval) = config.tick {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let me = config.me;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    if tx.send(Event::FromReplica(me, ReplicaMsg::Tick)).is_err() {
+                        break;
+                    }
+                }
+            });
         }
 
         // --- core loop ---
@@ -286,27 +330,42 @@ impl Drop for TcpReplica {
     }
 }
 
-/// Maintains one outgoing connection, (re)connecting as needed.
+/// Maintains one outgoing connection, reconnecting with exponential
+/// backoff (`RECONNECT_MIN` doubling to `RECONNECT_MAX`) for as long as
+/// the runtime lives: a peer that is down for minutes reconnects when it
+/// returns. The backoff resets on every successful connect, and a frame
+/// that keeps failing is eventually abandoned so a flapping link cannot
+/// wedge the writer on one message (the retransmission sublayer re-sends
+/// what mattered).
 fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
     let mut stream: Option<TcpStream> = None;
+    let mut backoff = RECONNECT_MIN;
     while let Ok(frame_body) = rx.recv() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let mut attempts = 0;
-        loop {
+        // Per-frame write attempts: reconnect as needed, give up on the
+        // frame after a few failed writes (loss is tolerated above).
+        let mut write_attempts = 0;
+        while write_attempts < 4 && !stop.load(Ordering::SeqCst) {
             if stream.is_none() {
                 match TcpStream::connect_timeout(&peer, Duration::from_millis(500)) {
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
                         stream = Some(s);
+                        backoff = RECONNECT_MIN;
                     }
                     Err(_) => {
-                        attempts += 1;
-                        if attempts > 100 || stop.load(Ordering::SeqCst) {
-                            break;
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(RECONNECT_MAX);
+                        // While the peer is down, drain the outbox down
+                        // to the freshest frames instead of blocking the
+                        // core loop behind a full channel.
+                        while rx.len() > OUTBOX_CAP / 2 {
+                            if rx.try_recv().is_err() {
+                                break;
+                            }
                         }
-                        std::thread::sleep(Duration::from_millis(50));
                         continue;
                     }
                 }
@@ -315,11 +374,8 @@ fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
             match write_frame(s, KIND_REPLICA, &frame_body) {
                 Ok(()) => break,
                 Err(_) => {
-                    stream = None; // reconnect and retry once
-                    attempts += 1;
-                    if attempts > 100 {
-                        break;
-                    }
+                    stream = None; // reconnect and retry
+                    write_attempts += 1;
                 }
             }
         }
@@ -377,6 +433,10 @@ fn core_loop(
                 ReplicaMsg::Tick => "tick".into(),
                 ReplicaMsg::StateRequest => "state-req".into(),
                 ReplicaMsg::StateResponse { .. } => "state-resp".into(),
+                ReplicaMsg::Seq { epoch, seq, .. } => format!("seq(e{epoch},s{seq})"),
+                ReplicaMsg::LinkAck { epoch, seqs } => {
+                    format!("ack(e{epoch},n{})", seqs.len())
+                }
             };
             eprintln!("[{me}] <- {from}: {kind}");
         }
@@ -388,7 +448,11 @@ fn core_loop(
                     if to == me {
                         loopback.push_back(msg);
                     } else if let Some(Some(tx)) = peer_txs.get(to) {
-                        let _ = tx.send(seal(me, &msg, &key));
+                        // Bounded outbox: when a peer is down and its
+                        // queue is full, shed the frame instead of
+                        // blocking the core loop (retransmission above
+                        // re-sends what mattered).
+                        let _ = tx.try_send(seal(me, &msg, &key));
                     } else if let Some(addr) = udp_clients.lock().remove(&to) {
                         // A UDP client: raw DNS bytes back to the source.
                         if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) =
@@ -412,13 +476,22 @@ fn core_loop(
 }
 
 /// A blocking TCP client in the style of `dig` / `nsupdate`: one server
-/// at a time, a timeout, round-robin failover.
+/// at a time, a timeout, sticky failover. The client remembers the last
+/// server that answered and tries it first; servers that just failed are
+/// put on a short cooldown and tried last, so one request after a
+/// failover does not pay the dead server's connect timeout again.
 #[derive(Debug)]
 pub struct TcpClient {
     servers: Vec<SocketAddr>,
     timeout: Duration,
     next_request_id: u64,
-    rr: usize,
+    /// Last server that answered; tried first.
+    preferred: usize,
+    /// Per-server cooldown after a failure (index-aligned with
+    /// `servers`); a server on cooldown is deprioritized, never skipped.
+    cooldown_until: Vec<Option<std::time::Instant>>,
+    /// How long a failed server stays deprioritized.
+    cooldown: Duration,
 }
 
 impl TcpClient {
@@ -429,12 +502,32 @@ impl TcpClient {
     /// Panics if `servers` is empty.
     pub fn new(servers: Vec<SocketAddr>, timeout: Duration) -> Self {
         assert!(!servers.is_empty(), "need at least one server");
-        TcpClient { servers, timeout, next_request_id: 1, rr: 0 }
+        let n = servers.len();
+        TcpClient {
+            servers,
+            timeout,
+            next_request_id: 1,
+            preferred: 0,
+            cooldown_until: vec![None; n],
+            cooldown: Duration::from_secs(5),
+        }
+    }
+
+    /// The order to try servers in: the preferred (last-answering)
+    /// server first, then the rest by index, with servers on failure
+    /// cooldown moved to the back (still tried — a cooldown must never
+    /// turn a reachable deployment into an error).
+    fn server_order(&self, now: std::time::Instant) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.servers.len()).collect();
+        order.sort_by_key(|&i| {
+            let cooling = self.cooldown_until[i].is_some_and(|t| t > now);
+            (cooling, i != self.preferred, i)
+        });
+        order
     }
 
     /// Sends a DNS message (wire bytes) and awaits the response,
-    /// failing over to the next server on timeout. Tries each server
-    /// once before giving up.
+    /// failing over on timeout. Tries each server once before giving up.
     ///
     /// # Errors
     ///
@@ -446,15 +539,25 @@ impl TcpClient {
         let encoded = codec::encode(&msg);
         let mut last_err =
             std::io::Error::new(std::io::ErrorKind::TimedOut, "no servers reachable");
-        for _ in 0..self.servers.len() {
-            let server = self.servers[self.rr % self.servers.len()];
-            self.rr += 1;
-            match self.try_one(server, &encoded, request_id) {
-                Ok(bytes) => return Ok(bytes),
-                Err(e) => last_err = e,
+        for i in self.server_order(std::time::Instant::now()) {
+            match self.try_one(self.servers[i], &encoded, request_id) {
+                Ok(bytes) => {
+                    self.preferred = i;
+                    self.cooldown_until[i] = None;
+                    return Ok(bytes);
+                }
+                Err(e) => {
+                    self.cooldown_until[i] = Some(std::time::Instant::now() + self.cooldown);
+                    last_err = e;
+                }
             }
         }
         Err(last_err)
+    }
+
+    #[cfg(test)]
+    fn mark_failed(&mut self, i: usize, at: std::time::Instant) {
+        self.cooldown_until[i] = Some(at + self.cooldown);
     }
 
     fn try_one(
@@ -480,5 +583,50 @@ impl TcpClient {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn client(n: usize) -> TcpClient {
+        let servers = (0..n)
+            .map(|i| format!("127.0.0.1:{}", 10_000 + i).parse().unwrap())
+            .collect();
+        TcpClient::new(servers, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn preferred_server_is_tried_first() {
+        let mut c = client(3);
+        assert_eq!(c.server_order(Instant::now()), vec![0, 1, 2]);
+        c.preferred = 2;
+        assert_eq!(c.server_order(Instant::now()), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn failed_servers_go_on_cooldown_but_stay_reachable() {
+        let mut c = client(3);
+        let now = Instant::now();
+        c.mark_failed(0, now);
+        // Server 0 moves to the back but is still in the order.
+        assert_eq!(c.server_order(now), vec![1, 2, 0]);
+        // Cooldown expires: order returns to normal.
+        let later = now + c.cooldown * 2;
+        assert_eq!(c.server_order(later), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cooldown_and_preference_compose() {
+        let mut c = client(4);
+        let now = Instant::now();
+        c.preferred = 1;
+        c.mark_failed(1, now);
+        c.mark_failed(3, now);
+        // Healthy servers first (by index), then the cooling ones with
+        // the preferred cooling server ahead of the other.
+        assert_eq!(c.server_order(now), vec![0, 2, 1, 3]);
     }
 }

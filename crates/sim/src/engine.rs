@@ -7,6 +7,7 @@
 //! 266 MHz machines did. Messages depart after the work accumulated so
 //! far and arrive after the sampled link latency.
 
+use crate::fault::FaultPlan;
 use crate::network::{LatencyMatrix, NodeId};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -116,6 +117,35 @@ impl<M: Clone, O> Context<'_, M, O> {
     pub fn output(&mut self, out: O) {
         self.effects.push(Effect::Output { out, offset: self.work });
     }
+
+    /// A marker for the current end of the effect list, for wrappers
+    /// (e.g. [`crate::fault::Byzantine`]) that post-process the effects
+    /// an inner actor produced.
+    pub(crate) fn effects_mark(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Applies `f` to every send queued since `mark`; `f` may rewrite
+    /// the message in place and returns whether to keep the send at all.
+    /// Timers and outputs are untouched.
+    pub(crate) fn rewrite_sends_since<F>(&mut self, mark: usize, mut f: F)
+    where
+        F: FnMut(NodeId, &mut M, &mut StdRng) -> bool,
+    {
+        let rng = &mut *self.rng;
+        let mut i = mark;
+        while i < self.effects.len() {
+            let keep = match &mut self.effects[i] {
+                Effect::Send { to, msg, .. } => f(*to, msg, rng),
+                _ => true,
+            };
+            if keep {
+                i += 1;
+            } else {
+                self.effects.remove(i);
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -202,6 +232,7 @@ pub struct Simulation<A: Actor> {
     cpu_factors: Vec<f64>,
     work_jitter: f64,
     net: LatencyMatrix,
+    plan: FaultPlan,
     queue: BinaryHeap<Reverse<Event<A::Msg>>>,
     seq: u64,
     now: SimTime,
@@ -243,6 +274,7 @@ impl<A: Actor> Simulation<A> {
             cpu_factors,
             work_jitter: 0.0,
             net,
+            plan: FaultPlan::default(),
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -272,6 +304,20 @@ impl<A: Actor> Simulation<A> {
         assert!((0.0..1.0).contains(&jitter), "work jitter must be in [0, 1)");
         self.work_jitter = jitter;
         self
+    }
+
+    /// Attaches a fault plan, applied to every subsequent delivery.
+    ///
+    /// The default (empty) plan consumes no rng draws, so a simulation
+    /// with no plan attached replays exactly as before this knob existed.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Current virtual time (the arrival time of the last processed event).
@@ -306,9 +352,21 @@ impl<A: Actor> Simulation<A> {
 
     /// Injects a message from the environment, arriving at `to` after
     /// `delay` (attributed to sender `from` — typically a client node).
+    /// Injected messages bypass the fault plan's link faults (they model
+    /// the harness, not the network), but a crashed receiver still
+    /// drops them.
     pub fn inject(&mut self, delay: SimDuration, from: NodeId, to: NodeId, msg: A::Msg) {
         let at = self.now + delay;
         self.push_event(at, to, EventKind::Message { from, msg });
+    }
+
+    /// Schedules a timer for `node` to fire after `delay`, as if the
+    /// node had called [`Context::set_timer`]. Chaos harnesses use this
+    /// to re-arm periodic timers on a node that recovered from a crash
+    /// window (its earlier timers were dropped while it was down).
+    pub fn schedule_timer(&mut self, node: NodeId, id: u64, delay: SimDuration) {
+        let at = self.now + delay;
+        self.push_event(at, node, EventKind::Timer { id });
     }
 
     /// Drains the outputs reported so far.
@@ -322,6 +380,11 @@ impl<A: Actor> Simulation<A> {
         self.now = event.at;
         self.events_processed += 1;
         let node = event.to;
+        // A crashed node processes nothing: its messages and timers are
+        // dropped on the floor for the whole crash window.
+        if self.plan.is_crashed(node, event.at) {
+            return true;
+        }
         let start = self.free_at[node].max(event.at);
         let mut ctx = Context {
             node,
@@ -345,9 +408,23 @@ impl<A: Actor> Simulation<A> {
         for effect in effects {
             match effect {
                 Effect::Send { to, msg, offset } => {
-                    let latency = self.net.sample(node, to, &mut self.rng);
-                    let at = start + offset + latency;
-                    self.push_event(at, to, EventKind::Message { from: node, msg });
+                    let depart = start + offset;
+                    // Self-sends (loopback) are exempt from link faults:
+                    // a node cannot be partitioned from itself.
+                    if to == node || self.plan.is_link_passthrough() {
+                        let latency = self.net.sample(node, to, &mut self.rng);
+                        self.push_event(depart + latency, to, EventKind::Message { from: node, msg });
+                    } else {
+                        let copies = self.plan.link_copies(node, to, depart, &mut self.rng);
+                        for extra in copies {
+                            let latency = self.net.sample(node, to, &mut self.rng);
+                            self.push_event(
+                                depart + latency + extra,
+                                to,
+                                EventKind::Message { from: node, msg: msg.clone() },
+                            );
+                        }
+                    }
                 }
                 Effect::Timer { id, fire_offset } => {
                     self.push_event(start + fire_offset, node, EventKind::Timer { id });
@@ -370,26 +447,62 @@ impl<A: Actor> Simulation<A> {
         n
     }
 
-    /// Runs until `pred` holds for some reported output (which is *not*
-    /// consumed), the queue empties, or `max_events` are processed.
-    /// Returns whether the predicate was satisfied.
+    /// Runs until `pred` holds for some reported output, the queue
+    /// empties, or `max_events` are processed. Returns whether the
+    /// predicate was satisfied.
+    ///
+    /// Outputs are *not* consumed: everything reported remains available
+    /// via [`Simulation::take_outputs`], and each output is tested by
+    /// `pred` exactly once (including outputs produced by the final
+    /// `step` before the event budget ran out).
     pub fn run_until<F>(&mut self, max_events: u64, mut pred: F) -> bool
     where
         F: FnMut(&OutputEvent<A::Output>) -> bool,
     {
         let mut checked = 0;
-        for _ in 0..max_events {
-            while checked < self.outputs.len() {
-                if pred(&self.outputs[checked]) {
-                    return true;
+        let mut scan =
+            |outputs: &[OutputEvent<A::Output>], checked: &mut usize| -> bool {
+                while *checked < outputs.len() {
+                    if pred(&outputs[*checked]) {
+                        return true;
+                    }
+                    *checked += 1;
                 }
-                checked += 1;
+                false
+            };
+        for _ in 0..max_events {
+            if scan(&self.outputs, &mut checked) {
+                return true;
             }
             if !self.step() {
                 break;
             }
         }
-        self.outputs[checked..].iter().any(pred)
+        // One final scan covers outputs from the last step (or from
+        // before the call, if the budget was zero).
+        scan(&self.outputs, &mut checked)
+    }
+
+    /// Runs until virtual time reaches `deadline` or `max_events` are
+    /// processed, then advances the clock to `deadline` (so a subsequent
+    /// [`Simulation::inject`] lands at the deadline even if the queue
+    /// drained early). Events scheduled after `deadline` stay queued.
+    /// Returns the number of events processed by this call.
+    pub fn run_until_time(&mut self, deadline: SimTime, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            match self.queue.peek() {
+                Some(Reverse(event)) if event.at <= deadline => {
+                    self.step();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
     }
 }
 

@@ -1,0 +1,476 @@
+//! Fault injection: deterministic network and process faults for the
+//! discrete-event engine.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* — lossy links, duplicated
+//! messages, latency spikes, scheduled partitions, and node crash
+//! windows — and the engine applies it at delivery time using the same
+//! seeded rng that drives latency jitter. The same `(seed, plan)` pair
+//! therefore replays the exact same execution, faults included.
+//!
+//! [`Byzantine`] wraps an [`Actor`] to model an actively malicious node:
+//! it can stay silent, corrupt every outgoing message, or equivocate
+//! (send different messages to different peers) while the inner state
+//! machine runs unmodified.
+
+use crate::engine::{Actor, Context};
+use crate::network::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A scheduled partition: traffic from side `a` to side `b` (and back,
+/// if bidirectional) is severed during `[from, heal)`.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    a: Vec<NodeId>,
+    b: Vec<NodeId>,
+    from: SimTime,
+    heal: Option<SimTime>,
+    bidirectional: bool,
+}
+
+impl Partition {
+    fn severs(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        if at < self.from || self.heal.is_some_and(|h| at >= h) {
+            return false;
+        }
+        let a_to_b = self.a.contains(&from) && self.b.contains(&to);
+        let b_to_a = self.bidirectional && self.b.contains(&from) && self.a.contains(&to);
+        a_to_b || b_to_a
+    }
+}
+
+/// A scheduled crash: the node processes no events (messages, timers)
+/// during `[from, recover)`; `recover: None` crashes it forever.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashWindow {
+    node: NodeId,
+    from: SimTime,
+    recover: Option<SimTime>,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// The empty (default) plan draws nothing from the rng, so attaching it
+/// leaves existing seeded runs byte-identical. Probabilistic faults
+/// (drop, duplicate, spike) draw from the simulation rng only when their
+/// probability is non-zero for the link in question; scheduled faults
+/// (partitions, crashes) never draw at all.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    drop_prob: f64,
+    link_drop: Vec<(NodeId, NodeId, f64)>,
+    duplicate_prob: f64,
+    spike_prob: f64,
+    spike_extra: SimDuration,
+    partitions: Vec<Partition>,
+    crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Drops every message (on every link) with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Overrides the drop probability for the directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_link_drop(mut self, from: NodeId, to: NodeId, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.link_drop.push((from, to, p));
+        self
+    }
+
+    /// Duplicates delivered messages with probability `p` (the copy
+    /// takes an independently sampled link latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplication probability out of range");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Adds `extra` delay to a delivery with probability `p`, modelling
+    /// congestion or routing flaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_delay_spikes(mut self, p: f64, extra: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "spike probability out of range");
+        self.spike_prob = p;
+        self.spike_extra = extra;
+        self
+    }
+
+    /// Severs all traffic between the node sets `a` and `b` (both
+    /// directions) from `from` until `heal` (forever if `None`).
+    pub fn with_partition(
+        mut self,
+        a: &[NodeId],
+        b: &[NodeId],
+        from: SimTime,
+        heal: Option<SimTime>,
+    ) -> Self {
+        self.partitions.push(Partition {
+            a: a.to_vec(),
+            b: b.to_vec(),
+            from,
+            heal,
+            bidirectional: true,
+        });
+        self
+    }
+
+    /// Severs traffic from `a` to `b` only (messages the other way still
+    /// flow) from `from` until `heal` (forever if `None`).
+    pub fn with_directed_partition(
+        mut self,
+        a: &[NodeId],
+        b: &[NodeId],
+        from: SimTime,
+        heal: Option<SimTime>,
+    ) -> Self {
+        self.partitions.push(Partition {
+            a: a.to_vec(),
+            b: b.to_vec(),
+            from,
+            heal,
+            bidirectional: false,
+        });
+        self
+    }
+
+    /// Crashes `node` at `at`; it drops all events until `recover`
+    /// (forever if `None`).
+    pub fn with_crash(mut self, node: NodeId, at: SimTime, recover: Option<SimTime>) -> Self {
+        self.crashes.push(CrashWindow { node, from: at, recover });
+        self
+    }
+
+    /// Whether `node` is inside a crash window at `at`.
+    pub fn is_crashed(&self, node: NodeId, at: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && at >= c.from && c.recover.map_or(true, |r| at < r))
+    }
+
+    /// Whether any partition severs the directed link `from → to` at `at`.
+    pub fn is_severed(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(from, to, at))
+    }
+
+    /// Whether link-level sampling can be skipped entirely (nothing
+    /// probabilistic or partition-scheduled is configured).
+    pub(crate) fn is_link_passthrough(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.link_drop.is_empty()
+            && self.duplicate_prob == 0.0
+            && self.spike_prob == 0.0
+            && self.partitions.is_empty()
+    }
+
+    fn drop_prob_for(&self, from: NodeId, to: NodeId) -> f64 {
+        self.link_drop
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(self.drop_prob)
+    }
+
+    /// Decides the fate of one transmission on `from → to` departing at
+    /// `depart`: the returned vector holds one extra-delay entry per
+    /// delivered copy (empty = dropped). Draws from `rng` only for the
+    /// probabilistic faults that are actually enabled.
+    pub(crate) fn link_copies(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        depart: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<SimDuration> {
+        if self.is_severed(from, to, depart) {
+            return Vec::new();
+        }
+        let p = self.drop_prob_for(from, to);
+        if p > 0.0 && rng.gen_bool(p) {
+            return Vec::new();
+        }
+        let copies = if self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob) {
+            2
+        } else {
+            1
+        };
+        (0..copies)
+            .map(|_| {
+                if self.spike_prob > 0.0 && rng.gen_bool(self.spike_prob) {
+                    self.spike_extra
+                } else {
+                    SimDuration::ZERO
+                }
+            })
+            .collect()
+    }
+}
+
+/// How a [`Byzantine`] wrapper corrupts its node's traffic.
+///
+/// The mutators are plain function pointers so the wrapper stays `Debug`
+/// and the corruption is a pure function of `(message, destination, rng)`
+/// — keeping chaos runs replayable.
+pub enum ByzMode<M> {
+    /// Sends nothing at all (a "crashed but Byzantine-counted" node).
+    Silent,
+    /// Rewrites every outgoing message in place.
+    Mutate(fn(&mut M, &mut StdRng)),
+    /// Rewrites outgoing messages as a function of the destination,
+    /// enabling equivocation (different stories to different peers).
+    Equivocate(fn(&mut M, NodeId, &mut StdRng)),
+}
+
+impl<M> std::fmt::Debug for ByzMode<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ByzMode::Silent => f.write_str("Silent"),
+            ByzMode::Mutate(_) => f.write_str("Mutate(..)"),
+            ByzMode::Equivocate(_) => f.write_str("Equivocate(..)"),
+        }
+    }
+}
+
+impl<M> Clone for ByzMode<M> {
+    fn clone(&self) -> Self {
+        match self {
+            ByzMode::Silent => ByzMode::Silent,
+            ByzMode::Mutate(f) => ByzMode::Mutate(*f),
+            ByzMode::Equivocate(f) => ByzMode::Equivocate(*f),
+        }
+    }
+}
+
+/// An actor wrapper that optionally corrupts the wrapped node's sends.
+///
+/// With no mode set it is a transparent passthrough, so a simulation can
+/// be built over `Vec<Byzantine<A>>` with only the designated traitors
+/// actually misbehaving.
+#[derive(Debug)]
+pub struct Byzantine<A: Actor> {
+    inner: A,
+    mode: Option<ByzMode<A::Msg>>,
+}
+
+impl<A: Actor> Byzantine<A> {
+    /// Wraps `inner` as an honest (passthrough) node.
+    pub fn honest(inner: A) -> Self {
+        Byzantine { inner, mode: None }
+    }
+
+    /// Wraps `inner` with the given corruption mode.
+    pub fn corrupt(inner: A, mode: ByzMode<A::Msg>) -> Self {
+        Byzantine { inner, mode: Some(mode) }
+    }
+
+    /// The wrapped actor.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped actor.
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Unwraps into the inner actor.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    fn apply(&self, mark: usize, ctx: &mut Context<'_, A::Msg, A::Output>) {
+        match &self.mode {
+            None => {}
+            Some(ByzMode::Silent) => ctx.rewrite_sends_since(mark, |_, _, _| false),
+            Some(ByzMode::Mutate(f)) => {
+                let f = *f;
+                ctx.rewrite_sends_since(mark, move |_, msg, rng| {
+                    f(msg, rng);
+                    true
+                });
+            }
+            Some(ByzMode::Equivocate(f)) => {
+                let f = *f;
+                ctx.rewrite_sends_since(mark, move |to, msg, rng| {
+                    f(msg, to, rng);
+                    true
+                });
+            }
+        }
+    }
+}
+
+impl<A: Actor> Actor for Byzantine<A> {
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, A::Msg, A::Output>) {
+        let mark = ctx.effects_mark();
+        self.inner.on_start(ctx);
+        self.apply(mark, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: A::Msg, ctx: &mut Context<'_, A::Msg, A::Output>) {
+        let mark = ctx.effects_mark();
+        self.inner.on_message(from, msg, ctx);
+        self.apply(mark, ctx);
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, A::Msg, A::Output>) {
+        let mark = ctx.effects_mark();
+        self.inner.on_timer(timer, ctx);
+        self.apply(mark, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::network::LatencyMatrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_plan_is_passthrough_and_draws_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_link_passthrough());
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(plan.link_copies(0, 1, SimTime::ZERO, &mut a), vec![SimDuration::ZERO]);
+        // Untouched rng: same next draw as the control copy.
+        assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+    }
+
+    #[test]
+    fn crash_windows() {
+        let t = SimTime::ZERO + SimDuration::from_millis(100);
+        let plan = FaultPlan::new()
+            .with_crash(2, t, Some(t + SimDuration::from_millis(50)))
+            .with_crash(3, t, None);
+        assert!(!plan.is_crashed(2, SimTime::ZERO));
+        assert!(plan.is_crashed(2, t));
+        assert!(plan.is_crashed(2, t + SimDuration::from_millis(49)));
+        assert!(!plan.is_crashed(2, t + SimDuration::from_millis(50)));
+        assert!(plan.is_crashed(3, t + SimDuration::from_secs_f64(1e6)));
+        assert!(!plan.is_crashed(0, t));
+    }
+
+    #[test]
+    fn partition_windows_and_direction() {
+        let from = SimTime::ZERO + SimDuration::from_millis(10);
+        let heal = from + SimDuration::from_millis(20);
+        let plan = FaultPlan::new()
+            .with_partition(&[0, 1], &[2, 3], from, Some(heal))
+            .with_directed_partition(&[4], &[0], heal, None);
+        // Bidirectional window.
+        assert!(!plan.is_severed(0, 2, SimTime::ZERO));
+        assert!(plan.is_severed(0, 2, from));
+        assert!(plan.is_severed(2, 0, from));
+        assert!(!plan.is_severed(0, 1, from)); // same side
+        assert!(!plan.is_severed(0, 2, heal)); // healed
+        // Directed: 4→0 blocked, 0→4 open.
+        assert!(plan.is_severed(4, 0, heal));
+        assert!(!plan.is_severed(0, 4, heal));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let plan = FaultPlan::new().with_drop(0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|_| plan.link_copies(0, 1, SimTime::ZERO, &mut rng).is_empty())
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let plan = FaultPlan::new().with_drop(1.0).with_link_drop(0, 1, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(plan.link_copies(0, 1, SimTime::ZERO, &mut rng).len(), 1);
+        assert!(plan.link_copies(1, 0, SimTime::ZERO, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn duplication_and_spikes() {
+        let extra = SimDuration::from_millis(500);
+        let plan = FaultPlan::new().with_duplication(1.0).with_delay_spikes(1.0, extra);
+        let mut rng = StdRng::seed_from_u64(5);
+        let copies = plan.link_copies(0, 1, SimTime::ZERO, &mut rng);
+        assert_eq!(copies, vec![extra, extra]);
+    }
+
+    /// Forwards each received count+1 to the other node; outputs at 3.
+    struct Hop;
+    impl Actor for Hop {
+        type Msg = u32;
+        type Output = u32;
+        fn on_message(&mut self, _from: NodeId, msg: u32, ctx: &mut Context<'_, u32, u32>) {
+            if msg >= 3 {
+                ctx.output(msg);
+            } else {
+                ctx.send(1 - ctx.id(), msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn silent_byzantine_sends_nothing() {
+        let net = LatencyMatrix::uniform(2, SimDuration::from_millis(1));
+        let nodes = vec![
+            Byzantine::corrupt(Hop, ByzMode::Silent),
+            Byzantine::honest(Hop),
+        ];
+        let mut sim = Simulation::new(nodes, net, 3);
+        // Node 0 swallows the chain: nothing ever reaches node 1.
+        sim.inject(SimDuration::ZERO, 1, 0, 0);
+        sim.run_until_idle(100);
+        assert!(sim.take_outputs().is_empty());
+    }
+
+    #[test]
+    fn mutating_byzantine_rewrites_messages() {
+        fn saturate(msg: &mut u32, _rng: &mut StdRng) {
+            *msg = 3;
+        }
+        let net = LatencyMatrix::uniform(2, SimDuration::from_millis(1));
+        let nodes = vec![
+            Byzantine::corrupt(Hop, ByzMode::Mutate(saturate)),
+            Byzantine::honest(Hop),
+        ];
+        let mut sim = Simulation::new(nodes, net, 3);
+        sim.inject(SimDuration::ZERO, 1, 0, 0);
+        sim.run_until_idle(100);
+        // Node 0 turned its "1" into a "3", so node 1 outputs immediately.
+        let out = sim.take_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].output, 3);
+        assert_eq!(out[0].node, 1);
+    }
+}

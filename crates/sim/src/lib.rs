@@ -17,16 +17,25 @@
 //! - [`testbed`] — the paper's machines and topology as data: Table 1's
 //!   machine inventory, Figure 1's round-trip times, and the server
 //!   placements of Table 2's setups.
+//! - [`FaultPlan`] and [`Byzantine`] — deterministic fault injection:
+//!   lossy, duplicating, spiking links; scheduled partitions and crash
+//!   windows; and actor wrappers that mutate, equivocate, or silence a
+//!   node's traffic. The chaos suite in the workspace root drives the
+//!   full replica stack through these.
 //!
 //! Determinism: given the same actors and seed, a simulation replays
-//! identically — the foundation for the adversarial-schedule protocol
-//! tests in `sdns-abcast` and `sdns-replica`.
+//! identically — faults included, since the fault plan draws from the
+//! same seeded rng — the foundation for the adversarial-schedule
+//! protocol tests in `sdns-abcast` and `sdns-replica` and for the
+//! replayable chaos scenarios in `tests/chaos.rs`.
 
 mod engine;
+mod fault;
 mod network;
 pub mod testbed;
 mod time;
 
 pub use engine::{Actor, Context, OutputEvent, Simulation};
+pub use fault::{Byzantine, ByzMode, CrashWindow, FaultPlan, Partition};
 pub use network::{LatencyMatrix, NodeId};
 pub use time::{SimDuration, SimTime};

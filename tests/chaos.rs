@@ -1,0 +1,503 @@
+//! Chaos suite: the full replica stack under seeded fault injection.
+//!
+//! Every scenario runs n = 4 / t = 1 threshold-signed (OPTTE)
+//! deployments through the simulator's fault plans — message loss,
+//! duplication, delay spikes, flapping partitions, crash windows and a
+//! Byzantine replica — with the reliable-link sublayer
+//! (ack + retransmission) supplying the paper's authenticated reliable
+//! links over the lossy substrate.
+//!
+//! Assertions are the paper's guarantees:
+//! - **safety**: honest replicas deliver the same requests in the same
+//!   total order, and every zone answer carries a threshold signature
+//!   that verifies under the group public key;
+//! - **liveness**: once faults heal (and at most `t` replicas are
+//!   faulty), an RFC 2136 update is eventually executed and signed at
+//!   every honest replica;
+//! - **determinism**: a run is a pure function of `(seed, plan)` — the
+//!   whole output trace replays byte-identically, so any failing chaos
+//!   seed is a repro case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdns::abcast::acs::AcsMsg;
+use sdns::abcast::rbc::RbcMsg;
+use sdns::abcast::{AbcMsg, Group};
+use sdns::crypto::protocol::SigProtocol;
+use sdns::dns::sign::verify_rrset;
+use sdns::dns::update::add_record_request;
+use sdns::dns::{Message, Name, RData, Rcode, Record, RecordType};
+use sdns::replica::reliable::RetransmitCfg;
+use sdns::replica::{
+    answer_query, deploy, example_zone, Corruption, CostModel, Deployment, Replica,
+    ReplicaAction, ReplicaEvent, ReplicaMsg, ZoneSecurity,
+};
+use sdns::sim::{
+    Actor, Byzantine, ByzMode, Context, FaultPlan, LatencyMatrix, NodeId, OutputEvent,
+    SimDuration, SimTime, Simulation,
+};
+use std::collections::HashSet;
+
+const N: usize = 4;
+const T: usize = 1;
+/// The (single) client's node id.
+const CLIENT: NodeId = N;
+/// Timer id for the retransmission tick.
+const TICK_TIMER: u64 = 1;
+/// Retransmission tick interval.
+fn tick() -> SimDuration {
+    SimDuration::from_millis(200)
+}
+/// Event budget per scenario phase (a liveness bug trips this).
+const BUDGET: u64 = 4_000_000;
+
+fn at(secs: f64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs_f64(secs)
+}
+
+/// Observable chaos-run events.
+#[derive(Debug, Clone, PartialEq)]
+enum ChaosEvent {
+    Replica(ReplicaEvent),
+    ClientGot { request_id: u64, rcode: Rcode },
+}
+
+/// A node of the chaos deployment: a replica, or the passive client
+/// that records every response it receives.
+#[derive(Debug)]
+enum ChaosNode {
+    Replica(Box<Replica>),
+    Client,
+}
+
+impl Actor for ChaosNode {
+    type Msg = ReplicaMsg;
+    type Output = ChaosEvent;
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: ReplicaMsg,
+        ctx: &mut Context<'_, ReplicaMsg, ChaosEvent>,
+    ) {
+        match self {
+            ChaosNode::Replica(replica) => {
+                for action in replica.on_message(from, msg) {
+                    apply(action, ctx);
+                }
+            }
+            ChaosNode::Client => {
+                if let ReplicaMsg::ClientResponse { request_id, bytes } = msg {
+                    let rcode =
+                        Message::from_bytes(&bytes).map(|m| m.rcode).unwrap_or(Rcode::FormErr);
+                    ctx.output(ChaosEvent::ClientGot { request_id, rcode });
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, ReplicaMsg, ChaosEvent>) {
+        if timer != TICK_TIMER {
+            return;
+        }
+        if let ChaosNode::Replica(replica) = self {
+            // Drive the retransmission schedule and re-arm.
+            let me = ctx.id();
+            for action in replica.on_message(me, ReplicaMsg::Tick) {
+                apply(action, ctx);
+            }
+            ctx.set_timer(TICK_TIMER, tick());
+        }
+    }
+}
+
+fn apply(action: ReplicaAction, ctx: &mut Context<'_, ReplicaMsg, ChaosEvent>) {
+    match action {
+        ReplicaAction::Send { to, msg } => ctx.send(to, msg),
+        ReplicaAction::Work { ref_seconds } => ctx.work(ref_seconds),
+        ReplicaAction::Event(e) => ctx.output(ChaosEvent::Replica(e)),
+    }
+}
+
+/// Builds a 4-replica signed deployment under a fault plan. `corrupted`
+/// sets replica-level corruptions, `byzantine` wraps nodes with
+/// traffic-mutating modes.
+fn build(
+    seed: u64,
+    plan: FaultPlan,
+    corrupted: &[(usize, Corruption)],
+    byzantine: &[(usize, ByzMode<ReplicaMsg>)],
+) -> (Simulation<Byzantine<ChaosNode>>, Deployment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deployment = deploy(
+        Group::new(N, T),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    );
+    let mut replicas = deployment.replicas(corrupted, seed);
+    for r in &mut replicas {
+        r.enable_retransmission(1, RetransmitCfg::default());
+    }
+    let mut nodes: Vec<Byzantine<ChaosNode>> = replicas
+        .into_iter()
+        .map(|r| {
+            let node = ChaosNode::Replica(Box::new(r));
+            match byzantine.iter().find(|(i, _)| *i == node_id_of(&node)) {
+                Some((_, mode)) => Byzantine::corrupt(node, mode.clone()),
+                None => Byzantine::honest(node),
+            }
+        })
+        .collect();
+    nodes.push(Byzantine::honest(ChaosNode::Client));
+    let net = LatencyMatrix::uniform(N + 1, SimDuration::from_millis(5)).with_jitter(0.2);
+    let mut sim = Simulation::new(nodes, net, seed).with_fault_plan(plan);
+    for i in 0..N {
+        sim.schedule_timer(i, TICK_TIMER, tick());
+    }
+    (sim, deployment)
+}
+
+fn node_id_of(node: &ChaosNode) -> usize {
+    match node {
+        ChaosNode::Replica(r) => r.id(),
+        ChaosNode::Client => CLIENT,
+    }
+}
+
+/// Injects an RFC 2136 add-record update from the client at `delay`.
+fn inject_update(
+    sim: &mut Simulation<Byzantine<ChaosNode>>,
+    gateway: usize,
+    request_id: u64,
+    name: &str,
+    addr: &str,
+    delay: SimDuration,
+) {
+    let zone: Name = "example.com".parse().expect("valid");
+    let record =
+        Record::new(name.parse().expect("valid"), 60, RData::A(addr.parse().expect("valid")));
+    let msg = add_record_request(request_id as u16, &zone, record);
+    sim.inject(
+        delay,
+        CLIENT,
+        gateway,
+        ReplicaMsg::ClientRequest { request_id, bytes: msg.to_bytes() },
+    );
+}
+
+/// Runs until replicas `want` have all executed request `key`.
+fn await_executed(
+    sim: &mut Simulation<Byzantine<ChaosNode>>,
+    key: (usize, u64),
+    want: &[usize],
+) -> bool {
+    let want: HashSet<usize> = want.iter().copied().collect();
+    let mut seen: HashSet<usize> = HashSet::new();
+    sim.run_until(BUDGET, |ev| {
+        if let ChaosEvent::Replica(ReplicaEvent::Executed { key: k, .. }) = &ev.output {
+            if *k == key {
+                seen.insert(ev.node);
+            }
+        }
+        seen.is_superset(&want)
+    })
+}
+
+/// Runs until the client has received a `NoError` response for
+/// `request_id` (responses are in flight when the last replica
+/// executes, so `await_executed` alone stops too early to see them).
+fn await_client_ok(sim: &mut Simulation<Byzantine<ChaosNode>>, request_id: u64) -> bool {
+    sim.run_until(BUDGET, |ev| {
+        matches!(
+            &ev.output,
+            ChaosEvent::ClientGot { request_id: r, rcode: Rcode::NoError } if *r == request_id
+        )
+    })
+}
+
+/// Per-replica atomic-broadcast delivery sequences, in delivery order.
+fn delivery_traces(outputs: &[OutputEvent<ChaosEvent>]) -> Vec<Vec<(usize, u64)>> {
+    let mut traces = vec![Vec::new(); N];
+    for ev in outputs {
+        if let ChaosEvent::Replica(ReplicaEvent::Delivered { key }) = &ev.output {
+            if ev.node < N {
+                traces[ev.node].push(*key);
+            }
+        }
+    }
+    traces
+}
+
+/// Safety: every pair of the given replicas agrees on the common prefix
+/// of its delivery sequence (total order; laggards only lag, never
+/// diverge).
+fn assert_total_order(traces: &[Vec<(usize, u64)>], replicas: &[usize]) {
+    for &i in replicas {
+        for &j in replicas {
+            let (a, b) = (&traces[i], &traces[j]);
+            let k = a.len().min(b.len());
+            assert_eq!(&a[..k], &b[..k], "replicas {i} and {j} diverge in delivery order");
+        }
+    }
+}
+
+/// Asserts replica `i` answers `name`/A with `NoError` and a threshold
+/// signature that verifies under the deployment's zone key.
+fn assert_signed_answer(
+    sim: &Simulation<Byzantine<ChaosNode>>,
+    deployment: &Deployment,
+    i: usize,
+    name: &str,
+) {
+    let ChaosNode::Replica(replica) = sim.node(i).inner() else {
+        panic!("node {i} is not a replica")
+    };
+    let query = Message::query(1, name.parse().expect("valid"), RecordType::A);
+    let resp = answer_query(replica.zone(), &query);
+    assert_eq!(resp.rcode, Rcode::NoError, "replica {i} cannot answer {name}");
+    let pk = deployment.zone_public_key.as_ref().expect("signed zone");
+    verify_rrset(&resp.answers, pk)
+        .unwrap_or_else(|e| panic!("replica {i}: signature on {name} does not verify: {e:?}"));
+}
+
+/// A plan with 20 % loss on every replica↔replica link, 5 % duplication
+/// and occasional 100 ms delay spikes (client links stay loss-free: the
+/// client has no retransmission layer).
+fn lossy_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new()
+        .with_duplication(0.05)
+        .with_delay_spikes(0.1, SimDuration::from_millis(100));
+    for i in 0..N {
+        for j in 0..N {
+            if i != j {
+                plan = plan.with_link_drop(i, j, 0.2);
+            }
+        }
+    }
+    plan
+}
+
+/// Runs the lossy-mesh scenario and returns its full output trace,
+/// formatted — the unit of the determinism comparison.
+fn run_lossy_scenario(seed: u64) -> String {
+    let (mut sim, deployment) = build(seed, lossy_plan(), &[], &[]);
+    inject_update(&mut sim, 0, 1, "chaos.example.com", "203.0.113.1", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]),
+        "update did not execute everywhere under 20% loss (seed {seed})"
+    );
+    assert!(
+        await_client_ok(&mut sim, 1),
+        "client never saw a NoError response (seed {seed})"
+    );
+    let outputs = sim.take_outputs();
+    let traces = delivery_traces(&outputs);
+    assert_total_order(&traces, &[0, 1, 2, 3]);
+    for (i, trace) in traces.iter().enumerate() {
+        assert_eq!(trace.len(), 1, "replica {i} delivered exactly the one update");
+    }
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "chaos.example.com");
+    }
+    format!("{outputs:?}")
+}
+
+#[test]
+fn lossy_mesh_converges_with_signed_zone() {
+    run_lossy_scenario(0xCA05_0001);
+}
+
+#[test]
+fn chaos_runs_replay_byte_identically() {
+    // Determinism: same (seed, plan) — byte-identical output traces,
+    // retransmissions and all. A different seed takes a different path
+    // (sanity check that the comparison has teeth).
+    let a = run_lossy_scenario(0xCA05_0002);
+    let b = run_lossy_scenario(0xCA05_0002);
+    assert_eq!(a, b, "same (seed, plan) must replay identically");
+    let c = run_lossy_scenario(0xCA05_0003);
+    assert_ne!(a, c, "different seeds should explore different schedules");
+}
+
+#[test]
+fn flapping_partition_heals_and_delivers() {
+    // {0,1} | {2,3} flaps twice; the update arrives mid-partition. No
+    // quorum of 3 exists while split, so progress must come from the
+    // retransmission layer once links heal.
+    let plan = FaultPlan::new()
+        .with_partition(&[0, 1], &[2, 3], at(0.2), Some(at(1.2)))
+        .with_partition(&[0, 1], &[2, 3], at(1.6), Some(at(2.6)));
+    let (mut sim, deployment) = build(0xCA05_0010, plan, &[], &[]);
+    inject_update(
+        &mut sim,
+        0,
+        1,
+        "healed.example.com",
+        "203.0.113.2",
+        SimDuration::from_secs_f64(0.5),
+    );
+    assert!(
+        await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]),
+        "update did not execute after the partition healed"
+    );
+    let outputs = sim.take_outputs();
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2, 3]);
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "healed.example.com");
+    }
+}
+
+#[test]
+fn crash_recover_rejoins_via_state_transfer() {
+    // Replica 3 crashes before the first update and recovers later from
+    // a fresh process image: state transfer (t+1 matching snapshots)
+    // brings it back, and it then participates in a second update.
+    let seed = 0xCA05_0020;
+    let plan = FaultPlan::new().with_crash(3, at(0.2), Some(at(5.0)));
+    let (mut sim, deployment) = build(seed, plan, &[], &[]);
+
+    inject_update(
+        &mut sim,
+        0,
+        1,
+        "while-down.example.com",
+        "203.0.113.3",
+        SimDuration::from_secs_f64(0.5),
+    );
+    assert!(
+        await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2]),
+        "3 of 4 replicas must make progress with one crashed"
+    );
+
+    // Pass the crash window, then swap in a freshly constructed replica
+    // (new link epoch) and let it run state-transfer recovery.
+    sim.run_until_time(at(5.0), BUDGET);
+    let mut fresh = deployment.replica(3, Corruption::None, seed ^ 0x9999);
+    fresh.enable_retransmission(2, RetransmitCfg::default());
+    let recovery_actions = fresh.begin_recovery();
+    *sim.node_mut(3) = Byzantine::honest(ChaosNode::Replica(Box::new(fresh)));
+    for action in recovery_actions {
+        if let ReplicaAction::Send { to, msg } = action {
+            sim.inject(SimDuration::ZERO, 3, to, msg);
+        }
+    }
+    sim.schedule_timer(3, TICK_TIMER, tick());
+    let recovered = sim.run_until(BUDGET, |ev| {
+        ev.node == 3 && matches!(&ev.output, ChaosEvent::Replica(ReplicaEvent::Recovered { .. }))
+    });
+    assert!(recovered, "replica 3 did not complete state-transfer recovery");
+
+    // The recovered replica serves the update it slept through...
+    assert_signed_answer(&sim, &deployment, 3, "while-down.example.com");
+    // ...and participates in the next one.
+    inject_update(
+        &mut sim,
+        1,
+        2,
+        "after-up.example.com",
+        "203.0.113.4",
+        SimDuration::ZERO,
+    );
+    assert!(
+        await_executed(&mut sim, (CLIENT, 2), &[0, 1, 2, 3]),
+        "second update did not execute at all four replicas"
+    );
+    let outputs = sim.take_outputs();
+    // Replicas that never crashed share one total order end to end.
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2]);
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "after-up.example.com");
+        assert_signed_answer(&sim, &deployment, i, "while-down.example.com");
+    }
+}
+
+/// Byzantine traffic mutator: flips a random bit in every reliable
+/// broadcast payload this replica sends (reaching through the reliable
+/// -link framing), modelling arbitrarily corrupted protocol traffic.
+fn flip_rbc_bits(msg: &mut ReplicaMsg, rng: &mut StdRng) {
+    let inner = match msg {
+        ReplicaMsg::Seq { inner, .. } => inner.as_mut(),
+        other => other,
+    };
+    if let ReplicaMsg::Abcast(AbcMsg::Acs { inner: AcsMsg::Rbc { inner: rbc, .. }, .. }) = inner {
+        let payload = match rbc {
+            RbcMsg::Init(v) | RbcMsg::Echo(v) | RbcMsg::Ready(v) => v,
+        };
+        if !payload.is_empty() {
+            let i = rng.gen_range(0..payload.len());
+            payload[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+    }
+}
+
+#[test]
+fn byzantine_replica_cannot_break_safety_or_liveness() {
+    // Replica 3 is fully adversarial: it mutates its broadcast traffic
+    // (bit flips in RBC payloads) AND inverts its signature shares. The
+    // three honest replicas must still agree, execute, and produce a
+    // verifying threshold signature — t = 1 is within tolerance.
+    let plan = lossy_plan(); // Byzantine on top of a lossy mesh
+    let (mut sim, deployment) = build(
+        0xCA05_0030,
+        plan,
+        &[(3, Corruption::InvertSigShares)],
+        &[(3, ByzMode::Mutate(flip_rbc_bits))],
+    );
+    inject_update(&mut sim, 0, 1, "honest.example.com", "203.0.113.5", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2]),
+        "honest replicas did not converge with one Byzantine peer"
+    );
+    assert!(
+        await_client_ok(&mut sim, 1),
+        "client never saw an honest NoError response"
+    );
+    let outputs = sim.take_outputs();
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2]);
+    for i in 0..3 {
+        assert_signed_answer(&sim, &deployment, i, "honest.example.com");
+    }
+}
+
+#[test]
+fn t_plus_one_crashes_stall_without_safety_violation() {
+    // With t+1 = 2 replicas crashed, no quorum exists: the update must
+    // NOT execute anywhere (demonstrable stall), but the survivors stay
+    // consistent and keep their signed pre-update zone intact.
+    let plan = FaultPlan::new()
+        .with_crash(2, at(0.2), None)
+        .with_crash(3, at(0.2), None);
+    let (mut sim, deployment) = build(0xCA05_0040, plan, &[], &[]);
+    inject_update(
+        &mut sim,
+        0,
+        1,
+        "stalled.example.com",
+        "203.0.113.6",
+        SimDuration::from_secs_f64(0.5),
+    );
+    sim.run_until_time(at(30.0), BUDGET);
+    let outputs = sim.take_outputs();
+    assert!(
+        !outputs.iter().any(|ev| matches!(
+            &ev.output,
+            ChaosEvent::Replica(ReplicaEvent::Executed { key: (CLIENT, 1), .. })
+        )),
+        "update executed without a quorum"
+    );
+    assert_total_order(&delivery_traces(&outputs), &[0, 1]);
+    // Survivors still serve the original signed zone, unmodified.
+    for i in 0..2 {
+        assert_signed_answer(&sim, &deployment, i, "www.example.com");
+        let ChaosNode::Replica(replica) = sim.node(i).inner() else { unreachable!() };
+        let query =
+            Message::query(1, "stalled.example.com".parse().expect("valid"), RecordType::A);
+        let resp = answer_query(replica.zone(), &query);
+        assert_ne!(resp.rcode, Rcode::NoError, "phantom record appeared at replica {i}");
+    }
+}
