@@ -1,0 +1,525 @@
+//! Durable per-replica state: a state directory holding the write-ahead
+//! log, crash-consistent snapshots, and the link-epoch counter.
+//!
+//! Layout of a state directory:
+//!
+//! ```text
+//! <state-dir>/
+//!   wal.bin        the write-ahead log (see `wal`)
+//!   snapshot.bin   the last durable snapshot (atomic-rename discipline)
+//!   epoch          the link-epoch counter (bumped on every start)
+//! ```
+//!
+//! The snapshot file wraps [`crate::snapshot::ReplicaSnapshot::encode`]
+//! with a header binding it to the WAL chain and a whole-file SHA-256
+//! trailer:
+//!
+//! ```text
+//! "SDNSSNP1" ‖ wal_seq u64 ‖ chain [32] ‖ len u32 ‖ snapshot ‖ sha256 [32]
+//! ```
+//!
+//! `wal_seq` is the delivery sequence number the snapshot covers (WAL
+//! frames at or below it are already folded in); `chain` is the WAL
+//! delivery-chain digest at that point, which the log continuing from
+//! this snapshot carries as its base. The trailer makes any torn or
+//! flipped snapshot detectable — a bad snapshot is *discarded*, never
+//! trusted, and the replica falls back to quorum state transfer.
+//!
+//! ## Recovery decision tree (cold start)
+//!
+//! 1. Snapshot file present and digest-clean → adopt it; else start from
+//!    the genesis zone.
+//! 2. Replay every WAL frame above the snapshot's `wal_seq`, verifying
+//!    the chain; re-execution is deduplicated by the executed set.
+//! 3. If the WAL had a corrupt suffix, does not connect to the snapshot,
+//!    or the snapshot itself was damaged → report "gap possible": the
+//!    caller runs the PR 2 quorum state transfer on top (adopting any
+//!    newer group state; harmless if the local state was current).
+//! 4. Either way the host bumps the persisted link epoch so the reliable
+//!    link's sequence numbers never collide with a previous incarnation.
+
+use crate::snapshot::ReplicaSnapshot;
+use crate::wal::{atomic_write, Wal, WalFrame, WalRecovery};
+use sdns_crypto::Sha256;
+use std::path::{Path, PathBuf};
+
+/// Snapshot-file magic.
+const SNAP_MAGIC: &[u8; 8] = b"SDNSSNP1";
+/// Snapshot payloads beyond this are treated as corruption (a zone
+/// snapshot of this size would be pathological).
+const MAX_SNAPSHOT: usize = 1 << 28;
+
+/// How the durability layer behaves; tuned per deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityCfg {
+    /// Take a snapshot (and compact the WAL) after this many logged
+    /// deliveries, at the next idle point.
+    pub snapshot_every: u64,
+}
+
+impl Default for DurabilityCfg {
+    fn default() -> Self {
+        DurabilityCfg { snapshot_every: 32 }
+    }
+}
+
+/// What a cold start found on disk.
+#[derive(Debug)]
+pub struct DiskState {
+    /// The adopted snapshot, if a clean one existed.
+    pub snapshot: Option<ReplicaSnapshot>,
+    /// WAL frames to replay on top (already filtered to those above the
+    /// snapshot's `wal_seq`, chain-verified).
+    pub replay: Vec<WalFrame>,
+    /// Whether any part of the local state was missing, torn, or
+    /// corrupt — deliveries may be lost and the caller should run quorum
+    /// state transfer after replay.
+    pub gap_possible: bool,
+}
+
+/// The durability layer of one replica: owns the state directory.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    cfg: DurabilityCfg,
+    /// Disk state recovered at open, consumed by the cold-start path.
+    recovered: Option<DiskState>,
+    /// Set once an append or snapshot write fails: the layer stops
+    /// promising durability (the replica keeps serving from memory).
+    degraded: bool,
+}
+
+impl Durability {
+    /// Opens (or initializes) the state directory, recovering the
+    /// snapshot and the WAL's longest valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory or opening the log. Corrupt
+    /// *contents* are not errors — they surface as
+    /// [`DiskState::gap_possible`].
+    pub fn open(dir: &Path, cfg: DurabilityCfg) -> std::io::Result<Durability> {
+        std::fs::create_dir_all(dir)?;
+        let (wal, wal_rec) = Wal::open(&dir.join("wal.bin"))?;
+        let (snapshot, snap_clean) = read_snapshot_file(&dir.join("snapshot.bin"));
+        let disk = reconcile(snapshot, snap_clean, wal_rec);
+        Ok(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            cfg,
+            recovered: Some(disk),
+            degraded: false,
+        })
+    }
+
+    /// The state directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Takes the disk state recovered at [`Durability::open`] (the
+    /// cold-start path consumes it exactly once).
+    pub fn take_recovered(&mut self) -> Option<DiskState> {
+        self.recovered.take()
+    }
+
+    /// Whether a durability write has failed since open.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Logs a delivered payload (fsync'd) before execution. Returns
+    /// whether the frame is durable; a failure flips the layer into
+    /// degraded mode instead of crashing the replica.
+    pub fn log_delivery(&mut self, payload: &[u8]) -> bool {
+        if self.degraded {
+            return false;
+        }
+        match self.wal.append(payload) {
+            Ok(_) => true,
+            Err(_) => {
+                self.degraded = true;
+                false
+            }
+        }
+    }
+
+    /// Whether enough deliveries accumulated since the last snapshot to
+    /// warrant a new one (the replica checks this only when idle).
+    pub fn snapshot_due(&self) -> bool {
+        !self.degraded && self.wal.frames_len() >= self.cfg.snapshot_every
+    }
+
+    /// Deliveries logged since the last snapshot/compaction.
+    pub fn frames_since_snapshot(&self) -> u64 {
+        self.wal.frames_len()
+    }
+
+    /// The delivery sequence number of the last logged frame.
+    pub fn last_seq(&self) -> u64 {
+        self.wal.next_seq() - 1
+    }
+
+    /// Persists `snapshot` crash-consistently (temp + fsync + rename)
+    /// as covering everything logged so far, then compacts the WAL.
+    /// Returns the covered `wal_seq`; `None` (and degraded mode) on I/O
+    /// failure.
+    pub fn persist_snapshot(&mut self, snapshot: &ReplicaSnapshot) -> Option<u64> {
+        if self.degraded {
+            return None;
+        }
+        let wal_seq = self.wal.next_seq() - 1;
+        let chain = self.wal.head_digest();
+        let bytes = encode_snapshot_file(snapshot, wal_seq, chain);
+        if atomic_write(&self.dir.join("snapshot.bin"), &bytes).is_err() {
+            self.degraded = true;
+            return None;
+        }
+        // Compaction after the snapshot is durable; on failure the old
+        // log stays — replay is then longer but still correct.
+        if self.wal.compact(wal_seq, chain).is_err() {
+            self.degraded = true;
+        }
+        Some(wal_seq)
+    }
+
+    /// Adopts externally obtained state (quorum state transfer): the
+    /// snapshot becomes the new durable baseline under a fresh local
+    /// chain, and the WAL restarts empty. The chain restarts at the
+    /// snapshot's own digest — the delivery history it condensed
+    /// happened at other replicas.
+    pub fn adopt_state(&mut self, snapshot: &ReplicaSnapshot) {
+        if self.degraded {
+            return;
+        }
+        let wal_seq = self.wal.next_seq(); // strictly above anything logged
+        let chain = Sha256::digest(&snapshot.encode());
+        let bytes = encode_snapshot_file(snapshot, wal_seq, chain);
+        if atomic_write(&self.dir.join("snapshot.bin"), &bytes).is_err()
+            || self.wal.compact(wal_seq, chain).is_err()
+        {
+            self.degraded = true;
+        }
+    }
+
+    /// Reads, increments and rewrites the persisted link-epoch counter.
+    /// Every (re)start of the replica must call this before enabling
+    /// retransmission, so sequence numbers from a previous incarnation
+    /// are never mistaken for fresh ones.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error persisting the counter.
+    pub fn bump_epoch(&mut self) -> std::io::Result<u64> {
+        let path = self.dir.join("epoch");
+        let prev: u64 = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        let next = prev + 1;
+        atomic_write(&path, next.to_string().as_bytes())?;
+        Ok(next)
+    }
+}
+
+/// Serializes the snapshot file: header ‖ payload ‖ SHA-256 trailer.
+fn encode_snapshot_file(snapshot: &ReplicaSnapshot, wal_seq: u64, chain: [u8; 32]) -> Vec<u8> {
+    let payload = snapshot.encode();
+    let mut out = Vec::with_capacity(8 + 8 + 32 + 4 + payload.len() + 32);
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&wal_seq.to_be_bytes());
+    out.extend_from_slice(&chain);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    let digest = Sha256::digest(&out);
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// A parsed snapshot file.
+struct SnapFile {
+    wal_seq: u64,
+    chain: [u8; 32],
+    snapshot: ReplicaSnapshot,
+}
+
+/// Reads and verifies `snapshot.bin`. Returns the parsed file (if clean)
+/// and whether the file was absent-or-clean (`false` means a file
+/// existed but failed verification — evidence of damage).
+fn read_snapshot_file(path: &Path) -> (Option<SnapFile>, bool) {
+    let Ok(bytes) = std::fs::read(path) else {
+        return (None, true); // absent: a fresh replica, not damage
+    };
+    let parsed = parse_snapshot_file(&bytes);
+    let clean = parsed.is_some();
+    (parsed, clean)
+}
+
+fn parse_snapshot_file(bytes: &[u8]) -> Option<SnapFile> {
+    if bytes.len() < 8 + 8 + 32 + 4 + 32 || &bytes[..8] != SNAP_MAGIC {
+        return None;
+    }
+    let body_len = bytes.len() - 32;
+    let trailer: [u8; 32] = bytes[body_len..].try_into().ok()?;
+    if Sha256::digest(&bytes[..body_len]) != trailer {
+        return None;
+    }
+    let wal_seq = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
+    let chain: [u8; 32] = bytes[16..48].try_into().ok()?;
+    let len = u32::from_be_bytes(bytes[48..52].try_into().ok()?) as usize;
+    if len > MAX_SNAPSHOT || 52 + len != body_len {
+        return None;
+    }
+    let snapshot = ReplicaSnapshot::decode(&bytes[52..52 + len]).ok()?;
+    Some(SnapFile { wal_seq, chain, snapshot })
+}
+
+/// Combines the snapshot and WAL recoveries into the replay plan,
+/// deciding whether a gap is possible.
+fn reconcile(snap: Option<SnapFile>, snap_clean: bool, wal: WalRecovery) -> DiskState {
+    let mut gap_possible = !snap_clean || wal.corrupt_suffix;
+    match snap {
+        None => {
+            // Genesis (or a damaged snapshot): the WAL must itself start
+            // at genesis for its frames to be replayable.
+            if wal.base_seq == 0 && wal.base_digest == [0u8; 32] {
+                DiskState { snapshot: None, replay: wal.frames, gap_possible }
+            } else {
+                // A log continuing from a snapshot we do not have.
+                DiskState { snapshot: None, replay: Vec::new(), gap_possible: true }
+            }
+        }
+        Some(snap_file) => {
+            let SnapFile { wal_seq, chain, snapshot } = snap_file;
+            // Frames the snapshot has not folded in yet.
+            let replay: Vec<WalFrame> =
+                wal.frames.into_iter().filter(|f| f.seq > wal_seq).collect();
+            // Chain continuity between snapshot and log: either the log
+            // starts exactly at the snapshot point, or it is an older log
+            // that still contains the snapshot point (crash between
+            // snapshot rename and WAL compaction) and agrees on its
+            // digest, or everything above the point was already compacted
+            // away (nothing to replay).
+            let connects = if wal.base_seq == wal_seq {
+                wal.base_digest == chain
+            } else if wal.base_seq < wal_seq {
+                match replay.first() {
+                    // An older log: trust it only if it contains the
+                    // snapshot point's successor (no hole between the
+                    // snapshot and the first replayed frame).
+                    Some(first) => first.seq == wal_seq + 1,
+                    None => true,
+                }
+            } else {
+                // Log starts beyond the snapshot: frames between are gone.
+                false
+            };
+            if !connects {
+                gap_possible = true;
+                DiskState { snapshot: Some(snapshot), replay: Vec::new(), gap_possible }
+            } else {
+                DiskState { snapshot: Some(snapshot), replay, gap_possible }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdns_dns::Zone;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sdns-durable-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample_snapshot(round: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            round,
+            update_counter: round,
+            executed: vec![(4, 1)],
+            delivered_ids: vec![7],
+            zone: Zone::with_default_soa("example.com".parse().expect("valid")),
+        }
+    }
+
+    #[test]
+    fn fresh_directory_has_no_state_and_no_gap() {
+        let dir = tmp_dir("fresh");
+        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert!(disk.snapshot.is_none());
+        assert!(disk.replay.is_empty());
+        assert!(!disk.gap_possible);
+        assert!(d.take_recovered().is_none(), "consumed exactly once");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn log_then_reopen_replays() {
+        let dir = tmp_dir("replay");
+        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        assert!(d.log_delivery(b"update-1"));
+        assert!(d.log_delivery(b"update-2"));
+        drop(d);
+        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert!(disk.snapshot.is_none());
+        assert_eq!(disk.replay.len(), 2);
+        assert_eq!(disk.replay[0].payload, b"update-1");
+        assert!(!disk.gap_possible);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_reopen_prefers_it() {
+        let dir = tmp_dir("snap");
+        let cfg = DurabilityCfg { snapshot_every: 2 };
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        d.take_recovered();
+        d.log_delivery(b"a");
+        d.log_delivery(b"b");
+        assert!(d.snapshot_due());
+        let covered = d.persist_snapshot(&sample_snapshot(2)).unwrap();
+        assert_eq!(covered, 2);
+        assert_eq!(d.frames_since_snapshot(), 0);
+        d.log_delivery(b"c");
+        drop(d);
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert_eq!(disk.snapshot.as_ref().unwrap().round, 2);
+        assert_eq!(disk.replay.len(), 1);
+        assert_eq!(disk.replay[0].payload, b"c");
+        assert!(!disk.gap_possible);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_wal_suffix_reports_gap() {
+        let dir = tmp_dir("corrupt-wal");
+        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        d.take_recovered();
+        d.log_delivery(b"kept");
+        d.log_delivery(b"lost");
+        drop(d);
+        let wal_path = dir.join("wal.bin");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40; // flip a bit inside the last frame
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert!(disk.gap_possible, "bit flip must be reported");
+        assert_eq!(disk.replay.len(), 1, "valid prefix survives");
+        assert_eq!(disk.replay[0].payload, b"kept");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_discarded_not_trusted() {
+        let dir = tmp_dir("corrupt-snap");
+        let cfg = DurabilityCfg { snapshot_every: 1 };
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        d.take_recovered();
+        d.log_delivery(b"x");
+        d.persist_snapshot(&sample_snapshot(1)).unwrap();
+        drop(d);
+        let snap_path = dir.join("snapshot.bin");
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap_path, &bytes).unwrap();
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert!(disk.snapshot.is_none(), "damaged snapshot must not be adopted");
+        assert!(disk.gap_possible);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_compaction_is_tolerated() {
+        // Simulate: snapshot written, WAL not yet compacted (the old log
+        // still holds frames the snapshot already covers).
+        let dir = tmp_dir("mid-compact");
+        let cfg = DurabilityCfg { snapshot_every: 100 };
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        d.take_recovered();
+        d.log_delivery(b"one");
+        d.log_delivery(b"two");
+        // Hand-write the snapshot file covering seq 1 only, leaving the
+        // WAL with both frames.
+        let chain_at_1 = {
+            let (_, rec) = Wal::open(&dir.join("wal.bin")).unwrap();
+            rec.frames[0].digest
+        };
+        let bytes = encode_snapshot_file(&sample_snapshot(1), 1, chain_at_1);
+        atomic_write(&dir.join("snapshot.bin"), &bytes).unwrap();
+        drop(d);
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert_eq!(disk.snapshot.as_ref().unwrap().round, 1);
+        assert_eq!(disk.replay.len(), 1, "only the uncovered frame replays");
+        assert_eq!(disk.replay[0].payload, b"two");
+        assert!(!disk.gap_possible);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_with_compacted_wal_reports_gap() {
+        // A WAL that continues from a snapshot we no longer have: its
+        // frames cannot be replayed from genesis.
+        let dir = tmp_dir("lost-snap");
+        let cfg = DurabilityCfg { snapshot_every: 1 };
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        d.take_recovered();
+        d.log_delivery(b"x");
+        d.persist_snapshot(&sample_snapshot(1)).unwrap();
+        d.log_delivery(b"y");
+        drop(d);
+        std::fs::remove_file(dir.join("snapshot.bin")).unwrap();
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert!(disk.snapshot.is_none());
+        assert!(disk.replay.is_empty());
+        assert!(disk.gap_possible);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_counter_strictly_increases_across_starts() {
+        let dir = tmp_dir("epoch");
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+            seen.push(d.bump_epoch().unwrap());
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adopt_state_rebases_the_chain() {
+        let dir = tmp_dir("adopt");
+        let cfg = DurabilityCfg::default();
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        d.take_recovered();
+        d.log_delivery(b"local-history");
+        let adopted = sample_snapshot(9);
+        d.adopt_state(&adopted);
+        assert_eq!(d.frames_since_snapshot(), 0);
+        d.log_delivery(b"post-adopt");
+        drop(d);
+        let mut d = Durability::open(&dir, cfg).unwrap();
+        let disk = d.take_recovered().unwrap();
+        assert_eq!(disk.snapshot.as_ref().unwrap().round, 9);
+        assert_eq!(disk.replay.len(), 1);
+        assert_eq!(disk.replay[0].payload, b"post-adopt");
+        assert!(!disk.gap_possible);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,7 @@ use crate::config::{CostModel, ZoneSecurity};
 use crate::genesis::Deployment;
 use crate::replica::{Replica, ReplicaSetup, ReplicaSigner};
 use crate::tcp::TcpConfig;
+use crate::wal::atomic_write;
 use crate::Corruption;
 use sdns_abcast::Group;
 use sdns_bigint::Ubig;
@@ -123,7 +124,10 @@ pub fn save_deployment(
         return Err(perr("only threshold deployments can be saved"));
     };
     std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("zone.bin"), deployment.setup.zone.snapshot())?;
+    // Crash-safe writes throughout: a re-run dealer ceremony interrupted
+    // by power loss must leave either the old deployment or the new one,
+    // never a half-written key file.
+    atomic_write(&dir.join("zone.bin"), &deployment.setup.zone.snapshot())?;
 
     for i in 0..n {
         let ReplicaSigner::Threshold { share, .. } = &deployment.signers[i] else {
@@ -154,7 +158,7 @@ pub fn save_deployment(
         }
         out.push_str(&format!("share_index = {}\n", share.index()));
         out.push_str(&format!("share_secret = {}\n", share.secret().to_hex()));
-        std::fs::write(dir.join(format!("replica-{i}.conf")), out)?;
+        atomic_write(&dir.join(format!("replica-{i}.conf")), out.as_bytes())?;
     }
     Ok(())
 }

@@ -30,6 +30,7 @@
 //! the service's guarantees beyond the paper's experiments.
 
 pub mod config;
+pub mod durable;
 mod envelope;
 pub mod genesis;
 pub mod keyfile;
@@ -38,8 +39,10 @@ pub mod reliable;
 pub mod snapshot;
 mod replica;
 pub mod tcp;
+pub mod wal;
 
 pub use config::{Corruption, CostModel, ServiceMode, ZoneSecurity};
+pub use durable::{DiskState, Durability, DurabilityCfg};
 pub use envelope::Envelope;
 pub use genesis::{deploy, example_zone, Deployment};
 pub use messages::ReplicaMsg;

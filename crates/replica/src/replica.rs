@@ -75,6 +75,21 @@ pub enum ReplicaEvent {
         /// The atomic-broadcast round it resumed at.
         round: u64,
     },
+    /// This replica restored state from its local state directory.
+    Restored {
+        /// Whether a durable snapshot was adopted (vs. genesis + log).
+        from_snapshot: bool,
+        /// WAL frames replayed on top of the snapshot.
+        replayed: u64,
+    },
+    /// A durable snapshot was written and the WAL compacted behind it.
+    Snapshotted {
+        /// The delivery sequence number the snapshot covers.
+        wal_seq: u64,
+    },
+    /// A durability write failed; the replica keeps serving from memory
+    /// but will need quorum state transfer after its next restart.
+    DurabilityDegraded,
 }
 
 /// The signing capability of the zone at this replica.
@@ -159,6 +174,8 @@ pub struct Replica {
     /// Reliable-link sublayer (ack + retransmission); `None` means the
     /// host provides reliable links itself (the default).
     link: Option<crate::reliable::LinkLayer>,
+    /// Durability layer (WAL + snapshots); `None` means in-memory only.
+    durability: Option<crate::durable::Durability>,
     rng: StdRng,
 }
 
@@ -210,6 +227,7 @@ impl Replica {
             recovering: None,
             pending_state_requests: Vec::new(),
             link: None,
+            durability: None,
             rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ me as u64),
         }
     }
@@ -276,6 +294,88 @@ impl Replica {
         self.recovering.is_some()
     }
 
+    /// Attaches the durability layer and restores from disk: adopts the
+    /// snapshot (if a clean one exists), replays the WAL's valid prefix,
+    /// and — when the local state is missing a suffix (torn log, damaged
+    /// snapshot) — starts quorum state transfer to fetch the gap from
+    /// the group. Call once at startup, after
+    /// [`Replica::enable_retransmission`] (so recovery traffic rides the
+    /// reliable link), before processing any network input.
+    ///
+    /// Replay is deterministic and idempotent: re-executed updates are
+    /// deduplicated by the executed set the snapshot carries, and
+    /// re-started threshold-signing sessions get the same session ids on
+    /// every replica, so a restarted cluster re-forms in-flight signing
+    /// rounds and completes them.
+    pub fn restore_from_disk(&mut self, mut durability: crate::durable::Durability) -> Vec<ReplicaAction> {
+        let mut out = Vec::new();
+        let disk = durability.take_recovered();
+        self.durability = Some(durability);
+        let Some(disk) = disk else { return out };
+
+        // Rebuild the broadcast frontier: the snapshot's round + id set,
+        // advanced past every replayed frame.
+        let (mut round, mut ids) = match &disk.snapshot {
+            Some(snap) => (snap.round, snap.delivered_ids.clone()),
+            None => (0, Vec::new()),
+        };
+        let mut replay_data = Vec::with_capacity(disk.replay.len());
+        for frame in &disk.replay {
+            let Some((frame_round, id, data)) = decode_wal_payload(&frame.payload) else {
+                continue; // an older frame format: unreachable, but safe
+            };
+            round = round.max(frame_round + 1);
+            ids.push(id);
+            replay_data.push(data);
+        }
+        if let Some(snap) = disk.snapshot.as_ref() {
+            self.zone = snap.zone.clone();
+            self.executed = snap.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
+            self.update_counter = snap.update_counter;
+        }
+        let from_snapshot = disk.snapshot.is_some();
+        if from_snapshot || !replay_data.is_empty() {
+            self.abcast.import_state(round, ids);
+        }
+        let replayed = replay_data.len() as u64;
+        for data in replay_data {
+            self.enqueue_delivery(data, &mut out);
+        }
+        self.try_execute(&mut out);
+        out.push(ReplicaAction::Event(ReplicaEvent::Restored { from_snapshot, replayed }));
+        self.flush_state_requests(&mut out);
+        self.wrap_outgoing(&mut out);
+        if disk.gap_possible {
+            out.extend(self.begin_recovery());
+        }
+        out
+    }
+
+    /// Whether the durability layer is attached (and still healthy).
+    pub fn durable(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| !d.is_degraded())
+    }
+
+    /// Writes a durable snapshot and compacts the WAL when one is due
+    /// and the pipeline is idle (never mid-signing: a snapshot must be a
+    /// consistent cut).
+    fn maybe_persist_snapshot(&mut self, out: &mut Vec<ReplicaAction>) {
+        if self.recovering.is_some() || !self.is_idle() {
+            return;
+        }
+        if !self.durability.as_ref().is_some_and(|d| d.snapshot_due()) {
+            return;
+        }
+        let snapshot = self.snapshot();
+        let durability = self.durability.as_mut().expect("checked above");
+        match durability.persist_snapshot(&snapshot) {
+            Some(wal_seq) => {
+                out.push(ReplicaAction::Event(ReplicaEvent::Snapshotted { wal_seq }));
+            }
+            None => out.push(ReplicaAction::Event(ReplicaEvent::DurabilityDegraded)),
+        }
+    }
+
     /// Builds a consistent state snapshot (caller must ensure idleness).
     fn snapshot(&self) -> crate::snapshot::ReplicaSnapshot {
         let (round, delivered_ids) = self.abcast.export_state();
@@ -317,6 +417,11 @@ impl Replica {
             // happen against <= t corruptions; tolerate by waiting.
             return;
         };
+        // The adopted state becomes the new durable baseline: the local
+        // WAL chain (whose suffix may be lost or stale) is rebased on it.
+        if let Some(durability) = &mut self.durability {
+            durability.adopt_state(&state);
+        }
         self.zone = state.zone;
         self.executed = state.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
         self.update_counter = state.update_counter;
@@ -403,7 +508,7 @@ impl Replica {
                 let (actions, deliveries) = self.abcast.on_message(from, inner);
                 self.emit_abcast(actions, &mut out);
                 for d in deliveries {
-                    self.on_delivery(d.payload.data, &mut out);
+                    self.on_delivery(d.round, d.payload.id, d.payload.data, &mut out);
                 }
                 self.try_execute(&mut out);
             }
@@ -432,6 +537,7 @@ impl Replica {
             }
         }
         self.flush_state_requests(&mut out);
+        self.maybe_persist_snapshot(&mut out);
         self.wrap_outgoing(&mut out);
         out
     }
@@ -481,8 +587,9 @@ impl Replica {
             return;
         }
         if self.group.n() == 1 {
-            // Unreplicated base case: skip atomic broadcast entirely.
-            self.on_delivery(envelope.encode(), out);
+            // Unreplicated base case: skip atomic broadcast entirely
+            // (no broadcast frontier; frames carry a zero round and id).
+            self.on_delivery(0, 0, envelope.encode(), out);
             self.try_execute(out);
             return;
         }
@@ -504,13 +611,29 @@ impl Replica {
         let (actions, deliveries) = self.abcast.submit(envelope.encode());
         self.emit_abcast(actions, out);
         for d in deliveries {
-            self.on_delivery(d.payload.data, out);
+            self.on_delivery(d.round, d.payload.id, d.payload.data, out);
         }
         self.try_execute(out);
     }
 
-    /// A payload came out of atomic broadcast.
-    fn on_delivery(&mut self, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+    /// A payload came out of atomic broadcast: made durable first
+    /// (write-ahead, fsync'd), then queued for execution. A crash after
+    /// the append loses nothing; a crash before it loses nothing either,
+    /// because the payload was not yet executed anywhere in this replica.
+    fn on_delivery(&mut self, round: u64, id: u128, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+        if let Some(durability) = &mut self.durability {
+            let was_degraded = durability.is_degraded();
+            let durable = durability.log_delivery(&encode_wal_payload(round, id, &data));
+            if !durable && !was_degraded {
+                out.push(ReplicaAction::Event(ReplicaEvent::DurabilityDegraded));
+            }
+        }
+        self.enqueue_delivery(data, out);
+    }
+
+    /// Queues a delivered payload for execution (shared by the live path
+    /// and WAL replay, which must not re-log its own frames).
+    fn enqueue_delivery(&mut self, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
         let Some(envelope) = Envelope::decode(&data) else {
             return; // Byzantine garbage, identically dropped everywhere
         };
@@ -816,6 +939,24 @@ pub enum ReplicaSigner {
         /// This replica's share.
         share: KeyShare,
     },
+}
+
+/// Serializes one WAL frame payload: the delivered atomic-broadcast
+/// payload together with the ordering coordinates replay needs to
+/// rebuild the broadcast frontier.
+fn encode_wal_payload(round: u64, id: u128, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 16 + data.len());
+    out.extend_from_slice(&round.to_be_bytes());
+    out.extend_from_slice(&id.to_be_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Inverse of [`encode_wal_payload`].
+fn decode_wal_payload(bytes: &[u8]) -> Option<(u64, u128, Vec<u8>)> {
+    let round = u64::from_be_bytes(bytes.get(..8)?.try_into().ok()?);
+    let id = u128::from_be_bytes(bytes.get(8..24)?.try_into().ok()?);
+    Some((round, id, bytes.get(24..)?.to_vec()))
 }
 
 /// Verifies only the TSIG MAC of a message (clock-free, deterministic

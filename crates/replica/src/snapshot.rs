@@ -72,8 +72,11 @@ impl ReplicaSnapshot {
         let round = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
         let update_counter = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
         let n_exec = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
-        if n_exec > 1 << 22 {
-            return Err(WireError::BadRdata);
+        // The count must be backed by actual bytes before any allocation:
+        // a 4-byte length prefix must never conjure a multi-megabyte
+        // `Vec::with_capacity` out of a short attacker-supplied buffer.
+        if n_exec > bytes.len().saturating_sub(pos) / 16 {
+            return Err(WireError::Truncated);
         }
         let mut executed = Vec::with_capacity(n_exec);
         for _ in 0..n_exec {
@@ -82,8 +85,8 @@ impl ReplicaSnapshot {
             executed.push((c, r));
         }
         let n_ids = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
-        if n_ids > 1 << 22 {
-            return Err(WireError::BadRdata);
+        if n_ids > bytes.len().saturating_sub(pos) / 16 {
+            return Err(WireError::Truncated);
         }
         let mut delivered_ids = Vec::with_capacity(n_ids);
         for _ in 0..n_ids {
@@ -106,23 +109,50 @@ impl ReplicaSnapshot {
     }
 }
 
+/// Default per-peer snapshot blob bound (16 MiB). A legitimate snapshot
+/// is a zone plus bookkeeping — far below this; anything larger is a
+/// Byzantine peer trying to exhaust the recovering replica's memory.
+pub const DEFAULT_MAX_SNAPSHOT_BLOB: usize = 16 << 20;
+
 /// Collects `StateResponse`s until `t + 1` byte-identical snapshots from
 /// distinct replicas arrive.
-#[derive(Debug, Default)]
+///
+/// Memory is bounded: each distinct peer contributes at most one blob
+/// (duplicate submissions are dropped), and blobs over the configured
+/// cap are rejected outright — so a recovering replica holds at most
+/// `n × cap` bytes no matter what Byzantine peers send.
+#[derive(Debug)]
 pub struct SnapshotQuorum {
     /// (responder, snapshot bytes) pairs, one per responder.
     responses: Vec<(usize, Vec<u8>)>,
+    /// Largest acceptable per-peer snapshot blob, in bytes.
+    max_blob: usize,
+}
+
+impl Default for SnapshotQuorum {
+    fn default() -> Self {
+        SnapshotQuorum { responses: Vec::new(), max_blob: DEFAULT_MAX_SNAPSHOT_BLOB }
+    }
 }
 
 impl SnapshotQuorum {
-    /// Creates an empty collector.
+    /// Creates an empty collector with the default blob cap.
     pub fn new() -> Self {
         SnapshotQuorum::default()
     }
 
+    /// Creates an empty collector rejecting blobs over `max_blob` bytes.
+    pub fn with_blob_cap(max_blob: usize) -> Self {
+        SnapshotQuorum { responses: Vec::new(), max_blob }
+    }
+
     /// Records a response; returns the winning snapshot bytes once some
-    /// snapshot has `quorum` supporters.
+    /// snapshot has `quorum` supporters. Oversized blobs and repeat
+    /// submissions from the same peer are dropped without being stored.
     pub fn add(&mut self, from: usize, snapshot: Vec<u8>, quorum: usize) -> Option<Vec<u8>> {
+        if snapshot.len() > self.max_blob {
+            return None; // memory-exhaustion attempt
+        }
         if self.responses.iter().any(|(f, _)| *f == from) {
             return None; // one vote per replica
         }
@@ -209,6 +239,36 @@ mod tests {
         assert_eq!(q.len(), 2);
         // A second matching copy wins.
         assert_eq!(q.add(3, a.clone(), 2), Some(a));
+    }
+
+    #[test]
+    fn quorum_bounds_memory() {
+        let a = sample().encode();
+        let mut q = SnapshotQuorum::with_blob_cap(a.len());
+        // An oversized blob is rejected: not stored, not counted.
+        let huge = vec![0u8; a.len() + 1];
+        assert_eq!(q.add(1, huge, 1), None);
+        assert_eq!(q.len(), 0);
+        // The same peer re-submitting does not grow the collector.
+        assert_eq!(q.add(2, a.clone(), 2), None);
+        assert_eq!(q.add(2, a.clone(), 2), None);
+        assert_eq!(q.add(2, a.clone(), 2), None);
+        assert_eq!(q.len(), 1);
+        // A blob at exactly the cap from the rejected peer still counts —
+        // the cap bounds bytes, it does not blacklist.
+        assert_eq!(q.add(1, a.clone(), 2), Some(a));
+    }
+
+    #[test]
+    fn decode_length_prefix_cannot_force_allocation() {
+        // A tiny buffer claiming 2^22 executed entries must fail fast on
+        // the byte-backing check, not allocate megabytes first.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(MAGIC);
+        evil.extend_from_slice(&0u64.to_be_bytes());
+        evil.extend_from_slice(&0u64.to_be_bytes());
+        evil.extend_from_slice(&(1u32 << 22).to_be_bytes());
+        assert!(ReplicaSnapshot::decode(&evil).is_err());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The threaded TCP runtime hosting a [`Replica`].
 
 use super::codec;
+use crate::durable::{Durability, DurabilityCfg};
 use crate::messages::ReplicaMsg;
 use crate::replica::{Replica, ReplicaAction};
+use crate::reliable::RetransmitCfg;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdns_crypto::{hmac_sha1, mac_eq};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,18 +57,31 @@ pub struct TcpConfig {
     /// [`ReplicaMsg::Tick`] at this interval, driving the reliable-link
     /// resend schedule (enable it on the replica too).
     pub tick: Option<Duration>,
+    /// Optional durable state directory (WAL + snapshots + link epoch).
+    /// When set, [`TcpReplica::spawn`] restores the replica from disk
+    /// before serving, persists every delivery, and enables the
+    /// reliable-link sublayer with the persisted epoch counter (pair it
+    /// with [`TcpConfig::tick`] so resends are actually driven).
+    pub state_dir: Option<PathBuf>,
 }
 
 impl TcpConfig {
     /// A configuration without the UDP front end.
     pub fn new(me: usize, peers: Vec<SocketAddr>, link_key: Vec<u8>) -> Self {
-        TcpConfig { me, peers, link_key, udp_listen: None, tick: None }
+        TcpConfig { me, peers, link_key, udp_listen: None, tick: None, state_dir: None }
     }
 
     /// Adds a wall-clock tick at `interval` (see [`TcpConfig::tick`]).
     #[must_use]
     pub fn with_tick(mut self, interval: Duration) -> Self {
         self.tick = Some(interval);
+        self
+    }
+
+    /// Sets the durable state directory (see [`TcpConfig::state_dir`]).
+    #[must_use]
+    pub fn with_state_dir(mut self, dir: PathBuf) -> Self {
+        self.state_dir = Some(dir);
         self
     }
 }
@@ -158,7 +174,21 @@ impl TcpReplica {
     /// # Errors
     ///
     /// Returns any I/O error from binding the listener.
-    pub fn spawn(replica: Replica, config: TcpConfig) -> std::io::Result<TcpReplica> {
+    pub fn spawn(mut replica: Replica, config: TcpConfig) -> std::io::Result<TcpReplica> {
+        // Cold-start restore happens before the listener accepts any
+        // traffic: the replica adopts its on-disk snapshot + WAL, bumps
+        // the persisted link epoch, and (when state was missing or
+        // corrupt) queues the quorum state-transfer requests, which the
+        // core loop dispatches first.
+        let initial_actions = match &config.state_dir {
+            Some(dir) => {
+                let mut durability = Durability::open(dir, DurabilityCfg::default())?;
+                let epoch = durability.bump_epoch()?;
+                replica.enable_retransmission(epoch, RetransmitCfg::default());
+                replica.restore_from_disk(durability)
+            }
+            None => Vec::new(),
+        };
         let listener = TcpListener::bind(config.peers[config.me])?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -296,7 +326,7 @@ impl TcpReplica {
             let udp = udp_socket.as_ref().map(|s| s.try_clone()).transpose()?;
             let udp_clients = Arc::clone(&udp_clients);
             std::thread::spawn(move || {
-                core_loop(replica, rx, peer_txs, clients, udp, udp_clients, key, me)
+                core_loop(replica, initial_actions, rx, peer_txs, clients, udp, udp_clients, key, me)
             })
         };
 
@@ -382,10 +412,53 @@ fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
     }
 }
 
+/// Routes one replica action to its destination: loopback, a peer
+/// outbox, a UDP client, or a TCP client connection.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_action(
+    action: ReplicaAction,
+    loopback: &mut std::collections::VecDeque<ReplicaMsg>,
+    peer_txs: &[Option<Sender<Vec<u8>>>],
+    clients: &Mutex<HashMap<usize, TcpStream>>,
+    udp: Option<&std::net::UdpSocket>,
+    udp_clients: &Mutex<HashMap<usize, SocketAddr>>,
+    key: &[u8],
+    me: usize,
+) {
+    match action {
+        ReplicaAction::Work { .. } => {} // real time: work already happened
+        ReplicaAction::Event(_) => {}
+        ReplicaAction::Send { to, msg } => {
+            if to == me {
+                loopback.push_back(msg);
+            } else if let Some(Some(tx)) = peer_txs.get(to) {
+                // Bounded outbox: when a peer is down and its
+                // queue is full, shed the frame instead of
+                // blocking the core loop (retransmission above
+                // re-sends what mattered).
+                let _ = tx.try_send(seal(me, &msg, key));
+            } else if let Some(addr) = udp_clients.lock().remove(&to) {
+                // A UDP client: raw DNS bytes back to the source.
+                if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) = (udp, &msg) {
+                    let _ = socket.send_to(bytes, addr);
+                }
+            } else {
+                // A TCP client: write on its registered connection.
+                let encoded = codec::encode(&msg);
+                let mut clients = clients.lock();
+                if let Some(stream) = clients.get_mut(&to) {
+                    let _ = write_frame(stream, KIND_CLIENT, &encoded);
+                }
+            }
+        }
+    }
+}
+
 /// The single-threaded core owning the replica state machine.
 #[allow(clippy::too_many_arguments)]
 fn core_loop(
     mut replica: Replica,
+    initial_actions: Vec<ReplicaAction>,
     rx: Receiver<Event>,
     peer_txs: Vec<Option<Sender<Vec<u8>>>>,
     clients: Arc<Mutex<HashMap<usize, TcpStream>>>,
@@ -397,6 +470,11 @@ fn core_loop(
     // Self-sends loop back through this queue (FIFO) to preserve the
     // sans-IO loopback semantics of the signing sessions.
     let mut loopback: std::collections::VecDeque<ReplicaMsg> = std::collections::VecDeque::new();
+    // Cold-start restore output (state-transfer requests, replayed
+    // signing traffic) goes out before any network input is consumed.
+    for action in initial_actions {
+        dispatch_action(action, &mut loopback, &peer_txs, &clients, udp.as_ref(), &udp_clients, &key, me);
+    }
     loop {
         let event = if let Some(msg) = loopback.pop_front() {
             Event::FromReplica(me, msg)
@@ -441,35 +519,7 @@ fn core_loop(
             eprintln!("[{me}] <- {from}: {kind}");
         }
         for action in replica.on_message(from, msg) {
-            match action {
-                ReplicaAction::Work { .. } => {} // real time: work already happened
-                ReplicaAction::Event(_) => {}
-                ReplicaAction::Send { to, msg } => {
-                    if to == me {
-                        loopback.push_back(msg);
-                    } else if let Some(Some(tx)) = peer_txs.get(to) {
-                        // Bounded outbox: when a peer is down and its
-                        // queue is full, shed the frame instead of
-                        // blocking the core loop (retransmission above
-                        // re-sends what mattered).
-                        let _ = tx.try_send(seal(me, &msg, &key));
-                    } else if let Some(addr) = udp_clients.lock().remove(&to) {
-                        // A UDP client: raw DNS bytes back to the source.
-                        if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) =
-                            (udp.as_ref(), &msg)
-                        {
-                            let _ = socket.send_to(bytes, addr);
-                        }
-                    } else {
-                        // A TCP client: write on its registered connection.
-                        let encoded = codec::encode(&msg);
-                        let mut clients = clients.lock();
-                        if let Some(stream) = clients.get_mut(&to) {
-                            let _ = write_frame(stream, KIND_CLIENT, &encoded);
-                        }
-                    }
-                }
-            }
+            dispatch_action(action, &mut loopback, &peer_txs, &clients, udp.as_ref(), &udp_clients, &key, me);
         }
     }
     replica

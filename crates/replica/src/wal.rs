@@ -1,0 +1,554 @@
+//! The write-ahead log: durable delivery order, fsync'd before execution.
+//!
+//! Every payload that comes out of atomic broadcast is appended here
+//! *before* the replica executes it, so a crash at any point — even
+//! `kill -9` mid-execution — loses no delivered update: on restart the
+//! replica replays the log on top of its last snapshot and re-executes
+//! deterministically (re-execution is idempotent thanks to the
+//! request-dedup set that rides in the snapshot).
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! header:  "SDNSWAL1" ‖ base_seq u64 ‖ base_digest [32]
+//! frame:   len u32 ‖ seq u64 ‖ digest [32] ‖ payload ‖ crc32 u32
+//! ```
+//!
+//! `len` counts the `seq ‖ digest ‖ payload` bytes; the CRC-32 (IEEE)
+//! covers exactly those bytes. `digest` chains the delivery history:
+//! `digest_i = SHA-256(digest_{i-1} ‖ payload_i)`, starting from the
+//! header's `base_digest` (the chain head recorded by the snapshot this
+//! log continues from, or all-zeroes at genesis). The CRC catches torn
+//! writes and random corruption; the chain catches splicing, reordering
+//! and cross-file confusion.
+//!
+//! ## Recovery
+//!
+//! [`Wal::open`] scans the file front to back and keeps the longest
+//! prefix of frames that parse, CRC-check and chain-verify. Anything
+//! after the first bad byte is discarded (the file is truncated to the
+//! valid prefix) and reported via [`WalRecovery::corrupt_suffix`], so the
+//! caller knows the log may be missing a suffix and can fetch the gap
+//! from the replica group (quorum state transfer).
+//!
+//! Appends are `write + fsync` before the function returns: when
+//! [`Wal::append`] comes back, the frame is on the platter (or the
+//! journal of a lying disk, which is outside our threat model).
+
+use sdns_crypto::Sha256;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic, bumped with any format change.
+const MAGIC: &[u8; 8] = b"SDNSWAL1";
+/// Header length: magic + base_seq + base_digest.
+const HEADER_LEN: u64 = 8 + 8 + 32;
+/// Frame payloads beyond this are rejected at append and treated as
+/// corruption at recovery (an atomic-broadcast payload is a DNS message
+/// envelope, far below this).
+const MAX_PAYLOAD: usize = 1 << 24;
+/// Fixed frame overhead inside `len`: seq + digest.
+const FRAME_FIXED: usize = 8 + 32;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One recovered log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalFrame {
+    /// Delivery sequence number (monotonic per replica, survives
+    /// compaction).
+    pub seq: u64,
+    /// Chained delivery digest up to and including this frame.
+    pub digest: [u8; 32],
+    /// The delivered atomic-broadcast payload, verbatim.
+    pub payload: Vec<u8>,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// The valid frames, in log order.
+    pub frames: Vec<WalFrame>,
+    /// The chain head the log starts from (a snapshot digest, or zeroes).
+    pub base_digest: [u8; 32],
+    /// The sequence number the log starts after (frames begin at
+    /// `base_seq + 1`).
+    pub base_seq: u64,
+    /// Whether bytes had to be discarded: a torn tail, a CRC mismatch, a
+    /// broken chain, or trailing garbage. The discarded suffix may have
+    /// held real deliveries — the caller should state-transfer the gap.
+    pub corrupt_suffix: bool,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Sequence number of the next frame to append.
+    next_seq: u64,
+    /// Chain head after the last appended frame.
+    head_digest: [u8; 32],
+    /// The header's base sequence (frames start after it).
+    base_seq: u64,
+    /// Frames currently in the log.
+    frames: u64,
+}
+
+fn chain(prev: &[u8; 32], payload: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(payload);
+    h.finalize()
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` continuing from `(base_seq,
+    /// base_digest)`, atomically replacing any previous log: the new
+    /// file is written and fsync'd under a temporary name, then renamed
+    /// over `path`. Used at genesis and after every snapshot compaction.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating, syncing or renaming the file.
+    pub fn create(path: &Path, base_seq: u64, base_digest: [u8; 32]) -> std::io::Result<Wal> {
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&base_seq.to_be_bytes());
+        header.extend_from_slice(&base_digest);
+        let tmp = tmp_path(path);
+        let mut file =
+            OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            next_seq: base_seq + 1,
+            head_digest: base_digest,
+            base_seq,
+            frames: 0,
+        })
+    }
+
+    /// Opens the log at `path`, recovering the longest valid prefix and
+    /// truncating the file to it. A missing file becomes a fresh genesis
+    /// log (`base_seq = 0`, zero digest, no corruption reported).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error. A file too short or with a bad magic is *not* an
+    /// error: it is rebuilt as a fresh genesis log with
+    /// [`WalRecovery::corrupt_suffix`] set (the caller decides whether
+    /// that warrants a state transfer).
+    pub fn open(path: &Path) -> std::io::Result<(Wal, WalRecovery)> {
+        if !path.exists() {
+            let wal = Wal::create(path, 0, [0u8; 32])?;
+            return Ok((
+                wal,
+                WalRecovery {
+                    frames: Vec::new(),
+                    base_digest: [0u8; 32],
+                    base_seq: 0,
+                    corrupt_suffix: false,
+                },
+            ));
+        }
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize || &bytes[..8] != MAGIC {
+            // Unrecognizable: replace with a fresh genesis log.
+            let wal = Wal::create(path, 0, [0u8; 32])?;
+            return Ok((
+                wal,
+                WalRecovery {
+                    frames: Vec::new(),
+                    base_digest: [0u8; 32],
+                    base_seq: 0,
+                    corrupt_suffix: true,
+                },
+            ));
+        }
+        let base_seq = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let base_digest: [u8; 32] = bytes[16..48].try_into().expect("32 bytes");
+        let mut frames = Vec::new();
+        let mut pos = HEADER_LEN as usize;
+        let mut prev = base_digest;
+        let mut next_seq = base_seq + 1;
+        while let Some(len_bytes) = bytes.get(pos..pos + 4) {
+            let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+            if !(FRAME_FIXED..=FRAME_FIXED + MAX_PAYLOAD).contains(&len) {
+                break; // garbage length: stop here
+            }
+            let Some(body) = bytes.get(pos + 4..pos + 4 + len) else { break };
+            let Some(crc_bytes) = bytes.get(pos + 4 + len..pos + 8 + len) else { break };
+            if crc32(body) != u32::from_be_bytes(crc_bytes.try_into().expect("4 bytes")) {
+                break; // torn or flipped
+            }
+            let seq = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+            let digest: [u8; 32] = body[8..40].try_into().expect("32 bytes");
+            let payload = body[40..].to_vec();
+            if seq != next_seq || digest != chain(&prev, &payload) {
+                break; // spliced from another history
+            }
+            prev = digest;
+            next_seq += 1;
+            frames.push(WalFrame { seq, digest, payload });
+            pos += 8 + len;
+        }
+        let corrupt_suffix = pos != bytes.len();
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        if corrupt_suffix {
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            next_seq,
+            head_digest: prev,
+            base_seq,
+            frames: frames.len() as u64,
+        };
+        Ok((
+            wal,
+            WalRecovery { frames, base_digest, base_seq, corrupt_suffix },
+        ))
+    }
+
+    /// Appends a delivered payload and fsyncs. Returns the frame's
+    /// `(seq, digest)` once it is durable.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for oversized payloads; otherwise any I/O error
+    /// from the write or the fsync.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<(u64, [u8; 32])> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "payload exceeds WAL frame bound",
+            ));
+        }
+        let seq = self.next_seq;
+        let digest = chain(&self.head_digest, payload);
+        let len = FRAME_FIXED + payload.len();
+        let mut frame = Vec::with_capacity(8 + len);
+        frame.extend_from_slice(&(len as u32).to_be_bytes());
+        frame.extend_from_slice(&seq.to_be_bytes());
+        frame.extend_from_slice(&digest);
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame[4..]);
+        frame.extend_from_slice(&crc.to_be_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_all()?;
+        self.next_seq = seq + 1;
+        self.head_digest = digest;
+        self.frames += 1;
+        Ok((seq, digest))
+    }
+
+    /// Compacts the log: atomically replaces it with a fresh one
+    /// continuing from `(base_seq, base_digest)` — the state a snapshot
+    /// just made durable.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from [`Wal::create`]; on error the old log is left
+    /// in place (replay stays correct, merely longer).
+    pub fn compact(&mut self, base_seq: u64, base_digest: [u8; 32]) -> std::io::Result<()> {
+        *self = Wal::create(&self.path, base_seq, base_digest)?;
+        Ok(())
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The chain head after the last appended frame.
+    pub fn head_digest(&self) -> [u8; 32] {
+        self.head_digest
+    }
+
+    /// Frames currently in the log (since the last compaction).
+    pub fn frames_len(&self) -> u64 {
+        self.frames
+    }
+
+    /// The sequence number the log starts after.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+}
+
+/// The temporary-file sibling used for atomic replacement.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsyncs `path`'s parent directory so a rename survives power loss
+/// (best effort on platforms where directories cannot be opened).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` crash-safely: temp file, fsync, atomic
+/// rename, directory fsync. Readers see either the old file or the new
+/// one, never a torn mix — the discipline for snapshots and for the
+/// dealer's `zone.bin` / `replica-<i>.conf` deployment files.
+///
+/// # Errors
+///
+/// Any I/O error; on error the destination is untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdns-wal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path, 0, [0u8; 32]).unwrap();
+        for i in 0u8..5 {
+            let (seq, _) = wal.append(&[i; 10]).unwrap();
+            assert_eq!(seq, 1 + i as u64);
+        }
+        let head = wal.head_digest();
+        drop(wal);
+        let (wal, rec) = Wal::open(&path).unwrap();
+        assert!(!rec.corrupt_suffix);
+        assert_eq!(rec.frames.len(), 5);
+        assert_eq!(rec.frames[4].payload, vec![4u8; 10]);
+        assert_eq!(wal.head_digest(), head);
+        assert_eq!(wal.next_seq(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_recovers_a_prefix() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path, 0, [0u8; 32]).unwrap();
+        for i in 0u8..3 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Exact ends of the header and of each frame: a file cut there
+        // is byte-identical to a legitimately shorter log, so no local
+        // check can flag it (quorum state transfer covers that case —
+        // the replica simply rejoins with an older frontier).
+        // On disk: len prefix ‖ FRAME_FIXED ‖ payload ‖ crc32.
+        let frame_len = 4 + FRAME_FIXED + 20 + 4;
+        let boundaries: Vec<usize> = (0..=3).map(|i| HEADER_LEN as usize + i * frame_len).collect();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, rec) = Wal::open(&path).unwrap();
+            assert!(rec.frames.len() <= 3, "cut at {cut}");
+            // Frames that survive are a chain-verified prefix.
+            for (i, f) in rec.frames.iter().enumerate() {
+                assert_eq!(f.seq, 1 + i as u64);
+                assert_eq!(f.payload, vec![i as u8; 20]);
+            }
+            if boundaries.contains(&cut) {
+                // A clean prefix: exactly the frames before the cut.
+                assert!(!rec.corrupt_suffix, "cut at {cut} wrongly flagged");
+                assert_eq!(rec.frames.len(), boundaries.iter().position(|b| *b == cut).unwrap());
+            } else {
+                // Any mid-frame (or mid-header) cut is flagged.
+                assert!(rec.corrupt_suffix, "cut at {cut} silently lost frames");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_are_detected_and_suffix_discarded() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path, 0, [0u8; 32]).unwrap();
+        for i in 0u8..4 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one bit in every byte position past the header.
+        for pos in HEADER_LEN as usize..full.len() {
+            let mut bytes = full.clone();
+            bytes[pos] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let (_, rec) = Wal::open(&path).unwrap();
+            assert!(rec.corrupt_suffix, "flip at {pos} undetected");
+            assert!(rec.frames.len() < 4, "flip at {pos} kept all frames");
+            for (i, f) in rec.frames.iter().enumerate() {
+                assert_eq!(f.payload, vec![i as u8; 16], "flip at {pos} corrupted prefix");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_after_recovery_appends_cleanly() {
+        let dir = tmp_dir("heal");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path, 0, [0u8; 32]).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"second").unwrap();
+        drop(wal);
+        // Tear the last frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (mut wal, rec) = Wal::open(&path).unwrap();
+        assert!(rec.corrupt_suffix);
+        assert_eq!(rec.frames.len(), 1);
+        // The log keeps working: seq continues after the valid prefix.
+        let (seq, _) = wal.append(b"third").unwrap();
+        assert_eq!(seq, 2);
+        drop(wal);
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert!(!rec.corrupt_suffix);
+        assert_eq!(rec.frames.len(), 2);
+        assert_eq!(rec.frames[1].payload, b"third");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_and_missing_files_become_fresh_logs() {
+        let dir = tmp_dir("garbage");
+        let missing = dir.join("none.bin");
+        let (wal, rec) = Wal::open(&missing).unwrap();
+        assert!(!rec.corrupt_suffix);
+        assert_eq!(wal.next_seq(), 1);
+        let garbage = dir.join("garbage.bin");
+        std::fs::write(&garbage, b"not a wal at all").unwrap();
+        let (_, rec) = Wal::open(&garbage).unwrap();
+        assert!(rec.corrupt_suffix);
+        assert!(rec.frames.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_restarts_the_chain_from_a_snapshot() {
+        let dir = tmp_dir("compact");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path, 0, [0u8; 32]).unwrap();
+        for i in 0u8..3 {
+            wal.append(&[i]).unwrap();
+        }
+        let head = wal.head_digest();
+        let seq = wal.next_seq() - 1;
+        wal.compact(seq, head).unwrap();
+        assert_eq!(wal.frames_len(), 0);
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.base_seq, 3);
+        assert_eq!(rec.base_digest, head);
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.frames[0].seq, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Throughput numbers for EXPERIMENTS.md — run explicitly with
+    /// `cargo test --release -p sdns-replica wal_throughput -- --ignored --nocapture`.
+    /// fsync cost is medium-dependent; the doc notes the rig used.
+    #[test]
+    #[ignore]
+    fn wal_throughput() {
+        let dir = tmp_dir("bench");
+        let path = dir.join("wal.bin");
+        let mut wal = Wal::create(&path, 0, [0u8; 32]).unwrap();
+        let payload = vec![0xABu8; 512];
+        let n = 10_000u32;
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            wal.append(&payload).unwrap();
+        }
+        let append = t0.elapsed();
+        drop(wal);
+        let t1 = std::time::Instant::now();
+        let (_, rec) = Wal::open(&path).unwrap();
+        let replay = t1.elapsed();
+        assert_eq!(rec.frames.len(), n as usize);
+        println!(
+            "append+fsync: {n} frames of {} B in {append:?} ({:.0}/s); replay: {replay:?} ({:.0}/s)",
+            payload.len(),
+            f64::from(n) / append.as_secs_f64(),
+            f64::from(n) / replay.as_secs_f64(),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("file.bin");
+        atomic_write(&path, b"version one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"version one");
+        atomic_write(&path, b"v2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"v2");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

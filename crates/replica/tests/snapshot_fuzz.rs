@@ -1,0 +1,96 @@
+//! Robustness of the snapshot codec against malformed input.
+//!
+//! A recovering replica decodes snapshots received from peers — any of
+//! which may be Byzantine — and a restarting replica decodes whatever
+//! is on its own disk, which may be torn or bit-rotted. Every byte
+//! sequence must therefore come back as a clean `WireError` — never a
+//! panic, never an allocation sized by an attacker-controlled length
+//! prefix. Mirrors the wire-frame fuzz suite in `frames.rs`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdns_replica::example_zone;
+use sdns_replica::snapshot::ReplicaSnapshot;
+
+fn sample_snapshot() -> ReplicaSnapshot {
+    ReplicaSnapshot {
+        round: 7,
+        update_counter: 3,
+        executed: vec![(4, 1), (4, 2), (5, 9)],
+        delivered_ids: vec![0xDEAD_BEEF, 1, u128::MAX],
+        zone: example_zone(),
+    }
+}
+
+#[test]
+fn snapshot_roundtrip() {
+    let snap = sample_snapshot();
+    assert_eq!(ReplicaSnapshot::decode(&snap.encode()).unwrap(), snap);
+}
+
+#[test]
+fn truncation_at_every_boundary_errors_cleanly() {
+    let encoded = sample_snapshot().encode();
+    // Every proper prefix — each one a possible torn write — must fail
+    // with an error, not a panic.
+    for cut in 0..encoded.len() {
+        assert!(
+            ReplicaSnapshot::decode(&encoded[..cut]).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_the_codec() {
+    let encoded = sample_snapshot().encode();
+    for byte in 0..encoded.len() {
+        for bit in 0..8 {
+            let mut corrupted = encoded.clone();
+            corrupted[byte] ^= 1 << bit;
+            // Must either decode to some snapshot or error — the
+            // assertion is simply that it returns. (Integrity against
+            // flips is the caller's job: the snapshot file carries a
+            // SHA-256 trailer, quorum recovery matches t+1 copies.)
+            let _ = ReplicaSnapshot::decode(&corrupted);
+        }
+    }
+}
+
+#[test]
+fn length_prefixes_cannot_force_allocation() {
+    // An attacker sets each count/length field to its maximum while the
+    // buffer stays tiny. Decode must reject by arithmetic — comparing
+    // the claimed count against the bytes actually present — before
+    // reserving any memory.
+    let encoded = sample_snapshot().encode();
+    // Offsets of the three length prefixes: executed count, delivered
+    // count (after the executed entries), zone length (after the ids).
+    let exec_at = 9 + 8 + 8;
+    let ids_at = exec_at + 4 + 3 * 16;
+    let zone_at = ids_at + 4 + 3 * 16;
+    for at in [exec_at, ids_at, zone_at] {
+        let mut huge = encoded.clone();
+        huge[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(ReplicaSnapshot::decode(&huge).is_err(), "length at {at} accepted");
+        // And with the buffer cut right after the lying prefix.
+        assert!(ReplicaSnapshot::decode(&huge[..at + 4]).is_err());
+    }
+}
+
+#[test]
+fn random_garbage_fuzz() {
+    let mut rng = StdRng::seed_from_u64(0x5A7F_0001);
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0..512);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let _ = ReplicaSnapshot::decode(&garbage); // must return, not panic
+    }
+    // Garbage behind a valid magic exercises the field parsers.
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0..512);
+        let mut bytes = b"SDNSSTATE".to_vec();
+        bytes.extend((0..len).map(|_| rng.gen::<u8>()));
+        let _ = ReplicaSnapshot::decode(&bytes);
+    }
+}

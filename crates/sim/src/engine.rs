@@ -374,6 +374,29 @@ impl<A: Actor> Simulation<A> {
         std::mem::take(&mut self.outputs)
     }
 
+    /// Restarts the whole deployment: every node is replaced by its
+    /// entry in `nodes` (freshly constructed by the harness, e.g. from a
+    /// per-node state directory) and receives a new Start event at the
+    /// current virtual time. The event queue is cleared first — every
+    /// in-flight message and pending timer is dropped, modeling `kill
+    /// -9` of all processes at once: nothing survives except what the
+    /// replacement nodes carry (their durable state). Busy nodes are
+    /// freed (a dead process finishes nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` has a different length than the simulation.
+    pub fn restart_all(&mut self, nodes: Vec<A>) {
+        assert_eq!(nodes.len(), self.nodes.len(), "restart must replace every node");
+        self.queue.clear();
+        self.nodes = nodes;
+        let now = self.now;
+        for node in 0..self.nodes.len() {
+            self.free_at[node] = now;
+            self.push_event(now, node, EventKind::Start);
+        }
+    }
+
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(event)) = self.queue.pop() else { return false };

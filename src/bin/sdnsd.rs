@@ -4,11 +4,17 @@
 //! `zone.bin` next to it) and serves until interrupted.
 //!
 //! ```text
-//! sdnsd CONFIG-FILE [--udp PORT]
+//! sdnsd CONFIG-FILE [--udp PORT] [--state-dir DIR]
 //! ```
 //!
 //! With `--udp`, the replica additionally answers plain DNS-over-UDP on
 //! that port, so unmodified resolvers (`dig`) can query it directly.
+//!
+//! With `--state-dir`, the replica keeps durable state in DIR (a
+//! write-ahead log plus crash-consistent snapshots): a restarted
+//! replica — or a whole cluster restarted at once — resumes from disk
+//! without losing any delivered update. Without it, a restarted replica
+//! relies on quorum state transfer from its t+1 live peers.
 
 use sdns::replica::keyfile::load_replica;
 use sdns::replica::tcp::TcpReplica;
@@ -20,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut udp_port: Option<u16> = None;
+    let mut state_dir: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         if arg == "--udp" {
@@ -28,12 +35,18 @@ fn main() {
                 eprintln!("--udp needs a port number");
                 exit(2);
             }
+        } else if arg == "--state-dir" {
+            state_dir = iter.next();
+            if state_dir.is_none() {
+                eprintln!("--state-dir needs a directory path");
+                exit(2);
+            }
         } else {
             path = Some(arg);
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT]\n\nRun one replica from a config written by sdns-keygen.");
+        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--state-dir DIR]\n\nRun one replica from a config written by sdns-keygen.");
         exit(2);
     };
     let file = load_replica(Path::new(&path)).unwrap_or_else(|e| {
@@ -52,15 +65,26 @@ fn main() {
         addr.set_port(port);
         config.udp_listen = Some(addr);
     }
+    if let Some(dir) = &state_dir {
+        // Durable state needs the wall-clock ticker: it drives the
+        // reliable-link resends that carry recovery traffic.
+        config = config
+            .with_state_dir(std::path::PathBuf::from(dir))
+            .with_tick(std::time::Duration::from_millis(50));
+    }
     let udp_note = config
         .udp_listen
         .map(|a| format!(", plain DNS/UDP on {a}"))
+        .unwrap_or_default();
+    let durable_note = state_dir
+        .as_ref()
+        .map(|d| format!(", durable state in {d}"))
         .unwrap_or_default();
     let _handle = TcpReplica::spawn(replica, config).unwrap_or_else(|e| {
         eprintln!("cannot bind {listen}: {e}");
         exit(1)
     });
-    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}");
+    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}{durable_note}");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::park();

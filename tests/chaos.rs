@@ -29,14 +29,15 @@ use sdns::dns::update::add_record_request;
 use sdns::dns::{Message, Name, RData, Rcode, Record, RecordType};
 use sdns::replica::reliable::RetransmitCfg;
 use sdns::replica::{
-    answer_query, deploy, example_zone, Corruption, CostModel, Deployment, Replica,
-    ReplicaAction, ReplicaEvent, ReplicaMsg, ZoneSecurity,
+    answer_query, deploy, example_zone, Corruption, CostModel, Deployment, Durability,
+    DurabilityCfg, Replica, ReplicaAction, ReplicaEvent, ReplicaMsg, ZoneSecurity,
 };
 use sdns::sim::{
     Actor, Byzantine, ByzMode, Context, FaultPlan, LatencyMatrix, NodeId, OutputEvent,
     SimDuration, SimTime, Simulation,
 };
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 
 const N: usize = 4;
 const T: usize = 1;
@@ -53,6 +54,31 @@ const BUDGET: u64 = 4_000_000;
 
 fn at(secs: f64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs_f64(secs)
+}
+
+/// The scenario's seed, combined with an `SDNS_CHAOS_SEED` environment
+/// override when set (decimal or `0x`-prefixed hex). The soak job sweeps
+/// this variable across runs; each scenario still gets a distinct
+/// per-scenario value via XOR with its base. The effective seed is
+/// printed so any failure is a byte-identical repro:
+/// `SDNS_CHAOS_SEED=<seed> cargo test --test chaos`.
+fn chaos_seed(base: u64) -> u64 {
+    let seed = match std::env::var("SDNS_CHAOS_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            match parsed {
+                Ok(s) => s ^ base,
+                Err(_) => panic!("SDNS_CHAOS_SEED must be a u64 (decimal or 0x-hex), got {v:?}"),
+            }
+        }
+        Err(_) => base,
+    };
+    eprintln!("chaos seed: {seed:#018x} (override with SDNS_CHAOS_SEED)");
+    seed
 }
 
 /// Observable chaos-run events.
@@ -309,7 +335,7 @@ fn run_lossy_scenario(seed: u64) -> String {
 
 #[test]
 fn lossy_mesh_converges_with_signed_zone() {
-    run_lossy_scenario(0xCA05_0001);
+    run_lossy_scenario(chaos_seed(0xCA05_0001));
 }
 
 #[test]
@@ -317,10 +343,10 @@ fn chaos_runs_replay_byte_identically() {
     // Determinism: same (seed, plan) — byte-identical output traces,
     // retransmissions and all. A different seed takes a different path
     // (sanity check that the comparison has teeth).
-    let a = run_lossy_scenario(0xCA05_0002);
-    let b = run_lossy_scenario(0xCA05_0002);
+    let a = run_lossy_scenario(chaos_seed(0xCA05_0002));
+    let b = run_lossy_scenario(chaos_seed(0xCA05_0002));
     assert_eq!(a, b, "same (seed, plan) must replay identically");
-    let c = run_lossy_scenario(0xCA05_0003);
+    let c = run_lossy_scenario(chaos_seed(0xCA05_0003));
     assert_ne!(a, c, "different seeds should explore different schedules");
 }
 
@@ -332,7 +358,7 @@ fn flapping_partition_heals_and_delivers() {
     let plan = FaultPlan::new()
         .with_partition(&[0, 1], &[2, 3], at(0.2), Some(at(1.2)))
         .with_partition(&[0, 1], &[2, 3], at(1.6), Some(at(2.6)));
-    let (mut sim, deployment) = build(0xCA05_0010, plan, &[], &[]);
+    let (mut sim, deployment) = build(chaos_seed(0xCA05_0010), plan, &[], &[]);
     inject_update(
         &mut sim,
         0,
@@ -357,7 +383,7 @@ fn crash_recover_rejoins_via_state_transfer() {
     // Replica 3 crashes before the first update and recovers later from
     // a fresh process image: state transfer (t+1 matching snapshots)
     // brings it back, and it then participates in a second update.
-    let seed = 0xCA05_0020;
+    let seed = chaos_seed(0xCA05_0020);
     let plan = FaultPlan::new().with_crash(3, at(0.2), Some(at(5.0)));
     let (mut sim, deployment) = build(seed, plan, &[], &[]);
 
@@ -416,6 +442,217 @@ fn crash_recover_rejoins_via_state_transfer() {
     }
 }
 
+/// A scratch state-directory root for one durable scenario, wiped clean.
+fn fresh_state_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdns-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Restore-time sends `(from, to, msg)` produced while rebuilding nodes
+/// from disk, to inject once the nodes are in the simulation.
+type RestoreSends = Vec<(usize, usize, ReplicaMsg)>;
+
+/// Builds the `N` durable replica nodes (plus the client) for one
+/// incarnation: each replica opens its state directory, bumps the
+/// persisted link epoch, and restores from disk. Returns the nodes and
+/// the restore-time sends (state-transfer requests, replayed signing
+/// traffic) to inject once the nodes are in the simulation.
+fn durable_nodes(
+    deployment: &Deployment,
+    seed: u64,
+    root: &Path,
+    incarnation: u64,
+) -> (Vec<Byzantine<ChaosNode>>, RestoreSends) {
+    let mut nodes = Vec::new();
+    let mut sends = Vec::new();
+    for i in 0..N {
+        let mut replica = deployment.replica(i, Corruption::None, seed ^ (incarnation << 8));
+        let mut durability =
+            Durability::open(&root.join(format!("replica-{i}")), DurabilityCfg::default())
+                .expect("state directory");
+        let epoch = durability.bump_epoch().expect("persist epoch");
+        assert_eq!(epoch, incarnation, "epoch counter must count incarnations");
+        replica.enable_retransmission(epoch, RetransmitCfg::default());
+        for action in replica.restore_from_disk(durability) {
+            if let ReplicaAction::Send { to, msg } = action {
+                sends.push((i, to, msg));
+            }
+        }
+        nodes.push(Byzantine::honest(ChaosNode::Replica(Box::new(replica))));
+    }
+    nodes.push(Byzantine::honest(ChaosNode::Client));
+    (nodes, sends)
+}
+
+/// Builds a 4-replica durable deployment (state dirs under `root`).
+fn build_durable(
+    seed: u64,
+    plan: FaultPlan,
+    root: &Path,
+) -> (Simulation<Byzantine<ChaosNode>>, Deployment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deployment = deploy(
+        Group::new(N, T),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    );
+    let (nodes, sends) = durable_nodes(&deployment, seed, root, 1);
+    let net = LatencyMatrix::uniform(N + 1, SimDuration::from_millis(5)).with_jitter(0.2);
+    let mut sim = Simulation::new(nodes, net, seed).with_fault_plan(plan);
+    for i in 0..N {
+        sim.schedule_timer(i, TICK_TIMER, tick());
+    }
+    for (from, to, msg) in sends {
+        sim.inject(SimDuration::ZERO, from, to, msg);
+    }
+    (sim, deployment)
+}
+
+/// `kill -9` of the whole cluster followed by a cold restart from the
+/// state directories: every in-flight message and timer is dropped,
+/// every node is replaced by a fresh process image restored from disk.
+fn restart_all_durable(
+    sim: &mut Simulation<Byzantine<ChaosNode>>,
+    deployment: &Deployment,
+    seed: u64,
+    root: &Path,
+    incarnation: u64,
+) {
+    let (nodes, sends) = durable_nodes(deployment, seed, root, incarnation);
+    sim.restart_all(nodes);
+    for i in 0..N {
+        sim.schedule_timer(i, TICK_TIMER, tick());
+    }
+    for (from, to, msg) in sends {
+        sim.inject(SimDuration::ZERO, from, to, msg);
+    }
+}
+
+/// The SOA serial replica `i` currently serves.
+fn soa_serial(sim: &Simulation<Byzantine<ChaosNode>>, i: usize) -> u32 {
+    let ChaosNode::Replica(replica) = sim.node(i).inner() else {
+        panic!("node {i} is not a replica")
+    };
+    replica.zone().serial()
+}
+
+#[test]
+fn full_cluster_restart_mid_signing_loses_nothing() {
+    // The tentpole scenario: every sdnsd dies at once (power loss, bad
+    // deploy) in the middle of threshold-signing an update that atomic
+    // broadcast has already delivered everywhere. After a cold restart
+    // from the state directories, no delivered update is lost, no SOA
+    // serial regresses, and the cluster threshold-signs fresh updates.
+    let seed = chaos_seed(0xCA05_0050);
+    let root = fresh_state_root("restart");
+    let (mut sim, deployment) = build_durable(seed, FaultPlan::new(), &root);
+
+    // Update 1 completes and is durable everywhere.
+    inject_update(&mut sim, 0, 1, "before.example.com", "203.0.113.7", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "baseline update stalled");
+    assert!(await_client_ok(&mut sim, 1), "client never confirmed the baseline update");
+    let serial_before = soa_serial(&sim, 0);
+
+    // Update 2: stop the world the moment the last replica has delivered
+    // it — the WAL has it everywhere, the signing protocol is mid-flight.
+    inject_update(&mut sim, 1, 2, "during.example.com", "203.0.113.8", SimDuration::ZERO);
+    let mut delivered: HashSet<usize> = HashSet::new();
+    let all_delivered = sim.run_until(BUDGET, |ev| {
+        if let ChaosEvent::Replica(ReplicaEvent::Delivered { key }) = &ev.output {
+            if *key == (CLIENT, 2) && ev.node < N {
+                delivered.insert(ev.node);
+            }
+        }
+        delivered.len() == N
+    });
+    assert!(all_delivered, "update 2 was not delivered everywhere");
+    sim.take_outputs(); // pre-restart trace ends here
+
+    let t_down = sim.now();
+    restart_all_durable(&mut sim, &deployment, seed, &root, 2);
+
+    // The restarted cluster replays its WALs, re-forms the interrupted
+    // signing sessions (same deterministic session ids) and completes
+    // update 2 — the delivered update survived the massacre.
+    assert!(
+        await_executed(&mut sim, (CLIENT, 2), &[0, 1, 2, 3]),
+        "the delivered-but-unsigned update was lost by the restart"
+    );
+    eprintln!("cold restart -> in-flight update re-signed everywhere in {}", sim.now() - t_down);
+    let outputs = sim.take_outputs();
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2, 3]);
+    for i in 0..N {
+        assert!(
+            soa_serial(&sim, i) >= serial_before,
+            "replica {i} regressed its SOA serial across the restart"
+        );
+        assert_signed_answer(&sim, &deployment, i, "before.example.com");
+        assert_signed_answer(&sim, &deployment, i, "during.example.com");
+    }
+
+    // And the restarted cluster still threshold-signs new work.
+    inject_update(&mut sim, 2, 3, "after.example.com", "203.0.113.9", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 3), &[0, 1, 2, 3]),
+        "restarted cluster cannot threshold-sign fresh updates"
+    );
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "after.example.com");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_wal_is_detected_and_repaired_via_state_transfer() {
+    // Bit rot: one replica's WAL is flipped while the cluster is down.
+    // The CRC catches it on restart; the replica discards the corrupt
+    // suffix and fetches the gap from its peers (quorum state transfer)
+    // instead of crashing or serving bad state.
+    let seed = chaos_seed(0xCA05_0060);
+    let root = fresh_state_root("bitrot");
+    let (mut sim, deployment) = build_durable(seed, FaultPlan::new(), &root);
+
+    inject_update(&mut sim, 0, 1, "rot.example.com", "203.0.113.10", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "update stalled");
+    assert!(await_client_ok(&mut sim, 1), "client never confirmed the update");
+    sim.take_outputs();
+
+    // The cluster dies; a bit flips inside replica 3's log.
+    let wal_path = root.join("replica-3").join("wal.bin");
+    let mut bytes = std::fs::read(&wal_path).expect("replica 3 logged the update");
+    let n = bytes.len();
+    bytes[n - 10] ^= 0x04; // inside the last frame's payload/CRC region
+    std::fs::write(&wal_path, &bytes).expect("write flipped log");
+
+    restart_all_durable(&mut sim, &deployment, seed, &root, 2);
+
+    // Replicas 0-2 replay cleanly; replica 3 detects the damage and
+    // recovers the lost suffix from the group.
+    let recovered = sim.run_until(BUDGET, |ev| {
+        ev.node == 3 && matches!(&ev.output, ChaosEvent::Replica(ReplicaEvent::Recovered { .. }))
+    });
+    assert!(recovered, "replica 3 did not repair its torn log via state transfer");
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "rot.example.com");
+    }
+    // The repaired replica participates in the next update.
+    inject_update(&mut sim, 3, 2, "post-rot.example.com", "203.0.113.11", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 2), &[0, 1, 2, 3]),
+        "repaired replica does not participate in new updates"
+    );
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "post-rot.example.com");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Byzantine traffic mutator: flips a random bit in every reliable
 /// broadcast payload this replica sends (reaching through the reliable
 /// -link framing), modelling arbitrarily corrupted protocol traffic.
@@ -443,7 +680,7 @@ fn byzantine_replica_cannot_break_safety_or_liveness() {
     // verifying threshold signature — t = 1 is within tolerance.
     let plan = lossy_plan(); // Byzantine on top of a lossy mesh
     let (mut sim, deployment) = build(
-        0xCA05_0030,
+        chaos_seed(0xCA05_0030),
         plan,
         &[(3, Corruption::InvertSigShares)],
         &[(3, ByzMode::Mutate(flip_rbc_bits))],
@@ -472,7 +709,7 @@ fn t_plus_one_crashes_stall_without_safety_violation() {
     let plan = FaultPlan::new()
         .with_crash(2, at(0.2), None)
         .with_crash(3, at(0.2), None);
-    let (mut sim, deployment) = build(0xCA05_0040, plan, &[], &[]);
+    let (mut sim, deployment) = build(chaos_seed(0xCA05_0040), plan, &[], &[]);
     inject_update(
         &mut sim,
         0,
