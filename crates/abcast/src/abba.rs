@@ -57,9 +57,25 @@ struct RoundState {
     advanced: bool,
 }
 
+/// Picks the slot of a `[T; 2]` pair indexed by a bool (false, true) —
+/// total by construction, no bounds check to get wrong.
+fn slot<T>(pair: &[T; 2], v: bool) -> &T {
+    let [f, t] = pair;
+    if v { t } else { f }
+}
+
+fn slot_mut<T>(pair: &mut [T; 2], v: bool) -> &mut T {
+    let [f, t] = pair;
+    if v { t } else { f }
+}
+
 impl RoundState {
     fn bin_contains(&self, v: bool) -> bool {
-        self.bin_values[usize::from(v)]
+        *slot(&self.bin_values, v)
+    }
+
+    fn bin_insert(&mut self, v: bool) {
+        *slot_mut(&mut self.bin_values, v) = true;
     }
 }
 
@@ -137,17 +153,18 @@ impl<C: Coin> Abba<C> {
             AbbaMsg::Bval { round, value } => {
                 let group = self.group;
                 let state = self.rounds.entry(round).or_default();
-                let senders = &mut state.bvals[usize::from(value)];
+                let senders = slot_mut(&mut state.bvals, value);
                 if senders.contains(&from) {
                     return out;
                 }
                 senders.push(from);
+                let supporters = senders.len();
                 // Amplification: t+1 supports prove one honest supporter.
                 let amplify =
-                    senders.len() >= group.one_honest() && !state.bval_sent[usize::from(value)];
+                    supporters >= group.one_honest() && !*slot(&state.bval_sent, value);
                 // 2t+1 supports admit the value into bin_values.
-                if state.bvals[usize::from(value)].len() >= group.quorum() {
-                    state.bin_values[usize::from(value)] = true;
+                if supporters >= group.quorum() {
+                    state.bin_insert(value);
                 }
                 if amplify {
                     self.send_bval(round, value, &mut out);
@@ -161,7 +178,7 @@ impl<C: Coin> Abba<C> {
                 state.auxes.push((from, value));
             }
             AbbaMsg::Done { value } => {
-                let senders = &mut self.dones[usize::from(value)];
+                let senders = slot_mut(&mut self.dones, value);
                 if senders.contains(&from) {
                     return out;
                 }
@@ -178,21 +195,24 @@ impl<C: Coin> Abba<C> {
     }
 
     fn send_bval(&mut self, round: u32, value: bool, out: &mut Vec<Action<AbbaMsg>>) {
-        let state = self.rounds.entry(round).or_default();
-        if state.bval_sent[usize::from(value)] {
-            return;
-        }
-        state.bval_sent[usize::from(value)] = true;
-        out.push(Action::Broadcast { msg: AbbaMsg::Bval { round, value } });
-        // Count our own support.
         let me = self.me;
         let group = self.group;
-        let senders = &mut state.bvals[usize::from(value)];
-        if !senders.contains(&me) {
-            senders.push(me);
+        let state = self.rounds.entry(round).or_default();
+        if *slot(&state.bval_sent, value) {
+            return;
         }
-        if senders.len() >= group.quorum() {
-            state.bin_values[usize::from(value)] = true;
+        *slot_mut(&mut state.bval_sent, value) = true;
+        out.push(Action::Broadcast { msg: AbbaMsg::Bval { round, value } });
+        // Count our own support.
+        let supporters = {
+            let senders = slot_mut(&mut state.bvals, value);
+            if !senders.contains(&me) {
+                senders.push(me);
+            }
+            senders.len()
+        };
+        if supporters >= group.quorum() {
+            state.bin_insert(value);
         }
     }
 
@@ -204,9 +224,10 @@ impl<C: Coin> Abba<C> {
         if !self.done_sent {
             self.done_sent = true;
             out.push(Action::Broadcast { msg: AbbaMsg::Done { value } });
-            let senders = &mut self.dones[usize::from(value)];
-            if !senders.contains(&self.me) {
-                senders.push(self.me);
+            let me = self.me;
+            let senders = slot_mut(&mut self.dones, value);
+            if !senders.contains(&me) {
+                senders.push(me);
             }
             self.maybe_halt();
         }
@@ -214,7 +235,7 @@ impl<C: Coin> Abba<C> {
 
     fn maybe_halt(&mut self) {
         if let Some(v) = self.decided {
-            if self.dones[usize::from(v)].len() >= self.group.quorum() {
+            if slot(&self.dones, v).len() >= self.group.quorum() {
                 self.halted = true;
             }
         }
@@ -231,7 +252,7 @@ impl<C: Coin> Abba<C> {
             let state = self.rounds.entry(round).or_default();
 
             // Send AUX once bin_values is nonempty.
-            if !state.aux_sent && (state.bin_values[0] || state.bin_values[1]) {
+            if !state.aux_sent && (state.bin_contains(false) || state.bin_contains(true)) {
                 state.aux_sent = true;
                 let value = state.bin_contains(true);
                 out.push(Action::Broadcast { msg: AbbaMsg::Aux { round, value } });

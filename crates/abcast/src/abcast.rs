@@ -137,13 +137,17 @@ impl<C: Coin + Clone> AtomicBroadcast<C> {
         self.rounds.clear();
         self.outputs.retain(|r, _| *r >= round);
         self.inflight.clear();
+        let me = u128::try_from(self.me).unwrap_or(u128::MAX);
         let own_max_seq = delivered_ids
             .iter()
-            .filter(|id| (*id >> 64) as usize == self.me)
+            .filter(|id| (*id >> 64) == me)
+            // sdns-lint: allow(cast) — intentional truncation: the low 64 bits are the sequence half of the id
             .map(|id| *id as u64)
             .max();
         if let Some(max) = own_max_seq {
-            self.next_payload_seq = self.next_payload_seq.max(max + 1);
+            // Saturating: a hostile imported id near u64::MAX must not wrap
+            // the sequence counter back over ids already used.
+            self.next_payload_seq = self.next_payload_seq.max(max.saturating_add(1));
         }
         self.delivered_ids = delivered_ids.into_iter().collect();
     }
@@ -170,7 +174,9 @@ impl<C: Coin + Clone> AtomicBroadcast<C> {
             return (actions, deliveries);
         }
         self.ensure_round(round, &mut actions);
-        let acs = self.rounds.get_mut(&round).expect("ensured above");
+        let Some(acs) = self.rounds.get_mut(&round) else {
+            return (actions, deliveries);
+        };
         let (inner_actions, output) = acs.on_message(from, inner);
         wrap_actions(&mut actions, inner_actions, move |inner| AbcMsg::Acs { round, inner });
         if let Some(out) = output {
@@ -251,12 +257,21 @@ impl<C: Coin + Clone> AtomicBroadcast<C> {
 }
 
 /// Encodes a batch of payloads: `count ‖ (id ‖ len ‖ data)*`.
+///
+/// Counts and lengths saturate at `u32::MAX`; a saturated field cannot
+/// round-trip (decode reads the longest valid prefix, identically at
+/// every replica), so it degrades to a short batch rather than a panic.
 fn encode_batch(batch: &[Payload]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + batch.iter().map(|p| 20 + p.data.len()).sum::<usize>());
-    out.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+    fn count32(n: usize) -> u32 {
+        u32::try_from(n).unwrap_or(u32::MAX)
+    }
+    let body: usize =
+        batch.iter().map(|p| p.data.len().saturating_add(20)).sum();
+    let mut out = Vec::with_capacity(body.saturating_add(8));
+    out.extend_from_slice(&count32(batch.len()).to_be_bytes());
     for p in batch {
         out.extend_from_slice(&p.id.to_be_bytes());
-        out.extend_from_slice(&(p.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&count32(p.data.len()).to_be_bytes());
         out.extend_from_slice(&p.data);
     }
     out
@@ -266,17 +281,28 @@ fn encode_batch(batch: &[Payload]) -> Vec<u8> {
 /// decode as the longest valid prefix, identically at every replica.
 fn decode_batch(bytes: &[u8]) -> Vec<Payload> {
     let mut out = Vec::new();
-    let Some(count_bytes) = bytes.get(..4) else { return out };
-    let count = u32::from_be_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
-    let mut pos = 4;
+    let Some(count_bytes) = bytes.get(..4).and_then(|s| <[u8; 4]>::try_from(s).ok()) else {
+        return out;
+    };
+    let count = u32::from_be_bytes(count_bytes);
+    let mut pos = 4usize;
     for _ in 0..count.min(65_536) {
-        let Some(id_bytes) = bytes.get(pos..pos + 16) else { return out };
-        let id = u128::from_be_bytes(id_bytes.try_into().expect("16 bytes"));
-        let Some(len_bytes) = bytes.get(pos + 16..pos + 20) else { return out };
-        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-        let Some(data) = bytes.get(pos + 20..pos + 20 + len) else { return out };
+        let Some(id_end) = pos.checked_add(16) else { return out };
+        let Some(id_bytes) = bytes.get(pos..id_end).and_then(|s| <[u8; 16]>::try_from(s).ok())
+        else {
+            return out;
+        };
+        let id = u128::from_be_bytes(id_bytes);
+        let Some(len_end) = id_end.checked_add(4) else { return out };
+        let Some(len_bytes) = bytes.get(id_end..len_end).and_then(|s| <[u8; 4]>::try_from(s).ok())
+        else {
+            return out;
+        };
+        let Ok(len) = usize::try_from(u32::from_be_bytes(len_bytes)) else { return out };
+        let Some(data_end) = len_end.checked_add(len) else { return out };
+        let Some(data) = bytes.get(len_end..data_end) else { return out };
         out.push(Payload { id, data: data.to_vec() });
-        pos += 20 + len;
+        pos = data_end;
     }
     out
 }

@@ -62,6 +62,7 @@ impl<C: Coin + Clone> Acs<C> {
             me,
             rbcs: (0..n).map(|p| Rbc::new(group, me, p)).collect(),
             abbas: (0..n)
+                // sdns-lint: allow(cast) — usize→u64 is lossless on every supported target
                 .map(|i| Abba::new(group, me, coin.clone(), tag.wrapping_mul(1009).wrapping_add(i as u64)))
                 .collect(),
             delivered: vec![None; n],
@@ -82,7 +83,10 @@ impl<C: Coin + Clone> Acs<C> {
     pub fn propose(&mut self, value: Vec<u8>) -> (Vec<Action<AcsMsg>>, Option<AcsOutput>) {
         let mut out = Vec::new();
         let me = self.me;
-        let (actions, delivered) = self.rbcs[me].broadcast(value);
+        let Some(rbc) = self.rbcs.get_mut(me) else {
+            return (out, None);
+        };
+        let (actions, delivered) = rbc.broadcast(value);
         wrap_actions(&mut out, actions, move |inner| AcsMsg::Rbc { proposer: me, inner });
         if let Some(v) = delivered {
             self.on_rbc_delivered(me, v, &mut out);
@@ -100,20 +104,22 @@ impl<C: Coin + Clone> Acs<C> {
         let mut out = Vec::new();
         match msg {
             AcsMsg::Rbc { proposer, inner } => {
-                if proposer >= self.group.n() {
+                // A hostile proposer id beyond the group is dropped here
+                // (`get_mut` doubles as the bounds check).
+                let Some(rbc) = self.rbcs.get_mut(proposer) else {
                     return (out, None);
-                }
-                let (actions, delivered) = self.rbcs[proposer].on_message(from, inner);
+                };
+                let (actions, delivered) = rbc.on_message(from, inner);
                 wrap_actions(&mut out, actions, move |inner| AcsMsg::Rbc { proposer, inner });
                 if let Some(v) = delivered {
                     self.on_rbc_delivered(proposer, v, &mut out);
                 }
             }
             AcsMsg::Abba { instance, inner } => {
-                if instance >= self.group.n() {
+                let Some(abba) = self.abbas.get_mut(instance) else {
                     return (out, None);
-                }
-                let actions = self.abbas[instance].on_message(from, inner);
+                };
+                let actions = abba.on_message(from, inner);
                 wrap_actions(&mut out, actions, move |inner| AcsMsg::Abba { instance, inner });
                 self.after_abba_progress(&mut out);
             }
@@ -123,10 +129,14 @@ impl<C: Coin + Clone> Acs<C> {
     }
 
     fn on_rbc_delivered(&mut self, proposer: ReplicaId, value: Vec<u8>, out: &mut Vec<Action<AcsMsg>>) {
-        self.delivered[proposer] = Some(value);
-        if !self.abbas[proposer].has_input() && self.abbas[proposer].decision().is_none() {
-            let actions = self.abbas[proposer].input(true);
-            wrap_actions(out, actions, move |inner| AcsMsg::Abba { instance: proposer, inner });
+        if let Some(slot) = self.delivered.get_mut(proposer) {
+            *slot = Some(value);
+        }
+        if let Some(abba) = self.abbas.get_mut(proposer) {
+            if !abba.has_input() && abba.decision().is_none() {
+                let actions = abba.input(true);
+                wrap_actions(out, actions, move |inner| AcsMsg::Abba { instance: proposer, inner });
+            }
         }
         self.after_abba_progress(out);
     }
@@ -138,9 +148,9 @@ impl<C: Coin + Clone> Acs<C> {
         let ones = self.abbas.iter().filter(|a| a.decision() == Some(true)).count();
         if ones >= self.group.wait_for() {
             self.zero_filled = true;
-            for i in 0..self.group.n() {
-                if !self.abbas[i].has_input() && self.abbas[i].decision().is_none() {
-                    let actions = self.abbas[i].input(false);
+            for (i, abba) in self.abbas.iter_mut().enumerate() {
+                if !abba.has_input() && abba.decision().is_none() {
+                    let actions = abba.input(false);
                     wrap_actions(out, actions, move |inner| AcsMsg::Abba { instance: i, inner });
                 }
             }
@@ -156,20 +166,18 @@ impl<C: Coin + Clone> Acs<C> {
         if self.abbas.iter().any(|a| a.decision().is_none()) {
             return None;
         }
-        let included: Vec<ReplicaId> = (0..self.group.n())
-            .filter(|i| self.abbas[*i].decision() == Some(true))
-            .collect();
-        if included.iter().any(|i| self.delivered[*i].is_none()) {
-            // Totality will bring the missing broadcasts.
-            return None;
+        let mut subset = Vec::new();
+        for (i, (abba, slot)) in self.abbas.iter().zip(&self.delivered).enumerate() {
+            if abba.decision() == Some(true) {
+                match slot {
+                    Some(v) => subset.push((i, v.clone())),
+                    // Totality will bring the missing broadcast.
+                    None => return None,
+                }
+            }
         }
         self.output_emitted = true;
-        Some(
-            included
-                .into_iter()
-                .map(|i| (i, self.delivered[i].clone().expect("checked above")))
-                .collect(),
-        )
+        Some(subset)
     }
 }
 

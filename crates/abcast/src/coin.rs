@@ -58,7 +58,8 @@ impl Coin for HashCoin {
                 h.update(&self.seed.to_be_bytes());
                 h.update(&tag.to_be_bytes());
                 h.update(&round.to_be_bytes());
-                h.finalize()[0] & 1 == 1
+                let [first, ..] = h.finalize();
+                first & 1 == 1
             }
         }
     }
@@ -110,7 +111,7 @@ impl ThresholdCoin {
     /// Computes this replica's share of coin (`tag`, `round`).
     pub fn share(&self, key: &KeyShare, tag: u64, round: u32) -> CoinShare {
         let x = coin_name(tag, round, self.pk.modulus());
-        CoinShare { replica: key.index() - 1, share: key.sign(&x, &self.pk) }
+        CoinShare { replica: key.index().saturating_sub(1), share: key.sign(&x, &self.pk) }
     }
 
     /// Combines `t + 1` shares into the coin value.
@@ -124,7 +125,8 @@ impl ThresholdCoin {
         let sig = self.pk.assemble(&x, &sig_shares).ok()?;
         let mut h = Sha256::new();
         h.update(&sig.to_bytes_be());
-        Some(h.finalize()[0] & 1 == 1)
+        let [first, ..] = h.finalize();
+        Some(first & 1 == 1)
     }
 }
 

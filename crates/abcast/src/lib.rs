@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! Asynchronous Byzantine atomic broadcast for the secure distributed DNS.
 //!

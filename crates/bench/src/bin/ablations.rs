@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run --release -p sdns-bench --bin ablations [seed]`
 
+// Benchmark harness binary: aborting on a broken local setup is the
+// desired failure mode, so the unwrap/expect lints are relaxed.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2004);
     println!("{}", sdns_bench::ablations::report(seed));

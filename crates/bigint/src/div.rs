@@ -41,7 +41,7 @@ fn div_rem_by_limb(limbs: &[u64], d: u64) -> (Vec<u64>, u64) {
 
 fn div_rem_knuth(numerator: &Ubig, divisor: &Ubig) -> (Ubig, Ubig) {
     // D1: normalize so that the top limb of the divisor has its high bit set.
-    let shift = divisor.limbs.last().expect("nonzero").leading_zeros() as usize;
+    let shift = divisor.limbs.last().map_or(0, |l| l.leading_zeros()) as usize;
     let u = numerator << shift; // dividend
     let v = divisor << shift; // divisor
     let n = v.limbs.len();

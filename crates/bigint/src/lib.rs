@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! Arbitrary-precision unsigned integer arithmetic for the sdns workspace.
 //!

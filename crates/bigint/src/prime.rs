@@ -43,7 +43,9 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &Ubig, rounds: usize, rng: &mut R) 
     }
     // Write n-1 = d * 2^s with d odd.
     let n_minus_1 = n - &Ubig::one();
-    let s = n_minus_1.trailing_zeros().expect("n > 2 and odd here");
+    let Some(s) = n_minus_1.trailing_zeros() else {
+        return false; // unreachable: n > 2 and odd here, so n-1 is nonzero
+    };
     let d = &n_minus_1 >> s;
     let two = Ubig::two();
 

@@ -107,11 +107,10 @@ impl Ubig {
     /// Serializes to big-endian bytes with no leading zeros.
     /// Zero serializes to an empty vector.
     pub fn to_bytes_be(&self) -> Vec<u8> {
-        if self.is_zero() {
+        let Some(&top) = self.limbs.last() else {
             return Vec::new();
-        }
+        };
         let mut out = Vec::with_capacity(self.limbs.len() * 8);
-        let top = *self.limbs.last().expect("nonzero");
         let top_bytes = 8 - (top.leading_zeros() / 8) as usize;
         for i in (0..top_bytes).rev() {
             out.push((top >> (8 * i)) as u8);
@@ -157,10 +156,10 @@ impl Ubig {
     /// Renders as a lowercase hexadecimal string with no leading zeros
     /// (`"0"` for zero).
     pub fn to_hex(&self) -> String {
-        if self.is_zero() {
+        let Some(top) = self.limbs.last() else {
             return "0".to_owned();
-        }
-        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
+        };
+        let mut s = format!("{top:x}");
         for limb in self.limbs.iter().rev().skip(1) {
             s.push_str(&format!("{limb:016x}"));
         }
@@ -196,10 +195,10 @@ impl Ubig {
         let billion = Ubig::from(1_000_000_000u64);
         while !cur.is_zero() {
             let (q, r) = cur.div_rem(&billion);
-            digits.push(r.to_u64().expect("below 1e9"));
+            digits.push(r.to_u64().unwrap_or(0));
             cur = q;
         }
-        let mut s = format!("{}", digits.pop().expect("nonzero"));
+        let mut s = digits.pop().map_or_else(|| "0".to_owned(), |d| format!("{d}"));
         for d in digits.iter().rev() {
             s.push_str(&format!("{d:09}"));
         }

@@ -204,7 +204,9 @@ impl GatewayClient {
         };
         let new_timer = self.next_timer;
         self.next_timer += 1;
-        let inflight = self.inflight.get_mut(&request_id).expect("found above");
+        let Some(inflight) = self.inflight.get_mut(&request_id) else {
+            return Vec::new(); // unreachable: looked up just above
+        };
         inflight.server_idx = (inflight.server_idx + 1) % self.servers.len();
         inflight.attempts += 1;
         inflight.timer = new_timer;

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! Clients and scenario harness for the secure distributed DNS.
 //!

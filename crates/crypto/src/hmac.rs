@@ -15,9 +15,11 @@ macro_rules! hmac_impl {
             let mut key_block = [0u8; 64];
             if key.len() > 64 {
                 let digest = $hasher::digest(key);
-                key_block[..$len].copy_from_slice(&digest);
-            } else {
-                key_block[..key.len()].copy_from_slice(key);
+                if let Some(dst) = key_block.get_mut(..$len) {
+                    dst.copy_from_slice(&digest);
+                }
+            } else if let Some(dst) = key_block.get_mut(..key.len()) {
+                dst.copy_from_slice(key);
             }
             let mut inner = $hasher::new();
             let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! Cryptography for the secure distributed DNS.
 //!

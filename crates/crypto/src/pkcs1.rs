@@ -63,13 +63,14 @@ impl std::error::Error for EncodeError {}
 /// ```
 pub fn emsa_encode(message: &[u8], alg: HashAlg, em_len: usize) -> Result<Vec<u8>, EncodeError> {
     let t = digest_info(message, alg);
-    if em_len < t.len() + 11 {
-        return Err(EncodeError { needed: t.len() + 11, available: em_len });
+    let needed = t.len().saturating_add(11);
+    if em_len < needed {
+        return Err(EncodeError { needed, available: em_len });
     }
     let mut em = Vec::with_capacity(em_len);
     em.push(0x00);
     em.push(0x01);
-    em.resize(em_len - t.len() - 1, 0xFF);
+    em.resize(em_len.saturating_sub(t.len()).saturating_sub(1), 0xFF);
     em.push(0x00);
     em.extend_from_slice(&t);
     Ok(em)

@@ -253,6 +253,7 @@ impl SigningSession {
     }
 
     fn work(&mut self, counts: OpCounts, out: &mut Vec<SigAction>) {
+        // sdns-lint: allow(arith) — virtual-time accounting of our own operations, not peer input
         self.ops_total += counts;
         out.push(SigAction::Work(counts));
     }
@@ -348,7 +349,9 @@ impl SigningSession {
     /// share; keep at most `2t + 1` shares in total.
     fn trial_and_error(&mut self, out: &mut Vec<SigAction>) {
         let quorum = self.pk.quorum();
-        let newest = self.shares.len() - 1;
+        let Some(newest) = self.shares.len().checked_sub(1) else {
+            return; // no shares yet: nothing to try
+        };
         // Enumerate (quorum-1)-subsets of the older shares and append the
         // newest; this tries each subset exactly once across all calls.
         let older: Vec<usize> = (0..newest).collect();
@@ -359,13 +362,13 @@ impl SigningSession {
                 acc.push(cur.clone());
                 return;
             }
-            for i in start..older.len() {
-                cur.push(older[i]);
-                enumerate(older, need - 1, i + 1, cur, acc);
+            for (i, &v) in older.iter().enumerate().skip(start) {
+                cur.push(v);
+                enumerate(older, need.saturating_sub(1), i.saturating_add(1), cur, acc);
                 cur.pop();
             }
         }
-        enumerate(&older, quorum - 1, 0, &mut combo, &mut candidates);
+        enumerate(&older, quorum.saturating_sub(1), 0, &mut combo, &mut candidates);
 
         // Candidate subsets are independent, so when a corrupted share has
         // forced more than one they are attempted on scoped threads. The
@@ -376,8 +379,11 @@ impl SigningSession {
         // including the first success, exactly as the sequential loop did.
         let evaluate = |subset: &Vec<usize>| -> Option<Ubig> {
             let mut attempt: Vec<SignatureShare> =
-                subset.iter().map(|&i| self.shares[i].clone()).collect();
-            attempt.push(self.shares[newest].clone());
+                Vec::with_capacity(subset.len().saturating_add(1));
+            for &i in subset {
+                attempt.push(self.shares.get(i)?.clone());
+            }
+            attempt.push(self.shares.get(newest)?.clone());
             self.pk.assemble(&self.x, &attempt).ok()
         };
         let mut results: Vec<Option<Ubig>> = if candidates.len() <= 1 || crate::parallelism() == 1 {
@@ -393,19 +399,18 @@ impl SigningSession {
             slots
         };
         let first_ok = results.iter().position(|r| r.is_some());
-        let attempts = first_ok.map_or(candidates.len(), |i| i + 1);
+        let attempts = first_ok.map_or(candidates.len(), |i| i.saturating_add(1));
         for _ in 0..attempts {
             self.work(OpCounts::assemble() + OpCounts::sig_verify(), out);
         }
-        if let Some(i) = first_ok {
-            let sig = results[i].take().expect("position() found a success");
+        if let Some(sig) = first_ok.and_then(|i| results.get_mut(i)).and_then(Option::take) {
             self.complete(sig, false, out);
             return;
         }
         // Guaranteed to succeed once 2t+1 distinct shares have arrived;
         // until then, keep waiting.
         debug_assert!(
-            self.shares.len() <= 2 * self.pk.threshold() + 1,
+            self.shares.len() <= self.pk.threshold().saturating_mul(2).saturating_add(1),
             "2t+1 distinct shares must contain t+1 valid ones"
         );
     }

@@ -172,17 +172,23 @@ impl RsaPrivateKey {
             }
             let phi = (&p - &Ubig::one()) * (&q - &Ubig::one());
             let Some(d) = e.modinv(&phi) else { continue };
-            return Self::from_factors(p, q, e, d);
+            if let Some(key) = Self::from_factors(p, q, e.clone(), d) {
+                return key;
+            }
         }
     }
 
     /// Reconstructs a key from its prime factors and exponents.
-    pub fn from_factors(p: Ubig, q: Ubig, e: Ubig, d: Ubig) -> Self {
+    ///
+    /// Returns `None` if `q` is not invertible modulo `p` (the factors
+    /// are not distinct primes), since the CRT precomputation needs
+    /// `q⁻¹ mod p`.
+    pub fn from_factors(p: Ubig, q: Ubig, e: Ubig, d: Ubig) -> Option<Self> {
         let n = &p * &q;
         let d_p = &d % &(&p - &Ubig::one());
         let d_q = &d % &(&q - &Ubig::one());
-        let q_inv = q.modinv(&p).expect("p, q distinct primes");
-        RsaPrivateKey {
+        let q_inv = q.modinv(&p)?;
+        Some(RsaPrivateKey {
             public: RsaPublicKey::new(n, e),
             d,
             p,
@@ -192,7 +198,7 @@ impl RsaPrivateKey {
             q_inv,
             ctx_p: OnceLock::new(),
             ctx_q: OnceLock::new(),
-        }
+        })
     }
 
     /// The corresponding public key.

@@ -66,7 +66,9 @@ impl Sha1 {
         }
         while rest.len() >= 64 {
             let (block, tail) = rest.split_at(64);
-            self.compress(block.try_into().expect("64 bytes"));
+            if let Ok(block) = <&[u8; 64]>::try_from(block) {
+                self.compress(block);
+            }
             rest = tail;
         }
         self.buf[..rest.len()].copy_from_slice(rest);
@@ -98,8 +100,8 @@ impl Sha1 {
 
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        for (i, chunk) in block.chunks_exact(4).enumerate().take(16) {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap_or([0; 4]));
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);

@@ -51,10 +51,9 @@ impl ThresholdPublicKey {
         shares: &[SignatureShare],
     ) -> Result<Ubig, ThresholdError> {
         let need = self.quorum();
-        if shares.len() < need {
-            return Err(ThresholdError::NotEnoughShares { got: shares.len(), need });
-        }
-        let quorum = &shares[..need];
+        let quorum = shares
+            .get(..need)
+            .ok_or(ThresholdError::NotEnoughShares { got: shares.len(), need })?;
         let mut indices = Vec::with_capacity(need);
         for s in quorum {
             if s.signer() < 1 || s.signer() > self.parties() {
@@ -75,6 +74,7 @@ impl ThresholdPublicKey {
         // actually has spare cores.
         let factor = |s: &SignatureShare| -> Result<Ubig, ThresholdError> {
             let lambda = lagrange_at_zero(delta, s.signer(), &indices);
+            // sdns-lint: allow(arith) — arbitrary-precision Ubig multiplication cannot overflow
             let two_lambda_mag = Ubig::two() * lambda.magnitude();
             let base = match lambda.sign() {
                 Sign::Plus => s.value().clone(),
@@ -104,6 +104,7 @@ impl ThresholdPublicKey {
         }
 
         // w^e = x^{4Δ²}; with a·4Δ² + b·e = 1, y = w^a · x^b satisfies y^e = x.
+        // sdns-lint: allow(arith) — arbitrary-precision Ubig multiplication cannot overflow
         let e_prime = Ubig::from(4u64) * delta * delta;
         let (g, a, b) = egcd(&e_prime, self.exponent());
         debug_assert!(g.is_one(), "gcd(4Δ², e) = 1 since e is prime > n");
@@ -134,7 +135,9 @@ fn lagrange_at_zero(delta: &Ubig, j: usize, indices: &[usize]) -> Ibig {
         if j_prime == j {
             continue;
         }
+        // sdns-lint: allow(cast) — signer indices are validated to 1..=parties, far inside i64
         num = num * Ibig::from(-(j_prime as i64));
+        // sdns-lint: allow(cast, arith) — signer indices are validated to 1..=parties, far inside i64
         den = den * Ibig::from(j as i64 - j_prime as i64);
     }
     let (q, r) = num.magnitude().div_rem(den.magnitude());

@@ -42,7 +42,7 @@ impl Dealer {
         assert!(bits >= 96, "modulus must be at least 96 bits");
 
         let e = Ubig::from(65537u64);
-        let (modulus, m) = loop {
+        let (modulus, m, d) = loop {
             let p = gen_safe_prime(bits / 2, rng);
             let q = gen_safe_prime(bits - bits / 2, rng);
             if p == q {
@@ -56,9 +56,9 @@ impl Dealer {
             if (&m % &e).is_zero() || p1 == e || q1 == e {
                 continue;
             }
-            break (&p * &q, m);
+            let Some(d) = e.modinv(&m) else { continue };
+            break (&p * &q, m, d);
         };
-        let d = e.modinv(&m).expect("e invertible mod m by construction");
 
         // Share d with a random degree-t polynomial over Z_m: f(0) = d.
         let mut coefficients = vec![d];
@@ -83,7 +83,7 @@ impl Dealer {
         let verification_keys = shares.iter().map(|s| ctx.pow(&v, s.secret())).collect();
 
         let ctx_cell = OnceLock::new();
-        ctx_cell.set(ctx).expect("freshly created cell");
+        let _ = ctx_cell.set(ctx); // freshly created cell: set cannot fail
         let pk = ThresholdPublicKey {
             n_parties: n,
             threshold: t,

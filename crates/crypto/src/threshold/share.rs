@@ -46,6 +46,7 @@ impl KeyShare {
     /// Computes this server's signature share `x_i = x^{2Δs_i} mod N`
     /// **without** a correctness proof (used by the optimistic protocols).
     pub fn sign(&self, x: &Ubig, pk: &ThresholdPublicKey) -> SignatureShare {
+        // sdns-lint: allow(arith) — arbitrary-precision Ubig multiplication cannot overflow
         let exponent = Ubig::two() * pk.delta_ref() * &self.secret;
         SignatureShare { signer: self.index, value: pk.ctx().pow(x, &exponent), proof: None }
     }
@@ -81,6 +82,8 @@ impl KeyShare {
         let x_i_sq = ctx.pow(share_value, &Ubig::two());
 
         // r ∈ [0, 2^(|N| + 2·L1))
+        // sdns-lint: allow(arith) — bit_len of a real modulus is a few thousand at most,
+        // and the shift builds an arbitrary-precision Ubig that cannot overflow
         let r_bound = Ubig::one() << (pk.modulus().bit_len() + 2 * CHALLENGE_BITS);
         let r = Ubig::random_below(rng, &r_bound);
         let v_prime = ctx.pow(pk.verification_base(), &r);
@@ -221,10 +224,11 @@ fn challenge(v: &Ubig, x_tilde: &Ubig, v_i: &Ubig, x_i_sq: &Ubig, v_p: &Ubig, x_
     let mut h = Sha256::new();
     for part in [v, x_tilde, v_i, x_i_sq, v_p, x_p] {
         let bytes = part.to_bytes_be();
-        h.update(&(bytes.len() as u32).to_be_bytes());
+        h.update(&u32::try_from(bytes.len()).unwrap_or(u32::MAX).to_be_bytes());
         h.update(&bytes);
     }
-    Ubig::from_bytes_be(&h.finalize()[..CHALLENGE_BITS / 8])
+    let digest = h.finalize();
+    Ubig::from_bytes_be(digest.get(..CHALLENGE_BITS / 8).unwrap_or(digest.as_slice()))
 }
 
 #[cfg(test)]

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! DNS substrate for the secure distributed name service.
 //!

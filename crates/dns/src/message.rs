@@ -214,7 +214,29 @@ impl Message {
     }
 
     /// Encodes to wire format.
+    ///
+    /// Records whose RDATA cannot be expressed in the 16-bit wire
+    /// length field are omitted: they are unrepresentable in the DNS
+    /// wire format. Decoded and zone-file records are both bounded at
+    /// parse time, so such records only arise from programmatic
+    /// construction. Section counts saturate at 65535 entries the same
+    /// way.
     pub fn to_bytes(&self) -> Vec<u8> {
+        fn encodable(r: &Record) -> bool {
+            u16::try_from(crate::wire::encode_rdata(&r.rdata).len()).is_ok()
+        }
+        // Exact for every section below: each is truncated to at most
+        // `u16::MAX` entries before counting.
+        fn count16(n: usize) -> u16 {
+            u16::try_from(n).unwrap_or(u16::MAX)
+        }
+        let max = usize::from(u16::MAX);
+        let questions: Vec<&Question> = self.questions.iter().take(max).collect();
+        let answers: Vec<&Record> = self.answers.iter().filter(|r| encodable(r)).take(max).collect();
+        let authorities: Vec<&Record> =
+            self.authorities.iter().filter(|r| encodable(r)).take(max).collect();
+        let additionals: Vec<&Record> =
+            self.additionals.iter().filter(|r| encodable(r)).take(max).collect();
         let mut w = WireWriter::new();
         w.put_u16(self.id);
         let mut hi = (self.opcode.code() & 0xF) << 3;
@@ -242,18 +264,20 @@ impl Message {
         }
         w.put_u8(hi);
         w.put_u8(lo);
-        w.put_u16(self.questions.len() as u16);
-        w.put_u16(self.answers.len() as u16);
-        w.put_u16(self.authorities.len() as u16);
-        w.put_u16(self.additionals.len() as u16);
-        for q in &self.questions {
+        w.put_u16(count16(questions.len()));
+        w.put_u16(count16(answers.len()));
+        w.put_u16(count16(authorities.len()));
+        w.put_u16(count16(additionals.len()));
+        for q in &questions {
             w.put_name(&q.name);
             w.put_u16(q.qtype.code());
             w.put_u16(q.qclass.code());
         }
-        for section in [&self.answers, &self.authorities, &self.additionals] {
-            for r in section {
-                w.put_record(r);
+        for section in [&answers, &authorities, &additionals] {
+            for r in section.iter() {
+                // Cannot fail: `encodable` already filtered out records
+                // with oversized RDATA.
+                let _ = w.put_record(r);
             }
         }
         w.into_bytes()
@@ -280,10 +304,10 @@ impl Message {
             cd: lo & 0x10 != 0,
         };
         let rcode = Rcode::from_code(lo & 0xF);
-        let qd = r.get_u16()? as usize;
-        let an = r.get_u16()? as usize;
-        let ns = r.get_u16()? as usize;
-        let ar = r.get_u16()? as usize;
+        let qd = usize::from(r.get_u16()?);
+        let an = usize::from(r.get_u16()?);
+        let ns = usize::from(r.get_u16()?);
+        let ar = usize::from(r.get_u16()?);
         let mut questions = Vec::with_capacity(qd);
         for _ in 0..qd {
             questions.push(Question {
@@ -307,7 +331,10 @@ impl Message {
 
     /// Total record count across the three record sections.
     pub fn record_count(&self) -> usize {
-        self.answers.len() + self.authorities.len() + self.additionals.len()
+        self.answers
+            .len()
+            .saturating_add(self.authorities.len())
+            .saturating_add(self.additionals.len())
     }
 }
 

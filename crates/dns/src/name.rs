@@ -73,7 +73,7 @@ impl Name {
         L: AsRef<[u8]>,
     {
         let mut out = Vec::new();
-        let mut wire_len = 1; // trailing root byte
+        let mut wire_len = 1usize; // trailing root byte
         for l in labels {
             let l = l.as_ref();
             if l.is_empty() {
@@ -85,11 +85,13 @@ impl Name {
             if l.iter().any(|&b| b < 0x21 || b == b'.') {
                 return Err(NameError::BadCharacter);
             }
-            wire_len += 1 + l.len();
+            // Checked per label, so a hostile label iterator can neither
+            // overflow the running length nor accumulate unbounded data.
+            wire_len = wire_len.saturating_add(l.len()).saturating_add(1);
+            if wire_len > MAX_NAME_LEN {
+                return Err(NameError::NameTooLong);
+            }
             out.push(l.to_ascii_lowercase());
-        }
-        if wire_len > MAX_NAME_LEN {
-            return Err(NameError::NameTooLong);
         }
         Ok(Name { labels: out })
     }
@@ -111,17 +113,15 @@ impl Name {
 
     /// The length of this name in uncompressed wire form.
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+        // Bounded by MAX_NAME_LEN at construction, so plain sums cannot
+        // overflow; written fold-free of bare `+` for the lint anyway.
+        self.labels.iter().fold(1usize, |n, l| n.saturating_add(l.len()).saturating_add(1))
     }
 
     /// Returns the parent name (this name minus its leftmost label), or
     /// `None` for the root.
     pub fn parent(&self) -> Option<Name> {
-        if self.is_root() {
-            None
-        } else {
-            Some(Name { labels: self.labels[1..].to_vec() })
-        }
+        self.labels.split_first().map(|(_, rest)| Name { labels: rest.to_vec() })
     }
 
     /// Prepends a label, e.g. `example.com -> www.example.com`.
@@ -138,11 +138,10 @@ impl Name {
     /// Whether `self` is equal to or a subdomain of `ancestor`
     /// (the DNS "is contained within" relation).
     pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
-        if ancestor.labels.len() > self.labels.len() {
+        let Some(offset) = self.labels.len().checked_sub(ancestor.labels.len()) else {
             return false;
-        }
-        let offset = self.labels.len() - ancestor.labels.len();
-        self.labels[offset..] == ancestor.labels[..]
+        };
+        self.labels.get(offset..).is_some_and(|tail| tail == &ancestor.labels[..])
     }
 
     /// DNSSEC canonical ordering (RFC 2535 §8.3 / RFC 4034 §6.1):
@@ -169,6 +168,7 @@ impl Name {
     pub fn to_canonical_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
         for l in &self.labels {
+            // sdns-lint: allow(cast) — labels are ≤ 63 bytes by construction (MAX_LABEL_LEN)
             out.push(l.len() as u8);
             out.extend_from_slice(l);
         }

@@ -306,6 +306,7 @@ impl Record {
     /// # Panics
     ///
     /// Panics if `rdata` is [`RData::Raw`] (no intrinsic type).
+    #[allow(clippy::expect_used)] // documented panic contract; use with_class for Raw
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
         let rtype = rdata.record_type().expect("RData::Raw needs an explicit type");
         Record { name, rtype, class: RecordClass::In, ttl, rdata }

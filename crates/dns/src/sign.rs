@@ -310,7 +310,16 @@ pub struct LocalSigner {
 
 impl LocalSigner {
     /// Wraps an RSA private key as a zone signer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's modulus is too small to hold a PKCS#1 SHA-1
+    /// encoding (46 bytes), which would make every signing call fail.
     pub fn new(key: RsaPrivateKey) -> Self {
+        assert!(
+            key.public_key().modulus_len() >= 46,
+            "modulus too small for PKCS#1 SHA-1 signatures"
+        );
         LocalSigner { key }
     }
 
@@ -321,7 +330,9 @@ impl LocalSigner {
 
     /// Completes one signing task.
     pub fn complete(&self, task: &SigTask) -> Vec<u8> {
-        let sig = self.key.sign(&task.data, HashAlg::Sha1).expect("modulus fits SHA-1 encoding");
+        let Ok(sig) = self.key.sign(&task.data, HashAlg::Sha1) else {
+            return Vec::new(); // unreachable: modulus size is checked in new()
+        };
         sig.to_bytes_be_padded(self.key.public_key().modulus_len())
     }
 

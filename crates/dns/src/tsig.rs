@@ -78,6 +78,7 @@ fn mac_input(msg: &Message, key_name: &Name, time_signed: u64, fudge: u16) -> Ve
         .retain(|r| r.rtype != RecordType::Tsig);
     let mut buf = stripped.to_bytes();
     buf.extend_from_slice(&key_name.to_canonical_bytes());
+    // sdns-lint: allow(index) — constant range on a fixed 8-byte array (48-bit timestamp)
     buf.extend_from_slice(&time_signed.to_be_bytes()[2..]);
     buf.extend_from_slice(&fudge.to_be_bytes());
     buf
@@ -121,8 +122,10 @@ pub fn verify_message(msg: &Message, keyring: &TsigKeyring, now: u64) -> Result<
     if !mac_eq(&expected, &tsig.mac) {
         return Err(TsigError::BadMac);
     }
+    // Saturating: a hostile 48-bit time_signed near the top of the range
+    // must widen the window rather than wrap it.
     let fudge = u64::from(tsig.fudge);
-    if now > tsig.time_signed + fudge || tsig.time_signed > now + fudge {
+    if now > tsig.time_signed.saturating_add(fudge) || tsig.time_signed > now.saturating_add(fudge) {
         return Err(TsigError::BadTime);
     }
     Ok(())

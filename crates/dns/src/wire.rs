@@ -22,6 +22,8 @@ pub enum WireError {
     BadName,
     /// RDATA did not parse for its declared type.
     BadRdata,
+    /// A value does not fit its wire-format length field.
+    Oversize,
 }
 
 impl std::fmt::Display for WireError {
@@ -32,6 +34,7 @@ impl std::fmt::Display for WireError {
             WireError::BadLabel => write!(f, "invalid label"),
             WireError::BadName => write!(f, "invalid name"),
             WireError::BadRdata => write!(f, "invalid rdata"),
+            WireError::Oversize => write!(f, "value too large for its length field"),
         }
     }
 }
@@ -103,27 +106,32 @@ impl WireWriter {
             let key = suffix.to_string();
             if let Some(&offset) = self.name_offsets.get(&key) {
                 for l in &prefix_labels {
+                    // sdns-lint: allow(cast) — labels are ≤ 63 bytes by construction (MAX_LABEL_LEN)
                     self.buf.put_u8(l.len() as u8);
                     self.buf.put_slice(l);
                 }
                 self.buf.put_u16(0xC000 | offset);
                 return;
             }
-            if suffix.is_root() {
-                break;
-            }
+            // `parent()` is `None` exactly for the root name.
+            let Some(parent) = suffix.parent() else { break };
             // Remember where this suffix will start if written in full.
-            let this_offset = self.buf.len()
-                + prefix_labels.iter().map(|l| 1 + l.len()).sum::<usize>();
-            if this_offset <= 0x3FFF {
-                self.name_offsets.insert(key, this_offset as u16);
+            let this_offset = prefix_labels
+                .iter()
+                .fold(self.buf.len(), |n, l| n.saturating_add(1).saturating_add(l.len()));
+            if let Ok(offset) = u16::try_from(this_offset) {
+                if offset <= 0x3FFF {
+                    self.name_offsets.insert(key, offset);
+                }
             }
-            let first = suffix.labels().next().expect("non-root").to_vec();
-            prefix_labels.push(first);
-            suffix = suffix.parent().expect("non-root");
+            if let Some(first) = suffix.labels().next() {
+                prefix_labels.push(first.to_vec());
+            }
+            suffix = parent;
         }
         // No suffix matched: write everything and the root byte.
         for l in &prefix_labels {
+            // sdns-lint: allow(cast) — labels are ≤ 63 bytes by construction (MAX_LABEL_LEN)
             self.buf.put_u8(l.len() as u8);
             self.buf.put_slice(l);
         }
@@ -137,14 +145,22 @@ impl WireWriter {
     }
 
     /// Writes a complete resource record.
-    pub fn put_record(&mut self, record: &Record) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] if the encoded RDATA does not fit the
+    /// 16-bit length field; nothing is written in that case, so the
+    /// writer stays in a consistent state.
+    pub fn put_record(&mut self, record: &Record) -> Result<(), WireError> {
+        let rdata = encode_rdata(&record.rdata);
+        let rdlen = u16::try_from(rdata.len()).map_err(|_| WireError::Oversize)?;
         self.put_name(&record.name);
         self.put_u16(record.rtype.code());
         self.put_u16(record.class.code());
         self.put_u32(record.ttl);
-        let rdata = encode_rdata(&record.rdata);
-        self.put_u16(rdata.len() as u16);
+        self.put_u16(rdlen);
         self.put_slice(&rdata);
+        Ok(())
     }
 }
 
@@ -171,6 +187,7 @@ pub fn encode_rdata(rdata: &RData) -> Vec<u8> {
         }
         RData::Txt(parts) => {
             for p in parts {
+                // sdns-lint: allow(cast) — TXT parts are ≤ 255 bytes: wire decode reads a u8 length and the zone file parser enforces the same bound
                 out.push(p.len() as u8);
                 out.extend_from_slice(p);
             }
@@ -187,6 +204,7 @@ pub fn encode_rdata(rdata: &RData) -> Vec<u8> {
         }
         RData::Nxt(n) => {
             out.extend_from_slice(&n.next.to_canonical_bytes());
+            // sdns-lint: allow(cast) — NXT type lists enumerate distinct RR type codes, far below 2^16; wire decode reads a u16 count
             out.extend_from_slice(&(n.types.len() as u16).to_be_bytes());
             for t in &n.types {
                 out.extend_from_slice(&t.to_be_bytes());
@@ -194,8 +212,10 @@ pub fn encode_rdata(rdata: &RData) -> Vec<u8> {
         }
         RData::Tsig(t) => {
             out.extend_from_slice(&t.key_name.to_canonical_bytes());
-            out.extend_from_slice(&t.time_signed.to_be_bytes()[2..]); // 48 bits
+            // sdns-lint: allow(index) — constant range on a fixed 8-byte array (48-bit timestamp)
+            out.extend_from_slice(&t.time_signed.to_be_bytes()[2..]);
             out.extend_from_slice(&t.fudge.to_be_bytes());
+            // sdns-lint: allow(cast) — the MAC is a fixed-width HMAC digest (20 bytes for HMAC-SHA1); wire decode reads a u16 length
             out.extend_from_slice(&(t.mac.len() as u16).to_be_bytes());
             out.extend_from_slice(&t.mac);
             out.extend_from_slice(&t.original_id.to_be_bytes());
@@ -242,7 +262,7 @@ impl<'a> WireReader<'a> {
 
     /// Bytes remaining.
     pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.data.len().saturating_sub(self.pos)
     }
 
     /// Reads one byte.
@@ -250,10 +270,7 @@ impl<'a> WireReader<'a> {
     /// # Errors
     /// [`WireError::Truncated`] at end of input.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
-        if self.remaining() < 1 {
-            return Err(WireError::Truncated);
-        }
-        let v = self.data[self.pos];
+        let v = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(v)
     }
@@ -284,11 +301,9 @@ impl<'a> WireReader<'a> {
     /// # Errors
     /// [`WireError::Truncated`] at end of input.
     pub fn get_slice(&mut self, len: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < len {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.data[self.pos..self.pos + len];
-        self.pos += len;
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        let s = self.data.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -308,15 +323,19 @@ impl<'a> WireReader<'a> {
             if guard > 128 {
                 return Err(WireError::BadPointer);
             }
-            let len = *self.data.get(pos).ok_or(WireError::Truncated)? as usize;
+            let len = usize::from(*self.data.get(pos).ok_or(WireError::Truncated)?);
+            // `pos` indexes into `data`, so these position sums cannot
+            // overflow in practice; saturating keeps them panic-free and
+            // any saturated value simply fails the subsequent bounds check.
+            let after_len = pos.saturating_add(1);
             if len & 0xC0 == 0xC0 {
-                let lo = *self.data.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+                let lo = usize::from(*self.data.get(after_len).ok_or(WireError::Truncated)?);
                 let target = ((len & 0x3F) << 8) | lo;
                 if target >= pos {
                     return Err(WireError::BadPointer);
                 }
                 if !jumped {
-                    self.pos = pos + 2;
+                    self.pos = after_len.saturating_add(1);
                     jumped = true;
                 }
                 pos = target;
@@ -324,15 +343,13 @@ impl<'a> WireReader<'a> {
                 return Err(WireError::BadLabel);
             } else if len == 0 {
                 if !jumped {
-                    self.pos = pos + 1;
+                    self.pos = after_len;
                 }
                 return Name::from_labels(labels).map_err(|_| WireError::BadName);
             } else {
-                let end = pos + 1 + len;
-                if end > self.data.len() {
-                    return Err(WireError::Truncated);
-                }
-                labels.push(self.data[pos + 1..end].to_vec());
+                let end = after_len.saturating_add(len);
+                let label = self.data.get(after_len..end).ok_or(WireError::Truncated)?;
+                labels.push(label.to_vec());
                 pos = end;
             }
         }
@@ -348,7 +365,7 @@ impl<'a> WireReader<'a> {
         let rtype = RecordType::from_code(self.get_u16()?);
         let class = RecordClass::from_code(self.get_u16()?);
         let ttl = self.get_u32()?;
-        let rdlen = self.get_u16()? as usize;
+        let rdlen = usize::from(self.get_u16()?);
         let rdata_bytes = self.get_slice(rdlen)?;
         let rdata = decode_rdata(rtype, rdata_bytes)?;
         Ok(Record { name, rtype, class, ttl, rdata })
@@ -366,11 +383,11 @@ pub fn decode_rdata(rtype: RecordType, bytes: &[u8]) -> Result<RData, WireError>
     let res = match rtype {
         _ if bytes.is_empty() => RData::Raw(Vec::new()),
         RecordType::A => {
-            let o = r.get_slice(4)?;
-            RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            let o: [u8; 4] = r.get_slice(4)?.try_into().map_err(|_| WireError::BadRdata)?;
+            RData::A(Ipv4Addr::from(o))
         }
         RecordType::Aaaa => {
-            let o: [u8; 16] = r.get_slice(16)?.try_into().expect("16 bytes");
+            let o: [u8; 16] = r.get_slice(16)?.try_into().map_err(|_| WireError::BadRdata)?;
             RData::Aaaa(Ipv6Addr::from(o))
         }
         RecordType::Ns => RData::Ns(r.get_name()?),
@@ -389,7 +406,7 @@ pub fn decode_rdata(rtype: RecordType, bytes: &[u8]) -> Result<RData, WireError>
         RecordType::Txt => {
             let mut parts = Vec::new();
             while r.remaining() > 0 {
-                let len = r.get_u8()? as usize;
+                let len = usize::from(r.get_u8()?);
                 parts.push(r.get_slice(len)?.to_vec());
             }
             RData::Txt(parts)
@@ -413,7 +430,7 @@ pub fn decode_rdata(rtype: RecordType, bytes: &[u8]) -> Result<RData, WireError>
         }),
         RecordType::Nxt => {
             let next = r.get_name()?;
-            let count = r.get_u16()? as usize;
+            let count = usize::from(r.get_u16()?);
             let mut types = Vec::with_capacity(count);
             for _ in 0..count {
                 types.push(r.get_u16()?);
@@ -424,10 +441,11 @@ pub fn decode_rdata(rtype: RecordType, bytes: &[u8]) -> Result<RData, WireError>
             let key_name = r.get_name()?;
             let time_bytes = r.get_slice(6)?;
             let mut time = [0u8; 8];
+            // sdns-lint: allow(index) — constant range on a fixed 8-byte array; get_slice(6) guarantees the source length
             time[2..].copy_from_slice(time_bytes);
             let time_signed = u64::from_be_bytes(time);
             let fudge = r.get_u16()?;
-            let mac_len = r.get_u16()? as usize;
+            let mac_len = usize::from(r.get_u16()?);
             let mac = r.get_slice(mac_len)?.to_vec();
             let original_id = r.get_u16()?;
             RData::Tsig(TsigData { key_name, time_signed, fudge, mac, original_id })
@@ -578,10 +596,25 @@ mod tests {
     fn record_roundtrip_through_writer() {
         let rec = Record::new(n("www.example.com"), 600, RData::A("198.51.100.7".parse().unwrap()));
         let mut w = WireWriter::new();
-        w.put_record(&rec);
+        w.put_record(&rec).unwrap();
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
         assert_eq!(r.get_record().unwrap(), rec);
+    }
+
+    #[test]
+    fn oversized_rdata_rejected() {
+        let rec = Record::with_class(
+            n("big.example.com"),
+            RecordType::Unknown(333),
+            RecordClass::In,
+            60,
+            RData::Raw(vec![0; 70_000]),
+        );
+        let mut w = WireWriter::new();
+        assert_eq!(w.put_record(&rec), Err(WireError::Oversize));
+        // Nothing was written: the writer is still usable.
+        assert!(w.is_empty());
     }
 
     #[test]

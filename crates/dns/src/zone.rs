@@ -103,11 +103,13 @@ impl Zone {
 
     /// Increments the SOA serial (serial-number arithmetic wraps).
     pub fn bump_serial(&mut self) {
-        let set = self
+        let Some(set) = self
             .nodes
             .get_mut(&self.origin)
             .and_then(|types| types.get_mut(&RecordType::Soa))
-            .expect("zone has no SOA at apex");
+        else {
+            return; // a zone without an apex SOA has no serial to bump
+        };
         if let Some(RData::Soa(soa)) = set.rdatas.first_mut() {
             soa.serial = soa.serial.wrapping_add(1);
         }

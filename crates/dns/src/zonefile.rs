@@ -41,12 +41,8 @@ fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, ZoneFileError> {
     let mut pending = String::new();
     let mut pending_line = 0usize;
     let mut depth = 0i32;
-    for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let without_comment = match raw.find(';') {
-            Some(pos) => &raw[..pos],
-            None => raw,
-        };
+    for (line_no, raw) in (1usize..).zip(text.lines()) {
+        let without_comment = raw.split(';').next().unwrap_or(raw);
         for ch in without_comment.chars() {
             match ch {
                 '(' => depth += 1,
@@ -112,10 +108,10 @@ pub fn parse(text: &str, default_origin: &Name) -> Result<Vec<Record>, ZoneFileE
 
     for (line, content) in logical_lines(text)? {
         let tokens: Vec<&str> = content.split_whitespace().collect();
-        if tokens.is_empty() {
+        let Some(&first) = tokens.first() else {
             continue;
-        }
-        match tokens[0] {
+        };
+        match first {
             "$ORIGIN" => {
                 let target = tokens.get(1).ok_or_else(|| err(line, "$ORIGIN needs a name"))?;
                 origin = parse_name(target, &Name::root(), line)?;
@@ -133,14 +129,12 @@ pub fn parse(text: &str, default_origin: &Name) -> Result<Vec<Record>, ZoneFileE
         // An omitted owner name (continuation record) is detected by the
         // first token parsing as a TTL, class or type.
         let mut idx = 0;
-        let name = if is_class(tokens[0])
-            || is_type(tokens[0])
-            || tokens[0].chars().all(|c| c.is_ascii_digit())
+        let name = if is_class(first) || is_type(first) || first.chars().all(|c| c.is_ascii_digit())
         {
             last_name.clone().ok_or_else(|| err(line, "record without a preceding name"))?
         } else {
             idx = 1;
-            parse_name(tokens[0], &origin, line)?
+            parse_name(first, &origin, line)?
         };
         last_name = Some(name.clone());
 
@@ -156,7 +150,7 @@ pub fn parse(text: &str, default_origin: &Name) -> Result<Vec<Record>, ZoneFileE
         }
         let rtype_tok = tokens.get(idx).ok_or_else(|| err(line, "missing record type"))?;
         idx += 1;
-        let rdata_tokens = &tokens[idx..];
+        let rdata_tokens = tokens.get(idx..).unwrap_or(&[]);
         let rdata = parse_rdata(rtype_tok, rdata_tokens, &origin, line)?;
         records.push(Record::new(name, ttl, rdata));
     }
@@ -180,62 +174,53 @@ fn parse_rdata(
     origin: &Name,
     line: usize,
 ) -> Result<RData, ZoneFileError> {
-    let need = |n: usize| -> Result<(), ZoneFileError> {
-        if tokens.len() < n {
-            Err(err(line, format!("{rtype} needs {n} fields, got {}", tokens.len())))
-        } else {
-            Ok(())
-        }
+    let tok = |i: usize| -> Result<&str, ZoneFileError> {
+        tokens
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(line, format!("{rtype} is missing field {i} of its rdata")))
     };
     match rtype {
         "A" => {
-            need(1)?;
-            Ok(RData::A(tokens[0].parse().map_err(|_| err(line, format!("bad IPv4 {}", tokens[0])))?))
+            let t = tok(0)?;
+            Ok(RData::A(t.parse().map_err(|_| err(line, format!("bad IPv4 {t}")))?))
         }
         "AAAA" => {
-            need(1)?;
-            Ok(RData::Aaaa(tokens[0].parse().map_err(|_| err(line, format!("bad IPv6 {}", tokens[0])))?))
+            let t = tok(0)?;
+            Ok(RData::Aaaa(t.parse().map_err(|_| err(line, format!("bad IPv6 {t}")))?))
         }
-        "NS" => {
-            need(1)?;
-            Ok(RData::Ns(parse_name(tokens[0], origin, line)?))
-        }
-        "CNAME" => {
-            need(1)?;
-            Ok(RData::Cname(parse_name(tokens[0], origin, line)?))
-        }
-        "PTR" => {
-            need(1)?;
-            Ok(RData::Ptr(parse_name(tokens[0], origin, line)?))
-        }
+        "NS" => Ok(RData::Ns(parse_name(tok(0)?, origin, line)?)),
+        "CNAME" => Ok(RData::Cname(parse_name(tok(0)?, origin, line)?)),
+        "PTR" => Ok(RData::Ptr(parse_name(tok(0)?, origin, line)?)),
         "MX" => {
-            need(2)?;
-            Ok(RData::Mx(
-                parse_u32(tokens[0], line, "MX preference")? as u16,
-                parse_name(tokens[1], origin, line)?,
-            ))
+            let t = tok(0)?;
+            let pref = u16::try_from(parse_u32(t, line, "MX preference")?)
+                .map_err(|_| err(line, format!("MX preference {t} out of range")))?;
+            Ok(RData::Mx(pref, parse_name(tok(1)?, origin, line)?))
         }
         "TXT" => {
-            need(1)?;
+            tok(0)?;
             let mut parts = Vec::new();
             for t in tokens {
                 let trimmed = t.trim_matches('"');
+                // Each TXT character-string carries a one-byte length on
+                // the wire; enforcing the bound here keeps encoding total.
+                if trimmed.len() > 255 {
+                    return Err(err(line, "TXT string exceeds 255 bytes"));
+                }
                 parts.push(trimmed.as_bytes().to_vec());
             }
             Ok(RData::Txt(parts))
         }
-        "SOA" => {
-            need(7)?;
-            Ok(RData::Soa(SoaData {
-                mname: parse_name(tokens[0], origin, line)?,
-                rname: parse_name(tokens[1], origin, line)?,
-                serial: parse_u32(tokens[2], line, "serial")?,
-                refresh: parse_u32(tokens[3], line, "refresh")?,
-                retry: parse_u32(tokens[4], line, "retry")?,
-                expire: parse_u32(tokens[5], line, "expire")?,
-                minimum: parse_u32(tokens[6], line, "minimum")?,
-            }))
-        }
+        "SOA" => Ok(RData::Soa(SoaData {
+            mname: parse_name(tok(0)?, origin, line)?,
+            rname: parse_name(tok(1)?, origin, line)?,
+            serial: parse_u32(tok(2)?, line, "serial")?,
+            refresh: parse_u32(tok(3)?, line, "refresh")?,
+            retry: parse_u32(tok(4)?, line, "retry")?,
+            expire: parse_u32(tok(5)?, line, "expire")?,
+            minimum: parse_u32(tok(6)?, line, "minimum")?,
+        })),
         other => Err(err(line, format!("unsupported record type {other}"))),
     }
 }
@@ -252,7 +237,11 @@ pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Zone, ZoneFileErr
         .iter()
         .find(|r| r.rtype == RecordType::Soa)
         .ok_or_else(|| err(0, "zone file has no SOA record"))?;
-    let RData::Soa(soa_data) = soa.rdata.clone() else { unreachable!("filtered above") };
+    let RData::Soa(soa_data) = soa.rdata.clone() else {
+        // The find() above matched on rtype; a Soa rtype with non-Soa
+        // rdata would be a construction bug, reported rather than fatal.
+        return Err(err(0, "SOA record carries non-SOA rdata"));
+    };
     let mut zone = Zone::new(soa.name.clone(), soa_data, soa.ttl);
     for r in records {
         if r.rtype != RecordType::Soa {

@@ -86,7 +86,7 @@ proptest! {
             return Ok(());
         }
         let mut w = WireWriter::new();
-        w.put_record(&rec);
+        w.put_record(&rec).unwrap();
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
         prop_assert_eq!(r.get_record().unwrap(), rec);

@@ -81,7 +81,9 @@ pub struct DiskState {
 #[derive(Debug)]
 pub struct Durability {
     dir: PathBuf,
-    wal: Wal,
+    /// `None` when the log could not even be opened: the layer runs
+    /// degraded from the start (see [`Durability::open`]).
+    wal: Option<Wal>,
     cfg: DurabilityCfg,
     /// Disk state recovered at open, consumed by the cold-start path.
     recovered: Option<DiskState>,
@@ -94,23 +96,45 @@ impl Durability {
     /// Opens (or initializes) the state directory, recovering the
     /// snapshot and the WAL's longest valid prefix.
     ///
-    /// # Errors
-    ///
-    /// Any I/O error creating the directory or opening the log. Corrupt
-    /// *contents* are not errors — they surface as
-    /// [`DiskState::gap_possible`].
-    pub fn open(dir: &Path, cfg: DurabilityCfg) -> std::io::Result<Durability> {
-        std::fs::create_dir_all(dir)?;
-        let (wal, wal_rec) = Wal::open(&dir.join("wal.bin"))?;
+    /// Never fails. An unusable directory or log — a permissions
+    /// hiccup, a full disk, a vanished mount — yields a layer that
+    /// starts *degraded*: the replica keeps serving from memory,
+    /// [`DiskState::gap_possible`] is set so quorum state transfer
+    /// runs, and no durability is promised that the disk cannot
+    /// deliver. Aborting the replica over local-disk trouble would
+    /// turn one bad disk into a lost vote for the whole group.
+    pub fn open(dir: &Path, cfg: DurabilityCfg) -> Durability {
+        let dir_ok = std::fs::create_dir_all(dir).is_ok();
+        let opened = if dir_ok { Wal::open(&dir.join("wal.bin")).ok() } else { None };
         let (snapshot, snap_clean) = read_snapshot_file(&dir.join("snapshot.bin"));
-        let disk = reconcile(snapshot, snap_clean, wal_rec);
-        Ok(Durability {
-            dir: dir.to_path_buf(),
-            wal,
-            cfg,
-            recovered: Some(disk),
-            degraded: false,
-        })
+        match opened {
+            Some((wal, wal_rec)) => {
+                let disk = reconcile(snapshot, snap_clean, wal_rec);
+                Durability {
+                    dir: dir.to_path_buf(),
+                    wal: Some(wal),
+                    cfg,
+                    recovered: Some(disk),
+                    degraded: false,
+                }
+            }
+            None => {
+                // The log is unusable: adopt whatever verified snapshot
+                // is readable, report a possible gap, run degraded.
+                let disk = DiskState {
+                    snapshot: snapshot.map(|s| s.snapshot),
+                    replay: Vec::new(),
+                    gap_possible: true,
+                };
+                Durability {
+                    dir: dir.to_path_buf(),
+                    wal: None,
+                    cfg,
+                    recovered: Some(disk),
+                    degraded: true,
+                }
+            }
+        }
     }
 
     /// The state directory.
@@ -136,7 +160,11 @@ impl Durability {
         if self.degraded {
             return false;
         }
-        match self.wal.append(payload) {
+        let Some(wal) = self.wal.as_mut() else {
+            self.degraded = true;
+            return false;
+        };
+        match wal.append(payload) {
             Ok(_) => true,
             Err(_) => {
                 self.degraded = true;
@@ -148,17 +176,17 @@ impl Durability {
     /// Whether enough deliveries accumulated since the last snapshot to
     /// warrant a new one (the replica checks this only when idle).
     pub fn snapshot_due(&self) -> bool {
-        !self.degraded && self.wal.frames_len() >= self.cfg.snapshot_every
+        !self.degraded && self.frames_since_snapshot() >= self.cfg.snapshot_every
     }
 
     /// Deliveries logged since the last snapshot/compaction.
     pub fn frames_since_snapshot(&self) -> u64 {
-        self.wal.frames_len()
+        self.wal.as_ref().map_or(0, Wal::frames_len)
     }
 
     /// The delivery sequence number of the last logged frame.
     pub fn last_seq(&self) -> u64 {
-        self.wal.next_seq() - 1
+        self.wal.as_ref().map_or(0, |w| w.next_seq().saturating_sub(1))
     }
 
     /// Persists `snapshot` crash-consistently (temp + fsync + rename)
@@ -169,16 +197,20 @@ impl Durability {
         if self.degraded {
             return None;
         }
-        let wal_seq = self.wal.next_seq() - 1;
-        let chain = self.wal.head_digest();
-        let bytes = encode_snapshot_file(snapshot, wal_seq, chain);
+        let wal = self.wal.as_mut()?;
+        let wal_seq = wal.next_seq().saturating_sub(1);
+        let chain = wal.head_digest();
+        let Some(bytes) = encode_snapshot_file(snapshot, wal_seq, chain) else {
+            self.degraded = true;
+            return None;
+        };
         if atomic_write(&self.dir.join("snapshot.bin"), &bytes).is_err() {
             self.degraded = true;
             return None;
         }
         // Compaction after the snapshot is durable; on failure the old
         // log stays — replay is then longer but still correct.
-        if self.wal.compact(wal_seq, chain).is_err() {
+        if wal.compact(wal_seq, chain).is_err() {
             self.degraded = true;
         }
         Some(wal_seq)
@@ -193,11 +225,17 @@ impl Durability {
         if self.degraded {
             return;
         }
-        let wal_seq = self.wal.next_seq(); // strictly above anything logged
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let wal_seq = wal.next_seq(); // strictly above anything logged
         let chain = Sha256::digest(&snapshot.encode());
-        let bytes = encode_snapshot_file(snapshot, wal_seq, chain);
+        let Some(bytes) = encode_snapshot_file(snapshot, wal_seq, chain) else {
+            self.degraded = true;
+            return;
+        };
         if atomic_write(&self.dir.join("snapshot.bin"), &bytes).is_err()
-            || self.wal.compact(wal_seq, chain).is_err()
+            || wal.compact(wal_seq, chain).is_err()
         {
             self.degraded = true;
         }
@@ -217,24 +255,33 @@ impl Durability {
             .ok()
             .and_then(|s| s.trim().parse().ok())
             .unwrap_or(0);
-        let next = prev + 1;
+        // Saturating: a tampered counter file at u64::MAX must not wrap
+        // the epoch back to the range a previous incarnation used.
+        let next = prev.saturating_add(1);
         atomic_write(&path, next.to_string().as_bytes())?;
         Ok(next)
     }
 }
 
 /// Serializes the snapshot file: header ‖ payload ‖ SHA-256 trailer.
-fn encode_snapshot_file(snapshot: &ReplicaSnapshot, wal_seq: u64, chain: [u8; 32]) -> Vec<u8> {
+/// `None` if the payload exceeds the u32 length field (the caller
+/// degrades — such a snapshot could never be re-read anyway).
+fn encode_snapshot_file(
+    snapshot: &ReplicaSnapshot,
+    wal_seq: u64,
+    chain: [u8; 32],
+) -> Option<Vec<u8>> {
     let payload = snapshot.encode();
-    let mut out = Vec::with_capacity(8 + 8 + 32 + 4 + payload.len() + 32);
+    let len = u32::try_from(payload.len()).ok()?;
+    let mut out = Vec::with_capacity(payload.len().saturating_add(84));
     out.extend_from_slice(SNAP_MAGIC);
     out.extend_from_slice(&wal_seq.to_be_bytes());
     out.extend_from_slice(&chain);
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(&payload);
     let digest = Sha256::digest(&out);
     out.extend_from_slice(&digest);
-    out
+    Some(out)
 }
 
 /// A parsed snapshot file.
@@ -257,21 +304,21 @@ fn read_snapshot_file(path: &Path) -> (Option<SnapFile>, bool) {
 }
 
 fn parse_snapshot_file(bytes: &[u8]) -> Option<SnapFile> {
-    if bytes.len() < 8 + 8 + 32 + 4 + 32 || &bytes[..8] != SNAP_MAGIC {
+    if bytes.get(..8)? != SNAP_MAGIC {
         return None;
     }
-    let body_len = bytes.len() - 32;
-    let trailer: [u8; 32] = bytes[body_len..].try_into().ok()?;
-    if Sha256::digest(&bytes[..body_len]) != trailer {
+    let body_len = bytes.len().checked_sub(32)?;
+    let trailer: [u8; 32] = bytes.get(body_len..)?.try_into().ok()?;
+    if Sha256::digest(bytes.get(..body_len)?) != trailer {
         return None;
     }
-    let wal_seq = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
-    let chain: [u8; 32] = bytes[16..48].try_into().ok()?;
-    let len = u32::from_be_bytes(bytes[48..52].try_into().ok()?) as usize;
-    if len > MAX_SNAPSHOT || 52 + len != body_len {
+    let wal_seq = u64::from_be_bytes(bytes.get(8..16)?.try_into().ok()?);
+    let chain: [u8; 32] = bytes.get(16..48)?.try_into().ok()?;
+    let len = usize::try_from(u32::from_be_bytes(bytes.get(48..52)?.try_into().ok()?)).ok()?;
+    if len > MAX_SNAPSHOT || 52usize.checked_add(len)? != body_len {
         return None;
     }
-    let snapshot = ReplicaSnapshot::decode(&bytes[52..52 + len]).ok()?;
+    let snapshot = ReplicaSnapshot::decode(bytes.get(52..body_len)?).ok()?;
     Some(SnapFile { wal_seq, chain, snapshot })
 }
 
@@ -308,7 +355,7 @@ fn reconcile(snap: Option<SnapFile>, snap_clean: bool, wal: WalRecovery) -> Disk
                     // An older log: trust it only if it contains the
                     // snapshot point's successor (no hole between the
                     // snapshot and the first replayed frame).
-                    Some(first) => first.seq == wal_seq + 1,
+                    Some(first) => first.seq == wal_seq.saturating_add(1),
                     None => true,
                 }
             } else {
@@ -351,7 +398,7 @@ mod tests {
     #[test]
     fn fresh_directory_has_no_state_and_no_gap() {
         let dir = tmp_dir("fresh");
-        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default());
         let disk = d.take_recovered().unwrap();
         assert!(disk.snapshot.is_none());
         assert!(disk.replay.is_empty());
@@ -363,11 +410,11 @@ mod tests {
     #[test]
     fn log_then_reopen_replays() {
         let dir = tmp_dir("replay");
-        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default());
         assert!(d.log_delivery(b"update-1"));
         assert!(d.log_delivery(b"update-2"));
         drop(d);
-        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default());
         let disk = d.take_recovered().unwrap();
         assert!(disk.snapshot.is_none());
         assert_eq!(disk.replay.len(), 2);
@@ -380,7 +427,7 @@ mod tests {
     fn snapshot_compacts_and_reopen_prefers_it() {
         let dir = tmp_dir("snap");
         let cfg = DurabilityCfg { snapshot_every: 2 };
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         d.take_recovered();
         d.log_delivery(b"a");
         d.log_delivery(b"b");
@@ -390,7 +437,7 @@ mod tests {
         assert_eq!(d.frames_since_snapshot(), 0);
         d.log_delivery(b"c");
         drop(d);
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         let disk = d.take_recovered().unwrap();
         assert_eq!(disk.snapshot.as_ref().unwrap().round, 2);
         assert_eq!(disk.replay.len(), 1);
@@ -402,7 +449,7 @@ mod tests {
     #[test]
     fn corrupt_wal_suffix_reports_gap() {
         let dir = tmp_dir("corrupt-wal");
-        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default());
         d.take_recovered();
         d.log_delivery(b"kept");
         d.log_delivery(b"lost");
@@ -412,7 +459,7 @@ mod tests {
         let n = bytes.len();
         bytes[n - 10] ^= 0x40; // flip a bit inside the last frame
         std::fs::write(&wal_path, &bytes).unwrap();
-        let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default());
         let disk = d.take_recovered().unwrap();
         assert!(disk.gap_possible, "bit flip must be reported");
         assert_eq!(disk.replay.len(), 1, "valid prefix survives");
@@ -424,7 +471,7 @@ mod tests {
     fn corrupt_snapshot_is_discarded_not_trusted() {
         let dir = tmp_dir("corrupt-snap");
         let cfg = DurabilityCfg { snapshot_every: 1 };
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         d.take_recovered();
         d.log_delivery(b"x");
         d.persist_snapshot(&sample_snapshot(1)).unwrap();
@@ -434,7 +481,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&snap_path, &bytes).unwrap();
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         let disk = d.take_recovered().unwrap();
         assert!(disk.snapshot.is_none(), "damaged snapshot must not be adopted");
         assert!(disk.gap_possible);
@@ -447,7 +494,7 @@ mod tests {
         // still holds frames the snapshot already covers).
         let dir = tmp_dir("mid-compact");
         let cfg = DurabilityCfg { snapshot_every: 100 };
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         d.take_recovered();
         d.log_delivery(b"one");
         d.log_delivery(b"two");
@@ -457,10 +504,10 @@ mod tests {
             let (_, rec) = Wal::open(&dir.join("wal.bin")).unwrap();
             rec.frames[0].digest
         };
-        let bytes = encode_snapshot_file(&sample_snapshot(1), 1, chain_at_1);
+        let bytes = encode_snapshot_file(&sample_snapshot(1), 1, chain_at_1).unwrap();
         atomic_write(&dir.join("snapshot.bin"), &bytes).unwrap();
         drop(d);
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         let disk = d.take_recovered().unwrap();
         assert_eq!(disk.snapshot.as_ref().unwrap().round, 1);
         assert_eq!(disk.replay.len(), 1, "only the uncovered frame replays");
@@ -475,14 +522,14 @@ mod tests {
         // frames cannot be replayed from genesis.
         let dir = tmp_dir("lost-snap");
         let cfg = DurabilityCfg { snapshot_every: 1 };
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         d.take_recovered();
         d.log_delivery(b"x");
         d.persist_snapshot(&sample_snapshot(1)).unwrap();
         d.log_delivery(b"y");
         drop(d);
         std::fs::remove_file(dir.join("snapshot.bin")).unwrap();
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         let disk = d.take_recovered().unwrap();
         assert!(disk.snapshot.is_none());
         assert!(disk.replay.is_empty());
@@ -491,11 +538,26 @@ mod tests {
     }
 
     #[test]
+    fn unusable_state_dir_degrades_instead_of_aborting() {
+        // A plain file where the state directory should be: create_dir_all
+        // fails, and the layer must come up degraded, not abort.
+        let dir = tmp_dir("unusable");
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let mut d = Durability::open(&dir, DurabilityCfg::default());
+        assert!(d.is_degraded());
+        let disk = d.take_recovered().unwrap();
+        assert!(disk.gap_possible, "state transfer must run");
+        assert!(!d.log_delivery(b"x"), "nothing is promised durable");
+        assert!(d.persist_snapshot(&sample_snapshot(1)).is_none());
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
     fn epoch_counter_strictly_increases_across_starts() {
         let dir = tmp_dir("epoch");
         let mut seen = Vec::new();
         for _ in 0..3 {
-            let mut d = Durability::open(&dir, DurabilityCfg::default()).unwrap();
+            let mut d = Durability::open(&dir, DurabilityCfg::default());
             seen.push(d.bump_epoch().unwrap());
         }
         assert_eq!(seen, vec![1, 2, 3]);
@@ -506,7 +568,7 @@ mod tests {
     fn adopt_state_rebases_the_chain() {
         let dir = tmp_dir("adopt");
         let cfg = DurabilityCfg::default();
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         d.take_recovered();
         d.log_delivery(b"local-history");
         let adopted = sample_snapshot(9);
@@ -514,7 +576,7 @@ mod tests {
         assert_eq!(d.frames_since_snapshot(), 0);
         d.log_delivery(b"post-adopt");
         drop(d);
-        let mut d = Durability::open(&dir, cfg).unwrap();
+        let mut d = Durability::open(&dir, cfg);
         let disk = d.take_recovered().unwrap();
         assert_eq!(disk.snapshot.as_ref().unwrap().round, 9);
         assert_eq!(disk.replay.len(), 1);

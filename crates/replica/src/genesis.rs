@@ -5,6 +5,9 @@
 //! publishes the zone KEY record, and hands each server its private
 //! initialization data.
 
+// Dealer-side genesis and test fixtures: inputs are local constants, not
+// peer data, so an expect here is an assertion on our own setup code.
+#![allow(clippy::expect_used)]
 use crate::config::{CostModel, ZoneSecurity};
 use crate::replica::{Replica, ReplicaSetup, ReplicaSigner};
 use crate::Corruption;

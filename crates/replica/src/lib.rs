@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! The secure distributed DNS replica — the paper's core contribution.
 //!

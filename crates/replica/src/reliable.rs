@@ -173,7 +173,8 @@ impl LinkLayer {
             for pending in peer.unacked.values_mut() {
                 pending.ticks_until -= 1;
                 if pending.ticks_until == 0 {
-                    pending.interval = (pending.interval * 2).min(self.cfg.backoff_cap);
+                    pending.interval =
+                        pending.interval.saturating_mul(2).min(self.cfg.backoff_cap);
                     pending.ticks_until = pending.interval;
                     resends.push((to, pending.frame.clone()));
                 }

@@ -367,7 +367,9 @@ impl Replica {
             return;
         }
         let snapshot = self.snapshot();
-        let durability = self.durability.as_mut().expect("checked above");
+        let Some(durability) = self.durability.as_mut() else {
+            return;
+        };
         match durability.persist_snapshot(&snapshot) {
             Some(wal_seq) => {
                 out.push(ReplicaAction::Event(ReplicaEvent::Snapshotted { wal_seq }));
@@ -764,10 +766,9 @@ impl Replica {
         let Signer::Threshold { protocol, pk, share } = &self.signer else {
             unreachable!("active updates only exist with threshold signing")
         };
-        let x = pk
-            .to_rsa_public_key()
-            .message_representative(&data, HashAlg::Sha1)
-            .expect("modulus large enough for SHA-1 PKCS#1");
+        let Ok(x) = pk.to_rsa_public_key().message_representative(&data, HashAlg::Sha1) else {
+            return; // unreachable: modulus size is validated at genesis
+        };
         let (session, actions) = SigningSession::new(
             *protocol,
             Arc::clone(pk),
@@ -868,12 +869,13 @@ impl Replica {
         let sig_bytes = sig.to_bytes_be_padded(pk.to_rsa_public_key().modulus_len());
         let task = active.tasks[active.next_task].clone();
         install_signature(&mut self.zone, &task, sig_bytes);
-        let active = self.active.as_mut().expect("checked above");
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
         active.next_task += 1;
         if active.next_task < active.tasks.len() {
             self.start_next_task(out);
-        } else {
-            let active = self.active.take().expect("checked above");
+        } else if let Some(active) = self.active.take() {
             let key = active.envelope.dedup_key();
             out.push(ReplicaAction::Event(ReplicaEvent::Executed {
                 key,

@@ -35,21 +35,28 @@ const MAGIC: &[u8; 9] = b"SDNSSTATE";
 impl ReplicaSnapshot {
     /// Serializes the snapshot.
     pub fn encode(&self) -> Vec<u8> {
+        // A count beyond u32::MAX would need >64 GiB of bookkeeping in
+        // memory; saturation keeps encode infallible, and a saturated
+        // count never round-trips (decode demands byte backing), so it
+        // cannot silently masquerade as a valid snapshot.
+        fn count32(n: usize) -> u32 {
+            u32::try_from(n).unwrap_or(u32::MAX)
+        }
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.round.to_be_bytes());
         out.extend_from_slice(&self.update_counter.to_be_bytes());
-        out.extend_from_slice(&(self.executed.len() as u32).to_be_bytes());
+        out.extend_from_slice(&count32(self.executed.len()).to_be_bytes());
         for (c, r) in &self.executed {
             out.extend_from_slice(&c.to_be_bytes());
             out.extend_from_slice(&r.to_be_bytes());
         }
-        out.extend_from_slice(&(self.delivered_ids.len() as u32).to_be_bytes());
+        out.extend_from_slice(&count32(self.delivered_ids.len()).to_be_bytes());
         for id in &self.delivered_ids {
             out.extend_from_slice(&id.to_be_bytes());
         }
         let zone = self.zone.snapshot();
-        out.extend_from_slice(&(zone.len() as u32).to_be_bytes());
+        out.extend_from_slice(&count32(zone.len()).to_be_bytes());
         out.extend_from_slice(&zone);
         out
     }
@@ -60,18 +67,26 @@ impl ReplicaSnapshot {
     ///
     /// [`WireError`] on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<ReplicaSnapshot, WireError> {
-        let take = |bytes: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>, WireError> {
-            let s = bytes.get(*pos..*pos + n).ok_or(WireError::Truncated)?;
-            *pos += n;
-            Ok(s.to_vec())
-        };
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], WireError> {
+            let end = pos.checked_add(n).ok_or(WireError::Truncated)?;
+            let s = bytes.get(*pos..end).ok_or(WireError::Truncated)?;
+            *pos = end;
+            Ok(s)
+        }
+        fn arr<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N], WireError> {
+            take(bytes, pos, N)?.try_into().map_err(|_| WireError::Truncated)
+        }
+        fn count(bytes: &[u8], pos: &mut usize) -> Result<usize, WireError> {
+            usize::try_from(u32::from_be_bytes(arr(bytes, pos)?))
+                .map_err(|_| WireError::Truncated)
+        }
         let mut pos = 0usize;
         if take(bytes, &mut pos, MAGIC.len())? != MAGIC {
             return Err(WireError::BadRdata);
         }
-        let round = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
-        let update_counter = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
-        let n_exec = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
+        let round = u64::from_be_bytes(arr(bytes, &mut pos)?);
+        let update_counter = u64::from_be_bytes(arr(bytes, &mut pos)?);
+        let n_exec = count(bytes, &mut pos)?;
         // The count must be backed by actual bytes before any allocation:
         // a 4-byte length prefix must never conjure a multi-megabyte
         // `Vec::with_capacity` out of a short attacker-supplied buffer.
@@ -80,24 +95,24 @@ impl ReplicaSnapshot {
         }
         let mut executed = Vec::with_capacity(n_exec);
         for _ in 0..n_exec {
-            let c = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
-            let r = u64::from_be_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+            let c = u64::from_be_bytes(arr(bytes, &mut pos)?);
+            let r = u64::from_be_bytes(arr(bytes, &mut pos)?);
             executed.push((c, r));
         }
-        let n_ids = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
+        let n_ids = count(bytes, &mut pos)?;
         if n_ids > bytes.len().saturating_sub(pos) / 16 {
             return Err(WireError::Truncated);
         }
         let mut delivered_ids = Vec::with_capacity(n_ids);
         for _ in 0..n_ids {
-            delivered_ids.push(u128::from_be_bytes(take(bytes, &mut pos, 16)?.try_into().expect("16")));
+            delivered_ids.push(u128::from_be_bytes(arr(bytes, &mut pos)?));
         }
-        let zlen = u32::from_be_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4")) as usize;
+        let zlen = count(bytes, &mut pos)?;
         let zone_bytes = take(bytes, &mut pos, zlen)?;
         if pos != bytes.len() {
             return Err(WireError::BadRdata);
         }
-        let zone = Zone::from_snapshot(&zone_bytes)?;
+        let zone = Zone::from_snapshot(zone_bytes)?;
         Ok(ReplicaSnapshot { round, update_counter, executed, delivered_ids, zone })
     }
 
@@ -157,7 +172,7 @@ impl SnapshotQuorum {
             return None; // one vote per replica
         }
         self.responses.push((from, snapshot));
-        let candidate = &self.responses.last().expect("just pushed").1;
+        let (_, candidate) = self.responses.last()?;
         let count = self.responses.iter().filter(|(_, s)| s == candidate).count();
         if count >= quorum {
             Some(candidate.clone())
@@ -180,6 +195,7 @@ impl SnapshotQuorum {
 /// Converts an executed-key set to the snapshot's wire form,
 /// deterministically ordered.
 pub fn executed_to_wire(executed: &HashSet<(usize, u64)>) -> Vec<(u64, u64)> {
+    // sdns-lint: allow(cast) — usize→u64 is lossless on every supported target
     let mut v: Vec<(u64, u64)> = executed.iter().map(|(c, r)| (*c as u64, *r)).collect();
     v.sort_unstable();
     v

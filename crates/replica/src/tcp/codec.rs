@@ -56,13 +56,23 @@ impl Writer {
         self.buf.push(u8::from(v));
     }
 
-    fn bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
+    /// Writes a length-prefixed byte string; the length must fit the
+    /// u32 prefix.
+    fn bytes(&mut self, v: &[u8]) -> Result<(), CodecError> {
+        let len = u32::try_from(v.len()).map_err(|_| err("byte string too long"))?;
+        self.u32(len);
         self.buf.extend_from_slice(v);
+        Ok(())
     }
 
-    fn ubig(&mut self, v: &Ubig) {
-        self.bytes(&v.to_bytes_be());
+    fn ubig(&mut self, v: &Ubig) -> Result<(), CodecError> {
+        self.bytes(&v.to_bytes_be())
+    }
+
+    /// Writes a peer/instance index as a u64.
+    fn index(&mut self, v: usize) -> Result<(), CodecError> {
+        self.u64(u64::try_from(v).map_err(|_| err("index too large"))?);
+        Ok(())
     }
 }
 
@@ -82,16 +92,25 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
+    /// Reads the next `N` bytes as a fixed array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let end = self.pos.checked_add(N).ok_or_else(|| err("truncated integer"))?;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| err("truncated integer"))?;
+        self.pos = end;
+        s.try_into().map_err(|_| err("truncated integer"))
+    }
+
     fn u32(&mut self) -> Result<u32, CodecError> {
-        let s = self.buf.get(self.pos..self.pos + 4).ok_or_else(|| err("truncated u32"))?;
-        self.pos += 4;
-        Ok(u32::from_be_bytes(s.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        let s = self.buf.get(self.pos..self.pos + 8).ok_or_else(|| err("truncated u64"))?;
-        self.pos += 8;
-        Ok(u64::from_be_bytes(s.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(self.array()?))
+    }
+
+    /// Reads a u64 and narrows it to a local peer/instance index.
+    fn index(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| err("index too large"))
     }
 
     fn bool(&mut self) -> Result<bool, CodecError> {
@@ -103,12 +122,13 @@ impl<'a> Reader<'a> {
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
-        let len = self.u32()? as usize;
+        let len = usize::try_from(self.u32()?).map_err(|_| err("oversized byte string"))?;
         if len > 1 << 24 {
             return Err(err("oversized byte string"));
         }
-        let s = self.buf.get(self.pos..self.pos + len).ok_or_else(|| err("truncated bytes"))?;
-        self.pos += len;
+        let end = self.pos.checked_add(len).ok_or_else(|| err("truncated bytes"))?;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| err("truncated bytes"))?;
+        self.pos = end;
         Ok(s.to_vec())
     }
 
@@ -126,80 +146,87 @@ impl<'a> Reader<'a> {
 }
 
 /// Encodes a message to bytes.
-pub fn encode(msg: &ReplicaMsg) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`CodecError`] when a length field overflows its wire width
+/// (a byte string beyond `u32::MAX`) — nothing such a message could
+/// mean survives the transport's frame cap anyway.
+pub fn encode(msg: &ReplicaMsg) -> Result<Vec<u8>, CodecError> {
     let mut w = Writer::new();
-    encode_into(msg, &mut w);
-    w.buf
+    encode_into(msg, &mut w)?;
+    Ok(w.buf)
 }
 
-fn encode_into(msg: &ReplicaMsg, w: &mut Writer) {
+fn encode_into(msg: &ReplicaMsg, w: &mut Writer) -> Result<(), CodecError> {
     match msg {
         ReplicaMsg::ClientRequest { request_id, bytes } => {
             w.u8(0);
             w.u64(*request_id);
-            w.bytes(bytes);
+            w.bytes(bytes)?;
         }
         ReplicaMsg::ClientResponse { request_id, bytes } => {
             w.u8(1);
             w.u64(*request_id);
-            w.bytes(bytes);
+            w.bytes(bytes)?;
         }
         ReplicaMsg::Abcast(AbcMsg::Acs { round, inner }) => {
             w.u8(2);
             w.u64(*round);
-            encode_acs(inner, w);
+            encode_acs(inner, w)?;
         }
         ReplicaMsg::Signing { session, inner } => {
             w.u8(3);
             w.u64(*session);
-            encode_sig(inner, w);
+            encode_sig(inner, w)?;
         }
         ReplicaMsg::Tick => w.u8(4),
         ReplicaMsg::StateRequest => w.u8(5),
         ReplicaMsg::StateResponse { snapshot } => {
             w.u8(6);
-            w.bytes(snapshot);
+            w.bytes(snapshot)?;
         }
         ReplicaMsg::Seq { epoch, seq, inner } => {
             w.u8(7);
             w.u64(*epoch);
             w.u64(*seq);
-            encode_into(inner, w);
+            encode_into(inner, w)?;
         }
         ReplicaMsg::LinkAck { epoch, seqs } => {
             w.u8(8);
             w.u64(*epoch);
-            w.u32(seqs.len() as u32);
+            w.u32(u32::try_from(seqs.len()).map_err(|_| err("ack list too long"))?);
             for s in seqs {
                 w.u64(*s);
             }
         }
     }
+    Ok(())
 }
 
-fn encode_acs(msg: &AcsMsg, w: &mut Writer) {
+fn encode_acs(msg: &AcsMsg, w: &mut Writer) -> Result<(), CodecError> {
     match msg {
         AcsMsg::Rbc { proposer, inner } => {
             w.u8(0);
-            w.u64(*proposer as u64);
+            w.index(*proposer)?;
             match inner {
                 RbcMsg::Init(v) => {
                     w.u8(0);
-                    w.bytes(v);
+                    w.bytes(v)?;
                 }
                 RbcMsg::Echo(v) => {
                     w.u8(1);
-                    w.bytes(v);
+                    w.bytes(v)?;
                 }
                 RbcMsg::Ready(v) => {
                     w.u8(2);
-                    w.bytes(v);
+                    w.bytes(v)?;
                 }
             }
         }
         AcsMsg::Abba { instance, inner } => {
             w.u8(1);
-            w.u64(*instance as u64);
+            w.index(*instance)?;
             match inner {
                 AbbaMsg::Bval { round, value } => {
                     w.u8(0);
@@ -218,19 +245,20 @@ fn encode_acs(msg: &AcsMsg, w: &mut Writer) {
             }
         }
     }
+    Ok(())
 }
 
-fn encode_sig(msg: &SigMessage, w: &mut Writer) {
+fn encode_sig(msg: &SigMessage, w: &mut Writer) -> Result<(), CodecError> {
     match msg {
         SigMessage::Share(share) => {
             w.u8(0);
-            w.u64(share.signer() as u64);
-            w.ubig(share.value());
+            w.index(share.signer())?;
+            w.ubig(share.value())?;
             match share.proof() {
                 Some(p) => {
                     w.u8(1);
-                    w.ubig(p.z());
-                    w.ubig(p.c());
+                    w.ubig(p.z())?;
+                    w.ubig(p.c())?;
                 }
                 None => w.u8(0),
             }
@@ -238,9 +266,10 @@ fn encode_sig(msg: &SigMessage, w: &mut Writer) {
         SigMessage::ProofRequest => w.u8(1),
         SigMessage::Final(sig) => {
             w.u8(2);
-            w.ubig(sig);
+            w.ubig(sig)?;
         }
     }
+    Ok(())
 }
 
 /// Decodes a message from bytes.
@@ -280,7 +309,7 @@ fn decode_msg(r: &mut Reader<'_>, depth: u8) -> Result<ReplicaMsg, CodecError> {
             }
             let epoch = r.u64()?;
             let seq = r.u64()?;
-            let inner = decode_msg(r, depth + 1)?;
+            let inner = decode_msg(r, depth.saturating_add(1))?;
             if matches!(inner, ReplicaMsg::LinkAck { .. }) {
                 return Err(err("nested transport frame"));
             }
@@ -288,7 +317,7 @@ fn decode_msg(r: &mut Reader<'_>, depth: u8) -> Result<ReplicaMsg, CodecError> {
         }
         8 => {
             let epoch = r.u64()?;
-            let count = r.u32()? as usize;
+            let count = usize::try_from(r.u32()?).map_err(|_| err("oversized ack list"))?;
             if count > 1 << 16 {
                 return Err(err("oversized ack list"));
             }
@@ -305,7 +334,7 @@ fn decode_msg(r: &mut Reader<'_>, depth: u8) -> Result<ReplicaMsg, CodecError> {
 fn decode_acs(r: &mut Reader<'_>) -> Result<AcsMsg, CodecError> {
     match r.u8()? {
         0 => {
-            let proposer = r.u64()? as usize;
+            let proposer = r.index()?;
             let inner = match r.u8()? {
                 0 => RbcMsg::Init(r.bytes()?),
                 1 => RbcMsg::Echo(r.bytes()?),
@@ -315,7 +344,7 @@ fn decode_acs(r: &mut Reader<'_>) -> Result<AcsMsg, CodecError> {
             Ok(AcsMsg::Rbc { proposer, inner })
         }
         1 => {
-            let instance = r.u64()? as usize;
+            let instance = r.index()?;
             let inner = match r.u8()? {
                 0 => AbbaMsg::Bval { round: r.u32()?, value: r.bool()? },
                 1 => AbbaMsg::Aux { round: r.u32()?, value: r.bool()? },
@@ -331,7 +360,7 @@ fn decode_acs(r: &mut Reader<'_>) -> Result<AcsMsg, CodecError> {
 fn decode_sig(r: &mut Reader<'_>) -> Result<SigMessage, CodecError> {
     match r.u8()? {
         0 => {
-            let signer = r.u64()? as usize;
+            let signer = r.index()?;
             let value = r.ubig()?;
             let proof = match r.u8()? {
                 0 => None,
@@ -351,7 +380,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(msg: ReplicaMsg) {
-        let bytes = encode(&msg);
+        let bytes = encode(&msg).expect("encodes");
         assert_eq!(decode(&bytes).expect("decodes"), msg);
     }
 
@@ -421,14 +450,15 @@ mod tests {
             epoch: 1,
             seq: 2,
             inner: Box::new(ReplicaMsg::Tick),
-        });
+        })
+        .unwrap();
         let mut outer = vec![7u8];
         outer.extend_from_slice(&1u64.to_be_bytes());
         outer.extend_from_slice(&3u64.to_be_bytes());
         outer.extend_from_slice(&inner);
         assert!(decode(&outer).is_err());
         // LinkAck-in-Seq is rejected too.
-        let ack = encode(&ReplicaMsg::LinkAck { epoch: 1, seqs: vec![4] });
+        let ack = encode(&ReplicaMsg::LinkAck { epoch: 1, seqs: vec![4] }).unwrap();
         let mut outer = vec![7u8];
         outer.extend_from_slice(&1u64.to_be_bytes());
         outer.extend_from_slice(&3u64.to_be_bytes());
@@ -446,7 +476,7 @@ mod tests {
         assert!(decode(&[]).is_err());
         assert!(decode(&[99]).is_err());
         assert!(decode(&[0, 1, 2]).is_err()); // truncated request
-        let mut ok = encode(&ReplicaMsg::Tick);
+        let mut ok = encode(&ReplicaMsg::Tick).unwrap();
         ok.push(0); // trailing garbage
         assert!(decode(&ok).is_err());
         // Oversized length prefix.

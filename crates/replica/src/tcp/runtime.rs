@@ -117,15 +117,17 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
 }
 
 /// Builds the authenticated replica-frame body: `from ‖ mac ‖ msg`.
-pub fn seal(from: usize, msg: &ReplicaMsg, key: &[u8]) -> Vec<u8> {
-    let encoded = codec::encode(msg);
+/// `None` when the message cannot be encoded (a length field
+/// overflowed) — such a frame could never be sent.
+pub fn seal(from: usize, msg: &ReplicaMsg, key: &[u8]) -> Option<Vec<u8>> {
+    let encoded = codec::encode(msg).ok()?;
     let mut body = Vec::with_capacity(8 + 20 + encoded.len());
     body.extend_from_slice(&(from as u64).to_be_bytes());
     let mut mac_input = (from as u64).to_be_bytes().to_vec();
     mac_input.extend_from_slice(&encoded);
     body.extend_from_slice(&hmac_sha1(key, &mac_input));
     body.extend_from_slice(&encoded);
-    body
+    Some(body)
 }
 
 /// Verifies and opens a replica-frame body.
@@ -133,7 +135,8 @@ pub fn unseal(body: &[u8], key: &[u8]) -> Option<(usize, ReplicaMsg)> {
     if body.len() < 28 {
         return None;
     }
-    let from = u64::from_be_bytes(body[..8].try_into().expect("8 bytes")) as usize;
+    let from_bytes: [u8; 8] = body.get(..8)?.try_into().ok()?;
+    let from = u64::from_be_bytes(from_bytes) as usize;
     let mac = &body[8..28];
     let encoded = &body[28..];
     let mut mac_input = body[..8].to_vec();
@@ -182,9 +185,15 @@ impl TcpReplica {
         // core loop dispatches first.
         let initial_actions = match &config.state_dir {
             Some(dir) => {
-                let mut durability = Durability::open(dir, DurabilityCfg::default())?;
-                let epoch = durability.bump_epoch()?;
-                replica.enable_retransmission(epoch, RetransmitCfg::default());
+                // Local-disk trouble degrades durability; it never aborts
+                // the replica (one bad disk must not cost the group a
+                // vote). Without a persisted epoch, retransmission stays
+                // off — a reused sequence range would be worse than
+                // slower recovery.
+                let mut durability = Durability::open(dir, DurabilityCfg::default());
+                if let Ok(epoch) = durability.bump_epoch() {
+                    replica.enable_retransmission(epoch, RetransmitCfg::default());
+                }
                 replica.restore_from_disk(durability)
             }
             None => Vec::new(),
@@ -339,6 +348,7 @@ impl TcpReplica {
     }
 
     /// Stops the replica and returns its final state machine.
+    #[allow(clippy::expect_used)] // a crashed core thread must propagate: there is no replica to return
     pub fn shutdown(mut self) -> Replica {
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.events.send(Event::Stop);
@@ -400,7 +410,7 @@ fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
                     }
                 }
             }
-            let s = stream.as_mut().expect("connected above");
+            let Some(s) = stream.as_mut() else { continue };
             match write_frame(s, KIND_REPLICA, &frame_body) {
                 Ok(()) => break,
                 Err(_) => {
@@ -436,7 +446,9 @@ fn dispatch_action(
                 // queue is full, shed the frame instead of
                 // blocking the core loop (retransmission above
                 // re-sends what mattered).
-                let _ = tx.try_send(seal(me, &msg, key));
+                if let Some(body) = seal(me, &msg, key) {
+                    let _ = tx.try_send(body);
+                }
             } else if let Some(addr) = udp_clients.lock().remove(&to) {
                 // A UDP client: raw DNS bytes back to the source.
                 if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) = (udp, &msg) {
@@ -444,10 +456,11 @@ fn dispatch_action(
                 }
             } else {
                 // A TCP client: write on its registered connection.
-                let encoded = codec::encode(&msg);
-                let mut clients = clients.lock();
-                if let Some(stream) = clients.get_mut(&to) {
-                    let _ = write_frame(stream, KIND_CLIENT, &encoded);
+                if let Ok(encoded) = codec::encode(&msg) {
+                    let mut clients = clients.lock();
+                    if let Some(stream) = clients.get_mut(&to) {
+                        let _ = write_frame(stream, KIND_CLIENT, &encoded);
+                    }
                 }
             }
         }
@@ -586,7 +599,8 @@ impl TcpClient {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         let msg = ReplicaMsg::ClientRequest { request_id, bytes: dns_bytes.to_vec() };
-        let encoded = codec::encode(&msg);
+        let encoded = codec::encode(&msg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let mut last_err =
             std::io::Error::new(std::io::ErrorKind::TimedOut, "no servers reachable");
         for i in self.server_order(std::time::Instant::now()) {

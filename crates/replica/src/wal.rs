@@ -40,10 +40,48 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+/// Errors from the write-ahead log.
+///
+/// Callers treat any of these as *durability degraded*: the replica
+/// keeps serving from memory but must not acknowledge writes as durable
+/// until the log heals (see `durable.rs`). A WAL problem is never a
+/// reason to abort the process.
+#[derive(Debug)]
+pub enum WalError {
+    /// A payload exceeded the frame bound and cannot be logged.
+    Oversize,
+    /// The underlying file I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Oversize => write!(f, "payload exceeds WAL frame bound"),
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Oversize => None,
+            WalError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
 /// File magic, bumped with any format change.
 const MAGIC: &[u8; 8] = b"SDNSWAL1";
 /// Header length: magic + base_seq + base_digest.
-const HEADER_LEN: u64 = 8 + 8 + 32;
+const HEADER_LEN: usize = 8 + 8 + 32;
 /// Frame payloads beyond this are rejected at append and treated as
 /// corruption at recovery (an atomic-broadcast payload is a DNS message
 /// envelope, far below this).
@@ -56,12 +94,14 @@ const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // sdns-lint: allow(cast) — const-eval loop index, bounded 0..256
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
+        // sdns-lint: allow(index) — const-eval loop index, bounded by the table length
         table[i] = c;
         i += 1;
     }
@@ -72,7 +112,8 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        // sdns-lint: allow(index, cast) — masked to 8 bits; the table has 256 entries
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -127,6 +168,42 @@ fn chain(prev: &[u8; 32], payload: &[u8]) -> [u8; 32] {
     h.finalize()
 }
 
+/// Parses the file header, returning `(base_seq, base_digest)`; `None`
+/// for anything too short or with the wrong magic.
+fn parse_header(bytes: &[u8]) -> Option<(u64, [u8; 32])> {
+    if bytes.get(..8)? != MAGIC {
+        return None;
+    }
+    let base_seq = u64::from_be_bytes(bytes.get(8..16)?.try_into().ok()?);
+    let base_digest: [u8; 32] = bytes.get(16..48)?.try_into().ok()?;
+    Some((base_seq, base_digest))
+}
+
+/// Parses one frame starting at `pos`, returning the frame and the
+/// offset just past it. `None` for anything malformed: a truncated or
+/// out-of-range length, missing bytes, or a CRC mismatch — the caller
+/// treats the remainder of the file as a corrupt suffix.
+fn parse_frame(bytes: &[u8], pos: usize) -> Option<(WalFrame, usize)> {
+    let body_start = pos.checked_add(4)?;
+    let len_bytes: [u8; 4] = bytes.get(pos..body_start)?.try_into().ok()?;
+    let len = usize::try_from(u32::from_be_bytes(len_bytes)).ok()?;
+    if !(FRAME_FIXED..=FRAME_FIXED + MAX_PAYLOAD).contains(&len) {
+        return None; // garbage length
+    }
+    let body_end = body_start.checked_add(len)?;
+    let body = bytes.get(body_start..body_end)?;
+    let crc_end = body_end.checked_add(4)?;
+    let crc_bytes: [u8; 4] = bytes.get(body_end..crc_end)?.try_into().ok()?;
+    if crc32(body) != u32::from_be_bytes(crc_bytes) {
+        return None; // torn or flipped
+    }
+    let (seq_bytes, rest) = body.split_at_checked(8)?;
+    let (digest_bytes, payload) = rest.split_at_checked(32)?;
+    let seq = u64::from_be_bytes(seq_bytes.try_into().ok()?);
+    let digest: [u8; 32] = digest_bytes.try_into().ok()?;
+    Some((WalFrame { seq, digest, payload: payload.to_vec() }, crc_end))
+}
+
 impl Wal {
     /// Creates a fresh log at `path` continuing from `(base_seq,
     /// base_digest)`, atomically replacing any previous log: the new
@@ -136,8 +213,8 @@ impl Wal {
     /// # Errors
     ///
     /// Any I/O error from creating, syncing or renaming the file.
-    pub fn create(path: &Path, base_seq: u64, base_digest: [u8; 32]) -> std::io::Result<Wal> {
-        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    pub fn create(path: &Path, base_seq: u64, base_digest: [u8; 32]) -> Result<Wal, WalError> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&base_seq.to_be_bytes());
         header.extend_from_slice(&base_digest);
@@ -151,7 +228,7 @@ impl Wal {
         Ok(Wal {
             file,
             path: path.to_path_buf(),
-            next_seq: base_seq + 1,
+            next_seq: base_seq.saturating_add(1),
             head_digest: base_digest,
             base_seq,
             frames: 0,
@@ -168,7 +245,7 @@ impl Wal {
     /// error: it is rebuilt as a fresh genesis log with
     /// [`WalRecovery::corrupt_suffix`] set (the caller decides whether
     /// that warrants a state transfer).
-    pub fn open(path: &Path) -> std::io::Result<(Wal, WalRecovery)> {
+    pub fn open(path: &Path) -> Result<(Wal, WalRecovery), WalError> {
         if !path.exists() {
             let wal = Wal::create(path, 0, [0u8; 32])?;
             return Ok((
@@ -183,7 +260,7 @@ impl Wal {
         }
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
-        if bytes.len() < HEADER_LEN as usize || &bytes[..8] != MAGIC {
+        let Some((base_seq, base_digest)) = parse_header(&bytes) else {
             // Unrecognizable: replace with a fresh genesis log.
             let wal = Wal::create(path, 0, [0u8; 32])?;
             return Ok((
@@ -195,38 +272,24 @@ impl Wal {
                     corrupt_suffix: true,
                 },
             ));
-        }
-        let base_seq = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
-        let base_digest: [u8; 32] = bytes[16..48].try_into().expect("32 bytes");
+        };
         let mut frames = Vec::new();
-        let mut pos = HEADER_LEN as usize;
+        let mut pos = HEADER_LEN;
         let mut prev = base_digest;
-        let mut next_seq = base_seq + 1;
-        while let Some(len_bytes) = bytes.get(pos..pos + 4) {
-            let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-            if !(FRAME_FIXED..=FRAME_FIXED + MAX_PAYLOAD).contains(&len) {
-                break; // garbage length: stop here
-            }
-            let Some(body) = bytes.get(pos + 4..pos + 4 + len) else { break };
-            let Some(crc_bytes) = bytes.get(pos + 4 + len..pos + 8 + len) else { break };
-            if crc32(body) != u32::from_be_bytes(crc_bytes.try_into().expect("4 bytes")) {
-                break; // torn or flipped
-            }
-            let seq = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
-            let digest: [u8; 32] = body[8..40].try_into().expect("32 bytes");
-            let payload = body[40..].to_vec();
-            if seq != next_seq || digest != chain(&prev, &payload) {
+        let mut next_seq = base_seq.saturating_add(1);
+        while let Some((frame, end)) = parse_frame(&bytes, pos) {
+            if frame.seq != next_seq || frame.digest != chain(&prev, &frame.payload) {
                 break; // spliced from another history
             }
-            prev = digest;
-            next_seq += 1;
-            frames.push(WalFrame { seq, digest, payload });
-            pos += 8 + len;
+            prev = frame.digest;
+            next_seq = next_seq.saturating_add(1);
+            frames.push(frame);
+            pos = end;
         }
         let corrupt_suffix = pos != bytes.len();
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         if corrupt_suffix {
-            file.set_len(pos as u64)?;
+            file.set_len(u64::try_from(pos).map_err(|_| WalError::Oversize)?)?;
             file.sync_all()?;
         }
         file.seek(SeekFrom::End(0))?;
@@ -236,7 +299,7 @@ impl Wal {
             next_seq,
             head_digest: prev,
             base_seq,
-            frames: frames.len() as u64,
+            frames: u64::try_from(frames.len()).unwrap_or(u64::MAX),
         };
         Ok((
             wal,
@@ -249,28 +312,28 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// `InvalidInput` for oversized payloads; otherwise any I/O error
-    /// from the write or the fsync.
-    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<(u64, [u8; 32])> {
+    /// [`WalError::Oversize`] for oversized payloads; otherwise any I/O
+    /// error from the write or the fsync.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(u64, [u8; 32]), WalError> {
         if payload.len() > MAX_PAYLOAD {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "payload exceeds WAL frame bound",
-            ));
+            return Err(WalError::Oversize);
         }
         let seq = self.next_seq;
         let digest = chain(&self.head_digest, payload);
-        let len = FRAME_FIXED + payload.len();
-        let mut frame = Vec::with_capacity(8 + len);
-        frame.extend_from_slice(&(len as u32).to_be_bytes());
-        frame.extend_from_slice(&seq.to_be_bytes());
-        frame.extend_from_slice(&digest);
-        frame.extend_from_slice(payload);
-        let crc = crc32(&frame[4..]);
+        let len = payload.len().saturating_add(FRAME_FIXED);
+        let len_field = u32::try_from(len).map_err(|_| WalError::Oversize)?;
+        let mut body = Vec::with_capacity(len);
+        body.extend_from_slice(&seq.to_be_bytes());
+        body.extend_from_slice(&digest);
+        body.extend_from_slice(payload);
+        let crc = crc32(&body);
+        let mut frame = Vec::with_capacity(len.saturating_add(8));
+        frame.extend_from_slice(&len_field.to_be_bytes());
+        frame.extend_from_slice(&body);
         frame.extend_from_slice(&crc.to_be_bytes());
         self.file.write_all(&frame)?;
         self.file.sync_all()?;
-        self.next_seq = seq + 1;
+        self.next_seq = seq.saturating_add(1);
         self.head_digest = digest;
         self.frames += 1;
         Ok((seq, digest))
@@ -284,7 +347,7 @@ impl Wal {
     ///
     /// Any I/O error from [`Wal::create`]; on error the old log is left
     /// in place (replay stays correct, merely longer).
-    pub fn compact(&mut self, base_seq: u64, base_digest: [u8; 32]) -> std::io::Result<()> {
+    pub fn compact(&mut self, base_seq: u64, base_digest: [u8; 32]) -> Result<(), WalError> {
         *self = Wal::create(&self.path, base_seq, base_digest)?;
         Ok(())
     }
@@ -401,7 +464,7 @@ mod tests {
         // the replica simply rejoins with an older frontier).
         // On disk: len prefix ‖ FRAME_FIXED ‖ payload ‖ crc32.
         let frame_len = 4 + FRAME_FIXED + 20 + 4;
-        let boundaries: Vec<usize> = (0..=3).map(|i| HEADER_LEN as usize + i * frame_len).collect();
+        let boundaries: Vec<usize> = (0..=3).map(|i| HEADER_LEN + i * frame_len).collect();
         for cut in 0..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
             let (_, rec) = Wal::open(&path).unwrap();
@@ -434,7 +497,7 @@ mod tests {
         drop(wal);
         let full = std::fs::read(&path).unwrap();
         // Flip one bit in every byte position past the header.
-        for pos in HEADER_LEN as usize..full.len() {
+        for pos in HEADER_LEN..full.len() {
             let mut bytes = full.clone();
             bytes[pos] ^= 0x10;
             std::fs::write(&path, &bytes).unwrap();

@@ -33,7 +33,7 @@ fn sample_messages() -> Vec<ReplicaMsg> {
 fn frame_roundtrip() {
     for msg in sample_messages() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, KIND_CLIENT, &encode(&msg)).unwrap();
+        write_frame(&mut buf, KIND_CLIENT, &encode(&msg).unwrap()).unwrap();
         let (kind, body) = read_frame(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(kind, KIND_CLIENT);
         assert_eq!(decode(&body).unwrap(), msg);
@@ -43,7 +43,7 @@ fn frame_roundtrip() {
 #[test]
 fn truncated_frames_error_cleanly() {
     let mut buf = Vec::new();
-    write_frame(&mut buf, KIND_REPLICA, &encode(&ReplicaMsg::StateRequest)).unwrap();
+    write_frame(&mut buf, KIND_REPLICA, &encode(&ReplicaMsg::StateRequest).unwrap()).unwrap();
     // Every proper prefix must fail with an I/O error, not panic.
     for cut in 0..buf.len() {
         assert!(read_frame(&mut Cursor::new(&buf[..cut])).is_err(), "prefix of {cut} bytes");
@@ -68,7 +68,7 @@ fn zero_and_oversized_lengths_rejected() {
 #[test]
 fn bit_flips_never_panic_the_codec() {
     for msg in sample_messages() {
-        let encoded = encode(&msg);
+        let encoded = encode(&msg).unwrap();
         for byte in 0..encoded.len() {
             for bit in 0..8 {
                 let mut corrupted = encoded.clone();
@@ -85,7 +85,7 @@ fn bit_flips_never_panic_the_codec() {
 fn bit_flipped_replica_frames_fail_the_mac() {
     let key = b"frame-test-key".to_vec();
     let msg = ReplicaMsg::Signing { session: 1, inner: SigMessage::ProofRequest };
-    let body = seal(2, &msg, &key);
+    let body = seal(2, &msg, &key).unwrap();
     assert_eq!(unseal(&body, &key).unwrap(), (2, msg));
     // Any single bit flip anywhere in the sealed body (sender id, MAC
     // or payload) must make authentication fail.

@@ -11,6 +11,9 @@
 //!             [--base-port PORT] [--host HOST]
 //! ```
 
+// Command-line entry point: aborting with a message on broken local
+// configuration is acceptable here, so the unwrap/expect lints are relaxed.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use rand::SeedableRng;
 use sdns::abcast::Group;
 use sdns::crypto::protocol::SigProtocol;

@@ -7,6 +7,9 @@
 //!
 //! Like `nsupdate`, the update is preceded by a SOA query for the zone.
 
+// Command-line entry point: aborting with a message on broken local
+// configuration is acceptable here, so the unwrap/expect lints are relaxed.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdns::dns::update::{add_record_request, delete_name_request};
 use sdns::dns::{Message, Name, RData, Record, RecordType};
 use sdns::replica::tcp::TcpClient;

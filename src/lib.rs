@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # sdns — Secure Distributed DNS
 //!

@@ -469,8 +469,7 @@ fn durable_nodes(
     for i in 0..N {
         let mut replica = deployment.replica(i, Corruption::None, seed ^ (incarnation << 8));
         let mut durability =
-            Durability::open(&root.join(format!("replica-{i}")), DurabilityCfg::default())
-                .expect("state directory");
+            Durability::open(&root.join(format!("replica-{i}")), DurabilityCfg::default());
         let epoch = durability.bump_epoch().expect("persist epoch");
         assert_eq!(epoch, incarnation, "epoch counter must count incarnations");
         replica.enable_retransmission(epoch, RetransmitCfg::default());

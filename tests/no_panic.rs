@@ -1,0 +1,172 @@
+//! Panic-freedom property suite (DESIGN.md §10).
+//!
+//! Every decoder that faces bytes from the network or from disk must
+//! return an error on malformed input, never panic. Each property here
+//! drives a decoder with arbitrary and with mutated-valid inputs inside
+//! `catch_unwind`, so a panic anywhere in the parsing path fails the
+//! test with the offending input minimized by proptest.
+//!
+//! This complements `cargo xtask lint` (which denies panicking
+//! constructs in the untrusted-input modules statically): the lint
+//! catches the constructs, this suite catches any reachable panic the
+//! lint's allowlist or module list might miss.
+
+use proptest::prelude::*;
+use sdns::dns::tsig::{sign_message, verify_message, TsigKey, TsigKeyring};
+use sdns::dns::update::add_record_request;
+use sdns::dns::{zonefile, Message, Name, RData, Record, Zone};
+use sdns::replica::snapshot::ReplicaSnapshot;
+use sdns::replica::tcp::{decode as codec_decode, encode as codec_encode};
+use sdns::replica::wal::Wal;
+use sdns::replica::ReplicaMsg;
+use std::panic::catch_unwind;
+
+/// Runs `f` under `catch_unwind` and turns a panic into a test failure
+/// carrying the label. The closure's result value is discarded: these
+/// properties assert "no panic", not "decodes successfully".
+fn no_panic<T>(label: &str, f: impl FnOnce() -> T + std::panic::UnwindSafe) {
+    let outcome = catch_unwind(f);
+    assert!(outcome.is_ok(), "{label}: decoder panicked");
+}
+
+fn origin() -> Name {
+    "example.com".parse().expect("valid origin")
+}
+
+/// A well-formed signed dynamic-update message to mutate.
+fn valid_signed_update() -> Vec<u8> {
+    let record = Record::new(
+        "www.example.com".parse().expect("valid name"),
+        300,
+        RData::A("192.0.2.80".parse().expect("valid addr")),
+    );
+    let mut msg = add_record_request(7, &origin(), record);
+    let key = TsigKey { name: "update-key.example.com".parse().expect("valid"), secret: b"s3cret".to_vec() };
+    sign_message(&mut msg, &key, 1_000_000);
+    msg.to_bytes()
+}
+
+/// A well-formed replica snapshot to mutate.
+fn valid_snapshot() -> Vec<u8> {
+    let snapshot = ReplicaSnapshot {
+        round: 42,
+        update_counter: 7,
+        executed: vec![(1, 2), (3, 4)],
+        delivered_ids: vec![5, 6, 7],
+        zone: Zone::with_default_soa(origin()),
+    };
+    snapshot.encode()
+}
+
+/// Flips `byte` into position `idx` and truncates to `keep`, producing a
+/// near-valid corruption of `base`.
+fn mutate(base: &[u8], idx: usize, byte: u8, keep: usize) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    if !bytes.is_empty() {
+        let i = idx % bytes.len();
+        bytes[i] = byte;
+        bytes.truncate(keep % (bytes.len() + 1));
+    }
+    bytes
+}
+
+proptest! {
+    /// DNS wire decoding of arbitrary bytes returns, it never panics.
+    #[test]
+    fn dns_message_decode_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        no_panic("Message::from_bytes(arbitrary)", || Message::from_bytes(&bytes));
+    }
+
+    /// Single-byte corruptions and truncations of a valid signed update.
+    #[test]
+    fn dns_message_decode_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let bytes = mutate(&valid_signed_update(), idx, byte, keep);
+        no_panic("Message::from_bytes(mutated)", || Message::from_bytes(&bytes));
+    }
+
+    /// TSIG verification of whatever decodes from corrupted messages.
+    #[test]
+    fn tsig_verify_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let bytes = mutate(&valid_signed_update(), idx, byte, keep);
+        let mut keyring = TsigKeyring::new();
+        keyring.add(TsigKey {
+            name: "update-key.example.com".parse().expect("valid"),
+            secret: b"s3cret".to_vec(),
+        });
+        no_panic("verify_message(mutated)", move || {
+            if let Ok(msg) = Message::from_bytes(&bytes) {
+                let _ = verify_message(&msg, &keyring, 1_000_000);
+            }
+        });
+    }
+
+    /// Zone-file parsing of arbitrary text (arbitrary bytes decoded
+    /// lossily, so invalid UTF-8 degrades to replacement characters).
+    #[test]
+    fn zonefile_parse_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        no_panic("zonefile::parse(arbitrary)", || zonefile::parse(&text, &origin()));
+    }
+
+    /// Zone-file parsing of near-valid text: directives, partial records,
+    /// stray parentheses and comments.
+    #[test]
+    fn zonefile_parse_near_valid(
+        head_idx in 0usize..5,
+        middle in proptest::string::string_regex("[ A-Za-z0-9.()$;@\"]{0,32}").expect("regex"),
+        tail_idx in 0usize..5,
+    ) {
+        const HEADS: [&str; 5] = ["$ORIGIN", "$TTL", "www", "@", ";"];
+        const TAILS: [&str; 5] = ["A 192.0.2.1", "IN NS ns1", "(", ")", "\"unterminated"];
+        let text = format!("{} {middle} {}\n", HEADS[head_idx], TAILS[tail_idx]);
+        no_panic("zonefile::parse(near-valid)", || zonefile::parse(&text, &origin()));
+    }
+
+    /// Replica snapshot decoding: arbitrary bytes.
+    #[test]
+    fn snapshot_decode_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        no_panic("ReplicaSnapshot::decode(arbitrary)", || ReplicaSnapshot::decode(&bytes));
+    }
+
+    /// Replica snapshot decoding: corrupted valid snapshots.
+    #[test]
+    fn snapshot_decode_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let bytes = mutate(&valid_snapshot(), idx, byte, keep);
+        no_panic("ReplicaSnapshot::decode(mutated)", || ReplicaSnapshot::decode(&bytes));
+    }
+
+    /// TCP frame codec: arbitrary bytes.
+    #[test]
+    fn codec_decode_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        no_panic("tcp::decode(arbitrary)", || codec_decode(&bytes));
+    }
+
+    /// TCP frame codec: corrupted valid frames.
+    #[test]
+    fn codec_decode_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let valid = codec_encode(&ReplicaMsg::StateRequest).expect("valid frame encodes");
+        let bytes = mutate(&valid, idx, byte, keep);
+        no_panic("tcp::decode(mutated)", || codec_decode(&bytes));
+    }
+
+    /// WAL recovery from a corrupted log file: `Wal::open` must salvage
+    /// the valid prefix or fail cleanly, never panic.
+    #[test]
+    fn wal_open_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let dir = std::env::temp_dir().join(format!("sdns-no-panic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("wal.bin");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).expect("fresh wal");
+            wal.append(b"frame one").expect("append");
+            wal.append(b"frame two, somewhat longer payload").expect("append");
+        }
+        let base = std::fs::read(&path).expect("read back");
+        let mutated = mutate(&base, idx, byte, keep);
+        std::fs::write(&path, &mutated).expect("write corrupted");
+        no_panic("Wal::open(mutated)", move || {
+            let _ = Wal::open(&path);
+        });
+    }
+}

@@ -1,0 +1,335 @@
+//! A small self-contained Rust tokenizer.
+//!
+//! The lint pass needs token-level structure (idents, punctuation,
+//! comments with line numbers) — not a full parse tree. The container
+//! this repo builds in has no network access and no vendored `syn`, so
+//! the walker runs on this hand-rolled lexer instead; the rules in
+//! [`crate::rules`] are written against token patterns that are stable
+//! under formatting.
+//!
+//! Handled: line/doc comments, nested block comments, string literals
+//! (plain, byte, raw with arbitrary `#` fences), char literals vs.
+//! lifetimes, numeric literals, identifiers, and multi-character
+//! operators (longest match).
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Token classification — only as fine-grained as the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `unwrap`, …).
+    Ident(String),
+    /// `'a` lifetime (without the quote).
+    Lifetime(String),
+    /// String / char / byte-string literal (contents dropped).
+    StrLit,
+    /// Numeric literal, original spelling preserved (`0xFF`, `1_000u64`).
+    NumLit(String),
+    /// A `//` comment, full text without the newline. Doc comments too.
+    Comment(String),
+    /// Punctuation / operator, longest-match (`<<=`, `..=`, `->`, `+`).
+    Punct(&'static str),
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+/// Multi-character operators, longest first within each leading char.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..", "=", "<", ">", "+", "-", "*",
+    "/", "%", "^", "&", "|", "!", "?", "@", ".", ",", ";", ":", "#", "$", "(", ")", "[", "]",
+    "{", "}",
+];
+
+/// Tokenizes `src`. Unknown bytes are skipped (the lint only needs the
+/// tokens it recognizes; it never rejects a file).
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                tokens.push(Token { kind: TokenKind::Comment(text), line });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                tokens.push(Token { kind: TokenKind::StrLit, line });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                tokens.push(Token { kind: TokenKind::StrLit, line: start_line });
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident not
+                // followed by a closing quote (`'a'` is a char).
+                if is_lifetime(bytes, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    let name = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                    tokens.push(Token { kind: TokenKind::Lifetime(name), line });
+                    i = j;
+                } else {
+                    i = skip_char_literal(bytes, i, &mut line);
+                    tokens.push(Token { kind: TokenKind::StrLit, line });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (is_ident_char(bytes[i]) || bytes[i] == b'.') {
+                    // Stop `.` consumption at ranges (`0..n`) and method
+                    // calls on literals (`1.max(x)`).
+                    if bytes[i] == b'.'
+                        && !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                tokens.push(Token { kind: TokenKind::NumLit(text), line });
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                tokens.push(Token { kind: TokenKind::Ident(text), line });
+            }
+            _ => {
+                let rest = &src[i..];
+                if let Some(op) = OPERATORS.iter().find(|op| rest.starts_with(**op)) {
+                    tokens.push(Token { kind: TokenKind::Punct(op), line });
+                    i += op.len();
+                } else {
+                    i += 1; // unknown byte (unicode in comments already handled)
+                }
+            }
+        }
+    }
+    tokens
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether the `'` at `i` begins a lifetime rather than a char literal.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&first) = bytes.get(i + 1) else { return false };
+    if !is_ident_start(first) {
+        return false; // '\n', '0', ')' … all char literals
+    }
+    // Scan the ident; a closing quote right after makes it a char.
+    let mut j = i + 2;
+    while j < bytes.len() && is_ident_char(bytes[j]) {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+/// Skips a `"…"` literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal; returns the index just past the close.
+fn skip_char_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `r"`, `r#"`, `b"`, `br"`, `br#"` … starts at `i`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Skips raw / byte / raw-byte strings; returns index past the close.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        // Raw string: no escapes; ends at `"` + hashes `#`s.
+        i += 1; // opening quote
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"'
+                && bytes[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+            {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        i
+    } else {
+        // Plain byte string `b"…"`: escapes apply.
+        skip_string(bytes, i, line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r###"
+            // unwrap() in a comment
+            /* panic!() in /* nested */ block */
+            let s = "call .unwrap() here";
+            let r = r#"also panic!("x")"#;
+            let b = b"unwrap";
+            let c = '\'';
+            real_ident();
+        "###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "r", "let", "b", "let", "c", "real_ident"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let strs = toks.iter().filter(|t| t.kind == TokenKind::StrLit).count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn compound_operators_longest_match() {
+        let toks = lex("a <<= 1; b..=c; x->y");
+        assert!(toks.iter().any(|t| t.is_punct("<<=")));
+        assert!(toks.iter().any(|t| t.is_punct("..=")));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.ident() == Some("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn numeric_literals_keep_spelling_and_stop_at_ranges() {
+        let toks = lex("0xFF_u32 + 1..n");
+        assert!(matches!(&toks[0].kind, TokenKind::NumLit(s) if s == "0xFF_u32"));
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+    }
+}

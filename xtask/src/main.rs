@@ -1,0 +1,240 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! - `lint` — the static-analysis pass: panic-freedom rules over the
+//!   untrusted-input modules, plus the secret-dependent-branch audit
+//!   over `sdns-crypto` / `sdns-bigint`. Exits non-zero on any
+//!   violation, so CI can gate on it.
+//!   - `--update-secret-allowlist` rewrites
+//!     `xtask/secret-branch.allow` from current findings, preserving
+//!     justifications.
+//!
+//! Run from anywhere in the workspace: paths resolve relative to the
+//! workspace root (the directory holding this crate).
+
+mod lexer;
+mod rules;
+mod secret;
+
+use rules::Rule;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The untrusted-input modules: everything that decodes bytes arriving
+/// from the network or from disk. The panic-freedom rules are *denied*
+/// here; the rest of the workspace is covered by the (softer)
+/// workspace-wide clippy lints.
+const UNTRUSTED_MODULES: &[&str] = &[
+    // DNS wire/zone parsing: attacker-controlled packets and files.
+    "crates/dns/src/wire.rs",
+    "crates/dns/src/message.rs",
+    "crates/dns/src/zonefile.rs",
+    "crates/dns/src/tsig.rs",
+    "crates/dns/src/name.rs",
+    // Replica byte-facing paths: socket frames, WAL and snapshot files.
+    "crates/replica/src/tcp/codec.rs",
+    "crates/replica/src/wal.rs",
+    "crates/replica/src/snapshot.rs",
+    "crates/replica/src/durable.rs",
+    "crates/replica/src/reliable.rs",
+    // Atomic-broadcast message handlers: peer (possibly Byzantine) input.
+    "crates/abcast/src/abcast.rs",
+    "crates/abcast/src/rbc.rs",
+    "crates/abcast/src/abba.rs",
+    "crates/abcast/src/acs.rs",
+    "crates/abcast/src/coin.rs",
+    // Crypto verify paths: signatures and MACs from untrusted peers.
+    // (sha1.rs / sha256.rs are deliberately NOT listed: their
+    // compression functions index fixed arrays with loop-bounded
+    // constants and use wrapping arithmetic by design — no byte of
+    // input influences an index or a length, so the rules would only
+    // generate waiver noise there. See DESIGN.md §10.)
+    "crates/crypto/src/pkcs1.rs",
+    "crates/crypto/src/protocol.rs",
+    "crates/crypto/src/hmac.rs",
+    "crates/crypto/src/threshold/share.rs",
+    "crates/crypto/src/threshold/assemble.rs",
+];
+
+/// Files covered by the secret-dependent-branch audit.
+const SECRET_AUDIT_DIRS: &[(&str, bool)] =
+    &[("crates/crypto/src", false), ("crates/bigint/src", true)];
+
+/// The reviewed allowlist for the secret-branch heuristic.
+const SECRET_ALLOWLIST: &str = "xtask/secret-branch.allow";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-secret-allowlist]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locates the workspace root: walks up from the current directory to
+/// the first `Cargo.toml` declaring `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let update_allowlist = flags.iter().any(|f| f == "--update-secret-allowlist");
+    let root = workspace_root();
+    let mut failed = false;
+
+    // ---- Panic-freedom pass ------------------------------------------
+    println!("sdns-lint: panic-freedom pass over {} untrusted-input modules", UNTRUSTED_MODULES.len());
+    let mut total_by_rule: BTreeMap<Rule, usize> = BTreeMap::new();
+    let mut total_allows = 0usize;
+    let mut stale_allows = 0usize;
+    for rel in UNTRUSTED_MODULES {
+        let path = root.join(rel);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {rel}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = rules::check_file(&src);
+        for v in &report.violations {
+            println!("  DENY  {rel}:{}: [{}] {}", v.line, v.rule, v.snippet);
+            *total_by_rule.entry(v.rule).or_default() += 1;
+            failed = true;
+        }
+        for a in &report.allows {
+            if a.rules.is_empty() {
+                println!("  BAD   {rel}:{}: malformed or unjustified sdns-lint annotation", a.line);
+                failed = true;
+            } else if a.used {
+                total_allows += 1;
+                println!(
+                    "  allow {rel}:{}: ({}) — {}",
+                    a.line,
+                    a.rules.iter().map(|r| r.name()).collect::<Vec<_>>().join(", "),
+                    a.justification
+                );
+            } else {
+                stale_allows += 1;
+                println!("  STALE {rel}:{}: annotation suppresses nothing — remove it", a.line);
+                failed = true;
+            }
+        }
+    }
+    let violation_total: usize = total_by_rule.values().sum();
+    if violation_total > 0 {
+        let per_rule = total_by_rule
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("panic-freedom: {violation_total} violation(s) ({per_rule})");
+    } else {
+        println!("panic-freedom: clean ({total_allows} justified allow(s), {stale_allows} stale)");
+    }
+
+    // ---- Secret-dependent-branch audit -------------------------------
+    let mut findings = Vec::new();
+    for (dir, bigint) in SECRET_AUDIT_DIRS {
+        collect_secret_findings(&root, Path::new(dir), *bigint, &mut findings);
+    }
+    findings.sort();
+    findings.dedup_by(|a, b| a.key == b.key);
+
+    let allow_path = root.join(SECRET_ALLOWLIST);
+    let previous = secret::Allowlist::parse(
+        &std::fs::read_to_string(&allow_path).unwrap_or_default(),
+    );
+    if update_allowlist {
+        let text = secret::render_allowlist(&findings, &previous);
+        if let Err(e) = std::fs::write(&allow_path, text) {
+            eprintln!("error: cannot write {SECRET_ALLOWLIST}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("secret-branch: wrote {} finding(s) to {SECRET_ALLOWLIST}", findings.len());
+        println!("review each `TODO: justify` before committing.");
+    }
+
+    println!("\nsdns-lint: secret-dependent-branch audit ({} finding(s))", findings.len());
+    let mut new = 0usize;
+    for f in &findings {
+        match previous.justification(&f.key).filter(|j| !j.is_empty() && !j.starts_with("TODO")) {
+            Some(just) if !update_allowlist => println!("  allow {} — {just}", f.key),
+            Some(_) => {}
+            None if update_allowlist => {}
+            None => {
+                println!("  DENY  {} (line {}) — not in reviewed allowlist", f.key, f.line);
+                new += 1;
+                failed = true;
+            }
+        }
+    }
+    for (key, _) in &previous.entries {
+        if !findings.iter().any(|f| &f.key == key) {
+            println!("  STALE {key} — no longer flagged; remove from {SECRET_ALLOWLIST}");
+            failed = true;
+        }
+    }
+    if new > 0 {
+        println!(
+            "secret-branch: {new} unreviewed finding(s); review and run \
+             `cargo xtask lint --update-secret-allowlist`"
+        );
+    } else {
+        println!("secret-branch: clean ({} reviewed entries)", previous.entries.len());
+    }
+
+    if failed {
+        println!("\nsdns-lint: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("\nsdns-lint: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect_secret_findings(
+    root: &Path,
+    dir: &Path,
+    bigint: bool,
+    findings: &mut Vec<secret::Finding>,
+) {
+    let abs = root.join(dir);
+    let Ok(entries) = std::fs::read_dir(&abs) else {
+        eprintln!("warning: cannot read {}", abs.display());
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if let Ok(rel) = path.strip_prefix(root) {
+                collect_secret_findings(root, rel, bigint, findings);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(src) = std::fs::read_to_string(&path) else { continue };
+            let label = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            findings.extend(secret::scan_file(&label, &src, bigint));
+        }
+    }
+}

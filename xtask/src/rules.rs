@@ -1,0 +1,489 @@
+//! Panic-freedom rules for untrusted-input modules.
+//!
+//! A replica that panics while decoding attacker-supplied bytes hands
+//! the adversary a crash fault it did not have to pay a corruption for,
+//! eroding the `t < n/3` budget. These rules deny, in designated
+//! modules, every construct that can abort on hostile input:
+//!
+//! | rule     | denies                                                |
+//! |----------|-------------------------------------------------------|
+//! | `panic`  | `panic!`, `unreachable!`, `todo!`, `unimplemented!`   |
+//! | `unwrap` | `.unwrap()`, `.unwrap_err()`                          |
+//! | `expect` | `.expect(…)`, `.expect_err(…)`                        |
+//! | `index`  | slice/array indexing `x[i]`, `x[a..b]` (except `[..]`)|
+//! | `cast`   | `as` casts to primitive numeric types                 |
+//! | `arith`  | unchecked `+ - * << >>` (and compound assignments)    |
+//!            | on attacker-scalable operands                         |
+//!
+//! The `arith` heuristic exempts literal-only expressions (`8 + 32` is
+//! const-evaluated; overflow there is a compile error) and
+//! increment-by-constant compound assignments (`pos += 4` on a
+//! bounds-checked cursor): the rule targets arithmetic whose magnitude
+//! an attacker can scale, which is where release-mode wraparound and
+//! debug-mode aborts hide.
+//!
+//! ## Escape hatch
+//!
+//! `// sdns-lint: allow(rule[, rule]) — justification` on the line
+//! before (or trailing the line of) a finding suppresses it. The
+//! justification is mandatory; the tool counts every use and reports
+//! them, so waivers stay reviewable. Unused annotations are themselves
+//! reported (stale waivers rot).
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is skipped:
+//! a panicking assertion in a test is the mechanism working.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The rule a finding belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    Panic,
+    Unwrap,
+    Expect,
+    Index,
+    Cast,
+    Arith,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] =
+        [Rule::Panic, Rule::Unwrap, Rule::Expect, Rule::Index, Rule::Cast, Rule::Arith];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Unwrap => "unwrap",
+            Rule::Expect => "expect",
+            Rule::Index => "index",
+            Rule::Cast => "cast",
+            Rule::Arith => "arith",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a denied construct in an untrusted-input module.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub line: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One use of the escape hatch.
+#[derive(Debug, Clone)]
+pub struct AllowUse {
+    pub rules: Vec<Rule>,
+    pub line: u32,
+    pub justification: String,
+    /// Whether any finding was actually suppressed by it.
+    pub used: bool,
+}
+
+/// Scan result for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<AllowUse>,
+}
+
+/// Runs every panic-freedom rule over `src`.
+pub fn check_file(src: &str) -> FileReport {
+    let tokens = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    };
+
+    // Pass 1: collect escape-hatch annotations. An annotation covers its
+    // own line (trailing form) and the next code line (standalone form).
+    let mut allows: Vec<AllowUse> = Vec::new();
+    let mut allowed_on_line: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let TokenKind::Comment(text) = &tok.kind else { continue };
+        let Some(annotation) = parse_allow(text) else { continue };
+        let idx = allows.len();
+        allowed_on_line.entry(tok.line).or_default().push(idx);
+        if let Some(next) = tokens[i + 1..]
+            .iter()
+            .find(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        {
+            allowed_on_line.entry(next.line).or_default().push(idx);
+        }
+        allows.push(AllowUse {
+            rules: annotation.0,
+            line: tok.line,
+            justification: annotation.1,
+            used: false,
+        });
+    }
+
+    // Pass 2: strip comments and test regions, then match rule patterns.
+    let code: Vec<&Token> =
+        tokens.iter().filter(|t| !matches!(t.kind, TokenKind::Comment(_))).collect();
+    let test_mask = test_region_mask(&code);
+
+    let mut violations = Vec::new();
+    let mut record = |rule: Rule, line: u32| {
+        if let Some(idxs) = allowed_on_line.get(&line) {
+            if let Some(&idx) = idxs.iter().find(|&&i| allows[i].rules.contains(&rule)) {
+                allows[idx].used = true;
+                return;
+            }
+        }
+        violations.push(Violation { rule, line, snippet: snippet(line) });
+    };
+
+    for i in 0..code.len() {
+        if test_mask[i] {
+            continue;
+        }
+        let tok = code[i];
+        let prev = i.checked_sub(1).map(|j| code[j]);
+        let next = code.get(i + 1).copied();
+        match &tok.kind {
+            TokenKind::Ident(name) => match name.as_str() {
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if next.is_some_and(|t| t.is_punct("!")) =>
+                {
+                    record(Rule::Panic, tok.line);
+                }
+                "unwrap" | "unwrap_err"
+                    if prev.is_some_and(|t| t.is_punct("."))
+                        && next.is_some_and(|t| t.is_punct("(")) =>
+                {
+                    record(Rule::Unwrap, tok.line);
+                }
+                "expect" | "expect_err"
+                    if prev.is_some_and(|t| t.is_punct("."))
+                        && next.is_some_and(|t| t.is_punct("(")) =>
+                {
+                    record(Rule::Expect, tok.line);
+                }
+                "as" if next.is_some_and(|t| t.ident().is_some_and(is_numeric_primitive)) => {
+                    record(Rule::Cast, tok.line);
+                }
+                _ => {}
+            },
+            TokenKind::Punct(p) => {
+                if *p == "[" && is_index_expression(prev, &code[i + 1..]) {
+                    record(Rule::Index, tok.line);
+                } else if is_unchecked_arith(p, prev, next) {
+                    record(Rule::Arith, tok.line);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FileReport { violations, allows }
+}
+
+/// Parses `sdns-lint: allow(rule[, rule]) — justification` out of a
+/// comment. Returns the rules and the (mandatory, non-empty)
+/// justification; an annotation without one parses as covering no rules
+/// so the finding it meant to waive still fires.
+fn parse_allow(comment: &str) -> Option<(Vec<Rule>, String)> {
+    let at = comment.find("sdns-lint:")?;
+    let rest = comment[at + "sdns-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<Rule> = rest[..close]
+        .split(',')
+        .filter_map(|r| Rule::from_name(r.trim()))
+        .collect();
+    let mut justification = rest[close + 1..].trim();
+    for dash in ["—", "--", "-", ":"] {
+        if let Some(j) = justification.strip_prefix(dash) {
+            justification = j.trim();
+            break;
+        }
+    }
+    if rules.is_empty() || justification.is_empty() {
+        // Malformed or unjustified: treat as absent so the violation
+        // surfaces (the report will also show the broken annotation).
+        return Some((Vec::new(), String::new()));
+    }
+    Some((rules, justification.to_string()))
+}
+
+/// Marks tokens inside `#[cfg(test)] mod … { … }` blocks and `#[test]`
+/// functions, which the rules skip.
+fn test_region_mask(code: &[&Token]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct("#") && code.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // Parse the attribute's bracketed tokens.
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < code.len() && depth > 0 {
+                if code[j].is_punct("[") {
+                    depth += 1;
+                } else if code[j].is_punct("]") {
+                    depth -= 1;
+                } else if let Some(id) = code[j].ident() {
+                    attr.push(id);
+                }
+                j += 1;
+            }
+            let is_test_attr = attr == ["test"]
+                || (attr.contains(&"cfg") && attr.contains(&"test"))
+                || attr.first() == Some(&"bench");
+            if is_test_attr {
+                // Mark everything through the end of the annotated item:
+                // its first `{ … }` block, or a terminating `;`.
+                let mut k = j;
+                while k < code.len() && !code[k].is_punct("{") && !code[k].is_punct(";") {
+                    mask[k] = true;
+                    k += 1;
+                }
+                if k < code.len() && code[k].is_punct("{") {
+                    let mut bd = 1u32;
+                    mask[k] = true;
+                    k += 1;
+                    while k < code.len() && bd > 0 {
+                        if code[k].is_punct("{") {
+                            bd += 1;
+                        } else if code[k].is_punct("}") {
+                            bd -= 1;
+                        }
+                        mask[k] = true;
+                        k += 1;
+                    }
+                }
+                for m in mask.iter_mut().take(j).skip(i) {
+                    *m = true;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether a `[` begins an indexing expression rather than an array
+/// literal, slice type, or attribute: true when the previous token is a
+/// value (identifier, closing bracket, `?`). The never-panicking full
+/// slice `[..]` is exempt.
+fn is_index_expression(prev: Option<&Token>, rest: &[&Token]) -> bool {
+    let indexes = prev.is_some_and(|t| {
+        matches!(&t.kind, TokenKind::Ident(id) if !is_keyword(id))
+            || t.is_punct("]")
+            || t.is_punct(")")
+            || t.is_punct("?")
+    });
+    if !indexes {
+        return false;
+    }
+    // `x[..]` takes the whole slice; no bounds can fail.
+    !(rest.first().is_some_and(|t| t.is_punct("..")) && rest.get(1).is_some_and(|t| t.is_punct("]")))
+}
+
+/// The `arith` heuristic: flags overflow-prone operators whose
+/// magnitude an attacker can scale. See the module docs for the
+/// exemptions and why.
+fn is_unchecked_arith(op: &str, prev: Option<&Token>, next: Option<&Token>) -> bool {
+    let compound = matches!(op, "+=" | "-=" | "*=" | "<<=" | ">>=");
+    let binary = matches!(op, "+" | "-" | "*" | "<<" | ">>");
+    if !compound && !binary {
+        return false;
+    }
+    let (Some(prev), Some(next)) = (prev, next) else { return false };
+    let value_prev = match &prev.kind {
+        TokenKind::Ident(id) => !is_keyword(id) && !starts_uppercase(id),
+        TokenKind::NumLit(_) => true,
+        TokenKind::Punct(p) => matches!(*p, "]" | ")"),
+        _ => false,
+    };
+    let value_next = match &next.kind {
+        TokenKind::Ident(id) => !is_keyword(id) && !starts_uppercase(id),
+        TokenKind::NumLit(_) => true,
+        TokenKind::Punct(p) => matches!(*p, "("),
+        _ => false,
+    };
+    if !value_prev || !value_next {
+        return false; // unary ops, type bounds (`Read + Seek`, `+ 'a`), generics
+    }
+    let prev_lit = matches!(prev.kind, TokenKind::NumLit(_));
+    let next_lit = matches!(next.kind, TokenKind::NumLit(_));
+    if prev_lit && next_lit {
+        return false; // const expression: overflow is a compile error
+    }
+    if compound && next_lit {
+        return false; // `pos += 4`: increment-by-constant on a cursor
+    }
+    if matches!(op, "<<" | ">>" | "<<=" | ">>=") && next_lit {
+        // Shifting by a constant cannot abort: the only panicking mode
+        // of a shift is an oversized shift *amount*, and a literal
+        // amount is checked at compile time on concrete types.
+        return false;
+    }
+    true
+}
+
+fn starts_uppercase(id: &str) -> bool {
+    id.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+fn is_numeric_primitive(id: &str) -> bool {
+    matches!(
+        id,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
+
+fn is_keyword(id: &str) -> bool {
+    matches!(
+        id,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "loop"
+            | "for"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "fn"
+            | "return"
+            | "break"
+            | "continue"
+            | "move"
+            | "as"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "extern"
+            | "crate"
+            | "super"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_found(src: &str) -> Vec<Rule> {
+        check_file(src).violations.into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn detects_every_rule() {
+        assert_eq!(rules_found("fn f() { panic!(\"boom\"); }"), vec![Rule::Panic]);
+        assert_eq!(rules_found("fn f() { x.unwrap(); }"), vec![Rule::Unwrap]);
+        assert_eq!(rules_found("fn f() { x.expect(\"e\"); }"), vec![Rule::Expect]);
+        assert_eq!(rules_found("fn f() { let a = buf[i]; }"), vec![Rule::Index]);
+        assert_eq!(rules_found("fn f() { let a = n as u16; }"), vec![Rule::Cast]);
+        assert_eq!(rules_found("fn f() { let a = pos + len; }"), vec![Rule::Arith]);
+    }
+
+    #[test]
+    fn allows_suppress_and_are_counted() {
+        let src = "fn f() {\n    // sdns-lint: allow(unwrap) — provably non-empty\n    x.unwrap();\n}";
+        let report = check_file(src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allows.len(), 1);
+        assert!(report.allows[0].used);
+        assert_eq!(report.allows[0].justification, "provably non-empty");
+    }
+
+    #[test]
+    fn unjustified_allow_does_not_suppress() {
+        let src = "fn f() {\n    // sdns-lint: allow(unwrap)\n    x.unwrap();\n}";
+        let report = check_file(src);
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_works() {
+        let src = "fn f() { x.unwrap(); } // sdns-lint: allow(unwrap) — test fixture";
+        assert!(check_file(src).violations.is_empty());
+    }
+
+    #[test]
+    fn test_modules_and_fns_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n\
+                   #[test]\nfn t() { y.unwrap(); }\nfn real() { z.unwrap(); }";
+        let report = check_file(src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].snippet.contains("z.unwrap"));
+    }
+
+    #[test]
+    fn array_types_and_literals_are_not_indexing() {
+        assert!(rules_found("fn f(x: [u8; 4]) -> [u8; 4] { let a: [u8; 2] = [0; 2]; }").is_empty());
+        assert!(rules_found("fn f() { let d = &b[..]; }").is_empty());
+        assert_eq!(rules_found("fn f() { let d = &b[..n]; }"), vec![Rule::Index]);
+    }
+
+    #[test]
+    fn attributes_and_macros_are_not_indexing() {
+        assert!(rules_found("#[derive(Debug)]\nstruct S;\nfn f() { vec![1, 2]; }").is_empty());
+    }
+
+    #[test]
+    fn arith_heuristic_exemptions() {
+        assert!(rules_found("fn f() { let a = 8 + 32; }").is_empty(), "const expr");
+        assert!(rules_found("fn f() { pos += 4; }").is_empty(), "cursor bump");
+        assert_eq!(rules_found("fn f() { pos += len; }"), vec![Rule::Arith]);
+        assert!(rules_found("fn f(r: impl Read + Seek) {}").is_empty(), "trait bound");
+        assert!(rules_found("fn f<T: Clone + 'static>() {}").is_empty(), "lifetime bound");
+        assert!(rules_found("fn f(x: Vec<Vec<u8>>) {}").is_empty(), "nested generics");
+        assert_eq!(rules_found("fn f() { let y = x * scale; }"), vec![Rule::Arith]);
+        assert!(rules_found("fn f() { let y = x << 8; }").is_empty(), "shift by constant");
+        assert_eq!(rules_found("fn f() { let y = x << n; }"), vec![Rule::Arith]);
+    }
+
+    #[test]
+    fn cast_rule_only_fires_on_numeric_targets() {
+        assert!(rules_found("use foo as bar;").is_empty());
+        assert_eq!(rules_found("fn f() { let x = len as u32; }"), vec![Rule::Cast]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        assert!(rules_found("fn f() { let s = \"x.unwrap()\"; } // .unwrap()").is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Secret-dependent-branch heuristic for `sdns-crypto` / `sdns-bigint`.
+//!
+//! Threshold RSA leaks through time: a branch or table index whose
+//! direction depends on a key share or a private exponent is a timing
+//! side channel. This pass runs a light taint analysis over each
+//! function body and flags `if` / `while` / `match` conditions and
+//! slice indexing that mention secret-derived values.
+//!
+//! ## Taint sources
+//!
+//! - Parameters whose declared type names a secret-bearing type
+//!   (`KeyShare`, `RsaPrivateKey`, `RefreshSecrets`).
+//! - `self` inside `impl` blocks of those types.
+//! - Accesses to marked fields/getters (`.secret`, `.private_exponent`,
+//!   `.d`, `.dp`, `.dq`, `.qinv`).
+//! - In `sdns-bigint` (which has no secret types of its own but
+//!   executes on secret operands passed down from `sdns-crypto`),
+//!   parameters named like exponents: `exp`, `exponent`.
+//!
+//! Taint propagates through `let` bindings whose initializer mentions a
+//! tainted identifier.
+//!
+//! ## The allowlist
+//!
+//! This is a heuristic: some flagged sites are reviewed and accepted
+//! (e.g. the square-and-multiply exponent walk — a *known*, documented
+//! channel). Accepted findings live in `xtask/secret-branch.allow`,
+//! one per line:
+//!
+//! ```text
+//! <file>::<function>::<kind>(<ident>) — justification
+//! ```
+//!
+//! Keys are content-based (no line numbers) so the list survives
+//! refactors. `cargo xtask lint` fails on findings missing from the
+//! list and reports stale entries; `cargo xtask lint
+//! --update-secret-allowlist` rewrites the file, preserving existing
+//! justifications and stubbing new entries with `TODO: justify`.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Types whose values are secrets.
+const SECRET_TYPES: &[&str] = &["KeyShare", "RsaPrivateKey", "RefreshSecrets"];
+
+/// Field / getter names that yield secret material.
+const SECRET_FIELDS: &[&str] = &["secret", "private_exponent", "d", "dp", "dq", "qinv"];
+
+/// Parameter names treated as secret in `sdns-bigint` (exponents flow
+/// down from crypto with their secrecy intact but their types erased).
+const BIGINT_SECRET_PARAMS: &[&str] = &["exp", "exponent"];
+
+/// One flagged site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Stable content-based key, e.g. `modular.rs::modpow::branch(exp)`.
+    pub key: String,
+    /// Line of the first occurrence (for the report only; not part of
+    /// the key).
+    pub line: u32,
+}
+
+/// Scans one crypto/bigint source file. `bigint` switches on the
+/// parameter-name heuristic.
+pub fn scan_file(file_label: &str, src: &str, bigint: bool) -> Vec<Finding> {
+    let tokens = lex(src);
+    let code: Vec<&Token> =
+        tokens.iter().filter(|t| !matches!(t.kind, TokenKind::Comment(_))).collect();
+    let mut findings = BTreeSet::new();
+
+    // Track which `impl` blocks belong to secret types so `self` taints.
+    let impl_secret_ranges = secret_impl_ranges(&code);
+
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].ident() == Some("fn") {
+            let Some(name) = code.get(i + 1).and_then(|t| t.ident()) else {
+                i += 1;
+                continue;
+            };
+            // Signature: tokens up to the body `{` or a trailing `;`.
+            let mut sig_end = i + 2;
+            while sig_end < code.len()
+                && !code[sig_end].is_punct("{")
+                && !code[sig_end].is_punct(";")
+            {
+                sig_end += 1;
+            }
+            if sig_end >= code.len() || code[sig_end].is_punct(";") {
+                i = sig_end + 1;
+                continue;
+            }
+            let body_start = sig_end;
+            let body_end = matching_brace(&code, body_start);
+            let self_secret = impl_secret_ranges.iter().any(|&(s, e)| i > s && body_end <= e);
+            let tainted = collect_taint(
+                &code[i..sig_end],
+                &code[body_start..body_end],
+                bigint,
+                self_secret,
+            );
+            if !tainted.is_empty() {
+                flag_sites(
+                    file_label,
+                    name,
+                    &code[body_start..body_end],
+                    &tainted,
+                    &mut findings,
+                );
+            }
+            i = body_end;
+            continue;
+        }
+        i += 1;
+    }
+    findings.into_iter().collect()
+}
+
+/// Ranges (token indices) of `impl` blocks whose subject is a secret
+/// type.
+fn secret_impl_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].ident() == Some("impl") {
+            let mut j = i + 1;
+            let mut is_secret = false;
+            while j < code.len() && !code[j].is_punct("{") {
+                if let Some(id) = code[j].ident() {
+                    if SECRET_TYPES.contains(&id) {
+                        is_secret = true;
+                    }
+                }
+                j += 1;
+            }
+            if j < code.len() {
+                let end = matching_brace(code, j);
+                if is_secret {
+                    ranges.push((j, end));
+                }
+                // Do not skip the block: nested fns are handled by the
+                // main walk; we only needed the range.
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Index just past the brace matching the `{` at `open`.
+fn matching_brace(code: &[&Token], open: usize) -> usize {
+    let mut depth = 0u32;
+    for (k, tok) in code.iter().enumerate().skip(open) {
+        if tok.is_punct("{") {
+            depth += 1;
+        } else if tok.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    code.len()
+}
+
+/// Seeds taint from the signature, then propagates through `let`
+/// bindings in one forward pass.
+fn collect_taint(
+    sig: &[&Token],
+    body: &[&Token],
+    bigint: bool,
+    self_secret: bool,
+) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    if self_secret {
+        tainted.insert("self".to_string());
+    }
+    // Parameters: `name : … Type` — taint `name` if the type mentions a
+    // secret type, or (bigint) if the name itself is exponent-like.
+    for (k, tok) in sig.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if !sig.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+            continue;
+        }
+        // The type runs to the next `,` at paren depth 1 or the closing `)`.
+        let mut depth = 0i32;
+        let mut secret_type = false;
+        for t in &sig[k + 2..] {
+            if t.is_punct("(") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct(">") {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if t.is_punct(",") && depth == 0 {
+                break;
+            } else if let Some(id) = t.ident() {
+                if SECRET_TYPES.contains(&id) {
+                    secret_type = true;
+                }
+            }
+        }
+        if secret_type || (bigint && BIGINT_SECRET_PARAMS.contains(&name)) {
+            tainted.insert(name.to_string());
+        }
+    }
+    // Field accesses anywhere in the body count as sources; `let`
+    // bindings propagate.
+    for (k, tok) in body.iter().enumerate() {
+        if tok.ident() == Some("let") {
+            // `let [mut] name = <expr up to ;>`
+            let mut n = k + 1;
+            if body.get(n).and_then(|t| t.ident()) == Some("mut") {
+                n += 1;
+            }
+            let Some(name) = body.get(n).and_then(|t| t.ident()) else { continue };
+            let Some(eq) = body[n..].iter().position(|t| t.is_punct("=")) else { continue };
+            let expr_start = n + eq + 1;
+            let Some(semi) = body[expr_start..].iter().position(|t| t.is_punct(";")) else {
+                continue;
+            };
+            if expr_mentions_secret(&body[expr_start..expr_start + semi], &tainted) {
+                tainted.insert(name.to_string());
+            }
+        }
+    }
+    tainted
+}
+
+/// Whether an expression's tokens mention tainted values or secret
+/// field accesses.
+fn expr_mentions_secret(expr: &[&Token], tainted: &BTreeSet<String>) -> bool {
+    for (k, tok) in expr.iter().enumerate() {
+        let Some(id) = tok.ident() else { continue };
+        let after_dot = k > 0 && expr[k - 1].is_punct(".");
+        if after_dot && SECRET_FIELDS.contains(&id) {
+            return true;
+        }
+        if !after_dot && tainted.contains(id) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Flags secret-dependent `if`/`while`/`match` conditions and indexing
+/// within a function body.
+fn flag_sites(
+    file_label: &str,
+    fn_name: &str,
+    body: &[&Token],
+    tainted: &BTreeSet<String>,
+    findings: &mut BTreeSet<Finding>,
+) {
+    let mut record = |kind: &str, ident: &str, line: u32| {
+        findings.insert(Finding {
+            key: format!("{file_label}::{fn_name}::{kind}({ident})"),
+            line,
+        });
+    };
+    // First tainted identifier in a token span, if any (one finding per
+    // site: the condition or subscript is the leak, not each mention).
+    let first_tainted = |span: &[&Token]| -> Option<(String, u32)> {
+        for (k, t) in span.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            let after_dot = k > 0 && span[k - 1].is_punct(".");
+            let hit = (after_dot && SECRET_FIELDS.contains(&id))
+                || (!after_dot && tainted.contains(id));
+            if hit {
+                return Some((id.to_string(), t.line));
+            }
+        }
+        None
+    };
+    let mut i = 0;
+    while i < body.len() {
+        let tok = body[i];
+        if let Some(kw) = tok.ident().filter(|id| matches!(*id, "if" | "while" | "match")) {
+            // Condition runs to the block `{`; struct literals are not
+            // allowed unparenthesized in this position, so `{` terminates.
+            let mut j = i + 1;
+            while j < body.len() && !body[j].is_punct("{") {
+                j += 1;
+            }
+            if let Some((id, line)) = first_tainted(&body[i + 1..j.min(body.len())]) {
+                let kind = if kw == "match" { "match" } else { "branch" };
+                record(kind, &id, line);
+            }
+            i = j;
+            continue;
+        }
+        if tok.is_punct("[") {
+            // A subscript computed from secret material indexes a table
+            // by the secret — the cache-timing leak this pass hunts.
+            let mut depth = 1u32;
+            let mut j = i + 1;
+            while j < body.len() && depth > 0 {
+                if body[j].is_punct("[") {
+                    depth += 1;
+                } else if body[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            if let Some((id, line)) = first_tainted(&body[i + 1..j.saturating_sub(1)]) {
+                record("index", &id, line);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// A parsed allowlist: keys with justifications.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the `<key> — justification` line format. Blank lines and
+    /// `#` comments are skipped.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, just) = match line.split_once("—") {
+                Some((k, j)) => (k.trim(), j.trim()),
+                None => (line, ""),
+            };
+            entries.push((key.to_string(), just.to_string()));
+        }
+        Allowlist { entries }
+    }
+
+    pub fn justification(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, j)| j.as_str())
+    }
+}
+
+/// Renders an updated allowlist: every current finding, keeping
+/// existing justifications, stubbing new ones.
+pub fn render_allowlist(findings: &[Finding], previous: &Allowlist) -> String {
+    let mut out = String::from(
+        "# Reviewed secret-dependent branch sites (cargo xtask lint).\n\
+         # Format: <file>::<function>::<kind>(<ident>) — justification\n\
+         # Regenerate with: cargo xtask lint --update-secret-allowlist\n\n",
+    );
+    for f in findings {
+        let just = previous.justification(&f.key).filter(|j| !j.is_empty()).unwrap_or("TODO: justify");
+        out.push_str(&format!("{} — {}\n", f.key, just));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_branch_on_secret_field() {
+        let src = "impl KeyShare { fn sign(&self) { if self.secret.is_odd() { go(); } } }";
+        let fs = scan_file("share.rs", src, false);
+        assert_eq!(fs.len(), 1, "one finding per condition: {fs:?}");
+        assert!(fs[0].key.contains("sign::branch"));
+    }
+
+    #[test]
+    fn taint_propagates_through_let() {
+        let src = "fn f(ks: &KeyShare) { let e = ks.secret(); let w = e.clone(); match w.sign() { _ => {} } }";
+        let fs = scan_file("x.rs", src, false);
+        assert!(fs.iter().any(|f| f.key == "x.rs::f::match(w)"), "{fs:?}");
+    }
+
+    #[test]
+    fn bigint_exponent_params_are_secret() {
+        let src = "fn modpow(base: &Ubig, exp: &Ubig) { let mut i = 0; while exp.bit(i) { step(); } }";
+        let fs = scan_file("modular.rs", src, true);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].key, "modular.rs::modpow::branch(exp)");
+    }
+
+    #[test]
+    fn public_values_do_not_flag() {
+        let src = "fn verify(sig: &Ubig, n: &Ubig) { if sig.cmp(n).is_ge() { reject(); } }";
+        assert!(scan_file("v.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn secret_indexing_flags() {
+        let src = "fn f(k: &RsaPrivateKey) { let w = k.d.limbs(); let x = table[w]; }";
+        let fs = scan_file("t.rs", src, false);
+        assert!(fs.iter().any(|f| f.key.contains("index(w)")), "{fs:?}");
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let findings = vec![Finding { key: "a.rs::f::branch(x)".into(), line: 3 }];
+        let prev = Allowlist::parse("a.rs::f::branch(x) — reviewed, bounded loop\n");
+        let text = render_allowlist(&findings, &prev);
+        let re = Allowlist::parse(&text);
+        assert_eq!(re.justification("a.rs::f::branch(x)"), Some("reviewed, bounded loop"));
+    }
+}
