@@ -44,6 +44,24 @@ pub enum ClientAction {
         /// How many sends it took (1 = first try).
         attempts: u32,
     },
+    /// The request's end-to-end deadline expired before any acceptable
+    /// response arrived; the request is abandoned.
+    Expired {
+        /// The request id.
+        request_id: u64,
+        /// How many sends were made before giving up.
+        attempts: u32,
+    },
+}
+
+/// A tiny deterministic bit mixer (splitmix64): the retry jitter must be
+/// reproducible under a simulation seed, so it derives from the request
+/// id and attempt count instead of a clock or thread-local RNG.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Checks whether a response is *acceptable* in the DNSSEC sense: the
@@ -91,6 +109,9 @@ pub fn acceptable(response: &Message, zone_key: Option<&RsaPublicKey>) -> bool {
 pub struct GatewayClient {
     servers: Vec<NodeId>,
     timeout_seconds: f64,
+    /// End-to-end budget per request; infinite by default (retry
+    /// forever, the pre-deadline behaviour).
+    deadline_seconds: f64,
     zone_key: Option<RsaPublicKey>,
     accept_any: bool,
     next_request_id: u64,
@@ -104,6 +125,11 @@ struct Inflight {
     server_idx: usize,
     attempts: u32,
     timer: u64,
+    /// Seconds the currently armed timer was set for (the client has no
+    /// clock; elapsed time is the sum of expired timers).
+    timer_seconds: f64,
+    /// Total timer-seconds spent so far, measured against the deadline.
+    elapsed: f64,
     asked: Vec<NodeId>,
     accept_any: bool,
 }
@@ -120,6 +146,7 @@ impl GatewayClient {
         GatewayClient {
             servers,
             timeout_seconds,
+            deadline_seconds: f64::INFINITY,
             zone_key,
             accept_any: false,
             next_request_id: 1,
@@ -133,6 +160,20 @@ impl GatewayClient {
     /// mentions).
     pub fn accept_any_server(mut self) -> Self {
         self.accept_any = true;
+        self
+    }
+
+    /// Bounds each request by an end-to-end deadline: once the timers
+    /// spent on a request reach `seconds`, the request is abandoned with
+    /// [`ClientAction::Expired`] instead of retrying forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seconds` is positive.
+    #[must_use]
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "deadline must be positive");
+        self.deadline_seconds = seconds;
         self
     }
 
@@ -155,6 +196,9 @@ impl GatewayClient {
         self.next_timer += 1;
         let bytes = msg.to_bytes();
         let server = self.servers[0];
+        // The first timer is exactly the base timeout (no jitter):
+        // backoff and jitter only kick in once a server has failed us.
+        let first_timer = self.timeout_seconds.min(self.deadline_seconds);
         self.inflight.insert(
             request_id,
             Inflight {
@@ -162,13 +206,15 @@ impl GatewayClient {
                 server_idx: 0,
                 attempts: 1,
                 timer,
+                timer_seconds: first_timer,
+                elapsed: 0.0,
                 asked: vec![server],
                 accept_any,
             },
         );
         let actions = vec![
             ClientAction::Send { to: server, msg: ReplicaMsg::ClientRequest { request_id, bytes } },
-            ClientAction::SetTimer { id: timer, seconds: self.timeout_seconds },
+            ClientAction::SetTimer { id: timer, seconds: first_timer },
         ];
         (request_id, actions)
     }
@@ -195,7 +241,9 @@ impl GatewayClient {
         vec![ClientAction::Accepted { request_id, response, attempts }]
     }
 
-    /// Handles a timer expiry: resend to the next server round-robin.
+    /// Handles a timer expiry: resend to the next server round-robin
+    /// with exponential backoff and deterministic jitter, or give up
+    /// with [`ClientAction::Expired`] once the deadline is spent.
     pub fn on_timer(&mut self, timer: u64) -> Vec<ClientAction> {
         let Some((&request_id, _)) =
             self.inflight.iter().find(|(_, inf)| inf.timer == timer)
@@ -207,6 +255,13 @@ impl GatewayClient {
         let Some(inflight) = self.inflight.get_mut(&request_id) else {
             return Vec::new(); // unreachable: looked up just above
         };
+        inflight.elapsed += inflight.timer_seconds;
+        let remaining = self.deadline_seconds - inflight.elapsed;
+        if remaining <= 0.0 {
+            let attempts = inflight.attempts;
+            self.inflight.remove(&request_id);
+            return vec![ClientAction::Expired { request_id, attempts }];
+        }
         inflight.server_idx = (inflight.server_idx + 1) % self.servers.len();
         inflight.attempts += 1;
         inflight.timer = new_timer;
@@ -214,10 +269,19 @@ impl GatewayClient {
         if !inflight.asked.contains(&server) {
             inflight.asked.push(server);
         }
+        // Exponential backoff, capped at 8 × base, with jitter in
+        // [1.0, 1.25) derived from (request id, attempt) so concurrent
+        // clients de-synchronize without breaking seeded determinism.
+        let exponent = inflight.attempts.saturating_sub(2).min(3);
+        let backoff = self.timeout_seconds * f64::from(1u32 << exponent);
+        let mix = splitmix64(request_id ^ u64::from(inflight.attempts));
+        let jitter = 1.0 + (mix >> 11) as f64 / (1u64 << 53) as f64 * 0.25;
+        let seconds = (backoff * jitter).min(remaining);
+        inflight.timer_seconds = seconds;
         let bytes = inflight.bytes.clone();
         vec![
             ClientAction::Send { to: server, msg: ReplicaMsg::ClientRequest { request_id, bytes } },
-            ClientAction::SetTimer { id: new_timer, seconds: self.timeout_seconds },
+            ClientAction::SetTimer { id: new_timer, seconds },
         ]
     }
 
@@ -369,6 +433,79 @@ mod tests {
             ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
         );
         assert!(matches!(&out[0], ClientAction::Accepted { attempts: 4, .. }));
+    }
+
+    fn timer_of(actions: &[ClientAction]) -> (u64, f64) {
+        match actions.iter().find_map(|a| match a {
+            ClientAction::SetTimer { id, seconds } => Some((*id, *seconds)),
+            _ => None,
+        }) {
+            Some(t) => t,
+            None => panic!("no SetTimer in {actions:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_backoff_grows_with_deterministic_jitter() {
+        let run = || {
+            let mut c = GatewayClient::new(vec![0, 1, 2], 2.0, None);
+            let (_, actions) = c.request(&query());
+            let (mut timer, first) = timer_of(&actions);
+            assert_eq!(first, 2.0, "first attempt must use the exact base timeout");
+            let mut delays = vec![first];
+            for _ in 0..4 {
+                let retry = c.on_timer(timer);
+                let (t, s) = timer_of(&retry);
+                timer = t;
+                delays.push(s);
+            }
+            delays
+        };
+        let delays = run();
+        // Backoff doubles up to the 8 × cap; jitter stays within +25 %.
+        for (i, base) in [(1, 2.0), (2, 4.0), (3, 8.0), (4, 16.0)] {
+            assert!(
+                delays[i] >= base && delays[i] < base * 1.25,
+                "retry {i} delay {} outside [{base}, {})",
+                delays[i],
+                base * 1.25
+            );
+        }
+        // Same request id and attempt sequence → identical jitter.
+        assert_eq!(run(), delays);
+    }
+
+    #[test]
+    fn deadline_expires_request() {
+        let mut c = GatewayClient::new(vec![0, 1], 2.0, None).with_deadline(3.0);
+        let (rid, actions) = c.request(&query());
+        let (t1, s1) = timer_of(&actions);
+        assert_eq!(s1, 2.0);
+        // First retry: only 1.0 s of the 3.0 s budget remains, so the
+        // ≥ 2.0 s backoff timer is clamped to exactly the remainder.
+        let retry = c.on_timer(t1);
+        let (t2, s2) = timer_of(&retry);
+        assert_eq!(s2, 1.0, "timer clamps to the remaining budget");
+        // That timer firing exhausts the budget: the request expires.
+        let out = c.on_timer(t2);
+        assert_eq!(out, vec![ClientAction::Expired { request_id: rid, attempts: 2 }]);
+        assert!(!c.is_pending(rid));
+        // The expiry is final: late responses are ignored.
+        let late = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
+        );
+        assert!(late.is_empty());
+    }
+
+    #[test]
+    fn deadline_shorter_than_timeout_caps_first_timer() {
+        let mut c = GatewayClient::new(vec![0], 5.0, None).with_deadline(1.0);
+        let (rid, actions) = c.request(&query());
+        let (t1, s1) = timer_of(&actions);
+        assert_eq!(s1, 1.0);
+        let out = c.on_timer(t1);
+        assert_eq!(out, vec![ClientAction::Expired { request_id: rid, attempts: 1 }]);
     }
 
     #[test]

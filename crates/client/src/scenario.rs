@@ -11,8 +11,8 @@ use crate::client::{ClientAction, GatewayClient, VotingClient};
 use sdns_dns::update::{add_record_request, delete_name_request};
 use sdns_dns::{Message, Name, Rcode, Record, RecordType};
 use sdns_replica::{
-    deploy, example_zone, Corruption, CostModel, Deployment, Replica, ReplicaAction,
-    ReplicaEvent, ReplicaMsg, ServiceMode, ZoneSecurity,
+    deploy, example_zone, Corruption, CostModel, Deployment, OverloadConfig, Replica,
+    ReplicaAction, ReplicaEvent, ReplicaMsg, ServiceMode, ZoneSecurity,
 };
 use sdns_sim::testbed::{cpu_factors_with_client, latency_matrix_with_client, Setup};
 use sdns_sim::{Actor, Context, NodeId, SimDuration, SimTime, Simulation};
@@ -203,6 +203,25 @@ impl ClientNode {
                         }
                     }
                 }
+                ClientAction::Expired { request_id, attempts } => {
+                    if Some(request_id) != self.current_request {
+                        continue;
+                    }
+                    // The end-to-end deadline ran out (either phase of
+                    // the op): the op fails like a local SERVFAIL would,
+                    // and the script moves on.
+                    self.current_request = None;
+                    let kind = self.ops.front().map(Op::kind).unwrap_or("?");
+                    ctx.output(ScenarioEvent::OpDone {
+                        index: self.op_index,
+                        kind,
+                        started: self.started.take().unwrap_or(SimTime::ZERO),
+                        rcode: Rcode::ServFail,
+                        attempts,
+                    });
+                    self.ops.pop_front();
+                    self.op_index += 1;
+                }
             }
         }
     }
@@ -285,8 +304,13 @@ pub struct ScenarioConfig {
     pub reads_via_abcast: bool,
     /// Client timeout before failover, in seconds.
     pub timeout: f64,
+    /// Optional end-to-end client deadline per operation, in seconds
+    /// (`None` = retry forever, the paper's patient client).
+    pub deadline: Option<f64>,
     /// Whether the client verifies zone signatures on answers.
     pub verify_responses: bool,
+    /// Replica-side overload-governance knobs, applied to every replica.
+    pub overload: OverloadConfig,
 }
 
 impl ScenarioConfig {
@@ -306,7 +330,9 @@ impl ScenarioConfig {
             costs: CostModel::paper(),
             reads_via_abcast: true,
             timeout: 60.0,
+            deadline: None,
             verify_responses: true,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -335,7 +361,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let n = machines.len();
     let group = sdns_abcast::Group::new(n, cfg.setup.t());
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
-    let deployment: Deployment = deploy(
+    let mut deployment: Deployment = deploy(
         group,
         cfg.security,
         cfg.costs,
@@ -345,6 +371,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         None,
         &mut rng,
     );
+    deployment.setup.overload = cfg.overload;
     let corrupted: Vec<(usize, Corruption)> = cfg
         .setup
         .corrupted_indices(cfg.corrupted)
@@ -357,7 +384,11 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let servers: Vec<NodeId> = (0..n).collect();
     let kind = match cfg.mode {
         ServiceMode::Gateway => {
-            ClientKind::Gateway(GatewayClient::new(servers, cfg.timeout, zone_key))
+            let mut gateway = GatewayClient::new(servers, cfg.timeout, zone_key);
+            if let Some(deadline) = cfg.deadline {
+                gateway = gateway.with_deadline(deadline);
+            }
+            ClientKind::Gateway(gateway)
         }
         ServiceMode::Voting => ClientKind::Voting(VotingClient::new(servers, cfg.setup.t())),
     };

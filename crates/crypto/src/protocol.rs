@@ -71,6 +71,13 @@ pub enum SigMessage {
     ProofRequest,
     /// A final assembled signature.
     Final(Ubig),
+    /// Watchdog repair: "I lost your traffic for this session — re-send
+    /// your current contribution". Sent by a replica whose session
+    /// stalled past its watchdog timeout; the receiver recomputes and
+    /// re-broadcasts its share (shares are deterministic, so this is
+    /// safe), or is answered with the final signature by the enclosing
+    /// replica layer when the session already retired there.
+    Resend,
 }
 
 /// An instruction emitted by a [`SigningSession`] for its host to carry out.
@@ -207,6 +214,12 @@ impl SigningSession {
         self.ops_total
     }
 
+    /// Signers (1-based) whose share this session has taken so far —
+    /// the watchdog's withholding evidence is their complement.
+    pub fn contributors(&self) -> &[usize] {
+        &self.seen
+    }
+
     /// Handles a message from server `from` (1-based index).
     ///
     /// Messages arriving after completion are ignored, except that a
@@ -247,6 +260,35 @@ impl SigningSession {
                 if self.pk.verify(&self.x, &sig) {
                     self.complete(sig, false, &mut out);
                 }
+            }
+            SigMessage::Resend => {
+                if self.is_done() {
+                    // The enclosing replica layer serves the final
+                    // signature for retired sessions; a done session
+                    // stays silent.
+                    return out;
+                }
+                // The requester permanently lost our contribution (it
+                // restarted, or a bounded buffer evicted the frame) and
+                // the link layer will not re-send an acked frame.
+                // Shares are deterministic, so recomputing is safe. For
+                // OPTPROOF the recomputed share always carries a proof:
+                // the requester may be stalled in the fallback phase,
+                // where plain shares are dropped.
+                let own = match self.protocol {
+                    SigProtocol::Basic | SigProtocol::OptProof => {
+                        if self.protocol == SigProtocol::OptProof {
+                            self.proof_sent = true;
+                        }
+                        self.work(OpCounts::share_gen() + OpCounts::proof_gen(), &mut out);
+                        self.key.sign_with_proof(&self.x, &self.pk, rng)
+                    }
+                    SigProtocol::OptTe => {
+                        self.work(OpCounts::share_gen(), &mut out);
+                        self.key.sign(&self.x, &self.pk)
+                    }
+                };
+                out.push(SigAction::SendAll(SigMessage::Share(own)));
             }
         }
         out
@@ -660,6 +702,56 @@ mod tests {
         let out = s1.on_message(2, SigMessage::Share(share3), &mut rng);
         assert!(out.is_empty());
         assert!(!s1.is_done());
+    }
+
+    #[test]
+    fn resend_recomputes_and_rebroadcasts_share() {
+        let (pk, shares) = key_4_1();
+        let pk_arc = Arc::new(pk.clone());
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Ubig::from(222u64);
+        let (mut s1, _) =
+            SigningSession::new(SigProtocol::OptTe, Arc::clone(&pk_arc), shares[0].clone(), x.clone(), &mut rng);
+        let out = s1.on_message(2, SigMessage::Resend, &mut rng);
+        let resent = out.iter().find_map(|a| match a {
+            SigAction::SendAll(SigMessage::Share(s)) => Some(s.clone()),
+            _ => None,
+        });
+        let resent = resent.expect("resend must re-broadcast the own share");
+        assert_eq!(resent.signer(), 1);
+        // The recomputed share is identical to the original (deterministic).
+        assert_eq!(resent, shares[0].sign(&x, pk));
+    }
+
+    #[test]
+    fn resend_in_optproof_carries_proof() {
+        let (pk, shares) = key_4_1();
+        let pk_arc = Arc::new(pk.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Ubig::from(333u64);
+        let (mut s1, _) =
+            SigningSession::new(SigProtocol::OptProof, Arc::clone(&pk_arc), shares[0].clone(), x.clone(), &mut rng);
+        let out = s1.on_message(3, SigMessage::Resend, &mut rng);
+        let resent = out.iter().find_map(|a| match a {
+            SigAction::SendAll(SigMessage::Share(s)) => Some(s.clone()),
+            _ => None,
+        });
+        // Always proofed: the requester may be stalled in proof mode.
+        assert!(resent.expect("share").has_proof());
+    }
+
+    #[test]
+    fn resend_after_done_is_silent() {
+        let (pk, shares) = key_4_1();
+        let pk_arc = Arc::new(pk.clone());
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Ubig::from(444u64);
+        let (mut s1, _) =
+            SigningSession::new(SigProtocol::OptTe, Arc::clone(&pk_arc), shares[0].clone(), x.clone(), &mut rng);
+        let _ = s1.on_message(1, SigMessage::Share(shares[0].sign(&x, pk)), &mut rng);
+        let out = s1.on_message(2, SigMessage::Share(shares[1].sign(&x, pk)), &mut rng);
+        assert!(out.iter().any(|a| matches!(a, SigAction::Done(_))));
+        assert!(s1.on_message(2, SigMessage::Resend, &mut rng).is_empty());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub enum Corruption {
     /// Answers queries from a stale snapshot of the zone (the replay-like
     /// behaviour that weak correctness G1' permits an attacker).
     StaleReplies,
+    /// Participates in atomic broadcast but keeps all threshold-signing
+    /// traffic to itself — the share-withholding stall the session
+    /// watchdog exists to detect and repair.
+    WithholdShares,
     /// Crashed: sends nothing at all.
     Mute,
 }

@@ -9,6 +9,7 @@
 // peer data, so an expect here is an assertion on our own setup code.
 #![allow(clippy::expect_used)]
 use crate::config::{CostModel, ZoneSecurity};
+use crate::overload::OverloadConfig;
 use crate::replica::{Replica, ReplicaSetup, ReplicaSigner};
 use crate::Corruption;
 use rand::Rng;
@@ -104,6 +105,7 @@ pub fn deploy<R: Rng + ?Sized>(
                 coin_seed: rng.gen(),
                 reads_via_abcast,
                 keyring,
+                overload: OverloadConfig::default(),
             };
             Deployment {
                 setup,
@@ -130,6 +132,7 @@ pub fn deploy<R: Rng + ?Sized>(
                 coin_seed: rng.gen(),
                 reads_via_abcast,
                 keyring,
+                overload: OverloadConfig::default(),
             };
             Deployment {
                 setup,
@@ -197,6 +200,7 @@ pub fn deploy<R: Rng + ?Sized>(
                 coin_seed: rng.gen(),
                 reads_via_abcast,
                 keyring,
+                overload: OverloadConfig::default(),
             };
             Deployment {
                 setup,

@@ -256,6 +256,7 @@ pub fn load_replica(conf_path: &Path) -> Result<ReplicaFile, KeyFileError> {
         coin_seed: one("coin_seed")?.parse().map_err(|_| perr("bad coin_seed"))?,
         reads_via_abcast: one("reads_via_abcast")? == "true",
         keyring: None,
+        overload: crate::overload::OverloadConfig::default(),
     };
     Ok(ReplicaFile {
         me,

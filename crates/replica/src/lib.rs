@@ -34,6 +34,7 @@ mod envelope;
 pub mod genesis;
 pub mod keyfile;
 mod messages;
+pub mod overload;
 pub mod reliable;
 pub mod snapshot;
 mod replica;
@@ -45,5 +46,6 @@ pub use durable::{DiskState, Durability, DurabilityCfg};
 pub use envelope::Envelope;
 pub use genesis::{deploy, example_zone, Deployment};
 pub use messages::ReplicaMsg;
+pub use overload::{OverloadConfig, OverloadCounters, ShedReason};
 pub use reliable::{LinkLayer, RetransmitCfg};
 pub use replica::{answer_query, NodeId, Replica, ReplicaAction, ReplicaEvent, ReplicaSetup, ReplicaSigner};

@@ -59,6 +59,11 @@ pub enum ReplicaMsg {
         /// The acknowledged sequence numbers.
         seqs: Vec<u64>,
     },
+    /// Liveness heartbeat between replicas: its receipt marks the sender
+    /// alive for quorum-loss detection. Deliberately *not* carried by
+    /// the reliable-link sublayer — a lost ping must not accumulate in
+    /// retransmission buffers during the very partition it detects.
+    Ping,
 }
 
 impl ReplicaMsg {
@@ -71,6 +76,7 @@ impl ReplicaMsg {
                 | ReplicaMsg::Signing { .. }
                 | ReplicaMsg::Seq { .. }
                 | ReplicaMsg::LinkAck { .. }
+                | ReplicaMsg::Ping
         )
     }
 }
@@ -84,5 +90,6 @@ mod tests {
         assert!(!ReplicaMsg::ClientRequest { request_id: 1, bytes: vec![] }.is_protocol());
         assert!(!ReplicaMsg::ClientResponse { request_id: 1, bytes: vec![] }.is_protocol());
         assert!(ReplicaMsg::Signing { session: 1, inner: SigMessage::ProofRequest }.is_protocol());
+        assert!(ReplicaMsg::Ping.is_protocol());
     }
 }

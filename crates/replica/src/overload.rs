@@ -1,0 +1,700 @@
+//! Overload protection and graceful degradation.
+//!
+//! The paper's replicated name service assumes clients retry until
+//! `t + 1` matching replies arrive, but is silent on what a replica
+//! does when update demand exceeds the (expensive) threshold-signing
+//! pipeline. This module supplies the bounded building blocks:
+//!
+//! - [`OverloadConfig`] — every knob in one place, threaded through
+//!   `ReplicaSetup`, `TcpConfig`, and the scenario testbed so chaos
+//!   runs stay reproducible under a seeded `FaultPlan`.
+//! - [`EarlyBuffer`] — a bounded replacement for the unbounded
+//!   `early_signing` map: buffered share traffic for sessions the
+//!   replica has not started yet, preferring the *lowest* session ids
+//!   (updates execute serially, so low ids start soonest) and capping
+//!   per-sender contributions so a Byzantine flooder cannot exhaust
+//!   memory.
+//! - [`FinishedRing`] — a low-watermark set replacing the unbounded
+//!   `finished_sessions: HashSet<u64>`: session ids below the
+//!   watermark are retired wholesale, and a small ring of recently
+//!   finished `(id, signature)` pairs lets the replica *serve* the
+//!   final signature to a peer that permanently lost the share
+//!   traffic (restart mid-session, evicted link buffer).
+//! - [`SessionWatchdog`] — tick-driven stall detector for the active
+//!   signing session, with doubling back-off on repeat fires.
+//! - [`PeerLiveness`] — heartbeat bookkeeping behind the degraded
+//!   read-only mode: when fewer than `n - t` replicas (including
+//!   ourselves) have been heard from recently, the replica keeps
+//!   answering queries from its last signed zone but refuses updates.
+//! - [`RoundBudget`] / [`ResendBudget`] — deterministic per-round
+//!   update admission and a per-peer per-tick cap on resend replies.
+//!
+//! Everything here is pure sans-IO state: no clocks, no sockets, no
+//! randomness. Time is whatever the host's tick cadence makes it.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// All overload-protection knobs in one place.
+///
+/// Defaults are sized for the paper's `n = 4, t = 1` deployment with a
+/// 200 ms tick. A knob set to `0` disables the corresponding
+/// mechanism (noted per field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Gateway-side admission bound: maximum updates a single gateway
+    /// keeps in flight (submitted to atomic broadcast but not yet
+    /// executed). Beyond this the gateway sheds with `SERVFAIL`
+    /// *before* broadcasting. `0` disables gateway admission.
+    pub max_pending_updates: usize,
+    /// Deterministic delivery-side bound: maximum update operations
+    /// admitted per atomic-broadcast round. Evaluated identically at
+    /// every replica (and on WAL replay), so shedding never diverges
+    /// state. `0` disables the round budget.
+    pub round_update_budget: usize,
+    /// Maximum distinct future sessions buffered in [`EarlyBuffer`].
+    pub early_sessions: usize,
+    /// Maximum buffered messages per `(session, sender)` pair.
+    pub early_per_sender: usize,
+    /// Capacity of the [`FinishedRing`]'s recent `(id, signature)`
+    /// window. `0` disables final-signature serving (watermark
+    /// retirement still applies).
+    pub finished_ring: usize,
+    /// Ticks without progress on the active signing session before
+    /// the watchdog fires. `0` disables the watchdog.
+    pub watchdog_ticks: u64,
+    /// Ticks without hearing from a peer before it counts as dead for
+    /// quorum-liveness purposes; heartbeats go out every quarter of
+    /// this. `0` disables liveness tracking (and with it the
+    /// quorum-loss half of read-only mode).
+    pub quorum_loss_ticks: u64,
+    /// Per-peer, per-tick cap on replies to resend requests and on
+    /// final-signature serves — bounds the amplification a Byzantine
+    /// peer can extract from the repair path.
+    pub resend_replies_per_tick: u32,
+    /// Byte cap on a single state-transfer snapshot blob accepted
+    /// during recovery.
+    pub max_snapshot_blob: usize,
+    /// TCP runtime: frames buffered per peer writer before the oldest
+    /// are dropped (the link layer retransmits what mattered).
+    pub outbox_frames: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            max_pending_updates: 32,
+            round_update_budget: 64,
+            early_sessions: 64,
+            early_per_sender: 4,
+            finished_ring: 128,
+            watchdog_ticks: 25,
+            quorum_loss_ticks: 50,
+            resend_replies_per_tick: 4,
+            max_snapshot_blob: 16 << 20,
+            outbox_frames: 4096,
+        }
+    }
+}
+
+/// Why an update was shed instead of executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The gateway's pending-update pipeline was full (`SERVFAIL`).
+    PipelineFull,
+    /// The deterministic per-round update budget was exhausted
+    /// (`SERVFAIL`, identical at every replica).
+    RoundBudget,
+    /// The replica is in degraded read-only mode (`REFUSED`).
+    ReadOnly,
+}
+
+/// Counters exposed for tests and monitoring: how full the bounded
+/// structures currently are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadCounters {
+    /// Distinct sessions with buffered early share traffic.
+    pub early_sessions: usize,
+    /// Total buffered early messages across all sessions.
+    pub early_messages: usize,
+    /// Entries in the finished-session ring.
+    pub retired_ring: usize,
+    /// Updates this gateway has admitted but not yet executed.
+    pub pending_gateway: usize,
+}
+
+/// Bounded buffer for signing messages that arrive before their
+/// session starts.
+///
+/// Sessions complete in increasing id order (updates execute
+/// serially), so when full the buffer keeps the *lowest* ids: a new
+/// higher id is rejected, a new lower id evicts the current highest.
+/// Per-`(session, sender)` contributions are capped so one peer
+/// cannot monopolise a session's slot.
+#[derive(Debug, Clone)]
+pub struct EarlyBuffer<M> {
+    sessions: BTreeMap<u64, Vec<(usize, M)>>,
+    max_sessions: usize,
+    per_sender: usize,
+}
+
+impl<M> EarlyBuffer<M> {
+    /// An empty buffer holding at most `max_sessions` distinct
+    /// sessions and `per_sender` messages per `(session, sender)`.
+    pub fn new(max_sessions: usize, per_sender: usize) -> Self {
+        EarlyBuffer { sessions: BTreeMap::new(), max_sessions, per_sender }
+    }
+
+    /// Buffers `msg` from `from` for `session`. Returns `false` when
+    /// the message was dropped by a cap.
+    pub fn push(&mut self, session: u64, from: usize, msg: M) -> bool {
+        if self.max_sessions == 0 || self.per_sender == 0 {
+            return false;
+        }
+        if let Some(entries) = self.sessions.get_mut(&session) {
+            let from_count = entries.iter().filter(|(f, _)| *f == from).count();
+            if from_count >= self.per_sender {
+                return false;
+            }
+            entries.push((from, msg));
+            return true;
+        }
+        if self.sessions.len() >= self.max_sessions {
+            // Full: keep the lowest ids. Reject the newcomer if it is
+            // the highest, otherwise evict the current highest.
+            let Some((&highest, _)) = self.sessions.iter().next_back() else {
+                return false;
+            };
+            if session >= highest {
+                return false;
+            }
+            self.sessions.remove(&highest);
+        }
+        self.sessions.insert(session, vec![(from, msg)]);
+        true
+    }
+
+    /// Removes and returns everything buffered for `session`, in
+    /// arrival order.
+    pub fn take(&mut self, session: u64) -> Vec<(usize, M)> {
+        self.sessions.remove(&session).unwrap_or_default()
+    }
+
+    /// Discards every session with id below `watermark` (already
+    /// retired; its traffic can never be consumed).
+    pub fn drop_below(&mut self, watermark: u64) {
+        self.sessions = self.sessions.split_off(&watermark);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.sessions.clear();
+    }
+
+    /// Number of distinct sessions currently buffered.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total buffered messages across all sessions.
+    pub fn total(&self) -> usize {
+        self.sessions.values().map(Vec::len).sum()
+    }
+}
+
+/// Low-watermark set of finished signing sessions, with a bounded
+/// ring of recent `(id, signature)` pairs.
+///
+/// Session ids are allocated in increasing order and updates execute
+/// serially, so once an update completes *every* session id below the
+/// next update's base is finished — one `u64` watermark retires them
+/// all. The ring keeps the most recent signatures so a peer that
+/// permanently lost the share traffic (restart mid-session, evicted
+/// link buffer) can be handed the final signature directly.
+#[derive(Debug, Clone)]
+pub struct FinishedRing<S> {
+    watermark: u64,
+    recent: VecDeque<(u64, S)>,
+    cap: usize,
+}
+
+impl<S> FinishedRing<S> {
+    /// An empty ring retaining at most `cap` recent signatures.
+    pub fn new(cap: usize) -> Self {
+        FinishedRing { watermark: 0, recent: VecDeque::new(), cap }
+    }
+
+    /// Records a finished session. Oldest entries fall off past `cap`.
+    pub fn record(&mut self, id: u64, sig: S) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.recent.iter().any(|(i, _)| *i == id) {
+            return;
+        }
+        if self.recent.len() >= self.cap {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((id, sig));
+    }
+
+    /// Whether `id` is known finished (below the watermark or in the
+    /// ring).
+    pub fn is_finished(&self, id: u64) -> bool {
+        id < self.watermark || self.recent.iter().any(|(i, _)| *i == id)
+    }
+
+    /// The final signature for `id`, if still in the ring.
+    pub fn signature(&self, id: u64) -> Option<&S> {
+        self.recent.iter().find(|(i, _)| *i == id).map(|(_, s)| s)
+    }
+
+    /// Raises the watermark (monotone): all ids below it are retired.
+    pub fn advance_watermark(&mut self, watermark: u64) {
+        self.watermark = self.watermark.max(watermark);
+    }
+
+    /// Hard reset to `watermark` after adopting a state snapshot: the
+    /// ring is emptied and the watermark set exactly (it may move
+    /// backwards if the adopted state is behind our stale local view —
+    /// session ids above it will be allocated afresh).
+    pub fn reset(&mut self, watermark: u64) {
+        self.recent.clear();
+        self.watermark = watermark;
+    }
+
+    /// Current watermark.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Entries currently in the ring.
+    pub fn len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Whether the ring holds no recent entries.
+    pub fn is_empty(&self) -> bool {
+        self.recent.is_empty()
+    }
+}
+
+/// Tick-driven stall detector for the active signing session.
+///
+/// `on_progress` resets the clock; `on_tick` counts idle ticks and
+/// fires once `timeout` is reached, doubling the timeout (up to
+/// 8 × base) so a genuinely slow cluster is not spammed with repair
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct SessionWatchdog {
+    base: u64,
+    timeout: u64,
+    stalled: u64,
+    fires: u64,
+}
+
+impl SessionWatchdog {
+    /// A watchdog firing after `base_ticks` idle ticks. `0` disables.
+    pub fn new(base_ticks: u64) -> Self {
+        SessionWatchdog { base: base_ticks, timeout: base_ticks, stalled: 0, fires: 0 }
+    }
+
+    /// Progress was made: reset the idle counter and the back-off.
+    pub fn on_progress(&mut self) {
+        self.stalled = 0;
+        self.timeout = self.base;
+    }
+
+    /// One tick elapsed with a session active. Returns `true` when
+    /// the watchdog fires.
+    pub fn on_tick(&mut self) -> bool {
+        if self.base == 0 {
+            return false;
+        }
+        self.stalled = self.stalled.saturating_add(1);
+        if self.stalled < self.timeout {
+            return false;
+        }
+        self.stalled = 0;
+        self.timeout = self.timeout.saturating_mul(2).min(self.base.saturating_mul(8)).max(1);
+        self.fires = self.fires.saturating_add(1);
+        true
+    }
+
+    /// Total fires since construction (or the last reset).
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+}
+
+/// Heartbeat bookkeeping for quorum-liveness detection.
+///
+/// Call [`heard`](PeerLiveness::heard) whenever any message arrives
+/// from a replica peer and [`on_tick`](PeerLiveness::on_tick) once
+/// per tick; the return value says whether a heartbeat broadcast is
+/// due. [`alive`](PeerLiveness::alive) counts replicas (self
+/// included) heard within the timeout window.
+#[derive(Debug, Clone)]
+pub struct PeerLiveness {
+    last_heard: Vec<u64>,
+    now: u64,
+    timeout: u64,
+    heartbeat_every: u64,
+    since_heartbeat: u64,
+}
+
+impl PeerLiveness {
+    /// Liveness over `n` replicas with the given timeout in ticks.
+    /// `0` (or `n <= 1`) disables tracking.
+    pub fn new(n: usize, timeout_ticks: u64) -> Self {
+        PeerLiveness {
+            last_heard: vec![0; n],
+            now: 0,
+            timeout: timeout_ticks,
+            heartbeat_every: (timeout_ticks / 4).max(1),
+            since_heartbeat: 0,
+        }
+    }
+
+    /// Whether tracking is active at all.
+    pub fn enabled(&self) -> bool {
+        self.timeout > 0 && self.last_heard.len() > 1
+    }
+
+    /// A message from `peer` arrived.
+    pub fn heard(&mut self, peer: usize) {
+        if let Some(slot) = self.last_heard.get_mut(peer) {
+            *slot = self.now;
+        }
+    }
+
+    /// Advances one tick. Returns `true` when a heartbeat broadcast
+    /// is due.
+    pub fn on_tick(&mut self) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        self.now = self.now.saturating_add(1);
+        self.since_heartbeat = self.since_heartbeat.saturating_add(1);
+        if self.since_heartbeat >= self.heartbeat_every {
+            self.since_heartbeat = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Replicas currently considered alive: `me` unconditionally,
+    /// plus every peer heard within the timeout window.
+    pub fn alive(&self, me: usize) -> usize {
+        self.last_heard
+            .iter()
+            .enumerate()
+            .filter(|(i, &t)| *i == me || self.now.saturating_sub(t) < self.timeout)
+            .count()
+    }
+}
+
+/// Deterministic per-round update admission.
+///
+/// Every replica sees the same atomic-broadcast delivery stream, so
+/// counting admitted updates per round and shedding past the budget
+/// yields the *same* shed set everywhere — including on WAL replay.
+#[derive(Debug, Clone)]
+pub struct RoundBudget {
+    budget: usize,
+    round: u64,
+    used: usize,
+}
+
+impl RoundBudget {
+    /// A budget of `budget` updates per round. `0` disables (admits
+    /// everything).
+    pub fn new(budget: usize) -> Self {
+        RoundBudget { budget, round: 0, used: 0 }
+    }
+
+    /// Accounts one update delivered in `round`. Returns `false` when
+    /// the round's budget is already spent (the caller sheds it).
+    pub fn admit(&mut self, round: u64) -> bool {
+        if self.budget == 0 {
+            return true;
+        }
+        if round != self.round {
+            self.round = round;
+            self.used = 0;
+        }
+        if self.used >= self.budget {
+            return false;
+        }
+        self.used = self.used.saturating_add(1);
+        true
+    }
+}
+
+/// Per-peer, per-tick cap on repair replies (resend answers and
+/// final-signature serves), bounding the amplification available to a
+/// Byzantine requester.
+#[derive(Debug, Clone)]
+pub struct ResendBudget {
+    per_tick: u32,
+    used: Vec<u32>,
+}
+
+impl ResendBudget {
+    /// A budget of `per_tick` replies per peer between resets.
+    pub fn new(n: usize, per_tick: u32) -> Self {
+        ResendBudget { per_tick, used: vec![0; n] }
+    }
+
+    /// Accounts one reply to `peer`; `false` means the cap is hit and
+    /// the reply must be dropped.
+    pub fn allow(&mut self, peer: usize) -> bool {
+        let Some(used) = self.used.get_mut(peer) else {
+            return false;
+        };
+        if *used >= self.per_tick {
+            return false;
+        }
+        *used = used.saturating_add(1);
+        true
+    }
+
+    /// New tick: everyone's budget refills.
+    pub fn reset(&mut self) {
+        for used in &mut self.used {
+            *used = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn early_buffer_prefers_lowest_sessions() {
+        let mut buf: EarlyBuffer<&str> = EarlyBuffer::new(2, 4);
+        assert!(buf.push(10, 0, "a"));
+        assert!(buf.push(20, 1, "b"));
+        // Full: higher id rejected, lower id evicts the highest.
+        assert!(!buf.push(30, 2, "c"));
+        assert!(buf.push(5, 2, "d"));
+        assert_eq!(buf.sessions(), 2);
+        assert!(buf.take(20).is_empty());
+        assert_eq!(buf.take(5), vec![(2, "d")]);
+        assert_eq!(buf.take(10), vec![(0, "a")]);
+    }
+
+    #[test]
+    fn early_buffer_caps_per_sender() {
+        let mut buf: EarlyBuffer<u32> = EarlyBuffer::new(4, 2);
+        assert!(buf.push(1, 7, 100));
+        assert!(buf.push(1, 7, 101));
+        assert!(!buf.push(1, 7, 102));
+        assert!(buf.push(1, 8, 103));
+        assert_eq!(buf.total(), 3);
+    }
+
+    #[test]
+    fn early_buffer_drop_below_discards_retired() {
+        let mut buf: EarlyBuffer<u8> = EarlyBuffer::new(8, 2);
+        for id in [3u64, 7, 11] {
+            assert!(buf.push(id, 0, 0));
+        }
+        buf.drop_below(8);
+        assert_eq!(buf.sessions(), 1);
+        assert_eq!(buf.take(11).len(), 1);
+    }
+
+    #[test]
+    fn early_buffer_zero_caps_reject_everything() {
+        let mut buf: EarlyBuffer<u8> = EarlyBuffer::new(0, 4);
+        assert!(!buf.push(1, 0, 0));
+        let mut buf: EarlyBuffer<u8> = EarlyBuffer::new(4, 0);
+        assert!(!buf.push(1, 0, 0));
+        assert_eq!(buf.total(), 0);
+    }
+
+    #[test]
+    fn finished_ring_watermark_and_window() {
+        let mut ring: FinishedRing<&str> = FinishedRing::new(2);
+        ring.record(1, "one");
+        ring.record(2, "two");
+        ring.record(3, "three"); // evicts 1
+        assert!(!ring.is_finished(1));
+        assert!(ring.is_finished(2));
+        assert_eq!(ring.signature(3), Some(&"three"));
+        assert_eq!(ring.signature(1), None);
+        ring.advance_watermark(4);
+        assert!(ring.is_finished(1));
+        assert!(ring.is_finished(3));
+        assert!(!ring.is_finished(4));
+        // Watermark is monotone under advance...
+        ring.advance_watermark(2);
+        assert_eq!(ring.watermark(), 4);
+        // ...but reset (state adoption) sets it exactly.
+        ring.reset(2);
+        assert_eq!(ring.watermark(), 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn finished_ring_dedups_records() {
+        let mut ring: FinishedRing<u8> = FinishedRing::new(4);
+        ring.record(9, 1);
+        ring.record(9, 2);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.signature(9), Some(&1));
+    }
+
+    #[test]
+    fn watchdog_fires_then_backs_off() {
+        let mut dog = SessionWatchdog::new(3);
+        assert!(!dog.on_tick());
+        assert!(!dog.on_tick());
+        assert!(dog.on_tick()); // fire at base
+        for _ in 0..5 {
+            assert!(!dog.on_tick());
+        }
+        assert!(dog.on_tick()); // second fire after 2 × base
+        assert_eq!(dog.fires(), 2);
+        dog.on_progress();
+        assert!(!dog.on_tick());
+        assert!(!dog.on_tick());
+        assert!(dog.on_tick()); // back to base after progress
+    }
+
+    #[test]
+    fn watchdog_disabled_never_fires() {
+        let mut dog = SessionWatchdog::new(0);
+        for _ in 0..100 {
+            assert!(!dog.on_tick());
+        }
+        assert_eq!(dog.fires(), 0);
+    }
+
+    #[test]
+    fn liveness_counts_recent_peers() {
+        let mut live = PeerLiveness::new(4, 8);
+        assert!(live.enabled());
+        // Everyone starts alive (heard at tick 0).
+        assert_eq!(live.alive(0), 4);
+        let mut heartbeats = 0;
+        for _ in 0..8 {
+            if live.on_tick() {
+                heartbeats += 1;
+            }
+            live.heard(1);
+        }
+        // Heartbeats every timeout/4 ticks.
+        assert_eq!(heartbeats, 4);
+        // Peers 2 and 3 silent for a full window: only self + 1 alive.
+        assert_eq!(live.alive(0), 2);
+        live.heard(2);
+        assert_eq!(live.alive(0), 3);
+    }
+
+    #[test]
+    fn liveness_disabled_for_singleton_or_zero_timeout() {
+        let mut solo = PeerLiveness::new(1, 8);
+        assert!(!solo.enabled());
+        assert!(!solo.on_tick());
+        let mut zero = PeerLiveness::new(4, 0);
+        assert!(!zero.enabled());
+        assert!(!zero.on_tick());
+    }
+
+    #[test]
+    fn round_budget_resets_per_round() {
+        let mut budget = RoundBudget::new(2);
+        assert!(budget.admit(0));
+        assert!(budget.admit(0));
+        assert!(!budget.admit(0));
+        assert!(budget.admit(1));
+        assert!(budget.admit(1));
+        assert!(!budget.admit(1));
+        let mut unlimited = RoundBudget::new(0);
+        for _ in 0..100 {
+            assert!(unlimited.admit(0));
+        }
+    }
+
+    #[test]
+    fn resend_budget_caps_per_peer_until_reset() {
+        let mut budget = ResendBudget::new(2, 2);
+        assert!(budget.allow(0));
+        assert!(budget.allow(0));
+        assert!(!budget.allow(0));
+        assert!(budget.allow(1));
+        assert!(!budget.allow(9)); // out of range
+        budget.reset();
+        assert!(budget.allow(0));
+    }
+
+    proptest! {
+        #[test]
+        fn early_buffer_never_exceeds_caps(
+            ops in proptest::collection::vec((0u64..32, 0usize..6), 0..200),
+            max_sessions in 0usize..8,
+            per_sender in 0usize..4,
+        ) {
+            let mut buf: EarlyBuffer<u64> = EarlyBuffer::new(max_sessions, per_sender);
+            for (i, (session, from)) in ops.iter().enumerate() {
+                buf.push(*session, *from, i as u64);
+                prop_assert!(buf.sessions() <= max_sessions);
+                prop_assert!(buf.total() <= max_sessions * per_sender * 6);
+            }
+        }
+
+        #[test]
+        fn finished_ring_bounded_and_watermark_monotone(
+            ops in proptest::collection::vec((0u64..64, 0u64..64), 0..200),
+            cap in 0usize..8,
+        ) {
+            let mut ring: FinishedRing<u64> = FinishedRing::new(cap);
+            let mut last_watermark = 0u64;
+            for (id, advance) in ops {
+                ring.record(id, id);
+                ring.advance_watermark(advance);
+                prop_assert!(ring.len() <= cap);
+                prop_assert!(ring.watermark() >= last_watermark);
+                last_watermark = ring.watermark();
+                // Anything below the watermark is finished.
+                if ring.watermark() > 0 {
+                    prop_assert!(ring.is_finished(ring.watermark() - 1));
+                }
+            }
+        }
+
+        #[test]
+        fn watchdog_fires_within_eight_times_base(
+            base in 1u64..16,
+            ticks in 1u64..300,
+        ) {
+            let mut dog = SessionWatchdog::new(base);
+            let mut since_event = 0u64;
+            for _ in 0..ticks {
+                since_event += 1;
+                if dog.on_tick() {
+                    // A stall never goes unnoticed for more than 8 × base.
+                    prop_assert!(since_event <= base * 8);
+                    since_event = 0;
+                }
+            }
+            prop_assert!(since_event <= base * 8);
+        }
+
+        #[test]
+        fn round_budget_is_deterministic(
+            rounds in proptest::collection::vec(0u64..8, 0..100),
+            budget in 0usize..8,
+        ) {
+            let mut a = RoundBudget::new(budget);
+            let mut b = RoundBudget::new(budget);
+            for round in rounds {
+                prop_assert_eq!(a.admit(round), b.admit(round));
+            }
+        }
+    }
+}

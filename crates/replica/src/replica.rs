@@ -12,6 +12,10 @@
 use crate::config::{Corruption, CostModel, ZoneSecurity};
 use crate::envelope::Envelope;
 use crate::messages::ReplicaMsg;
+use crate::overload::{
+    EarlyBuffer, FinishedRing, OverloadConfig, OverloadCounters, PeerLiveness, ResendBudget,
+    RoundBudget, SessionWatchdog, ShedReason,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdns_abcast::{Action as NetAction, AtomicBroadcast, Group, HashCoin, ReplicaId};
@@ -90,6 +94,26 @@ pub enum ReplicaEvent {
     /// A durability write failed; the replica keeps serving from memory
     /// but will need quorum state transfer after its next restart.
     DurabilityDegraded,
+    /// An update was refused admission (overload or degraded mode) and
+    /// answered with an explicit error RCODE instead of queueing.
+    UpdateShed {
+        /// The client attempt.
+        key: (usize, u64),
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// The session watchdog timed out a stalled signing session and
+    /// broadcast a repair request.
+    WatchdogFired {
+        /// The stalled signing session.
+        session: u64,
+    },
+    /// Degraded read-only mode toggled: while active, queries are
+    /// served from the last signed zone and updates are refused.
+    ReadOnly {
+        /// Whether the mode is now active.
+        active: bool,
+    },
 }
 
 /// The signing capability of the zone at this replica.
@@ -142,6 +166,9 @@ pub struct ReplicaSetup {
     /// TSIG keys accepted for dynamic updates; `None` disables the
     /// transaction-signature requirement.
     pub keyring: Option<TsigKeyring>,
+    /// Overload-protection knobs (admission bounds, watchdog and
+    /// liveness timers, buffer caps).
+    pub overload: OverloadConfig,
 }
 
 /// One replica of the secure distributed name service.
@@ -162,11 +189,30 @@ pub struct Replica {
     exec_queue: VecDeque<Envelope>,
     active: Option<ActiveUpdate>,
     sessions: HashMap<u64, SigningSession>,
-    /// Signing traffic for sessions this replica has not started yet.
-    early_signing: HashMap<u64, Vec<(ReplicaId, SigMessage)>>,
-    /// Sessions completed and retired (ignore stragglers).
-    finished_sessions: HashSet<u64>,
+    /// Signing traffic for sessions this replica has not started yet
+    /// (bounded: lowest ids preferred, per-sender capped).
+    early_signing: EarlyBuffer<SigMessage>,
+    /// Completed sessions: a low watermark plus a bounded ring of
+    /// recent `(id, signature)` pairs for serving stragglers.
+    finished: FinishedRing<Ubig>,
     update_counter: u64,
+    /// Overload knobs this replica was built with.
+    overload: OverloadConfig,
+    /// Updates this gateway admitted but has not yet executed.
+    gateway_inflight: HashSet<(usize, u64)>,
+    /// Deterministic per-round update admission.
+    round_budget: RoundBudget,
+    /// Stall detector for the active signing session.
+    watchdog: SessionWatchdog,
+    /// Heartbeat bookkeeping for quorum-loss detection.
+    liveness: PeerLiveness,
+    /// Per-peer per-tick cap on repair replies.
+    resend_budget: ResendBudget,
+    /// Watchdog strikes per peer: fires where the peer's share was
+    /// missing from the stalled session (slow/withholding evidence).
+    withholding: Vec<u64>,
+    /// Degraded read-only mode: queries only, updates refused.
+    read_only: bool,
     /// Set while this replica is recovering via state transfer.
     recovering: Option<crate::snapshot::SnapshotQuorum>,
     /// State requests deferred until the pipeline is idle.
@@ -221,9 +267,23 @@ impl Replica {
             exec_queue: VecDeque::new(),
             active: None,
             sessions: HashMap::new(),
-            early_signing: HashMap::new(),
-            finished_sessions: HashSet::new(),
+            early_signing: EarlyBuffer::new(
+                setup.overload.early_sessions,
+                setup.overload.early_per_sender,
+            ),
+            finished: FinishedRing::new(setup.overload.finished_ring),
             update_counter: 0,
+            overload: setup.overload,
+            gateway_inflight: HashSet::new(),
+            round_budget: RoundBudget::new(setup.overload.round_update_budget),
+            watchdog: SessionWatchdog::new(setup.overload.watchdog_ticks),
+            liveness: PeerLiveness::new(setup.group.n(), setup.overload.quorum_loss_ticks),
+            resend_budget: ResendBudget::new(
+                setup.group.n(),
+                setup.overload.resend_replies_per_tick,
+            ),
+            withholding: vec![0; setup.group.n()],
+            read_only: false,
             recovering: None,
             pending_state_requests: Vec::new(),
             link: None,
@@ -271,8 +331,34 @@ impl Replica {
             self.active.is_some(),
             self.active.as_ref().map(|a| a.next_task).unwrap_or(0),
             self.sessions.len(),
-            self.early_signing.values().map(|v| v.len()).sum(),
+            self.early_signing.total(),
         )
+    }
+
+    /// Whether degraded read-only mode is active.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Watchdog strikes per peer: how often each peer's share was
+    /// missing from a stalled session when the watchdog fired.
+    pub fn withholding_evidence(&self) -> &[u64] {
+        &self.withholding
+    }
+
+    /// Total watchdog fires at this replica.
+    pub fn watchdog_fires(&self) -> u64 {
+        self.watchdog.fires()
+    }
+
+    /// Fill levels of the bounded overload structures.
+    pub fn overload_counters(&self) -> OverloadCounters {
+        OverloadCounters {
+            early_sessions: self.early_signing.sessions(),
+            early_messages: self.early_signing.total(),
+            retired_ring: self.finished.len(),
+            pending_gateway: self.gateway_inflight.len(),
+        }
     }
 
     /// Starts crash recovery: this replica discards nothing (it is
@@ -280,7 +366,9 @@ impl Replica {
     /// group for the current state, adopting it once `t + 1` replicas
     /// answer with byte-identical snapshots.
     pub fn begin_recovery(&mut self) -> Vec<ReplicaAction> {
-        self.recovering = Some(crate::snapshot::SnapshotQuorum::new());
+        self.recovering = Some(crate::snapshot::SnapshotQuorum::with_blob_cap(
+            self.overload.max_snapshot_blob,
+        ));
         let mut out: Vec<ReplicaAction> = (0..self.group.n())
             .filter(|&to| to != self.me)
             .map(|to| ReplicaAction::Send { to, msg: ReplicaMsg::StateRequest })
@@ -326,7 +414,7 @@ impl Replica {
             };
             round = round.max(frame_round + 1);
             ids.push(id);
-            replay_data.push(data);
+            replay_data.push((frame_round, data));
         }
         if let Some(snap) = disk.snapshot.as_ref() {
             self.zone = snap.zone.clone();
@@ -338,8 +426,8 @@ impl Replica {
             self.abcast.import_state(round, ids);
         }
         let replayed = replay_data.len() as u64;
-        for data in replay_data {
-            self.enqueue_delivery(data, &mut out);
+        for (frame_round, data) in replay_data {
+            self.enqueue_delivery(frame_round, data, &mut out);
         }
         self.try_execute(&mut out);
         out.push(ReplicaAction::Event(ReplicaEvent::Restored { from_snapshot, replayed }));
@@ -432,7 +520,15 @@ impl Replica {
         self.active = None;
         self.sessions.clear();
         self.early_signing.clear();
-        self.finished_sessions.clear();
+        // Sessions for updates the adopted state already covers are
+        // retired; ids above the new watermark will be allocated afresh.
+        self.finished.reset(
+            self.update_counter
+                .saturating_add(1)
+                .saturating_mul(MAX_TASKS_PER_UPDATE),
+        );
+        self.gateway_inflight.clear();
+        self.watchdog.on_progress();
         self.recovering = None;
         out.push(ReplicaAction::Event(ReplicaEvent::Recovered { round: state.round }));
     }
@@ -442,6 +538,10 @@ impl Replica {
         let mut out = Vec::new();
         if self.corruption == Corruption::Mute {
             return out;
+        }
+        // Any traffic from a replica peer counts as a liveness signal.
+        if from != self.me && from < self.group.n() {
+            self.liveness.heard(from);
         }
         // Reliable-link sublayer: runs below recovery and the protocols,
         // so acks and resends flow even while this replica recovers.
@@ -476,13 +576,18 @@ impl Replica {
                 return out;
             }
             ReplicaMsg::Tick => {
-                // With the sublayer on, ticks drive the resend schedule;
-                // otherwise they remain a harness signal replicas ignore.
+                // With the sublayer on, ticks drive the resend schedule.
+                // They also drive the overload machinery: heartbeats,
+                // quorum-liveness evaluation, and the session watchdog.
                 if let Some(link) = &mut self.link {
                     for (to, m) in link.on_tick() {
                         out.push(ReplicaAction::Send { to, msg: m });
                     }
                 }
+                if self.recovering.is_none() {
+                    self.on_tick(&mut out);
+                }
+                self.wrap_outgoing(&mut out);
                 return out;
             }
             m => m,
@@ -522,13 +627,22 @@ impl Replica {
                 self.on_signing_message(session, from, inner, &mut out);
             }
             ReplicaMsg::StateRequest => {
-                if from < self.group.n() {
+                // One pending slot per peer, at most n total: a flooder
+                // cannot grow the deferred-request list.
+                if from < self.group.n()
+                    && !self.pending_state_requests.contains(&from)
+                    && self.pending_state_requests.len() < self.group.n()
+                {
                     self.pending_state_requests.push(from);
                     self.flush_state_requests(&mut out);
                 }
             }
             ReplicaMsg::StateResponse { .. } => {
                 // Not recovering: a stale response; ignore.
+            }
+            ReplicaMsg::Ping => {
+                // Liveness heartbeat: the `heard` above is its whole
+                // effect.
             }
             ReplicaMsg::ClientResponse { .. }
             | ReplicaMsg::Tick
@@ -584,7 +698,11 @@ impl Replica {
         let is_query = Message::from_bytes(&envelope.bytes)
             .map(|m| m.opcode == Opcode::Query)
             .unwrap_or(false);
-        if is_query && (!self.reads_via_abcast || self.group.n() == 1) {
+        // Degraded read-only mode serves queries locally from the last
+        // signed zone even when reads normally order through broadcast:
+        // with quorum lost, ordering is unavailable but answers (and
+        // their zone signatures) are not.
+        if is_query && (!self.reads_via_abcast || self.group.n() == 1 || self.read_only) {
             self.execute_query(&envelope, out);
             return;
         }
@@ -594,6 +712,24 @@ impl Replica {
             self.on_delivery(0, 0, envelope.encode(), out);
             self.try_execute(out);
             return;
+        }
+        if !is_query {
+            // Degraded mode: refuse updates outright (REFUSED is the
+            // client's cue to try another gateway, not to retry here).
+            if self.read_only && self.shed_update(&envelope, ShedReason::ReadOnly, out) {
+                return;
+            }
+            // Gateway admission: bound the updates this gateway keeps in
+            // flight; past the cap, shed with SERVFAIL *before* paying
+            // for a broadcast. The dedup key is not consumed, so a
+            // later retry (here or elsewhere) can still succeed.
+            let cap = self.overload.max_pending_updates;
+            if cap > 0
+                && self.gateway_inflight.len() >= cap
+                && self.shed_update(&envelope, ShedReason::PipelineFull, out)
+            {
+                return;
+            }
         }
         // Gateway TSIG screening: reject unauthenticated updates before
         // wasting a broadcast (full verification also happens after
@@ -609,6 +745,9 @@ impl Replica {
                     }
                 }
             }
+        }
+        if !is_query {
+            self.gateway_inflight.insert(envelope.dedup_key());
         }
         let (actions, deliveries) = self.abcast.submit(envelope.encode());
         self.emit_abcast(actions, out);
@@ -630,23 +769,61 @@ impl Replica {
                 out.push(ReplicaAction::Event(ReplicaEvent::DurabilityDegraded));
             }
         }
-        self.enqueue_delivery(data, out);
+        self.enqueue_delivery(round, data, out);
     }
 
     /// Queues a delivered payload for execution (shared by the live path
     /// and WAL replay, which must not re-log its own frames).
-    fn enqueue_delivery(&mut self, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+    fn enqueue_delivery(&mut self, round: u64, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
         let Some(envelope) = Envelope::decode(&data) else {
             return; // Byzantine garbage, identically dropped everywhere
         };
         out.push(ReplicaAction::Event(ReplicaEvent::Delivered { key: envelope.dedup_key() }));
+        // Deterministic delivery-side admission: every replica sees the
+        // same ordered stream, so counting updates per broadcast round
+        // sheds the *same* updates everywhere — including on WAL replay.
+        // The dedup key is not consumed, so a retry can succeed later.
+        let is_update = Message::from_bytes(&envelope.bytes)
+            .map(|m| m.opcode == Opcode::Update)
+            .unwrap_or(false);
+        if is_update && self.group.n() > 1 && !self.round_budget.admit(round) {
+            self.gateway_inflight.remove(&envelope.dedup_key());
+            self.shed_update(&envelope, ShedReason::RoundBudget, out);
+            return;
+        }
         self.exec_queue.push_back(envelope);
+    }
+
+    /// Sheds an update: emits the shed event and answers the client with
+    /// the reason's RCODE. Returns `false` (and does nothing) when the
+    /// request is not even parseable DNS — the normal execution path
+    /// handles garbage deterministically.
+    fn shed_update(
+        &mut self,
+        envelope: &Envelope,
+        reason: ShedReason,
+        out: &mut Vec<ReplicaAction>,
+    ) -> bool {
+        let Ok(msg) = Message::from_bytes(&envelope.bytes) else {
+            return false;
+        };
+        let rcode = match reason {
+            ShedReason::ReadOnly => Rcode::Refused,
+            ShedReason::PipelineFull | ShedReason::RoundBudget => Rcode::ServFail,
+        };
+        out.push(ReplicaAction::Event(ReplicaEvent::UpdateShed {
+            key: envelope.dedup_key(),
+            reason,
+        }));
+        self.respond(envelope, msg.response(rcode), out);
+        true
     }
 
     /// Executes queued requests until one blocks on distributed signing.
     fn try_execute(&mut self, out: &mut Vec<ReplicaAction>) {
         while self.active.is_none() {
             let Some(envelope) = self.exec_queue.pop_front() else { return };
+            self.gateway_inflight.remove(&envelope.dedup_key());
             if !self.executed.insert(envelope.dedup_key()) {
                 continue; // duplicate submission via another gateway
             }
@@ -777,12 +954,11 @@ impl Replica {
             &mut self.rng,
         );
         self.sessions.insert(session_id, session);
+        self.watchdog.on_progress();
         self.emit_signing(session_id, actions, out);
         // Replay any traffic that arrived before we started this session.
-        if let Some(buffered) = self.early_signing.remove(&session_id) {
-            for (from, inner) in buffered {
-                self.on_signing_message(session_id, from, inner, out);
-            }
+        for (from, inner) in self.early_signing.take(session_id) {
+            self.on_signing_message(session_id, from, inner, out);
         }
     }
 
@@ -795,13 +971,45 @@ impl Replica {
         out: &mut Vec<ReplicaAction>,
     ) {
         let Some(session) = self.sessions.get_mut(&session_id) else {
-            // Not started here yet (we lag behind) — buffer, unless the
-            // session already finished.
-            if !self.finished_sessions.contains(&session_id) {
-                self.early_signing.entry(session_id).or_default().push((from, inner));
+            if self.finished.is_finished(session_id) {
+                // The session is over here. If the sender is still
+                // working it (it permanently lost share traffic to a
+                // restart or an evicted buffer), hand it the assembled
+                // signature directly — rate-limited per peer per tick.
+                if from != self.me
+                    && !self.corruption.is_corrupted()
+                    && matches!(inner, SigMessage::Share(_) | SigMessage::Resend)
+                {
+                    if let Some(sig) = self.finished.signature(session_id).cloned() {
+                        if self.resend_budget.allow(from) {
+                            out.push(ReplicaAction::Send {
+                                to: from,
+                                msg: ReplicaMsg::Signing {
+                                    session: session_id,
+                                    inner: SigMessage::Final(sig),
+                                },
+                            });
+                        }
+                    }
+                }
+                return;
+            }
+            // Not started here yet (we lag behind) — buffer data-bearing
+            // messages (bounded); a resend request is only a prompt and
+            // is pointless to replay later.
+            if !matches!(inner, SigMessage::Resend) {
+                self.early_signing.push(session_id, from, inner);
             }
             return;
         };
+        // A resend request makes this replica recompute and re-broadcast
+        // its contribution: cap how often a peer can extract that.
+        if matches!(inner, SigMessage::Resend)
+            && from != self.me
+            && !self.resend_budget.allow(from)
+        {
+            return;
+        }
         // Signer indices in the crypto layer are 1-based.
         let actions = session.on_message(from + 1, inner, &mut self.rng);
         self.emit_signing(session_id, actions, out);
@@ -829,6 +1037,12 @@ impl Replica {
                     // messaging stack, racing remote shares for a quorum
                     // slot just like in the paper's Wrapper.
                     for to in 0..self.group.n() {
+                        // A share-withholding server keeps its signing
+                        // traffic to itself (the stall the watchdog and
+                        // resend machinery exist to repair).
+                        if self.corruption == Corruption::WithholdShares && to != self.me {
+                            continue;
+                        }
                         let inner = if self.corruption == Corruption::InvertSigShares && to != self.me
                         {
                             match &msg {
@@ -837,8 +1051,11 @@ impl Replica {
                                 }
                                 // A corrupted server does not helpfully
                                 // rescue honest replicas with a valid
-                                // assembled signature or a proof request.
-                                SigMessage::Final(_) | SigMessage::ProofRequest => continue,
+                                // assembled signature, a proof request,
+                                // or a resend prompt.
+                                SigMessage::Final(_)
+                                | SigMessage::ProofRequest
+                                | SigMessage::Resend => continue,
                             }
                         } else {
                             msg.clone()
@@ -851,7 +1068,8 @@ impl Replica {
                 }
                 SigAction::Done(sig) => {
                     self.sessions.remove(&session_id);
-                    self.finished_sessions.insert(session_id);
+                    self.finished.record(session_id, sig.clone());
+                    self.watchdog.on_progress();
                     self.complete_task(session_id, sig, out);
                 }
             }
@@ -876,6 +1094,12 @@ impl Replica {
         if active.next_task < active.tasks.len() {
             self.start_next_task(out);
         } else if let Some(active) = self.active.take() {
+            // Updates execute serially, so everything below the next
+            // update's session base is finished: retire it wholesale and
+            // discard any early traffic buffered for retired ids.
+            self.finished
+                .advance_watermark(active.base_session.saturating_add(MAX_TASKS_PER_UPDATE));
+            self.early_signing.drop_below(self.finished.watermark());
             let key = active.envelope.dedup_key();
             out.push(ReplicaAction::Event(ReplicaEvent::Executed {
                 key,
@@ -901,6 +1125,76 @@ impl Replica {
                 bytes: response.to_bytes(),
             },
         });
+    }
+
+    /// Tick-driven overload machinery: refills the resend budget, sends
+    /// liveness heartbeats, re-evaluates degraded mode, and runs the
+    /// signing-session watchdog. Every mechanism is inert unless the
+    /// host injects [`ReplicaMsg::Tick`] — hosts without ticks keep the
+    /// pre-overload behavior exactly.
+    fn on_tick(&mut self, out: &mut Vec<ReplicaAction>) {
+        self.resend_budget.reset();
+        if self.liveness.on_tick() {
+            // Heartbeats are deliberately *not* link-wrapped: a lost
+            // ping must not pile up in retransmission buffers during a
+            // partition (its whole point is to detect one).
+            for to in 0..self.group.n() {
+                if to != self.me {
+                    out.push(ReplicaAction::Send { to, msg: ReplicaMsg::Ping });
+                }
+            }
+        }
+        self.refresh_degraded(out);
+        if self.active.is_some() && self.watchdog.on_tick() {
+            self.on_watchdog_fire(out);
+        }
+    }
+
+    /// Re-evaluates degraded read-only mode: active when fewer than
+    /// `n - t` replicas (self included) are live, or when the local
+    /// durability layer is degraded. Recovery is automatic — the next
+    /// tick after quorum returns flips the mode back off.
+    fn refresh_degraded(&mut self, out: &mut Vec<ReplicaAction>) {
+        let quorum_ok = !self.liveness.enabled()
+            || self.liveness.alive(self.me) >= self.group.n().saturating_sub(self.group.t());
+        let durable_ok = !self.durability.as_ref().is_some_and(|d| d.is_degraded());
+        let degraded = !quorum_ok || !durable_ok;
+        if degraded != self.read_only {
+            self.read_only = degraded;
+            out.push(ReplicaAction::Event(ReplicaEvent::ReadOnly { active: degraded }));
+        }
+    }
+
+    /// The watchdog fired on the active update's current session: record
+    /// withholding evidence against peers whose share is missing, ask
+    /// every peer to re-send its contribution, and re-broadcast our own
+    /// (either side may have permanently lost the other's traffic).
+    fn on_watchdog_fire(&mut self, out: &mut Vec<ReplicaAction>) {
+        let Some(active) = &self.active else { return };
+        let session_id = active.base_session.saturating_add(active.next_task as u64);
+        out.push(ReplicaAction::Event(ReplicaEvent::WatchdogFired { session: session_id }));
+        if let Some(session) = self.sessions.get(&session_id) {
+            let contributors = session.contributors();
+            for peer in 0..self.group.n() {
+                if peer != self.me && !contributors.contains(&(peer + 1)) {
+                    if let Some(strikes) = self.withholding.get_mut(peer) {
+                        *strikes = strikes.saturating_add(1);
+                    }
+                }
+            }
+        }
+        for to in 0..self.group.n() {
+            if to != self.me {
+                out.push(ReplicaAction::Send {
+                    to,
+                    msg: ReplicaMsg::Signing { session: session_id, inner: SigMessage::Resend },
+                });
+            }
+        }
+        if let Some(session) = self.sessions.get_mut(&session_id) {
+            let actions = session.on_message(self.me + 1, SigMessage::Resend, &mut self.rng);
+            self.emit_signing(session_id, actions, out);
+        }
     }
 
     /// Wraps atomic-broadcast actions, expanding broadcasts to the

@@ -200,6 +200,7 @@ fn encode_into(msg: &ReplicaMsg, w: &mut Writer) -> Result<(), CodecError> {
                 w.u64(*s);
             }
         }
+        ReplicaMsg::Ping => w.u8(9),
     }
     Ok(())
 }
@@ -268,6 +269,7 @@ fn encode_sig(msg: &SigMessage, w: &mut Writer) -> Result<(), CodecError> {
             w.u8(2);
             w.ubig(sig)?;
         }
+        SigMessage::Resend => w.u8(3),
     }
     Ok(())
 }
@@ -327,6 +329,7 @@ fn decode_msg(r: &mut Reader<'_>, depth: u8) -> Result<ReplicaMsg, CodecError> {
             }
             ReplicaMsg::LinkAck { epoch, seqs }
         }
+        9 => ReplicaMsg::Ping,
         _ => return Err(err("unknown message tag")),
     })
 }
@@ -371,6 +374,7 @@ fn decode_sig(r: &mut Reader<'_>) -> Result<SigMessage, CodecError> {
         }
         1 => Ok(SigMessage::ProofRequest),
         2 => Ok(SigMessage::Final(r.ubig()?)),
+        3 => Ok(SigMessage::Resend),
         _ => Err(err("unknown signing tag")),
     }
 }
@@ -391,6 +395,7 @@ mod tests {
         roundtrip(ReplicaMsg::Tick);
         roundtrip(ReplicaMsg::StateRequest);
         roundtrip(ReplicaMsg::StateResponse { snapshot: vec![9; 64] });
+        roundtrip(ReplicaMsg::Ping);
     }
 
     #[test]
@@ -422,6 +427,7 @@ mod tests {
             session: 2,
             inner: SigMessage::Final(Ubig::from_hex("ffeeddccbbaa99887766554433221100").unwrap()),
         });
+        roundtrip(ReplicaMsg::Signing { session: 130, inner: SigMessage::Resend });
     }
 
     #[test]

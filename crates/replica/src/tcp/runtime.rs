@@ -3,6 +3,7 @@
 use super::codec;
 use crate::durable::{Durability, DurabilityCfg};
 use crate::messages::ReplicaMsg;
+use crate::overload::OverloadConfig;
 use crate::replica::{Replica, ReplicaAction};
 use crate::reliable::RetransmitCfg;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -27,12 +28,13 @@ pub const KIND_CLIENT: u8 = 1;
 /// request/response traffic here never does).
 const MAX_FRAME: usize = 16 << 20;
 
-/// Per-peer outbox capacity. A dead peer's queue fills up to here and
-/// then sheds the *newest* frames (`try_send`): the replica protocols
-/// tolerate loss, and with the retransmission sublayer on, dropped
-/// frames are re-sent once the peer heals — so a partition costs bounded
-/// memory instead of unbounded growth.
-const OUTBOX_CAP: usize = 4096;
+/// Fallback per-peer outbox capacity when [`OverloadConfig::outbox_frames`]
+/// is zero. A dead peer's queue fills up to its cap and then sheds the
+/// *newest* frames (`try_send`): the replica protocols tolerate loss, and
+/// with the retransmission sublayer on, dropped frames are re-sent once
+/// the peer heals — so a partition costs bounded memory instead of
+/// unbounded growth.
+const OUTBOX_CAP_FALLBACK: usize = 4096;
 
 /// First reconnect delay of the peer writer.
 const RECONNECT_MIN: Duration = Duration::from_millis(10);
@@ -63,12 +65,24 @@ pub struct TcpConfig {
     /// reliable-link sublayer with the persisted epoch counter (pair it
     /// with [`TcpConfig::tick`] so resends are actually driven).
     pub state_dir: Option<PathBuf>,
+    /// Resource-governance knobs shared with the replica state machine;
+    /// the runtime uses [`OverloadConfig::outbox_frames`] to size the
+    /// per-peer outboxes.
+    pub overload: OverloadConfig,
 }
 
 impl TcpConfig {
     /// A configuration without the UDP front end.
     pub fn new(me: usize, peers: Vec<SocketAddr>, link_key: Vec<u8>) -> Self {
-        TcpConfig { me, peers, link_key, udp_listen: None, tick: None, state_dir: None }
+        TcpConfig {
+            me,
+            peers,
+            link_key,
+            udp_listen: None,
+            tick: None,
+            state_dir: None,
+            overload: OverloadConfig::default(),
+        }
     }
 
     /// Adds a wall-clock tick at `interval` (see [`TcpConfig::tick`]).
@@ -83,6 +97,23 @@ impl TcpConfig {
     pub fn with_state_dir(mut self, dir: PathBuf) -> Self {
         self.state_dir = Some(dir);
         self
+    }
+
+    /// Sets the overload-governance knobs (see [`TcpConfig::overload`]).
+    #[must_use]
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// The per-peer outbox capacity in frames (the configured value, or
+    /// the built-in fallback when the knob is zero).
+    fn outbox_cap(&self) -> usize {
+        if self.overload.outbox_frames == 0 {
+            OUTBOX_CAP_FALLBACK
+        } else {
+            self.overload.outbox_frames
+        }
     }
 }
 
@@ -300,15 +331,16 @@ impl TcpReplica {
         };
 
         // --- per-peer writers (bounded outboxes) ---
+        let outbox_cap = config.outbox_cap();
         let mut peer_txs: Vec<Option<Sender<Vec<u8>>>> = Vec::new();
         for (i, &peer) in config.peers.iter().enumerate() {
             if i == config.me {
                 peer_txs.push(None);
                 continue;
             }
-            let (ptx, prx) = bounded::<Vec<u8>>(OUTBOX_CAP);
+            let (ptx, prx) = bounded::<Vec<u8>>(outbox_cap);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || peer_writer(peer, prx, stop));
+            std::thread::spawn(move || peer_writer(peer, prx, outbox_cap, stop));
             peer_txs.push(Some(ptx));
         }
 
@@ -377,7 +409,7 @@ impl Drop for TcpReplica {
 /// that keeps failing is eventually abandoned so a flapping link cannot
 /// wedge the writer on one message (the retransmission sublayer re-sends
 /// what mattered).
-fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
+fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, outbox_cap: usize, stop: Arc<AtomicBool>) {
     let mut stream: Option<TcpStream> = None;
     let mut backoff = RECONNECT_MIN;
     while let Ok(frame_body) = rx.recv() {
@@ -401,7 +433,7 @@ fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
                         // While the peer is down, drain the outbox down
                         // to the freshest frames instead of blocking the
                         // core loop behind a full channel.
-                        while rx.len() > OUTBOX_CAP / 2 {
+                        while rx.len() > outbox_cap / 2 {
                             if rx.try_recv().is_err() {
                                 break;
                             }
@@ -518,6 +550,7 @@ fn core_loop(
                         sdns_crypto::protocol::SigMessage::Share(_) => "share",
                         sdns_crypto::protocol::SigMessage::ProofRequest => "preq",
                         sdns_crypto::protocol::SigMessage::Final(_) => "final",
+                        sdns_crypto::protocol::SigMessage::Resend => "resend",
                     };
                     format!("sig(s{session},{what})")
                 }
@@ -528,6 +561,7 @@ fn core_loop(
                 ReplicaMsg::LinkAck { epoch, seqs } => {
                     format!("ack(e{epoch},n{})", seqs.len())
                 }
+                ReplicaMsg::Ping => "ping".into(),
             };
             eprintln!("[{me}] <- {from}: {kind}");
         }
@@ -590,11 +624,18 @@ impl TcpClient {
     }
 
     /// Sends a DNS message (wire bytes) and awaits the response,
-    /// failing over on timeout. Tries each server once before giving up.
+    /// failing over on timeout.
+    ///
+    /// `timeout` is the *end-to-end deadline* for the whole request, not
+    /// a per-server timer: the remaining time is split across the
+    /// servers not yet tried, so the worst case (every server dead) is
+    /// one `timeout`, not `timeout × servers`. Servers past the deadline
+    /// are not attempted.
     ///
     /// # Errors
     ///
-    /// Returns the last I/O error when every server failed.
+    /// Returns the last I/O error when every server failed or the
+    /// deadline expired.
     pub fn request(&mut self, dns_bytes: &[u8]) -> std::io::Result<Vec<u8>> {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
@@ -603,8 +644,26 @@ impl TcpClient {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let mut last_err =
             std::io::Error::new(std::io::ErrorKind::TimedOut, "no servers reachable");
-        for i in self.server_order(std::time::Instant::now()) {
-            match self.try_one(self.servers[i], &encoded, request_id) {
+        let start = std::time::Instant::now();
+        let deadline = start + self.timeout;
+        let order = self.server_order(start);
+        let total = order.len();
+        for (attempt, i) in order.into_iter().enumerate() {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|r| !r.is_zero())
+            else {
+                last_err = std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request deadline expired",
+                );
+                break;
+            };
+            // Divide what's left of the deadline across the servers not
+            // yet tried; a floor keeps read timeouts from rounding to
+            // zero (which would mean "block forever").
+            let servers_left = (total - attempt).max(1) as u32;
+            let budget = (remaining / servers_left).max(Duration::from_millis(1));
+            match self.try_one(self.servers[i], &encoded, request_id, budget) {
                 Ok(bytes) => {
                     self.preferred = i;
                     self.cooldown_until[i] = None;
@@ -629,10 +688,11 @@ impl TcpClient {
         server: SocketAddr,
         encoded: &[u8],
         request_id: u64,
+        budget: Duration,
     ) -> std::io::Result<Vec<u8>> {
-        let mut stream = TcpStream::connect_timeout(&server, self.timeout)?;
+        let mut stream = TcpStream::connect_timeout(&server, budget)?;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_read_timeout(Some(budget))?;
         write_frame(&mut stream, KIND_CLIENT, encoded)?;
         loop {
             let (kind, body) = read_frame(&mut stream)?;
@@ -692,5 +752,24 @@ mod tests {
         // Healthy servers first (by index), then the cooling ones with
         // the preferred cooling server ahead of the other.
         assert_eq!(c.server_order(now), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn request_timeout_is_an_overall_deadline() {
+        // Two listeners that accept but never answer: the old behaviour
+        // paid the full timeout per server (2 × timeout); the deadline
+        // split keeps the whole request within ~1 × timeout.
+        let listeners: Vec<TcpListener> =
+            (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let servers = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let timeout = Duration::from_millis(400);
+        let mut c = TcpClient::new(servers, timeout);
+        let start = Instant::now();
+        let result = c.request(&[0u8; 16]);
+        let elapsed = start.elapsed();
+        assert!(result.is_err(), "silent servers must time out");
+        // Lenient upper bound: well under the 2 × timeout the per-server
+        // scheme would take, with slack for scheduler noise.
+        assert!(elapsed < timeout + timeout / 2, "took {elapsed:?}");
     }
 }

@@ -30,13 +30,14 @@ use sdns::dns::{Message, Name, RData, Rcode, Record, RecordType};
 use sdns::replica::reliable::RetransmitCfg;
 use sdns::replica::{
     answer_query, deploy, example_zone, Corruption, CostModel, Deployment, Durability,
-    DurabilityCfg, Replica, ReplicaAction, ReplicaEvent, ReplicaMsg, ZoneSecurity,
+    DurabilityCfg, OverloadConfig, Replica, ReplicaAction, ReplicaEvent, ReplicaMsg, ShedReason,
+    ZoneSecurity,
 };
 use sdns::sim::{
     Actor, Byzantine, ByzMode, Context, FaultPlan, LatencyMatrix, NodeId, OutputEvent,
     SimDuration, SimTime, Simulation,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 const N: usize = 4;
@@ -154,8 +155,20 @@ fn build(
     corrupted: &[(usize, Corruption)],
     byzantine: &[(usize, ByzMode<ReplicaMsg>)],
 ) -> (Simulation<Byzantine<ChaosNode>>, Deployment) {
+    build_overload(seed, plan, corrupted, byzantine, OverloadConfig::default())
+}
+
+/// [`build`] with explicit overload-protection knobs (applied to every
+/// replica before construction).
+fn build_overload(
+    seed: u64,
+    plan: FaultPlan,
+    corrupted: &[(usize, Corruption)],
+    byzantine: &[(usize, ByzMode<ReplicaMsg>)],
+    overload: OverloadConfig,
+) -> (Simulation<Byzantine<ChaosNode>>, Deployment) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let deployment = deploy(
+    let mut deployment = deploy(
         Group::new(N, T),
         ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
         CostModel::free(),
@@ -165,6 +178,7 @@ fn build(
         None,
         &mut rng,
     );
+    deployment.setup.overload = overload;
     let mut replicas = deployment.replicas(corrupted, seed);
     for r in &mut replicas {
         r.enable_retransmission(1, RetransmitCfg::default());
@@ -212,6 +226,23 @@ fn inject_update(
         delay,
         CLIENT,
         gateway,
+        ReplicaMsg::ClientRequest { request_id, bytes: msg.to_bytes() },
+    );
+}
+
+/// Injects a plain DNS query from the client at `delay`.
+fn inject_query(
+    sim: &mut Simulation<Byzantine<ChaosNode>>,
+    to: usize,
+    request_id: u64,
+    name: &str,
+    delay: SimDuration,
+) {
+    let msg = Message::query(request_id as u16, name.parse().expect("valid"), RecordType::A);
+    sim.inject(
+        delay,
+        CLIENT,
+        to,
         ReplicaMsg::ClientRequest { request_id, bytes: msg.to_bytes() },
     );
 }
@@ -735,5 +766,479 @@ fn t_plus_one_crashes_stall_without_safety_violation() {
             Message::query(1, "stalled.example.com".parse().expect("valid"), RecordType::A);
         let resp = answer_query(replica.zone(), &query);
         assert_ne!(resp.rcode, Rcode::NoError, "phantom record appeared at replica {i}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection & graceful degradation
+// ---------------------------------------------------------------------------
+
+/// The replica behind node `i`, for asserting on internal overload state.
+fn replica_of<'a>(sim: &'a Simulation<Byzantine<ChaosNode>>, i: usize) -> &'a Replica {
+    match sim.node(i).inner() {
+        ChaosNode::Replica(replica) => replica,
+        ChaosNode::Client => panic!("node {i} is not a replica"),
+    }
+}
+
+#[test]
+fn update_burst_sheds_cleanly_and_admitted_work_completes() {
+    // A burst 10x beyond the gateway's admission cap: the surplus is
+    // shed immediately with SERVFAIL (bounded memory, no broadcast
+    // paid), every admitted update is executed and threshold-signed
+    // everywhere, and a shed request id can be retried successfully —
+    // shedding refuses work, it never consumes the dedup key.
+    let seed = chaos_seed(0xCA05_0100);
+    let overload = OverloadConfig { max_pending_updates: 3, ..OverloadConfig::default() };
+    let (mut sim, deployment) = build_overload(seed, FaultPlan::new(), &[], &[], overload);
+    const BURST: u64 = 30;
+    for rid in 1..=BURST {
+        inject_update(
+            &mut sim,
+            0,
+            rid,
+            &format!("burst-{rid}.example.com"),
+            "203.0.113.50",
+            SimDuration::ZERO,
+        );
+    }
+    sim.run_until_time(at(60.0), BUDGET);
+    let outputs = sim.take_outputs();
+
+    let mut shed: HashSet<u64> = HashSet::new();
+    let mut rcodes: HashMap<u64, HashSet<Rcode>> = HashMap::new();
+    let mut executed: HashMap<u64, HashSet<usize>> = HashMap::new();
+    for ev in &outputs {
+        match &ev.output {
+            ChaosEvent::Replica(ReplicaEvent::UpdateShed { key, reason }) if key.0 == CLIENT => {
+                assert_eq!(
+                    *reason,
+                    ShedReason::PipelineFull,
+                    "burst shedding must happen at the gateway admission bound"
+                );
+                assert_eq!(ev.node, 0, "only the targeted gateway sheds");
+                shed.insert(key.1);
+            }
+            ChaosEvent::Replica(ReplicaEvent::Executed { key, .. })
+                if ev.node < N && key.0 == CLIENT =>
+            {
+                executed.entry(key.1).or_default().insert(ev.node);
+            }
+            ChaosEvent::ClientGot { request_id, rcode } => {
+                rcodes.entry(*request_id).or_default().insert(*rcode);
+            }
+            _ => {}
+        }
+    }
+    let admitted: HashSet<u64> = executed.keys().copied().collect();
+    for (rid, at_replicas) in &executed {
+        assert_eq!(at_replicas.len(), N, "admitted update {rid} must execute at every replica");
+    }
+    assert!(shed.len() >= 20, "a 10x burst must shed most of the surplus, shed only {}", shed.len());
+    assert!(!admitted.is_empty(), "admission must keep accepting work up to the cap");
+    assert!(admitted.is_disjoint(&shed), "an update cannot be both admitted and shed");
+    assert_eq!(
+        admitted.len() + shed.len(),
+        BURST as usize,
+        "every update is either admitted or shed, never silently dropped"
+    );
+    for rid in 1..=BURST {
+        let got = rcodes
+            .get(&rid)
+            .unwrap_or_else(|| panic!("request {rid} received no answer at all"));
+        if shed.contains(&rid) {
+            assert!(
+                got.len() == 1 && got.contains(&Rcode::ServFail),
+                "shed request {rid} must see exactly SERVFAIL, saw {got:?}"
+            );
+        } else {
+            assert!(got.contains(&Rcode::NoError), "admitted request {rid} never confirmed");
+        }
+    }
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2, 3]);
+    for rid in &admitted {
+        for i in 0..N {
+            assert_signed_answer(&sim, &deployment, i, &format!("burst-{rid}.example.com"));
+        }
+    }
+    // The bounded structures honored their knobs.
+    for i in 0..N {
+        let counters = replica_of(&sim, i).overload_counters();
+        assert_eq!(counters.pending_gateway, 0, "replica {i} still holds pending gateway work");
+        assert!(counters.retired_ring <= overload.finished_ring);
+        assert!(counters.early_sessions <= overload.early_sessions);
+    }
+    // A shed request id retried once the burst drains is admitted and
+    // executes everywhere.
+    let retry = *shed.iter().min().expect("burst shed something");
+    inject_update(
+        &mut sim,
+        0,
+        retry,
+        &format!("burst-{retry}.example.com"),
+        "203.0.113.50",
+        SimDuration::ZERO,
+    );
+    assert!(
+        await_executed(&mut sim, (CLIENT, retry), &[0, 1, 2, 3]),
+        "retrying a shed update after the burst did not succeed"
+    );
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, &format!("burst-{retry}.example.com"));
+    }
+}
+
+#[test]
+fn round_budget_sheds_identically_at_every_replica() {
+    // Delivery-side admission: with one update admitted per broadcast
+    // round and four gateways submitting concurrently, every replica
+    // sheds the *same* surplus updates in the same order — the decision
+    // rides the ordered delivery stream, so zones never diverge.
+    let seed = chaos_seed(0xCA05_0110);
+    let overload = OverloadConfig {
+        max_pending_updates: 0, // isolate the round budget
+        round_update_budget: 1,
+        ..OverloadConfig::default()
+    };
+    let (mut sim, deployment) = build_overload(seed, FaultPlan::new(), &[], &[], overload);
+    const OFFERED: u64 = 8;
+    for rid in 1..=OFFERED {
+        inject_update(
+            &mut sim,
+            (rid as usize - 1) % N,
+            rid,
+            &format!("budget-{rid}.example.com"),
+            "203.0.113.60",
+            SimDuration::ZERO,
+        );
+    }
+    sim.run_until_time(at(30.0), BUDGET);
+    let outputs = sim.take_outputs();
+
+    let mut shed_per_replica: Vec<Vec<(usize, u64)>> = vec![Vec::new(); N];
+    let mut executed: HashMap<u64, HashSet<usize>> = HashMap::new();
+    for ev in &outputs {
+        match &ev.output {
+            ChaosEvent::Replica(ReplicaEvent::UpdateShed { key, reason }) if ev.node < N => {
+                assert_eq!(*reason, ShedReason::RoundBudget, "only the round budget sheds here");
+                shed_per_replica[ev.node].push(*key);
+            }
+            ChaosEvent::Replica(ReplicaEvent::Executed { key, .. })
+                if ev.node < N && key.0 == CLIENT =>
+            {
+                executed.entry(key.1).or_default().insert(ev.node);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        !shed_per_replica[0].is_empty(),
+        "four concurrent gateways against a one-update round budget must shed"
+    );
+    for i in 1..N {
+        assert_eq!(
+            shed_per_replica[i], shed_per_replica[0],
+            "replicas 0 and {i} shed different updates — deterministic admission broken"
+        );
+    }
+    let shed: HashSet<u64> = shed_per_replica[0].iter().map(|k| k.1).collect();
+    for rid in 1..=OFFERED {
+        let name = format!("budget-{rid}.example.com");
+        if shed.contains(&rid) {
+            assert!(!executed.contains_key(&rid), "update {rid} was both shed and executed");
+            for i in 0..N {
+                let query = Message::query(1, name.parse().expect("valid"), RecordType::A);
+                let resp = answer_query(replica_of(&sim, i).zone(), &query);
+                assert_ne!(
+                    resp.rcode,
+                    Rcode::NoError,
+                    "shed update {rid} leaked into replica {i}'s zone"
+                );
+            }
+        } else {
+            assert_eq!(
+                executed.get(&rid).map(HashSet::len),
+                Some(N),
+                "admitted update {rid} must execute at every replica"
+            );
+            for i in 0..N {
+                assert_signed_answer(&sim, &deployment, i, &name);
+            }
+        }
+    }
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2, 3]);
+    for i in 1..N {
+        assert_eq!(soa_serial(&sim, i), soa_serial(&sim, 0), "zone serials diverged");
+    }
+}
+
+#[test]
+fn withholding_peers_trip_the_watchdog_and_leave_evidence() {
+    // All three peers withhold their signature shares from the wire:
+    // 3 > t, so update liveness is legitimately forfeit (the first
+    // session completes at the withholders off honest replica 0's
+    // broadcast, but replica 0 starves on session one and the
+    // withholders then starve on session two). What the watchdog owes
+    // the operator is *detection*: repeated fires with back-off and
+    // per-peer withholding evidence at the starved replica — while the
+    // signed pre-update zone stays intact and no replica executes a
+    // half-signed update.
+    let seed = chaos_seed(0xCA05_0120);
+    let withhold = [
+        (1, Corruption::WithholdShares),
+        (2, Corruption::WithholdShares),
+        (3, Corruption::WithholdShares),
+    ];
+    let (mut sim, deployment) = build(seed, FaultPlan::new(), &withhold, &[]);
+    inject_update(&mut sim, 0, 1, "starved.example.com", "203.0.113.70", SimDuration::ZERO);
+    let mut fires = 0u32;
+    let fired = sim.run_until(BUDGET, |ev| {
+        if ev.node == 0
+            && matches!(&ev.output, ChaosEvent::Replica(ReplicaEvent::WatchdogFired { .. }))
+        {
+            fires += 1;
+        }
+        fires >= 2
+    });
+    assert!(fired, "the signing-session watchdog never fired on a starved session");
+    let starved = replica_of(&sim, 0);
+    assert!(starved.watchdog_fires() >= 2, "watchdog fire counter disagrees with events");
+    let evidence = starved.withholding_evidence();
+    assert_eq!(evidence[0], 0, "a replica never strikes itself");
+    for (peer, strikes) in evidence.iter().enumerate().skip(1) {
+        assert!(*strikes >= 2, "peer {peer} withheld every share yet has only {strikes} strikes");
+    }
+    // Beyond tolerance means no liveness — but never bad state: nothing
+    // executes, the client is never told NoError, and the starved
+    // replica keeps serving its signed pre-update zone.
+    let outputs = sim.take_outputs();
+    assert!(
+        !outputs.iter().any(|ev| matches!(
+            &ev.output,
+            ChaosEvent::Replica(ReplicaEvent::Executed { key: (CLIENT, 1), .. })
+                | ChaosEvent::ClientGot { rcode: Rcode::NoError, .. }
+        )),
+        "an update executed (or was confirmed) without a signing quorum"
+    );
+    assert_signed_answer(&sim, &deployment, 0, "www.example.com");
+}
+
+#[test]
+fn single_withholding_replica_cannot_stall_updates() {
+    // Within tolerance (t = 1 withholder, lossy mesh on top): honest
+    // shares reach the t+1 quorum everywhere, so the update executes
+    // and is signed at all four replicas — withholding cannot stall
+    // service past the watchdog machinery.
+    let seed = chaos_seed(0xCA05_0130);
+    let (mut sim, deployment) =
+        build(seed, lossy_plan(), &[(3, Corruption::WithholdShares)], &[]);
+    inject_update(&mut sim, 0, 1, "unstalled.example.com", "203.0.113.71", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]),
+        "a single withholding replica stalled the update"
+    );
+    assert!(await_client_ok(&mut sim, 1), "client never confirmed the update");
+    let outputs = sim.take_outputs();
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2, 3]);
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "unstalled.example.com");
+    }
+}
+
+#[test]
+fn restarted_replica_catches_up_from_the_finished_session_ring() {
+    // One replica dies and restarts from its state directory after the
+    // peers finished signing everything: its WAL replay re-forms signing
+    // sessions whose share traffic is long gone (the peers retired those
+    // sessions). The peers answer its share broadcasts with the
+    // assembled final signature from the finished-session ring —
+    // rate-limited per tick, watchdog-backed — so the restarted replica
+    // converges instead of stalling forever.
+    let seed = chaos_seed(0xCA05_0140);
+    let root = fresh_state_root("solo-restart");
+    let plan = FaultPlan::new().with_crash(3, at(2.0), Some(at(3.0)));
+    let (mut sim, deployment) = build_durable(seed, plan, &root);
+
+    inject_update(&mut sim, 0, 1, "ring-one.example.com", "203.0.113.80", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "baseline update 1 stalled");
+    inject_update(&mut sim, 1, 2, "ring-two.example.com", "203.0.113.81", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 2), &[0, 1, 2, 3]), "baseline update 2 stalled");
+    sim.take_outputs();
+
+    // Ride out the crash window, then swap in a fresh process image of
+    // replica 3 restored from disk (second incarnation, new link epoch).
+    sim.run_until_time(at(3.0), BUDGET);
+    let mut fresh = deployment.replica(3, Corruption::None, seed ^ (2 << 8));
+    let mut durability =
+        Durability::open(&root.join("replica-3"), DurabilityCfg::default());
+    let epoch = durability.bump_epoch().expect("persist epoch");
+    assert_eq!(epoch, 2, "second incarnation");
+    fresh.enable_retransmission(epoch, RetransmitCfg::default());
+    let mut sends = Vec::new();
+    for action in fresh.restore_from_disk(durability) {
+        if let ReplicaAction::Send { to, msg } = action {
+            sends.push((to, msg));
+        }
+    }
+    *sim.node_mut(3) = Byzantine::honest(ChaosNode::Replica(Box::new(fresh)));
+    sim.schedule_timer(3, TICK_TIMER, tick());
+    for (to, msg) in sends {
+        sim.inject(SimDuration::ZERO, 3, to, msg);
+    }
+
+    // WAL replay re-executes both updates; every re-formed session must
+    // be completed by a served final signature (the shares are gone).
+    assert!(
+        await_executed(&mut sim, (CLIENT, 2), &[3]),
+        "restarted replica was not rescued by final-signature serving"
+    );
+    assert_signed_answer(&sim, &deployment, 3, "ring-one.example.com");
+    assert_signed_answer(&sim, &deployment, 3, "ring-two.example.com");
+
+    // ...and it participates in fresh work afterwards.
+    inject_update(&mut sim, 3, 3, "ring-three.example.com", "203.0.113.82", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 3), &[0, 1, 2, 3]),
+        "restarted replica does not participate in new updates"
+    );
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "ring-three.example.com");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quorum_loss_enters_read_only_and_recovers() {
+    // An isolated replica detects quorum loss via missed heartbeats,
+    // degrades to read-only (queries still answered from the signed
+    // zone, updates refused with REFUSED), and recovers automatically
+    // once the partition heals — catching up on everything it missed.
+    let seed = chaos_seed(0xCA05_0150);
+    let overload = OverloadConfig { quorum_loss_ticks: 10, ..OverloadConfig::default() };
+    let plan = FaultPlan::new().with_partition(&[0], &[1, 2, 3], at(1.0), Some(at(14.0)));
+    let (mut sim, deployment) = build_overload(seed, plan, &[], &[], overload);
+
+    // Baseline: an update completes everywhere before the split.
+    inject_update(&mut sim, 0, 1, "pre-split.example.com", "203.0.113.90", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "baseline update stalled");
+
+    // Cut off, replica 0 notices the loss and degrades.
+    let degraded = sim.run_until(BUDGET, |ev| {
+        ev.node == 0
+            && matches!(&ev.output, ChaosEvent::Replica(ReplicaEvent::ReadOnly { active: true }))
+    });
+    assert!(degraded, "isolated replica never entered read-only mode");
+    assert!(replica_of(&sim, 0).is_read_only());
+    for i in 1..N {
+        assert!(!replica_of(&sim, i).is_read_only(), "majority replica {i} wrongly degraded");
+    }
+
+    // Read-only: queries are still answered (signed, locally) and
+    // updates are refused with REFUSED — the cue to use another gateway.
+    inject_query(&mut sim, 0, 50, "pre-split.example.com", SimDuration::ZERO);
+    let answered = sim.run_until(BUDGET, |ev| {
+        matches!(
+            &ev.output,
+            ChaosEvent::ClientGot { request_id: 50, rcode: Rcode::NoError }
+        )
+    });
+    assert!(answered, "read-only replica stopped answering queries");
+    inject_update(&mut sim, 0, 51, "rejected.example.com", "203.0.113.91", SimDuration::ZERO);
+    let refused = sim.run_until(BUDGET, |ev| {
+        matches!(
+            &ev.output,
+            ChaosEvent::ClientGot { request_id: 51, rcode: Rcode::Refused }
+        )
+    });
+    assert!(refused, "read-only replica did not refuse the update");
+
+    // The majority side keeps committing new work meanwhile.
+    inject_update(&mut sim, 1, 52, "majority.example.com", "203.0.113.92", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 52), &[1, 2, 3]), "majority partition stalled");
+
+    // Heal: replica 0 leaves read-only automatically and catches up on
+    // the update it missed (the reliable links retransmit it).
+    let mut writable = false;
+    let mut caught_up = false;
+    let healed = sim.run_until(BUDGET, |ev| {
+        if ev.node == 0 {
+            match &ev.output {
+                ChaosEvent::Replica(ReplicaEvent::ReadOnly { active: false }) => writable = true,
+                ChaosEvent::Replica(ReplicaEvent::Executed { key: (CLIENT, 52), .. }) => {
+                    caught_up = true;
+                }
+                _ => {}
+            }
+        }
+        writable && caught_up
+    });
+    assert!(healed, "isolated replica did not recover after the partition healed");
+    assert!(!replica_of(&sim, 0).is_read_only());
+
+    // The recovered replica accepts updates as a gateway again.
+    inject_update(&mut sim, 0, 53, "post-heal.example.com", "203.0.113.93", SimDuration::ZERO);
+    assert!(
+        await_executed(&mut sim, (CLIENT, 53), &[0, 1, 2, 3]),
+        "recovered replica cannot act as an update gateway"
+    );
+    assert!(await_client_ok(&mut sim, 53), "client never confirmed the post-heal update");
+
+    let outputs = sim.take_outputs();
+    assert_total_order(&delivery_traces(&outputs), &[0, 1, 2, 3]);
+    for i in 0..N {
+        for name in ["pre-split.example.com", "majority.example.com", "post-heal.example.com"] {
+            assert_signed_answer(&sim, &deployment, i, name);
+        }
+        let query =
+            Message::query(1, "rejected.example.com".parse().expect("valid"), RecordType::A);
+        let resp = answer_query(replica_of(&sim, i).zone(), &query);
+        assert_ne!(resp.rcode, Rcode::NoError, "refused update leaked into replica {i}'s zone");
+    }
+}
+
+/// Offered-load sweep behind `--ignored`: prints the saturation table
+/// quoted in EXPERIMENTS.md (admitted/shed/latency vs offered burst,
+/// n = 4, t = 1, per-gateway admission cap 8). Run with:
+/// `cargo test --release --test chaos saturation_sweep -- --ignored --nocapture`
+#[test]
+#[ignore = "load sweep for EXPERIMENTS.md; run explicitly with --ignored"]
+fn saturation_sweep() {
+    let seed = chaos_seed(0xCA05_01F0);
+    println!("| offered (burst) | admitted | shed | admitted latency mean (ms) | max (ms) |");
+    println!("|---:|---:|---:|---:|---:|");
+    for &offered in &[4u64, 8, 16, 32, 64, 128] {
+        let overload = OverloadConfig { max_pending_updates: 8, ..OverloadConfig::default() };
+        let (mut sim, _deployment) =
+            build_overload(seed ^ offered, FaultPlan::new(), &[], &[], overload);
+        for rid in 1..=offered {
+            inject_update(
+                &mut sim,
+                (rid as usize - 1) % N,
+                rid,
+                &format!("load-{rid}.example.com"),
+                "203.0.113.99",
+                SimDuration::ZERO,
+            );
+        }
+        sim.run_until_time(at(120.0), BUDGET);
+        let outputs = sim.take_outputs();
+        let mut shed: HashSet<u64> = HashSet::new();
+        let mut done: HashMap<u64, f64> = HashMap::new();
+        for ev in &outputs {
+            match &ev.output {
+                ChaosEvent::Replica(ReplicaEvent::UpdateShed { key, .. }) => {
+                    shed.insert(key.1);
+                }
+                ChaosEvent::ClientGot { request_id, rcode: Rcode::NoError } => {
+                    done.entry(*request_id)
+                        .or_insert_with(|| (ev.at - SimTime::ZERO).as_millis_f64());
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(done.len() + shed.len(), offered as usize, "updates unaccounted for");
+        let mean = done.values().sum::<f64>() / done.len().max(1) as f64;
+        let max = done.values().fold(0.0f64, |a, &b| a.max(b));
+        println!("| {offered} | {} | {} | {mean:.0} | {max:.0} |", done.len(), shed.len());
     }
 }

@@ -39,6 +39,9 @@ const UNTRUSTED_MODULES: &[&str] = &[
     "crates/replica/src/snapshot.rs",
     "crates/replica/src/durable.rs",
     "crates/replica/src/reliable.rs",
+    // Overload governance: fed by peer-controlled session ids and
+    // round numbers, so its bounds must hold without panicking.
+    "crates/replica/src/overload.rs",
     // Atomic-broadcast message handlers: peer (possibly Byzantine) input.
     "crates/abcast/src/abcast.rs",
     "crates/abcast/src/rbc.rs",
