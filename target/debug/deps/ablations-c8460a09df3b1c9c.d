@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablations-c8460a09df3b1c9c.d: /root/repo/clippy.toml crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-c8460a09df3b1c9c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e6a845f0a5574d51.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e6a845f0a5574d51: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

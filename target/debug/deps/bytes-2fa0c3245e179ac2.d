@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-2fa0c3245e179ac2.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-2fa0c3245e179ac2.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-2fa0c3245e179ac2.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-7b5e35f056f7ab66.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7b5e35f056f7ab66.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

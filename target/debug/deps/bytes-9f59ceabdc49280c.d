@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-9f59ceabdc49280c.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9f59ceabdc49280c.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9f59ceabdc49280c.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

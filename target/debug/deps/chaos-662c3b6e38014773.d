@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chaos-662c3b6e38014773.d: /root/repo/clippy.toml tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-662c3b6e38014773.rmeta: /root/repo/clippy.toml tests/chaos.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

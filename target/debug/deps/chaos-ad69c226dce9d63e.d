@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-ad69c226dce9d63e.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-ad69c226dce9d63e: tests/chaos.rs
+
+tests/chaos.rs:

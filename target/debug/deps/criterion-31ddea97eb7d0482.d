@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-31ddea97eb7d0482.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-31ddea97eb7d0482.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-31ddea97eb7d0482.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f8f94d5a4f4130a9.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f8f94d5a4f4130a9.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-409d2d4074f4f4fc.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-409d2d4074f4f4fc.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-409d2d4074f4f4fc.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-649321d9b4ebea20.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-649321d9b4ebea20.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-649321d9b4ebea20.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-77813b95a0f08620.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-77813b95a0f08620.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

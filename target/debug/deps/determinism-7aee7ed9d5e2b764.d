@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-7aee7ed9d5e2b764.d: crates/sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-7aee7ed9d5e2b764: crates/sim/tests/determinism.rs
+
+crates/sim/tests/determinism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dns_codec-2a7243365711b8b2.d: /root/repo/clippy.toml crates/bench/benches/dns_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_codec-2a7243365711b8b2.rmeta: /root/repo/clippy.toml crates/bench/benches/dns_codec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/dns_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-5205bf01989da127.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-5205bf01989da127: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

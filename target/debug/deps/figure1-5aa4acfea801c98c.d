@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure1-5aa4acfea801c98c.d: /root/repo/clippy.toml crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-5aa4acfea801c98c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figure1-c81fe7475d02db48.d: /root/repo/clippy.toml crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-c81fe7475d02db48.rmeta: /root/repo/clippy.toml crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frames-881b778dad7f7907.d: crates/replica/tests/frames.rs
+
+/root/repo/target/debug/deps/frames-881b778dad7f7907: crates/replica/tests/frames.rs
+
+crates/replica/tests/frames.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frames-d930077f19c12adb.d: /root/repo/clippy.toml crates/replica/tests/frames.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframes-d930077f19c12adb.rmeta: /root/repo/clippy.toml crates/replica/tests/frames.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/replica/tests/frames.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

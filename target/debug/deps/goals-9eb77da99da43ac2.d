@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goals-9eb77da99da43ac2.d: tests/goals.rs
+
+/root/repo/target/debug/deps/goals-9eb77da99da43ac2: tests/goals.rs
+
+tests/goals.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/goals-ba4b0b1602ce2592.d: /root/repo/clippy.toml tests/goals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoals-ba4b0b1602ce2592.rmeta: /root/repo/clippy.toml tests/goals.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/goals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/no_panic-1b6ac2cf5da5366b.d: /root/repo/clippy.toml tests/no_panic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_panic-1b6ac2cf5da5366b.rmeta: /root/repo/clippy.toml tests/no_panic.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/no_panic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_panic-a194a63db0697f77.d: tests/no_panic.rs
+
+/root/repo/target/debug/deps/no_panic-a194a63db0697f77: tests/no_panic.rs
+
+tests/no_panic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-11171072fb10985f.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-11171072fb10985f: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_shapes-5c912d34e8dd1bee.d: /root/repo/clippy.toml tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-5c912d34e8dd1bee.rmeta: /root/repo/clippy.toml tests/paper_shapes.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-4d5ec1e1bcde39eb.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4d5ec1e1bcde39eb.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4d5ec1e1bcde39eb.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

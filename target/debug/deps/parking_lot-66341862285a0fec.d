@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-66341862285a0fec.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-66341862285a0fec.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

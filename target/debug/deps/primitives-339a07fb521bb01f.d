@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/primitives-339a07fb521bb01f.d: /root/repo/clippy.toml crates/bench/benches/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprimitives-339a07fb521bb01f.rmeta: /root/repo/clippy.toml crates/bench/benches/primitives.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3bdab037635c35bb.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3bdab037635c35bb.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3bdab037635c35bb.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9ea6bb8a0e1bfcb2.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9ea6bb8a0e1bfcb2.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5936d948c6c27d10.d: crates/crypto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5936d948c6c27d10: crates/crypto/tests/proptests.rs
+
+crates/crypto/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-91ce950f04f0a3b4.d: crates/bigint/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-91ce950f04f0a3b4: crates/bigint/tests/proptests.rs
+
+crates/bigint/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae3e29bcff67ffe2.d: crates/dns/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae3e29bcff67ffe2: crates/dns/tests/proptests.rs
+
+crates/dns/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-530fd307f354c0c6.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-530fd307f354c0c6.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

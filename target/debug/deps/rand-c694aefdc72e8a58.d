@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c694aefdc72e8a58.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c694aefdc72e8a58.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c694aefdc72e8a58.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

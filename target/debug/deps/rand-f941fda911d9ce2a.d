@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f941fda911d9ce2a.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f941fda911d9ce2a.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f941fda911d9ce2a.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

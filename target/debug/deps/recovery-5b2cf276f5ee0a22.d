@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/recovery-5b2cf276f5ee0a22.d: /root/repo/clippy.toml crates/replica/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-5b2cf276f5ee0a22.rmeta: /root/repo/clippy.toml crates/replica/tests/recovery.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/replica/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-6178e637912a4074.d: crates/replica/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-6178e637912a4074: crates/replica/tests/recovery.rs
+
+crates/replica/tests/recovery.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdig-111b29cd57776519.d: /root/repo/clippy.toml src/bin/sdig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdig-111b29cd57776519.rmeta: /root/repo/clippy.toml src/bin/sdig.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdig-4e0a9e2e19ffbaea.d: /root/repo/clippy.toml src/bin/sdig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdig-4e0a9e2e19ffbaea.rmeta: /root/repo/clippy.toml src/bin/sdig.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

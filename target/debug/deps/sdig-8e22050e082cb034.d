@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdig-8e22050e082cb034.d: src/bin/sdig.rs
+
+/root/repo/target/debug/deps/sdig-8e22050e082cb034: src/bin/sdig.rs
+
+src/bin/sdig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdig-ebbdf6dd5808aab7.d: src/bin/sdig.rs
+
+/root/repo/target/debug/deps/sdig-ebbdf6dd5808aab7: src/bin/sdig.rs
+
+src/bin/sdig.rs:

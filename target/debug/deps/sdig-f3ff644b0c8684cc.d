@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdig-f3ff644b0c8684cc.d: src/bin/sdig.rs
+
+/root/repo/target/debug/deps/sdig-f3ff644b0c8684cc: src/bin/sdig.rs
+
+src/bin/sdig.rs:

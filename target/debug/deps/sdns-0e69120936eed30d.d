@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdns-0e69120936eed30d.d: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns-0e69120936eed30d.rmeta: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdns-4398260fa6603d09.d: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns-4398260fa6603d09.rmeta: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

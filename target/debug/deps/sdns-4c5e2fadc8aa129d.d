@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns-4c5e2fadc8aa129d.d: src/lib.rs
+
+/root/repo/target/debug/deps/sdns-4c5e2fadc8aa129d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdns-955ec1e08d360e79.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsdns-955ec1e08d360e79.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsdns-955ec1e08d360e79.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdns-bedf334f61fd8edb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsdns-bedf334f61fd8edb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsdns-bedf334f61fd8edb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sdns_abcast-08ed2489a4d46cd0.d: /root/repo/clippy.toml crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_abcast-08ed2489a4d46cd0.rmeta: /root/repo/clippy.toml crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/abcast/src/lib.rs:
+crates/abcast/src/abba.rs:
+crates/abcast/src/abcast.rs:
+crates/abcast/src/acs.rs:
+crates/abcast/src/coin.rs:
+crates/abcast/src/rbc.rs:
+crates/abcast/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

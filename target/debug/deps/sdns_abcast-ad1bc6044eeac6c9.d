@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdns_abcast-ad1bc6044eeac6c9.d: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/debug/deps/libsdns_abcast-ad1bc6044eeac6c9.rlib: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/debug/deps/libsdns_abcast-ad1bc6044eeac6c9.rmeta: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/abba.rs:
+crates/abcast/src/abcast.rs:
+crates/abcast/src/acs.rs:
+crates/abcast/src/coin.rs:
+crates/abcast/src/rbc.rs:
+crates/abcast/src/types.rs:

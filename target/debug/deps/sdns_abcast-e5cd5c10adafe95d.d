@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdns_abcast-e5cd5c10adafe95d.d: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/debug/deps/libsdns_abcast-e5cd5c10adafe95d.rlib: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/debug/deps/libsdns_abcast-e5cd5c10adafe95d.rmeta: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/abba.rs:
+crates/abcast/src/abcast.rs:
+crates/abcast/src/acs.rs:
+crates/abcast/src/coin.rs:
+crates/abcast/src/rbc.rs:
+crates/abcast/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdns_bench-4284848813558cb6.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/sdns_bench-4284848813558cb6: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figure1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:

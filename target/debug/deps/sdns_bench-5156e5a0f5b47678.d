@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdns_bench-5156e5a0f5b47678.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_bench-5156e5a0f5b47678.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figure1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

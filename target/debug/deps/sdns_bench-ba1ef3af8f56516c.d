@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdns_bench-ba1ef3af8f56516c.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libsdns_bench-ba1ef3af8f56516c.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libsdns_bench-ba1ef3af8f56516c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figure1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdns_bench-e5477ca10645e9e0.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_bench-e5477ca10645e9e0.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figure1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figure1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sdns_bigint-3442f1c9686a4dd9.d: /root/repo/clippy.toml crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_bigint-3442f1c9686a4dd9.rmeta: /root/repo/clippy.toml crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bigint/src/lib.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/fmt.rs:
+crates/bigint/src/modctx.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/rand_ext.rs:
+crates/bigint/src/signed.rs:
+crates/bigint/src/ubig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sdns_bigint-8d8e3eb9751989cf.d: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+/root/repo/target/debug/deps/libsdns_bigint-8d8e3eb9751989cf.rlib: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+/root/repo/target/debug/deps/libsdns_bigint-8d8e3eb9751989cf.rmeta: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/fmt.rs:
+crates/bigint/src/modctx.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/rand_ext.rs:
+crates/bigint/src/signed.rs:
+crates/bigint/src/ubig.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdns_client-126eb9a8280315ce.d: /root/repo/clippy.toml crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_client-126eb9a8280315ce.rmeta: /root/repo/clippy.toml crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

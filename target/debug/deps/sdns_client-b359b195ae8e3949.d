@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdns_client-b359b195ae8e3949.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/debug/deps/libsdns_client-b359b195ae8e3949.rlib: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/debug/deps/libsdns_client-b359b195ae8e3949.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:

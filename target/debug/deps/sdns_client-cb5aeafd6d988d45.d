@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdns_client-cb5aeafd6d988d45.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/debug/deps/libsdns_client-cb5aeafd6d988d45.rlib: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/debug/deps/libsdns_client-cb5aeafd6d988d45.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:

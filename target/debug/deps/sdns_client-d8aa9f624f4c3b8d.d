@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdns_client-d8aa9f624f4c3b8d.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/debug/deps/sdns_client-d8aa9f624f4c3b8d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:

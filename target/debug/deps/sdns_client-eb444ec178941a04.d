@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdns_client-eb444ec178941a04.d: /root/repo/clippy.toml crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_client-eb444ec178941a04.rmeta: /root/repo/clippy.toml crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/sdns_crypto-310a22ecc3b6883e.d: /root/repo/clippy.toml crates/crypto/src/lib.rs crates/crypto/src/hmac.rs crates/crypto/src/ops.rs crates/crypto/src/pkcs1.rs crates/crypto/src/protocol.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold/mod.rs crates/crypto/src/threshold/assemble.rs crates/crypto/src/threshold/dealer.rs crates/crypto/src/threshold/refresh.rs crates/crypto/src/threshold/share.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_crypto-310a22ecc3b6883e.rmeta: /root/repo/clippy.toml crates/crypto/src/lib.rs crates/crypto/src/hmac.rs crates/crypto/src/ops.rs crates/crypto/src/pkcs1.rs crates/crypto/src/protocol.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold/mod.rs crates/crypto/src/threshold/assemble.rs crates/crypto/src/threshold/dealer.rs crates/crypto/src/threshold/refresh.rs crates/crypto/src/threshold/share.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/crypto/src/lib.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/ops.rs:
+crates/crypto/src/pkcs1.rs:
+crates/crypto/src/protocol.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/threshold/mod.rs:
+crates/crypto/src/threshold/assemble.rs:
+crates/crypto/src/threshold/dealer.rs:
+crates/crypto/src/threshold/refresh.rs:
+crates/crypto/src/threshold/share.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sdns_dns-82a04c4d2dcf6f0a.d: /root/repo/clippy.toml crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_dns-82a04c4d2dcf6f0a.rmeta: /root/repo/clippy.toml crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/dns/src/lib.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/sign.rs:
+crates/dns/src/tsig.rs:
+crates/dns/src/update.rs:
+crates/dns/src/wire.rs:
+crates/dns/src/zone.rs:
+crates/dns/src/zonefile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdns_keygen-45f8f909586de30f.d: /root/repo/clippy.toml src/bin/sdns-keygen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_keygen-45f8f909586de30f.rmeta: /root/repo/clippy.toml src/bin/sdns-keygen.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdns-keygen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

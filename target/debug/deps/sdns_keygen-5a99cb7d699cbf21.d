@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns_keygen-5a99cb7d699cbf21.d: src/bin/sdns-keygen.rs
+
+/root/repo/target/debug/deps/sdns_keygen-5a99cb7d699cbf21: src/bin/sdns-keygen.rs
+
+src/bin/sdns-keygen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns_keygen-5bae664c004b9220.d: src/bin/sdns-keygen.rs
+
+/root/repo/target/debug/deps/sdns_keygen-5bae664c004b9220: src/bin/sdns-keygen.rs
+
+src/bin/sdns-keygen.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdns_keygen-96bb68ddbdaa9156.d: /root/repo/clippy.toml src/bin/sdns-keygen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_keygen-96bb68ddbdaa9156.rmeta: /root/repo/clippy.toml src/bin/sdns-keygen.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdns-keygen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

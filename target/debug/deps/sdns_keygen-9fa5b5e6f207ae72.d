@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns_keygen-9fa5b5e6f207ae72.d: src/bin/sdns-keygen.rs
+
+/root/repo/target/debug/deps/sdns_keygen-9fa5b5e6f207ae72: src/bin/sdns-keygen.rs
+
+src/bin/sdns-keygen.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/sdns_replica-36852b144ef7e74e.d: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+
+/root/repo/target/debug/deps/libsdns_replica-36852b144ef7e74e.rlib: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+
+/root/repo/target/debug/deps/libsdns_replica-36852b144ef7e74e.rmeta: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/config.rs:
+crates/replica/src/durable.rs:
+crates/replica/src/envelope.rs:
+crates/replica/src/genesis.rs:
+crates/replica/src/keyfile.rs:
+crates/replica/src/messages.rs:
+crates/replica/src/overload.rs:
+crates/replica/src/reliable.rs:
+crates/replica/src/snapshot.rs:
+crates/replica/src/replica.rs:
+crates/replica/src/tcp/mod.rs:
+crates/replica/src/tcp/codec.rs:
+crates/replica/src/tcp/runtime.rs:
+crates/replica/src/wal.rs:

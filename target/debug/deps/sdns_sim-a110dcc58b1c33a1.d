@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdns_sim-a110dcc58b1c33a1.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libsdns_sim-a110dcc58b1c33a1.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libsdns_sim-a110dcc58b1c33a1.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/network.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/time.rs:

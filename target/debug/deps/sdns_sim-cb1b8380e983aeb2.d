@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdns_sim-cb1b8380e983aeb2.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/sdns_sim-cb1b8380e983aeb2: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/network.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdnsd-0c30e34e63a3be6b.d: /root/repo/clippy.toml src/bin/sdnsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdnsd-0c30e34e63a3be6b.rmeta: /root/repo/clippy.toml src/bin/sdnsd.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdnsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdnsd-7ebdd9971c786465.d: /root/repo/clippy.toml src/bin/sdnsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdnsd-7ebdd9971c786465.rmeta: /root/repo/clippy.toml src/bin/sdnsd.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdnsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

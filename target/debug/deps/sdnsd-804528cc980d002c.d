@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdnsd-804528cc980d002c.d: src/bin/sdnsd.rs
+
+/root/repo/target/debug/deps/sdnsd-804528cc980d002c: src/bin/sdnsd.rs
+
+src/bin/sdnsd.rs:

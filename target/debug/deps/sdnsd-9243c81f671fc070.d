@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdnsd-9243c81f671fc070.d: src/bin/sdnsd.rs
+
+/root/repo/target/debug/deps/sdnsd-9243c81f671fc070: src/bin/sdnsd.rs
+
+src/bin/sdnsd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdnsd-dcc4cc3e3d831d51.d: src/bin/sdnsd.rs
+
+/root/repo/target/debug/deps/sdnsd-dcc4cc3e3d831d51: src/bin/sdnsd.rs
+
+src/bin/sdnsd.rs:

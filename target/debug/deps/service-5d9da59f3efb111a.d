@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/service-5d9da59f3efb111a.d: /root/repo/clippy.toml crates/replica/tests/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-5d9da59f3efb111a.rmeta: /root/repo/clippy.toml crates/replica/tests/service.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/replica/tests/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-85bc72c7e5805872.d: crates/replica/tests/service.rs
+
+/root/repo/target/debug/deps/service-85bc72c7e5805872: crates/replica/tests/service.rs
+
+crates/replica/tests/service.rs:

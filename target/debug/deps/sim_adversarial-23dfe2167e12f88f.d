@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_adversarial-23dfe2167e12f88f.d: crates/abcast/tests/sim_adversarial.rs
+
+/root/repo/target/debug/deps/sim_adversarial-23dfe2167e12f88f: crates/abcast/tests/sim_adversarial.rs
+
+crates/abcast/tests/sim_adversarial.rs:

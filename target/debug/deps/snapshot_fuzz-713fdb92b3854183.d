@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_fuzz-713fdb92b3854183.d: crates/replica/tests/snapshot_fuzz.rs
+
+/root/repo/target/debug/deps/snapshot_fuzz-713fdb92b3854183: crates/replica/tests/snapshot_fuzz.rs
+
+crates/replica/tests/snapshot_fuzz.rs:

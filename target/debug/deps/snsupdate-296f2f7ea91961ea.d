@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snsupdate-296f2f7ea91961ea.d: /root/repo/clippy.toml src/bin/snsupdate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnsupdate-296f2f7ea91961ea.rmeta: /root/repo/clippy.toml src/bin/snsupdate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/snsupdate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snsupdate-568a5d650af9bec2.d: src/bin/snsupdate.rs
+
+/root/repo/target/debug/deps/snsupdate-568a5d650af9bec2: src/bin/snsupdate.rs
+
+src/bin/snsupdate.rs:

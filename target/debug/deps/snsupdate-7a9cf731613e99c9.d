@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snsupdate-7a9cf731613e99c9.d: src/bin/snsupdate.rs
+
+/root/repo/target/debug/deps/snsupdate-7a9cf731613e99c9: src/bin/snsupdate.rs
+
+src/bin/snsupdate.rs:

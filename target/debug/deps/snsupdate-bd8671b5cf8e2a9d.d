@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snsupdate-bd8671b5cf8e2a9d.d: src/bin/snsupdate.rs
+
+/root/repo/target/debug/deps/snsupdate-bd8671b5cf8e2a9d: src/bin/snsupdate.rs
+
+src/bin/snsupdate.rs:

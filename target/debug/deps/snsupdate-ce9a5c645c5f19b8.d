@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snsupdate-ce9a5c645c5f19b8.d: /root/repo/clippy.toml src/bin/snsupdate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnsupdate-ce9a5c645c5f19b8.rmeta: /root/repo/clippy.toml src/bin/snsupdate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/snsupdate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

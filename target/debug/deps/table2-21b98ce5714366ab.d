@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table2-21b98ce5714366ab.d: /root/repo/clippy.toml crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-21b98ce5714366ab.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

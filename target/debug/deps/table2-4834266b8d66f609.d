@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4834266b8d66f609.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4834266b8d66f609: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

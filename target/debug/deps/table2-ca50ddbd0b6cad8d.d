@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table2-ca50ddbd0b6cad8d.d: /root/repo/clippy.toml crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-ca50ddbd0b6cad8d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

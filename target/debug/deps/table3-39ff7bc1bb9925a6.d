@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-39ff7bc1bb9925a6.d: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-39ff7bc1bb9925a6.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

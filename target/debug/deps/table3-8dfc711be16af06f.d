@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8dfc711be16af06f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8dfc711be16af06f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

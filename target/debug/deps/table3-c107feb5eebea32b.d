@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-c107feb5eebea32b.d: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-c107feb5eebea32b.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_service-160fe2f2d6ab8820.d: crates/replica/tests/tcp_service.rs
+
+/root/repo/target/debug/deps/tcp_service-160fe2f2d6ab8820: crates/replica/tests/tcp_service.rs
+
+crates/replica/tests/tcp_service.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/threshold-2725b562a89a32ee.d: /root/repo/clippy.toml crates/bench/benches/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreshold-2725b562a89a32ee.rmeta: /root/repo/clippy.toml crates/bench/benches/threshold.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/threshold_json-a3804f8face020d9.d: /root/repo/clippy.toml crates/bench/src/bin/threshold_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreshold_json-a3804f8face020d9.rmeta: /root/repo/clippy.toml crates/bench/src/bin/threshold_json.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/threshold_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threshold_json-a5d9b42f90368e67.d: crates/bench/src/bin/threshold_json.rs
+
+/root/repo/target/debug/deps/threshold_json-a5d9b42f90368e67: crates/bench/src/bin/threshold_json.rs
+
+crates/bench/src/bin/threshold_json.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/threshold_json-dc48c83745115adb.d: /root/repo/clippy.toml crates/bench/src/bin/threshold_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreshold_json-dc48c83745115adb.rmeta: /root/repo/clippy.toml crates/bench/src/bin/threshold_json.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/threshold_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-0605618ebc580604.d: xtask/src/main.rs xtask/src/lexer.rs xtask/src/rules.rs xtask/src/secret.rs
+
+/root/repo/target/debug/deps/xtask-0605618ebc580604: xtask/src/main.rs xtask/src/lexer.rs xtask/src/rules.rs xtask/src/secret.rs
+
+xtask/src/main.rs:
+xtask/src/lexer.rs:
+xtask/src/rules.rs:
+xtask/src/secret.rs:

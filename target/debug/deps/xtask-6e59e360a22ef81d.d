@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-6e59e360a22ef81d.d: xtask/src/main.rs xtask/src/lexer.rs xtask/src/rules.rs xtask/src/secret.rs
+
+/root/repo/target/debug/deps/xtask-6e59e360a22ef81d: xtask/src/main.rs xtask/src/lexer.rs xtask/src/rules.rs xtask/src/secret.rs
+
+xtask/src/main.rs:
+xtask/src/lexer.rs:
+xtask/src/rules.rs:
+xtask/src/secret.rs:

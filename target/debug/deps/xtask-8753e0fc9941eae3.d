@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-8753e0fc9941eae3.d: /root/repo/clippy.toml xtask/src/main.rs xtask/src/lexer.rs xtask/src/rules.rs xtask/src/secret.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-8753e0fc9941eae3.rmeta: /root/repo/clippy.toml xtask/src/main.rs xtask/src/lexer.rs xtask/src/rules.rs xtask/src/secret.rs Cargo.toml
+
+/root/repo/clippy.toml:
+xtask/src/main.rs:
+xtask/src/lexer.rs:
+xtask/src/rules.rs:
+xtask/src/secret.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/corrupted_replicas-4f593c460d673b4f.d: /root/repo/clippy.toml examples/corrupted_replicas.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcorrupted_replicas-4f593c460d673b4f.rmeta: /root/repo/clippy.toml examples/corrupted_replicas.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/corrupted_replicas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

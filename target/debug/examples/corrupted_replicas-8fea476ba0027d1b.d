@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corrupted_replicas-8fea476ba0027d1b.d: examples/corrupted_replicas.rs
+
+/root/repo/target/debug/examples/corrupted_replicas-8fea476ba0027d1b: examples/corrupted_replicas.rs
+
+examples/corrupted_replicas.rs:

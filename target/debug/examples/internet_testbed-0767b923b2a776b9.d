@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/internet_testbed-0767b923b2a776b9.d: examples/internet_testbed.rs
+
+/root/repo/target/debug/examples/internet_testbed-0767b923b2a776b9: examples/internet_testbed.rs
+
+examples/internet_testbed.rs:

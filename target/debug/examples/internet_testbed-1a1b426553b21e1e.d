@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/internet_testbed-1a1b426553b21e1e.d: /root/repo/clippy.toml examples/internet_testbed.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinternet_testbed-1a1b426553b21e1e.rmeta: /root/repo/clippy.toml examples/internet_testbed.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/internet_testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

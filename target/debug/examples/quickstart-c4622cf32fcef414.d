@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c4622cf32fcef414.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c4622cf32fcef414: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-edd5670f9eaebe16.d: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-edd5670f9eaebe16.rmeta: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/tcp_testbed-a9cf1e0a39f52661.d: /root/repo/clippy.toml examples/tcp_testbed.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_testbed-a9cf1e0a39f52661.rmeta: /root/repo/clippy.toml examples/tcp_testbed.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/tcp_testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_testbed-b4ece3b3ddd72d6f.d: examples/tcp_testbed.rs
+
+/root/repo/target/debug/examples/tcp_testbed-b4ece3b3ddd72d6f: examples/tcp_testbed.rs
+
+examples/tcp_testbed.rs:

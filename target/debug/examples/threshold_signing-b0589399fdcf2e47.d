@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/threshold_signing-b0589399fdcf2e47.d: /root/repo/clippy.toml examples/threshold_signing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreshold_signing-b0589399fdcf2e47.rmeta: /root/repo/clippy.toml examples/threshold_signing.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/threshold_signing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_signing-bc2774d1ad0b2f35.d: examples/threshold_signing.rs
+
+/root/repo/target/debug/examples/threshold_signing-bc2774d1ad0b2f35: examples/threshold_signing.rs
+
+examples/threshold_signing.rs:

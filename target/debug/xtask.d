@@ -1,0 +1,1 @@
+/root/repo/target/debug/xtask: /root/repo/xtask/src/lexer.rs /root/repo/xtask/src/main.rs /root/repo/xtask/src/rules.rs /root/repo/xtask/src/secret.rs

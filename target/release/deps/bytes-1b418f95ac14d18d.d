@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-1b418f95ac14d18d.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-1b418f95ac14d18d.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-1b418f95ac14d18d.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

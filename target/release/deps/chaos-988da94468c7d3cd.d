@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-988da94468c7d3cd.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-988da94468c7d3cd: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-f1dcc44f48e51a3f.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-f1dcc44f48e51a3f.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-f1dcc44f48e51a3f.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

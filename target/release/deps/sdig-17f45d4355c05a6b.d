@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdig-17f45d4355c05a6b.d: src/bin/sdig.rs
+
+/root/repo/target/release/deps/sdig-17f45d4355c05a6b: src/bin/sdig.rs
+
+src/bin/sdig.rs:

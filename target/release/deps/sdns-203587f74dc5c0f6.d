@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdns-203587f74dc5c0f6.d: src/lib.rs
+
+/root/repo/target/release/deps/libsdns-203587f74dc5c0f6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsdns-203587f74dc5c0f6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sdns_abcast-7c809fe15d955358.d: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/release/deps/libsdns_abcast-7c809fe15d955358.rlib: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/release/deps/libsdns_abcast-7c809fe15d955358.rmeta: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/abba.rs:
+crates/abcast/src/abcast.rs:
+crates/abcast/src/acs.rs:
+crates/abcast/src/coin.rs:
+crates/abcast/src/rbc.rs:
+crates/abcast/src/types.rs:

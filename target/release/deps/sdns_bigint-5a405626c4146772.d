@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sdns_bigint-5a405626c4146772.d: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+/root/repo/target/release/deps/libsdns_bigint-5a405626c4146772.rlib: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+/root/repo/target/release/deps/libsdns_bigint-5a405626c4146772.rmeta: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/fmt.rs:
+crates/bigint/src/modctx.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/rand_ext.rs:
+crates/bigint/src/signed.rs:
+crates/bigint/src/ubig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sdns_client-7d08d610e9359e15.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/release/deps/libsdns_client-7d08d610e9359e15.rlib: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/release/deps/libsdns_client-7d08d610e9359e15.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdns_keygen-ff8b8f7ea8ab61c3.d: src/bin/sdns-keygen.rs
+
+/root/repo/target/release/deps/sdns_keygen-ff8b8f7ea8ab61c3: src/bin/sdns-keygen.rs
+
+src/bin/sdns-keygen.rs:

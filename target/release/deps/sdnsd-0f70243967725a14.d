@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdnsd-0f70243967725a14.d: src/bin/sdnsd.rs
+
+/root/repo/target/release/deps/sdnsd-0f70243967725a14: src/bin/sdnsd.rs
+
+src/bin/sdnsd.rs:

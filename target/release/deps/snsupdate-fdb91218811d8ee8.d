@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snsupdate-fdb91218811d8ee8.d: src/bin/snsupdate.rs
+
+/root/repo/target/release/deps/snsupdate-fdb91218811d8ee8: src/bin/snsupdate.rs
+
+src/bin/snsupdate.rs:
