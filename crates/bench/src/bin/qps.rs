@@ -1,0 +1,200 @@
+//! Emits `BENCH_query.json`: read-plane query throughput at saturation
+//! versus the state machine's `answer_query` path, over a Zipf-skewed
+//! name popularity distribution (hot names dominate, as in real
+//! resolver traffic).
+//!
+//! Both paths are measured end to end from raw query bytes to raw
+//! response bytes: the fast path is [`ReadPlane::serve`] (shard
+//! templates + answer cache), the slow path parses the message, walks
+//! the zone, builds a [`Message`], and serializes it — what every query
+//! cost before the read plane existed.
+//!
+//! Usage: `cargo run --release -p sdns-bench --bin qps [out.json]`
+
+// Benchmark harness binary: aborting on a broken local setup is the
+// desired failure mode, so the unwrap/expect lints are relaxed.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use rand::SeedableRng;
+use sdns_abcast::Group;
+use sdns_dns::{Message, Name, RData, Record, RecordType};
+use sdns_replica::readplane::{ReadOutcome, ReadPlane, ReadZone, TtlPolicy};
+use sdns_replica::{answer_query, deploy, example_zone, CostModel, ZoneSecurity};
+use std::hint::black_box;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Names generated into the zone on top of the example apex records.
+const ZONE_NAMES: usize = 512;
+/// Queries timed on the fast path.
+const FAST_QUERIES: usize = 200_000;
+/// Queries timed on the slow path (scaled down: it is the slow path).
+const SLOW_QUERIES: usize = 20_000;
+/// Zipf skew exponent (1.0 = classic web/DNS popularity).
+const ZIPF_S: f64 = 1.0;
+/// Fraction of queries aimed at missing names (NXDOMAIN traffic).
+const MISS_RATE: f64 = 0.10;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A Zipf(s) sampler over `n` ranks via CDF + binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, state: &mut u64) -> usize {
+        let u = uniform01(state);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Builds the signed benchmark zone and the query workload (serialized
+/// query bytes, Zipf-distributed names, ~10 % NXDOMAIN misses).
+fn build_workload() -> (sdns_dns::zone::Zone, Vec<Vec<u8>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F5);
+    let mut zone = example_zone();
+    let mut names: Vec<Name> = Vec::with_capacity(ZONE_NAMES);
+    for i in 0..ZONE_NAMES {
+        let name: Name = format!("host-{i:04}.example.com").parse().unwrap();
+        let b = (i % 250) as u8;
+        let _ = match i % 3 {
+            0 => zone.insert(Record::new(name.clone(), 3600, RData::A([10, 1, b, 1].into()))),
+            1 => zone.insert(Record::new(
+                name.clone(),
+                300,
+                RData::Txt(vec![format!("host {i}").into_bytes()]),
+            )),
+            _ => zone.insert(Record::new(name.clone(), 60, RData::Aaaa([b; 16].into()))),
+        };
+        names.push(name);
+    }
+    eprintln!("signing {} names (local {}-bit key)...", ZONE_NAMES, 512);
+    let d = deploy(
+        Group::new(1, 0),
+        ZoneSecurity::SignedLocal,
+        CostModel::free(),
+        zone,
+        512,
+        false,
+        None,
+        &mut rng,
+    );
+    let zone = d.setup.zone;
+
+    let zipf = Zipf::new(names.len(), ZIPF_S);
+    let mut state = 0xC0FFEEu64;
+    let total = FAST_QUERIES.max(SLOW_QUERIES);
+    let mut queries = Vec::with_capacity(total);
+    for i in 0..total {
+        let (name, qtype) = if uniform01(&mut state) < MISS_RATE {
+            (format!("absent-{:04}.example.com", splitmix64(&mut state) % 2_000), RecordType::A)
+        } else {
+            let rank = zipf.sample(&mut state);
+            let qtype = match rank % 3 {
+                0 => RecordType::A,
+                1 => RecordType::Txt,
+                _ => RecordType::Aaaa,
+            };
+            (names[rank].to_string(), qtype)
+        };
+        let msg = Message::query((i % 65_536) as u16, name.parse().unwrap(), qtype);
+        queries.push(msg.to_bytes());
+    }
+    (zone, queries)
+}
+
+struct Measured {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Times `f` over `queries`: throughput from one untimed tight loop
+/// (no per-query clock reads inflating the hot path), then latency
+/// quantiles from a second pass that times every 16th query.
+fn measure(queries: &[Vec<u8>], mut f: impl FnMut(&[u8]) -> Vec<u8>) -> Measured {
+    let start = Instant::now();
+    for q in queries {
+        black_box(f(q));
+    }
+    let total = start.elapsed().as_secs_f64();
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(queries.len() / 16 + 1);
+    for q in queries.iter().step_by(16) {
+        let t = Instant::now();
+        black_box(f(q));
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    lat_ns.sort_unstable();
+    let q = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    Measured { qps: queries.len() as f64 / total, p50_us: q(0.50), p99_us: q(0.99) }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query.json".to_string());
+    let (zone, queries) = build_workload();
+
+    // Fast path: the read plane exactly as the socket front end runs it.
+    let plane = ReadPlane::new(Arc::new(ReadZone::build(&zone, 1)), 4096, TtlPolicy::default());
+    // Warm the view (first serve of each template is a cache insert).
+    for q in queries.iter().take(1000) {
+        let _ = plane.serve(q);
+    }
+    let fast = measure(&queries[..FAST_QUERIES], |q| match plane.serve(q) {
+        ReadOutcome::Answer(bytes) => bytes,
+        ReadOutcome::Forward => panic!("benchmark queries are all servable"),
+    });
+    let hits = plane.stats.cache_hits.load(Ordering::Relaxed) as f64;
+    let misses = plane.stats.cache_misses.load(Ordering::Relaxed) as f64;
+    let hit_rate = hits / (hits + misses);
+
+    // Slow path: what each query cost through the state machine.
+    let slow = measure(&queries[..SLOW_QUERIES], |q| {
+        let msg = Message::from_bytes(q).unwrap();
+        answer_query(&zone, &msg).to_bytes()
+    });
+
+    let speedup = fast.qps / slow.qps;
+    println!("fast path:  {:>12.0} qps  p50 {:>7.2} us  p99 {:>7.2} us", fast.qps, fast.p50_us, fast.p99_us);
+    println!("slow path:  {:>12.0} qps  p50 {:>7.2} us  p99 {:>7.2} us", slow.qps, slow.p50_us, slow.p99_us);
+    println!("cache hit rate: {:.3}", hit_rate);
+    println!("speedup: {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"zone_names\": {ZONE_NAMES},\n  \"zipf_s\": {ZIPF_S},\n  \"miss_rate\": {MISS_RATE},\n  \"fast_queries\": {FAST_QUERIES},\n  \"slow_queries\": {SLOW_QUERIES},\n  \"cores\": {},\n  \"fast\": {{\"qps\": {:.0}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"cache_hit_rate\": {:.4}}},\n  \"slow\": {{\"qps\": {:.0}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}},\n  \"speedup\": {:.1}\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        fast.qps,
+        fast.p50_us,
+        fast.p99_us,
+        hit_rate,
+        slow.qps,
+        slow.p50_us,
+        slow.p99_us,
+        speedup,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_query.json");
+    eprintln!("wrote {out_path}");
+}

@@ -132,6 +132,10 @@ struct Inflight {
     elapsed: f64,
     asked: Vec<NodeId>,
     accept_any: bool,
+    /// REFUSED responses seen so far: a degraded read-only replica
+    /// refuses updates, so the client fails over immediately — but once
+    /// every server has refused, the refusal *is* the answer.
+    refusals: u32,
 }
 
 impl GatewayClient {
@@ -210,6 +214,7 @@ impl GatewayClient {
                 elapsed: 0.0,
                 asked: vec![server],
                 accept_any,
+                refusals: 0,
             },
         );
         let actions = vec![
@@ -220,6 +225,12 @@ impl GatewayClient {
     }
 
     /// Handles an incoming message (responses from servers).
+    ///
+    /// A REFUSED response — what a degraded read-only replica sends for
+    /// updates it cannot order — triggers *immediate* failover to the
+    /// next server instead of waiting out the timeout, unless every
+    /// server has already refused (then the refusal is accepted as the
+    /// genuine answer).
     pub fn on_message(&mut self, from: NodeId, msg: ReplicaMsg) -> Vec<ClientAction> {
         let ReplicaMsg::ClientResponse { request_id, bytes } = msg else {
             return Vec::new();
@@ -236,9 +247,43 @@ impl GatewayClient {
         if !acceptable(&response, self.zone_key.as_ref()) {
             return Vec::new();
         }
+        if response.rcode == Rcode::Refused {
+            let refusals = inflight.refusals + 1;
+            if (refusals as usize) < self.servers.len() {
+                return self.refused_failover(request_id, refusals);
+            }
+            // Unanimous refusal: the service really means no.
+        }
         let attempts = inflight.attempts;
         self.inflight.remove(&request_id);
         vec![ClientAction::Accepted { request_id, response, attempts }]
+    }
+
+    /// Immediate round-robin failover after a REFUSED response: resend
+    /// to the next server now and re-arm the timer, leaving the old one
+    /// to expire as stale.
+    fn refused_failover(&mut self, request_id: u64, refusals: u32) -> Vec<ClientAction> {
+        let new_timer = self.next_timer;
+        self.next_timer += 1;
+        let Some(inflight) = self.inflight.get_mut(&request_id) else {
+            return Vec::new(); // unreachable: caller holds the entry
+        };
+        inflight.refusals = refusals;
+        inflight.server_idx = (inflight.server_idx + 1) % self.servers.len();
+        inflight.attempts += 1;
+        inflight.timer = new_timer;
+        let server = self.servers[inflight.server_idx];
+        if !inflight.asked.contains(&server) {
+            inflight.asked.push(server);
+        }
+        let remaining = (self.deadline_seconds - inflight.elapsed).max(0.0);
+        let seconds = self.timeout_seconds.min(remaining);
+        inflight.timer_seconds = seconds;
+        let bytes = inflight.bytes.clone();
+        vec![
+            ClientAction::Send { to: server, msg: ReplicaMsg::ClientRequest { request_id, bytes } },
+            ClientAction::SetTimer { id: new_timer, seconds },
+        ]
     }
 
     /// Handles a timer expiry: resend to the next server round-robin
@@ -597,6 +642,64 @@ mod tests {
             .on_message(9, ReplicaMsg::ClientResponse { request_id: rid, bytes: good.clone() })
             .is_empty());
         assert!(c.is_pending(rid));
+    }
+
+    #[test]
+    fn gateway_fails_over_immediately_on_refused() {
+        let mut c = GatewayClient::new(vec![0, 1, 2], 5.0, None);
+        let (rid, actions) = c.request(&query());
+        let ClientAction::SetTimer { id: old_timer, .. } = actions[1] else { panic!() };
+        // Server 0 refuses (degraded read-only replica): the client
+        // retries the next server at once, without waiting 5 s.
+        let out = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::Refused) },
+        );
+        assert!(matches!(&out[0], ClientAction::Send { to: 1, .. }), "{out:?}");
+        assert!(matches!(&out[1], ClientAction::SetTimer { .. }));
+        assert!(c.is_pending(rid));
+        // The superseded timer is stale now.
+        assert!(c.on_timer(old_timer).is_empty());
+        // A healthy server's answer is accepted, counting both sends.
+        let out = c.on_message(
+            1,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::NoError) },
+        );
+        assert!(matches!(&out[0], ClientAction::Accepted { attempts: 2, .. }));
+    }
+
+    #[test]
+    fn gateway_accepts_unanimous_refusal() {
+        let mut c = GatewayClient::new(vec![0, 1], 5.0, None);
+        let (rid, _) = c.request(&query());
+        let refused = response_bytes(&query(), Rcode::Refused);
+        let out = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: refused.clone() },
+        );
+        assert!(matches!(&out[0], ClientAction::Send { to: 1, .. }));
+        // The second (last) server also refuses: that is the answer.
+        let out =
+            c.on_message(1, ReplicaMsg::ClientResponse { request_id: rid, bytes: refused });
+        match &out[0] {
+            ClientAction::Accepted { response, attempts, .. } => {
+                assert_eq!(response.rcode, Rcode::Refused);
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert!(!c.is_pending(rid));
+    }
+
+    #[test]
+    fn single_server_refusal_is_accepted_directly() {
+        let mut c = GatewayClient::new(vec![0], 1.0, None);
+        let (rid, _) = c.request(&query());
+        let out = c.on_message(
+            0,
+            ReplicaMsg::ClientResponse { request_id: rid, bytes: response_bytes(&query(), Rcode::Refused) },
+        );
+        assert!(matches!(&out[0], ClientAction::Accepted { attempts: 1, .. }));
     }
 
     #[test]

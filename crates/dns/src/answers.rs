@@ -1,0 +1,363 @@
+//! Wire-level helpers for pre-serialized answers: the read plane keeps
+//! complete response messages as raw bytes and serves them by patching
+//! the two header fields that vary per query (transaction id and the
+//! echoed RD bit), so the hot path never builds a [`Message`].
+//!
+//! [`parse_question`] accepts exactly the queries whose slow-path
+//! response is a pure function of (name, qtype, qclass, id, rd): one
+//! question, no other records, opcode QUERY. Anything else must take
+//! the full parse path so hostile or exotic messages get byte-identical
+//! treatment to [`Message::from_bytes`] + the zone query engine.
+
+use crate::message::Message;
+use crate::name::Name;
+use crate::wire::WireReader;
+
+/// Offset of the QDCOUNT field in the fixed DNS header.
+const HEADER_LEN: usize = 12;
+
+/// The single question of a fast-path-eligible query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryQuestion {
+    /// Transaction id (to be echoed into the patched response).
+    pub id: u16,
+    /// The RD flag bit (echoed into the response header).
+    pub rd: bool,
+    /// The queried name, canonicalized (lowercase) by parsing.
+    pub name: Name,
+    /// Queried type, as the raw 16-bit code.
+    pub qtype: u16,
+    /// Queried class, as the raw 16-bit code.
+    pub qclass: u16,
+}
+
+/// Parses the header and single question of a DNS query, returning
+/// `None` for anything the pre-serialized fast path must not serve:
+/// responses, non-QUERY opcodes, multi-question messages, or messages
+/// carrying records in other sections (their parse errors influence the
+/// slow-path response, so they take the slow path).
+pub fn parse_question(bytes: &[u8]) -> Option<QueryQuestion> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let mut r = WireReader::new(bytes);
+    let id = r.get_u16().ok()?;
+    let hi = r.get_u8().ok()?;
+    let _lo = r.get_u8().ok()?;
+    // QR must be clear and the opcode must be QUERY (0).
+    if hi & 0x80 != 0 || (hi >> 3) & 0xF != 0 {
+        return None;
+    }
+    let qd = r.get_u16().ok()?;
+    let an = r.get_u16().ok()?;
+    let ns = r.get_u16().ok()?;
+    let ar = r.get_u16().ok()?;
+    if qd != 1 || an != 0 || ns != 0 || ar != 0 {
+        return None;
+    }
+    let name = r.get_name().ok()?;
+    let qtype = r.get_u16().ok()?;
+    let qclass = r.get_u16().ok()?;
+    Some(QueryQuestion { id, rd: hi & 0x01 != 0, name, qtype, qclass })
+}
+
+/// A borrowed view of an eligible question: the same header checks as
+/// [`parse_question`], but the name is left as raw wire bytes instead of
+/// being parsed into a [`Name`] — the zero-allocation form the answer
+/// cache's hot path probes with.
+#[derive(Debug)]
+pub struct RawQuestion<'a> {
+    /// Transaction id to stamp into the response.
+    pub id: u16,
+    /// Recursion-desired bit to echo.
+    pub rd: bool,
+    /// The question name's wire bytes (length-prefixed labels including
+    /// the root terminator), original case, no compression pointers.
+    pub name_wire: &'a [u8],
+    /// Query type code.
+    pub qtype: u16,
+    /// Query class code.
+    pub qclass: u16,
+}
+
+/// Parses the eligibility header and question *without* building a
+/// [`Name`]. Returns `None` for anything [`parse_question`] would
+/// reject, plus names using compression pointers (which a cache key
+/// cannot be formed from cheaply) — callers fall back to the full parse.
+pub fn parse_question_raw(bytes: &[u8]) -> Option<RawQuestion<'_>> {
+    let id = u16::from_be_bytes([*bytes.first()?, *bytes.get(1)?]);
+    let hi = *bytes.get(2)?;
+    // QR clear, opcode QUERY; exactly one question, no other records.
+    if hi & 0x80 != 0 || (hi >> 3) & 0xF != 0 {
+        return None;
+    }
+    if bytes.get(4..HEADER_LEN)? != [0, 1, 0, 0, 0, 0, 0, 0] {
+        return None;
+    }
+    let mut at = HEADER_LEN;
+    loop {
+        let len = usize::from(*bytes.get(at)?);
+        if len == 0 {
+            at += 1;
+            break;
+        }
+        if len > 63 {
+            return None; // compression pointer or malformed label
+        }
+        at += 1 + len;
+        if at - HEADER_LEN > 255 {
+            return None;
+        }
+    }
+    let name_wire = bytes.get(HEADER_LEN..at)?;
+    let qtype = u16::from_be_bytes([*bytes.get(at)?, *bytes.get(at + 1)?]);
+    let qclass = u16::from_be_bytes([*bytes.get(at + 2)?, *bytes.get(at + 3)?]);
+    Some(RawQuestion { id, rd: hi & 0x01 != 0, name_wire, qtype, qclass })
+}
+
+/// Stamps a transaction id into a serialized message.
+pub fn patch_id(response: &mut [u8], id: u16) {
+    if let Some(slot) = response.get_mut(..2) {
+        slot.copy_from_slice(&id.to_be_bytes());
+    }
+}
+
+/// Sets or clears the echoed RD bit of a serialized response.
+pub fn patch_rd(response: &mut [u8], rd: bool) {
+    if let Some(flags) = response.get_mut(2) {
+        if rd {
+            *flags |= 0x01;
+        } else {
+            *flags &= !0x01;
+        }
+    }
+}
+
+/// Byte offsets of every record TTL in a serialized message, in section
+/// order. Computed once when a response enters the answer cache, so the
+/// cache can rewrite TTLs with plain stores on the way out.
+///
+/// Returns `None` for messages that do not parse; callers only apply
+/// this to responses the serializer itself produced.
+pub fn ttl_offsets(bytes: &[u8]) -> Option<Vec<usize>> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let count = |at: usize| -> usize {
+        usize::from(u16::from_be_bytes([bytes[at], bytes[at + 1]]))
+    };
+    let (qd, an, ns, ar) = (count(4), count(6), count(8), count(10));
+    let mut pos = HEADER_LEN;
+    for _ in 0..qd {
+        pos = skip_name(bytes, pos)?;
+        pos = pos.checked_add(4)?; // qtype + qclass
+    }
+    let records = an.checked_add(ns)?.checked_add(ar)?;
+    let mut offsets = Vec::with_capacity(records);
+    for _ in 0..records {
+        pos = skip_name(bytes, pos)?;
+        pos = pos.checked_add(4)?; // type + class
+        if pos.checked_add(4)? > bytes.len() {
+            return None;
+        }
+        offsets.push(pos);
+        pos += 4; // ttl
+        if pos + 2 > bytes.len() {
+            return None;
+        }
+        let rdlen = usize::from(u16::from_be_bytes([bytes[pos], bytes[pos + 1]]));
+        pos = pos.checked_add(2)?.checked_add(rdlen)?;
+        if pos > bytes.len() {
+            return None;
+        }
+    }
+    Some(offsets)
+}
+
+/// Advances past a wire-format name starting at `pos` (labels until a
+/// terminator or the first compression pointer).
+fn skip_name(bytes: &[u8], mut pos: usize) -> Option<usize> {
+    loop {
+        let len = *bytes.get(pos)?;
+        if len & 0xC0 == 0xC0 {
+            return pos.checked_add(2).filter(|&p| p <= bytes.len());
+        }
+        if len == 0 {
+            return pos.checked_add(1);
+        }
+        if len > 63 {
+            return None;
+        }
+        pos = pos.checked_add(1)?.checked_add(usize::from(len))?;
+        if pos > bytes.len() {
+            return None;
+        }
+    }
+}
+
+/// The smallest record TTL in a serialized message, if it has records.
+pub fn min_ttl(bytes: &[u8], offsets: &[usize]) -> Option<u32> {
+    offsets
+        .iter()
+        .filter_map(|&at| bytes.get(at..at + 4))
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .min()
+}
+
+/// Rewrites every record TTL via `f` (clamp, decrement) in place.
+pub fn rewrite_ttls(bytes: &mut [u8], offsets: &[usize], f: impl Fn(u32) -> u32) {
+    for &at in offsets {
+        if let Some(slot) = bytes.get_mut(at..at + 4) {
+            let ttl = u32::from_be_bytes([slot[0], slot[1], slot[2], slot[3]]);
+            slot.copy_from_slice(&f(ttl).to_be_bytes());
+        }
+    }
+}
+
+/// Builds a minimal truncated (TC-bit) response to `question`: header +
+/// echoed question only, signalling the client to retry over TCP. Used
+/// when a pre-serialized answer exceeds the UDP payload limit.
+pub fn truncated_response(q: &QueryQuestion) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + q.name.wire_len() + 4);
+    out.extend_from_slice(&q.id.to_be_bytes());
+    // QR | AA | TC, plus the echoed RD bit.
+    out.push(0x80 | 0x04 | 0x02 | u8::from(q.rd));
+    out.push(0x00);
+    out.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&q.name.to_canonical_bytes());
+    out.extend_from_slice(&q.qtype.to_be_bytes());
+    out.extend_from_slice(&q.qclass.to_be_bytes());
+    out
+}
+
+/// The response code of a serialized message (low nibble of the second
+/// flags byte).
+pub fn rcode_of(bytes: &[u8]) -> u8 {
+    bytes.get(3).map_or(0, |b| b & 0x0F)
+}
+
+/// Whether serialized response bytes have the TC (truncation) bit set.
+pub fn is_truncated(bytes: &[u8]) -> bool {
+    bytes.get(2).is_some_and(|flags| flags & 0x02 != 0)
+}
+
+/// Serializes `msg` and stamps `id` — the slow-path counterpart of
+/// template patching, used when assembling non-template responses.
+pub fn serialize_with_id(msg: &Message, id: u16) -> Vec<u8> {
+    let mut bytes = msg.to_bytes();
+    patch_id(&mut bytes, id);
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::rr::{RData, Record, RecordType};
+
+    fn n(s: &str) -> crate::name::Name {
+        s.parse().expect("valid name")
+    }
+
+    #[test]
+    fn parses_simple_query() {
+        let msg = Message::query(0xBEEF, n("www.example.com"), RecordType::A);
+        let q = parse_question(&msg.to_bytes()).expect("parses");
+        assert_eq!(q.id, 0xBEEF);
+        assert_eq!(q.name, n("www.example.com"));
+        assert_eq!(q.qtype, RecordType::A.code());
+        assert_eq!(q.qclass, 1);
+        assert!(!q.rd);
+    }
+
+    #[test]
+    fn rejects_response_and_multiquestion() {
+        let msg = Message::query(1, n("a.example.com"), RecordType::A);
+        let mut resp = msg.response(crate::message::Rcode::NoError);
+        resp.questions.push(resp.questions[0].clone());
+        assert!(parse_question(&msg.response(crate::message::Rcode::NoError).to_bytes()).is_none());
+        assert!(parse_question(&resp.to_bytes()).is_none());
+        let mut update = Message::update(2, n("example.com"));
+        update.flags.qr = false;
+        assert!(parse_question(&update.to_bytes()).is_none());
+    }
+
+    #[test]
+    fn rejects_queries_with_extra_records() {
+        let mut msg = Message::query(1, n("a.example.com"), RecordType::A);
+        msg.additionals.push(Record::new(n("x.example.com"), 0, RData::A("10.0.0.1".parse().expect("ip"))));
+        assert!(parse_question(&msg.to_bytes()).is_none());
+    }
+
+    #[test]
+    fn id_and_rd_patching() {
+        let msg = Message::query(7, n("www.example.com"), RecordType::A);
+        let mut resp = msg.response(crate::message::Rcode::NoError).to_bytes();
+        patch_id(&mut resp, 0x1234);
+        patch_rd(&mut resp, true);
+        let parsed = Message::from_bytes(&resp).expect("parses");
+        assert_eq!(parsed.id, 0x1234);
+        assert!(parsed.flags.rd);
+        patch_rd(&mut resp, false);
+        assert!(!Message::from_bytes(&resp).expect("parses").flags.rd);
+    }
+
+    #[test]
+    fn ttl_rewrite_roundtrip() {
+        let msg = Message::query(9, n("www.example.com"), RecordType::A);
+        let mut resp = msg.response(crate::message::Rcode::NoError);
+        resp.answers.push(Record::new(n("www.example.com"), 300, RData::A("10.0.0.1".parse().expect("ip"))));
+        resp.authorities.push(Record::new(n("example.com"), 60, RData::Ns(n("ns1.example.com"))));
+        let mut bytes = resp.to_bytes();
+        let offsets = ttl_offsets(&bytes).expect("walks");
+        assert_eq!(offsets.len(), 2);
+        assert_eq!(min_ttl(&bytes, &offsets), Some(60));
+        rewrite_ttls(&mut bytes, &offsets, |ttl| ttl.saturating_sub(30));
+        let parsed = Message::from_bytes(&bytes).expect("parses");
+        assert_eq!(parsed.answers[0].ttl, 270);
+        assert_eq!(parsed.authorities[0].ttl, 30);
+    }
+
+    #[test]
+    fn raw_parse_agrees_with_full_parse() {
+        let mut msg = Message::query(0xABCD, n("WWW.Example.COM"), RecordType::Txt);
+        msg.flags.rd = true;
+        let bytes = msg.to_bytes();
+        let full = parse_question(&bytes).expect("full parse");
+        let raw = parse_question_raw(&bytes).expect("raw parse");
+        assert_eq!(raw.id, full.id);
+        assert_eq!(raw.rd, full.rd);
+        assert_eq!(raw.qtype, full.qtype);
+        assert_eq!(raw.qclass, full.qclass);
+        // Lowercasing the raw name wire yields the canonical bytes the
+        // full parser's Name produces — the shared cache-key identity.
+        let lowered: Vec<u8> = raw.name_wire.iter().map(u8::to_ascii_lowercase).collect();
+        assert_eq!(lowered, full.name.to_canonical_bytes());
+        // Root name: single zero byte, still agrees.
+        let root = Message::query(1, crate::name::Name::root(), RecordType::Ns).to_bytes();
+        assert_eq!(parse_question_raw(&root).expect("root").name_wire, [0]);
+        // Responses, updates, and multi-question messages are rejected
+        // by both parsers alike.
+        let mut resp = msg.response(crate::message::Rcode::NoError).to_bytes();
+        assert!(parse_question_raw(&resp).is_none());
+        resp.clear();
+        assert!(parse_question_raw(&resp).is_none());
+    }
+
+    #[test]
+    fn truncated_response_parses_with_tc() {
+        let msg = Message::query(3, n("big.example.com"), RecordType::Any);
+        let mut q = parse_question(&msg.to_bytes()).expect("parses");
+        q.rd = true;
+        let bytes = truncated_response(&q);
+        assert!(is_truncated(&bytes));
+        let parsed = Message::from_bytes(&bytes).expect("parses");
+        assert!(parsed.flags.tc && parsed.flags.qr && parsed.flags.aa && parsed.flags.rd);
+        assert_eq!(parsed.id, 3);
+        assert_eq!(parsed.questions.len(), 1);
+        assert_eq!(parsed.questions[0].name, n("big.example.com"));
+    }
+}

@@ -43,6 +43,7 @@
 //! # Ok::<(), sdns_dns::NameError>(())
 //! ```
 
+pub mod answers;
 pub mod message;
 pub mod name;
 pub mod rr;

@@ -35,6 +35,7 @@ pub mod genesis;
 pub mod keyfile;
 mod messages;
 pub mod overload;
+pub mod readplane;
 pub mod reliable;
 pub mod snapshot;
 mod replica;

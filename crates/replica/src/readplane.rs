@@ -1,0 +1,747 @@
+//! The read plane: a query front end that serves from pre-serialized,
+//! threshold-signed answers without touching the consensus pipeline.
+//!
+//! The paper's central observation is that a threshold-signed zone makes
+//! every answer self-certifying: clients verify the zone signature on the
+//! records, so *any* single replica — or any cache in front of one — can
+//! serve reads without coordination. This module exploits that for
+//! throughput:
+//!
+//! - [`ReadZone`] is an immutable, shard-by-name-hash view of the zone
+//!   holding **complete wire-format responses** (answer + SIG, NoData
+//!   with SOA authority, and per-name NXT denial material) built once per
+//!   executed update. The hot path is: hash the queried name, find the
+//!   template, patch the 2-byte transaction id (and the echoed RD bit),
+//!   send. Zero parsing beyond name + qtype, zero serialization.
+//! - [`AnswerCache`] sits in front of the shards for repeated names,
+//!   clamping TTLs into a configured band and optionally decrementing
+//!   them for wall-clock age on the way out.
+//! - [`ReadPlane`] owns the atomically swapped current [`ReadZone`]
+//!   (publishers swap in a new `Arc` after each executed update), the
+//!   cache, and the served/shed counters the operator stats query
+//!   reports.
+//!
+//! Responses produced from the shards are byte-identical (modulo the
+//! patched id and RD bit) to the replica state machine's
+//! [`answer_query`](crate::answer_query) output — the property
+//! tests in `tests/readplane.rs` enforce this — so serving them from the
+//! edge of the process is indistinguishable to clients, and the chaos
+//! sim can run the same fast path deterministically.
+
+use sdns_dns::answers::{
+    self, parse_question, patch_id, patch_rd, QueryQuestion,
+};
+use sdns_dns::zone::Zone;
+use sdns_dns::{Message, Question, Rcode, Record, RecordClass, RecordType};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// FNV-1a for map keys that are already uniformly distributed DNS
+/// names: measurably cheaper than SipHash on the per-query path, and
+/// the per-shard capacity bound caps any crafted-collision chain.
+#[derive(Debug, Default, Clone)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// Number of name shards (power of two). Sized for cheap rebuilds on
+/// zones up to a few hundred thousand names while keeping per-shard maps
+/// small enough for good cache behavior.
+const SHARDS: usize = 16;
+
+/// Placeholder qtype used to render the NoData template; patched to the
+/// actual queried type on every serve. Any code works — the type only
+/// appears in the echoed question — but an unassigned one makes stray
+/// unpatched templates visible in tests.
+const NODATA_PLACEHOLDER: u16 = 0xFFF9;
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Shard slot for a key: the name hash masked into `0..SHARDS`.
+#[inline]
+fn shard_idx(key: &[u8]) -> usize {
+    // sdns-lint: allow(cast) — u64→usize truncation is immaterial under the SHARDS-1 mask
+    (fnv1a(key) as usize) & (SHARDS - 1)
+}
+
+/// Pre-serialized responses for one existing name.
+#[derive(Debug)]
+struct NameEntry {
+    /// `(qtype code, complete response)` sorted by code; includes an
+    /// entry for ANY. Templates carry id 0 and RD clear.
+    positives: Vec<(u16, Arc<[u8]>)>,
+    /// NoData response with [`NODATA_PLACEHOLDER`] as the echoed qtype.
+    nodata: Arc<[u8]>,
+    /// Offset of the 2-byte qtype inside `nodata`.
+    nodata_qtype_at: usize,
+    /// NXT + covering SIG records at this name, pre-cloned for NXDOMAIN
+    /// proofs of names this name canonically covers.
+    denial: Arc<[Record]>,
+}
+
+/// An immutable, read-optimized view of one signed zone version.
+///
+/// Rebuilt from the authoritative [`Zone`] after every executed update
+/// and published with a cheap `Arc` swap; queries in flight keep the
+/// version they started with.
+#[derive(Debug)]
+pub struct ReadZone {
+    origin: sdns_dns::Name,
+    /// Shard-by-name-hash template store.
+    shards: Box<[HashMap<Vec<u8>, NameEntry, FnvBuild>]>,
+    /// All names in canonical (NXT-chain) order, as canonical wire
+    /// bytes, for predecessor lookup on NXDOMAIN.
+    order: Vec<(Vec<u8>, sdns_dns::Name)>,
+    /// SOA (+ SIG) authority records appended to negative answers.
+    soa_authorities: Vec<Record>,
+    /// Zone version (executed-update epoch) this view was built from.
+    version: u64,
+    /// SOA minimum: the negative-answer TTL bound, used by the cache.
+    negative_ttl: u32,
+}
+
+impl ReadZone {
+    /// Builds the read view for `zone` at `version`.
+    ///
+    /// Cost is one query + serialization per (name, type) pair — paid
+    /// once per executed update, off the query path.
+    pub fn build(zone: &Zone, version: u64) -> ReadZone {
+        let mut shards: Vec<HashMap<Vec<u8>, NameEntry, FnvBuild>> =
+            (0..SHARDS).map(|_| HashMap::default()).collect();
+        let mut order = Vec::new();
+        for name in zone.names() {
+            let key = name.to_canonical_bytes();
+            let types: Vec<RecordType> = zone.types_at(name).collect();
+            let mut positives = Vec::with_capacity(types.len().saturating_add(1));
+            for rtype in &types {
+                positives.push((rtype.code(), template(zone, name, rtype.code())));
+            }
+            positives.push((RecordType::Any.code(), template(zone, name, RecordType::Any.code())));
+            positives.sort_unstable_by_key(|(code, _)| *code);
+            let nodata = template(zone, name, NODATA_PLACEHOLDER);
+            // Echoed question: header, then the uncompressed name,
+            // then the 2-byte qtype this template must patch.
+            let nodata_qtype_at = name.wire_len().saturating_add(12);
+            let denial: Vec<Record> = denial_at(zone, name);
+            if let Some(shard) = shards.get_mut(shard_idx(&key)) {
+                shard.insert(
+                    key.clone(),
+                    NameEntry {
+                        positives,
+                        nodata,
+                        nodata_qtype_at,
+                        denial: denial.into(),
+                    },
+                );
+            }
+            order.push((key, name.clone()));
+        }
+        order.sort_unstable_by(|(_, a), (_, b)| a.canonical_cmp(b));
+        let soa_authorities = match zone.query(zone.origin(), RecordType::Soa) {
+            sdns_dns::QueryResult::Answer(soa) => soa,
+            _ => Vec::new(),
+        };
+        ReadZone {
+            origin: zone.origin().clone(),
+            shards: shards.into_boxed_slice(),
+            order,
+            soa_authorities,
+            version,
+            negative_ttl: zone.soa().minimum,
+        }
+    }
+
+    /// The zone version this view reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of names in the view.
+    pub fn names(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Serves one eligible question, returning the complete response
+    /// bytes (id stamped, RD echoed). `None` means the question is not
+    /// servable from the read view (unknown class) and must take the
+    /// slow path.
+    pub fn answer(&self, q: &QueryQuestion) -> Option<Vec<u8>> {
+        if q.qclass != RecordClass::In.code() {
+            return None;
+        }
+        let mut bytes = self.answer_template(q)?;
+        patch_id(&mut bytes, q.id);
+        patch_rd(&mut bytes, q.rd);
+        Some(bytes)
+    }
+
+    /// The un-patched response for `q`: id 0, RD clear. This is the
+    /// cacheable form — per-query header fields are stamped at serve
+    /// time by [`ReadZone::answer`] / the cache.
+    fn answer_template(&self, q: &QueryQuestion) -> Option<Vec<u8>> {
+        if q.qclass != RecordClass::In.code() {
+            return None;
+        }
+        if !q.name.is_subdomain_of(&self.origin) {
+            return Some(self.refused(q));
+        }
+        let key = q.name.to_canonical_bytes();
+        let shard = self.shards.get(shard_idx(&key))?;
+        match shard.get(&key) {
+            Some(entry) => {
+                if let Ok(found) = entry.positives.binary_search_by_key(&q.qtype, |(c, _)| *c) {
+                    if let Some((_, bytes)) = entry.positives.get(found) {
+                        return Some(bytes.to_vec());
+                    }
+                }
+                let mut bytes = entry.nodata.to_vec();
+                let qtype_range =
+                    entry.nodata_qtype_at..entry.nodata_qtype_at.saturating_add(2);
+                if let Some(slot) = bytes.get_mut(qtype_range) {
+                    slot.copy_from_slice(&q.qtype.to_be_bytes());
+                }
+                Some(bytes)
+            }
+            None => Some(self.nxdomain(q)),
+        }
+    }
+
+    /// Assembles the NXDOMAIN response for a name not in the view:
+    /// predecessor's NXT (+ SIG) proof, then the SOA authority. Matches
+    /// the state machine's `answer_query` byte-for-byte because both
+    /// build the same [`Message`] and serialize it the same way.
+    fn nxdomain(&self, q: &QueryQuestion) -> Vec<u8> {
+        let mut authorities: Vec<Record> = match self.predecessor(&q.name) {
+            Some(entry) => entry.denial.to_vec(),
+            None => Vec::new(),
+        };
+        authorities.extend(self.soa_authorities.iter().cloned());
+        self.assemble(q, Rcode::NxDomain, authorities, true)
+    }
+
+    /// The REFUSED response for out-of-zone names (`aa` clear).
+    fn refused(&self, q: &QueryQuestion) -> Vec<u8> {
+        self.assemble(q, Rcode::Refused, Vec::new(), false)
+    }
+
+    fn assemble(&self, q: &QueryQuestion, rcode: Rcode, authorities: Vec<Record>, aa: bool) -> Vec<u8> {
+        let msg = Message {
+            id: 0,
+            opcode: sdns_dns::Opcode::Query,
+            flags: sdns_dns::Flags { qr: true, aa, ..Default::default() },
+            rcode,
+            questions: vec![Question {
+                name: q.name.clone(),
+                qtype: RecordType::from_code(q.qtype),
+                qclass: RecordClass::from_code(q.qclass),
+            }],
+            answers: Vec::new(),
+            authorities,
+            additionals: Vec::new(),
+        };
+        msg.to_bytes()
+    }
+
+    /// The denial entry canonically preceding `name` (NXT-chain
+    /// predecessor, wrapping past the zone apex).
+    fn predecessor(&self, name: &sdns_dns::Name) -> Option<&NameEntry> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let at = self
+            .order
+            .partition_point(|(_, existing)| existing.canonical_cmp(name) == std::cmp::Ordering::Less);
+        let (key, _) = match at.checked_sub(1).and_then(|i| self.order.get(i)) {
+            Some(entry) => entry,
+            // Canonically before every existing name: wrap to the last.
+            None => self.order.last()?,
+        };
+        self.shards.get(shard_idx(key))?.get(key)
+    }
+}
+
+/// Builds the complete serialized response for (name, qtype) via the
+/// same engine the state machine uses — equality by construction.
+fn template(zone: &Zone, name: &sdns_dns::Name, qtype: u16) -> Arc<[u8]> {
+    let query = Message::query(0, name.clone(), RecordType::from_code(qtype));
+    crate::answer_query(zone, &query).to_bytes().into()
+}
+
+/// NXT + covering SIG records at `name` (the denial material this name
+/// contributes when it is the predecessor of a missing name).
+fn denial_at(zone: &Zone, name: &sdns_dns::Name) -> Vec<Record> {
+    let mut out = Vec::new();
+    if let Some(set) = zone.rrset(name, RecordType::Nxt) {
+        for rd in set.rdatas.iter() {
+            out.push(Record::with_class(
+                name.clone(),
+                RecordType::Nxt,
+                RecordClass::In,
+                set.ttl,
+                rd.clone(),
+            ));
+        }
+        if let Some(sigs) = zone.sig_for(name, RecordType::Nxt) {
+            out.extend(sigs);
+        }
+    }
+    out
+}
+
+/// TTL policy for cached answers.
+#[derive(Debug, Clone, Copy)]
+pub struct TtlPolicy {
+    /// Lower clamp applied at insert (0 = no floor).
+    pub min: u32,
+    /// Upper clamp applied at insert.
+    pub max: u32,
+    /// Decrement TTLs by wall-clock age on the way out. Off inside the
+    /// deterministic replica path; on at the socket front end.
+    pub decrement: bool,
+}
+
+impl Default for TtlPolicy {
+    fn default() -> Self {
+        // A day-long ceiling bounds staleness amplification; no floor so
+        // zero-TTL records stay uncacheable.
+        TtlPolicy { min: 0, max: 86_400, decrement: true }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// Un-patched response (id 0, RD clear), TTLs already clamped.
+    bytes: Vec<u8>,
+    /// Offsets of every record TTL in `bytes`.
+    ttl_offsets: Vec<usize>,
+    /// Smallest clamped TTL — the entry's lifetime in seconds.
+    min_ttl: u32,
+    /// Zone version the entry was built from.
+    version: u64,
+    /// Cache-relative insertion time.
+    inserted: Duration,
+}
+
+/// One cache shard: a locked map from `name ‖ qtype` key to entry.
+type CacheShard = std::sync::Mutex<HashMap<Vec<u8>, CacheEntry, FnvBuild>>;
+
+/// A bounded positive/negative answer cache in front of the shards.
+///
+/// Entries live until their smallest TTL expires or the zone version
+/// moves. Lookup patches the cached bytes' id/RD (and decrements TTLs
+/// when the policy says so) into a fresh buffer.
+#[derive(Debug)]
+pub struct AnswerCache {
+    shards: Box<[CacheShard]>,
+    policy: TtlPolicy,
+    capacity_per_shard: usize,
+    epoch: std::time::Instant,
+}
+
+impl AnswerCache {
+    /// Creates a cache bounded at roughly `capacity` total entries.
+    pub fn new(capacity: usize, policy: TtlPolicy) -> Self {
+        AnswerCache {
+            shards: (0..SHARDS).map(|_| std::sync::Mutex::new(HashMap::default())).collect(),
+            policy,
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> Option<&CacheShard> {
+        self.shards.get(shard_idx(key))
+    }
+
+    /// The cache key for a parsed question: canonical name bytes with
+    /// the qtype appended.
+    fn key_of(q: &QueryQuestion) -> Vec<u8> {
+        let mut key = q.name.to_canonical_bytes();
+        key.extend_from_slice(&q.qtype.to_be_bytes());
+        key
+    }
+
+    /// The cache key derived straight from question wire bytes: the
+    /// name lowercased (length prefixes are < `b'A'`, so a blanket
+    /// ASCII-lowercase touches only label bytes) with the qtype
+    /// appended. Byte-equal to [`AnswerCache::key_of`] for any name the
+    /// full parser accepts, since [`sdns_dns::Name`] canonicalizes to
+    /// lowercase at construction.
+    pub fn raw_key(name_wire: &[u8], qtype: u16) -> Vec<u8> {
+        let mut key = Vec::with_capacity(name_wire.len().saturating_add(2));
+        key.extend(name_wire.iter().map(u8::to_ascii_lowercase));
+        key.extend_from_slice(&qtype.to_be_bytes());
+        key
+    }
+
+    /// Looks up `(name, qtype)`, returning a patched response when a
+    /// live entry from `version` exists. `now` is caller-supplied so
+    /// tests can step time.
+    pub fn get(&self, q: &QueryQuestion, version: u64, now: Duration) -> Option<Vec<u8>> {
+        self.get_raw(&Self::key_of(q), q.id, q.rd, version, now)
+    }
+
+    /// Keyed lookup (see [`AnswerCache::raw_key`]): the hot path of the
+    /// socket front end — no [`sdns_dns::Name`] is ever built on a hit.
+    pub fn get_raw(
+        &self,
+        key: &[u8],
+        id: u16,
+        rd: bool,
+        version: u64,
+        now: Duration,
+    ) -> Option<Vec<u8>> {
+        let mut shard = lock(self.shard(key)?);
+        let entry = shard.get(key)?;
+        if entry.version != version {
+            shard.remove(key);
+            return None;
+        }
+        let age = now.saturating_sub(entry.inserted).as_secs();
+        if age >= u64::from(entry.min_ttl) {
+            shard.remove(key);
+            return None;
+        }
+        let mut bytes = entry.bytes.clone();
+        if self.policy.decrement && age > 0 {
+            // `age < min_ttl`, so the subtraction cannot underflow any
+            // record's TTL below zero... but clamp anyway.
+            let offsets = entry.ttl_offsets.clone();
+            drop(shard);
+            answers::rewrite_ttls(&mut bytes, &offsets, |ttl| {
+                ttl.saturating_sub(u32::try_from(age).unwrap_or(u32::MAX))
+            });
+        }
+        patch_id(&mut bytes, id);
+        patch_rd(&mut bytes, rd);
+        Some(bytes)
+    }
+
+    /// Inserts the un-patched response for `(name, qtype)`, clamping
+    /// TTLs by policy. Responses whose clamped minimum TTL is 0 are not
+    /// cached (RFC 2181: a zero TTL forbids reuse), and neither are
+    /// record-less responses older zones cannot bound (no TTLs at all).
+    pub fn insert(
+        &self,
+        q: &QueryQuestion,
+        template_bytes: &[u8],
+        negative_ttl: u32,
+        version: u64,
+        now: Duration,
+    ) {
+        let Some(offsets) = answers::ttl_offsets(template_bytes) else { return };
+        let mut bytes = template_bytes.to_vec();
+        // Cached copies are canonical: id 0, RD clear (re-patched out).
+        patch_id(&mut bytes, 0);
+        patch_rd(&mut bytes, false);
+        let clamp = |ttl: u32| ttl.clamp(self.policy.min, self.policy.max);
+        answers::rewrite_ttls(&mut bytes, &offsets, clamp);
+        let min_ttl = match answers::min_ttl(&bytes, &offsets) {
+            Some(ttl) => ttl,
+            // No records at all (e.g. unsigned-zone NXDOMAIN with no SOA
+            // material): bound the entry by the zone's negative TTL.
+            None => clamp(negative_ttl),
+        };
+        if min_ttl == 0 {
+            return;
+        }
+        let key = Self::key_of(q);
+        let Some(slot) = self.shard(&key) else { return };
+        let mut shard = lock(slot);
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(&key) {
+            // Bounded: evict expired entries first, then refuse. A miss
+            // is a template copy, so refusal costs almost nothing.
+            shard.retain(|_, e| {
+                e.version == version
+                    && now.saturating_sub(e.inserted).as_secs() < u64::from(e.min_ttl)
+            });
+            if shard.len() >= self.capacity_per_shard {
+                return;
+            }
+        }
+        shard.insert(
+            key,
+            CacheEntry { bytes, ttl_offsets: offsets, min_ttl, version, inserted: now },
+        );
+    }
+
+    /// Elapsed time since the cache was created — the `now` both
+    /// [`AnswerCache::get`] and [`AnswerCache::insert`] expect.
+    pub fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Total live entries (racy, for stats).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Whether no live entries exist (racy, for stats).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn lock<'a, T>(m: &'a std::sync::Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Served/shed counters the operator stats query reports, all relaxed
+/// atomics — approximate under load, exact when idle.
+#[derive(Debug, Default)]
+pub struct ReadStats {
+    /// Queries answered from a shard template.
+    pub fast_hits: AtomicU64,
+    /// Queries answered from the answer cache.
+    pub cache_hits: AtomicU64,
+    /// Cache lookups that missed (template copy or assembly followed).
+    pub cache_misses: AtomicU64,
+    /// NXDOMAIN responses assembled from denial material.
+    pub negatives: AtomicU64,
+    /// Messages forwarded to the consensus inbox (updates, exotic).
+    pub forwarded: AtomicU64,
+    /// Oversized UDP answers truncated to a TC-bit stub.
+    pub truncated: AtomicU64,
+    /// Total queries seen by the read plane.
+    pub queries: AtomicU64,
+    /// Updates shed by the replica (mirrored from overload counters).
+    pub update_shed: AtomicU64,
+    /// Whether the replica is in degraded read-only mode.
+    pub read_only: AtomicBool,
+    /// Gauge mirrored from [`OverloadCounters::early_sessions`](crate::OverloadCounters).
+    pub early_sessions: AtomicU64,
+    /// Gauge mirrored from [`OverloadCounters::early_messages`](crate::OverloadCounters).
+    pub early_messages: AtomicU64,
+    /// Gauge mirrored from [`OverloadCounters::retired_ring`](crate::OverloadCounters).
+    pub retired_ring: AtomicU64,
+    /// Gauge mirrored from [`OverloadCounters::pending_gateway`](crate::OverloadCounters).
+    pub pending_gateway: AtomicU64,
+}
+
+impl ReadStats {
+    /// Relaxed increment — the only write pattern the counters need.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mirrors the replica's overload fill levels into the stats gauges
+    /// (called by the host after processing replica output).
+    pub fn mirror_overload(&self, counters: &crate::OverloadCounters) {
+        let widen = |n: usize| u64::try_from(n).unwrap_or(u64::MAX);
+        self.early_sessions.store(widen(counters.early_sessions), Ordering::Relaxed);
+        self.early_messages.store(widen(counters.early_messages), Ordering::Relaxed);
+        self.retired_ring.store(widen(counters.retired_ring), Ordering::Relaxed);
+        self.pending_gateway.store(widen(counters.pending_gateway), Ordering::Relaxed);
+    }
+}
+
+/// What the read plane decided about one inbound message.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete response to send back to the querier.
+    Answer(Vec<u8>),
+    /// Not a read-plane query (update, exotic, unparseable): forward to
+    /// the replica core.
+    Forward,
+}
+
+/// The shared front-end state: current [`ReadZone`] (swapped on each
+/// executed update), the answer cache, and stats.
+#[derive(Debug)]
+pub struct ReadPlane {
+    zone: RwLock<Arc<ReadZone>>,
+    cache: AnswerCache,
+    /// Served/shed counters for the operator stats query.
+    pub stats: ReadStats,
+    started: std::time::Instant,
+}
+
+/// The CHAOS class code (operator stats queries, BIND-style).
+pub const CLASS_CHAOS: u16 = 3;
+
+impl ReadPlane {
+    /// Creates a read plane serving `zone` with a cache of
+    /// `cache_capacity` entries under `policy`.
+    pub fn new(zone: Arc<ReadZone>, cache_capacity: usize, policy: TtlPolicy) -> Self {
+        ReadPlane {
+            zone: RwLock::new(zone),
+            cache: AnswerCache::new(cache_capacity, policy),
+            stats: ReadStats::default(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Atomically publishes a freshly built view. Old versions' cache
+    /// entries die on their next lookup (version check).
+    pub fn publish(&self, zone: Arc<ReadZone>) {
+        *self.zone.write() = zone;
+    }
+
+    /// The currently published view.
+    pub fn current(&self) -> Arc<ReadZone> {
+        self.zone.read().clone()
+    }
+
+    /// Serves one inbound datagram/stream message if it is a read-plane
+    /// query; everything else is [`ReadOutcome::Forward`].
+    ///
+    /// A cache hit is served from the raw wire bytes alone — header
+    /// checks, a lowercased key copy, one map lookup, one memcpy, and a
+    /// 2-byte id patch — without ever materializing a [`sdns_dns::Name`].
+    pub fn serve(&self, bytes: &[u8]) -> ReadOutcome {
+        if let Some(raw) = answers::parse_question_raw(bytes) {
+            if raw.qclass == RecordClass::In.code() {
+                // Stack-allocated key: lowercased name wire + qtype.
+                // (Length prefixes sit below `b'A'`, so a blanket
+                // ASCII-lowercase touches only label bytes.)
+                let mut buf = [0u8; 260];
+                let klen = raw.name_wire.len().saturating_add(2);
+                if let Some(name_slot) = buf.get_mut(..raw.name_wire.len()) {
+                    for (dst, src) in name_slot.iter_mut().zip(raw.name_wire) {
+                        *dst = src.to_ascii_lowercase();
+                    }
+                }
+                if let Some(slot) = buf.get_mut(raw.name_wire.len()..klen) {
+                    slot.copy_from_slice(&raw.qtype.to_be_bytes());
+                }
+                if let Some(key) = buf.get(..klen) {
+                    let zone = self.current();
+                    if let Some(hit) =
+                        self.cache.get_raw(key, raw.id, raw.rd, zone.version(), self.cache.now())
+                    {
+                        ReadStats::bump(&self.stats.queries);
+                        ReadStats::bump(&self.stats.cache_hits);
+                        return ReadOutcome::Answer(hit);
+                    }
+                }
+            }
+        }
+        let Some(q) = parse_question(bytes) else {
+            ReadStats::bump(&self.stats.forwarded);
+            return ReadOutcome::Forward;
+        };
+        self.serve_question(&q)
+    }
+
+    /// Serves an already parsed question.
+    pub fn serve_question(&self, q: &QueryQuestion) -> ReadOutcome {
+        ReadStats::bump(&self.stats.queries);
+        if q.qclass != RecordClass::In.code() {
+            if let Some(bytes) = self.stats_answer(q) {
+                return ReadOutcome::Answer(bytes);
+            }
+            ReadStats::bump(&self.stats.forwarded);
+            return ReadOutcome::Forward;
+        }
+        let zone = self.current();
+        let now = self.cache.now();
+        if let Some(bytes) = self.cache.get(q, zone.version(), now) {
+            ReadStats::bump(&self.stats.cache_hits);
+            return ReadOutcome::Answer(bytes);
+        }
+        ReadStats::bump(&self.stats.cache_misses);
+        let Some(template_bytes) = zone.answer_template(q) else {
+            ReadStats::bump(&self.stats.forwarded);
+            return ReadOutcome::Forward;
+        };
+        if answers::rcode_of(&template_bytes) == Rcode::NxDomain.code() {
+            ReadStats::bump(&self.stats.negatives);
+        } else {
+            ReadStats::bump(&self.stats.fast_hits);
+        }
+        self.cache.insert(q, &template_bytes, zone.negative_ttl, zone.version(), now);
+        let mut bytes = template_bytes;
+        patch_id(&mut bytes, q.id);
+        patch_rd(&mut bytes, q.rd);
+        ReadOutcome::Answer(bytes)
+    }
+
+    /// Answers the operator stats query `stats.sdns. CH TXT` (BIND
+    /// `version.bind.`-style): one TXT record per counter. `None` for
+    /// every other non-IN question.
+    pub fn stats_answer(&self, q: &QueryQuestion) -> Option<Vec<u8>> {
+        if q.qclass != CLASS_CHAOS || q.qtype != RecordType::Txt.code() {
+            return None;
+        }
+        let expected: sdns_dns::Name = "stats.sdns".parse().ok()?;
+        if q.name != expected {
+            return None;
+        }
+        let s = &self.stats;
+        let uptime = self.started.elapsed().as_secs().max(1);
+        let queries = s.queries.load(Ordering::Relaxed);
+        let lines = [
+            format!("queries={queries}"),
+            format!("qps={}", queries / uptime),
+            format!("uptime_s={uptime}"),
+            format!("fast_hits={}", s.fast_hits.load(Ordering::Relaxed)),
+            format!("cache_hits={}", s.cache_hits.load(Ordering::Relaxed)),
+            format!("cache_misses={}", s.cache_misses.load(Ordering::Relaxed)),
+            format!("negatives={}", s.negatives.load(Ordering::Relaxed)),
+            format!("forwarded={}", s.forwarded.load(Ordering::Relaxed)),
+            format!("truncated={}", s.truncated.load(Ordering::Relaxed)),
+            format!("update_shed={}", s.update_shed.load(Ordering::Relaxed)),
+            format!("read_only={}", u8::from(s.read_only.load(Ordering::Relaxed))),
+            format!("zone_version={}", self.current().version()),
+            format!("cache_entries={}", self.cache.len()),
+            format!("early_sessions={}", s.early_sessions.load(Ordering::Relaxed)),
+            format!("early_messages={}", s.early_messages.load(Ordering::Relaxed)),
+            format!("retired_ring={}", s.retired_ring.load(Ordering::Relaxed)),
+            format!("pending_gateway={}", s.pending_gateway.load(Ordering::Relaxed)),
+        ];
+        let chaos = RecordClass::from_code(CLASS_CHAOS);
+        let msg = Message {
+            id: q.id,
+            opcode: sdns_dns::Opcode::Query,
+            flags: sdns_dns::Flags { qr: true, aa: true, rd: q.rd, ..Default::default() },
+            rcode: Rcode::NoError,
+            questions: vec![Question {
+                name: q.name.clone(),
+                qtype: RecordType::Txt,
+                qclass: chaos,
+            }],
+            answers: lines
+                .into_iter()
+                .map(|line| {
+                    Record::with_class(
+                        q.name.clone(),
+                        RecordType::Txt,
+                        chaos,
+                        0,
+                        sdns_dns::RData::Txt(vec![line.into_bytes()]),
+                    )
+                })
+                .collect(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        Some(msg.to_bytes())
+    }
+}

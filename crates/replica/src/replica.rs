@@ -222,6 +222,11 @@ pub struct Replica {
     link: Option<crate::reliable::LinkLayer>,
     /// Durability layer (WAL + snapshots); `None` means in-memory only.
     durability: Option<crate::durable::Durability>,
+    /// Executed-update epoch: bumped on every zone mutation so read
+    /// views know when they are stale.
+    zone_epoch: u64,
+    /// Lazily (re)built read-optimized zone view at `zone_epoch`.
+    read_view: Option<std::sync::Arc<crate::readplane::ReadZone>>,
     rng: StdRng,
 }
 
@@ -288,6 +293,8 @@ impl Replica {
             pending_state_requests: Vec::new(),
             link: None,
             durability: None,
+            zone_epoch: 0,
+            read_view: None,
             rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ me as u64),
         }
     }
@@ -316,6 +323,34 @@ impl Replica {
     /// Read access to the zone (for test assertions).
     pub fn zone(&self) -> &Zone {
         &self.zone
+    }
+
+    /// The executed-update epoch: bumped on every zone mutation. Hosts
+    /// compare epochs to decide when to re-publish the read view.
+    pub fn zone_epoch(&self) -> u64 {
+        self.zone_epoch
+    }
+
+    /// The read-optimized zone view at the current epoch, rebuilding it
+    /// if the zone changed since the last call. Hosts publish the
+    /// returned `Arc` to their query listeners.
+    pub fn read_zone(&mut self) -> std::sync::Arc<crate::readplane::ReadZone> {
+        match &self.read_view {
+            Some(view) if view.version() == self.zone_epoch => view.clone(),
+            _ => {
+                let view = std::sync::Arc::new(crate::readplane::ReadZone::build(
+                    &self.zone,
+                    self.zone_epoch,
+                ));
+                self.read_view = Some(view.clone());
+                view
+            }
+        }
+    }
+
+    /// Marks the zone changed: the next [`Replica::read_zone`] rebuilds.
+    fn zone_dirtied(&mut self) {
+        self.zone_epoch = self.zone_epoch.wrapping_add(1);
     }
 
     /// The configured corruption.
@@ -418,6 +453,7 @@ impl Replica {
         }
         if let Some(snap) = disk.snapshot.as_ref() {
             self.zone = snap.zone.clone();
+            self.zone_dirtied();
             self.executed = snap.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
             self.update_counter = snap.update_counter;
         }
@@ -513,6 +549,7 @@ impl Replica {
             durability.adopt_state(&state);
         }
         self.zone = state.zone;
+        self.zone_dirtied();
         self.executed = state.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
         self.update_counter = state.update_counter;
         self.abcast.import_state(state.round, state.delivered_ids);
@@ -849,8 +886,25 @@ impl Replica {
 
     /// Answers a query from the zone (or the stale snapshot, when this
     /// replica simulates the stale-replay corruption).
+    ///
+    /// Eligible queries (single question, class `IN`, no other records)
+    /// are served from the pre-serialized read view — byte-identical to
+    /// the slow path by construction, but without building a [`Message`].
+    /// The stale-replay corruption keeps the slow path so its answers
+    /// come from the stale snapshot, not the read view.
     fn execute_query(&mut self, envelope: &Envelope, out: &mut Vec<ReplicaAction>) {
         out.push(ReplicaAction::Work { ref_seconds: self.costs.dns_query });
+        if self.stale_zone.is_none() {
+            if let Some(q) = sdns_dns::answers::parse_question(&envelope.bytes) {
+                if let Some(bytes) = self.read_zone().answer(&q) {
+                    let key = envelope.dedup_key();
+                    let rcode = Rcode::from_code(sdns_dns::answers::rcode_of(&bytes));
+                    out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode }));
+                    self.respond_bytes(envelope, bytes, out);
+                    return;
+                }
+            }
+        }
         let Ok(msg) = Message::from_bytes(&envelope.bytes) else {
             let resp = Message {
                 rcode: Rcode::FormErr,
@@ -883,6 +937,9 @@ impl Replica {
         }
         out.push(ReplicaAction::Work { ref_seconds: self.costs.dns_update });
         let outcome = apply_update(&mut self.zone, &msg);
+        if outcome.changed {
+            self.zone_dirtied();
+        }
         let response = msg.response(outcome.rcode);
         let key = envelope.dedup_key();
         if outcome.rcode != Rcode::NoError || !outcome.changed {
@@ -906,11 +963,13 @@ impl Replica {
                     let sig = signer.complete(task);
                     install_signature(&mut self.zone, task, sig);
                 }
+                self.zone_dirtied();
                 out.push(ReplicaAction::Event(ReplicaEvent::Executed { key, rcode: response.rcode }));
                 self.respond(&envelope, response, out);
             }
             Signer::Threshold { .. } => {
                 let tasks = plan_update_resign(&mut self.zone, &outcome, &self.sig_meta);
+                self.zone_dirtied();
                 assert!(
                     (tasks.len() as u64) < MAX_TASKS_PER_UPDATE,
                     "update dirtied too many RRsets"
@@ -1087,6 +1146,7 @@ impl Replica {
         let sig_bytes = sig.to_bytes_be_padded(pk.to_rsa_public_key().modulus_len());
         let task = active.tasks[active.next_task].clone();
         install_signature(&mut self.zone, &task, sig_bytes);
+        self.zone_dirtied();
         let Some(active) = self.active.as_mut() else {
             return;
         };
@@ -1124,6 +1184,18 @@ impl Replica {
                 request_id: envelope.request_id,
                 bytes: response.to_bytes(),
             },
+        });
+    }
+
+    /// Sends an already serialized DNS response to the client (the read
+    /// view's fast path; same corruption semantics as [`Self::respond`]).
+    fn respond_bytes(&mut self, envelope: &Envelope, bytes: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+        if self.corruption == Corruption::InvertSigShares {
+            return;
+        }
+        out.push(ReplicaAction::Send {
+            to: envelope.client,
+            msg: ReplicaMsg::ClientResponse { request_id: envelope.request_id, bytes },
         });
     }
 

@@ -11,9 +11,11 @@
 //! See `examples/tcp_testbed.rs` for a full deployment.
 
 mod codec;
+pub mod query;
 mod runtime;
 
 pub use codec::{decode, encode, CodecError};
+pub use query::{read_tcp_message, write_tcp_message, MAX_UDP_PAYLOAD};
 pub use runtime::{
     read_frame, seal, unseal, write_frame, TcpClient, TcpConfig, TcpReplica, KIND_CLIENT,
     KIND_REPLICA,

@@ -1,0 +1,240 @@
+//! UDP and TCP query listeners serving from the [`ReadPlane`], bypassing
+//! the consensus inbox entirely.
+//!
+//! The listeners speak plain DNS — raw datagrams over UDP, RFC 1035
+//! §4.2.2 two-byte-length frames over TCP — so unmodified resolvers and
+//! `dig` can query a replica directly. Eligible queries are answered
+//! from the read plane's pre-serialized templates on the listener
+//! thread; everything else (updates, exotic messages, unparseable
+//! bytes) is handed to the replica core through the `forward` callback
+//! and follows the ordinary consensus path, with the response routed
+//! back by the runtime.
+//!
+//! UDP serving is sharded across worker threads that share one bound
+//! socket (`try_clone`): the kernel distributes datagrams, each worker
+//! answers independently, and no lock is taken on the hot path beyond
+//! the read plane's own `Arc` load and cache shard. Answers longer than
+//! the classic 512-byte UDP payload are replaced by a TC-bit stub
+//! telling the client to retry over TCP.
+
+use crate::readplane::{ReadOutcome, ReadPlane, ReadStats};
+use parking_lot::Mutex;
+use sdns_dns::answers;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Classic maximum UDP DNS payload (no EDNS in this DNS-SEC-era
+/// reproduction): longer answers are truncated to a TC-bit stub.
+pub const MAX_UDP_PAYLOAD: usize = 512;
+
+/// Upper bound on one TCP-framed DNS message (the two-byte length
+/// prefix caps it at 65535 anyway; this guards the allocation).
+const MAX_TCP_MESSAGE: usize = 65_535;
+
+/// Streams of TCP query connections awaiting a forwarded (slow-path)
+/// response, keyed by the client id the forward callback assigned.
+pub type TcpQueryClients = Arc<Mutex<HashMap<usize, TcpStream>>>;
+
+/// Writes one RFC 1035 §4.2.2 framed DNS message to a TCP stream.
+///
+/// # Errors
+///
+/// Any I/O error from the stream; `InvalidInput` for messages longer
+/// than the two-byte length prefix can express.
+pub fn write_tcp_message(stream: &mut impl Write, bytes: &[u8]) -> std::io::Result<()> {
+    let len = u16::try_from(bytes.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "message too long"))?;
+    let mut frame = Vec::with_capacity(bytes.len().saturating_add(2));
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(bytes);
+    stream.write_all(&frame)
+}
+
+/// Reads one RFC 1035 §4.2.2 framed DNS message from a TCP stream.
+///
+/// # Errors
+///
+/// Any I/O error from the stream; `InvalidData` for a zero length.
+pub fn read_tcp_message(stream: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 2];
+    stream.read_exact(&mut len_buf)?;
+    let len = usize::from(u16::from_be_bytes(len_buf));
+    if len == 0 || len > MAX_TCP_MESSAGE {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad message length"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Sends a forwarded response back on the TCP query connection that is
+/// waiting for it (called by the runtime's dispatch path). The entry is
+/// removed: one forwarded request, one response.
+pub fn respond_tcp_query(clients: &TcpQueryClients, client_id: usize, bytes: &[u8]) -> bool {
+    let Some(mut stream) = clients.lock().remove(&client_id) else {
+        return false;
+    };
+    write_tcp_message(&mut stream, bytes).is_ok()
+}
+
+/// Spawns `workers` UDP serving threads sharing `socket`.
+///
+/// Each worker answers read-plane queries in place and calls
+/// `forward(source, bytes)` for everything else; the runtime routes the
+/// eventual response back to `source` over the same socket.
+pub fn spawn_udp_workers(
+    socket: &UdpSocket,
+    workers: usize,
+    plane: &Arc<ReadPlane>,
+    stop: &Arc<AtomicBool>,
+    forward: impl Fn(SocketAddr, Vec<u8>) + Send + Clone + 'static,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    let mut handles = Vec::with_capacity(workers.max(1));
+    for _ in 0..workers.max(1) {
+        let socket = socket.try_clone()?;
+        let plane = Arc::clone(plane);
+        let stop = Arc::clone(stop);
+        let forward = forward.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut buf = [0u8; MAX_TCP_MESSAGE];
+            while let Ok((len, from)) = socket.recv_from(&mut buf) {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Some(bytes) = buf.get(..len) else { continue };
+                match plane.serve(bytes) {
+                    ReadOutcome::Answer(response) => {
+                        let response = clamp_udp(&plane, bytes, response);
+                        let _ = socket.send_to(&response, from);
+                    }
+                    ReadOutcome::Forward => forward(from, bytes.to_vec()),
+                }
+            }
+        }));
+    }
+    Ok(handles)
+}
+
+/// Replaces an oversized UDP answer with a TC-bit stub (the client
+/// retries over TCP). Answers that fit pass through untouched.
+fn clamp_udp(plane: &ReadPlane, query: &[u8], response: Vec<u8>) -> Vec<u8> {
+    if response.len() <= MAX_UDP_PAYLOAD {
+        return response;
+    }
+    ReadStats::bump(&plane.stats.truncated);
+    match answers::parse_question(query) {
+        Some(q) => answers::truncated_response(&q),
+        // Unreachable (only parsed questions produce answers), but keep
+        // the reply within bounds and flag the truncation anyway.
+        None => {
+            let mut stub = response;
+            stub.truncate(12.min(stub.len()));
+            if let Some(flags) = stub.get_mut(2) {
+                *flags |= 0x02;
+            }
+            if let Some(counts) = stub.get_mut(4..12) {
+                counts.fill(0);
+            }
+            stub
+        }
+    }
+}
+
+/// Spawns the TCP query listener: plain framed DNS, one thread per
+/// connection, multiple requests per connection.
+///
+/// Fast-path answers are written inline. For a forwarded request,
+/// `forward(bytes, stream)` must park the stream in `clients` under a
+/// fresh client id — *before* handing the request to the core, so the
+/// response cannot race the registration — and return that id; the
+/// runtime later routes the response via [`respond_tcp_query`].
+pub fn spawn_tcp_listener(
+    listener: TcpListener,
+    plane: &Arc<ReadPlane>,
+    clients: &TcpQueryClients,
+    stop: &Arc<AtomicBool>,
+    forward: impl Fn(Vec<u8>, TcpStream) -> usize + Send + Clone + 'static,
+) -> JoinHandle<()> {
+    let plane = Arc::clone(plane);
+    let clients = Arc::clone(clients);
+    let stop = Arc::clone(stop);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let plane = Arc::clone(&plane);
+            let clients = Arc::clone(&clients);
+            let stop = Arc::clone(&stop);
+            let forward = forward.clone();
+            std::thread::spawn(move || {
+                serve_tcp_conn(stream, &plane, &clients, &stop, forward);
+            });
+        }
+    })
+}
+
+/// Serves one TCP query connection until EOF or error.
+fn serve_tcp_conn(
+    mut stream: TcpStream,
+    plane: &ReadPlane,
+    clients: &TcpQueryClients,
+    stop: &AtomicBool,
+    forward: impl Fn(Vec<u8>, TcpStream) -> usize,
+) {
+    let _ = stream.set_nodelay(true);
+    let mut parked: Vec<usize> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let Ok(bytes) = read_tcp_message(&mut stream) else { break };
+        match plane.serve(&bytes) {
+            ReadOutcome::Answer(response) => {
+                if write_tcp_message(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            ReadOutcome::Forward => {
+                let Ok(clone) = stream.try_clone() else { break };
+                parked.push(forward(bytes, clone));
+            }
+        }
+    }
+    // Connection gone: drop any still-parked response routes.
+    let mut map = clients.lock();
+    for id in parked {
+        map.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_framing_roundtrip() {
+        let msg = vec![0xAB; 300];
+        let mut wire = Vec::new();
+        write_tcp_message(&mut wire, &msg).expect("writes");
+        assert_eq!(wire.len(), 302);
+        let mut cursor = std::io::Cursor::new(wire);
+        let back = read_tcp_message(&mut cursor).expect("reads");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn tcp_framing_rejects_zero_length() {
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0u8]);
+        assert!(read_tcp_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_message_is_rejected_on_write() {
+        let msg = vec![0u8; MAX_TCP_MESSAGE + 1];
+        let mut wire = Vec::new();
+        assert!(write_tcp_message(&mut wire, &msg).is_err());
+    }
+}

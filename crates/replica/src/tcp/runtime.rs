@@ -1,10 +1,12 @@
 //! The threaded TCP runtime hosting a [`Replica`].
 
 use super::codec;
+use super::query;
 use crate::durable::{Durability, DurabilityCfg};
 use crate::messages::ReplicaMsg;
 use crate::overload::OverloadConfig;
-use crate::replica::{Replica, ReplicaAction};
+use crate::readplane::{ReadPlane, ReadStats, TtlPolicy};
+use crate::replica::{Replica, ReplicaAction, ReplicaEvent};
 use crate::reliable::RetransmitCfg;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -36,6 +38,9 @@ const MAX_FRAME: usize = 16 << 20;
 /// unbounded growth.
 const OUTBOX_CAP_FALLBACK: usize = 4096;
 
+/// Answer-cache capacity of the runtime's read plane.
+const READ_CACHE_CAPACITY: usize = 4096;
+
 /// First reconnect delay of the peer writer.
 const RECONNECT_MIN: Duration = Duration::from_millis(10);
 /// Reconnect backoff ceiling of the peer writer.
@@ -53,8 +58,15 @@ pub struct TcpConfig {
     /// the dealer distributes it with the key shares).
     pub link_key: Vec<u8>,
     /// Optional plain-DNS UDP front end (what real resolvers speak):
-    /// raw DNS datagrams in, raw DNS datagrams out.
+    /// raw DNS datagrams in, raw DNS datagrams out. Queries are served
+    /// from the read plane on the listener threads; updates and exotic
+    /// messages forward to the consensus path.
     pub udp_listen: Option<SocketAddr>,
+    /// UDP serving threads sharing the socket (min 1).
+    pub udp_workers: usize,
+    /// Optional plain-DNS TCP front end (RFC 1035 two-byte framing) for
+    /// clients retrying truncated UDP answers; served like `udp_listen`.
+    pub dns_tcp_listen: Option<SocketAddr>,
     /// Optional wall-clock pacing: a ticker thread injects
     /// [`ReplicaMsg::Tick`] at this interval, driving the reliable-link
     /// resend schedule (enable it on the replica too).
@@ -79,6 +91,8 @@ impl TcpConfig {
             peers,
             link_key,
             udp_listen: None,
+            udp_workers: 2,
+            dns_tcp_listen: None,
             tick: None,
             state_dir: None,
             overload: OverloadConfig::default(),
@@ -195,6 +209,9 @@ enum Event {
 #[derive(Debug)]
 pub struct TcpReplica {
     addr: SocketAddr,
+    udp_addr: Option<SocketAddr>,
+    dns_tcp_addr: Option<SocketAddr>,
+    plane: Arc<ReadPlane>,
     stop: Arc<AtomicBool>,
     events: Sender<Event>,
     core: Option<JoinHandle<Replica>>,
@@ -234,43 +251,78 @@ impl TcpReplica {
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = unbounded::<Event>();
 
+        // The read plane serving the query front ends: built from the
+        // (possibly restored) zone, re-published by the core loop after
+        // every executed update.
+        let plane = Arc::new(ReadPlane::new(
+            replica.read_zone(),
+            READ_CACHE_CAPACITY,
+            TtlPolicy::default(),
+        ));
+
         // Client response routing: envelope client id -> connection.
         let clients: Arc<Mutex<HashMap<usize, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         // UDP front end routing: envelope client id -> datagram source.
         let udp_clients: Arc<Mutex<HashMap<usize, SocketAddr>>> = Arc::new(Mutex::new(HashMap::new()));
+        // TCP query front end routing: envelope client id -> connection.
+        let tcp_query_clients: query::TcpQueryClients = Arc::new(Mutex::new(HashMap::new()));
+        // Forwarded front-end requests allocate client ids from a range
+        // disjoint from the replica-port TCP ids and across replicas.
+        let next_front_client = Arc::new(std::sync::atomic::AtomicUsize::new(
+            config.peers.len() + (config.me + 1) * 1_000_000 + 500_000,
+        ));
         let udp_socket: Option<std::net::UdpSocket> = match config.udp_listen {
             Some(addr) => Some(std::net::UdpSocket::bind(addr)?),
             None => None,
         };
+        let udp_addr = udp_socket.as_ref().map(|s| s.local_addr()).transpose()?;
         if let Some(socket) = &udp_socket {
-            let rx_socket = socket.try_clone()?;
             let tx = tx.clone();
-            let stop = Arc::clone(&stop);
             let udp_clients = Arc::clone(&udp_clients);
-            let n = config.peers.len();
-            let me = config.me;
-            std::thread::spawn(move || {
-                // UDP client ids live in their own range, disjoint from
-                // the TCP ids and across replicas.
-                let mut next_client = n + (me + 1) * 1_000_000 + 500_000;
-                let mut buf = [0u8; 65_535];
-                while let Ok((len, from_addr)) = rx_socket.recv_from(&mut buf) {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let client_id = next_client;
-                    next_client += 1;
+            let next_client = Arc::clone(&next_front_client);
+            query::spawn_udp_workers(
+                socket,
+                config.udp_workers,
+                &plane,
+                &stop,
+                move |from_addr, bytes| {
+                    let client_id = next_client.fetch_add(1, Ordering::SeqCst);
                     udp_clients.lock().insert(client_id, from_addr);
                     let _ = tx.send(Event::FromClient(
                         client_id,
-                        ReplicaMsg::ClientRequest {
-                            request_id: client_id as u64,
-                            bytes: buf[..len].to_vec(),
-                        },
+                        ReplicaMsg::ClientRequest { request_id: client_id as u64, bytes },
                     ));
-                }
-            });
+                },
+            )?;
         }
+        let dns_tcp_addr = match config.dns_tcp_listen {
+            Some(listen) => {
+                let dns_listener = TcpListener::bind(listen)?;
+                let bound = dns_listener.local_addr()?;
+                let tx = tx.clone();
+                let next_client = Arc::clone(&next_front_client);
+                let route = Arc::clone(&tcp_query_clients);
+                query::spawn_tcp_listener(
+                    dns_listener,
+                    &plane,
+                    &tcp_query_clients,
+                    &stop,
+                    move |bytes, stream| {
+                        let client_id = next_client.fetch_add(1, Ordering::SeqCst);
+                        // Park the response route before the core sees
+                        // the request, so the answer cannot race it.
+                        route.lock().insert(client_id, stream);
+                        let _ = tx.send(Event::FromClient(
+                            client_id,
+                            ReplicaMsg::ClientRequest { request_id: client_id as u64, bytes },
+                        ));
+                        client_id
+                    },
+                );
+                Some(bound)
+            }
+            None => None,
+        };
 
         // --- accept loop ---
         let accept = {
@@ -366,17 +418,45 @@ impl TcpReplica {
             let clients = Arc::clone(&clients);
             let udp = udp_socket.as_ref().map(|s| s.try_clone()).transpose()?;
             let udp_clients = Arc::clone(&udp_clients);
+            let plane = Arc::clone(&plane);
+            let tcp_query_clients = Arc::clone(&tcp_query_clients);
             std::thread::spawn(move || {
-                core_loop(replica, initial_actions, rx, peer_txs, clients, udp, udp_clients, key, me)
+                let io = CoreIo { peer_txs, clients, udp, udp_clients, tcp_query_clients, key, me };
+                core_loop(replica, initial_actions, rx, io, plane)
             })
         };
 
-        Ok(TcpReplica { addr, stop, events: tx, core: Some(core), accept: Some(accept) })
+        Ok(TcpReplica {
+            addr,
+            udp_addr,
+            dns_tcp_addr,
+            plane,
+            stop,
+            events: tx,
+            core: Some(core),
+            accept: Some(accept),
+        })
     }
 
     /// The bound listen address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound UDP query address, when the UDP front end is on.
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
+    }
+
+    /// The bound TCP query address, when the TCP front end is on.
+    pub fn dns_tcp_addr(&self) -> Option<SocketAddr> {
+        self.dns_tcp_addr
+    }
+
+    /// The read plane serving this replica's query front ends (stats,
+    /// direct in-process serving in tests).
+    pub fn read_plane(&self) -> &Arc<ReadPlane> {
+        &self.plane
     }
 
     /// Stops the replica and returns its final state machine.
@@ -454,42 +534,57 @@ fn peer_writer(peer: SocketAddr, rx: Receiver<Vec<u8>>, outbox_cap: usize, stop:
     }
 }
 
+/// The core loop's output channels: peer outboxes, client connection
+/// maps, and the UDP socket.
+struct CoreIo {
+    peer_txs: Vec<Option<Sender<Vec<u8>>>>,
+    clients: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    udp: Option<std::net::UdpSocket>,
+    udp_clients: Arc<Mutex<HashMap<usize, SocketAddr>>>,
+    tcp_query_clients: query::TcpQueryClients,
+    key: Vec<u8>,
+    me: usize,
+}
+
 /// Routes one replica action to its destination: loopback, a peer
-/// outbox, a UDP client, or a TCP client connection.
-#[allow(clippy::too_many_arguments)]
+/// outbox, a UDP client, or a TCP client connection (framed replica
+/// protocol or plain DNS, whichever the id is registered under).
 fn dispatch_action(
     action: ReplicaAction,
     loopback: &mut std::collections::VecDeque<ReplicaMsg>,
-    peer_txs: &[Option<Sender<Vec<u8>>>],
-    clients: &Mutex<HashMap<usize, TcpStream>>,
-    udp: Option<&std::net::UdpSocket>,
-    udp_clients: &Mutex<HashMap<usize, SocketAddr>>,
-    key: &[u8],
-    me: usize,
+    io: &CoreIo,
 ) {
     match action {
         ReplicaAction::Work { .. } => {} // real time: work already happened
         ReplicaAction::Event(_) => {}
         ReplicaAction::Send { to, msg } => {
-            if to == me {
+            if to == io.me {
                 loopback.push_back(msg);
-            } else if let Some(Some(tx)) = peer_txs.get(to) {
+            } else if let Some(Some(tx)) = io.peer_txs.get(to) {
                 // Bounded outbox: when a peer is down and its
                 // queue is full, shed the frame instead of
                 // blocking the core loop (retransmission above
                 // re-sends what mattered).
-                if let Some(body) = seal(me, &msg, key) {
+                if let Some(body) = seal(io.me, &msg, &io.key) {
                     let _ = tx.try_send(body);
                 }
-            } else if let Some(addr) = udp_clients.lock().remove(&to) {
+            } else if let Some(addr) = io.udp_clients.lock().remove(&to) {
                 // A UDP client: raw DNS bytes back to the source.
-                if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) = (udp, &msg) {
+                if let (Some(socket), ReplicaMsg::ClientResponse { bytes, .. }) =
+                    (io.udp.as_ref(), &msg)
+                {
                     let _ = socket.send_to(bytes, addr);
+                }
+            } else if io.tcp_query_clients.lock().contains_key(&to) {
+                // A TCP query client: plain framed DNS on its parked
+                // connection.
+                if let ReplicaMsg::ClientResponse { bytes, .. } = &msg {
+                    query::respond_tcp_query(&io.tcp_query_clients, to, bytes);
                 }
             } else {
                 // A TCP client: write on its registered connection.
                 if let Ok(encoded) = codec::encode(&msg) {
-                    let mut clients = clients.lock();
+                    let mut clients = io.clients.lock();
                     if let Some(stream) = clients.get_mut(&to) {
                         let _ = write_frame(stream, KIND_CLIENT, &encoded);
                     }
@@ -500,26 +595,23 @@ fn dispatch_action(
 }
 
 /// The single-threaded core owning the replica state machine.
-#[allow(clippy::too_many_arguments)]
 fn core_loop(
     mut replica: Replica,
     initial_actions: Vec<ReplicaAction>,
     rx: Receiver<Event>,
-    peer_txs: Vec<Option<Sender<Vec<u8>>>>,
-    clients: Arc<Mutex<HashMap<usize, TcpStream>>>,
-    udp: Option<std::net::UdpSocket>,
-    udp_clients: Arc<Mutex<HashMap<usize, SocketAddr>>>,
-    key: Vec<u8>,
-    me: usize,
+    io: CoreIo,
+    plane: Arc<ReadPlane>,
 ) -> Replica {
+    let me = io.me;
     // Self-sends loop back through this queue (FIFO) to preserve the
     // sans-IO loopback semantics of the signing sessions.
     let mut loopback: std::collections::VecDeque<ReplicaMsg> = std::collections::VecDeque::new();
     // Cold-start restore output (state-transfer requests, replayed
     // signing traffic) goes out before any network input is consumed.
     for action in initial_actions {
-        dispatch_action(action, &mut loopback, &peer_txs, &clients, udp.as_ref(), &udp_clients, &key, me);
+        dispatch_action(action, &mut loopback, &io);
     }
+    let mut published_epoch = replica.zone_epoch();
     loop {
         let event = if let Some(msg) = loopback.pop_front() {
             Event::FromReplica(me, msg)
@@ -566,8 +658,23 @@ fn core_loop(
             eprintln!("[{me}] <- {from}: {kind}");
         }
         for action in replica.on_message(from, msg) {
-            dispatch_action(action, &mut loopback, &peer_txs, &clients, udp.as_ref(), &udp_clients, &key, me);
+            if let ReplicaAction::Event(ReplicaEvent::UpdateShed { .. }) = &action {
+                ReadStats::bump(&plane.stats.update_shed);
+            }
+            dispatch_action(action, &mut loopback, &io);
         }
+        // Re-publish the read view after every executed update (cheap
+        // no-op comparison otherwise), and keep the operator stats
+        // mirrors fresh.
+        if replica.zone_epoch() != published_epoch {
+            plane.publish(replica.read_zone());
+            published_epoch = replica.zone_epoch();
+        }
+        plane
+            .stats
+            .read_only
+            .store(replica.is_read_only(), std::sync::atomic::Ordering::Relaxed);
+        plane.stats.mirror_overload(&replica.overload_counters());
     }
     replica
 }

@@ -1,0 +1,274 @@
+//! Property tests for the read plane: the fast path must be
+//! byte-identical (modulo the stamped id and RD bit, which it patches to
+//! match the query) to the state machine's `answer_query` for positive,
+//! NoData, NXDOMAIN, ANY, and out-of-zone answers over a generated
+//! signed zone — plus the answer cache's TTL-clamp edge cases and the
+//! CH-class TXT operator stats responder.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sdns_abcast::Group;
+use sdns_dns::answers;
+use sdns_dns::zone::Zone;
+use sdns_replica::readplane::{AnswerCache, ReadOutcome, ReadPlane, ReadZone, TtlPolicy};
+use sdns_dns::{Message, Name, RData, Rcode, Record, RecordClass, RecordType};
+use sdns_replica::{answer_query, deploy, example_zone, CostModel, ZoneSecurity};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+/// A signed zone with generated names (varied types and TTLs) and its
+/// read view — built once, shared across property cases.
+fn fixture() -> &'static (Zone, ReadZone) {
+    static FIXTURE: OnceLock<(Zone, ReadZone)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15);
+        let mut zone = example_zone();
+        for i in 0u8..24 {
+            let name = n(&format!("h{i:02}.example.com"));
+            let ttl = rng.gen_range(0..7200u32);
+            let _ = match i % 4 {
+                0 => zone.insert(Record::new(name, ttl, RData::A([10, 0, 0, i].into()))),
+                1 => zone.insert(Record::new(
+                    name,
+                    ttl,
+                    RData::Txt(vec![format!("gen-{i}").into_bytes()]),
+                )),
+                2 => zone.insert(Record::new(
+                    name.clone(),
+                    ttl,
+                    RData::Mx(u16::from(i), n("mail.example.com")),
+                )),
+                _ => zone.insert(Record::new(name, ttl, RData::Aaaa([i; 16].into()))),
+            };
+        }
+        let d = deploy(
+            Group::new(1, 0),
+            ZoneSecurity::SignedLocal,
+            CostModel::free(),
+            zone,
+            384,
+            false,
+            None,
+            &mut rng,
+        );
+        let zone = d.setup.zone;
+        let view = ReadZone::build(&zone, 7);
+        (zone, view)
+    })
+}
+
+/// Query targets: every zone name plus misses inside the zone (NXDOMAIN
+/// territory on both sides of the NXT chain) and out-of-zone names.
+fn candidate_names() -> Vec<Name> {
+    let (zone, _) = fixture();
+    let mut names: Vec<Name> = zone.names().cloned().collect();
+    names.push(n("aaa.example.com")); // canonically before most names
+    names.push(n("h11a.example.com")); // between generated names
+    names.push(n("zzz.example.com")); // after every name
+    names.push(n("deep.under.www.example.com"));
+    names.push(n("www.elsewhere.test")); // out of zone → REFUSED
+    names.push(n("com")); // above the apex → out of zone
+    names
+}
+
+const QTYPES: [u16; 12] = [
+    1,   // A
+    2,   // NS
+    5,   // CNAME
+    6,   // SOA
+    15,  // MX
+    16,  // TXT
+    24,  // SIG
+    25,  // KEY
+    28,  // AAAA
+    30,  // NXT
+    255, // ANY
+    99,  // unknown type → NoData
+];
+
+/// Asserts the fast path serves exactly the bytes the slow path would.
+fn assert_identical(name: &Name, qtype: u16, id: u16, rd: bool) {
+    let (zone, view) = fixture();
+    let mut msg = Message::query(id, name.clone(), RecordType::from_code(qtype));
+    msg.flags.rd = rd;
+    let wire = msg.to_bytes();
+    let q = answers::parse_question(&wire).expect("well-formed question");
+    let fast = view.answer(&q).expect("IN-class query is servable");
+    let slow = answer_query(zone, &msg).to_bytes();
+    assert_eq!(
+        fast, slow,
+        "fast/slow divergence for {name} type {qtype} (id {id}, rd {rd})"
+    );
+}
+
+proptest! {
+    #[test]
+    fn fast_path_matches_state_machine(
+        name_idx in 0usize..30,
+        qtype_idx in 0usize..QTYPES.len(),
+        id in any::<u16>(),
+        rd in any::<bool>(),
+    ) {
+        let names = candidate_names();
+        let name = &names[name_idx % names.len()];
+        assert_identical(name, QTYPES[qtype_idx], id, rd);
+    }
+}
+
+#[test]
+fn fast_path_matches_exhaustively() {
+    // The property test samples; this sweep is total over the candidate
+    // grid, so every NXT interval and every present type is covered.
+    for name in candidate_names() {
+        for qtype in QTYPES {
+            assert_identical(&name, qtype, 0x1234, true);
+        }
+    }
+}
+
+#[test]
+fn non_in_class_is_not_servable() {
+    let (_, view) = fixture();
+    let mut msg = Message::query(1, n("www.example.com"), RecordType::A);
+    msg.questions[0].qclass = RecordClass::Unknown(3);
+    let q = answers::parse_question(&msg.to_bytes()).unwrap();
+    assert!(view.answer(&q).is_none(), "CH class must take the slow path");
+}
+
+/// Parses a question out of a plain query for cache exercising.
+fn question(name: &str, qtype: RecordType, id: u16, rd: bool) -> answers::QueryQuestion {
+    let mut msg = Message::query(id, n(name), qtype);
+    msg.flags.rd = rd;
+    answers::parse_question(&msg.to_bytes()).unwrap()
+}
+
+/// A response with one answer record at `ttl` for cache tests.
+fn response_with_ttl(name: &str, ttl: u32) -> Vec<u8> {
+    let query = Message::query(0, n(name), RecordType::A);
+    let mut resp = query.response(Rcode::NoError);
+    resp.answers.push(Record::new(n(name), ttl, RData::A([192, 0, 2, 1].into())));
+    resp.to_bytes()
+}
+
+fn first_answer_ttl(bytes: &[u8]) -> u32 {
+    Message::from_bytes(bytes).unwrap().answers[0].ttl
+}
+
+#[test]
+fn cache_rejects_zero_ttl() {
+    let cache = AnswerCache::new(64, TtlPolicy::default());
+    let q = question("www.example.com", RecordType::A, 9, false);
+    cache.insert(&q, &response_with_ttl("www.example.com", 0), 300, 1, Duration::ZERO);
+    assert!(cache.is_empty(), "a zero-TTL answer must not be cached");
+    assert!(cache.get(&q, 1, Duration::ZERO).is_none());
+}
+
+#[test]
+fn cache_min_clamp_floors_zero_ttl_into_cacheability() {
+    let policy = TtlPolicy { min: 60, max: 86_400, decrement: true };
+    let cache = AnswerCache::new(64, policy);
+    let q = question("www.example.com", RecordType::A, 9, false);
+    cache.insert(&q, &response_with_ttl("www.example.com", 0), 300, 1, Duration::ZERO);
+    let hit = cache.get(&q, 1, Duration::ZERO).expect("floored entry is cacheable");
+    assert_eq!(first_answer_ttl(&hit), 60);
+}
+
+#[test]
+fn cache_max_clamp_caps_long_ttls() {
+    let policy = TtlPolicy { min: 0, max: 100, decrement: true };
+    let cache = AnswerCache::new(64, policy);
+    let q = question("www.example.com", RecordType::A, 9, false);
+    cache.insert(&q, &response_with_ttl("www.example.com", 3600), 300, 1, Duration::ZERO);
+    let hit = cache.get(&q, 1, Duration::ZERO).expect("clamped entry cached");
+    assert_eq!(first_answer_ttl(&hit), 100);
+}
+
+#[test]
+fn cache_decrements_ttls_by_age_and_expires_mid_flight() {
+    let cache = AnswerCache::new(64, TtlPolicy::default());
+    let q = question("www.example.com", RecordType::A, 0xBEEF, true);
+    cache.insert(&q, &response_with_ttl("www.example.com", 300), 300, 1, Duration::ZERO);
+    // Fresh hit: full TTL, id and RD stamped from the query.
+    let hit = cache.get(&q, 1, Duration::ZERO).unwrap();
+    assert_eq!(first_answer_ttl(&hit), 300);
+    assert_eq!(u16::from_be_bytes([hit[0], hit[1]]), 0xBEEF);
+    assert_eq!(hit[2] & 0x01, 0x01, "RD echoed");
+    // 200 s later the TTL has counted down.
+    let hit = cache.get(&q, 1, Duration::from_secs(200)).unwrap();
+    assert_eq!(first_answer_ttl(&hit), 100);
+    // At exactly the TTL boundary the entry dies mid-flight.
+    assert!(cache.get(&q, 1, Duration::from_secs(300)).is_none());
+    assert!(cache.is_empty(), "expiry evicts the entry");
+}
+
+#[test]
+fn cache_invalidated_by_zone_version() {
+    let cache = AnswerCache::new(64, TtlPolicy::default());
+    let q = question("www.example.com", RecordType::A, 1, false);
+    cache.insert(&q, &response_with_ttl("www.example.com", 300), 300, 1, Duration::ZERO);
+    assert!(cache.get(&q, 1, Duration::from_secs(1)).is_some());
+    // The zone moved: the stale entry is dropped, not served.
+    assert!(cache.get(&q, 2, Duration::from_secs(1)).is_none());
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn stats_query_answers_over_chaos_class() {
+    let (zone, _) = fixture();
+    let plane = ReadPlane::new(Arc::new(ReadZone::build(zone, 3)), 64, TtlPolicy::default());
+    // Serve a couple of real queries so the counters move.
+    let q = Message::query(5, n("www.example.com"), RecordType::A).to_bytes();
+    assert!(matches!(plane.serve(&q), ReadOutcome::Answer(_)));
+    assert!(matches!(plane.serve(&q), ReadOutcome::Answer(_)));
+    let mut stats = Message::query(77, n("stats.sdns"), RecordType::Txt);
+    stats.questions[0].qclass = RecordClass::Unknown(3);
+    let ReadOutcome::Answer(bytes) = plane.serve(&stats.to_bytes()) else {
+        panic!("CH TXT stats query must be answered in place");
+    };
+    let resp = Message::from_bytes(&bytes).unwrap();
+    assert_eq!(resp.id, 77);
+    let texts: Vec<String> = resp
+        .answers
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::Txt(parts) => {
+                Some(String::from_utf8_lossy(parts.first().map_or(&[][..], |p| p)).into_owned())
+            }
+            _ => None,
+        })
+        .collect();
+    for key in ["queries=", "cache_hits=", "cache_misses=", "zone_version=3", "read_only=0"] {
+        assert!(
+            texts.iter().any(|t| t.starts_with(key) || t == key),
+            "missing stats counter {key} in {texts:?}"
+        );
+    }
+    // Two data queries plus the stats query itself.
+    assert!(texts.iter().any(|t| t == "queries=3"), "three queries counted: {texts:?}");
+}
+
+#[test]
+fn non_stats_chaos_query_is_forwarded() {
+    let (zone, _) = fixture();
+    let plane = ReadPlane::new(Arc::new(ReadZone::build(zone, 1)), 64, TtlPolicy::default());
+    let mut msg = Message::query(5, n("version.bind"), RecordType::Txt);
+    msg.questions[0].qclass = RecordClass::Unknown(3);
+    assert!(matches!(plane.serve(&msg.to_bytes()), ReadOutcome::Forward));
+}
+
+#[test]
+fn plane_serves_from_cache_and_reports_hits() {
+    let (zone, _) = fixture();
+    let plane = ReadPlane::new(Arc::new(ReadZone::build(zone, 1)), 64, TtlPolicy::default());
+    let q = Message::query(5, n("mail.example.com"), RecordType::Mx).to_bytes();
+    let ReadOutcome::Answer(first) = plane.serve(&q) else { panic!("answerable") };
+    let ReadOutcome::Answer(second) = plane.serve(&q) else { panic!("answerable") };
+    assert_eq!(first, second, "cache hit must serve identical bytes");
+    use std::sync::atomic::Ordering;
+    assert_eq!(plane.stats.cache_misses.load(Ordering::Relaxed), 1);
+    assert!(plane.stats.cache_hits.load(Ordering::Relaxed) >= 1);
+}

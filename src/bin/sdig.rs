@@ -1,24 +1,72 @@
 //! `sdig` — a dig-style query client for the replicated name service.
 //!
 //! ```text
-//! sdig @SERVER[,SERVER...] NAME [TYPE] [--timeout SECS]
+//! sdig @SERVER[,SERVER...] NAME [TYPE] [--timeout SECS] [--framed]
 //! ```
 //!
-//! Multiple servers fail over round-robin on timeout, like real `dig`
-//! with a resolver list.
+//! Like real `dig`, the query goes out over UDP first; a truncated
+//! (TC-bit) answer is retried over plain DNS-TCP to the same server.
+//! When a server speaks neither (an old deployment exposing only the
+//! framed replica port), the framed TCP client is the last resort —
+//! or the only transport, with `--framed`. Multiple servers fail over
+//! round-robin, like `dig` with a resolver list.
 
 // Command-line entry point: aborting with a message on broken local
 // configuration is acceptable here, so the unwrap/expect lints are relaxed.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use sdns::dns::{Message, Name, RecordType};
-use sdns::replica::tcp::TcpClient;
-use std::net::SocketAddr;
+use sdns::dns::{answers, Message, Name, RecordType};
+use sdns::replica::tcp::{read_tcp_message, write_tcp_message, TcpClient};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::process::exit;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: sdig @SERVER[,SERVER...] NAME [A|AAAA|NS|MX|TXT|SOA|ANY|SIG|NXT|KEY] [--timeout SECS]");
+    eprintln!("usage: sdig @SERVER[,SERVER...] NAME [A|AAAA|NS|MX|TXT|SOA|ANY|SIG|NXT|KEY] [--timeout SECS] [--framed]");
     exit(2)
+}
+
+/// One UDP attempt against `server`: send, await a response matching
+/// our transaction id within `budget`.
+fn query_udp(server: SocketAddr, query: &[u8], budget: Duration) -> std::io::Result<Vec<u8>> {
+    let bind_addr: SocketAddr =
+        if server.is_ipv4() { "0.0.0.0:0".parse().unwrap() } else { "[::]:0".parse().unwrap() };
+    let socket = UdpSocket::bind(bind_addr)?;
+    socket.set_read_timeout(Some(budget))?;
+    socket.send_to(query, server)?;
+    let mut buf = [0u8; 65_535];
+    loop {
+        let (len, from) = socket.recv_from(&mut buf)?;
+        // Same server, same transaction id, a response bit: ours.
+        if from == server && len >= 12 && buf[..2] == query[..2] && buf[2] & 0x80 != 0 {
+            return Ok(buf[..len].to_vec());
+        }
+    }
+}
+
+/// One plain DNS-TCP attempt (RFC 1035 two-byte framing) — the retry
+/// path for truncated UDP answers.
+fn query_tcp(server: SocketAddr, query: &[u8], budget: Duration) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect_timeout(&server, budget)?;
+    stream.set_read_timeout(Some(budget))?;
+    stream.set_nodelay(true).ok();
+    write_tcp_message(&mut stream, query)?;
+    read_tcp_message(&mut stream)
+}
+
+/// UDP-first with TC-bit fallback to TCP, per server in order.
+fn query_plain_dns(servers: &[SocketAddr], query: &[u8], timeout: Duration) -> Option<Vec<u8>> {
+    let budget = (timeout / servers.len().max(1) as u32).max(Duration::from_millis(100));
+    for &server in servers {
+        let Ok(response) = query_udp(server, query, budget) else { continue };
+        if !answers::is_truncated(&response) {
+            return Some(response);
+        }
+        eprintln!(";; truncated answer from {server}, retrying over TCP");
+        if let Ok(full) = query_tcp(server, query, budget) {
+            return Some(full);
+        }
+    }
+    None
 }
 
 fn main() {
@@ -27,6 +75,7 @@ fn main() {
     let mut name: Option<Name> = None;
     let mut rtype = RecordType::A;
     let mut timeout = 10.0f64;
+    let mut framed_only = false;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -39,6 +88,8 @@ fn main() {
             }
         } else if arg == "--timeout" {
             timeout = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        } else if arg == "--framed" {
+            framed_only = true;
         } else if name.is_none() {
             name = Some(arg.parse().unwrap_or_else(|e| {
                 eprintln!("bad name {arg}: {e}");
@@ -68,33 +119,44 @@ fn main() {
     let (Some(name), false) = (name, servers.is_empty()) else { usage() };
 
     let query = Message::query(rand::random(), name.clone(), rtype);
-    let mut client = TcpClient::new(servers, Duration::from_secs_f64(timeout));
+    let wire = query.to_bytes();
+    let timeout = Duration::from_secs_f64(timeout);
     let started = std::time::Instant::now();
-    match client.request(&query.to_bytes()) {
-        Ok(bytes) => {
-            let resp = Message::from_bytes(&bytes).unwrap_or_else(|e| {
-                eprintln!("malformed response: {e}");
+
+    // UDP first, TC-bit fallback to plain TCP; the framed replica-port
+    // client is the last resort for old deployments.
+    let response = if framed_only { None } else { query_plain_dns(&servers, &wire, timeout) };
+    let bytes = match response {
+        Some(bytes) => bytes,
+        None => {
+            if !framed_only {
+                eprintln!(";; no plain-DNS answer, falling back to the framed replica port");
+            }
+            let mut client = TcpClient::new(servers, timeout);
+            client.request(&wire).unwrap_or_else(|e| {
+                eprintln!(";; no response: {e}");
                 exit(1)
-            });
-            println!(";; ->>HEADER<<- opcode: QUERY, status: {:?}, id: {}", resp.rcode, resp.id);
-            println!(";; QUESTION: {} {}", name, rtype);
-            if !resp.answers.is_empty() {
-                println!(";; ANSWER SECTION:");
-                for r in &resp.answers {
-                    println!("{r}");
-                }
-            }
-            if !resp.authorities.is_empty() {
-                println!(";; AUTHORITY SECTION:");
-                for r in &resp.authorities {
-                    println!("{r}");
-                }
-            }
-            println!(";; Query time: {} ms", started.elapsed().as_millis());
+            })
         }
-        Err(e) => {
-            eprintln!(";; no response: {e}");
-            exit(1);
+    };
+
+    let resp = Message::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("malformed response: {e}");
+        exit(1)
+    });
+    println!(";; ->>HEADER<<- opcode: QUERY, status: {:?}, id: {}", resp.rcode, resp.id);
+    println!(";; QUESTION: {} {}", name, rtype);
+    if !resp.answers.is_empty() {
+        println!(";; ANSWER SECTION:");
+        for r in &resp.answers {
+            println!("{r}");
         }
     }
+    if !resp.authorities.is_empty() {
+        println!(";; AUTHORITY SECTION:");
+        for r in &resp.authorities {
+            println!("{r}");
+        }
+    }
+    println!(";; Query time: {} ms", started.elapsed().as_millis());
 }

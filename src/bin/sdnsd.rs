@@ -4,11 +4,19 @@
 //! `zone.bin` next to it) and serves until interrupted.
 //!
 //! ```text
-//! sdnsd CONFIG-FILE [--udp PORT] [--state-dir DIR]
+//! sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]
 //! ```
 //!
 //! With `--udp`, the replica additionally answers plain DNS-over-UDP on
 //! that port, so unmodified resolvers (`dig`) can query it directly.
+//! Queries are served by the read plane on the listener threads
+//! (`--udp-workers` of them) without entering the consensus pipeline;
+//! answers over 512 bytes come back truncated with the TC bit set.
+//!
+//! With `--tcp-dns`, the replica also answers plain DNS-over-TCP
+//! (RFC 1035 two-byte framing) on that port — the retry path for
+//! truncated UDP answers. Use the same port number as `--udp` for the
+//! conventional DNS setup.
 //!
 //! With `--state-dir`, the replica keeps durable state in DIR (a
 //! write-ahead log plus crash-consistent snapshots): a restarted
@@ -29,6 +37,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut udp_port: Option<u16> = None;
+    let mut tcp_dns_port: Option<u16> = None;
+    let mut udp_workers: Option<usize> = None;
     let mut state_dir: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -36,6 +46,18 @@ fn main() {
             udp_port = iter.next().and_then(|v| v.parse().ok());
             if udp_port.is_none() {
                 eprintln!("--udp needs a port number");
+                exit(2);
+            }
+        } else if arg == "--tcp-dns" {
+            tcp_dns_port = iter.next().and_then(|v| v.parse().ok());
+            if tcp_dns_port.is_none() {
+                eprintln!("--tcp-dns needs a port number");
+                exit(2);
+            }
+        } else if arg == "--udp-workers" {
+            udp_workers = iter.next().and_then(|v| v.parse().ok());
+            if udp_workers.is_none() {
+                eprintln!("--udp-workers needs a thread count");
                 exit(2);
             }
         } else if arg == "--state-dir" {
@@ -49,7 +71,7 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--state-dir DIR]\n\nRun one replica from a config written by sdns-keygen.");
+        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]\n\nRun one replica from a config written by sdns-keygen.");
         exit(2);
     };
     let file = load_replica(Path::new(&path)).unwrap_or_else(|e| {
@@ -68,6 +90,14 @@ fn main() {
         addr.set_port(port);
         config.udp_listen = Some(addr);
     }
+    if let Some(port) = tcp_dns_port {
+        let mut addr = config.peers[me];
+        addr.set_port(port);
+        config.dns_tcp_listen = Some(addr);
+    }
+    if let Some(workers) = udp_workers {
+        config.udp_workers = workers.max(1);
+    }
     if let Some(dir) = &state_dir {
         // Durable state needs the wall-clock ticker: it drives the
         // reliable-link resends that carry recovery traffic.
@@ -79,6 +109,10 @@ fn main() {
         .udp_listen
         .map(|a| format!(", plain DNS/UDP on {a}"))
         .unwrap_or_default();
+    let tcp_note = config
+        .dns_tcp_listen
+        .map(|a| format!(", plain DNS/TCP on {a}"))
+        .unwrap_or_default();
     let durable_note = state_dir
         .as_ref()
         .map(|d| format!(", durable state in {d}"))
@@ -87,7 +121,7 @@ fn main() {
         eprintln!("cannot bind {listen}: {e}");
         exit(1)
     });
-    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}{durable_note}");
+    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}{tcp_note}{durable_note}");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::park();

@@ -42,6 +42,10 @@ const UNTRUSTED_MODULES: &[&str] = &[
     // Overload governance: fed by peer-controlled session ids and
     // round numbers, so its bounds must hold without panicking.
     "crates/replica/src/overload.rs",
+    // Read plane: parses and answers raw client datagrams, and the
+    // DNS-over-UDP/TCP listeners frame bytes straight off the wire.
+    "crates/replica/src/readplane.rs",
+    "crates/replica/src/tcp/query.rs",
     // Atomic-broadcast message handlers: peer (possibly Byzantine) input.
     "crates/abcast/src/abcast.rs",
     "crates/abcast/src/rbc.rs",
