@@ -37,6 +37,7 @@ mod messages;
 pub mod overload;
 pub mod readplane;
 pub mod reliable;
+pub mod rrl;
 pub mod snapshot;
 mod replica;
 pub mod tcp;
@@ -49,4 +50,5 @@ pub use genesis::{deploy, example_zone, Deployment};
 pub use messages::ReplicaMsg;
 pub use overload::{OverloadConfig, OverloadCounters, ShedReason};
 pub use reliable::{LinkLayer, RetransmitCfg};
+pub use rrl::{Admission, ConnConfig, ConnGovernor, RateLimiter, RrlConfig, RrlDecision};
 pub use replica::{answer_query, NodeId, Replica, ReplicaAction, ReplicaEvent, ReplicaSetup, ReplicaSigner};

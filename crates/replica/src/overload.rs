@@ -78,6 +78,12 @@ pub struct OverloadConfig {
     /// TCP runtime: frames buffered per peer writer before the oldest
     /// are dropped (the link layer retransmits what mattered).
     pub outbox_frames: usize,
+    /// Read-plane response rate limiting for the plain-DNS UDP
+    /// listener (see [`crate::rrl::RateLimiter`]). Off by default.
+    pub rrl: crate::rrl::RrlConfig,
+    /// Plain-DNS TCP connection governance: caps, idle/read deadlines,
+    /// oldest-idle eviction (see [`crate::rrl::ConnGovernor`]).
+    pub conn: crate::rrl::ConnConfig,
 }
 
 impl Default for OverloadConfig {
@@ -93,6 +99,8 @@ impl Default for OverloadConfig {
             resend_replies_per_tick: 4,
             max_snapshot_blob: 16 << 20,
             outbox_frames: 4096,
+            rrl: crate::rrl::RrlConfig::default(),
+            conn: crate::rrl::ConnConfig::default(),
         }
     }
 }

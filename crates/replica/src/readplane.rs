@@ -542,6 +542,20 @@ pub struct ReadStats {
     pub retired_ring: AtomicU64,
     /// Gauge mirrored from [`OverloadCounters::pending_gateway`](crate::OverloadCounters).
     pub pending_gateway: AtomicU64,
+    /// Over-limit UDP queries dropped by the response rate limiter.
+    pub rrl_dropped: AtomicU64,
+    /// Over-limit UDP queries answered with a TC=1 slip stub.
+    pub rrl_slipped: AtomicU64,
+    /// Prefixes evicted from the bounded RRL table (mirrored gauge).
+    pub rrl_evictions: AtomicU64,
+    /// Source prefixes currently tracked by the RRL table (gauge).
+    pub rrl_prefixes: AtomicU64,
+    /// Live governed plain-DNS TCP connections (gauge).
+    pub conn_active: AtomicU64,
+    /// TCP connections evicted as oldest-idle at the global cap.
+    pub conn_evicted: AtomicU64,
+    /// TCP connections rejected over the per-IP cap.
+    pub conn_rejected: AtomicU64,
 }
 
 impl ReadStats {
@@ -607,6 +621,13 @@ impl ReadPlane {
     /// The currently published view.
     pub fn current(&self) -> Arc<ReadZone> {
         self.zone.read().clone()
+    }
+
+    /// Milliseconds since this plane was created — the listeners'
+    /// shared monotonic clock for rate limiting and connection
+    /// governance (the sans-IO structures take explicit times).
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
     /// Serves one inbound datagram/stream message if it is a read-plane
@@ -715,6 +736,13 @@ impl ReadPlane {
             format!("early_messages={}", s.early_messages.load(Ordering::Relaxed)),
             format!("retired_ring={}", s.retired_ring.load(Ordering::Relaxed)),
             format!("pending_gateway={}", s.pending_gateway.load(Ordering::Relaxed)),
+            format!("rrl_dropped={}", s.rrl_dropped.load(Ordering::Relaxed)),
+            format!("rrl_slipped={}", s.rrl_slipped.load(Ordering::Relaxed)),
+            format!("rrl_evictions={}", s.rrl_evictions.load(Ordering::Relaxed)),
+            format!("rrl_prefixes={}", s.rrl_prefixes.load(Ordering::Relaxed)),
+            format!("conn_active={}", s.conn_active.load(Ordering::Relaxed)),
+            format!("conn_evicted={}", s.conn_evicted.load(Ordering::Relaxed)),
+            format!("conn_rejected={}", s.conn_rejected.load(Ordering::Relaxed)),
         ];
         let chaos = RecordClass::from_code(CLASS_CHAOS);
         let msg = Message {

@@ -1,0 +1,542 @@
+//! Read-plane abuse resistance: response rate limiting (RRL) and TCP
+//! connection governance.
+//!
+//! PR 6 made the replica Internet-facing; this module extends the
+//! overload-governance philosophy of [`crate::overload`] — every bound
+//! a knob, `0` disables, deterministic, observable — to abusive
+//! *clients* rather than Byzantine replicas:
+//!
+//! * [`RateLimiter`] implements DNS response-rate limiting: a token
+//!   bucket per source *prefix* (/24 for IPv4, /56 for IPv6 — the
+//!   granularity an amplification attacker can spoof within) over a
+//!   sharded, bounded table. Over-limit queries are mostly dropped
+//!   silently, killing the amplification value of a spoofed-source
+//!   flood; a configurable `slip` ratio answers 1-in-N of them with a
+//!   truncated TC=1 stub so a *legitimate* client sharing the prefix
+//!   is pushed to TCP (where its source address is proven by the
+//!   handshake) instead of starved.
+//! * [`ConnGovernor`] bounds the TCP side: global and per-IP
+//!   concurrent-connection caps with oldest-idle eviction when the
+//!   global cap is hit, protecting the thread-per-connection listener
+//!   from slow-loris accumulation. Idle/read deadlines themselves are
+//!   enforced by the listener (see `tcp::query`); the governor is the
+//!   bookkeeping that decides who may stay.
+//!
+//! Both structures are sans-IO and clock-free: every method takes an
+//! explicit `now_ms`, so the chaos/storm harnesses drive them on
+//! virtual time and replays are byte-identical. The listeners feed
+//! them milliseconds since process start.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Response-rate-limiter knobs. Following [`crate::OverloadConfig`]'s
+/// convention, `rate == 0` disables RRL entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrlConfig {
+    /// Steady-state responses per second granted to one source prefix.
+    /// `0` disables rate limiting (every query is answered).
+    pub rate: u32,
+    /// Bucket capacity: how many responses a prefix may burst above
+    /// the steady rate. Clamped to at least 1 when RRL is enabled.
+    pub burst: u32,
+    /// Escape hatch for legitimate clients behind a spoofed prefix:
+    /// 1-in-`slip` over-limit queries are answered with a truncated
+    /// TC=1 stub (pushing the client to TCP) instead of silently
+    /// dropped. `0` drops every over-limit query.
+    pub slip: u32,
+    /// Upper bound on tracked prefixes across the whole table; when a
+    /// shard is full the stalest prefix is evicted. Clamped to at
+    /// least one entry per shard.
+    pub max_prefixes: usize,
+}
+
+impl Default for RrlConfig {
+    fn default() -> Self {
+        // RRL is opt-in (rate 0), matching production DNS servers
+        // where response-rate limiting is explicitly configured; the
+        // sizing knobs default to useful values so enabling it is a
+        // one-flag change.
+        RrlConfig { rate: 0, burst: 32, slip: 2, max_prefixes: 4096 }
+    }
+}
+
+/// What the rate limiter decided about one inbound UDP query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrlDecision {
+    /// Within budget: answer normally.
+    Answer,
+    /// Over budget, slip slot: answer with a truncated TC=1 stub.
+    Slip,
+    /// Over budget: drop silently (no amplification).
+    Drop,
+}
+
+/// Token bucket for one source prefix, in millitokens so refill is
+/// exact integer math (`rate` tokens/s == `rate` millitokens/ms).
+#[derive(Debug)]
+struct Bucket {
+    /// Available credit, in 1/1000ths of a response.
+    tokens_milli: u64,
+    /// Last refill instant (ms on the caller's clock).
+    updated_ms: u64,
+    /// Consecutive over-limit queries since the last granted answer;
+    /// drives the 1-in-N slip cadence.
+    debt: u64,
+}
+
+/// Shard count for the prefix table (same sizing as the read plane's
+/// cache shards: enough to keep worker threads off each other).
+const RRL_SHARDS: usize = 16;
+
+/// Sharded, bounded token-bucket table keyed by source prefix.
+#[derive(Debug)]
+pub struct RateLimiter {
+    cfg: RrlConfig,
+    shards: Box<[Mutex<HashMap<u64, Bucket, FnvBuild>>]>,
+    per_shard: usize,
+    occupancy: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter under `cfg`.
+    pub fn new(cfg: RrlConfig) -> Self {
+        let shards: Vec<Mutex<HashMap<u64, Bucket, FnvBuild>>> =
+            (0..RRL_SHARDS).map(|_| Mutex::new(HashMap::default())).collect();
+        RateLimiter {
+            cfg,
+            shards: shards.into_boxed_slice(),
+            per_shard: (cfg.max_prefixes / RRL_SHARDS).max(1),
+            occupancy: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether rate limiting is active at all.
+    pub fn enabled(&self) -> bool {
+        self.cfg.rate > 0
+    }
+
+    /// Accounts one query from `src` at `now_ms` and decides its fate.
+    pub fn check(&self, src: IpAddr, now_ms: u64) -> RrlDecision {
+        if self.cfg.rate == 0 {
+            return RrlDecision::Answer;
+        }
+        let key = prefix_key(src);
+        let cap_milli = u64::from(self.cfg.burst.max(1)).saturating_mul(1000);
+        let Some(shard) = self.shards.get(shard_of(key)) else {
+            // Unreachable (the index is masked into 0..RRL_SHARDS);
+            // fail open rather than panic.
+            return RrlDecision::Answer;
+        };
+        let mut map = lock(shard);
+        if !map.contains_key(&key) {
+            if map.len() >= self.per_shard {
+                // Bounded table: evict the stalest prefix (oldest
+                // refill instant, ties by smallest key — a total order
+                // independent of map iteration, so replays agree).
+                let victim = map
+                    .iter()
+                    .map(|(k, b)| (b.updated_ms, *k))
+                    .min()
+                    .map(|(_, k)| k);
+                if let Some(victim) = victim {
+                    let _ = map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.occupancy.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            let _ = map.insert(
+                key,
+                Bucket { tokens_milli: cap_milli, updated_ms: now_ms, debt: 0 },
+            );
+            self.occupancy.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(bucket) = map.get_mut(&key) else {
+            // Unreachable: inserted above when absent.
+            return RrlDecision::Answer;
+        };
+        let elapsed = now_ms.saturating_sub(bucket.updated_ms);
+        let refill = elapsed.saturating_mul(u64::from(self.cfg.rate));
+        bucket.tokens_milli = bucket.tokens_milli.saturating_add(refill).min(cap_milli);
+        bucket.updated_ms = now_ms;
+        if bucket.tokens_milli >= 1000 {
+            bucket.tokens_milli = bucket.tokens_milli.saturating_sub(1000);
+            bucket.debt = 0;
+            return RrlDecision::Answer;
+        }
+        bucket.debt = bucket.debt.saturating_add(1);
+        let slip = u64::from(self.cfg.slip);
+        if slip > 0 && bucket.debt.checked_rem(slip) == Some(0) {
+            RrlDecision::Slip
+        } else {
+            RrlDecision::Drop
+        }
+    }
+
+    /// Currently tracked prefixes (gauge).
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy.load(Ordering::Relaxed)
+    }
+
+    /// Prefixes evicted from the bounded table so far (counter).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// Collapses a source address into its accountable prefix: /24 for
+/// IPv4, /56 for IPv6 — the spoofing granularity RRL defends against.
+/// The tag bits keep the two families from colliding.
+fn prefix_key(ip: IpAddr) -> u64 {
+    match ip {
+        IpAddr::V4(v4) => (1u64 << 62) | u64::from(u32::from(v4) >> 8),
+        IpAddr::V6(v6) => {
+            let top56 = u128::from(v6) >> 72;
+            (1u64 << 63) | u64::try_from(top56).unwrap_or(0)
+        }
+    }
+}
+
+/// Shard slot for a prefix key.
+fn shard_of(key: u64) -> usize {
+    // Mix the tag bits down so v4 prefixes spread over all shards.
+    let mixed = key ^ (key >> 33) ^ (key >> 17);
+    // sdns-lint: allow(cast) — u64→usize truncation is immaterial under the RRL_SHARDS-1 mask
+    (mixed as usize) & (RRL_SHARDS - 1)
+}
+
+/// TCP connection-governance knobs. `0` disables each bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnConfig {
+    /// Global cap on concurrent plain-DNS TCP connections; at the cap
+    /// the oldest-idle connection is evicted to admit the new one.
+    /// `0` = unlimited.
+    pub max_conns: usize,
+    /// Per-source-IP cap on concurrent connections; over the cap new
+    /// connections are rejected outright. `0` = unlimited.
+    pub max_conns_per_ip: usize,
+    /// Milliseconds a connection may sit between requests before the
+    /// read loop closes it. `0` = no idle deadline.
+    pub idle_ms: u64,
+    /// Milliseconds one framed request may take from first byte to
+    /// complete message (anti slow-loris). `0` = no per-read deadline.
+    pub read_ms: u64,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        ConnConfig { max_conns: 1024, max_conns_per_ip: 64, idle_ms: 30_000, read_ms: 10_000 }
+    }
+}
+
+/// One governed connection's bookkeeping entry.
+#[derive(Debug)]
+struct ConnEntry {
+    ip: IpAddr,
+    last_active_ms: u64,
+}
+
+/// The governor's admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted under `id`; if `evict` is set, the caller must close
+    /// the connection it registered under that id (the oldest-idle
+    /// victim displaced by the global cap).
+    Admitted {
+        /// The new connection's governor id.
+        id: u64,
+        /// Oldest-idle connection to close, when the global cap hit.
+        evict: Option<u64>,
+    },
+    /// Over the per-IP cap: close the new connection immediately.
+    Rejected,
+}
+
+/// Tracks live plain-DNS TCP connections and enforces the caps. The
+/// governor never touches sockets — it returns verdicts and victim
+/// ids; the listener owns the actual streams.
+#[derive(Debug)]
+pub struct ConnGovernor {
+    cfg: ConnConfig,
+    inner: Mutex<HashMap<u64, ConnEntry, FnvBuild>>,
+    next_id: AtomicU64,
+    evicted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ConnGovernor {
+    /// Creates a governor under `cfg`.
+    pub fn new(cfg: ConnConfig) -> Self {
+        ConnGovernor {
+            cfg,
+            inner: Mutex::new(HashMap::default()),
+            next_id: AtomicU64::new(1),
+            evicted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The governing knobs (the listener needs the deadlines).
+    pub fn config(&self) -> ConnConfig {
+        self.cfg
+    }
+
+    /// Decides whether a new connection from `ip` may be served.
+    pub fn admit(&self, ip: IpAddr, now_ms: u64) -> Admission {
+        let mut map = lock(&self.inner);
+        if self.cfg.max_conns_per_ip > 0 {
+            let from_ip = map.values().filter(|e| e.ip == ip).count();
+            if from_ip >= self.cfg.max_conns_per_ip {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Admission::Rejected;
+            }
+        }
+        let mut evict = None;
+        if self.cfg.max_conns > 0 && map.len() >= self.cfg.max_conns {
+            // Oldest-idle eviction: smallest last-activity stamp, ties
+            // by smallest id — deterministic under virtual time.
+            let victim = map
+                .iter()
+                .map(|(id, e)| (e.last_active_ms, *id))
+                .min()
+                .map(|(_, id)| id);
+            if let Some(victim) = victim {
+                let _ = map.remove(&victim);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                evict = Some(victim);
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let _ = map.insert(id, ConnEntry { ip, last_active_ms: now_ms });
+        Admission::Admitted { id, evict }
+    }
+
+    /// Records request activity on `id` (resets its idle age).
+    pub fn touch(&self, id: u64, now_ms: u64) {
+        if let Some(entry) = lock(&self.inner).get_mut(&id) {
+            entry.last_active_ms = now_ms;
+        }
+    }
+
+    /// Removes `id` when its connection closes.
+    pub fn release(&self, id: u64) {
+        let _ = lock(&self.inner).remove(&id);
+    }
+
+    /// Live governed connections (gauge).
+    pub fn active(&self) -> u64 {
+        u64::try_from(lock(&self.inner).len()).unwrap_or(u64::MAX)
+    }
+
+    /// Connections evicted as oldest-idle so far (counter).
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected over the per-IP cap so far (counter).
+    pub fn rejections(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// FNV-1a hasher for the small fixed keys above (same rationale as the
+/// read plane: SipHash's DoS resistance buys nothing for 8-byte keys
+/// derived from already-bounded address prefixes, and FNV is faster).
+#[derive(Debug, Default)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for byte in bytes {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+    fn v4(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(a, b, c, d))
+    }
+
+    #[test]
+    fn disabled_rrl_answers_everything() {
+        let rrl = RateLimiter::new(RrlConfig { rate: 0, ..RrlConfig::default() });
+        for i in 0..10_000 {
+            assert_eq!(rrl.check(v4(192, 0, 2, 1), i), RrlDecision::Answer);
+        }
+        assert!(!rrl.enabled());
+    }
+
+    #[test]
+    fn bucket_grants_burst_then_limits() {
+        let cfg = RrlConfig { rate: 10, burst: 5, slip: 0, max_prefixes: 64 };
+        let rrl = RateLimiter::new(cfg);
+        let src = v4(192, 0, 2, 7);
+        // All at t=0: exactly `burst` answers, then drops.
+        let mut answered = 0;
+        for _ in 0..100 {
+            if rrl.check(src, 0) == RrlDecision::Answer {
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, 5);
+        // 100ms later: 10/s * 0.1s = 1 token refilled.
+        assert_eq!(rrl.check(src, 100), RrlDecision::Answer);
+        assert_eq!(rrl.check(src, 100), RrlDecision::Drop);
+    }
+
+    #[test]
+    fn slip_answers_one_in_n() {
+        let cfg = RrlConfig { rate: 1, burst: 1, slip: 3, max_prefixes: 64 };
+        let rrl = RateLimiter::new(cfg);
+        let src = v4(203, 0, 113, 9);
+        assert_eq!(rrl.check(src, 0), RrlDecision::Answer);
+        let verdicts: Vec<RrlDecision> = (0..9).map(|_| rrl.check(src, 0)).collect();
+        let slips = verdicts.iter().filter(|d| **d == RrlDecision::Slip).count();
+        let drops = verdicts.iter().filter(|d| **d == RrlDecision::Drop).count();
+        assert_eq!(slips, 3, "exactly 1-in-3 over-limit queries slip: {verdicts:?}");
+        assert_eq!(drops, 6);
+        // Every 3rd over-limit query is the slip.
+        assert_eq!(verdicts.get(2), Some(&RrlDecision::Slip));
+        assert_eq!(verdicts.get(5), Some(&RrlDecision::Slip));
+    }
+
+    #[test]
+    fn same_slash24_shares_one_bucket_different_prefixes_do_not() {
+        let cfg = RrlConfig { rate: 1, burst: 2, slip: 0, max_prefixes: 64 };
+        let rrl = RateLimiter::new(cfg);
+        assert_eq!(rrl.check(v4(198, 51, 100, 1), 0), RrlDecision::Answer);
+        assert_eq!(rrl.check(v4(198, 51, 100, 200), 0), RrlDecision::Answer);
+        // Third query from the same /24 is over the burst...
+        assert_eq!(rrl.check(v4(198, 51, 100, 77), 0), RrlDecision::Drop);
+        // ...but a neighboring /24 has its own bucket.
+        assert_eq!(rrl.check(v4(198, 51, 101, 77), 0), RrlDecision::Answer);
+    }
+
+    #[test]
+    fn v6_keys_by_slash56() {
+        let cfg = RrlConfig { rate: 1, burst: 1, slip: 0, max_prefixes: 64 };
+        let rrl = RateLimiter::new(cfg);
+        let a = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0x0100, 0, 0, 0, 1));
+        let b = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0x01ff, 0, 0, 0, 2));
+        let c = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0x0200, 0, 0, 0, 1));
+        assert_eq!(rrl.check(a, 0), RrlDecision::Answer);
+        // Same /56 (differs only below bit 56): shares the bucket.
+        assert_eq!(rrl.check(b, 0), RrlDecision::Drop);
+        // Different /56: own bucket.
+        assert_eq!(rrl.check(c, 0), RrlDecision::Answer);
+    }
+
+    #[test]
+    fn bounded_table_evicts_stalest_prefix() {
+        // One entry per shard: the second prefix hashing to a shard
+        // evicts the staler first one.
+        let cfg = RrlConfig { rate: 1, burst: 1, slip: 0, max_prefixes: RRL_SHARDS };
+        let rrl = RateLimiter::new(cfg);
+        let mut inserted = 0u64;
+        for c in 0..255u8 {
+            let _ = rrl.check(v4(10, 0, c, 1), u64::from(c));
+            inserted += 1;
+            if rrl.evictions() > 0 {
+                break;
+            }
+        }
+        assert!(rrl.evictions() > 0, "table stayed unbounded after {inserted} prefixes");
+        assert!(rrl.occupancy() <= RRL_SHARDS as u64);
+    }
+
+    #[test]
+    fn refill_is_exact_integer_math() {
+        // 3 tokens/s: after 334ms exactly one token (1002 millitokens)
+        // has accrued; after 333ms none (999).
+        let cfg = RrlConfig { rate: 3, burst: 1, slip: 0, max_prefixes: 64 };
+        let rrl = RateLimiter::new(cfg);
+        let src = v4(192, 0, 2, 50);
+        assert_eq!(rrl.check(src, 0), RrlDecision::Answer);
+        assert_eq!(rrl.check(src, 333), RrlDecision::Drop);
+        assert_eq!(rrl.check(src, 334), RrlDecision::Answer);
+    }
+
+    #[test]
+    fn governor_rejects_over_per_ip_cap() {
+        let gov = ConnGovernor::new(ConnConfig {
+            max_conns: 0,
+            max_conns_per_ip: 2,
+            ..ConnConfig::default()
+        });
+        let ip = v4(192, 0, 2, 1);
+        assert!(matches!(gov.admit(ip, 0), Admission::Admitted { .. }));
+        assert!(matches!(gov.admit(ip, 1), Admission::Admitted { .. }));
+        assert_eq!(gov.admit(ip, 2), Admission::Rejected);
+        assert_eq!(gov.rejections(), 1);
+        // A different IP is unaffected.
+        assert!(matches!(gov.admit(v4(192, 0, 2, 2), 3), Admission::Admitted { .. }));
+    }
+
+    #[test]
+    fn governor_evicts_oldest_idle_at_global_cap() {
+        let gov = ConnGovernor::new(ConnConfig {
+            max_conns: 2,
+            max_conns_per_ip: 0,
+            ..ConnConfig::default()
+        });
+        let Admission::Admitted { id: first, .. } = gov.admit(v4(10, 0, 0, 1), 0) else {
+            unreachable!("under cap")
+        };
+        let Admission::Admitted { id: second, .. } = gov.admit(v4(10, 0, 0, 2), 10) else {
+            unreachable!("under cap")
+        };
+        // `first` stays busy; `second` goes idle.
+        gov.touch(first, 500);
+        let Admission::Admitted { evict, .. } = gov.admit(v4(10, 0, 0, 3), 1000) else {
+            unreachable!("cap admits by evicting")
+        };
+        assert_eq!(evict, Some(second), "oldest-idle connection is the victim");
+        assert_eq!(gov.evictions(), 1);
+        assert_eq!(gov.active(), 2);
+    }
+
+    #[test]
+    fn governor_release_frees_capacity() {
+        let gov = ConnGovernor::new(ConnConfig {
+            max_conns: 1,
+            max_conns_per_ip: 1,
+            ..ConnConfig::default()
+        });
+        let ip = v4(10, 0, 0, 9);
+        let Admission::Admitted { id, .. } = gov.admit(ip, 0) else { unreachable!("under cap") };
+        assert_eq!(gov.admit(ip, 1), Admission::Rejected);
+        gov.release(id);
+        assert_eq!(gov.active(), 0);
+        assert!(matches!(gov.admit(ip, 2), Admission::Admitted { evict: None, .. }));
+    }
+
+    #[test]
+    fn touch_on_released_id_is_harmless() {
+        let gov = ConnGovernor::new(ConnConfig::default());
+        gov.touch(42, 100);
+        gov.release(42);
+        assert_eq!(gov.active(), 0);
+    }
+}

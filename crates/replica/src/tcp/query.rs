@@ -18,6 +18,7 @@
 //! telling the client to retry over TCP.
 
 use crate::readplane::{ReadOutcome, ReadPlane, ReadStats};
+use crate::rrl::{Admission, ConnConfig, ConnGovernor, RateLimiter, RrlDecision};
 use parking_lot::Mutex;
 use sdns_dns::answers;
 use std::collections::HashMap;
@@ -26,6 +27,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Classic maximum UDP DNS payload (no EDNS in this DNS-SEC-era
 /// reproduction): longer answers are truncated to a TC-bit stub.
@@ -83,13 +85,21 @@ pub fn respond_tcp_query(clients: &TcpQueryClients, client_id: usize, bytes: &[u
 
 /// Spawns `workers` UDP serving threads sharing `socket`.
 ///
-/// Each worker answers read-plane queries in place and calls
-/// `forward(source, bytes)` for everything else; the runtime routes the
-/// eventual response back to `source` over the same socket.
+/// Each worker first runs the datagram's source through the response
+/// rate limiter (`rrl`): over-limit queries are mostly dropped
+/// silently, with 1-in-`slip` answered by a TC=1 stub pushing the
+/// client to TCP. In-budget read-plane queries are answered in place;
+/// everything else goes to `forward(source, bytes)` and the runtime
+/// routes the eventual response back to `source` over the same socket.
+///
+/// Transient `recv_from` errors (e.g. ICMP port-unreachable surfacing
+/// as `ECONNRESET` on some platforms) are logged and the worker keeps
+/// serving; only the stop flag ends the loop.
 pub fn spawn_udp_workers(
     socket: &UdpSocket,
     workers: usize,
     plane: &Arc<ReadPlane>,
+    rrl: &Arc<RateLimiter>,
     stop: &Arc<AtomicBool>,
     forward: impl Fn(SocketAddr, Vec<u8>) + Send + Clone + 'static,
 ) -> std::io::Result<Vec<JoinHandle<()>>> {
@@ -97,15 +107,53 @@ pub fn spawn_udp_workers(
     for _ in 0..workers.max(1) {
         let socket = socket.try_clone()?;
         let plane = Arc::clone(plane);
+        let rrl = Arc::clone(rrl);
         let stop = Arc::clone(stop);
         let forward = forward.clone();
         handles.push(std::thread::spawn(move || {
             let mut buf = [0u8; MAX_TCP_MESSAGE];
-            while let Ok((len, from)) = socket.recv_from(&mut buf) {
+            let mut recv_errors: u64 = 0;
+            loop {
+                let (len, from) = match socket.recv_from(&mut buf) {
+                    Ok(got) => got,
+                    Err(err) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient receive failure: log the first few
+                        // (then every 1024th) and keep serving instead
+                        // of silently retiring the worker.
+                        recv_errors = recv_errors.saturating_add(1);
+                        if recv_errors <= 3 || recv_errors.checked_rem(1024) == Some(0) {
+                            eprintln!("[udp] recv error #{recv_errors} (continuing): {err}");
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                };
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Some(bytes) = buf.get(..len) else { continue };
+                if rrl.enabled() {
+                    match rrl.check(from.ip(), plane.uptime_ms()) {
+                        RrlDecision::Answer => {}
+                        RrlDecision::Slip => {
+                            ReadStats::bump(&plane.stats.rrl_slipped);
+                            mirror_rrl(&plane.stats, &rrl);
+                            if let Some(q) = answers::parse_question(bytes) {
+                                let _ = socket.send_to(&answers::truncated_response(&q), from);
+                            }
+                            continue;
+                        }
+                        RrlDecision::Drop => {
+                            ReadStats::bump(&plane.stats.rrl_dropped);
+                            mirror_rrl(&plane.stats, &rrl);
+                            continue;
+                        }
+                    }
+                    mirror_rrl(&plane.stats, &rrl);
+                }
                 match plane.serve(bytes) {
                     ReadOutcome::Answer(response) => {
                         let response = clamp_udp(&plane, bytes, response);
@@ -117,6 +165,19 @@ pub fn spawn_udp_workers(
         }));
     }
     Ok(handles)
+}
+
+/// Copies the rate limiter's gauges into the operator stats counters.
+fn mirror_rrl(stats: &ReadStats, rrl: &RateLimiter) {
+    stats.rrl_prefixes.store(rrl.occupancy(), Ordering::Relaxed);
+    stats.rrl_evictions.store(rrl.evictions(), Ordering::Relaxed);
+}
+
+/// Copies the connection governor's gauges into the operator stats.
+fn mirror_governance(stats: &ReadStats, gov: &ConnGovernor) {
+    stats.conn_active.store(gov.active(), Ordering::Relaxed);
+    stats.conn_evicted.store(gov.evictions(), Ordering::Relaxed);
+    stats.conn_rejected.store(gov.rejections(), Ordering::Relaxed);
 }
 
 /// Replaces an oversized UDP answer with a TC-bit stub (the client
@@ -144,8 +205,19 @@ fn clamp_udp(plane: &ReadPlane, query: &[u8], response: Vec<u8>) -> Vec<u8> {
     }
 }
 
+/// Streams of governed TCP query connections, keyed by governor id, so
+/// an oldest-idle eviction can shut down a connection another thread is
+/// blocked reading from.
+type GovernedConns = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
 /// Spawns the TCP query listener: plain framed DNS, one thread per
 /// connection, multiple requests per connection.
+///
+/// Every accepted connection passes through `gov`: over the per-IP cap
+/// it is dropped on the floor; at the global cap the oldest-idle
+/// governed connection is shut down to make room. The serve loop
+/// enforces the governor's idle and per-read deadlines against
+/// slow-loris clients.
 ///
 /// Fast-path answers are written inline. For a forwarded request,
 /// `forward(bytes, stream)` must park the stream in `clients` under a
@@ -156,41 +228,82 @@ pub fn spawn_tcp_listener(
     listener: TcpListener,
     plane: &Arc<ReadPlane>,
     clients: &TcpQueryClients,
+    gov: &Arc<ConnGovernor>,
     stop: &Arc<AtomicBool>,
     forward: impl Fn(Vec<u8>, TcpStream) -> usize + Send + Clone + 'static,
 ) -> JoinHandle<()> {
     let plane = Arc::clone(plane);
     let clients = Arc::clone(clients);
+    let gov = Arc::clone(gov);
     let stop = Arc::clone(stop);
+    let governed: GovernedConns = Arc::new(Mutex::new(HashMap::new()));
     std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
+            let Ok(peer) = stream.peer_addr() else { continue };
+            let conn_id = match gov.admit(peer.ip(), plane.uptime_ms()) {
+                Admission::Rejected => {
+                    mirror_governance(&plane.stats, &gov);
+                    continue;
+                }
+                Admission::Admitted { id, evict } => {
+                    if let Some(victim) = evict {
+                        // Shut the evicted stream down: its serve
+                        // thread unblocks, fails its read, and cleans
+                        // itself up through the normal exit path.
+                        if let Some(old) = governed.lock().remove(&victim) {
+                            let _ = old.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
+                    mirror_governance(&plane.stats, &gov);
+                    id
+                }
+            };
+            match stream.try_clone() {
+                Ok(clone) => {
+                    governed.lock().insert(conn_id, clone);
+                }
+                Err(_) => {
+                    gov.release(conn_id);
+                    continue;
+                }
+            }
             let plane = Arc::clone(&plane);
             let clients = Arc::clone(&clients);
+            let gov = Arc::clone(&gov);
+            let governed = Arc::clone(&governed);
             let stop = Arc::clone(&stop);
             let forward = forward.clone();
             std::thread::spawn(move || {
-                serve_tcp_conn(stream, &plane, &clients, &stop, forward);
+                serve_tcp_conn(stream, conn_id, &plane, &clients, &gov, &stop, forward);
+                gov.release(conn_id);
+                governed.lock().remove(&conn_id);
+                mirror_governance(&plane.stats, &gov);
             });
         }
     })
 }
 
-/// Serves one TCP query connection until EOF or error.
+/// Serves one TCP query connection until EOF, error, or a governance
+/// deadline (idle between requests, or per-request read time) expires.
 fn serve_tcp_conn(
     mut stream: TcpStream,
+    conn_id: u64,
     plane: &ReadPlane,
     clients: &TcpQueryClients,
+    gov: &ConnGovernor,
     stop: &AtomicBool,
     forward: impl Fn(Vec<u8>, TcpStream) -> usize,
 ) {
     let _ = stream.set_nodelay(true);
+    let deadlines = gov.config();
     let mut parked: Vec<usize> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
-        let Ok(bytes) = read_tcp_message(&mut stream) else { break };
+        let Ok(bytes) = read_governed_message(&mut stream, &deadlines, stop) else { break };
+        gov.touch(conn_id, plane.uptime_ms());
         match plane.serve(&bytes) {
             ReadOutcome::Answer(response) => {
                 if write_tcp_message(&mut stream, &response).is_err() {
@@ -208,6 +321,91 @@ fn serve_tcp_conn(
     for id in parked {
         map.remove(&id);
     }
+}
+
+/// Reads one framed DNS message under the governor's deadlines: the
+/// connection may idle up to `idle_ms` waiting for a request to begin,
+/// but once its first byte arrives the complete frame must land within
+/// `read_ms` — a slow-loris trickling one byte per timeout gets cut
+/// off. Either knob at `0` disables that deadline.
+fn read_governed_message(
+    stream: &mut TcpStream,
+    cfg: &ConnConfig,
+    stop: &AtomicBool,
+) -> std::io::Result<Vec<u8>> {
+    let idle_from = Instant::now();
+    let mut first_byte: Option<Instant> = None;
+    let mut len_buf = [0u8; 2];
+    read_deadlined(stream, &mut len_buf, cfg, stop, idle_from, &mut first_byte)?;
+    let len = usize::from(u16::from_be_bytes(len_buf));
+    if len == 0 || len > MAX_TCP_MESSAGE {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad message length"));
+    }
+    let mut body = vec![0u8; len];
+    read_deadlined(stream, &mut body, cfg, stop, idle_from, &mut first_byte)?;
+    Ok(body)
+}
+
+/// Fills `buf` from `stream`, bounding the wait by the idle deadline
+/// (before any byte of the current message) or the read deadline
+/// (after). Reads happen in finite timeout slices so the stop flag and
+/// deadlines are re-checked even against a silent peer.
+fn read_deadlined(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    cfg: &ConnConfig,
+    stop: &AtomicBool,
+    idle_from: Instant,
+    first_byte: &mut Option<Instant>,
+) -> std::io::Result<()> {
+    /// Upper bound on one blocking read, so shutdown stays responsive
+    /// even with both deadlines disabled.
+    const SLICE: Duration = Duration::from_millis(500);
+    let timed_out = || std::io::Error::new(std::io::ErrorKind::TimedOut, "governance deadline");
+    let mut got = 0usize;
+    while got < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Err(timed_out());
+        }
+        let deadline = match *first_byte {
+            None if cfg.idle_ms > 0 => idle_from.checked_add(Duration::from_millis(cfg.idle_ms)),
+            Some(first) if cfg.read_ms > 0 => first.checked_add(Duration::from_millis(cfg.read_ms)),
+            _ => None,
+        };
+        let slice = match deadline {
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(timed_out());
+                }
+                deadline.saturating_duration_since(now).min(SLICE)
+            }
+            None => SLICE,
+        };
+        stream.set_read_timeout(Some(slice))?;
+        let Some(slot) = buf.get_mut(got..) else { break };
+        match stream.read(slot) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed",
+                ))
+            }
+            Ok(n) => {
+                if first_byte.is_none() {
+                    *first_byte = Some(Instant::now());
+                }
+                got = got.saturating_add(n);
+            }
+            Err(err) => match err.kind() {
+                std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted => continue,
+                _ => return Err(err),
+            },
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -276,6 +276,12 @@ impl TcpReplica {
             None => None,
         };
         let udp_addr = udp_socket.as_ref().map(|s| s.local_addr()).transpose()?;
+        // Read-plane abuse resistance: a shared response rate limiter
+        // for the UDP workers and a connection governor for the
+        // plain-DNS TCP listener, both configured through the overload
+        // knobs (RRL is off unless `overload.rrl.rate > 0`).
+        let rrl = Arc::new(crate::rrl::RateLimiter::new(config.overload.rrl));
+        let conn_gov = Arc::new(crate::rrl::ConnGovernor::new(config.overload.conn));
         if let Some(socket) = &udp_socket {
             let tx = tx.clone();
             let udp_clients = Arc::clone(&udp_clients);
@@ -284,6 +290,7 @@ impl TcpReplica {
                 socket,
                 config.udp_workers,
                 &plane,
+                &rrl,
                 &stop,
                 move |from_addr, bytes| {
                     let client_id = next_client.fetch_add(1, Ordering::SeqCst);
@@ -306,6 +313,7 @@ impl TcpReplica {
                     dns_listener,
                     &plane,
                     &tcp_query_clients,
+                    &conn_gov,
                     &stop,
                     move |bytes, stream| {
                         let client_id = next_client.fetch_add(1, Ordering::SeqCst);

@@ -25,6 +25,10 @@
 //!   windows; and actor wrappers that mutate, equivocate, or silence a
 //!   node's traffic. The chaos suite in the workspace root drives the
 //!   full replica stack through these.
+//! - [`StormPlan`] — deterministic *traffic* chaos: Zipf query
+//!   popularity, flash crowds, spoofed-source floods, and update
+//!   storms, expanded into a seeded event schedule that layers over
+//!   any `FaultPlan` (faults perturb delivery, storms shape load).
 //!
 //! Determinism: given the same actors and seed, a simulation replays
 //! identically — faults included, since the fault plan draws from the
@@ -37,8 +41,10 @@ mod fault;
 mod network;
 pub mod testbed;
 mod time;
+pub mod traffic;
 
 pub use engine::{Actor, Context, OutputEvent, Simulation};
 pub use fault::{Byzantine, ByzMode, CrashWindow, FaultPlan, Partition};
 pub use network::{LatencyMatrix, NodeId};
 pub use time::{SimDuration, SimTime};
+pub use traffic::{StormEvent, StormKind, StormPlan, StormSource};

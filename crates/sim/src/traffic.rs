@@ -1,0 +1,482 @@
+//! Deterministic traffic-storm workload generation.
+//!
+//! The fault side of the chaos harness ([`crate::FaultPlan`]) stresses
+//! *how messages fail*; a [`StormPlan`] stresses *what clients send*:
+//! Zipf-skewed query popularity, flash crowds multiplying the
+//! legitimate rate, spoofed-source amplification floods, update storms
+//! hammering one name, and mixed read/update ratios. A plan expands to
+//! a time-ordered event schedule with [`StormPlan::events`], fully
+//! determined by `(seed, plan)` — two expansions are byte-identical,
+//! so storm scenarios replay exactly like fault scenarios do.
+//!
+//! The generator is deliberately abstract: events carry *name ranks*
+//! and *source ids*, not DNS names or IP addresses, so this crate
+//! needs no DNS dependency and each harness maps ranks/sources into
+//! its own namespace (the chaos suite builds `host-<rank>` names and
+//! per-prefix source addresses; the bench crate reuses its zone pool).
+//! A storm layers over any existing `FaultPlan` untouched: faults
+//! perturb delivery, the storm decides offered load, and the two draw
+//! from independent deterministic streams.
+
+/// Where one traffic event claims to come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StormSource {
+    /// A well-behaved client with a stable (non-spoofed) address.
+    Legit(u32),
+    /// An attacker-chosen source prefix in a spoofed flood — responses
+    /// go nowhere, which is exactly what makes amplification valuable.
+    Spoofed(u32),
+}
+
+/// What the event asks the service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormKind {
+    /// A read of the name with this Zipf rank (0 = most popular).
+    Query {
+        /// Popularity rank into the harness's name pool.
+        name_rank: u32,
+    },
+    /// A dynamic update against the name with this rank (update storms
+    /// aim every event at one rank).
+    Update {
+        /// Target rank into the harness's name pool.
+        name_rank: u32,
+    },
+}
+
+/// One scheduled traffic event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormEvent {
+    /// Virtual milliseconds since the storm began.
+    pub at_ms: u64,
+    /// Claimed source.
+    pub source: StormSource,
+    /// Requested operation.
+    pub kind: StormKind,
+}
+
+/// A window during which the legitimate query rate is multiplied
+/// (breaking news: everyone asks for the same popular names at once).
+#[derive(Debug, Clone, Copy)]
+struct FlashCrowd {
+    at_ms: u64,
+    duration_ms: u64,
+    multiplier: u32,
+}
+
+/// A window of spoofed-source flood traffic.
+#[derive(Debug, Clone, Copy)]
+struct SpoofedFlood {
+    at_ms: u64,
+    duration_ms: u64,
+    prefixes: u32,
+    qps_per_prefix: u32,
+}
+
+/// A window of updates hammering a single name.
+#[derive(Debug, Clone, Copy)]
+struct UpdateStorm {
+    at_ms: u64,
+    duration_ms: u64,
+    per_sec: u32,
+    name_rank: u32,
+}
+
+/// A seeded, deterministic traffic-storm schedule. Build with the
+/// `with_*` methods, then expand via [`StormPlan::events`].
+#[derive(Debug, Clone)]
+pub struct StormPlan {
+    seed: u64,
+    duration_ms: u64,
+    names: u32,
+    zipf_s: f64,
+    legit_clients: u32,
+    legit_qps: u32,
+    update_per_sec: u32,
+    crowds: Vec<FlashCrowd>,
+    floods: Vec<SpoofedFlood>,
+    update_storms: Vec<UpdateStorm>,
+}
+
+impl StormPlan {
+    /// A storm seeded with `seed`, spanning `duration_ms` of virtual
+    /// time, over a pool of `names` names.
+    pub fn new(seed: u64, duration_ms: u64, names: u32) -> Self {
+        StormPlan {
+            seed,
+            duration_ms,
+            names: names.max(1),
+            zipf_s: 1.0,
+            legit_clients: 0,
+            legit_qps: 0,
+            update_per_sec: 0,
+            crowds: Vec::new(),
+            floods: Vec::new(),
+            update_storms: Vec::new(),
+        }
+    }
+
+    /// Sets the Zipf exponent for query popularity (default 1.0; 0.0
+    /// makes the pool uniform).
+    pub fn with_zipf_exponent(mut self, s: f64) -> Self {
+        self.zipf_s = s;
+        self
+    }
+
+    /// Adds `clients` well-behaved readers, each issuing `qps`
+    /// Zipf-distributed queries per second for the whole storm.
+    pub fn with_legit_clients(mut self, clients: u32, qps: u32) -> Self {
+        self.legit_clients = clients;
+        self.legit_qps = qps;
+        self
+    }
+
+    /// Adds a background stream of `per_sec` dynamic updates per
+    /// second against Zipf-ranked names (the read/update mix knob).
+    pub fn with_update_rate(mut self, per_sec: u32) -> Self {
+        self.update_per_sec = per_sec;
+        self
+    }
+
+    /// Multiplies the legitimate query rate by `multiplier` during
+    /// `[at_ms, at_ms + duration_ms)` — a flash crowd.
+    pub fn with_flash_crowd(mut self, at_ms: u64, duration_ms: u64, multiplier: u32) -> Self {
+        self.crowds.push(FlashCrowd { at_ms, duration_ms, multiplier });
+        self
+    }
+
+    /// Adds a spoofed-source amplification flood: `prefixes` distinct
+    /// spoofed source prefixes each offering `qps_per_prefix` queries
+    /// per second during the window.
+    pub fn with_spoofed_flood(
+        mut self,
+        at_ms: u64,
+        duration_ms: u64,
+        prefixes: u32,
+        qps_per_prefix: u32,
+    ) -> Self {
+        self.floods.push(SpoofedFlood { at_ms, duration_ms, prefixes, qps_per_prefix });
+        self
+    }
+
+    /// Adds an update storm: `per_sec` updates per second, all against
+    /// the name with `name_rank`, during the window.
+    pub fn with_update_storm(
+        mut self,
+        at_ms: u64,
+        duration_ms: u64,
+        per_sec: u32,
+        name_rank: u32,
+    ) -> Self {
+        self.update_storms.push(UpdateStorm { at_ms, duration_ms, per_sec, name_rank });
+        self
+    }
+
+    /// Expands the plan into a time-ordered event schedule. Two calls
+    /// on equal plans return identical vectors (the determinism the
+    /// byte-identical-replay guarantee rests on); distinct streams
+    /// draw from independent sub-seeds so adding one stream never
+    /// reshuffles another.
+    pub fn events(&self) -> Vec<StormEvent> {
+        let zipf = ZipfCdf::new(self.names, self.zipf_s);
+        let mut out: Vec<(u64, u64, StormEvent)> = Vec::new();
+        let mut stream: u64 = 0;
+        // Legitimate readers (flash crowds multiply their in-window rate).
+        for client in 0..self.legit_clients {
+            stream += 1;
+            let mut rng = Splitmix64::new(self.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut seq: u64 = 0;
+            for sec_start in (0..self.duration_ms).step_by(1000) {
+                let mut rate = self.legit_qps;
+                for crowd in &self.crowds {
+                    if overlaps(sec_start, crowd.at_ms, crowd.duration_ms) {
+                        rate = rate.saturating_mul(crowd.multiplier.max(1));
+                    }
+                }
+                for _ in 0..rate {
+                    let at_ms = sec_start + rng.next() % 1000;
+                    if at_ms >= self.duration_ms {
+                        continue;
+                    }
+                    seq += 1;
+                    out.push((
+                        stream,
+                        seq,
+                        StormEvent {
+                            at_ms,
+                            source: StormSource::Legit(client),
+                            kind: StormKind::Query { name_rank: zipf.sample(&mut rng) },
+                        },
+                    ));
+                }
+            }
+        }
+        // Spoofed floods.
+        for flood in &self.floods {
+            for prefix in 0..flood.prefixes {
+                stream += 1;
+                let mut rng =
+                    Splitmix64::new(self.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let mut seq: u64 = 0;
+                let end = flood.at_ms.saturating_add(flood.duration_ms).min(self.duration_ms);
+                for sec_start in (flood.at_ms..end).step_by(1000) {
+                    for _ in 0..flood.qps_per_prefix {
+                        let at_ms = sec_start + rng.next() % 1000;
+                        if at_ms >= end {
+                            continue;
+                        }
+                        seq += 1;
+                        out.push((
+                            stream,
+                            seq,
+                            StormEvent {
+                                at_ms,
+                                source: StormSource::Spoofed(prefix),
+                                kind: StormKind::Query { name_rank: zipf.sample(&mut rng) },
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        // Background updates (read/update mix).
+        if self.update_per_sec > 0 {
+            stream += 1;
+            let mut rng = Splitmix64::new(self.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut seq: u64 = 0;
+            for sec_start in (0..self.duration_ms).step_by(1000) {
+                for _ in 0..self.update_per_sec {
+                    let at_ms = sec_start + rng.next() % 1000;
+                    if at_ms >= self.duration_ms {
+                        continue;
+                    }
+                    seq += 1;
+                    out.push((
+                        stream,
+                        seq,
+                        StormEvent {
+                            at_ms,
+                            source: StormSource::Legit(u32::MAX),
+                            kind: StormKind::Update { name_rank: zipf.sample(&mut rng) },
+                        },
+                    ));
+                }
+            }
+        }
+        // Update storms against one name.
+        for storm in &self.update_storms {
+            stream += 1;
+            let mut rng = Splitmix64::new(self.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut seq: u64 = 0;
+            let end = storm.at_ms.saturating_add(storm.duration_ms).min(self.duration_ms);
+            for sec_start in (storm.at_ms..end).step_by(1000) {
+                for _ in 0..storm.per_sec {
+                    let at_ms = sec_start + rng.next() % 1000;
+                    if at_ms >= end {
+                        continue;
+                    }
+                    seq += 1;
+                    out.push((
+                        stream,
+                        seq,
+                        StormEvent {
+                            at_ms,
+                            source: StormSource::Legit(u32::MAX),
+                            kind: StormKind::Update { name_rank: storm.name_rank },
+                        },
+                    ));
+                }
+            }
+        }
+        // Total order: time, then (stream, seq) as the deterministic
+        // tie-break, so merging streams never depends on push order.
+        out.sort_by_key(|(stream, seq, ev)| (ev.at_ms, *stream, *seq));
+        out.into_iter().map(|(_, _, ev)| ev).collect()
+    }
+}
+
+/// Whether the one-second generation window starting at `sec_start`
+/// overlaps `[at, at + duration)`.
+fn overlaps(sec_start: u64, at: u64, duration: u64) -> bool {
+    let sec_end = sec_start.saturating_add(1000);
+    sec_end > at && sec_start < at.saturating_add(duration)
+}
+
+/// The splitmix64 generator: tiny, seedable, and good enough for
+/// workload shaping (not cryptography).
+#[derive(Debug, Clone)]
+struct Splitmix64(u64);
+
+impl Splitmix64 {
+    fn new(seed: u64) -> Self {
+        Splitmix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf sampling via an explicit CDF and binary search — exact,
+/// allocation-free per sample, deterministic.
+#[derive(Debug, Clone)]
+struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    fn new(names: u32, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(names as usize);
+        let mut total = 0.0;
+        for rank in 1..=names {
+            total += 1.0 / f64::from(rank).powf(s);
+            cdf.push(total);
+        }
+        for slot in &mut cdf {
+            *slot /= total;
+        }
+        ZipfCdf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Splitmix64) -> u32 {
+        let u = rng.unit();
+        let at = self.cdf.partition_point(|p| *p < u);
+        u32::try_from(at.min(self.cdf.len().saturating_sub(1))).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm() -> StormPlan {
+        StormPlan::new(0xBEEF, 10_000, 64)
+            .with_legit_clients(3, 10)
+            .with_update_rate(2)
+            .with_flash_crowd(2_000, 2_000, 5)
+            .with_spoofed_flood(4_000, 3_000, 8, 50)
+            .with_update_storm(6_000, 1_000, 20, 0)
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let a = storm().events();
+        let b = storm().events();
+        assert_eq!(a, b, "same (seed, plan) must expand byte-identically");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = StormPlan::new(1, 5_000, 16).with_legit_clients(2, 10).events();
+        let b = StormPlan::new(2, 5_000, 16).with_legit_clients(2, 10).events();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_bounded() {
+        let events = storm().events();
+        let mut last = 0;
+        for ev in &events {
+            assert!(ev.at_ms >= last, "events must be sorted");
+            assert!(ev.at_ms < 10_000, "events must fall inside the storm");
+            last = ev.at_ms;
+        }
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_legit_rate() {
+        let events = storm().events();
+        let legit_in = |from: u64, to: u64| {
+            events
+                .iter()
+                .filter(|e| {
+                    matches!(e.source, StormSource::Legit(c) if c != u32::MAX)
+                        && e.at_ms >= from
+                        && e.at_ms < to
+                })
+                .count()
+        };
+        let calm = legit_in(0, 2_000);
+        let crowd = legit_in(2_000, 4_000);
+        assert!(
+            crowd > calm * 3,
+            "flash crowd should multiply the rate: calm={calm} crowd={crowd}"
+        );
+    }
+
+    #[test]
+    fn flood_happens_only_in_window_with_spoofed_sources() {
+        let events = storm().events();
+        let spoofed: Vec<&StormEvent> = events
+            .iter()
+            .filter(|e| matches!(e.source, StormSource::Spoofed(_)))
+            .collect();
+        assert!(!spoofed.is_empty());
+        assert!(spoofed.iter().all(|e| e.at_ms >= 4_000 && e.at_ms < 7_000));
+        let distinct: std::collections::HashSet<_> =
+            spoofed.iter().map(|e| e.source).collect();
+        assert_eq!(distinct.len(), 8, "each spoofed prefix appears");
+    }
+
+    #[test]
+    fn update_storm_targets_one_rank() {
+        let events = storm().events();
+        let in_storm: Vec<&StormEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, StormKind::Update { .. }) && e.at_ms >= 6_000 && e.at_ms < 7_000
+            })
+            .collect();
+        let focused = in_storm
+            .iter()
+            .filter(|e| matches!(e.kind, StormKind::Update { name_rank: 0 }))
+            .count();
+        // ~20 storm updates on rank 0 vs ~2 background updates.
+        assert!(focused >= 15, "update storm should dominate: {focused}/{}", in_storm.len());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let events = StormPlan::new(7, 20_000, 256).with_legit_clients(4, 50).events();
+        let (mut head, mut tail) = (0u64, 0u64);
+        for ev in &events {
+            if let StormKind::Query { name_rank } = ev.kind {
+                if name_rank < 16 {
+                    head += 1;
+                } else {
+                    tail += 1;
+                }
+            }
+        }
+        assert!(
+            head > tail,
+            "top 16/256 ranks should draw most traffic under s=1.0: head={head} tail={tail}"
+        );
+    }
+
+    #[test]
+    fn adding_a_stream_does_not_reshuffle_existing_ones() {
+        let base = StormPlan::new(42, 5_000, 32).with_legit_clients(2, 10);
+        let layered = base.clone().with_spoofed_flood(1_000, 2_000, 4, 100);
+        let legit_only = |evs: Vec<StormEvent>| -> Vec<StormEvent> {
+            evs.into_iter()
+                .filter(|e| matches!(e.source, StormSource::Legit(_)))
+                .collect()
+        };
+        assert_eq!(
+            legit_only(base.events()),
+            legit_only(layered.events()),
+            "independent sub-seeds: layering a flood must not perturb legit traffic"
+        );
+    }
+}

@@ -25,22 +25,57 @@ fn usage() -> ! {
     exit(2)
 }
 
-/// One UDP attempt against `server`: send, await a response matching
-/// our transaction id within `budget`.
+/// UDP attempts against `server` with exponential backoff inside
+/// `budget`: the first try waits 250 ms, each retry doubles the wait
+/// and re-sends the question under a **fresh message id**, so a
+/// delayed answer to an earlier attempt (or an off-path spoof guessing
+/// a stale id) is never mistaken for the reply to this one.
 fn query_udp(server: SocketAddr, query: &[u8], budget: Duration) -> std::io::Result<Vec<u8>> {
     let bind_addr: SocketAddr =
         if server.is_ipv4() { "0.0.0.0:0".parse().unwrap() } else { "[::]:0".parse().unwrap() };
     let socket = UdpSocket::bind(bind_addr)?;
-    socket.set_read_timeout(Some(budget))?;
-    socket.send_to(query, server)?;
+    let deadline = std::time::Instant::now() + budget;
+    let mut wire = query.to_vec();
+    let mut wait = Duration::from_millis(250);
     let mut buf = [0u8; 65_535];
-    loop {
-        let (len, from) = socket.recv_from(&mut buf)?;
-        // Same server, same transaction id, a response bit: ours.
-        if from == server && len >= 12 && buf[..2] == query[..2] && buf[2] & 0x80 != 0 {
-            return Ok(buf[..len].to_vec());
+    for attempt in 1u32.. {
+        if attempt > 1 {
+            answers::patch_id(&mut wire, rand::random());
         }
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        socket.send_to(&wire, server)?;
+        // Await a matching response for this attempt's backoff slice.
+        let slice_end = std::time::Instant::now() + wait.min(remaining);
+        loop {
+            let left = slice_end.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            socket.set_read_timeout(Some(left))?;
+            match socket.recv_from(&mut buf) {
+                Ok((len, from)) => {
+                    // Same server, this attempt's id, a response bit: ours.
+                    if from == server && len >= 12 && buf[..2] == wire[..2] && buf[2] & 0x80 != 0 {
+                        return Ok(buf[..len].to_vec());
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        wait = wait.saturating_mul(2);
     }
+    Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "no UDP response within budget"))
 }
 
 /// One plain DNS-TCP attempt (RFC 1035 two-byte framing) — the retry

@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]
+//!       [--rrl-rate N] [--rrl-burst N] [--rrl-slip N] [--rrl-prefixes N]
+//!       [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]
 //! ```
 //!
 //! With `--udp`, the replica additionally answers plain DNS-over-UDP on
@@ -23,6 +25,15 @@
 //! replica — or a whole cluster restarted at once — resumes from disk
 //! without losing any delivered update. Without it, a restarted replica
 //! relies on quorum state transfer from its t+1 live peers.
+//!
+//! `--rrl-rate` enables response rate limiting on the UDP listener:
+//! each source /24 (IPv4) or /56 (IPv6) prefix is granted N answers
+//! per second (burst `--rrl-burst`); over-limit queries are dropped,
+//! except 1-in-`--rrl-slip` which are answered with a TC=1 stub
+//! pushing real clients to TCP. `--max-conns`/`--max-conns-per-ip`
+//! cap concurrent plain-DNS TCP connections (oldest-idle eviction at
+//! the global cap), and `--idle-ms`/`--read-ms` bound how long a TCP
+//! client may idle between requests or dribble one request's bytes.
 
 // Command-line entry point: aborting with a message on broken local
 // configuration is acceptable here, so the unwrap/expect lints are relaxed.
@@ -40,9 +51,45 @@ fn main() {
     let mut tcp_dns_port: Option<u16> = None;
     let mut udp_workers: Option<usize> = None;
     let mut state_dir: Option<String> = None;
+    let mut rrl_rate: Option<u32> = None;
+    let mut rrl_burst: Option<u32> = None;
+    let mut rrl_slip: Option<u32> = None;
+    let mut rrl_prefixes: Option<usize> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut max_conns_per_ip: Option<usize> = None;
+    let mut idle_ms: Option<u64> = None;
+    let mut read_ms: Option<u64> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--udp" {
+        // Numeric governance knobs share one parse-or-die pattern.
+        fn numeric<T: std::str::FromStr>(
+            flag: &str,
+            value: Option<String>,
+            slot: &mut Option<T>,
+        ) {
+            *slot = value.and_then(|v| v.parse().ok());
+            if slot.is_none() {
+                eprintln!("{flag} needs a number");
+                exit(2);
+            }
+        }
+        if arg == "--rrl-rate" {
+            numeric(&arg, iter.next(), &mut rrl_rate);
+        } else if arg == "--rrl-burst" {
+            numeric(&arg, iter.next(), &mut rrl_burst);
+        } else if arg == "--rrl-slip" {
+            numeric(&arg, iter.next(), &mut rrl_slip);
+        } else if arg == "--rrl-prefixes" {
+            numeric(&arg, iter.next(), &mut rrl_prefixes);
+        } else if arg == "--max-conns" {
+            numeric(&arg, iter.next(), &mut max_conns);
+        } else if arg == "--max-conns-per-ip" {
+            numeric(&arg, iter.next(), &mut max_conns_per_ip);
+        } else if arg == "--idle-ms" {
+            numeric(&arg, iter.next(), &mut idle_ms);
+        } else if arg == "--read-ms" {
+            numeric(&arg, iter.next(), &mut read_ms);
+        } else if arg == "--udp" {
             udp_port = iter.next().and_then(|v| v.parse().ok());
             if udp_port.is_none() {
                 eprintln!("--udp needs a port number");
@@ -71,7 +118,7 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]\n\nRun one replica from a config written by sdns-keygen.");
+        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]\n             [--rrl-rate N] [--rrl-burst N] [--rrl-slip N] [--rrl-prefixes N]\n             [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]\n\nRun one replica from a config written by sdns-keygen.");
         exit(2);
     };
     let file = load_replica(Path::new(&path)).unwrap_or_else(|e| {
@@ -98,6 +145,30 @@ fn main() {
     if let Some(workers) = udp_workers {
         config.udp_workers = workers.max(1);
     }
+    if let Some(rate) = rrl_rate {
+        config.overload.rrl.rate = rate;
+    }
+    if let Some(burst) = rrl_burst {
+        config.overload.rrl.burst = burst;
+    }
+    if let Some(slip) = rrl_slip {
+        config.overload.rrl.slip = slip;
+    }
+    if let Some(prefixes) = rrl_prefixes {
+        config.overload.rrl.max_prefixes = prefixes;
+    }
+    if let Some(conns) = max_conns {
+        config.overload.conn.max_conns = conns;
+    }
+    if let Some(per_ip) = max_conns_per_ip {
+        config.overload.conn.max_conns_per_ip = per_ip;
+    }
+    if let Some(ms) = idle_ms {
+        config.overload.conn.idle_ms = ms;
+    }
+    if let Some(ms) = read_ms {
+        config.overload.conn.read_ms = ms;
+    }
     if let Some(dir) = &state_dir {
         // Durable state needs the wall-clock ticker: it drives the
         // reliable-link resends that carry recovery traffic.
@@ -117,11 +188,19 @@ fn main() {
         .as_ref()
         .map(|d| format!(", durable state in {d}"))
         .unwrap_or_default();
+    let rrl_note = if config.overload.rrl.rate > 0 {
+        format!(
+            ", RRL {}/s burst {} slip 1-in-{}",
+            config.overload.rrl.rate, config.overload.rrl.burst, config.overload.rrl.slip
+        )
+    } else {
+        String::new()
+    };
     let _handle = TcpReplica::spawn(replica, config).unwrap_or_else(|e| {
         eprintln!("cannot bind {listen}: {e}");
         exit(1)
     });
-    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}{tcp_note}{durable_note}");
+    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}{tcp_note}{durable_note}{rrl_note}");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::park();

@@ -27,7 +27,9 @@ use sdns::crypto::protocol::SigProtocol;
 use sdns::dns::sign::verify_rrset;
 use sdns::dns::update::add_record_request;
 use sdns::dns::{Message, Name, RData, Rcode, Record, RecordType};
+use sdns::replica::readplane::{ReadOutcome, ReadPlane, ReadZone, TtlPolicy};
 use sdns::replica::reliable::RetransmitCfg;
+use sdns::replica::rrl::{RateLimiter, RrlConfig, RrlDecision};
 use sdns::replica::{
     answer_query, deploy, example_zone, Corruption, CostModel, Deployment, Durability,
     DurabilityCfg, OverloadConfig, Replica, ReplicaAction, ReplicaEvent, ReplicaMsg, ShedReason,
@@ -35,10 +37,12 @@ use sdns::replica::{
 };
 use sdns::sim::{
     Actor, Byzantine, ByzMode, Context, FaultPlan, LatencyMatrix, NodeId, OutputEvent,
-    SimDuration, SimTime, Simulation,
+    SimDuration, SimTime, Simulation, StormKind, StormPlan, StormSource,
 };
 use std::collections::{HashMap, HashSet};
+use std::net::{IpAddr, Ipv4Addr};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const N: usize = 4;
 const T: usize = 1;
@@ -1241,4 +1245,186 @@ fn saturation_sweep() {
         let max = done.values().fold(0.0f64, |a, &b| a.max(b));
         println!("| {offered} | {} | {} | {mean:.0} | {max:.0} |", done.len(), shed.len());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic storms: StormPlan layered over a FaultPlan.
+// ---------------------------------------------------------------------------
+
+/// Storm scenario dimensions: a 20x spoofed-source flood against the
+/// read plane while an update storm rides through consensus over the
+/// lossy mesh.
+const STORM_MS: u64 = 8_000;
+const STORM_LEGIT_CLIENTS: u32 = 4;
+const STORM_LEGIT_QPS: u32 = 20;
+const STORM_FLOOD_PREFIXES: u32 = 8;
+const STORM_FLOOD_QPS: u32 = 200;
+const STORM_FLOOD_AT_MS: u64 = 1_000;
+const STORM_FLOOD_MS: u64 = 6_000;
+/// Per-prefix RRL budget: comfortably above one legitimate client's
+/// 20 q/s, an order of magnitude below a flood prefix's 200 q/s.
+const STORM_RRL: RrlConfig = RrlConfig { rate: 50, burst: 25, slip: 2, max_prefixes: 4096 };
+
+/// Source address for a storm source: every legitimate client and
+/// every spoofed prefix lands in its own /24, so RRL accounting keeps
+/// them apart exactly as it would on the wire.
+fn storm_source_ip(source: StormSource) -> IpAddr {
+    match source {
+        StormSource::Legit(c) => IpAddr::V4(Ipv4Addr::new(10, 10, (c % 250) as u8, 1)),
+        StormSource::Spoofed(p) => {
+            IpAddr::V4(Ipv4Addr::new(203, 0, (p % 250) as u8, (p % 200) as u8 + 1))
+        }
+    }
+}
+
+/// One full storm-over-faults scenario, returning a replay fingerprint.
+///
+/// Two planes share the seed:
+/// - the **update plane** runs the real replica stack through the
+///   simulator under `lossy_plan()` (20 % loss, duplication, delay
+///   spikes); the storm's `Update` events are injected as RFC 2136
+///   requests at their scheduled virtual times and must execute and
+///   threshold-sign at every replica;
+/// - the **read plane** replays the storm's `Query` events against a
+///   `ReadPlane` built from a replica's post-storm zone, with RRL on
+///   virtual time — the spoofed flood is capped at its bucket budget
+///   while legitimate clients keep >= 99 % answers.
+fn run_storm_scenario(seed: u64) -> String {
+    let (mut sim, deployment) = build(seed, lossy_plan(), &[], &[]);
+    let plan = StormPlan::new(seed, STORM_MS, 16)
+        .with_legit_clients(STORM_LEGIT_CLIENTS, STORM_LEGIT_QPS)
+        .with_spoofed_flood(STORM_FLOOD_AT_MS, STORM_FLOOD_MS, STORM_FLOOD_PREFIXES, STORM_FLOOD_QPS)
+        .with_update_storm(2_000, 1_000, 4, 0);
+    let events = plan.events();
+
+    // Update plane: storm updates enter consensus at their scheduled
+    // times, round-robin across gateways, while the mesh drops and
+    // duplicates messages underneath them.
+    let mut rid = 0u64;
+    for ev in &events {
+        if matches!(ev.kind, StormKind::Update { .. }) {
+            rid += 1;
+            inject_update(
+                &mut sim,
+                (rid as usize - 1) % N,
+                rid,
+                "storm-update.example.com",
+                &format!("203.0.113.{}", 100 + rid),
+                SimDuration::from_millis(ev.at_ms),
+            );
+        }
+    }
+    assert!(rid >= 2, "update storm produced too few updates (seed {seed})");
+    for r in 1..=rid {
+        assert!(
+            await_executed(&mut sim, (CLIENT, r), &[0, 1, 2, 3]),
+            "storm update {r}/{rid} did not commit under the flood (seed {seed})"
+        );
+    }
+    let outputs = sim.take_outputs();
+    let traces = delivery_traces(&outputs);
+    assert_total_order(&traces, &[0, 1, 2, 3]);
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "storm-update.example.com");
+    }
+
+    // Read plane: the flood and the legitimate readers hit a ReadPlane
+    // built from replica 0's post-storm zone, RRL enabled, clocked by
+    // the storm's own virtual timestamps.
+    let zone = Arc::new(ReadZone::build(replica_of(&sim, 0).zone(), 1));
+    let plane = ReadPlane::new(zone, 1024, TtlPolicy::default());
+    let rrl = RateLimiter::new(STORM_RRL);
+    let query =
+        Message::query(7, "storm-update.example.com".parse().expect("valid"), RecordType::A)
+            .to_bytes();
+    let (mut legit_offered, mut legit_ok) = (0u64, 0u64);
+    let (mut atk_offered, mut atk_answered, mut atk_slipped, mut atk_dropped) =
+        (0u64, 0u64, 0u64, 0u64);
+    for ev in &events {
+        if !matches!(ev.kind, StormKind::Query { .. }) {
+            continue;
+        }
+        let legit = matches!(ev.source, StormSource::Legit(_));
+        if legit {
+            legit_offered += 1;
+        } else {
+            atk_offered += 1;
+        }
+        match rrl.check(storm_source_ip(ev.source), ev.at_ms) {
+            RrlDecision::Answer => {
+                let ReadOutcome::Answer(_) = plane.serve(&query) else {
+                    panic!("committed name must be servable from the read plane")
+                };
+                if legit {
+                    legit_ok += 1;
+                } else {
+                    atk_answered += 1;
+                }
+            }
+            RrlDecision::Slip => {
+                // A TC=1 stub still reaches a real client (it retries
+                // over TCP); a spoofed source never sees it.
+                if legit {
+                    legit_ok += 1;
+                } else {
+                    atk_slipped += 1;
+                }
+            }
+            RrlDecision::Drop => {
+                if legit {
+                    // A dropped legit query is a miss; counted below.
+                } else {
+                    atk_dropped += 1;
+                }
+            }
+        }
+    }
+    let legit_rate = legit_ok as f64 / legit_offered.max(1) as f64;
+    // The hard RRL bound: per prefix, rate x flood-seconds + burst full
+    // answers; slips are truncated stubs with no amplification value.
+    let atk_budget = u64::from(STORM_FLOOD_PREFIXES)
+        * (u64::from(STORM_RRL.rate) * (STORM_FLOOD_MS / 1_000) + u64::from(STORM_RRL.burst));
+    assert!(
+        atk_offered >= 10 * legit_offered,
+        "the flood must be >= 10x the legit load ({atk_offered} vs {legit_offered}, seed {seed})"
+    );
+    assert!(
+        legit_rate >= 0.99,
+        "legit clients must keep >= 99% answers under the flood (got {legit_rate:.4}, seed {seed})"
+    );
+    assert!(
+        atk_answered <= atk_budget,
+        "attacker goodput must be capped by the bucket ({atk_answered} > {atk_budget}, seed {seed})"
+    );
+    assert_eq!(
+        atk_offered,
+        atk_answered + atk_slipped + atk_dropped,
+        "every flood query is answered, slipped, or dropped (seed {seed})"
+    );
+
+    // Everything that could diverge goes into the fingerprint: the
+    // consensus output trace, the expanded storm schedule, and the RRL
+    // accounting — byte-identical across runs of the same (seed, plan).
+    format!(
+        "{outputs:?}|{events:?}|{legit_ok}/{legit_offered}|{atk_answered},{atk_slipped},{atk_dropped}|{},{}",
+        rrl.occupancy(),
+        rrl.evictions()
+    )
+}
+
+#[test]
+fn storm_flood_is_rate_limited_while_updates_commit() {
+    run_storm_scenario(chaos_seed(0xCA05_0200));
+}
+
+#[test]
+fn storm_replays_byte_identically() {
+    // Determinism under traffic chaos: the storm schedule, the RRL
+    // decisions, and the consensus trace are all pure functions of
+    // (seed, plan) — a failing storm seed is a repro case.
+    let a = run_storm_scenario(chaos_seed(0xCA05_0201));
+    let b = run_storm_scenario(chaos_seed(0xCA05_0201));
+    assert_eq!(a, b, "same (seed, plan) must replay identically");
+    let c = run_storm_scenario(chaos_seed(0xCA05_0202));
+    assert_ne!(a, c, "different seeds should explore different schedules");
 }

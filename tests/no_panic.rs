@@ -12,9 +12,11 @@
 //! lint's allowlist or module list might miss.
 
 use proptest::prelude::*;
+use sdns::dns::answers;
 use sdns::dns::tsig::{sign_message, verify_message, TsigKey, TsigKeyring};
 use sdns::dns::update::add_record_request;
-use sdns::dns::{zonefile, Message, Name, RData, Record, Zone};
+use sdns::dns::{zonefile, Message, Name, RData, Record, RecordType, Zone};
+use sdns::replica::readplane::{ReadPlane, ReadZone, TtlPolicy};
 use sdns::replica::snapshot::ReplicaSnapshot;
 use sdns::replica::tcp::{decode as codec_decode, encode as codec_encode};
 use sdns::replica::wal::Wal;
@@ -167,6 +169,108 @@ proptest! {
         std::fs::write(&path, &mutated).expect("write corrupted");
         no_panic("Wal::open(mutated)", move || {
             let _ = Wal::open(&path);
+        });
+    }
+}
+
+/// A well-formed A query to mutate for the raw-question properties.
+fn valid_query() -> Vec<u8> {
+    Message::query(9, "www.example.com".parse().expect("valid"), RecordType::A).to_bytes()
+}
+
+/// Asserts the read plane's forward-vs-answer split is sound for
+/// `bytes`: the zero-copy raw probe never panics, and anything it
+/// accepts must also survive the full parser with the same question —
+/// a raw accept the fallback would reject could serve a cached answer
+/// for a question that was never actually asked. A raw reject is
+/// always safe (the listener falls back to the full parse and then
+/// forwards or drops).
+fn assert_raw_question_sound(label: &str, bytes: &[u8]) {
+    no_panic(label, || {
+        let _ = answers::parse_question_raw(bytes);
+        let _ = answers::parse_question(bytes);
+    });
+    if let Some(raw) = answers::parse_question_raw(bytes) {
+        let full = answers::parse_question(bytes)
+            .unwrap_or_else(|| panic!("{label}: raw-accepted question fails the full parse"));
+        assert_eq!(
+            (raw.id, raw.rd, raw.qtype, raw.qclass),
+            (full.id, full.rd, full.qtype, full.qclass),
+            "{label}: raw and full parse disagree on the question"
+        );
+    }
+}
+
+proptest! {
+    /// Raw question probing of arbitrary bytes: no panic, and no
+    /// raw-accept that the full parser rejects.
+    #[test]
+    fn raw_question_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        assert_raw_question_sound("parse_question_raw(arbitrary)", &bytes);
+    }
+
+    /// Truncations and single-byte corruptions of a valid query.
+    #[test]
+    fn raw_question_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let bytes = mutate(&valid_query(), idx, byte, keep);
+        assert_raw_question_sound("parse_question_raw(mutated)", &bytes);
+    }
+
+    /// Crafted hostile names behind a valid query header: compression
+    /// pointers (including a self-referencing loop that would spin a
+    /// naive follower forever), oversized label chains far past the
+    /// 255-octet name bound, and label runs truncated mid-label.
+    #[test]
+    fn raw_question_hostile_names(
+        kind in 0usize..3,
+        labels in 1usize..96,
+        tail in any::<u8>(),
+    ) {
+        // Header: id 7, flags 0, QDCOUNT 1, other counts 0.
+        let mut bytes = vec![0x00, 0x07, 0x00, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0];
+        match kind {
+            // A pointer to the name's own offset: a compression loop.
+            0 => bytes.extend_from_slice(&[0xC0, 0x0C]),
+            // `labels` one-octet labels (up to 192 name octets), then an
+            // arbitrary length byte instead of a clean terminator.
+            1 => {
+                for _ in 0..labels {
+                    bytes.extend_from_slice(&[1, b'a']);
+                }
+                bytes.push(tail);
+            }
+            // A 63-octet label length with no label bytes behind it.
+            _ => bytes.push(63),
+        }
+        bytes.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]);
+        assert_raw_question_sound("parse_question_raw(hostile)", &bytes);
+        if kind == 0 {
+            // The raw path must refuse compressed names outright: a
+            // wire-byte cache key cannot be formed from them.
+            prop_assert!(answers::parse_question_raw(&bytes).is_none());
+        }
+    }
+
+    /// The full read-plane serve path — raw probe, cache lookup, full
+    /// parse fallback — on arbitrary bytes: returns Answer or Forward,
+    /// never panics.
+    #[test]
+    fn readplane_serve_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let zone = std::sync::Arc::new(ReadZone::build(&Zone::with_default_soa(origin()), 1));
+        let plane = ReadPlane::new(zone, 16, TtlPolicy::default());
+        no_panic("ReadPlane::serve(arbitrary)", move || {
+            let _ = plane.serve(&bytes);
+        });
+    }
+
+    /// The serve path on corrupted near-valid queries.
+    #[test]
+    fn readplane_serve_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let zone = std::sync::Arc::new(ReadZone::build(&Zone::with_default_soa(origin()), 1));
+        let plane = ReadPlane::new(zone, 16, TtlPolicy::default());
+        let bytes = mutate(&valid_query(), idx, byte, keep);
+        no_panic("ReadPlane::serve(mutated)", move || {
+            let _ = plane.serve(&bytes);
         });
     }
 }

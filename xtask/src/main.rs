@@ -46,6 +46,9 @@ const UNTRUSTED_MODULES: &[&str] = &[
     // DNS-over-UDP/TCP listeners frame bytes straight off the wire.
     "crates/replica/src/readplane.rs",
     "crates/replica/src/tcp/query.rs",
+    // Response rate limiting and connection governance: keyed and
+    // clocked by attacker-chosen source addresses and timing.
+    "crates/replica/src/rrl.rs",
     // Atomic-broadcast message handlers: peer (possibly Byzantine) input.
     "crates/abcast/src/abcast.rs",
     "crates/abcast/src/rbc.rs",
