@@ -40,6 +40,7 @@ pub mod reliable;
 pub mod rrl;
 pub mod snapshot;
 mod replica;
+pub mod sync;
 pub mod tcp;
 pub mod wal;
 
@@ -52,3 +53,7 @@ pub use overload::{OverloadConfig, OverloadCounters, ShedReason};
 pub use reliable::{LinkLayer, RetransmitCfg};
 pub use rrl::{Admission, ConnConfig, ConnGovernor, RateLimiter, RrlConfig, RrlDecision};
 pub use replica::{answer_query, NodeId, Replica, ReplicaAction, ReplicaEvent, ReplicaSetup, ReplicaSigner};
+pub use sync::{
+    diff_zones, serial_gt, verify_signed_zone, EdgeCounters, EdgeSync, EdgeSyncConfig,
+    SyncHistory, SyncOutcome, SyncRequest, SyncResponse, ZoneDiff,
+};

@@ -250,6 +250,15 @@ impl ReadZone {
         self.assemble(q, Rcode::Refused, Vec::new(), false)
     }
 
+    /// A complete, patched REFUSED response for `q` — what an edge past
+    /// its serve-stale horizon answers instead of stale data.
+    pub fn refused_answer(&self, q: &QueryQuestion) -> Vec<u8> {
+        let mut bytes = self.refused(q);
+        patch_id(&mut bytes, q.id);
+        patch_rd(&mut bytes, q.rd);
+        bytes
+    }
+
     fn assemble(&self, q: &QueryQuestion, rcode: Rcode, authorities: Vec<Record>, aa: bool) -> Vec<u8> {
         let msg = Message {
             id: 0,
@@ -556,6 +565,12 @@ pub struct ReadStats {
     pub conn_evicted: AtomicU64,
     /// TCP connections rejected over the per-IP cap.
     pub conn_rejected: AtomicU64,
+    /// Sync pulls served by this core's transfer endpoint (mirrored).
+    pub sync_pulls: AtomicU64,
+    /// Incremental deltas served by the transfer endpoint (mirrored).
+    pub sync_deltas: AtomicU64,
+    /// Full-transfer fallbacks served by the transfer endpoint (mirrored).
+    pub sync_fulls: AtomicU64,
 }
 
 impl ReadStats {
@@ -573,6 +588,65 @@ impl ReadStats {
         self.early_messages.store(widen(counters.early_messages), Ordering::Relaxed);
         self.retired_ring.store(widen(counters.retired_ring), Ordering::Relaxed);
         self.pending_gateway.store(widen(counters.pending_gateway), Ordering::Relaxed);
+    }
+}
+
+/// Sync-health state an edge host attaches to its read plane: the
+/// serve-stale policy inputs plus the counters `stats.sdns` reports.
+///
+/// The edge's sync loop calls [`EdgeHealth::note_sync`] after every
+/// verified zone application (and every confirmed-fresh poll); the
+/// serve path reads the resulting staleness to decide between serving
+/// normally, serving with decremented TTLs, and REFUSING past the
+/// stale-window horizon (RFC 8767-style bounded degradation).
+#[derive(Debug)]
+pub struct EdgeHealth {
+    /// Current zone serial (gauge; a u32 widened for atomic storage).
+    pub serial: AtomicU64,
+    /// Plane-uptime milliseconds of the last successful sync.
+    pub last_sync_ms: AtomicU64,
+    /// Serve-stale window in milliseconds: answers keep flowing (with
+    /// decremented TTLs) until staleness exceeds this, then REFUSED.
+    pub stale_window_ms: AtomicU64,
+    /// Sync attempts that failed (timeout or transport error).
+    pub sync_failures: AtomicU64,
+    /// Offered zones rejected by signature / serial verification.
+    pub verify_rejections: AtomicU64,
+    /// Answers served while stale (staleness ≥ 1 s, inside the window).
+    pub stale_served: AtomicU64,
+    /// Queries REFUSED because staleness exceeded the window.
+    pub refused_expired: AtomicU64,
+}
+
+impl EdgeHealth {
+    /// Creates the health block: freshly synced at `now_ms` with
+    /// `serial`, degrading over `stale_window_ms`.
+    pub fn new(serial: u32, stale_window_ms: u64, now_ms: u64) -> Self {
+        EdgeHealth {
+            serial: AtomicU64::new(u64::from(serial)),
+            last_sync_ms: AtomicU64::new(now_ms),
+            stale_window_ms: AtomicU64::new(stale_window_ms),
+            sync_failures: AtomicU64::new(0),
+            verify_rejections: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
+            refused_expired: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a successful sync: the zone is fresh as of `now_ms`.
+    pub fn note_sync(&self, serial: u32, now_ms: u64) {
+        self.serial.store(u64::from(serial), Ordering::Relaxed);
+        self.last_sync_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the last successful sync.
+    pub fn staleness_ms(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.last_sync_ms.load(Ordering::Relaxed))
+    }
+
+    /// Whether staleness has exceeded the serve-stale window.
+    pub fn is_expired(&self, now_ms: u64) -> bool {
+        self.staleness_ms(now_ms) > self.stale_window_ms.load(Ordering::Relaxed)
     }
 }
 
@@ -594,6 +668,9 @@ pub struct ReadPlane {
     cache: AnswerCache,
     /// Served/shed counters for the operator stats query.
     pub stats: ReadStats,
+    /// Edge sync health, when this plane fronts an edge replica
+    /// (attached once by the edge host; absent on core replicas).
+    edge: std::sync::OnceLock<Arc<EdgeHealth>>,
     started: std::time::Instant,
 }
 
@@ -608,8 +685,20 @@ impl ReadPlane {
             zone: RwLock::new(zone),
             cache: AnswerCache::new(cache_capacity, policy),
             stats: ReadStats::default(),
+            edge: std::sync::OnceLock::new(),
             started: std::time::Instant::now(),
         }
+    }
+
+    /// Attaches edge sync health (once): the serve path starts applying
+    /// the serve-stale policy and `stats.sdns` reports sync health.
+    pub fn attach_edge(&self, health: Arc<EdgeHealth>) {
+        let _ = self.edge.set(health);
+    }
+
+    /// The attached edge health block, if any.
+    pub fn edge_health(&self) -> Option<&Arc<EdgeHealth>> {
+        self.edge.get()
     }
 
     /// Atomically publishes a freshly built view. Old versions' cache
@@ -637,7 +726,14 @@ impl ReadPlane {
     /// checks, a lowercased key copy, one map lookup, one memcpy, and a
     /// 2-byte id patch — without ever materializing a [`sdns_dns::Name`].
     pub fn serve(&self, bytes: &[u8]) -> ReadOutcome {
-        if let Some(raw) = answers::parse_question_raw(bytes) {
+        // A degraded edge (stale or expired) must not serve raw cached
+        // bytes: stale answers need their TTLs decremented and expired
+        // ones need a REFUSED, both of which the parsed path handles.
+        let degraded = self
+            .edge
+            .get()
+            .is_some_and(|e| e.staleness_ms(self.uptime_ms()) >= 1_000);
+        if let Some(raw) = answers::parse_question_raw(bytes).filter(|_| !degraded) {
             if raw.qclass == RecordClass::In.code() {
                 // Stack-allocated key: lowercased name wire + qtype.
                 // (Length prefixes sit below `b'A'`, so a blanket
@@ -673,6 +769,15 @@ impl ReadPlane {
 
     /// Serves an already parsed question.
     pub fn serve_question(&self, q: &QueryQuestion) -> ReadOutcome {
+        self.serve_question_at(q, self.uptime_ms())
+    }
+
+    /// [`ReadPlane::serve_question`] with an explicit serve-stale clock
+    /// (milliseconds on the plane's uptime axis). Listeners use the
+    /// real clock via [`ReadPlane::serve_question`]; the deterministic
+    /// chaos harness drives this entry with virtual time so stale-serve
+    /// and expiry decisions replay byte-identically.
+    pub fn serve_question_at(&self, q: &QueryQuestion, now_ms: u64) -> ReadOutcome {
         ReadStats::bump(&self.stats.queries);
         if q.qclass != RecordClass::In.code() {
             if let Some(bytes) = self.stats_answer(q) {
@@ -682,25 +787,50 @@ impl ReadPlane {
             return ReadOutcome::Forward;
         }
         let zone = self.current();
+        // Serve-stale policy: past the horizon answer REFUSED; inside
+        // the window note the age so outgoing TTLs get decremented.
+        let mut stale_secs = 0u64;
+        if let Some(edge) = self.edge.get() {
+            if edge.is_expired(now_ms) {
+                ReadStats::bump(&edge.refused_expired);
+                return ReadOutcome::Answer(zone.refused_answer(q));
+            }
+            stale_secs = edge.staleness_ms(now_ms) / 1_000;
+        }
         let now = self.cache.now();
-        if let Some(bytes) = self.cache.get(q, zone.version(), now) {
-            ReadStats::bump(&self.stats.cache_hits);
-            return ReadOutcome::Answer(bytes);
-        }
-        ReadStats::bump(&self.stats.cache_misses);
-        let Some(template_bytes) = zone.answer_template(q) else {
-            ReadStats::bump(&self.stats.forwarded);
-            return ReadOutcome::Forward;
+        let mut bytes = match self.cache.get(q, zone.version(), now) {
+            Some(hit) => {
+                ReadStats::bump(&self.stats.cache_hits);
+                hit
+            }
+            None => {
+                ReadStats::bump(&self.stats.cache_misses);
+                let Some(template_bytes) = zone.answer_template(q) else {
+                    ReadStats::bump(&self.stats.forwarded);
+                    return ReadOutcome::Forward;
+                };
+                if answers::rcode_of(&template_bytes) == Rcode::NxDomain.code() {
+                    ReadStats::bump(&self.stats.negatives);
+                } else {
+                    ReadStats::bump(&self.stats.fast_hits);
+                }
+                self.cache.insert(q, &template_bytes, zone.negative_ttl, zone.version(), now);
+                let mut fresh = template_bytes;
+                patch_id(&mut fresh, q.id);
+                patch_rd(&mut fresh, q.rd);
+                fresh
+            }
         };
-        if answers::rcode_of(&template_bytes) == Rcode::NxDomain.code() {
-            ReadStats::bump(&self.stats.negatives);
-        } else {
-            ReadStats::bump(&self.stats.fast_hits);
+        if stale_secs > 0 {
+            if let Some(edge) = self.edge.get() {
+                if let Some(offsets) = answers::ttl_offsets(&bytes) {
+                    answers::rewrite_ttls(&mut bytes, &offsets, |ttl| {
+                        ttl.saturating_sub(u32::try_from(stale_secs).unwrap_or(u32::MAX))
+                    });
+                }
+                ReadStats::bump(&edge.stale_served);
+            }
         }
-        self.cache.insert(q, &template_bytes, zone.negative_ttl, zone.version(), now);
-        let mut bytes = template_bytes;
-        patch_id(&mut bytes, q.id);
-        patch_rd(&mut bytes, q.rd);
         ReadOutcome::Answer(bytes)
     }
 
@@ -743,7 +873,25 @@ impl ReadPlane {
             format!("conn_active={}", s.conn_active.load(Ordering::Relaxed)),
             format!("conn_evicted={}", s.conn_evicted.load(Ordering::Relaxed)),
             format!("conn_rejected={}", s.conn_rejected.load(Ordering::Relaxed)),
+            format!("sync_pulls={}", s.sync_pulls.load(Ordering::Relaxed)),
+            format!("sync_deltas={}", s.sync_deltas.load(Ordering::Relaxed)),
+            format!("sync_fulls={}", s.sync_fulls.load(Ordering::Relaxed)),
         ];
+        let mut lines = lines.to_vec();
+        if let Some(edge) = self.edge.get() {
+            let now_ms = self.uptime_ms();
+            lines.extend([
+                format!("edge_serial={}", edge.serial.load(Ordering::Relaxed)),
+                format!("edge_staleness_ms={}", edge.staleness_ms(now_ms)),
+                format!("edge_sync_failures={}", edge.sync_failures.load(Ordering::Relaxed)),
+                format!(
+                    "edge_verify_rejections={}",
+                    edge.verify_rejections.load(Ordering::Relaxed)
+                ),
+                format!("edge_stale_served={}", edge.stale_served.load(Ordering::Relaxed)),
+                format!("edge_refused_expired={}", edge.refused_expired.load(Ordering::Relaxed)),
+            ]);
+        }
         let chaos = RecordClass::from_code(CLASS_CHAOS);
         let msg = Message {
             id: q.id,

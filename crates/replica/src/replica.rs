@@ -358,6 +358,14 @@ impl Replica {
         self.corruption
     }
 
+    /// Whether an executed update's threshold signing sessions are still
+    /// assembling SIGs. While true the zone carries RRsets whose
+    /// signatures are not installed yet, so it must not be offered on
+    /// the edge sync endpoint (a verifying edge would reject it).
+    pub fn signing_in_flight(&self) -> bool {
+        self.active.is_some()
+    }
+
     /// Diagnostic snapshot: (queued envelopes, has active update, active
     /// task index, open signing sessions, buffered early messages).
     pub fn debug_state(&self) -> (usize, bool, usize, usize, usize) {

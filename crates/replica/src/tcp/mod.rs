@@ -18,5 +18,5 @@ pub use codec::{decode, encode, CodecError};
 pub use query::{read_tcp_message, write_tcp_message, MAX_UDP_PAYLOAD};
 pub use runtime::{
     read_frame, seal, unseal, write_frame, TcpClient, TcpConfig, TcpReplica, KIND_CLIENT,
-    KIND_REPLICA,
+    KIND_REPLICA, KIND_SYNC,
 };

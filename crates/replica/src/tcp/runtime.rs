@@ -25,6 +25,10 @@ pub const KIND_REPLICA: u8 = 0;
 /// Frame kind: a client message (unauthenticated transport; updates are
 /// authorized by TSIG at the DNS layer).
 pub const KIND_CLIENT: u8 = 1;
+/// Frame kind: an edge zone-sync request/response
+/// ([`crate::sync::SyncRequest`] / [`crate::sync::SyncResponse`] bodies;
+/// unauthenticated — edges verify the zone's own signatures instead).
+pub const KIND_SYNC: u8 = 2;
 
 /// Upper bound on a frame body (a zone transfer would need more; the
 /// request/response traffic here never does).
@@ -212,6 +216,7 @@ pub struct TcpReplica {
     udp_addr: Option<SocketAddr>,
     dns_tcp_addr: Option<SocketAddr>,
     plane: Arc<ReadPlane>,
+    sync_history: Arc<crate::sync::SyncHistory>,
     stop: Arc<AtomicBool>,
     events: Sender<Event>,
     core: Option<JoinHandle<Replica>>,
@@ -259,6 +264,11 @@ impl TcpReplica {
             READ_CACHE_CAPACITY,
             TtlPolicy::default(),
         ));
+
+        // The zone-sync transfer endpoint: edges pull the signed zone
+        // over KIND_SYNC frames. Republished by the core loop with the
+        // read plane after every executed update.
+        let sync_history = Arc::new(crate::sync::SyncHistory::new(replica.zone().clone()));
 
         // Client response routing: envelope client id -> connection.
         let clients: Arc<Mutex<HashMap<usize, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -338,6 +348,8 @@ impl TcpReplica {
             let tx = tx.clone();
             let key = config.link_key.clone();
             let clients = Arc::clone(&clients);
+            let history = Arc::clone(&sync_history);
+            let stats_plane = Arc::clone(&plane);
             let n = config.peers.len();
             let me = config.me;
             std::thread::spawn(move || {
@@ -356,6 +368,8 @@ impl TcpReplica {
                     let tx = tx.clone();
                     let key = key.clone();
                     let clients = Arc::clone(&clients);
+                    let history = Arc::clone(&history);
+                    let stats_plane = Arc::clone(&stats_plane);
                     let stop = Arc::clone(&stop);
                     std::thread::spawn(move || {
                         let mut stream = stream;
@@ -380,6 +394,28 @@ impl TcpReplica {
                                         }
                                     }
                                     let _ = tx.send(Event::FromClient(client_id, msg));
+                                }
+                                Ok((KIND_SYNC, body)) => {
+                                    // The zone-sync endpoint: served on
+                                    // the connection thread — the core
+                                    // loop never blocks on a transfer.
+                                    let Ok(req) = crate::sync::decode_request(&body) else {
+                                        break;
+                                    };
+                                    let resp = history.serve(&req);
+                                    let Ok(encoded) = crate::sync::encode_response(&resp)
+                                    else {
+                                        break;
+                                    };
+                                    let c = history.counters();
+                                    let s = &stats_plane.stats;
+                                    let relax = Ordering::Relaxed;
+                                    s.sync_pulls.store(c.pulls.load(relax), relax);
+                                    s.sync_deltas.store(c.deltas.load(relax), relax);
+                                    s.sync_fulls.store(c.fulls.load(relax), relax);
+                                    if write_frame(&mut stream, KIND_SYNC, &encoded).is_err() {
+                                        break;
+                                    }
                                 }
                                 _ => break,
                             }
@@ -427,10 +463,11 @@ impl TcpReplica {
             let udp = udp_socket.as_ref().map(|s| s.try_clone()).transpose()?;
             let udp_clients = Arc::clone(&udp_clients);
             let plane = Arc::clone(&plane);
+            let history = Arc::clone(&sync_history);
             let tcp_query_clients = Arc::clone(&tcp_query_clients);
             std::thread::spawn(move || {
                 let io = CoreIo { peer_txs, clients, udp, udp_clients, tcp_query_clients, key, me };
-                core_loop(replica, initial_actions, rx, io, plane)
+                core_loop(replica, initial_actions, rx, io, plane, history)
             })
         };
 
@@ -439,6 +476,7 @@ impl TcpReplica {
             udp_addr,
             dns_tcp_addr,
             plane,
+            sync_history,
             stop,
             events: tx,
             core: Some(core),
@@ -465,6 +503,12 @@ impl TcpReplica {
     /// direct in-process serving in tests).
     pub fn read_plane(&self) -> &Arc<ReadPlane> {
         &self.plane
+    }
+
+    /// The zone-sync transfer endpoint (counters, direct serving in
+    /// tests).
+    pub fn sync_history(&self) -> &Arc<crate::sync::SyncHistory> {
+        &self.sync_history
     }
 
     /// Stops the replica and returns its final state machine.
@@ -609,6 +653,7 @@ fn core_loop(
     rx: Receiver<Event>,
     io: CoreIo,
     plane: Arc<ReadPlane>,
+    sync_history: Arc<crate::sync::SyncHistory>,
 ) -> Replica {
     let me = io.me;
     // Self-sends loop back through this queue (FIFO) to preserve the
@@ -620,6 +665,7 @@ fn core_loop(
         dispatch_action(action, &mut loopback, &io);
     }
     let mut published_epoch = replica.zone_epoch();
+    let mut synced_epoch = published_epoch;
     loop {
         let event = if let Some(msg) = loopback.pop_front() {
             Event::FromReplica(me, msg)
@@ -673,10 +719,17 @@ fn core_loop(
         }
         // Re-publish the read view after every executed update (cheap
         // no-op comparison otherwise), and keep the operator stats
-        // mirrors fresh.
+        // mirrors fresh. The sync endpoint holds back while a threshold
+        // signing session is still assembling SIGs: edges verify every
+        // RRset, so offering the mid-signing zone would only earn this
+        // core a verification rejection and a quarantine.
         if replica.zone_epoch() != published_epoch {
             plane.publish(replica.read_zone());
             published_epoch = replica.zone_epoch();
+        }
+        if replica.zone_epoch() != synced_epoch && !replica.signing_in_flight() {
+            sync_history.publish(replica.zone());
+            synced_epoch = replica.zone_epoch();
         }
         plane
             .stats

@@ -1,0 +1,274 @@
+//! `sdns-edge` — an untrusted edge replica serving the signed zone.
+//!
+//! Pulls the threshold-signed zone from the core replicas over the
+//! zone-sync protocol (SOA-serial polling, incremental diffs, chunked
+//! full transfers) and serves plain DNS from the read plane. The edge
+//! trusts nothing it downloads: **every RRset signature, the NXT
+//! completeness chain, and RFC 1982 serial monotonicity are verified
+//! before a transferred zone is swapped in**, so a compromised core, a
+//! truncated transfer, or an on-path tamperer can at worst deny the
+//! edge freshness — never poison an answer.
+//!
+//! ```text
+//! sdns-edge --zone ZONE.BIN --core ADDR [--core ADDR]... [--udp ADDR] [--tcp-dns ADDR]
+//!           [--udp-workers N] [--poll-ms MS] [--timeout-ms MS] [--stale-window-ms MS]
+//!           [--seed N] [--rrl-rate N] [--rrl-burst N] [--rrl-slip N]
+//!           [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]
+//! ```
+//!
+//! `--zone` is the dealer's `zone.bin` (the trusted bootstrap: the
+//! zone public key is taken from its apex KEY record, its serial is
+//! the rollback floor). `--core` names each core replica's framed TCP
+//! port; the edge polls with jittered backoff and sticky failover, and
+//! quarantines any core whose offered zone fails verification.
+//!
+//! When every core is unreachable the edge keeps answering with
+//! decremented TTLs for `--stale-window-ms` (RFC 8767-style bounded
+//! serve-stale), then degrades to REFUSED until a core heals.
+//!
+//! Operators query `stats.sdns. CH TXT` for sync health: current
+//! serial, staleness, sync failures, verify rejections, stale serves.
+
+// Command-line entry point: aborting with a message on broken local
+// configuration is acceptable here, so the unwrap/expect lints are relaxed.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sdns::dns::sign::public_key_from_key_data;
+use sdns::dns::{RData, RecordType, Zone};
+use sdns::replica::readplane::{EdgeHealth, ReadPlane, TtlPolicy};
+use sdns::replica::sync::{encode_request, EdgeSync, EdgeSyncConfig};
+use sdns::replica::tcp::query::{
+    spawn_tcp_listener, spawn_udp_workers, write_tcp_message, TcpQueryClients,
+};
+use sdns::replica::tcp::{read_frame, write_frame, KIND_SYNC};
+use sdns::replica::{ConnGovernor, RateLimiter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::exit;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Answer-cache capacity of the edge's read plane.
+const CACHE_CAPACITY: usize = 8192;
+
+/// A minimal REFUSED reply to a non-query message (the edge has no
+/// consensus path to forward updates to): echoes the id, sets QR and
+/// RCODE=REFUSED, zeroes every section count.
+fn refuse_stub(query: &[u8]) -> Vec<u8> {
+    let id = query.get(..2).unwrap_or(&[0, 0]);
+    let mut out = vec![0u8; 12];
+    out[..2].copy_from_slice(id);
+    out[2] = 0x80; // QR=1
+    out[3] = 0x05; // RCODE=REFUSED
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdns-edge --zone ZONE.BIN --core ADDR [--core ADDR]... [--udp ADDR] [--tcp-dns ADDR]\n                [--udp-workers N] [--poll-ms MS] [--timeout-ms MS] [--stale-window-ms MS]\n                [--seed N] [--rrl-rate N] [--rrl-burst N] [--rrl-slip N]\n                [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]\n\nServe the signed zone from an untrusted edge, syncing from the core replicas."
+    );
+    exit(2);
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut zone_path: Option<String> = None;
+    let mut cores: Vec<SocketAddr> = Vec::new();
+    let mut udp_addr: Option<SocketAddr> = None;
+    let mut tcp_addr: Option<SocketAddr> = None;
+    let mut udp_workers = 2usize;
+    let mut cfg = EdgeSyncConfig::default();
+    let mut seed: u64 = std::process::id().into();
+    let mut rrl = sdns::replica::RrlConfig::default();
+    let mut conn = sdns::replica::ConnConfig::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        fn value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+            value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs a valid value");
+                exit(2);
+            })
+        }
+        match arg.as_str() {
+            "--zone" => zone_path = iter.next(),
+            "--core" => cores.push(value(&arg, iter.next())),
+            "--udp" => udp_addr = Some(value(&arg, iter.next())),
+            "--tcp-dns" => tcp_addr = Some(value(&arg, iter.next())),
+            "--udp-workers" => udp_workers = value::<usize>(&arg, iter.next()).max(1),
+            "--poll-ms" => cfg.poll_ms = value(&arg, iter.next()),
+            "--timeout-ms" => cfg.timeout_ms = value(&arg, iter.next()),
+            "--stale-window-ms" => cfg.stale_window_ms = value(&arg, iter.next()),
+            "--seed" => seed = value(&arg, iter.next()),
+            "--rrl-rate" => rrl.rate = value(&arg, iter.next()),
+            "--rrl-burst" => rrl.burst = value(&arg, iter.next()),
+            "--rrl-slip" => rrl.slip = value(&arg, iter.next()),
+            "--max-conns" => conn.max_conns = value(&arg, iter.next()),
+            "--max-conns-per-ip" => conn.max_conns_per_ip = value(&arg, iter.next()),
+            "--idle-ms" => conn.idle_ms = value(&arg, iter.next()),
+            "--read-ms" => conn.read_ms = value(&arg, iter.next()),
+            _ => usage(),
+        }
+    }
+    let Some(zone_path) = zone_path else { usage() };
+    if cores.is_empty() {
+        eprintln!("sdns-edge: at least one --core is required");
+        exit(2);
+    }
+
+    // Trusted bootstrap: the dealer's signed zone snapshot carries the
+    // zone public key in its apex KEY record and sets the serial floor.
+    let zone_bytes = std::fs::read(&zone_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {zone_path}: {e}");
+        exit(1)
+    });
+    let zone = Zone::from_snapshot(&zone_bytes).unwrap_or_else(|e| {
+        eprintln!("bad zone snapshot {zone_path}: {e}");
+        exit(1)
+    });
+    let key = zone
+        .rrset(zone.origin(), RecordType::Key)
+        .and_then(|set| {
+            set.rdatas.iter().find_map(|rd| match rd {
+                RData::Key(kd) => public_key_from_key_data(kd),
+                _ => None,
+            })
+        })
+        .unwrap_or_else(|| {
+            eprintln!("{zone_path} has no usable apex KEY record (unsigned zone?)");
+            exit(1)
+        });
+    let origin = zone.origin().clone();
+    let mut edge = EdgeSync::new(zone, key, cores.len(), cfg, seed, 0).unwrap_or_else(|e| {
+        eprintln!("bootstrap zone rejected: {e}");
+        exit(1)
+    });
+
+    // The read plane + health block the listeners serve from.
+    let plane = Arc::new(ReadPlane::new(
+        Arc::new(edge.build_read_zone()),
+        CACHE_CAPACITY,
+        TtlPolicy::default(),
+    ));
+    let health = Arc::new(EdgeHealth::new(
+        edge.serial(),
+        edge.config().stale_window_ms,
+        plane.uptime_ms(),
+    ));
+    plane.attach_edge(Arc::clone(&health));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let rrl = Arc::new(RateLimiter::new(rrl));
+    let gov = Arc::new(ConnGovernor::new(conn));
+
+    // Front ends: the edge is read-only, so anything the read plane
+    // cannot answer (updates, exotica) gets an immediate REFUSED.
+    let mut bound_udp: Option<SocketAddr> = None;
+    let mut bound_tcp: Option<SocketAddr> = None;
+    if let Some(addr) = udp_addr {
+        let socket = std::net::UdpSocket::bind(addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind UDP {addr}: {e}");
+            exit(1)
+        });
+        bound_udp = socket.local_addr().ok();
+        let refusal_socket = Arc::new(socket.try_clone().expect("udp clone"));
+        spawn_udp_workers(&socket, udp_workers, &plane, &rrl, &stop, move |from, bytes| {
+            let _ = refusal_socket.send_to(&refuse_stub(&bytes), from);
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start UDP workers: {e}");
+            exit(1)
+        });
+    }
+    if let Some(addr) = tcp_addr {
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind TCP {addr}: {e}");
+            exit(1)
+        });
+        bound_tcp = listener.local_addr().ok();
+        let clients: TcpQueryClients = Arc::new(Default::default());
+        spawn_tcp_listener(listener, &plane, &clients, &gov, &stop, |bytes, mut stream| {
+            let _ = write_tcp_message(&mut stream, &refuse_stub(&bytes));
+            0
+        });
+    }
+
+    let udp_note = bound_udp.map(|a| format!(" udp={a}")).unwrap_or_default();
+    let tcp_note = bound_tcp.map(|a| format!(" tcp={a}")).unwrap_or_default();
+    let core_list =
+        cores.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+    println!(
+        "sdns-edge: ready zone={origin} serial={}{udp_note}{tcp_note} cores={core_list}",
+        edge.serial()
+    );
+
+    // The sync loop: poll → request over TCP → verify → publish. One
+    // cached connection per core; any error drops it and fails the core
+    // over (the state machine owns backoff and quarantine).
+    let mut conns: Vec<Option<TcpStream>> = cores.iter().map(|_| None).collect();
+    let mut published_version = edge.version();
+    loop {
+        let now = plane.uptime_ms();
+        if let Some((core, request)) = edge.poll(now) {
+            let outcome = request_over_tcp(
+                &mut conns[core],
+                cores[core],
+                &request,
+                Duration::from_millis(edge.config().timeout_ms),
+            );
+            let now = plane.uptime_ms();
+            match outcome {
+                Ok(bytes) => {
+                    edge.on_response(core, &bytes, now);
+                }
+                Err(_) => {
+                    conns[core] = None;
+                    edge.on_failure(core, now);
+                }
+            }
+            // Publish any newly verified zone and refresh health.
+            if edge.version() != published_version {
+                plane.publish(Arc::new(edge.build_read_zone()));
+                published_version = edge.version();
+            }
+            let c = edge.counters();
+            health
+                .sync_failures
+                .store(c.sync_failures, std::sync::atomic::Ordering::Relaxed);
+            health
+                .verify_rejections
+                .store(c.verify_rejections, std::sync::atomic::Ordering::Relaxed);
+            health.note_sync(edge.serial(), now.saturating_sub(edge.staleness_ms(now)));
+        } else {
+            let wait = edge.next_poll_at().saturating_sub(now).clamp(10, 500);
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+    }
+}
+
+/// One request/response exchange on a cached per-core connection.
+fn request_over_tcp(
+    conn: &mut Option<TcpStream>,
+    addr: SocketAddr,
+    request: &sdns::replica::sync::SyncRequest,
+    timeout: Duration,
+) -> std::io::Result<Vec<u8>> {
+    let encoded = encode_request(request)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    if conn.is_none() {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        *conn = Some(stream);
+    }
+    let stream = conn.as_mut().expect("connection just established");
+    stream.set_read_timeout(Some(timeout))?;
+    let result = write_frame(stream, KIND_SYNC, &encoded).and_then(|()| loop {
+        let (kind, body) = read_frame(stream)?;
+        if kind == KIND_SYNC {
+            break Ok(body);
+        }
+    });
+    if result.is_err() {
+        *conn = None;
+    }
+    result
+}

@@ -18,6 +18,10 @@ use sdns::dns::update::add_record_request;
 use sdns::dns::{zonefile, Message, Name, RData, Record, RecordType, Zone};
 use sdns::replica::readplane::{ReadPlane, ReadZone, TtlPolicy};
 use sdns::replica::snapshot::ReplicaSnapshot;
+use sdns::replica::sync::{
+    decode_request, decode_response, encode_request, encode_response, ResumePoint, SyncRequest,
+    SyncResponse, ZoneDiff,
+};
 use sdns::replica::tcp::{decode as codec_decode, encode as codec_encode};
 use sdns::replica::wal::Wal;
 use sdns::replica::ReplicaMsg;
@@ -170,6 +174,103 @@ proptest! {
         no_panic("Wal::open(mutated)", move || {
             let _ = Wal::open(&path);
         });
+    }
+}
+
+/// A well-formed edge sync request (with a resume point) to mutate.
+fn valid_sync_request() -> Vec<u8> {
+    let req = SyncRequest::Pull {
+        have_serial: Some(41),
+        resume: Some(ResumePoint { serial: 42, digest: [7; 32], offset: 8_192 }),
+    };
+    encode_request(&req).expect("valid request encodes")
+}
+
+/// A well-formed delta sync response to mutate.
+fn valid_sync_response() -> Vec<u8> {
+    let removed = Record::new(
+        "old.example.com".parse().expect("valid"),
+        60,
+        RData::A("192.0.2.1".parse().expect("valid")),
+    );
+    let added = Record::new(
+        "new.example.com".parse().expect("valid"),
+        60,
+        RData::A("192.0.2.2".parse().expect("valid")),
+    );
+    let resp = SyncResponse::Delta {
+        from_serial: 41,
+        to_serial: 42,
+        latest_serial: 43,
+        diff: ZoneDiff { removed: vec![removed], added: vec![added] },
+    };
+    encode_response(&resp).expect("valid response encodes")
+}
+
+proptest! {
+    /// Edge sync request decoding: arbitrary bytes.
+    #[test]
+    fn sync_request_decode_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        no_panic("sync::decode_request(arbitrary)", || decode_request(&bytes));
+    }
+
+    /// Edge sync request decoding: corrupted and truncated valid frames.
+    #[test]
+    fn sync_request_decode_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let bytes = mutate(&valid_sync_request(), idx, byte, keep);
+        no_panic("sync::decode_request(mutated)", || decode_request(&bytes));
+    }
+
+    /// Edge sync response decoding: arbitrary bytes — what a fully
+    /// Byzantine core could put on the wire.
+    #[test]
+    fn sync_response_decode_arbitrary(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        no_panic("sync::decode_response(arbitrary)", || decode_response(&bytes));
+    }
+
+    /// Edge sync response decoding: corrupted and truncated valid frames.
+    #[test]
+    fn sync_response_decode_mutated(idx in any::<usize>(), byte in any::<u8>(), keep in any::<usize>()) {
+        let bytes = mutate(&valid_sync_response(), idx, byte, keep);
+        no_panic("sync::decode_response(mutated)", || decode_response(&bytes));
+    }
+
+    /// Single-bit flips of a valid sync request: never a panic, and —
+    /// since the request frame has no ignorable bits (every bit of its
+    /// flags, serials, digest and offset is load-bearing, unlike
+    /// response record names, whose letter case canonicalizes away) —
+    /// anything that still decodes must decode to a *different* value.
+    #[test]
+    fn sync_request_single_bit_flip(bit in any::<usize>()) {
+        let base = valid_sync_request();
+        let mut bytes = base.clone();
+        let i = (bit / 8) % bytes.len();
+        bytes[i] ^= 1 << (bit % 8);
+        no_panic("sync::decode_request(bit-flip)", || decode_request(&bytes));
+        if let Ok(req) = decode_request(&bytes) {
+            let reencoded = encode_request(&req).expect("decoded requests re-encode");
+            prop_assert_ne!(
+                reencoded,
+                base,
+                "a single-bit flip must not decode back to the original request"
+            );
+        }
+    }
+
+    /// Single-bit flips of a valid delta response: never a panic, and
+    /// whatever still decodes must re-encode cleanly (the edge hands
+    /// decoded diffs to signature verification, which is the layer
+    /// that catches semantic tampering — see the chaos suite).
+    #[test]
+    fn sync_response_single_bit_flip(bit in any::<usize>()) {
+        let base = valid_sync_response();
+        let mut bytes = base.clone();
+        let i = (bit / 8) % bytes.len();
+        bytes[i] ^= 1 << (bit % 8);
+        no_panic("sync::decode_response(bit-flip)", || decode_response(&bytes));
+        if let Ok(resp) = decode_response(&bytes) {
+            no_panic("sync::encode_response(re-encode)", move || encode_response(&resp));
+        }
     }
 }
 

@@ -35,6 +35,9 @@ const UNTRUSTED_MODULES: &[&str] = &[
     "crates/dns/src/name.rs",
     // Replica byte-facing paths: socket frames, WAL and snapshot files.
     "crates/replica/src/tcp/codec.rs",
+    // Edge zone sync: frames and snapshots from possibly-Byzantine
+    // cores — every decode path faces attacker bytes.
+    "crates/replica/src/sync.rs",
     "crates/replica/src/wal.rs",
     "crates/replica/src/snapshot.rs",
     "crates/replica/src/durable.rs",
