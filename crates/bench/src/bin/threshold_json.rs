@@ -8,7 +8,18 @@
 //! averaging it in (the minimum is the best estimate of the true cost
 //! of a CPU-bound operation).
 //!
-//! Usage: `cargo run --release -p sdns-bench --bin threshold_json [out.json]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sdns-bench --bin threshold_json [out.json]
+//! cargo run --release -p sdns-bench --bin threshold_json -- --check [baseline.json]
+//! ```
+//!
+//! `--check` re-measures and gates the constant-time-hardened phases
+//! (`verify_share`, `assemble`) against the committed baseline: each
+//! must stay within `SDNS_BENCH_TOLERANCE` (default 1.20, i.e. +20%)
+//! of its recorded milliseconds, so constant-time work cannot silently
+//! tax the verification and assembly paths. Exits non-zero on breach.
 
 // Benchmark harness binary: aborting on a broken local setup is the
 // desired failure mode, so the unwrap/expect lints are relaxed.
@@ -81,9 +92,65 @@ fn phases_10_3(pk: &ThresholdPublicKey, shares: &[KeyShare]) -> Vec<(&'static st
     ]
 }
 
+/// Phases gated by `--check`: the ones the constant-time hardening of
+/// the signing path must not tax. (Share *generation* rides the secret
+/// exponent and is expected to pay for the fixed-window ladder; these
+/// two run on public values and must stay fast.)
+const GATED_PHASES: &[&str] = &["verify_share", "assemble"];
+
+/// Pulls `"ms"` for a named `(name, n, t)` phase out of the baseline
+/// JSON. The file is this binary's own output, so a line-oriented scan
+/// is enough — no JSON parser dependency.
+fn baseline_ms(json: &str, name: &str, n: usize, t: usize) -> Option<f64> {
+    for line in json.lines() {
+        if line.contains(&format!("\"name\": \"{name}\""))
+            && line.contains(&format!("\"n\": {n}"))
+            && line.contains(&format!("\"t\": {t}"))
+        {
+            let ms = line.split("\"ms\":").nth(1)?;
+            let ms = ms.trim().trim_end_matches(['}', ',', ' ']).trim_end_matches('}');
+            return ms.trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn check_against_baseline(rows: &[(&'static str, usize, usize, f64)], baseline_path: &str) -> bool {
+    let tolerance: f64 = std::env::var("SDNS_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.20);
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let mut ok = true;
+    for &(name, n, t, ms) in rows {
+        if !GATED_PHASES.contains(&name) {
+            continue;
+        }
+        let Some(base) = baseline_ms(&baseline, name, n, t) else {
+            eprintln!("FAIL  {name} ({n},{t}): no baseline entry in {baseline_path}");
+            ok = false;
+            continue;
+        };
+        let budget = base * tolerance;
+        let verdict = if ms <= budget { "ok  " } else { "FAIL" };
+        eprintln!(
+            "{verdict}  {name} ({n},{t}): {ms:.4} ms vs baseline {base:.4} ms \
+             (budget {budget:.4} = x{tolerance:.2})"
+        );
+        ok &= ms <= budget;
+    }
+    ok
+}
+
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_threshold.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.first().is_some_and(|a| a == "--check");
+    let out_path = if check_mode {
+        args.get(1).cloned().unwrap_or_else(|| "BENCH_threshold.json".to_string())
+    } else {
+        args.first().cloned().unwrap_or_else(|| "BENCH_threshold.json".to_string())
+    };
 
     eprintln!("dealing {KEY_BITS}-bit (4,1) and (10,3) keys (safe primes; takes a moment)...");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
@@ -97,6 +164,18 @@ fn main() {
     }
     for (name, ms) in phases_10_3(&pk10, &shares10) {
         rows.push((name, 10, 3, ms));
+    }
+
+    if check_mode {
+        for (name, _, _, ms) in &rows {
+            println!("{name}: {ms:.4} ms");
+        }
+        if check_against_baseline(&rows, &out_path) {
+            eprintln!("perf budget: OK (gated phases within tolerance of {out_path})");
+            return;
+        }
+        eprintln!("perf budget: FAILED — gated phase exceeded its budget vs {out_path}");
+        std::process::exit(1);
     }
 
     let mut json = String::new();

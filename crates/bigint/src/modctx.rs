@@ -113,6 +113,66 @@ impl ModCtx {
     pub fn reduce(&self, a: &Ubig) -> Ubig {
         a % &self.modulus
     }
+
+    /// Computes `base^exp mod m` in time independent of the *value* of
+    /// `exp`: a fixed 4-bit-window ladder that always runs
+    /// `exp_bits.div_ceil(4)` windows of 4 squarings + 1 multiply, scans
+    /// the full 16-entry table behind an equality mask at every window,
+    /// and has no zero-exponent fast path. `exp_bits` is the public bound
+    /// on the exponent length (derived from the modulus size, never from
+    /// the secret itself). Agrees with [`ModCtx::pow`] for all inputs.
+    ///
+    /// Public-exponent callers (signature verification, proof checks)
+    /// should stay on [`ModCtx::pow`], whose sliding windows are faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even (every secret-exponent modulus in
+    /// this workspace — RSA primes, the threshold modulus — is odd) or if
+    /// `exp` exceeds the declared bound.
+    pub fn pow_ct(&self, base: &Ubig, exp: &Ubig, exp_bits: usize) -> Ubig {
+        assert!(exp.bit_len() <= exp_bits, "exponent exceeds its declared public bound");
+        if self.modulus.is_one() {
+            return Ubig::zero();
+        }
+        let Some(mt) = &self.monty else {
+            panic!("pow_ct requires an odd modulus");
+        };
+        mt.pow_ct(base, exp, exp_bits, &self.modulus)
+    }
+
+    /// Computes `(a * b) mod m` without division: the product is reduced
+    /// through two Montgomery multiplications (`a·R² → a·R`, then
+    /// `·b → a·b`). Unlike [`ModCtx::mul`], no quotient-estimation loop
+    /// runs over the operands, so the duration depends only on the
+    /// modulus width — use this when either operand is secret-derived.
+    /// Both operands must already be below the modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even or an operand is not below `m`.
+    pub fn mul_ct(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        if self.modulus.is_one() {
+            return Ubig::zero();
+        }
+        let Some(mt) = &self.monty else {
+            panic!("mul_ct requires an odd modulus");
+        };
+        // Constant-time range guards (ct_ge, not Ord's early-exit path).
+        assert!(!a.ct_ge(&self.modulus), "mul_ct operand must be below the modulus");
+        assert!(!b.ct_ge(&self.modulus), "mul_ct operand must be below the modulus");
+        let k = mt.k();
+        let mut al = a.limbs.clone();
+        al.resize(k, 0);
+        let mut bl = b.limbs.clone();
+        bl.resize(k, 0);
+        let mut t = Vec::with_capacity(k + 2);
+        let mut am = Vec::with_capacity(k);
+        mt.mul_into(&al, &mt.r2, &mut t, &mut am); // a·R mod m
+        let mut r = Vec::with_capacity(k);
+        mt.mul_into(&am, &bl, &mut t, &mut r); // (a·R)·b·R⁻¹ = a·b mod m
+        Ubig::from_limbs(r)
+    }
 }
 
 /// Division-based square-and-multiply for even moduli (`m > 1`); not on
@@ -157,6 +217,13 @@ struct Monty {
     one: Vec<u64>,
 }
 
+/// All-ones when `a == b`, zero otherwise, with no data-dependent branch.
+fn ct_eq_u64(a: u64, b: u64) -> u64 {
+    let d = a ^ b;
+    // (d | -d) has its top bit set iff d != 0.
+    !(((d | d.wrapping_neg()) >> 63).wrapping_neg())
+}
+
 /// Computes `-a^{-1} mod 2^64` for odd `a` by Newton iteration.
 fn neg_inv_u64(a: u64) -> u64 {
     debug_assert!(a & 1 == 1);
@@ -196,12 +263,85 @@ impl Monty {
         self.m.len()
     }
 
-    /// CIOS Montgomery multiplication: `out = a · b · R⁻¹ mod m`.
+    /// Branchless final subtraction shared by both Montgomery kernels:
+    /// reduces `t` (`k + 1` limbs holding a value `< 2m`, so the top limb
+    /// is 0 or 1) into `out` below `m`. The borrow chain and the masked
+    /// select run in full regardless of whether the subtraction applies —
+    /// these kernels run on secret operands, where `if t >= m` would leak
+    /// one operand-dependent bit per multiply.
+    fn reduce_once_into(&self, t: &[u64], out: &mut Vec<u64>) {
+        let k = self.k();
+        debug_assert_eq!(t.len(), k + 1);
+        out.clear();
+        out.resize(k, 0);
+        let mut borrow = 0u64;
+        for j in 0..k {
+            let (d, b1) = t[j].overflowing_sub(self.m[j]);
+            let (d, b2) = d.overflowing_sub(borrow);
+            out[j] = d;
+            borrow = u64::from(b1 | b2);
+        }
+        // t >= m iff the overflow limb is set (its implicit 2^{64k}
+        // absorbs the borrow) or the k-limb subtraction didn't borrow.
+        let overflow = (t[k] | t[k].wrapping_neg()) >> 63;
+        let keep_sub = (overflow | (borrow ^ 1)).wrapping_neg();
+        for j in 0..k {
+            out[j] = (out[j] & keep_sub) | (t[j] & !keep_sub);
+        }
+    }
+
+    /// Variable-time final subtraction for the public-operand kernels:
+    /// compares and subtracts only when the value actually exceeds `m`,
+    /// which is measurably cheaper than the masked select at small limb
+    /// counts. Never reached from secret operands — the taken branch
+    /// leaks one operand-dependent bit per multiply; the constant-time
+    /// ladders go through [`Monty::reduce_once_into`] instead.
+    fn reduce_cond_into(&self, t: &[u64], out: &mut Vec<u64>) {
+        let k = self.k();
+        debug_assert_eq!(t.len(), k + 1);
+        out.clear();
+        out.extend_from_slice(&t[..k]);
+        let mut ge = true;
+        for i in (0..k).rev() {
+            if out[i] != self.m[i] {
+                ge = out[i] > self.m[i];
+                break;
+            }
+        }
+        if t[k] != 0 || ge {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d, b1) = out[j].overflowing_sub(self.m[j]);
+                let (d, b2) = d.overflowing_sub(borrow);
+                out[j] = d;
+                borrow = u64::from(b1 | b2);
+            }
+        }
+    }
+
+    /// CIOS Montgomery multiplication: `out = a · b · R⁻¹ mod m`, with
+    /// the branchless final subtraction — safe on secret operands.
     ///
     /// `a` and `b` are `k`-limb vectors below `m`; `t` is a reusable
     /// scratch buffer (resized to `k + 2` limbs). No allocation occurs
     /// when `t` and `out` retain their capacity across calls.
     fn mul_into(&self, a: &[u64], b: &[u64], t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        self.mul_core(a, b, t);
+        let k = self.k();
+        self.reduce_once_into(&t[..=k], out);
+    }
+
+    /// [`Monty::mul_into`] with the cheaper variable-time final
+    /// subtraction — for the public-exponent ladders only.
+    fn mul_into_vt(&self, a: &[u64], b: &[u64], t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        self.mul_core(a, b, t);
+        let k = self.k();
+        self.reduce_cond_into(&t[..=k], out);
+    }
+
+    /// The CIOS core loop shared by both multiply kernels: leaves the
+    /// not-yet-finally-reduced value (`< 2m`) in `t[..=k]`.
+    fn mul_core(&self, a: &[u64], b: &[u64], t: &mut Vec<u64>) {
         let k = self.k();
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(b.len(), k);
@@ -232,21 +372,32 @@ impl Monty {
             t[k] = t[k + 1] + ((s >> 64) as u64);
             t[k + 1] = 0;
         }
-        // Conditional final subtraction so the result is below m.
-        if t[k] != 0 || !less_than(&t[..k], &self.m) {
-            sub_in_place(&mut t[..k + 1], &self.m);
-        }
-        out.clear();
-        out.extend_from_slice(&t[..k]);
     }
 
-    /// Montgomery squaring: `out = a² · R⁻¹ mod m`.
+    /// Montgomery squaring: `out = a² · R⁻¹ mod m`, with the branchless
+    /// final subtraction — safe on secret operands.
     ///
     /// Computes the off-diagonal limb products once, doubles, adds the
     /// diagonal squares, then Montgomery-reduces the full `2k`-limb
     /// product — ≈⅔ the limb multiplications of `mul_into(a, a, ..)`.
     /// `t` is resized to `2k + 1` limbs.
     fn sqr_into(&self, a: &[u64], t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        self.sqr_core(a, t);
+        let k = self.k();
+        self.reduce_once_into(&t[k..=2 * k], out);
+    }
+
+    /// [`Monty::sqr_into`] with the cheaper variable-time final
+    /// subtraction — for the public-exponent ladders only.
+    fn sqr_into_vt(&self, a: &[u64], t: &mut Vec<u64>, out: &mut Vec<u64>) {
+        self.sqr_core(a, t);
+        let k = self.k();
+        self.reduce_cond_into(&t[k..=2 * k], out);
+    }
+
+    /// The squaring core shared by both kernels: leaves the
+    /// not-yet-finally-reduced value (`< 2m`) in `t[k..=2k]`.
+    fn sqr_core(&self, a: &[u64], t: &mut Vec<u64>) {
         let k = self.k();
         debug_assert_eq!(a.len(), k);
         t.clear();
@@ -300,11 +451,6 @@ impl Monty {
             top >>= 64;
         }
         t[2 * k] = top as u64;
-        if t[2 * k] != 0 || !less_than(&t[k..2 * k], &self.m) {
-            sub_in_place(&mut t[k..=2 * k], &self.m);
-        }
-        out.clear();
-        out.extend_from_slice(&t[k..2 * k]);
     }
 
     /// Converts into Montgomery form: `out = a · R mod m`.
@@ -331,10 +477,10 @@ impl Monty {
         table.push(base_m);
         if w > 1 {
             let mut sq = Vec::with_capacity(self.k());
-            self.sqr_into(&table[0], t, &mut sq);
+            self.sqr_into_vt(&table[0], t, &mut sq);
             for i in 1..(1 << (w - 1)) {
                 let mut next = Vec::with_capacity(self.k());
-                self.mul_into(&table[i - 1], &sq, t, &mut next);
+                self.mul_into_vt(&table[i - 1], &sq, t, &mut next);
                 table.push(next);
             }
         }
@@ -362,15 +508,15 @@ impl Monty {
         let mut cur_pos = first_pos;
         for &(pos, val) in &windows[1..] {
             for _ in 0..(cur_pos - pos) {
-                self.sqr_into(&acc, &mut t, &mut tmp);
+                self.sqr_into_vt(&acc, &mut t, &mut tmp);
                 std::mem::swap(&mut acc, &mut tmp);
             }
-            self.mul_into(&acc, &table[val >> 1], &mut t, &mut tmp);
+            self.mul_into_vt(&acc, &table[val >> 1], &mut t, &mut tmp);
             std::mem::swap(&mut acc, &mut tmp);
             cur_pos = pos;
         }
         for _ in 0..cur_pos {
-            self.sqr_into(&acc, &mut t, &mut tmp);
+            self.sqr_into_vt(&acc, &mut t, &mut tmp);
             std::mem::swap(&mut acc, &mut tmp);
         }
         self.demont(&acc, &mut t)
@@ -413,13 +559,13 @@ impl Monty {
         // contributes its (odd) value exactly once.
         for bit in (0..nbits).rev() {
             if started {
-                self.sqr_into(&acc, &mut t, &mut tmp);
+                self.sqr_into_vt(&acc, &mut t, &mut tmp);
                 std::mem::swap(&mut acc, &mut tmp);
             }
             if i1 < win1.len() && win1[i1].0 == bit {
                 let entry = &table1[win1[i1].1 >> 1];
                 if started {
-                    self.mul_into(&acc, entry, &mut t, &mut tmp);
+                    self.mul_into_vt(&acc, entry, &mut t, &mut tmp);
                     std::mem::swap(&mut acc, &mut tmp);
                 } else {
                     acc = entry.clone();
@@ -430,7 +576,7 @@ impl Monty {
             if i2 < win2.len() && win2[i2].0 == bit {
                 let entry = &table2[win2[i2].1 >> 1];
                 if started {
-                    self.mul_into(&acc, entry, &mut t, &mut tmp);
+                    self.mul_into_vt(&acc, entry, &mut t, &mut tmp);
                     std::mem::swap(&mut acc, &mut tmp);
                 } else {
                     acc = entry.clone();
@@ -440,6 +586,62 @@ impl Monty {
             }
         }
         debug_assert!(started, "both exponents are nonzero");
+        self.demont(&acc, &mut t)
+    }
+
+    /// Constant-time fixed-window ladder. Everything the control flow and
+    /// memory traffic depend on is public: the modulus width `k`, the
+    /// exponent bound `exp_bits`, and the fixed window width of 4 bits
+    /// (which divides 64, so a window never straddles a limb boundary).
+    /// The exponent's actual value only ever feeds masked limb selects.
+    fn pow_ct(&self, base: &Ubig, exp: &Ubig, exp_bits: usize, modulus: &Ubig) -> Ubig {
+        let k = self.k();
+        let mut t = Vec::with_capacity(2 * k + 1);
+        let mut base_m = Vec::with_capacity(k);
+        self.to_mont(base, modulus, &mut t, &mut base_m);
+
+        // table[i] = base^i in Montgomery form, i = 0..16 — including the
+        // identity at slot 0, so a zero window multiplies by one instead
+        // of being skipped.
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(16);
+        table.push(self.one.clone());
+        table.push(base_m);
+        for i in 2..16 {
+            let mut next = Vec::with_capacity(k);
+            self.mul_into(&table[i - 1], &table[1], &mut t, &mut next);
+            table.push(next);
+        }
+
+        // Copy the exponent into a buffer sized by the public bound so
+        // the limb indexing below never depends on the secret's length.
+        let nlimbs = exp_bits.div_ceil(64).max(1);
+        let mut e = vec![0u64; nlimbs];
+        let used = exp.limbs.len().min(nlimbs);
+        e[..used].copy_from_slice(&exp.limbs[..used]);
+
+        let nwin = exp_bits.div_ceil(4).max(1);
+        let mut acc = self.one.clone();
+        let mut tmp = Vec::with_capacity(k);
+        let mut sel = vec![0u64; k];
+        for win in (0..nwin).rev() {
+            for _ in 0..4 {
+                self.sqr_into(&acc, &mut t, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let bit = win * 4;
+            let w = (e[bit / 64] >> (bit % 64)) & 0xF;
+            // Masked scan: touch every table entry, keep the one whose
+            // index equals the window value. No secret-indexed load.
+            sel.fill(0);
+            for (j, entry) in table.iter().enumerate() {
+                let mask = ct_eq_u64(j as u64, w);
+                for l in 0..k {
+                    sel[l] |= entry[l] & mask;
+                }
+            }
+            self.mul_into(&acc, &sel, &mut t, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
         self.demont(&acc, &mut t)
     }
 }
@@ -471,34 +673,6 @@ fn decompose(exp: &Ubig, w: usize) -> Vec<(usize, usize)> {
         i = j as isize - 1;
     }
     windows
-}
-
-fn less_than(a: &[u64], b: &[u64]) -> bool {
-    debug_assert_eq!(a.len(), b.len());
-    for i in (0..a.len()).rev() {
-        if a[i] != b[i] {
-            return a[i] < b[i];
-        }
-    }
-    false
-}
-
-/// `a -= b` over the first `b.len()` limbs of `a` (a may have one extra limb).
-fn sub_in_place(a: &mut [u64], b: &[u64]) {
-    let mut borrow = 0i128;
-    for i in 0..b.len() {
-        let d = i128::from(a[i]) - i128::from(b[i]) - borrow;
-        if d < 0 {
-            a[i] = (d + (1i128 << 64)) as u64;
-            borrow = 1;
-        } else {
-            a[i] = d as u64;
-            borrow = 0;
-        }
-    }
-    if borrow != 0 && a.len() > b.len() {
-        a[b.len()] = a[b.len()].wrapping_sub(1);
-    }
 }
 
 #[cfg(test)]
@@ -660,6 +834,104 @@ mod tests {
                 assert_eq!(via_sqr, via_mul, "{limbs}-limb squaring");
             }
         }
+    }
+
+    #[test]
+    fn ct_eq_u64_masks() {
+        assert_eq!(ct_eq_u64(0, 0), u64::MAX);
+        assert_eq!(ct_eq_u64(7, 7), u64::MAX);
+        assert_eq!(ct_eq_u64(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(ct_eq_u64(0, 1), 0);
+        assert_eq!(ct_eq_u64(1u64 << 63, 0), 0);
+        assert_eq!(ct_eq_u64(5, 6), 0);
+    }
+
+    #[test]
+    fn pow_ct_matches_pow_small_modulus() {
+        let m = Ubig::from(97u64);
+        let ctx = ModCtx::new(&m);
+        for base in 0..20u64 {
+            for exp in 0..20u64 {
+                assert_eq!(
+                    ctx.pow_ct(&Ubig::from(base), &Ubig::from(exp), 8),
+                    ctx.pow(&Ubig::from(base), &Ubig::from(exp)),
+                    "{base}^{exp} mod 97"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_ct_matches_modpow_multi_limb() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for limbs in [1usize, 2, 4, 8] {
+            let m = Ubig::from_limbs((0..limbs).map(|_| rng.gen::<u64>() | 1).collect::<Vec<u64>>());
+            let ctx = ModCtx::new(&m);
+            for exp_bits in [1usize, 7, 64, 130, 512] {
+                let base = Ubig::random_below(&mut rng, &m);
+                let exp = Ubig::random_bits(&mut rng, exp_bits);
+                // The declared bound may exceed the actual bit length.
+                for bound in [exp_bits, exp_bits + 5, exp_bits + 64] {
+                    assert_eq!(
+                        ctx.pow_ct(&base, &exp, bound),
+                        base.modpow(&exp, &m),
+                        "{limbs} limbs, {exp_bits} exp bits, bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_ct_zero_exponent_no_fast_path() {
+        let m = Ubig::from(1000003u64);
+        let ctx = ModCtx::new(&m);
+        assert_eq!(ctx.pow_ct(&Ubig::from(5u64), &Ubig::zero(), 0), Ubig::one());
+        assert_eq!(ctx.pow_ct(&Ubig::from(5u64), &Ubig::zero(), 520), Ubig::one());
+        assert_eq!(ctx.pow_ct(&Ubig::zero(), &Ubig::from(5u64), 3), Ubig::zero());
+        // Base larger than the modulus is reduced first.
+        assert_eq!(ctx.pow_ct(&(&m + &Ubig::from(2u64)), &Ubig::two(), 2), Ubig::from(4u64));
+        // Modulus one: everything is zero.
+        assert_eq!(ModCtx::new(&Ubig::one()).pow_ct(&Ubig::from(5u64), &Ubig::two(), 2), Ubig::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared public bound")]
+    fn pow_ct_rejects_exponent_over_bound() {
+        let ctx = ModCtx::new(&Ubig::from(97u64));
+        let _ = ctx.pow_ct(&Ubig::from(5u64), &Ubig::from(255u64), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn pow_ct_rejects_even_modulus() {
+        let ctx = ModCtx::new(&Ubig::from(1000u64));
+        let _ = ctx.pow_ct(&Ubig::from(5u64), &Ubig::from(3u64), 2);
+    }
+
+    #[test]
+    fn mul_ct_matches_mul() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for limbs in [1usize, 2, 4, 8] {
+            let m = Ubig::from_limbs((0..limbs).map(|_| rng.gen::<u64>() | 1).collect::<Vec<u64>>());
+            let ctx = ModCtx::new(&m);
+            for _ in 0..10 {
+                let a = Ubig::random_below(&mut rng, &m);
+                let b = Ubig::random_below(&mut rng, &m);
+                assert_eq!(ctx.mul_ct(&a, &b), ctx.mul(&a, &b), "{limbs} limbs");
+            }
+            assert_eq!(ctx.mul_ct(&Ubig::zero(), &Ubig::zero()), Ubig::zero());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the modulus")]
+    fn mul_ct_rejects_unreduced_operand() {
+        let m = Ubig::from(97u64);
+        let ctx = ModCtx::new(&m);
+        let _ = ctx.mul_ct(&Ubig::from(97u64), &Ubig::one());
     }
 
     #[test]

@@ -224,6 +224,15 @@ impl Ubig {
         }
     }
 
+    /// The storage width in bits: `64 ×` the number of limbs. Unlike
+    /// [`Ubig::bit_len`] this only reveals the value's magnitude at limb
+    /// granularity, which this workspace's constant-time callers treat as
+    /// public (all limb loops already run over the limb count), so it is
+    /// the right way to derive a public exponent bound from a secret.
+    pub fn bit_capacity(&self) -> usize {
+        self.limbs.len() * 64
+    }
+
     /// Number of significant bits (zero has bit length 0).
     pub fn bit_len(&self) -> usize {
         match self.limbs.last() {
@@ -283,6 +292,82 @@ impl Ubig {
             limbs.push(self.limbs[full] & ((1u64 << part) - 1));
         }
         Ubig::from_limbs(limbs)
+    }
+
+    // ---- constant-time primitives ----
+    //
+    // These run in time that depends only on the limb *widths* of the
+    // operands, never on their values. Limb width is public in every
+    // caller (it is fixed by the modulus size), so these are safe on
+    // secret operands where `==`, `<` and `if` would leak.
+
+    /// Constant-time equality: scans every limb of both operands and
+    /// accumulates the difference with XOR/OR, with no early exit.
+    pub fn ct_eq(&self, other: &Ubig) -> bool {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut acc = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            acc |= a ^ b;
+        }
+        // acc == 0 iff equal; reduce without a value-dependent branch.
+        let nonzero = ((acc | acc.wrapping_neg()) >> 63) & 1;
+        nonzero == 0
+    }
+
+    /// Constant-time `self >= other`: runs the full-width borrow chain of
+    /// `self - other` and reports whether it underflowed, with no early
+    /// exit on the first differing limb (unlike `Ord::cmp`).
+    pub fn ct_ge(&self, other: &Ubig) -> bool {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d, b1) = a.overflowing_sub(b);
+            let (_, b2) = d.overflowing_sub(borrow);
+            borrow = u64::from(b1 | b2);
+        }
+        borrow == 0
+    }
+
+    /// Constant-time select: returns `a` when `choice` is true, `b`
+    /// otherwise, touching every limb of both inputs either way. The
+    /// result is normalized via [`Ubig::from_limbs`]; both candidates
+    /// must share a public width bound for the timing argument to hold.
+    pub fn ct_select(choice: bool, a: &Ubig, b: &Ubig) -> Ubig {
+        let mask = u64::from(choice).wrapping_neg();
+        let n = a.limbs.len().max(b.limbs.len());
+        let mut limbs = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = a.limbs.get(i).copied().unwrap_or(0);
+            let y = b.limbs.get(i).copied().unwrap_or(0);
+            limbs.push((x & mask) | (y & !mask));
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Constant-time conditional reduction step: `self - m` when
+    /// `self >= m`, else `self`. The subtraction runs full-width either
+    /// way and its final borrow decides the [`Ubig::ct_select`] — the
+    /// `Sub` operator cannot be used here because its underflow assert
+    /// compares with the early-exit [`Ord`] path.
+    pub fn ct_sub_if_ge(&self, m: &Ubig) -> Ubig {
+        let n = self.limbs.len().max(m.limbs.len());
+        let mut diff = Vec::with_capacity(n);
+        let mut borrow = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = m.limbs.get(i).copied().unwrap_or(0);
+            let (d, b1) = a.overflowing_sub(b);
+            let (d, b2) = d.overflowing_sub(borrow);
+            diff.push(d);
+            borrow = u64::from(b1 | b2);
+        }
+        // borrow == 0 iff self >= m; when self < m the wrapped diff is
+        // computed but discarded by the select.
+        Ubig::ct_select(borrow == 0, &Ubig::from_limbs(diff), self)
     }
 }
 
@@ -352,26 +437,28 @@ fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
         out.push(s as u64);
         carry = (s >> 64) as u64;
     }
-    if carry != 0 {
-        out.push(carry);
-    }
+    // Push the carry unconditionally — `from_limbs` trims a zero top limb,
+    // and a value-dependent push would leak whether the sum overflowed.
+    out.push(carry);
     out
 }
 
-/// Subtracts `b` from `a` in place semantics; caller must guarantee `a >= b`.
+/// Subtracts `b` from `a`; caller must guarantee `a >= b`. The borrow
+/// chain is branchless (`overflowing_sub`, matching the Montgomery
+/// kernels) and runs over the full width of both operands, so underflow
+/// is detected by the final borrow alone — no early-exit `Ord` compare
+/// anywhere on the subtraction path, which runs on secret values in CRT
+/// recombination.
 fn sub_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
-    debug_assert!(a.len() >= b.len());
-    let mut out = Vec::with_capacity(a.len());
-    let mut borrow = 0i128;
-    for i in 0..a.len() {
-        let d = i128::from(a[i]) - i128::from(*b.get(i).unwrap_or(&0)) - borrow;
-        if d < 0 {
-            out.push((d + (1i128 << 64)) as u64);
-            borrow = 1;
-        } else {
-            out.push(d as u64);
-            borrow = 0;
-        }
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n);
+    let mut borrow = 0u64;
+    for i in 0..n {
+        let ai = a.get(i).copied().unwrap_or(0);
+        let (d, b1) = ai.overflowing_sub(*b.get(i).unwrap_or(&0));
+        let (d, b2) = d.overflowing_sub(borrow);
+        out.push(d);
+        borrow = u64::from(b1 | b2);
     }
     assert_eq!(borrow, 0, "Ubig subtraction underflow");
     out
@@ -382,10 +469,10 @@ fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
         return Vec::new();
     }
     let mut out = vec![0u64; a.len() + b.len()];
+    // No zero-limb skip here: a data-dependent `continue` would make the
+    // multiply's duration a function of the operands' limb values, and
+    // this kernel runs on secret operands (CRT recombination, blinding).
     for (i, &ai) in a.iter().enumerate() {
-        if ai == 0 {
-            continue;
-        }
         let mut carry = 0u64;
         for (j, &bj) in b.iter().enumerate() {
             let t = u128::from(ai) * u128::from(bj) + u128::from(out[i + j]) + u128::from(carry);
@@ -431,9 +518,9 @@ forward_binop!(Add, add);
 impl Sub<&Ubig> for &Ubig {
     type Output = Ubig;
     /// # Panics
-    /// Panics on underflow; see [`Ubig::checked_sub`].
+    /// Panics on underflow (detected by the full-width borrow chain, not
+    /// a prior comparison); see [`Ubig::checked_sub`].
     fn sub(self, rhs: &Ubig) -> Ubig {
-        assert!(self >= rhs, "Ubig subtraction underflow");
         Ubig::from_limbs(sub_limbs(&self.limbs, &rhs.limbs))
     }
 }
@@ -695,5 +782,52 @@ mod tests {
     fn sum_iterator() {
         let total: Ubig = (1..=10u64).map(Ubig::from).sum();
         assert_eq!(total, Ubig::from(55u64));
+    }
+
+    #[test]
+    fn ct_eq_matches_eq() {
+        let a = Ubig::from_hex("deadbeefdeadbeefdeadbeef").unwrap();
+        let b = Ubig::from_hex("deadbeefdeadbeefdeadbee0").unwrap();
+        assert!(a.ct_eq(&a));
+        assert!(!a.ct_eq(&b));
+        assert!(Ubig::zero().ct_eq(&Ubig::zero()));
+        assert!(!Ubig::zero().ct_eq(&Ubig::one()));
+        // Differing widths.
+        assert!(!a.ct_eq(&Ubig::one()));
+    }
+
+    #[test]
+    fn ct_ge_matches_ord() {
+        let vals = [
+            Ubig::zero(),
+            Ubig::one(),
+            Ubig::from(u64::MAX),
+            Ubig::from_hex("10000000000000000").unwrap(),
+            Ubig::from_hex("ffffffffffffffffffffffffffffffff").unwrap(),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(a.ct_ge(b), a >= b, "{} >= {}", a.to_hex(), b.to_hex());
+            }
+        }
+    }
+
+    #[test]
+    fn ct_select_picks_either_side() {
+        let a = Ubig::from_hex("aaaaaaaaaaaaaaaaaaaaaaaa").unwrap();
+        let b = Ubig::from(7u64);
+        assert_eq!(Ubig::ct_select(true, &a, &b), a);
+        assert_eq!(Ubig::ct_select(false, &a, &b), b);
+        assert_eq!(Ubig::ct_select(false, &a, &Ubig::zero()), Ubig::zero());
+    }
+
+    #[test]
+    fn ct_sub_if_ge_reduces_once() {
+        let m = Ubig::from_hex("100000000000000001").unwrap();
+        let below = Ubig::from(42u64);
+        let above = &m + &Ubig::from(13u64);
+        assert_eq!(below.ct_sub_if_ge(&m), below);
+        assert_eq!(above.ct_sub_if_ge(&m), Ubig::from(13u64));
+        assert_eq!(m.ct_sub_if_ge(&m), Ubig::zero());
     }
 }

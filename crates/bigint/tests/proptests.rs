@@ -137,6 +137,65 @@ proptest! {
     }
 
     #[test]
+    fn ct_eq_matches_variable_time_eq(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(a.ct_eq(&b), a == b);
+        prop_assert!(a.ct_eq(&a));
+        // One-bit perturbation flips equality.
+        let mut c = a.clone();
+        c.set_bit(a.bit_len());
+        prop_assert!(!a.ct_eq(&c));
+    }
+
+    #[test]
+    fn ct_ge_matches_variable_time_ord(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(a.ct_ge(&b), a >= b);
+        prop_assert_eq!(b.ct_ge(&a), b >= a);
+        prop_assert!(a.ct_ge(&a));
+    }
+
+    #[test]
+    fn ct_select_matches_branch(choice in any::<bool>(), a in arb_ubig(), b in arb_ubig()) {
+        let picked = Ubig::ct_select(choice, &a, &b);
+        prop_assert_eq!(picked, if choice { a } else { b });
+    }
+
+    #[test]
+    fn ct_sub_if_ge_matches_checked_sub(a in arb_ubig(), m in arb_ubig_nonzero()) {
+        let expected = a.checked_sub(&m).unwrap_or_else(|| a.clone());
+        prop_assert_eq!(a.ct_sub_if_ge(&m), expected);
+    }
+
+    #[test]
+    fn pow_ct_matches_variable_time_pow(
+        base in arb_ubig_wide(), e in arb_ubig(), m in arb_ubig_nonzero(),
+    ) {
+        // Odd modulus: the constant-time ladder is Montgomery-only.
+        let m = if m.is_even() { &m + &Ubig::one() } else { m };
+        if m.is_one() {
+            return Ok(());
+        }
+        let ctx = ModCtx::new(&m);
+        // Byte-identical to the sliding-window ladder and to cold modpow,
+        // with the declared bound at and above the true bit length.
+        prop_assert_eq!(ctx.pow_ct(&base, &e, e.bit_len()), ctx.pow(&base, &e));
+        prop_assert_eq!(ctx.pow_ct(&base, &e, e.bit_len() + 17), base.modpow(&e, &m));
+        prop_assert_eq!(ctx.pow_ct(&base, &Ubig::zero(), 512), Ubig::one() % &m);
+    }
+
+    #[test]
+    fn mul_ct_matches_variable_time_mul(
+        a in arb_ubig_wide(), b in arb_ubig_wide(), m in arb_ubig_nonzero(),
+    ) {
+        let m = if m.is_even() { &m + &Ubig::one() } else { m };
+        if m.is_one() {
+            return Ok(());
+        }
+        let ctx = ModCtx::new(&m);
+        let (a, b) = (&a % &m, &b % &m);
+        prop_assert_eq!(ctx.mul_ct(&a, &b), ctx.mul(&a, &b));
+    }
+
+    #[test]
     fn ibig_add_sub_roundtrip(a in any::<i64>(), b in any::<i64>()) {
         // Avoid overflow in the i64 oracle.
         let (a, b) = (i64::from(a as i32), i64::from(b as i32));

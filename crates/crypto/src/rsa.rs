@@ -94,7 +94,7 @@ impl RsaPublicKey {
 
     /// The modulus size in whole bytes (ceiling).
     pub fn modulus_len(&self) -> usize {
-        self.n.bit_len().div_ceil(8)
+        self.modulus().bit_len().div_ceil(8)
     }
 
     /// Verifies a PKCS#1 v1.5 signature over `message`.
@@ -211,16 +211,61 @@ impl RsaPrivateKey {
         &self.d
     }
 
-    /// Raw RSA private-key operation `x^d mod n` using the CRT.
+    /// Raw RSA private-key operation `x^d mod n` using the CRT, hardened
+    /// against a timing observer:
+    ///
+    /// - **Base blinding**: the operation actually exponentiates
+    ///   `x·rᵉ mod n` for a fresh uniform `r` per call and unblinds with
+    ///   `r⁻¹`, so even the input-dependent variance of the reduction
+    ///   steps is decorrelated from the caller's `x`.
+    /// - **Constant-time ladders**: both CRT half-exponentiations use
+    ///   [`ModCtx::pow_ct`] with the prime's bit length (a public key
+    ///   format parameter) as the exponent bound.
+    /// - **Branchless recombination**: `m₂ mod p`, the difference
+    ///   `m₁ - m₂`, and the `q⁻¹·diff mod p` multiply all go through
+    ///   masked conditional subtractions ([`Ubig::ct_sub_if_ge`]) and
+    ///   division-free Montgomery multiplies ([`ModCtx::mul_ct`]) — no
+    ///   quotient-estimation loop ever runs on a secret-derived value.
     pub fn raw_decrypt(&self, x: &Ubig) -> Ubig {
         let ctx_p = self.ctx_p.get_or_init(|| ModCtx::new(&self.p));
         let ctx_q = self.ctx_q.get_or_init(|| ModCtx::new(&self.q));
-        let m1 = ctx_p.pow(x, &self.d_p);
-        let m2 = ctx_q.pow(x, &self.d_q);
-        // h = q_inv * (m1 - m2) mod p
-        let diff = if m1 >= m2 { &m1 - &m2 } else { &self.p - &((&m2 - &m1) % &self.p) } % &self.p;
-        let h = (&self.q_inv * &diff) % &self.p;
-        m2 + &self.q * &h
+        let ctx_n = self.public.ctx();
+        let n = self.public.modulus();
+
+        // Fresh blinding pair (r, r⁻¹ mod n). A random r below n is
+        // invertible with overwhelming probability (a non-invertible draw
+        // would factor n); the loop re-draws on the negligible failure.
+        let mut rng = rand::thread_rng();
+        let (r, r_inv) = loop {
+            let r = Ubig::random_below(&mut rng, n);
+            if let Some(inv) = r.modinv(n) {
+                break (r, inv);
+            }
+        };
+        // Blind with the *public* exponent: x_b = x·rᵉ mod n. Both
+        // operands are independent of the key, so the fast variable-time
+        // ladder and reduction are fine here.
+        let x_b = ctx_n.mul(&ctx_n.pow(&r, self.public.exponent()), x);
+
+        // CRT halves on the blinded base, constant-time in d_p/d_q. The
+        // prime bit lengths bounding the ladders are public parameters of
+        // the key format (⌈bits/2⌉ for generated keys).
+        let p_bits = ctx_p.modulus().bit_len();
+        let q_bits = ctx_q.modulus().bit_len();
+        let m1 = ctx_p.pow_ct(&x_b, &self.d_p, p_bits);
+        let m2 = ctx_q.pow_ct(&x_b, &self.d_q, q_bits);
+
+        // h = q_inv·(m1 - m2) mod p, branchlessly: reduce m2 below p by a
+        // fixed schedule of masked shifted subtractions, lift the
+        // difference by +p so it never underflows, and reduce once more.
+        let m2p = ct_mod(&m2, ctx_p.modulus(), q_bits.saturating_sub(p_bits));
+        let diff = (&m1 + &self.p - &m2p).ct_sub_if_ge(&self.p);
+        let h = ctx_p.mul_ct(&self.q_inv, &diff);
+
+        // y_b = m2 + q·h < q + q·(p-1) ≤ n, so no reduction is needed;
+        // unblind via a division-free multiply by r⁻¹.
+        let y_b = &m2 + &(&self.q * &h);
+        ctx_n.mul_ct(&y_b, &r_inv)
     }
 
     /// Signs `message` with PKCS#1 v1.5.
@@ -233,6 +278,19 @@ impl RsaPrivateKey {
         let x = self.public.message_representative(message, alg)?;
         Ok(self.raw_decrypt(&x))
     }
+}
+
+/// `x mod p` for `x < 2^(p.bit_len() + extra_bits)`, by a fixed schedule
+/// of `extra_bits + 1` masked shifted subtractions — no division, no
+/// value-dependent branch or iteration count. The schedule length depends
+/// only on the public bit-length parameters.
+fn ct_mod(x: &Ubig, p: &Ubig, extra_bits: usize) -> Ubig {
+    let mut r = x.clone();
+    for j in (0..=extra_bits).rev() {
+        // Invariant: r < 2^(j+1)·p before the step, r < 2^j·p after.
+        r = r.ct_sub_if_ge(&(p << j));
+    }
+    r
 }
 
 #[cfg(test)]

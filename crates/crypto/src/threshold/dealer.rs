@@ -80,7 +80,12 @@ impl Dealer {
                 break ctx.pow(&u, &Ubig::two());
             }
         };
-        let verification_keys = shares.iter().map(|s| ctx.pow(&v, s.secret())).collect();
+        // Share exponents ride the constant-time ladder even here: the
+        // dealer usually runs offline, but nothing stops a deployment
+        // from re-dealing on a reachable host. s_i < m < N, so the
+        // modulus length is a public bound.
+        let verification_keys =
+            shares.iter().map(|s| ctx.pow_ct(&v, s.secret(), modulus.bit_len())).collect();
 
         let ctx_cell = OnceLock::new();
         let _ = ctx_cell.set(ctx); // freshly created cell: set cannot fail

@@ -65,12 +65,16 @@ pub fn create_dealing<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> RefreshSecrets {
     assert!((1..=pk.parties()).contains(&dealer), "dealer index out of range");
-    let bound = Ubig::one() << (pk.modulus().bit_len() + SLACK_BITS);
+    let coeff_bits = pk.modulus().bit_len() + SLACK_BITS;
+    let bound = Ubig::one() << coeff_bits;
     let coefficients: Vec<Ubig> =
         (0..pk.threshold()).map(|_| Ubig::random_below(rng, &bound)).collect();
     let ctx = pk.ctx();
+    // The coefficients are as secret as the shares they will refresh, so
+    // the commitments use the constant-time ladder with the public
+    // coefficient-interval bound.
     let commitments =
-        coefficients.iter().map(|a| ctx.pow(pk.verification_base(), a)).collect();
+        coefficients.iter().map(|a| ctx.pow_ct(pk.verification_base(), a, coeff_bits)).collect();
     let points = (1..=pk.parties())
         .map(|j| {
             // g(j) = Σ a_c · j^c, c = 1..=t (integer arithmetic).
@@ -112,7 +116,23 @@ pub fn verify_point(
     if dealing.commitments.len() != pk.threshold() {
         return false;
     }
-    pk.ctx().pow(pk.verification_base(), point) == committed_point(pk, dealing, j)
+    // `point` is this server's private polynomial evaluation — it folds
+    // straight into the refreshed share — so its exponentiation takes the
+    // constant-time ladder, bounded by the public worst case for
+    // `g(j) = Σ a_c j^c`: t terms of `coeff · n^t`.
+    pk.ctx().pow_ct(pk.verification_base(), point, point_bound_bits(pk))
+        == committed_point(pk, dealing, j)
+}
+
+/// Public upper bound (in bits) on a refresh point `g(j)`: each of the
+/// `t` terms is below `2^(|N| + SLACK_BITS) · n^t`, so
+/// `|g(j)| ≤ |N| + SLACK_BITS + t·⌈log₂(n+1)⌉ + ⌈log₂(t+1)⌉`. Derived
+/// from public group parameters only.
+fn point_bound_bits(pk: &ThresholdPublicKey) -> usize {
+    let usize_bits = usize::BITS as usize;
+    let n_bits = usize_bits - pk.parties().leading_zeros() as usize;
+    let t_bits = usize_bits - pk.threshold().leading_zeros() as usize;
+    pk.modulus().bit_len() + SLACK_BITS + pk.threshold() * n_bits + t_bits
 }
 
 /// Applies an agreed set of verified dealings to this server's share.

@@ -45,10 +45,22 @@ impl KeyShare {
 
     /// Computes this server's signature share `x_i = x^{2Δs_i} mod N`
     /// **without** a correctness proof (used by the optimistic protocols).
+    ///
+    /// The exponentiation runs on the constant-time ladder: the exponent
+    /// is `2Δ·s_i` and `s_i` is exactly the secret the `(n, t)` threshold
+    /// exists to protect. The public ladder bound combines `Δ` (public)
+    /// with the share's limb capacity — a limb-granular width that grows
+    /// by a publicly known amount per refresh epoch.
     pub fn sign(&self, x: &Ubig, pk: &ThresholdPublicKey) -> SignatureShare {
         // sdns-lint: allow(arith) — arbitrary-precision Ubig multiplication cannot overflow
         let exponent = Ubig::two() * pk.delta_ref() * &self.secret;
-        SignatureShare { signer: self.index, value: pk.ctx().pow(x, &exponent), proof: None }
+        // sdns-lint: allow(arith) — sum of three small bit-length counts
+        let exp_bits = pk.delta_ref().bit_len() + 1 + self.secret.bit_capacity();
+        SignatureShare {
+            signer: self.index,
+            value: pk.ctx().pow_ct(x, &exponent, exp_bits),
+            proof: None,
+        }
     }
 
     /// Computes this server's signature share together with a
@@ -82,12 +94,20 @@ impl KeyShare {
         let x_i_sq = ctx.pow(share_value, &Ubig::two());
 
         // r ∈ [0, 2^(|N| + 2·L1))
-        // sdns-lint: allow(arith) — bit_len of a real modulus is a few thousand at most,
-        // and the shift builds an arbitrary-precision Ubig that cannot overflow
-        let r_bound = Ubig::one() << (pk.modulus().bit_len() + 2 * CHALLENGE_BITS);
+        // sdns-lint: allow(arith) — bit_len of a real modulus is a few thousand
+        // at most; adding the fixed challenge width cannot overflow usize
+        let nonce_bits = pk.modulus().bit_len() + 2 * CHALLENGE_BITS;
+        // sdns-lint: allow(arith) — bit_len of a real modulus is a few thousand
+        // at most, and the shift builds an arbitrary-precision Ubig that cannot
+        // overflow
+        let r_bound = Ubig::one() << nonce_bits;
         let r = Ubig::random_below(rng, &r_bound);
-        let v_prime = ctx.pow(pk.verification_base(), &r);
-        let x_prime = ctx.pow(&x_tilde, &r);
+        // The nonce is as secret as the share itself — the published
+        // response `z = s_i·c + r` turns any leak of `r` into a leak of
+        // `s_i` — so both commitments use the constant-time ladder with
+        // the public nonce-interval bound.
+        let v_prime = ctx.pow_ct(pk.verification_base(), &r, nonce_bits);
+        let x_prime = ctx.pow_ct(&x_tilde, &r, nonce_bits);
 
         let c = challenge(
             pk.verification_base(),

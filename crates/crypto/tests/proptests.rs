@@ -78,6 +78,22 @@ proptest! {
     }
 
     #[test]
+    fn blinded_decrypt_then_encrypt_roundtrip(x in proptest::collection::vec(any::<u8>(), 1..64)) {
+        // raw_decrypt blinds with a fresh random r per call; the blinding
+        // must cancel exactly: x^d^e ≡ x (mod n) for any x below n, and
+        // two decryptions of the same input (different blinds) agree.
+        let key = rsa_key();
+        let n = key.public_key().modulus();
+        let x = Ubig::from_bytes_be(&x) % n;
+        let y = key.raw_decrypt(&x);
+        prop_assert!(&y < n);
+        prop_assert_eq!(key.public_key().ctx().pow(&y, key.public_key().exponent()), x.clone());
+        prop_assert_eq!(key.raw_decrypt(&x), y);
+        // And it matches the unblinded plain exponentiation exactly.
+        prop_assert_eq!(key.raw_decrypt(&x), x.modpow(key.private_exponent(), n));
+    }
+
+    #[test]
     fn any_quorum_signs_and_agrees(x in 1u64..u64::MAX,
                                    mut picks in proptest::collection::vec(0usize..7, 3)) {
         picks.sort_unstable();

@@ -1,0 +1,192 @@
+//! Dynamic timing-leakage harness: dudect-style Welch t-tests.
+//!
+//! The static analyzer (`cargo xtask lint`) proves the *absence of
+//! secret-dependent control flow* it can see; this harness measures the
+//! *presence of secret-dependent timing* end to end, catching what the
+//! model abstracts away (allocator behaviour, normalization, hardware).
+//! Following the dudect methodology (Reparaz, Balasch & Verbauwhede,
+//! DATE 2017):
+//!
+//! 1. Interleave measurements of two input classes — one **fixed**
+//!    secret, one **random** per call — in random order, so drift and
+//!    frequency scaling hit both classes alike.
+//! 2. Crop the pooled upper tail (samples above the pooled 90th
+//!    percentile) from both classes: long scheduler preemptions carry
+//!    no signal but dominate the variance.
+//! 3. Welch's t-test on the cropped classes. |t| below the gate means
+//!    no evidence of a class-distinguishing timing difference at this
+//!    sample size; |t| well above it (dudect uses 4.5) means leak.
+//!
+//! The gated tests cover the two hardened hot paths — threshold share
+//! signing and CRT `raw_decrypt` — and a deliberately leaky reference
+//! (the variable-time square-and-multiply ladder, which keys its work
+//! to the exponent's bit pattern) proves the harness can actually see
+//! leaks at these sample sizes.
+//!
+//! All tests are `#[ignore]`: wall-clock statistics are meaningless
+//! under a loaded PR runner, so the nightly `timing-leakage` job (and
+//! anyone running `cargo test --release --test timing -- --ignored`)
+//! is the consumer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdns_bigint::{ModCtx, Ubig};
+use sdns_crypto::rsa::RsaPrivateKey;
+use sdns_crypto::threshold::{Dealer, KeyShare};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-class sample count. 3000 paired measurements keeps the whole
+/// suite under a couple of minutes at 512-bit keys while giving the
+/// reference leak a |t| in the hundreds.
+const SAMPLES: usize = 3000;
+
+/// Welch-t gate. dudect's decision threshold is 4.5; the margin to 5.0
+/// absorbs the coarser clock (`Instant` vs rdtsc).
+const T_GATE: f64 = 5.0;
+
+/// Fraction of the pooled distribution kept by the tail crop.
+const CROP_QUANTILE: f64 = 0.90;
+
+const KEY_BITS: usize = 512;
+
+/// Welch's two-sample t statistic (unequal variances).
+fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var = |v: &[f64], m: f64| {
+        v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    (ma - mb) / (va / a.len() as f64 + vb / b.len() as f64).sqrt()
+}
+
+/// Drops samples above the pooled `CROP_QUANTILE` quantile from both
+/// classes (the dudect post-processing step: the upper tail is
+/// scheduler noise, not signal).
+fn crop(a: Vec<f64>, b: Vec<f64>) -> (Vec<f64>, Vec<f64>) {
+    let mut pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    pooled.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    let cut = pooled[((pooled.len() as f64 * CROP_QUANTILE) as usize).min(pooled.len() - 1)];
+    (
+        a.into_iter().filter(|&x| x <= cut).collect(),
+        b.into_iter().filter(|&x| x <= cut).collect(),
+    )
+}
+
+/// Runs `op` on `SAMPLES` inputs of each class, interleaved in random
+/// order, and returns the cropped Welch t statistic. `fixed` supplies
+/// the constant-class input; `random` draws a fresh one per call.
+fn t_statistic<T>(
+    rng: &mut StdRng,
+    mut fixed: impl FnMut(&mut StdRng) -> T,
+    mut random: impl FnMut(&mut StdRng) -> T,
+    mut op: impl FnMut(&T),
+) -> f64 {
+    let mut class_fixed = Vec::with_capacity(SAMPLES);
+    let mut class_random = Vec::with_capacity(SAMPLES);
+    // Pre-draw the interleaving so input generation cost stays outside
+    // the timed region.
+    while class_fixed.len() < SAMPLES || class_random.len() < SAMPLES {
+        let use_fixed = if class_fixed.len() >= SAMPLES {
+            false
+        } else if class_random.len() >= SAMPLES {
+            true
+        } else {
+            rng.gen::<bool>()
+        };
+        let input = if use_fixed { fixed(rng) } else { random(rng) };
+        let start = Instant::now();
+        op(black_box(&input));
+        let nanos = start.elapsed().as_nanos() as f64;
+        if use_fixed {
+            class_fixed.push(nanos);
+        } else {
+            class_random.push(nanos);
+        }
+    }
+    let (a, b) = crop(class_fixed, class_random);
+    welch_t(&a, &b)
+}
+
+/// Threshold share signing must not leak the share: a fixed share and
+/// fresh random shares (same index, uniform value below the modulus)
+/// must be timing-indistinguishable signing the same message.
+#[test]
+#[ignore = "wall-clock statistics; run via the nightly timing-leakage job"]
+fn share_sign_is_timing_independent_of_the_share() {
+    let mut rng = StdRng::seed_from_u64(0x71D1);
+    let (pk, shares) = Dealer::deal(KEY_BITS, 4, 1, &mut rng);
+    let x = Ubig::random_below(&mut rng, pk.modulus());
+    let fixed_share = shares[0].clone();
+    let modulus = pk.modulus().clone();
+
+    let t = t_statistic(
+        &mut rng,
+        |_| fixed_share.clone(),
+        |r| KeyShare::from_parts(1, Ubig::random_below(r, &modulus)),
+        |s| {
+            black_box(s.sign(&x, &pk));
+        },
+    );
+    println!("share.sign fixed-vs-random share: |t| = {:.2} (gate {T_GATE})", t.abs());
+    assert!(t.abs() < T_GATE, "share signing timing distinguishes shares: |t| = {:.2}", t.abs());
+}
+
+/// The blinded CRT private-key operation must not leak the *message*
+/// either: base blinding decorrelates the reduction work from the
+/// caller's input, so fixed and random messages look alike.
+#[test]
+#[ignore = "wall-clock statistics; run via the nightly timing-leakage job"]
+fn raw_decrypt_is_timing_independent_of_the_message() {
+    let mut rng = StdRng::seed_from_u64(0x5EC2);
+    let key = RsaPrivateKey::generate(KEY_BITS, &mut rng);
+    let n = key.public_key().modulus().clone();
+    let fixed_msg = Ubig::random_below(&mut rng, &n);
+
+    let t = t_statistic(
+        &mut rng,
+        |_| fixed_msg.clone(),
+        |r| Ubig::random_below(r, &n),
+        |m| {
+            black_box(key.raw_decrypt(m));
+        },
+    );
+    println!("rsa.raw_decrypt fixed-vs-random message: |t| = {:.2} (gate {T_GATE})", t.abs());
+    assert!(t.abs() < T_GATE, "raw_decrypt timing distinguishes messages: |t| = {:.2}", t.abs());
+}
+
+/// Sensitivity reference (non-gating): the variable-time ladder keys
+/// its multiply count to the exponent's popcount, so fixed-vs-random
+/// *exponents* must light the harness up. If this |t| ever sits near
+/// the gate, the harness has lost its statistical power and the two
+/// green tests above mean nothing — that is the condition to alarm on.
+#[test]
+#[ignore = "wall-clock statistics; run via the nightly timing-leakage job"]
+fn variable_time_ladder_reference_leaks() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let modulus = {
+        // Any odd modulus works for the reference; take an RSA modulus.
+        let key = RsaPrivateKey::generate(KEY_BITS, &mut rng);
+        key.public_key().modulus().clone()
+    };
+    let ctx = ModCtx::new(&modulus);
+    let base = Ubig::random_below(&mut rng, &modulus);
+    // Fixed class: an exponent of minimal weight (a single set top bit)
+    // maximizes the work gap against uniform random exponents.
+    let fixed_exp = Ubig::one() << (KEY_BITS - 2);
+
+    let t = t_statistic(
+        &mut rng,
+        |_| fixed_exp.clone(),
+        |r| Ubig::random_below(r, &modulus),
+        |e| {
+            black_box(ctx.pow(&base, e));
+        },
+    );
+    println!(
+        "variable-time pow reference: |t| = {:.2} (expected far above {T_GATE}; \
+         near-gate values mean the harness lost power)",
+        t.abs()
+    );
+}

@@ -1,6 +1,8 @@
 //! Replica configuration: modes, corruption models, and the calibrated
 //! cost model.
 
+// sdns-lint: coverage-exempt — Operator-supplied configuration built in code; no untrusted bytes are parsed here.
+
 use sdns_crypto::ops::OpCosts;
 use sdns_crypto::protocol::SigProtocol;
 

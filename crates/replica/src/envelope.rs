@@ -6,6 +6,8 @@
 //! submitted through several gateways (the voting client sends to all
 //! replicas).
 
+// sdns-lint: coverage-exempt — Envelopes wrap messages already decoded by the deny-listed codec/protocol modules; no raw-byte parsing.
+
 /// A client request after envelope wrapping.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Envelope {

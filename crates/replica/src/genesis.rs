@@ -5,6 +5,8 @@
 //! publishes the zone KEY record, and hands each server its private
 //! initialization data.
 
+// sdns-lint: coverage-exempt — Dealer-side ceremony over trusted local input (paper §4.3); runs offline, never on attacker bytes.
+
 // Dealer-side genesis and test fixtures: inputs are local constants, not
 // peer data, so an expect here is an assertion on our own setup code.
 #![allow(clippy::expect_used)]

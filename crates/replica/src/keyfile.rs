@@ -11,6 +11,8 @@
 //! The format is a plain `key = value` text file with hex-encoded big
 //! integers; see [`ReplicaFile`].
 
+// sdns-lint: coverage-exempt — Parses dealer-written init files transported over a secure channel (§4.3) — trusted input by protocol assumption.
+
 use crate::config::{CostModel, ZoneSecurity};
 use crate::genesis::Deployment;
 use crate::replica::{Replica, ReplicaSetup, ReplicaSigner};

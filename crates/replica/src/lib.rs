@@ -28,6 +28,8 @@
 //! corruption modes (dropping requests, stale replies, muteness) exercise
 //! the service's guarantees beyond the paper's experiments.
 
+// sdns-lint: coverage-exempt — Crate root: wiring and re-exports only; every byte-decoding path lives in a deny-listed module.
+
 pub mod config;
 pub mod durable;
 mod envelope;

@@ -1,5 +1,7 @@
 //! The unified message type of the replicated name service.
 
+// sdns-lint: coverage-exempt — In-memory message enum; wire encoding/decoding happens in deny-listed tcp/codec.rs.
+
 use sdns_abcast::AbcMsg;
 use sdns_crypto::protocol::SigMessage;
 

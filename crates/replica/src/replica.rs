@@ -9,6 +9,8 @@
 //! add, 2 for a delete), during which subsequent requests queue — the
 //! same serialization the paper's `named` exhibits.
 
+// sdns-lint: coverage-exempt — State machine over typed messages already validated by deny-listed decode paths (codec, protocol, wire).
+
 use crate::config::{Corruption, CostModel, ZoneSecurity};
 use crate::envelope::Envelope;
 use crate::messages::ReplicaMsg;

@@ -10,6 +10,8 @@
 //!
 //! See `examples/tcp_testbed.rs` for a full deployment.
 
+// sdns-lint: coverage-exempt — Module wiring and re-exports; the byte-facing codec.rs and query.rs submodules are deny-listed.
+
 mod codec;
 pub mod query;
 mod runtime;

@@ -1,5 +1,7 @@
 //! The threaded TCP runtime hosting a [`Replica`].
 
+// sdns-lint: coverage-exempt — Socket/thread orchestration; all frame and query decoding is delegated to deny-listed codec.rs and query.rs.
+
 use super::codec;
 use super::query;
 use crate::durable::{Durability, DurabilityCfg};

@@ -2,13 +2,19 @@
 //!
 //! Subcommands:
 //!
-//! - `lint` — the static-analysis pass: panic-freedom rules over the
-//!   untrusted-input modules, plus the secret-dependent-branch audit
-//!   over `sdns-crypto` / `sdns-bigint`. Exits non-zero on any
-//!   violation, so CI can gate on it.
-//!   - `--update-secret-allowlist` rewrites
-//!     `xtask/secret-branch.allow` from current findings, preserving
-//!     justifications.
+//! - `lint` — the static-analysis pass:
+//!   - panic-freedom rules over the untrusted-input modules;
+//!   - a coverage check that every module under `crates/replica/src`
+//!     is either on the deny list or carries an explicit
+//!     `sdns-lint: coverage-exempt — reason` waiver;
+//!   - the secret-taint audit over `sdns-crypto` / `sdns-bigint`,
+//!     whose allowlist must stay **empty** (timing channels get fixed,
+//!     not waived).
+//!
+//!   Exits non-zero on any violation, so CI can gate on it. Flags:
+//!   - `--json` emits the full report as a JSON document on stdout;
+//!   - `--github` additionally emits `::error file=…,line=…::`
+//!     workflow-command annotations for every violation.
 //!
 //! Run from anywhere in the workspace: paths resolve relative to the
 //! workspace root (the directory holding this crate).
@@ -17,7 +23,6 @@ mod lexer;
 mod rules;
 mod secret;
 
-use rules::Rule;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -71,11 +76,20 @@ const UNTRUSTED_MODULES: &[&str] = &[
     "crates/crypto/src/threshold/assemble.rs",
 ];
 
-/// Files covered by the secret-dependent-branch audit.
-const SECRET_AUDIT_DIRS: &[(&str, bool)] =
-    &[("crates/crypto/src", false), ("crates/bigint/src", true)];
+/// Directory whose every module must be accounted for: either on the
+/// [`UNTRUSTED_MODULES`] deny list, or carrying an explicit
+/// `// sdns-lint: coverage-exempt — reason` waiver. New replica modules
+/// cannot silently dodge the audit.
+const COVERAGE_DIR: &str = "crates/replica/src";
 
-/// The reviewed allowlist for the secret-branch heuristic.
+/// Files covered by the secret-taint audit. Both directories are
+/// analyzed as one set, so call summaries flow from the crypto layer
+/// into the bigint ladders they invoke.
+const SECRET_AUDIT_DIRS: &[&str] = &["crates/crypto/src", "crates/bigint/src"];
+
+/// The secret-taint allowlist. Policy: **empty** — any entry fails the
+/// lint. The file survives only to document the policy and to catch
+/// attempts to re-grow it.
 const SECRET_ALLOWLIST: &str = "xtask/secret-branch.allow";
 
 fn main() -> ExitCode {
@@ -83,7 +97,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--update-secret-allowlist]");
+            eprintln!("usage: cargo xtask lint [--json] [--github]");
             ExitCode::from(2)
         }
     }
@@ -106,129 +120,137 @@ fn workspace_root() -> PathBuf {
     }
 }
 
+/// Everything one `lint` run found, collected first so it can be
+/// rendered as human output, JSON, or GitHub annotations.
+#[derive(Default)]
+struct Report {
+    /// Panic-freedom violations: (file, line, rule, snippet).
+    violations: Vec<(String, u32, String, String)>,
+    /// Justified, in-use allows: (file, line, rule names, justification).
+    allows: Vec<(String, u32, String, String)>,
+    /// Annotations that suppress nothing: (file, line).
+    stale_allows: Vec<(String, u32)>,
+    /// Malformed / unjustified annotations: (file, line).
+    bad_allows: Vec<(String, u32)>,
+    /// Modules under [`COVERAGE_DIR`] that are neither denied nor waived.
+    coverage_missing: Vec<String>,
+    /// Coverage waivers in effect: (file, justification).
+    coverage_exempt: Vec<(String, String)>,
+    /// Secret-taint findings — every one is a violation.
+    secret: Vec<secret::Finding>,
+    /// Entries found in the (supposed-to-be-empty) allowlist.
+    allowlist_entries: Vec<String>,
+}
+
+impl Report {
+    fn failed(&self) -> bool {
+        !self.violations.is_empty()
+            || !self.stale_allows.is_empty()
+            || !self.bad_allows.is_empty()
+            || !self.coverage_missing.is_empty()
+            || !self.secret.is_empty()
+            || !self.allowlist_entries.is_empty()
+    }
+}
+
 fn lint(flags: &[String]) -> ExitCode {
-    let update_allowlist = flags.iter().any(|f| f == "--update-secret-allowlist");
+    let json = flags.iter().any(|f| f == "--json");
+    let github = flags.iter().any(|f| f == "--github");
     let root = workspace_root();
-    let mut failed = false;
+    let mut report = Report::default();
 
     // ---- Panic-freedom pass ------------------------------------------
-    println!("sdns-lint: panic-freedom pass over {} untrusted-input modules", UNTRUSTED_MODULES.len());
-    let mut total_by_rule: BTreeMap<Rule, usize> = BTreeMap::new();
-    let mut total_allows = 0usize;
-    let mut stale_allows = 0usize;
     for rel in UNTRUSTED_MODULES {
         let path = root.join(rel);
         let src = match std::fs::read_to_string(&path) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("error: cannot read {rel}: {e}");
-                failed = true;
+                report.violations.push((rel.to_string(), 0, "io".into(), e.to_string()));
                 continue;
             }
         };
-        let report = rules::check_file(&src);
-        for v in &report.violations {
-            println!("  DENY  {rel}:{}: [{}] {}", v.line, v.rule, v.snippet);
-            *total_by_rule.entry(v.rule).or_default() += 1;
-            failed = true;
+        let file_report = rules::check_file(&src);
+        for v in &file_report.violations {
+            report
+                .violations
+                .push((rel.to_string(), v.line, v.rule.to_string(), v.snippet.clone()));
         }
-        for a in &report.allows {
+        for a in &file_report.allows {
             if a.rules.is_empty() {
-                println!("  BAD   {rel}:{}: malformed or unjustified sdns-lint annotation", a.line);
-                failed = true;
+                report.bad_allows.push((rel.to_string(), a.line));
             } else if a.used {
-                total_allows += 1;
-                println!(
-                    "  allow {rel}:{}: ({}) — {}",
-                    a.line,
-                    a.rules.iter().map(|r| r.name()).collect::<Vec<_>>().join(", "),
-                    a.justification
-                );
+                let names =
+                    a.rules.iter().map(|r| r.name()).collect::<Vec<_>>().join(", ");
+                report.allows.push((rel.to_string(), a.line, names, a.justification.clone()));
             } else {
-                stale_allows += 1;
-                println!("  STALE {rel}:{}: annotation suppresses nothing — remove it", a.line);
-                failed = true;
+                report.stale_allows.push((rel.to_string(), a.line));
             }
         }
     }
-    let violation_total: usize = total_by_rule.values().sum();
-    if violation_total > 0 {
-        let per_rule = total_by_rule
-            .iter()
-            .map(|(r, n)| format!("{r}: {n}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        println!("panic-freedom: {violation_total} violation(s) ({per_rule})");
-    } else {
-        println!("panic-freedom: clean ({total_allows} justified allow(s), {stale_allows} stale)");
+
+    // ---- Coverage pass: no replica module dodges the audit ------------
+    let mut replica_files = Vec::new();
+    walk_rs_files(&root, Path::new(COVERAGE_DIR), &mut replica_files);
+    replica_files.sort();
+    for rel in &replica_files {
+        if UNTRUSTED_MODULES.contains(&rel.as_str()) {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(rel)).unwrap_or_default();
+        match coverage_waiver(&src) {
+            Some(reason) => report.coverage_exempt.push((rel.clone(), reason)),
+            None => report.coverage_missing.push(rel.clone()),
+        }
     }
 
-    // ---- Secret-dependent-branch audit -------------------------------
-    let mut findings = Vec::new();
-    for (dir, bigint) in SECRET_AUDIT_DIRS {
-        collect_secret_findings(&root, Path::new(dir), *bigint, &mut findings);
+    // ---- Secret-taint audit -------------------------------------------
+    let mut audit_files = Vec::new();
+    for dir in SECRET_AUDIT_DIRS {
+        let mut paths = Vec::new();
+        walk_rs_files(&root, Path::new(dir), &mut paths);
+        paths.sort();
+        for rel in paths {
+            let Ok(src) = std::fs::read_to_string(root.join(&rel)) else { continue };
+            let label = Path::new(&rel)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            audit_files.push(secret::SourceFile { label, rel, src });
+        }
     }
-    findings.sort();
-    findings.dedup_by(|a, b| a.key == b.key);
+    report.secret = secret::analyze(&audit_files);
+    report.secret.sort();
+    report.secret.dedup_by(|a, b| a.key == b.key);
 
     let allow_path = root.join(SECRET_ALLOWLIST);
-    let previous = secret::Allowlist::parse(
-        &std::fs::read_to_string(&allow_path).unwrap_or_default(),
-    );
-    if update_allowlist {
-        let text = secret::render_allowlist(&findings, &previous);
-        if let Err(e) = std::fs::write(&allow_path, text) {
-            eprintln!("error: cannot write {SECRET_ALLOWLIST}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("secret-branch: wrote {} finding(s) to {SECRET_ALLOWLIST}", findings.len());
-        println!("review each `TODO: justify` before committing.");
-    }
+    let allowlist =
+        secret::Allowlist::parse(&std::fs::read_to_string(&allow_path).unwrap_or_default());
+    report.allowlist_entries = allowlist.entries.iter().map(|(k, _)| k.clone()).collect();
 
-    println!("\nsdns-lint: secret-dependent-branch audit ({} finding(s))", findings.len());
-    let mut new = 0usize;
-    for f in &findings {
-        match previous.justification(&f.key).filter(|j| !j.is_empty() && !j.starts_with("TODO")) {
-            Some(just) if !update_allowlist => println!("  allow {} — {just}", f.key),
-            Some(_) => {}
-            None if update_allowlist => {}
-            None => {
-                println!("  DENY  {} (line {}) — not in reviewed allowlist", f.key, f.line);
-                new += 1;
-                failed = true;
-            }
-        }
-    }
-    for (key, _) in &previous.entries {
-        if !findings.iter().any(|f| &f.key == key) {
-            println!("  STALE {key} — no longer flagged; remove from {SECRET_ALLOWLIST}");
-            failed = true;
-        }
-    }
-    if new > 0 {
-        println!(
-            "secret-branch: {new} unreviewed finding(s); review and run \
-             `cargo xtask lint --update-secret-allowlist`"
-        );
+    // ---- Render -------------------------------------------------------
+    if json {
+        print!("{}", render_json(&report));
     } else {
-        println!("secret-branch: clean ({} reviewed entries)", previous.entries.len());
+        render_human(&report);
     }
-
-    if failed {
-        println!("\nsdns-lint: FAILED");
+    if github {
+        render_github(&report);
+    }
+    if report.failed() {
+        if !json {
+            println!("\nsdns-lint: FAILED");
+        }
         ExitCode::FAILURE
     } else {
-        println!("\nsdns-lint: OK");
+        if !json {
+            println!("\nsdns-lint: OK");
+        }
         ExitCode::SUCCESS
     }
 }
 
-fn collect_secret_findings(
-    root: &Path,
-    dir: &Path,
-    bigint: bool,
-    findings: &mut Vec<secret::Finding>,
-) {
+/// Recursively collects workspace-relative paths of `.rs` files.
+fn walk_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
     let abs = root.join(dir);
     let Ok(entries) = std::fs::read_dir(&abs) else {
         eprintln!("warning: cannot read {}", abs.display());
@@ -239,15 +261,189 @@ fn collect_secret_findings(
     for path in paths {
         if path.is_dir() {
             if let Ok(rel) = path.strip_prefix(root) {
-                collect_secret_findings(root, rel, bigint, findings);
+                walk_rs_files(root, rel, out);
             }
         } else if path.extension().is_some_and(|e| e == "rs") {
-            let Ok(src) = std::fs::read_to_string(&path) else { continue };
-            let label = path
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            findings.extend(secret::scan_file(&label, &src, bigint));
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
         }
     }
+}
+
+/// Extracts the justification from a `sdns-lint: coverage-exempt`
+/// waiver comment, if the file carries one.
+fn coverage_waiver(src: &str) -> Option<String> {
+    for line in src.lines() {
+        let Some(at) = line.find("sdns-lint: coverage-exempt") else { continue };
+        let mut rest = line[at + "sdns-lint: coverage-exempt".len()..].trim();
+        for dash in ["—", "--", "-", ":"] {
+            if let Some(j) = rest.strip_prefix(dash) {
+                rest = j.trim();
+                break;
+            }
+        }
+        if !rest.is_empty() {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}
+
+fn render_human(r: &Report) {
+    println!(
+        "sdns-lint: panic-freedom pass over {} untrusted-input modules",
+        UNTRUSTED_MODULES.len()
+    );
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for (file, line, rule, snippet) in &r.violations {
+        println!("  DENY  {file}:{line}: [{rule}] {snippet}");
+        *by_rule.entry(rule).or_default() += 1;
+    }
+    for (file, line, rules, just) in &r.allows {
+        println!("  allow {file}:{line}: ({rules}) — {just}");
+    }
+    for (file, line) in &r.bad_allows {
+        println!("  BAD   {file}:{line}: malformed or unjustified sdns-lint annotation");
+    }
+    for (file, line) in &r.stale_allows {
+        println!("  STALE {file}:{line}: annotation suppresses nothing — remove it");
+    }
+    if r.violations.is_empty() {
+        println!(
+            "panic-freedom: clean ({} justified allow(s), {} stale)",
+            r.allows.len(),
+            r.stale_allows.len()
+        );
+    } else {
+        let per_rule =
+            by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect::<Vec<_>>().join(", ");
+        println!("panic-freedom: {} violation(s) ({per_rule})", r.violations.len());
+    }
+
+    println!(
+        "\nsdns-lint: coverage — {} replica module(s) exempt, {} unaccounted",
+        r.coverage_exempt.len(),
+        r.coverage_missing.len()
+    );
+    for (file, reason) in &r.coverage_exempt {
+        println!("  exempt {file} — {reason}");
+    }
+    for file in &r.coverage_missing {
+        println!(
+            "  DENY  {file}: not on the untrusted-modules deny list and no \
+             `sdns-lint: coverage-exempt — reason` waiver"
+        );
+    }
+
+    println!("\nsdns-lint: secret-taint audit ({} finding(s))", r.secret.len());
+    for f in &r.secret {
+        println!("  DENY  {} ({}:{})", f.key, f.file, f.line);
+    }
+    for key in &r.allowlist_entries {
+        println!(
+            "  DENY  allowlist entry `{key}` — {SECRET_ALLOWLIST} must stay empty; \
+             fix the finding instead of waiving it"
+        );
+    }
+    if r.secret.is_empty() && r.allowlist_entries.is_empty() {
+        println!("secret-taint: clean (empty allowlist enforced)");
+    }
+}
+
+fn render_github(r: &Report) {
+    for (file, line, rule, snippet) in &r.violations {
+        println!("::error file={file},line={line}::sdns-lint[{rule}]: {snippet}");
+    }
+    for (file, line) in &r.bad_allows {
+        println!(
+            "::error file={file},line={line}::sdns-lint[allow]: malformed or unjustified annotation"
+        );
+    }
+    for (file, line) in &r.stale_allows {
+        println!(
+            "::error file={file},line={line}::sdns-lint[allow]: stale annotation suppresses nothing"
+        );
+    }
+    for file in &r.coverage_missing {
+        println!(
+            "::error file={file},line=1::sdns-lint[coverage]: module is neither on the \
+             untrusted-modules deny list nor coverage-exempt"
+        );
+    }
+    for f in &r.secret {
+        println!("::error file={},line={}::sdns-lint[secret]: {}", f.file, f.line, f.key);
+    }
+    for key in &r.allowlist_entries {
+        println!(
+            "::error file={SECRET_ALLOWLIST},line=1::sdns-lint[secret]: allowlist entry \
+             `{key}` — the allowlist must stay empty"
+        );
+    }
+}
+
+fn render_json(r: &Report) -> String {
+    let mut out = String::from("{\n  \"panic_freedom\": [");
+    for (i, (file, line, rule, snippet)) in r.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {line}, \"rule\": {}, \"snippet\": {}}}",
+            json_str(file),
+            json_str(rule),
+            json_str(snippet)
+        ));
+    }
+    out.push_str("\n  ],\n  \"coverage_missing\": [");
+    for (i, file) in r.coverage_missing.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}", json_str(file)));
+    }
+    out.push_str("\n  ],\n  \"secret\": [");
+    for (i, f) in r.secret.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"key\": {}, \"file\": {}, \"line\": {}}}",
+            json_str(&f.key),
+            json_str(&f.file),
+            f.line
+        ));
+    }
+    out.push_str("\n  ],\n  \"allowlist_entries\": [");
+    for (i, key) in r.allowlist_entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}", json_str(key)));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"stale_allows\": {},\n  \"justified_allows\": {},\n  \"ok\": {}\n}}\n",
+        r.stale_allows.len(),
+        r.allows.len(),
+        !r.failed()
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

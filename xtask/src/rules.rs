@@ -223,7 +223,7 @@ fn parse_allow(comment: &str) -> Option<(Vec<Rule>, String)> {
 
 /// Marks tokens inside `#[cfg(test)] mod … { … }` blocks and `#[test]`
 /// functions, which the rules skip.
-fn test_region_mask(code: &[&Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(code: &[&Token]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -364,7 +364,7 @@ fn is_numeric_primitive(id: &str) -> bool {
     )
 }
 
-fn is_keyword(id: &str) -> bool {
+pub(crate) fn is_keyword(id: &str) -> bool {
     matches!(
         id,
         "if" | "else"

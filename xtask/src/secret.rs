@@ -1,161 +1,240 @@
-//! Secret-dependent-branch heuristic for `sdns-crypto` / `sdns-bigint`.
+//! Taint-tracking secret-branch analyzer for `sdns-crypto` / `sdns-bigint`.
 //!
-//! Threshold RSA leaks through time: a branch or table index whose
-//! direction depends on a key share or a private exponent is a timing
-//! side channel. This pass runs a light taint analysis over each
-//! function body and flags `if` / `while` / `match` conditions and
-//! slice indexing that mention secret-derived values.
+//! Threshold RSA leaks through time: a branch, table index, loop bound
+//! or division whose behaviour depends on a key share or a private
+//! exponent is a timing side channel. This pass runs an intraprocedural
+//! taint analysis *with call summaries* over every audited file at
+//! once, so secrets are tracked from the `sdns-crypto` call sites down
+//! into the `sdns-bigint` ladders they execute on.
 //!
 //! ## Taint sources
 //!
 //! - Parameters whose declared type names a secret-bearing type
-//!   (`KeyShare`, `RsaPrivateKey`, `RefreshSecrets`).
-//! - `self` inside `impl` blocks of those types.
-//! - Accesses to marked fields/getters (`.secret`, `.private_exponent`,
-//!   `.d`, `.dp`, `.dq`, `.qinv`).
-//! - In `sdns-bigint` (which has no secret types of its own but
-//!   executes on secret operands passed down from `sdns-crypto`),
-//!   parameters named like exponents: `exp`, `exponent`.
+//!   (`KeyShare`, `RsaPrivateKey`, `RefreshSecrets`), and `self` inside
+//!   `impl` blocks of those types.
+//! - Struct fields whose declared type names a secret type, plus the
+//!   known secret payload fields (`.secret`, `.d`, `.d_p`, …).
+//! - Results of calls to functions whose return is tainted — computed
+//!   to a fixpoint, so constructors of secret types seed taint at their
+//!   call sites.
 //!
-//! Taint propagates through `let` bindings whose initializer mentions a
-//! tainted identifier.
+//! ## Propagation
+//!
+//! Taint flows through `let` bindings (including destructuring and
+//! `if let`), assignments (`x = e`, `x op= e`, `x[i] = e`), `for`-loop
+//! patterns whose iterable is tainted, closure parameters of adapter
+//! calls on tainted receivers (`shares.iter().map(|s| …)`), and —
+//! across functions — from call arguments to callee parameters and
+//! from tainted receivers to `self`, positionally, to a fixpoint over
+//! the whole audited file set.
+//!
+//! ## Declassification
+//!
+//! Three narrow, reviewed escape routes keep the analysis honest
+//! without drowning it in noise:
+//!
+//! - **Public projections** ([`PUBLIC_PROJECTIONS`]): fields/getters of
+//!   secret-bearing values that are public by construction — a share's
+//!   `index`, the key's `modulus`, a buffer's `len`, the limb-granular
+//!   `bit_capacity`. Accessing one cuts the taint chain.
+//! - **Declassified returns** ([`DECLASSIFIED_RETURNS`]): operations
+//!   whose *output* is published by the protocol (a signature share, a
+//!   proof, an RSA signature). Their bodies are still analyzed; only
+//!   the result is public.
+//! - **Modeled bodies** ([`MODELED_BODIES`]): `ModCtx::new` is per-key
+//!   setup (its division by the modulus runs once per key, not per
+//!   message — the per-key timing is fixed), `Ubig::from_limbs`
+//!   normalization strips high zero limbs (a 2⁻⁶⁴-per-limb event on
+//!   uniform data; the dudect harness backstops it), and
+//!   `Ubig::bit_len` branches only on the public limb count before one
+//!   hardware `leading_zeros` — its *result* is still secret-derived
+//!   and stays tainted at call sites. Their bodies are exempt from sink
+//!   flagging; taint still propagates through them.
+//!
+//! `debug_assert*!` spans are excised before analysis (they vanish in
+//! release builds); `assert!` guards remain, since they execute on the
+//! hot path.
+//!
+//! ## Sinks
+//!
+//! | kind     | flags                                                  |
+//! |----------|--------------------------------------------------------|
+//! | `branch` | `if` / `while` conditions mentioning tainted values     |
+//! | `match`  | `match` scrutinees mentioning tainted values            |
+//! | `loop`   | `for` iterables that are tainted — except through       |
+//! |          | count-public adapters (`.iter()`, `.enumerate()`, …)    |
+//! | `index`  | subscript *indices* computed from tainted values        |
+//! | `divrem` | `/` `%` operands (and `div_rem`/`rem_euclid` calls)     |
+//!
+//! Indexing a tainted table with a *public* index is fine (`e[i]` in a
+//! fixed ladder); the leak is a *secret-valued* index. Iterating a
+//! tainted collection through `.iter()` is fine (the trip count is the
+//! public `len`); the elements stay tainted inside the loop.
 //!
 //! ## The allowlist
 //!
-//! This is a heuristic: some flagged sites are reviewed and accepted
-//! (e.g. the square-and-multiply exponent walk — a *known*, documented
-//! channel). Accepted findings live in `xtask/secret-branch.allow`,
-//! one per line:
-//!
-//! ```text
-//! <file>::<function>::<kind>(<ident>) — justification
-//! ```
-//!
-//! Keys are content-based (no line numbers) so the list survives
-//! refactors. `cargo xtask lint` fails on findings missing from the
-//! list and reports stale entries; `cargo xtask lint
-//! --update-secret-allowlist` rewrites the file, preserving existing
-//! justifications and stubbing new entries with `TODO: justify`.
+//! `xtask/secret-branch.allow` is kept **empty**: every finding is a
+//! build failure. The file and its parser survive only so that a
+//! non-empty allowlist is itself reported as a violation — timing
+//! channels get fixed, not waived. (Historic entries were burned down
+//! by the constant-time `pow_ct` ladder, branchless CRT recombination
+//! and base blinding; see DESIGN.md §10.)
 
 use crate::lexer::{lex, Token, TokenKind};
-use std::collections::BTreeSet;
+use crate::rules;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Types whose values are secrets.
 const SECRET_TYPES: &[&str] = &["KeyShare", "RsaPrivateKey", "RefreshSecrets"];
 
-/// Field / getter names that yield secret material.
-const SECRET_FIELDS: &[&str] = &["secret", "private_exponent", "d", "dp", "dq", "qinv"];
+/// Field / getter names that yield secret material even on values the
+/// type system cannot see through (e.g. `Ubig` payloads).
+const SECRET_FIELDS: &[&str] =
+    &["secret", "private_exponent", "d", "d_p", "d_q", "dp", "dq", "q_inv", "qinv"];
 
-/// Parameter names treated as secret in `sdns-bigint` (exponents flow
-/// down from crypto with their secrecy intact but their types erased).
-const BIGINT_SECRET_PARAMS: &[&str] = &["exp", "exponent"];
+/// Projections of secret-bearing values that are public by
+/// construction: identities, public-key material, per-key contexts and
+/// size information that the protocol already publishes (a share index
+/// travels in every signature share; `bit_capacity` is the limb count,
+/// which the wire encoding reveals).
+const PUBLIC_PROJECTIONS: &[&str] = &[
+    "index",
+    "signer",
+    "parties",
+    "threshold",
+    "quorum",
+    "public",
+    "public_key",
+    "modulus",
+    "modulus_len",
+    "exponent",
+    "ctx",
+    "ctx_p",
+    "ctx_q",
+    "delta",
+    "delta_ref",
+    "four_delta",
+    "has_proof",
+    "len",
+    "is_empty",
+    "bit_capacity",
+    "verification_base",
+];
+
+/// Operations whose result the protocol publishes: signature shares,
+/// share-correctness proofs, full RSA signatures. Cryptographically the
+/// output no longer counts as secret; the bodies are still analyzed.
+const DECLASSIFIED_RETURNS: &[&str] = &["sign", "sign_with_proof", "prove", "raw_decrypt"];
+
+/// Iterator adapters whose trip count is the (public) collection
+/// length: iterating a tainted collection through these is not a
+/// secret-derived loop bound. The *elements* remain tainted.
+const ITER_COUNT_PUBLIC: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "enumerate",
+    "rev",
+    "zip",
+    "copied",
+    "cloned",
+    "chunks",
+    "chunks_exact",
+    "windows",
+    "map",
+    "take",
+    "skip",
+];
+
+/// `(impl type, fn)` pairs whose bodies are exempt from sink flagging —
+/// see the module docs for the two justifications. Taint still flows
+/// through their returns.
+const MODELED_BODIES: &[(&str, &str)] =
+    &[("Ubig", "from_limbs"), ("Ubig", "bit_len"), ("ModCtx", "new")];
+
+/// Code that runs only inside the *trusted, offline setup* of §4.3 —
+/// the dealer ceremony and RSA key generation. The paper's adversary
+/// observes network-facing replicas; it cannot time the dealer's
+/// laptop. These bodies are not flagged, and their call sites do not
+/// contribute taint to shared-utility summaries (otherwise keygen's
+/// variable-time prime search would poison `pow`, `random_below`,
+/// `modinv` … for every online caller). Their *returns* still carry
+/// type-based taint: a `KeyShare` leaving the dealer is as secret as
+/// ever.
+const TRUSTED_SETUP_FILES: &[&str] = &["dealer.rs", "prime.rs"];
+
+/// `(impl type, fn)` pairs under the same trusted-setup rule as
+/// [`TRUSTED_SETUP_FILES`], for setup functions living in hot files.
+const TRUSTED_SETUP_FNS: &[(&str, &str)] =
+    &[("RsaPrivateKey", "generate"), ("RsaPrivateKey", "from_factors")];
+
+/// Methods that perform division/remainder under the hood.
+const DIVREM_METHODS: &[&str] =
+    &["div_rem", "rem_euclid", "checked_div", "checked_rem", "wrapping_div", "wrapping_rem"];
+
+/// One audited source file.
+pub struct SourceFile {
+    /// Short label used in finding keys (`modctx.rs`).
+    pub label: String,
+    /// Workspace-relative path, for CI annotations.
+    pub rel: String,
+    pub src: String,
+}
 
 /// One flagged site.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
-    /// Stable content-based key, e.g. `modular.rs::modpow::branch(exp)`.
+    /// Stable content-based key, e.g. `modctx.rs::pow::branch(exp)`.
     pub key: String,
-    /// Line of the first occurrence (for the report only; not part of
-    /// the key).
+    /// Workspace-relative path (for `::error file=…` annotations).
+    pub file: String,
+    /// Line of the first occurrence (report only; not part of the key).
     pub line: u32,
 }
 
-/// Scans one crypto/bigint source file. `bigint` switches on the
-/// parameter-name heuristic.
-pub fn scan_file(file_label: &str, src: &str, bigint: bool) -> Vec<Finding> {
+// ---------------------------------------------------------------------
+// Parsing: files → token streams → function/impl/struct inventory
+// ---------------------------------------------------------------------
+
+/// Lexes `src`, strips comments, drops test regions and excises
+/// `debug_assert*!` spans.
+fn prepare(src: &str) -> Vec<Token> {
     let tokens = lex(src);
     let code: Vec<&Token> =
         tokens.iter().filter(|t| !matches!(t.kind, TokenKind::Comment(_))).collect();
-    let mut findings = BTreeSet::new();
+    let mask = rules::test_region_mask(&code);
+    let kept: Vec<Token> =
+        code.iter().zip(&mask).filter(|(_, &m)| !m).map(|(t, _)| (*t).clone()).collect();
 
-    // Track which `impl` blocks belong to secret types so `self` taints.
-    let impl_secret_ranges = secret_impl_ranges(&code);
-
+    let mut out = Vec::with_capacity(kept.len());
     let mut i = 0;
-    while i < code.len() {
-        if code[i].ident() == Some("fn") {
-            let Some(name) = code.get(i + 1).and_then(|t| t.ident()) else {
-                i += 1;
-                continue;
-            };
-            // Signature: tokens up to the body `{` or a trailing `;`.
-            let mut sig_end = i + 2;
-            while sig_end < code.len()
-                && !code[sig_end].is_punct("{")
-                && !code[sig_end].is_punct(";")
-            {
-                sig_end += 1;
-            }
-            if sig_end >= code.len() || code[sig_end].is_punct(";") {
-                i = sig_end + 1;
-                continue;
-            }
-            let body_start = sig_end;
-            let body_end = matching_brace(&code, body_start);
-            let self_secret = impl_secret_ranges.iter().any(|&(s, e)| i > s && body_end <= e);
-            let tainted = collect_taint(
-                &code[i..sig_end],
-                &code[body_start..body_end],
-                bigint,
-                self_secret,
-            );
-            if !tainted.is_empty() {
-                flag_sites(
-                    file_label,
-                    name,
-                    &code[body_start..body_end],
-                    &tainted,
-                    &mut findings,
-                );
-            }
-            i = body_end;
+    while i < kept.len() {
+        let dbg = kept[i].ident().is_some_and(|id| id.starts_with("debug_assert"))
+            && kept.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && kept.get(i + 2).is_some_and(|t| t.is_punct("(") || t.is_punct("["));
+        if dbg {
+            i = matching_close(&kept, i + 2);
             continue;
         }
+        out.push(kept[i].clone());
         i += 1;
     }
-    findings.into_iter().collect()
+    out
 }
 
-/// Ranges (token indices) of `impl` blocks whose subject is a secret
-/// type.
-fn secret_impl_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i < code.len() {
-        if code[i].ident() == Some("impl") {
-            let mut j = i + 1;
-            let mut is_secret = false;
-            while j < code.len() && !code[j].is_punct("{") {
-                if let Some(id) = code[j].ident() {
-                    if SECRET_TYPES.contains(&id) {
-                        is_secret = true;
-                    }
-                }
-                j += 1;
-            }
-            if j < code.len() {
-                let end = matching_brace(code, j);
-                if is_secret {
-                    ranges.push((j, end));
-                }
-                // Do not skip the block: nested fns are handled by the
-                // main walk; we only needed the range.
-            }
-            i = j + 1;
-            continue;
-        }
-        i += 1;
-    }
-    ranges
-}
-
-/// Index just past the brace matching the `{` at `open`.
-fn matching_brace(code: &[&Token], open: usize) -> usize {
+/// Index just past the delimiter matching the one at `open` (`(`, `[`
+/// or `{`).
+fn matching_close(code: &[Token], open: usize) -> usize {
+    let (o, c) = match &code[open].kind {
+        TokenKind::Punct("(") => ("(", ")"),
+        TokenKind::Punct("[") => ("[", "]"),
+        _ => ("{", "}"),
+    };
     let mut depth = 0u32;
     for (k, tok) in code.iter().enumerate().skip(open) {
-        if tok.is_punct("{") {
+        if tok.is_punct(o) {
             depth += 1;
-        } else if tok.is_punct("}") {
+        } else if tok.is_punct(c) {
             depth -= 1;
             if depth == 0 {
                 return k + 1;
@@ -165,155 +244,1031 @@ fn matching_brace(code: &[&Token], open: usize) -> usize {
     code.len()
 }
 
-/// Seeds taint from the signature, then propagates through `let`
-/// bindings in one forward pass.
-fn collect_taint(
-    sig: &[&Token],
-    body: &[&Token],
-    bigint: bool,
-    self_secret: bool,
-) -> BTreeSet<String> {
-    let mut tainted: BTreeSet<String> = BTreeSet::new();
-    if self_secret {
-        tainted.insert("self".to_string());
-    }
-    // Parameters: `name : … Type` — taint `name` if the type mentions a
-    // secret type, or (bigint) if the name itself is exponent-like.
-    for (k, tok) in sig.iter().enumerate() {
-        let Some(name) = tok.ident() else { continue };
-        if !sig.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+/// One function definition in the audited set.
+struct FnDef {
+    file: usize,
+    name: String,
+    /// `impl` subject type, or empty for free functions.
+    owner: String,
+    has_self: bool,
+    /// Parameter names in order, excluding `self`.
+    params: Vec<String>,
+    /// Whether the declared parameter type names a secret type.
+    secret_params: Vec<bool>,
+    /// Whether the declared return type names a secret type.
+    ret_secret_type: bool,
+    /// Token index of the body `{` and one past its `}`.
+    body: (usize, usize),
+    /// Trusted-setup code (offline dealer/keygen): not flagged, and its
+    /// call sites do not poison callee summaries.
+    trusted: bool,
+    // Fixpoint state:
+    extra_self: bool,
+    extra_params: BTreeSet<usize>,
+    ret_tainted: bool,
+}
+
+/// `impl` block ranges with their subject type name.
+fn impl_ranges(code: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].ident() == Some("impl") {
+            let mut j = i + 1;
+            while j < code.len() && !code[j].is_punct("{") && !code[j].is_punct(";") {
+                j += 1;
+            }
+            if j < code.len() && code[j].is_punct("{") {
+                let name = impl_subject(&code[i + 1..j]);
+                out.push((j, matching_close(code, j), name));
+            }
+            i = j + 1;
             continue;
         }
-        // The type runs to the next `,` at paren depth 1 or the closing `)`.
-        let mut depth = 0i32;
-        let mut secret_type = false;
-        for t in &sig[k + 2..] {
-            if t.is_punct("(") || t.is_punct("<") {
+        i += 1;
+    }
+    out
+}
+
+/// The subject type of an `impl` header: the type after `for` in trait
+/// impls, else the last top-level type name.
+fn impl_subject(header: &[Token]) -> String {
+    let after_for = header
+        .iter()
+        .rposition(|t| t.ident() == Some("for"))
+        .map(|p| &header[p + 1..])
+        .unwrap_or(header);
+    let mut angle = 0i32;
+    let mut subject = String::new();
+    for t in after_for {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle == 0 {
+            if let Some(id) = t.ident() {
+                if id.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    subject = id.to_string();
+                }
+            }
+        }
+    }
+    subject
+}
+
+/// Field names whose declared type names a secret type, anywhere in the
+/// audited set (`shares: Vec<KeyShare>` makes `.shares` a source).
+fn secret_typed_fields(code: &[Token], out: &mut BTreeSet<String>) {
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].ident() == Some("struct") {
+            let mut j = i + 1;
+            while j < code.len()
+                && !code[j].is_punct("{")
+                && !code[j].is_punct(";")
+                && !code[j].is_punct("(")
+            {
+                j += 1;
+            }
+            if j < code.len() && code[j].is_punct("{") {
+                let end = matching_close(code, j);
+                let body = &code[j + 1..end.saturating_sub(1)];
+                let mut k = 0;
+                while k < body.len() {
+                    let named = body[k].ident().filter(|id| !rules::is_keyword(id));
+                    if let (Some(name), true) =
+                        (named, body.get(k + 1).is_some_and(|t| t.is_punct(":")))
+                    {
+                        // Type runs to the next comma at depth 0.
+                        let mut depth = 0i32;
+                        let mut m = k + 2;
+                        let mut secret = false;
+                        while m < body.len() {
+                            let t = &body[m];
+                            if t.is_punct("<") || t.is_punct("(") {
+                                depth += 1;
+                            } else if t.is_punct(">") || t.is_punct(")") {
+                                depth -= 1;
+                            } else if t.is_punct(",") && depth <= 0 {
+                                break;
+                            } else if t.ident().is_some_and(|id| SECRET_TYPES.contains(&id)) {
+                                secret = true;
+                            }
+                            m += 1;
+                        }
+                        if secret {
+                            out.insert(name.to_string());
+                        }
+                        k = m;
+                        continue;
+                    }
+                    k += 1;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses every `fn` in one file's prepared token stream.
+fn parse_fns(file: usize, code: &[Token]) -> Vec<FnDef> {
+    let impls = impl_ranges(code);
+    let mut defs = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = code.get(i + 1).and_then(|t| t.ident()) else {
+            i += 1;
+            continue;
+        };
+        // Signature runs to the body `{` or a trailing `;` (trait decl).
+        let mut sig_end = i + 2;
+        while sig_end < code.len() && !code[sig_end].is_punct("{") && !code[sig_end].is_punct(";") {
+            sig_end += 1;
+        }
+        if sig_end >= code.len() || code[sig_end].is_punct(";") {
+            i = sig_end + 1;
+            continue;
+        }
+        let body_end = matching_close(code, sig_end);
+        let owner = impls
+            .iter()
+            .filter(|&&(s, e, _)| i > s && body_end <= e)
+            .min_by_key(|&&(s, e, _)| e - s)
+            .map(|(_, _, n)| n.clone())
+            .unwrap_or_default();
+
+        // Parameters: the first paren group of the signature.
+        let mut has_self = false;
+        let mut params = Vec::new();
+        let mut secret_params = Vec::new();
+        let mut ret_secret_type = false;
+        if let Some(open) = (i + 2..sig_end).find(|&k| code[k].is_punct("(")) {
+            let close = matching_close(code, open);
+            let plist = &code[open + 1..close.saturating_sub(1)];
+            let mut depth = 0i32;
+            let mut k = 0;
+            while k < plist.len() {
+                let t = &plist[k];
+                if t.is_punct("(") || t.is_punct("<") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct(">") || t.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if t.ident() == Some("self") {
+                        has_self = true;
+                    } else if let Some(pname) = t.ident().filter(|id| !rules::is_keyword(id)) {
+                        if plist.get(k + 1).is_some_and(|n| n.is_punct(":")) {
+                            // Type runs to the next `,` at depth 0.
+                            let mut d2 = 0i32;
+                            let mut m = k + 2;
+                            let mut secret = false;
+                            while m < plist.len() {
+                                let tt = &plist[m];
+                                if tt.is_punct("(") || tt.is_punct("<") || tt.is_punct("[") {
+                                    d2 += 1;
+                                } else if tt.is_punct(")") || tt.is_punct(">") || tt.is_punct("]") {
+                                    d2 -= 1;
+                                } else if tt.is_punct(",") && d2 <= 0 {
+                                    break;
+                                } else if tt.ident().is_some_and(|id| SECRET_TYPES.contains(&id)) {
+                                    secret = true;
+                                }
+                                m += 1;
+                            }
+                            params.push(pname.to_string());
+                            secret_params.push(secret);
+                            k = m;
+                            continue;
+                        }
+                    }
+                }
+                k += 1;
+            }
+            // Return type: tokens after `->` up to the body brace.
+            if let Some(arrow) = (close..sig_end).find(|&k| code[k].is_punct("->")) {
+                for t in &code[arrow + 1..sig_end] {
+                    if let Some(id) = t.ident() {
+                        if SECRET_TYPES.contains(&id) {
+                            ret_secret_type = true;
+                        }
+                        if id == "Self" && SECRET_TYPES.contains(&owner.as_str()) {
+                            ret_secret_type = true;
+                        }
+                    }
+                }
+            }
+        }
+        defs.push(FnDef {
+            file,
+            name: name.to_string(),
+            owner,
+            has_self,
+            params,
+            secret_params,
+            ret_secret_type,
+            body: (sig_end, body_end),
+            trusted: false,
+            extra_self: false,
+            extra_params: BTreeSet::new(),
+            ret_tainted: false,
+        });
+        i = sig_end + 1; // descend into the body: nested fns/closures scanned too
+    }
+    defs
+}
+
+// ---------------------------------------------------------------------
+// The taint walker
+// ---------------------------------------------------------------------
+
+/// Return-taint summaries for every audited function, merged by simple
+/// name (qualified entries disambiguate `ModCtx::new` vs `KeyShare::new`
+/// for path-form calls).
+struct Summaries {
+    by_name: BTreeSet<String>,
+    qualified: BTreeMap<(String, String), bool>,
+}
+
+impl Summaries {
+    /// Return-taint lookup. An *uppercase* owner hint (`Ubig::`,
+    /// `Vec::`) resolves only through the qualified map: a type we did
+    /// not audit (`Vec::new`, `String::from`) is clean, never a by-name
+    /// guess — otherwise one tainted `new` somewhere poisons every
+    /// constructor call in the workspace. Lowercase hints are module
+    /// paths (`super::factorial`), i.e. free functions.
+    fn ret_tainted(&self, name: &str, owner_hint: Option<&str>) -> bool {
+        if let Some(owner) = owner_hint
+            .filter(|o| o.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+        {
+            return self
+                .qualified
+                .get(&(owner.to_string(), name.to_string()))
+                .copied()
+                .unwrap_or(false);
+        }
+        if let Some(&b) = self.qualified.get(&(String::new(), name.to_string())) {
+            return b;
+        }
+        self.by_name.contains(name)
+    }
+}
+
+/// Everything the expression walker needs.
+struct Scope<'a> {
+    vars: &'a BTreeSet<String>,
+    sums: &'a Summaries,
+    fields: &'a BTreeSet<String>,
+    /// The enclosing function's impl subject, for resolving `Self::`.
+    owner: &'a str,
+}
+
+impl Scope<'_> {
+    fn secret_field(&self, id: &str) -> bool {
+        SECRET_FIELDS.contains(&id) || self.fields.contains(id)
+    }
+}
+
+/// First tainted value *consumed* in a token span, if any — walks
+/// method/field chains left to right, cutting at public projections and
+/// declassified returns. With `loop_bound`, count-public iterator
+/// adapters also cut (the span is a `for` iterable and the trip count
+/// is what leaks).
+fn first_tainted(span: &[Token], scope: &Scope, loop_bound: bool) -> Option<(String, u32)> {
+    // The current chain's taint source, plus a stack of chains suspended
+    // at `(` so that `x.secret().bit_capacity()` can still be cut by the
+    // projection *after* the call.
+    let mut chain: Option<(String, u32)> = None;
+    let mut stack: Vec<Option<(String, u32)>> = Vec::new();
+    let mut k = 0;
+    while k < span.len() {
+        let t = &span[k];
+        match &t.kind {
+            TokenKind::Ident(id) => {
+                // `ModCtx::new(…)` is modeled per-key setup: the context
+                // is key-fixed, its result is treated as public.
+                if id == "ModCtx"
+                    && span.get(k + 1).is_some_and(|t| t.is_punct("::"))
+                    && span.get(k + 2).and_then(|t| t.ident()) == Some("new")
+                    && span.get(k + 3).is_some_and(|t| t.is_punct("("))
+                {
+                    if let Some(hit) = chain.take() {
+                        return Some(hit);
+                    }
+                    k = matching_close(span, k + 3);
+                    continue;
+                }
+                if rules::is_keyword(id) {
+                    if let Some(hit) = chain.take() {
+                        return Some(hit);
+                    }
+                    k += 1;
+                    continue;
+                }
+                let prev = k.checked_sub(1).map(|j| &span[j]);
+                let after_dot = prev.is_some_and(|t| t.is_punct("."));
+                let after_path = prev.is_some_and(|t| t.is_punct("::"));
+                let calls = span.get(k + 1).is_some_and(|t| t.is_punct("("));
+                if after_dot || after_path {
+                    if PUBLIC_PROJECTIONS.contains(&id.as_str())
+                        || DECLASSIFIED_RETURNS.contains(&id.as_str())
+                        || (loop_bound && ITER_COUNT_PUBLIC.contains(&id.as_str()))
+                    {
+                        chain = None;
+                    } else if chain.is_some() {
+                        // taint rides the chain
+                    } else if after_dot && scope.secret_field(id) {
+                        chain = Some((id.clone(), t.line));
+                    } else if calls {
+                        let owner = if after_path {
+                            k.checked_sub(2)
+                                .and_then(|j| span[j].ident())
+                                .map(|o| if o == "Self" { scope.owner } else { o })
+                        } else {
+                            None
+                        };
+                        if scope.sums.ret_tainted(id, owner) {
+                            chain = Some((id.clone(), t.line));
+                        }
+                    }
+                } else {
+                    if let Some(hit) = chain.take() {
+                        return Some(hit);
+                    }
+                    if scope.vars.contains(id.as_str())
+                        || (calls && scope.sums.ret_tainted(id, None))
+                    {
+                        chain = Some((id.clone(), t.line));
+                    }
+                }
+            }
+            TokenKind::Punct(p) => match *p {
+                "." | "::" | "?" => {}
+                "(" => {
+                    stack.push(chain.take());
+                }
+                ")" => {
+                    let outer = stack.pop().flatten();
+                    // A call on a tainted receiver/callee returns taint;
+                    // a tainted last sub-expression makes the group taint.
+                    chain = outer.or(chain);
+                }
+                _ => {
+                    if let Some(hit) = chain.take() {
+                        return Some(hit);
+                    }
+                }
+            },
+            _ => {
+                if let Some(hit) = chain.take() {
+                    return Some(hit);
+                }
+            }
+        }
+        k += 1;
+    }
+    chain
+}
+
+// ---------------------------------------------------------------------
+// Per-function passes
+// ---------------------------------------------------------------------
+
+/// Taint seeds for a function body. `with_extras` additionally seeds
+/// the call-site-injected taints (`extra_self` / `extra_params`) — used
+/// when flagging sinks. Return summaries are computed *without* them:
+/// a clean-input call of `is_one` or `cmp` must not become globally
+/// tainted just because one caller somewhere has a tainted receiver
+/// (the walker already propagates receiver/argument taint through each
+/// call site individually).
+fn seed_vars(def: &FnDef, with_extras: bool) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    if def.has_self
+        && (SECRET_TYPES.contains(&def.owner.as_str()) || (with_extras && def.extra_self))
+    {
+        vars.insert("self".to_string());
+    }
+    for (i, name) in def.params.iter().enumerate() {
+        if def.secret_params.get(i).copied().unwrap_or(false)
+            || (with_extras && def.extra_params.contains(&i))
+        {
+            vars.insert(name.clone());
+        }
+    }
+    vars
+}
+
+/// Lowercase non-keyword idents of a pattern span (`(j, entry)`,
+/// `Some(x)`, `mut acc: Ubig`).
+fn pattern_idents(span: &[Token]) -> Vec<String> {
+    span.iter()
+        .filter_map(|t| t.ident())
+        .filter(|id| !rules::is_keyword(id))
+        .filter(|id| id.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// End of an expression starting at `k`: the first `;` or `{` at
+/// paren/bracket depth 0, or `limit`.
+fn expr_end(code: &[Token], k: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut m = k;
+    while m < limit {
+        let t = &code[m];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_punct(";") || t.is_punct("{")) {
+            break;
+        }
+        m += 1;
+    }
+    m
+}
+
+/// Left operand span of a binary operator / receiver of a method call:
+/// walks backwards over one postfix chain.
+fn left_operand(code: &[Token], end: usize, floor: usize) -> (usize, usize) {
+    if end < floor {
+        return (floor, floor);
+    }
+    let mut depth = 0u32;
+    let mut k = end;
+    loop {
+        let t = &code[k];
+        let stop = match &t.kind {
+            TokenKind::Punct(")") | TokenKind::Punct("]") => {
                 depth += 1;
-            } else if t.is_punct(")") || t.is_punct(">") {
-                depth -= 1;
-                if depth < 0 {
+                false
+            }
+            TokenKind::Punct("(") | TokenKind::Punct("[") => {
+                if depth == 0 {
+                    true
+                } else {
+                    depth -= 1;
+                    false
+                }
+            }
+            TokenKind::Punct(".") | TokenKind::Punct("::") | TokenKind::Punct("?") => false,
+            TokenKind::Ident(id) => depth == 0 && rules::is_keyword(id),
+            TokenKind::NumLit(_) | TokenKind::StrLit => false,
+            _ => depth == 0,
+        };
+        if stop {
+            return (k + 1, end + 1);
+        }
+        if k == floor {
+            return (floor, end + 1);
+        }
+        k -= 1;
+    }
+}
+
+/// Right operand span of a binary operator: one prefix+postfix chain.
+fn right_operand(code: &[Token], start: usize, limit: usize) -> (usize, usize) {
+    let mut k = start;
+    // Prefix borrows/derefs/negation.
+    while k < limit
+        && (code[k].is_punct("&") || code[k].is_punct("*") || code[k].is_punct("-")
+            || code[k].ident() == Some("mut"))
+    {
+        k += 1;
+    }
+    let begin = k;
+    let mut depth = 0u32;
+    while k < limit {
+        let t = &code[k];
+        match &t.kind {
+            TokenKind::Punct("(") | TokenKind::Punct("[") => depth += 1,
+            TokenKind::Punct(")") | TokenKind::Punct("]") => {
+                if depth == 0 {
                     break;
                 }
-            } else if t.is_punct(",") && depth == 0 {
-                break;
-            } else if let Some(id) = t.ident() {
-                if SECRET_TYPES.contains(&id) {
-                    secret_type = true;
+                depth -= 1;
+            }
+            TokenKind::Punct(".") | TokenKind::Punct("::") | TokenKind::Punct("?") => {}
+            TokenKind::Ident(id) if depth == 0 && rules::is_keyword(id) => break,
+            TokenKind::Ident(_) | TokenKind::NumLit(_) | TokenKind::StrLit => {}
+            TokenKind::Punct(_) if depth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    (begin, k)
+}
+
+const ASSIGN_OPS: &[&str] =
+    &["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="];
+
+/// Finds the `=` of a `let` statement: the first `=` at paren/bracket
+/// depth 0 before the statement ends (`;` or `{`).
+fn find_stmt_eq(code: &[Token], from: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().take(limit).skip(from) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 {
+            if t.is_punct("=") {
+                return Some(k);
+            }
+            if t.is_punct(";") || t.is_punct("{") {
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Propagates taint through one function body to a local fixpoint.
+fn collect_vars(
+    def: &FnDef,
+    code: &[Token],
+    sums: &Summaries,
+    fields: &BTreeSet<String>,
+    with_extras: bool,
+) -> BTreeSet<String> {
+    let mut vars = seed_vars(def, with_extras);
+    let (start, end) = def.body;
+    for _ in 0..8 {
+        let before = vars.len();
+        let snapshot = vars.clone();
+        let scope = Scope { vars: &snapshot, sums, fields, owner: &def.owner };
+        let mut added: Vec<String> = Vec::new();
+        let mut i = start + 1;
+        while i + 1 < end {
+            let tok = &code[i];
+            // `let PAT = EXPR` (also `if let` / `while let` / `let … else`).
+            if tok.ident() == Some("let") {
+                if let Some(eq) = find_stmt_eq(code, i + 1, end) {
+                    let pat = &code[i + 1..eq];
+                    let e = expr_end(code, eq + 1, end);
+                    if first_tainted(&code[eq + 1..e], &scope, false).is_some() {
+                        added.extend(pattern_idents(pat));
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            // `for PAT in ITERABLE {` — elements of a tainted iterable.
+            if tok.ident() == Some("for") {
+                let brace = expr_end(code, i + 1, end);
+                if let Some(inpos) = (i + 1..brace).find(|&k| code[k].ident() == Some("in")) {
+                    if first_tainted(&code[inpos + 1..brace], &scope, false).is_some() {
+                        added.extend(pattern_idents(&code[i + 1..inpos]));
+                    }
+                }
+                i = brace;
+                continue;
+            }
+            // Assignments: `x = e`, `x[i] |= e`, …
+            if let TokenKind::Punct(p) = &tok.kind {
+                if ASSIGN_OPS.contains(p) {
+                    let (ls, le) = left_operand(code, i.saturating_sub(1), start + 1);
+                    let base = code[ls..le].iter().find_map(|t| t.ident());
+                    if let Some(base) = base.filter(|id| {
+                        !rules::is_keyword(id)
+                            && id.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                    }) {
+                        let e = expr_end(code, i + 1, end);
+                        if first_tainted(&code[i + 1..e], &scope, false).is_some() {
+                            added.push(base.to_string());
+                        }
+                    }
+                }
+                // Closure params on a tainted receiver: `recv.map(|s| …)`.
+                if *p == "|" && i > start + 1 {
+                    let prev = &code[i - 1];
+                    if prev.is_punct("(") || prev.is_punct(",") {
+                        // Find the call's opening paren.
+                        let mut depth = 0u32;
+                        let mut b = i - 1;
+                        let popen = loop {
+                            let t = &code[b];
+                            if t.is_punct(")") || t.is_punct("]") {
+                                depth += 1;
+                            } else if t.is_punct("(") || t.is_punct("[") {
+                                if depth == 0 {
+                                    break Some(b);
+                                }
+                                depth -= 1;
+                            }
+                            if b == start + 1 {
+                                break None;
+                            }
+                            b -= 1;
+                        };
+                        let recv_tainted = popen
+                            .filter(|&po| po >= 2 && code[po - 1].ident().is_some())
+                            .filter(|&po| code[po - 2].is_punct("."))
+                            .is_some_and(|po| {
+                                let (rs, re) = left_operand(code, po - 3, start + 1);
+                                first_tainted(&code[rs..re], &scope, false).is_some()
+                            });
+                        if recv_tainted {
+                            if let Some(close) =
+                                (i + 1..end).take(32).find(|&k| code[k].is_punct("|"))
+                            {
+                                added.extend(pattern_idents(&code[i + 1..close]));
+                            }
+                        }
+                    }
                 }
             }
+            i += 1;
         }
-        if secret_type || (bigint && BIGINT_SECRET_PARAMS.contains(&name)) {
-            tainted.insert(name.to_string());
-        }
-    }
-    // Field accesses anywhere in the body count as sources; `let`
-    // bindings propagate.
-    for (k, tok) in body.iter().enumerate() {
-        if tok.ident() == Some("let") {
-            // `let [mut] name = <expr up to ;>`
-            let mut n = k + 1;
-            if body.get(n).and_then(|t| t.ident()) == Some("mut") {
-                n += 1;
-            }
-            let Some(name) = body.get(n).and_then(|t| t.ident()) else { continue };
-            let Some(eq) = body[n..].iter().position(|t| t.is_punct("=")) else { continue };
-            let expr_start = n + eq + 1;
-            let Some(semi) = body[expr_start..].iter().position(|t| t.is_punct(";")) else {
-                continue;
-            };
-            if expr_mentions_secret(&body[expr_start..expr_start + semi], &tainted) {
-                tainted.insert(name.to_string());
-            }
+        vars.extend(added);
+        if vars.len() == before {
+            break;
         }
     }
-    tainted
+    vars
 }
 
-/// Whether an expression's tokens mention tainted values or secret
-/// field accesses.
-fn expr_mentions_secret(expr: &[&Token], tainted: &BTreeSet<String>) -> bool {
-    for (k, tok) in expr.iter().enumerate() {
-        let Some(id) = tok.ident() else { continue };
-        let after_dot = k > 0 && expr[k - 1].is_punct(".");
-        if after_dot && SECRET_FIELDS.contains(&id) {
-            return true;
-        }
-        if !after_dot && tainted.contains(id) {
-            return true;
-        }
+/// Whether the function's return value is tainted under `vars`.
+fn returns_tainted(def: &FnDef, code: &[Token], scope: &Scope) -> bool {
+    if def.ret_secret_type {
+        return true;
     }
-    false
+    let (start, end) = def.body;
+    let inner_end = end.saturating_sub(1);
+    let mut depth = 0i32;
+    let mut last_semi = start + 1;
+    let mut i = start + 1;
+    while i < inner_end {
+        let t = &code[i];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct(";") && depth == 0 {
+            last_semi = i + 1;
+        } else if t.ident() == Some("return") {
+            let e = expr_end(code, i + 1, inner_end);
+            if first_tainted(&code[i + 1..e], scope, false).is_some() {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    last_semi < inner_end && first_tainted(&code[last_semi..inner_end], scope, false).is_some()
 }
 
-/// Flags secret-dependent `if`/`while`/`match` conditions and indexing
-/// within a function body.
+/// One call site's taint profile, to be applied to callee summaries.
+struct CallSite {
+    name: String,
+    owner_hint: Option<String>,
+    method: bool,
+    recv_tainted: bool,
+    tainted_args: Vec<bool>,
+}
+
+/// Collects every named call in a body with the taint of its receiver
+/// and arguments.
+fn collect_calls(def: &FnDef, code: &[Token], scope: &Scope, out: &mut Vec<CallSite>) {
+    let (start, end) = def.body;
+    let mut i = start + 1;
+    while i + 1 < end {
+        let Some(id) = code[i].ident() else {
+            i += 1;
+            continue;
+        };
+        if rules::is_keyword(id) || !code.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            i += 1;
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &code[j]);
+        if prev.is_some_and(|t| t.ident() == Some("fn")) {
+            i += 1;
+            continue;
+        }
+        let method = prev.is_some_and(|t| t.is_punct("."));
+        let pathed = prev.is_some_and(|t| t.is_punct("::"));
+        let owner_hint = if pathed {
+            i.checked_sub(2).and_then(|j| code[j].ident()).and_then(|o| match o {
+                "Self" => Some(def.owner.clone()),
+                // Module-path prefixes carry no type information; resolve
+                // these by bare name.
+                "super" | "crate" | "self" => None,
+                _ => Some(o.to_string()),
+            })
+        } else {
+            None
+        };
+        if owner_hint.as_deref() == Some("ModCtx") && id == "new" {
+            i = matching_close(code, i + 1); // modeled: no propagation
+            continue;
+        }
+        let close = matching_close(code, i + 1);
+        let args = &code[i + 2..close.saturating_sub(1)];
+        let mut tainted_args = Vec::new();
+        let mut depth = 0i32;
+        let mut seg = 0usize;
+        for (k, t) in args.iter().enumerate() {
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if t.is_punct(",") && depth == 0 {
+                tainted_args.push(first_tainted(&args[seg..k], scope, false).is_some());
+                seg = k + 1;
+            }
+        }
+        if seg < args.len() {
+            tainted_args.push(first_tainted(&args[seg..], scope, false).is_some());
+        }
+        let recv_tainted = method
+            && i >= 2
+            && first_tainted(
+                {
+                    let (rs, re) = left_operand(code, i - 2, start + 1);
+                    &code[rs..re.min(i)]
+                },
+                scope,
+                false,
+            )
+            .is_some();
+        out.push(CallSite {
+            name: id.to_string(),
+            owner_hint,
+            method,
+            recv_tainted,
+            tainted_args,
+        });
+        i += 2; // descend into the argument tokens for nested calls
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sink flagging
+// ---------------------------------------------------------------------
+
 fn flag_sites(
-    file_label: &str,
-    fn_name: &str,
-    body: &[&Token],
-    tainted: &BTreeSet<String>,
+    label: &str,
+    rel: &str,
+    def: &FnDef,
+    code: &[Token],
+    scope: &Scope,
     findings: &mut BTreeSet<Finding>,
 ) {
     let mut record = |kind: &str, ident: &str, line: u32| {
         findings.insert(Finding {
-            key: format!("{file_label}::{fn_name}::{kind}({ident})"),
+            key: format!("{label}::{}::{kind}({ident})", def.name),
+            file: rel.to_string(),
             line,
         });
     };
-    // First tainted identifier in a token span, if any (one finding per
-    // site: the condition or subscript is the leak, not each mention).
-    let first_tainted = |span: &[&Token]| -> Option<(String, u32)> {
-        for (k, t) in span.iter().enumerate() {
-            let Some(id) = t.ident() else { continue };
-            let after_dot = k > 0 && span[k - 1].is_punct(".");
-            let hit = (after_dot && SECRET_FIELDS.contains(&id))
-                || (!after_dot && tainted.contains(id));
-            if hit {
-                return Some((id.to_string(), t.line));
-            }
-        }
-        None
-    };
-    let mut i = 0;
-    while i < body.len() {
-        let tok = body[i];
+    let (start, end) = def.body;
+    let mut i = start + 1;
+    while i + 1 < end {
+        let tok = &code[i];
         if let Some(kw) = tok.ident().filter(|id| matches!(*id, "if" | "while" | "match")) {
-            // Condition runs to the block `{`; struct literals are not
-            // allowed unparenthesized in this position, so `{` terminates.
-            let mut j = i + 1;
-            while j < body.len() && !body[j].is_punct("{") {
-                j += 1;
-            }
-            if let Some((id, line)) = first_tainted(&body[i + 1..j.min(body.len())]) {
+            let j = expr_end(code, i + 1, end);
+            if let Some((id, line)) = first_tainted(&code[i + 1..j], scope, false) {
                 let kind = if kw == "match" { "match" } else { "branch" };
                 record(kind, &id, line);
             }
             i = j;
             continue;
         }
-        if tok.is_punct("[") {
-            // A subscript computed from secret material indexes a table
-            // by the secret — the cache-timing leak this pass hunts.
-            let mut depth = 1u32;
-            let mut j = i + 1;
-            while j < body.len() && depth > 0 {
-                if body[j].is_punct("[") {
-                    depth += 1;
-                } else if body[j].is_punct("]") {
-                    depth -= 1;
+        if tok.ident() == Some("for") {
+            let j = expr_end(code, i + 1, end);
+            if let Some(inpos) = (i + 1..j).find(|&k| code[k].ident() == Some("in")) {
+                if let Some((id, line)) = first_tainted(&code[inpos + 1..j], scope, true) {
+                    record("loop", &id, line);
                 }
-                j += 1;
             }
-            if let Some((id, line)) = first_tainted(&body[i + 1..j.saturating_sub(1)]) {
-                record("index", &id, line);
+            i = j;
+            continue;
+        }
+        if let TokenKind::Punct(p) = &tok.kind {
+            if *p == "[" && is_index_position(i.checked_sub(1).map(|j| &code[j])) {
+                let close = matching_close(code, i);
+                if let Some((id, line)) =
+                    first_tainted(&code[i + 1..close.saturating_sub(1)], scope, false)
+                {
+                    record("index", &id, line);
+                }
+            }
+            if matches!(*p, "/" | "%" | "/=" | "%=") {
+                let (ls, le) = left_operand(code, i.saturating_sub(1), start + 1);
+                let (rs, re) = right_operand(code, i + 1, end);
+                let hit = first_tainted(&code[ls..le.min(i)], scope, false)
+                    .or_else(|| first_tainted(&code[rs..re], scope, false));
+                if let Some((id, line)) = hit {
+                    record("divrem", &id, line);
+                }
+            }
+        }
+        if code[i].ident().is_some_and(|id| DIVREM_METHODS.contains(&id)) {
+            let dotted = i.checked_sub(1).is_some_and(|j| code[j].is_punct("."));
+            if dotted && code.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+                let (rs, re) = left_operand(code, i.saturating_sub(2), start + 1);
+                let close = matching_close(code, i + 1);
+                let hit = first_tainted(&code[rs..re.min(i)], scope, false)
+                    .or_else(|| first_tainted(&code[i + 2..close.saturating_sub(1)], scope, false));
+                if let Some((id, line)) = hit {
+                    record("divrem", &id, line);
+                }
             }
         }
         i += 1;
     }
 }
 
-/// A parsed allowlist: keys with justifications.
+/// Whether a `[` begins an indexing expression (previous token is a
+/// value) rather than an array literal, slice type, or attribute.
+fn is_index_position(prev: Option<&Token>) -> bool {
+    prev.is_some_and(|t| {
+        matches!(&t.kind, TokenKind::Ident(id) if !rules::is_keyword(id))
+            || t.is_punct("]")
+            || t.is_punct(")")
+            || t.is_punct("?")
+    })
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Runs the analysis over the whole audited file set.
+pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
+    let codes: Vec<Vec<Token>> = files.iter().map(|f| prepare(&f.src)).collect();
+    let mut fields = BTreeSet::new();
+    for code in &codes {
+        secret_typed_fields(code, &mut fields);
+    }
+    let mut defs: Vec<FnDef> = Vec::new();
+    for (fi, code) in codes.iter().enumerate() {
+        defs.extend(parse_fns(fi, code));
+    }
+    for def in &mut defs {
+        def.trusted = TRUSTED_SETUP_FILES.contains(&files[def.file].label.as_str())
+            || TRUSTED_SETUP_FNS.contains(&(def.owner.as_str(), def.name.as_str()));
+    }
+
+    // Global fixpoint over call summaries and return taints.
+    for _ in 0..12 {
+        let sums = summaries(&defs);
+        let mut changed = false;
+        let mut sites: Vec<(usize, CallSite)> = Vec::new();
+        for (di, def) in defs.iter().enumerate() {
+            if def.trusted {
+                continue;
+            }
+            let code = &codes[def.file];
+            // Return summaries: intrinsic sources only.
+            let ret_vars = collect_vars(def, code, &sums, &fields, false);
+            let ret_scope = Scope { vars: &ret_vars, sums: &sums, fields: &fields, owner: &def.owner };
+            let rt = returns_tainted(def, code, &ret_scope);
+            if rt != def.ret_tainted {
+                changed = true;
+            }
+            // Call-site taint: full context, including injected extras.
+            let vars = collect_vars(def, code, &sums, &fields, true);
+            let scope = Scope { vars: &vars, sums: &sums, fields: &fields, owner: &def.owner };
+            let mut calls = Vec::new();
+            collect_calls(def, code, &scope, &mut calls);
+            sites.extend(calls.into_iter().map(|c| (di, c)));
+        }
+        for def in defs.iter_mut() {
+            if def.trusted {
+                def.ret_tainted = def.ret_secret_type;
+                continue;
+            }
+            let code = &codes[def.file];
+            let sums2 = Summaries { by_name: sums.by_name.clone(), qualified: sums.qualified.clone() };
+            let vars = collect_vars(def, code, &sums2, &fields, false);
+            let scope = Scope { vars: &vars, sums: &sums2, fields: &fields, owner: &def.owner };
+            def.ret_tainted = returns_tainted(def, code, &scope);
+        }
+        // Apply call-site taint to callee parameters.
+        let index: Vec<(String, String)> =
+            defs.iter().map(|d| (d.owner.clone(), d.name.clone())).collect();
+        for (_, cs) in &sites {
+            let qualified_match = cs
+                .owner_hint
+                .as_ref()
+                .is_some_and(|h| index.iter().any(|(o, n)| o == h && n == &cs.name));
+            if cs.owner_hint.is_some() && !qualified_match {
+                // `Type::fn` naming a type we did not parse is an external
+                // call (`u64::from`, `Vec::new`); applying its argument
+                // taint to every same-named local def would poison
+                // unrelated summaries.
+                continue;
+            }
+            for (di, (owner, name)) in index.iter().enumerate() {
+                if name != &cs.name {
+                    continue;
+                }
+                if qualified_match && Some(owner) != cs.owner_hint.as_ref() {
+                    continue;
+                }
+                let def = &mut defs[di];
+                if cs.method {
+                    if cs.recv_tainted && def.has_self && !def.extra_self {
+                        def.extra_self = true;
+                        changed = true;
+                    }
+                    for (i, &t) in cs.tainted_args.iter().enumerate() {
+                        if t && i < def.params.len() && def.extra_params.insert(i) {
+                            changed = true;
+                        }
+                    }
+                } else if def.has_self && cs.tainted_args.len() == def.params.len() + 1 {
+                    if cs.tainted_args[0] && !def.extra_self {
+                        def.extra_self = true;
+                        changed = true;
+                    }
+                    for (i, &t) in cs.tainted_args.iter().enumerate().skip(1) {
+                        if t && def.extra_params.insert(i - 1) {
+                            changed = true;
+                        }
+                    }
+                } else {
+                    for (i, &t) in cs.tainted_args.iter().enumerate() {
+                        if t && i < def.params.len() && def.extra_params.insert(i) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    if std::env::var_os("SDNS_TAINT_DEBUG").is_some() {
+        eprintln!("taint-fields: {fields:?}");
+        {
+            let sums = summaries(&defs);
+            for d in &defs {
+                if d.ret_tainted && !d.ret_secret_type {
+                    let code = &codes[d.file];
+                    let vars = collect_vars(d, code, &sums, &fields, false);
+                    eprintln!("taint-ret: {}::{} vars={vars:?}", files[d.file].label, d.name);
+                }
+            }
+        }
+        for d in &defs {
+            if d.extra_self || !d.extra_params.is_empty() || d.ret_tainted {
+                let ps: Vec<&str> =
+                    d.extra_params.iter().filter_map(|&i| d.params.get(i)).map(|s| s.as_str()).collect();
+                eprintln!(
+                    "taint: {}::{} self={} params={:?} ret={}",
+                    files[d.file].label, d.name, d.extra_self, ps, d.ret_tainted
+                );
+            }
+        }
+    }
+
+    // Final pass: flag sinks.
+    let sums = summaries(&defs);
+    let mut findings = BTreeSet::new();
+    for def in &defs {
+        if def.trusted || MODELED_BODIES.contains(&(def.owner.as_str(), def.name.as_str())) {
+            continue;
+        }
+        let code = &codes[def.file];
+        let vars = collect_vars(def, code, &sums, &fields, true);
+        let scope = Scope { vars: &vars, sums: &sums, fields: &fields, owner: &def.owner };
+        let f = &files[def.file];
+        flag_sites(&f.label, &f.rel, def, code, &scope, &mut findings);
+    }
+    findings.into_iter().collect()
+}
+
+fn summaries(defs: &[FnDef]) -> Summaries {
+    let mut by_name = BTreeSet::new();
+    let mut qualified = BTreeMap::new();
+    for d in defs {
+        let rt = d.ret_tainted || d.ret_secret_type;
+        if rt {
+            by_name.insert(d.name.clone());
+        }
+        let entry = qualified.entry((d.owner.clone(), d.name.clone())).or_insert(false);
+        *entry = *entry || rt;
+    }
+    Summaries { by_name, qualified }
+}
+
+// ---------------------------------------------------------------------
+// Allowlist (kept only to enforce emptiness)
+// ---------------------------------------------------------------------
+
+/// A parsed allowlist: keys with justifications. The policy is that
+/// this list stays empty — `main.rs` fails the lint on any entry.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     pub entries: Vec<(String, String)>,
@@ -337,73 +1292,233 @@ impl Allowlist {
         }
         Allowlist { entries }
     }
-
-    pub fn justification(&self, key: &str) -> Option<&str> {
-        self.entries.iter().find(|(k, _)| k == key).map(|(_, j)| j.as_str())
-    }
-}
-
-/// Renders an updated allowlist: every current finding, keeping
-/// existing justifications, stubbing new ones.
-pub fn render_allowlist(findings: &[Finding], previous: &Allowlist) -> String {
-    let mut out = String::from(
-        "# Reviewed secret-dependent branch sites (cargo xtask lint).\n\
-         # Format: <file>::<function>::<kind>(<ident>) — justification\n\
-         # Regenerate with: cargo xtask lint --update-secret-allowlist\n\n",
-    );
-    for f in findings {
-        let just = previous.justification(&f.key).filter(|j| !j.is_empty()).unwrap_or("TODO: justify");
-        out.push_str(&format!("{} — {}\n", f.key, just));
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn scan(label: &str, src: &str) -> Vec<Finding> {
+        analyze(&[SourceFile { label: label.into(), rel: label.into(), src: src.into() }])
+    }
+
     #[test]
     fn flags_branch_on_secret_field() {
-        let src = "impl KeyShare { fn sign(&self) { if self.secret.is_odd() { go(); } } }";
-        let fs = scan_file("share.rs", src, false);
-        assert_eq!(fs.len(), 1, "one finding per condition: {fs:?}");
-        assert!(fs[0].key.contains("sign::branch"));
+        let src = "impl KeyShare { fn step(&self) { if self.secret.is_odd() { go(); } } }";
+        let fs = scan("share.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].key.contains("step::branch"));
     }
 
     #[test]
     fn taint_propagates_through_let() {
-        let src = "fn f(ks: &KeyShare) { let e = ks.secret(); let w = e.clone(); match w.sign() { _ => {} } }";
-        let fs = scan_file("x.rs", src, false);
+        let src = "fn f(ks: &KeyShare) { let e = ks.secret(); let w = e.clone(); match w.bit(0) { _ => {} } }";
+        let fs = scan("x.rs", src);
         assert!(fs.iter().any(|f| f.key == "x.rs::f::match(w)"), "{fs:?}");
     }
 
     #[test]
-    fn bigint_exponent_params_are_secret() {
-        let src = "fn modpow(base: &Ubig, exp: &Ubig) { let mut i = 0; while exp.bit(i) { step(); } }";
-        let fs = scan_file("modular.rs", src, true);
-        assert_eq!(fs.len(), 1);
-        assert_eq!(fs[0].key, "modular.rs::modpow::branch(exp)");
+    fn call_summaries_taint_callee_params() {
+        let src = "fn outer(ks: &KeyShare) { helper(ks.secret()); }\n\
+                   fn helper(e: &Ubig) { if e.is_odd() { slow(); } }";
+        let fs = scan("c.rs", src);
+        assert!(fs.iter().any(|f| f.key == "c.rs::helper::branch(e)"), "{fs:?}");
     }
 
     #[test]
-    fn public_values_do_not_flag() {
-        let src = "fn verify(sig: &Ubig, n: &Ubig) { if sig.cmp(n).is_ge() { reject(); } }";
-        assert!(scan_file("v.rs", src, false).is_empty());
+    fn tainted_returns_flow_from_constructors() {
+        let src = "impl KeyShare { fn new(secret: Ubig) -> KeyShare { KeyShare { secret } } }\n\
+                   fn g() { let k = KeyShare::new(load()); if k.is_odd() { go(); } }";
+        let fs = scan("k.rs", src);
+        assert!(fs.iter().any(|f| f.key == "k.rs::g::branch(k)"), "{fs:?}");
     }
 
     #[test]
-    fn secret_indexing_flags() {
-        let src = "fn f(k: &RsaPrivateKey) { let w = k.d.limbs(); let x = table[w]; }";
-        let fs = scan_file("t.rs", src, false);
+    fn public_projections_cut_taint() {
+        let src = "fn f(ks: &KeyShare) { let bits = ks.secret().bit_capacity(); \
+                   for i in 0..bits { step(i); } if bits > 4 { pad(); } }";
+        assert!(scan("p.rs", src).is_empty());
+    }
+
+    #[test]
+    fn declassified_returns_are_public() {
+        let src = "fn f(ks: &KeyShare, x: &Ubig) { let sig = ks.sign(x); if sig.is_zero() { retry(); } }";
+        assert!(scan("d.rs", src).is_empty());
+    }
+
+    #[test]
+    fn secret_valued_index_flags() {
+        let src = "fn f(k: &RsaPrivateKey) { let w = k.d.low_bits(); let x = table[w]; }";
+        let fs = scan("t.rs", src);
         assert!(fs.iter().any(|f| f.key.contains("index(w)")), "{fs:?}");
     }
 
     #[test]
-    fn allowlist_roundtrip() {
-        let findings = vec![Finding { key: "a.rs::f::branch(x)".into(), line: 3 }];
-        let prev = Allowlist::parse("a.rs::f::branch(x) — reviewed, bounded loop\n");
-        let text = render_allowlist(&findings, &prev);
-        let re = Allowlist::parse(&text);
-        assert_eq!(re.justification("a.rs::f::branch(x)"), Some("reviewed, bounded loop"));
+    fn public_index_into_tainted_table_is_clean() {
+        let src = "fn f(k: &RsaPrivateKey) { let t = k.d.to_limbs(); let x = t[3]; use_val(x); }";
+        assert!(scan("i.rs", src).is_empty());
+    }
+
+    #[test]
+    fn secret_loop_bound_flags() {
+        let src = "fn f(ks: &KeyShare) { for i in 0..ks.secret().bit_len() { step(i); } }";
+        let fs = scan("l.rs", src);
+        assert!(fs.iter().any(|f| f.key.contains("loop(")), "{fs:?}");
+    }
+
+    #[test]
+    fn iter_loop_is_count_public_but_elements_taint() {
+        let src = "fn f(ks: &KeyShare) { for l in ks.secret.limbs.iter() { if odd(l) { skip(); } } }";
+        let fs = scan("e.rs", src);
+        assert!(!fs.iter().any(|f| f.key.contains("loop(")), "iter count is public: {fs:?}");
+        assert!(fs.iter().any(|f| f.key.contains("branch(l)")), "elements taint: {fs:?}");
+    }
+
+    #[test]
+    fn divrem_on_secret_flags() {
+        let src = "fn f(k: &RsaPrivateKey, m: &Ubig) { let r = k.d % m; store(r); }";
+        let fs = scan("r.rs", src);
+        assert!(fs.iter().any(|f| f.key.contains("divrem(")), "{fs:?}");
+    }
+
+    #[test]
+    fn assignment_propagates_taint() {
+        let src = "fn f(ks: &KeyShare) { let mut acc = start(); acc = ks.secret().clone(); \
+                   if acc.is_one() { fix(); } }";
+        let fs = scan("a.rs", src);
+        assert!(fs.iter().any(|f| f.key.contains("branch(acc)")), "{fs:?}");
+    }
+
+    #[test]
+    fn closure_params_taint_on_tainted_receiver() {
+        let src = "fn f(ks: &KeyShare) { let parts = ks.split(); \
+                   let ys = parts.iter().map(|s| if s.is_odd() { 1 } else { 0 }); sink(ys); }";
+        let fs = scan("cl.rs", src);
+        assert!(fs.iter().any(|f| f.key.contains("branch(s)")), "{fs:?}");
+    }
+
+    #[test]
+    fn debug_asserts_are_excised() {
+        let src = "fn f(ks: &KeyShare) { debug_assert!(table[ks.secret.low()] == 0); work(); }";
+        assert!(scan("da.rs", src).is_empty());
+    }
+
+    #[test]
+    fn modeled_from_limbs_body_is_exempt() {
+        let src = "impl Ubig { fn from_limbs(mut limbs: Vec<u64>) -> Ubig { \
+                   while limbs.last() == Some(&0) { limbs.pop(); } Ubig { limbs } } }\n\
+                   fn f(k: &RsaPrivateKey) { let r = Ubig::from_limbs(k.d.to_limbs()); \
+                   if r.is_odd() { go(); } }";
+        let fs = scan("ml.rs", src);
+        assert!(
+            !fs.iter().any(|f| f.key.contains("from_limbs")),
+            "modeled body must not flag: {fs:?}"
+        );
+        assert!(fs.iter().any(|f| f.key == "ml.rs::f::branch(r)"), "taint flows through: {fs:?}");
+    }
+
+    #[test]
+    fn modctx_new_is_per_key_setup() {
+        let src = "fn f(k: &RsaPrivateKey) { let ctx = ModCtx::new(&k.d); \
+                   if ctx.limb_count() > 4 { prealloc(); } }";
+        assert!(scan("mc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_flags() {
+        let src = "fn f(k: &RsaPrivateKey) { match k.d.low2() { 0 => a(), _ => b() } }";
+        let fs = scan("m.rs", src);
+        assert!(fs.iter().any(|f| f.key.contains("match(")), "{fs:?}");
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn f(ks: &KeyShare) { if ks.secret.bit(0) { x(); } } }";
+        assert!(scan("ts.rs", src).is_empty());
+    }
+
+    #[test]
+    fn secret_typed_struct_fields_are_sources() {
+        let src = "struct Bundle { shares: Vec<KeyShare>, label: String }\n\
+                   fn f(b: &Bundle) { if b.shares.is_empty() { init(); } \
+                   for s in b.shares.iter() { if s.bit(0) { go(); } } }";
+        let fs = scan("sf.rs", src);
+        assert!(!fs.iter().any(|f| f.key.contains("branch(shares)")), "is_empty is public: {fs:?}");
+        assert!(fs.iter().any(|f| f.key.contains("branch(s)")), "elements taint: {fs:?}");
+    }
+
+    #[test]
+    fn trusted_setup_files_are_exempt_and_do_not_poison() {
+        // dealer.rs may branch on secrets (offline ceremony), and its
+        // tainted call into `helper` must not poison helper's summary
+        // for the online caller that passes clean data.
+        let dealer = "fn deal(ks: &KeyShare) { if ks.secret.bit(0) { retry(); } \
+                      helper(ks.secret()); }";
+        let online = "fn helper(e: &Ubig) { if e.is_odd() { slow(); } }\n\
+                      fn serve(m: &Ubig) { helper(m); }";
+        let fs = analyze(&[
+            SourceFile { label: "dealer.rs".into(), rel: "dealer.rs".into(), src: dealer.into() },
+            SourceFile { label: "util.rs".into(), rel: "util.rs".into(), src: online.into() },
+        ]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn trusted_setup_returns_still_carry_type_taint() {
+        let src = "impl RsaPrivateKey { fn generate(bits: usize) -> RsaPrivateKey { make() } }\n\
+                   fn f() { let k = RsaPrivateKey::generate(512); if k.d.bit(0) { go(); } }";
+        let fs = scan("rsa.rs", src);
+        assert!(fs.iter().any(|f| f.key == "rsa.rs::f::branch(k)"), "{fs:?}");
+    }
+
+    #[test]
+    fn external_qualified_calls_do_not_poison_local_names() {
+        // `u64::from(secret)` is an external call; it must not taint the
+        // parameter of the local `Ubig::from`.
+        let src = "fn f(ks: &KeyShare) { let w = u64::from(ks.secret.low()); consume(w); }\n\
+                   impl Ubig { fn from(v: u64) -> Ubig { if v == 0 { Ubig::zero() } else { pack(v) } } }";
+        let fs = scan("u.rs", src);
+        assert!(!fs.iter().any(|f| f.key.contains("from::branch")), "{fs:?}");
+    }
+
+    #[test]
+    fn clean_call_sites_of_shared_helpers_stay_clean() {
+        // Return summaries are intrinsic-only: one tainted use of
+        // `is_odd`-style helpers must not make every call site's result
+        // tainted. Only the tainted-receiver call propagates.
+        let src = "fn check(e: &Ubig) -> bool { e.low() == 1 }\n\
+                   fn f(ks: &KeyShare, m: &Ubig) { \
+                   let a = check(ks.secret()); \
+                   let b = check(m); \
+                   if b { fast(); } }";
+        let fs = scan("s.rs", src);
+        assert!(!fs.iter().any(|f| f.key.contains("f::branch(b)")), "{fs:?}");
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_impl_owner() {
+        let src = "impl KeyShare { fn secret_copy(&self) -> Ubig { self.secret.clone() }\n\
+                   fn f(&self) { let s = Self::secret_copy(self); if s.is_odd() { go(); } } }";
+        let fs = scan("sq.rs", src);
+        assert!(fs.iter().any(|f| f.key.contains("f::branch(s)")), "{fs:?}");
+    }
+
+    #[test]
+    fn bit_len_body_exempt_but_result_tainted() {
+        let src = "impl Ubig { fn bit_len(&self) -> usize { \
+                   match self.limbs.last() { None => 0, Some(t) => top(t) } } }\n\
+                   fn f(ks: &KeyShare) { let n = ks.secret().bit_len(); \
+                   for i in 0..n { step(i); } }";
+        let fs = scan("bl.rs", src);
+        assert!(!fs.iter().any(|f| f.key.contains("bit_len::match")), "body modeled: {fs:?}");
+        assert!(fs.iter().any(|f| f.key.contains("f::loop")), "result stays secret: {fs:?}");
+    }
+
+    #[test]
+    fn allowlist_parses_keys_and_justifications() {
+        let al = Allowlist::parse("# comment\n\na.rs::f::branch(x) — reviewed\nb.rs::g::match(y)\n");
+        assert_eq!(al.entries.len(), 2);
+        assert_eq!(al.entries[0], ("a.rs::f::branch(x)".into(), "reviewed".into()));
+        assert_eq!(al.entries[1].1, "");
     }
 }
