@@ -147,7 +147,21 @@ pub fn refresh_share(share: &KeyShare, received: &[(RefreshDealing, Ubig)]) -> K
     for (_, point) in received {
         secret = secret + point;
     }
-    KeyShare::new(share.index(), secret)
+    // sdns-lint: allow(arith) — u64 epoch counter; one increment per
+    // refresh epoch cannot realistically overflow
+    KeyShare::new_at_epoch(share.index(), secret, share.epoch() + 1)
+}
+
+/// Structural validation of an untrusted dealing before any point of it
+/// is verified or applied: the dealer index must be in `1..=n`, there
+/// must be exactly `t` commitments (the constant term is implicitly
+/// zero), and every commitment must be a reduced non-zero residue.
+/// Cheap, branch-only-on-public-data — run it on every dealing that
+/// arrives over the network before it enters an agreed set.
+pub fn verify_dealing(pk: &ThresholdPublicKey, dealing: &RefreshDealing) -> bool {
+    (1..=pk.parties()).contains(&dealing.dealer)
+        && dealing.commitments.len() == pk.threshold()
+        && dealing.commitments.iter().all(|c| !c.is_zero() && c < pk.modulus())
 }
 
 /// Computes the refreshed public key: verification keys updated with the
@@ -252,6 +266,39 @@ mod tests {
         let share = new_shares[0].sign_with_proof(&x, &new_pk, &mut r);
         assert!(share.verify(&x, &new_pk), "proof verifies against refreshed v_i");
         assert!(!share.verify(&x, pk), "proof must not verify against the stale v_i");
+    }
+
+    #[test]
+    fn epoch_tags_track_refreshes() {
+        let (pk, shares) = key_4_1();
+        assert!(shares.iter().all(|s| s.epoch() == 0), "dealt shares are epoch 0");
+        let (pk1, shares1) = run_epoch(pk, shares, &[1, 2]);
+        assert!(shares1.iter().all(|s| s.epoch() == 1));
+        let (_, shares2) = run_epoch(&pk1, &shares1, &[3, 4]);
+        assert!(shares2.iter().all(|s| s.epoch() == 2));
+    }
+
+    #[test]
+    fn structural_dealing_validation() {
+        let (pk, _) = key_4_1();
+        let mut r = rng();
+        let good = create_dealing(pk, 1, &mut r).dealing;
+        assert!(verify_dealing(pk, &good));
+        let mut bad = good.clone();
+        bad.dealer = 0;
+        assert!(!verify_dealing(pk, &bad));
+        let mut bad = good.clone();
+        bad.dealer = pk.parties() + 1;
+        assert!(!verify_dealing(pk, &bad));
+        let mut bad = good.clone();
+        bad.commitments.pop();
+        assert!(!verify_dealing(pk, &bad));
+        let mut bad = good.clone();
+        bad.commitments[0] = Ubig::zero();
+        assert!(!verify_dealing(pk, &bad));
+        let mut bad = good;
+        bad.commitments[0] = pk.modulus().clone();
+        assert!(!verify_dealing(pk, &bad), "unreduced commitment rejected");
     }
 
     #[test]

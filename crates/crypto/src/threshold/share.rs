@@ -12,19 +12,31 @@ const CHALLENGE_BITS: usize = 128;
 ///
 /// This value must be kept secret by its server; `t + 1` of them determine
 /// the key, `t` of them are statistically independent of it.
+///
+/// Each share is tagged with its proactive-refresh `epoch` (0 as dealt,
+/// incremented by every applied refresh). The tag is public lifecycle
+/// metadata — it rides in keyfiles and operator stats so mixed-epoch
+/// deployments are detectable *before* the mathematics makes a quorum of
+/// them fail to assemble.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyShare {
     index: usize,
     secret: Ubig,
+    epoch: u64,
 }
 
 impl KeyShare {
     pub(crate) fn new(index: usize, secret: Ubig) -> Self {
-        assert!(index >= 1, "server indices are 1-based");
-        KeyShare { index, secret }
+        KeyShare::new_at_epoch(index, secret, 0)
     }
 
-    /// Reconstructs a share from its components (for loading from disk).
+    pub(crate) fn new_at_epoch(index: usize, secret: Ubig, epoch: u64) -> Self {
+        assert!(index >= 1, "server indices are 1-based");
+        KeyShare { index, secret, epoch }
+    }
+
+    /// Reconstructs an epoch-0 share from its components (for loading
+    /// from disk).
     ///
     /// # Panics
     ///
@@ -33,9 +45,24 @@ impl KeyShare {
         KeyShare::new(index, secret)
     }
 
+    /// Reconstructs a share at an explicit refresh epoch (for loading a
+    /// versioned keyfile written after one or more refreshes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero (indices are 1-based).
+    pub fn from_parts_at_epoch(index: usize, secret: Ubig, epoch: u64) -> Self {
+        KeyShare::new_at_epoch(index, secret, epoch)
+    }
+
     /// The 1-based server index `i`.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// The refresh epoch this share belongs to (0 = as dealt).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The secret polynomial evaluation `s_i`.

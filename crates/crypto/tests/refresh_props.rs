@@ -1,0 +1,144 @@
+//! Property-based tests for proactive share refresh (the Herzberg-style
+//! core behind §4.4 key recovery): refreshed shares keep producing valid
+//! signatures under the *unchanged* zone key, share sets straddling an
+//! epoch boundary never assemble anything that verifies, and the
+//! refreshed verification keys match their public recomputation from the
+//! dealing commitments.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sdns_bigint::Ubig;
+use sdns_crypto::threshold::refresh::{
+    committed_point, create_dealing, refresh_public_key, refresh_share, verify_dealing,
+    verify_point, RefreshSecrets,
+};
+use sdns_crypto::threshold::{Dealer, KeyShare, ThresholdPublicKey};
+use std::sync::OnceLock;
+
+/// One (4, 1) threshold key shared by every property (dealt once).
+fn base_key() -> &'static (ThresholdPublicKey, Vec<KeyShare>) {
+    static KEY: OnceLock<(ThresholdPublicKey, Vec<KeyShare>)> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9F5E);
+        Dealer::deal(256, 4, 1, &mut rng)
+    })
+}
+
+/// Runs one refresh epoch with `dealer_set` as the agreed dealers:
+/// returns the refreshed public key and the refreshed shares.
+fn run_epoch(
+    pk: &ThresholdPublicKey,
+    shares: &[KeyShare],
+    dealer_set: &[usize],
+    seed: u64,
+) -> (ThresholdPublicKey, Vec<KeyShare>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let secrets: Vec<RefreshSecrets> =
+        dealer_set.iter().map(|&d| create_dealing(pk, d, &mut rng)).collect();
+    for s in &secrets {
+        assert!(verify_dealing(pk, &s.dealing));
+        for j in 1..=pk.parties() {
+            assert!(verify_point(pk, &s.dealing, j, &s.points[j - 1]));
+        }
+    }
+    let new_shares = shares
+        .iter()
+        .map(|share| {
+            let received: Vec<_> = secrets
+                .iter()
+                .map(|s| (s.dealing.clone(), s.points[share.index() - 1].clone()))
+                .collect();
+            refresh_share(share, &received)
+        })
+        .collect();
+    let dealings: Vec<_> = secrets.iter().map(|s| s.dealing.clone()).collect();
+    (refresh_public_key(pk, &dealings), new_shares)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Refreshed shares assemble a signature the *original* zone key
+    /// still verifies: refresh rotates the sharing, not the key.
+    #[test]
+    fn refreshed_shares_still_assemble(seed in any::<u64>(),
+                                       x_raw in 2u64..1_000_000,
+                                       quorum_rot in 0usize..4) {
+        let (pk, shares) = base_key();
+        let dealer_set: Vec<usize> = (1..=pk.quorum()).collect();
+        let (pk1, shares1) = run_epoch(pk, shares, &dealer_set, seed);
+        let x = Ubig::from(x_raw);
+        let mut quorum = Vec::new();
+        for k in 0..pk.quorum() {
+            let share = &shares1[(k + quorum_rot) % shares1.len()];
+            prop_assert_eq!(share.epoch(), 1);
+            quorum.push(share.sign(&x, &pk1));
+        }
+        let sig = pk1.assemble(&x, &quorum).expect("refreshed quorum assembles");
+        prop_assert!(pk1.verify(&x, &sig));
+        // The zone key is unchanged: the pre-refresh public key accepts
+        // the very same signature.
+        prop_assert!(pk.verify(&x, &sig));
+    }
+
+    /// A t+1 set mixing shares from different epochs interpolates a
+    /// point off both polynomials — whatever assembles never verifies.
+    #[test]
+    fn mixed_epoch_sets_never_verify(seed in any::<u64>(),
+                                     x_raw in 2u64..1_000_000,
+                                     stale in 0usize..4) {
+        let (pk, shares) = base_key();
+        let dealer_set: Vec<usize> = (1..=pk.quorum()).collect();
+        let (pk1, shares1) = run_epoch(pk, shares, &dealer_set, seed);
+        let x = Ubig::from(x_raw);
+        // One signer stayed on epoch 0; the rest of the quorum moved on.
+        let mut sig_shares = vec![shares[stale].sign(&x, &pk1)];
+        for k in 0..pk.quorum() - 1 {
+            let idx = (stale + 1 + k) % shares1.len();
+            sig_shares.push(shares1[idx].sign(&x, &pk1));
+        }
+        if let Ok(sig) = pk1.assemble(&x, &sig_shares) {
+            prop_assert!(!pk1.verify(&x, &sig), "cross-epoch quorum produced a valid signature");
+            prop_assert!(!pk.verify(&x, &sig));
+        }
+    }
+
+    /// The refreshed verification keys match the public recomputation
+    /// `v'_j = v_j · Π_i v^{g_i(j)}` from the dealing commitments alone.
+    #[test]
+    fn refreshed_vks_match_commitment_recomputation(seed in any::<u64>()) {
+        let (pk, _) = base_key();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dealer_set: Vec<usize> = (1..=pk.quorum()).collect();
+        let secrets: Vec<RefreshSecrets> =
+            dealer_set.iter().map(|&d| create_dealing(pk, d, &mut rng)).collect();
+        let dealings: Vec<_> = secrets.iter().map(|s| s.dealing.clone()).collect();
+        let pk1 = refresh_public_key(pk, &dealings);
+        for j in 1..=pk.parties() {
+            let mut expect = pk.verification_key(j).clone();
+            for d in &dealings {
+                expect = (expect * committed_point(pk, d, j)) % pk.modulus();
+            }
+            prop_assert_eq!(pk1.verification_key(j), &expect);
+            // And the committed point matches the private evaluation.
+            for s in &secrets {
+                let from_secret = pk.ctx().pow(pk.verification_base(), &s.points[j - 1]);
+                prop_assert_eq!(committed_point(pk, &s.dealing, j), from_secret);
+            }
+        }
+        // Group parameters (and therefore the zone key) are untouched.
+        prop_assert_eq!(pk1.modulus(), pk.modulus());
+        prop_assert_eq!(pk1.exponent(), pk.exponent());
+        prop_assert_eq!(pk1.verification_base(), pk.verification_base());
+    }
+
+    /// A tampered private point is rejected by commitment verification.
+    #[test]
+    fn forged_points_fail_verification(seed in any::<u64>(), delta in 1u64..1_000) {
+        let (pk, _) = base_key();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let secrets = create_dealing(pk, 1, &mut rng);
+        let forged = secrets.points[0].clone() + Ubig::from(delta);
+        prop_assert!(!verify_point(pk, &secrets.dealing, 1, &forged));
+    }
+}

@@ -260,6 +260,58 @@ pub fn plan_update_resign(zone: &mut Zone, outcome: &UpdateOutcome, meta: &SigMe
     tasks.iter().filter_map(|(name, t)| plan_rrset(zone, name, *t, meta)).collect()
 }
 
+/// The earliest SIG expiration timestamp anywhere in the zone, or
+/// `None` for a zone with no SIG records. This is the number the
+/// expiry scanner and the `min_sig_expiry_s` stats gauge watch: when it
+/// sinks below the configured horizon, a re-signing pass is due.
+pub fn min_sig_expiry(zone: &Zone) -> Option<u32> {
+    let mut min: Option<u32> = None;
+    for name in zone.names().cloned().collect::<Vec<_>>() {
+        let Some(set) = zone.rrset(&name, RecordType::Sig) else { continue };
+        for rd in &set.rdatas {
+            if let RData::Sig(s) = rd {
+                min = Some(min.map_or(s.expiration, |m| m.min(s.expiration)));
+            }
+        }
+    }
+    min
+}
+
+/// Plans a scheduled re-signing pass: one task per non-SIG RRset whose
+/// covering SIG is missing or expires at or before `cutoff`, stamped
+/// with `meta`'s fresh validity window.
+///
+/// Unlike [`plan_update_resign`] the SOA comes *first*: the caller has
+/// just bumped the serial (so edges re-sync the refreshed SIGs), and if
+/// the batch is truncated downstream the SOA's signature must cover the
+/// new serial in the first installment — the tail is re-planned on a
+/// later pass because the zone's minimum expiry stays below the horizon
+/// until every stale SIG is replaced.
+pub fn plan_expiry_resign(zone: &Zone, cutoff: u32, meta: &SigMeta) -> Vec<SigTask> {
+    let needs_resign = |name: &Name, rtype: RecordType| -> bool {
+        match zone.sig_for(name, rtype) {
+            None => true, // missing SIG: heal it
+            Some(sigs) => sigs.iter().any(|r| match &r.rdata {
+                RData::Sig(s) => s.expiration <= cutoff,
+                _ => false,
+            }),
+        }
+    };
+    let origin = zone.origin().clone();
+    let mut pairs: Vec<(Name, RecordType)> = vec![(origin.clone(), RecordType::Soa)];
+    for name in zone.names().cloned().collect::<Vec<_>>() {
+        let types: Vec<RecordType> =
+            zone.types_at(&name).filter(|t| *t != RecordType::Sig).collect();
+        for t in types {
+            if (name == origin && t == RecordType::Soa) || !needs_resign(&name, t) {
+                continue;
+            }
+            pairs.push((name.clone(), t));
+        }
+    }
+    pairs.iter().filter_map(|(name, t)| plan_rrset(zone, name, *t, meta)).collect()
+}
+
 /// Removes SIG records covering types that no longer exist at `name`.
 fn prune_stale_sigs(zone: &mut Zone, name: &Name) {
     let Some(set) = zone.rrset(name, RecordType::Sig) else { return };

@@ -389,6 +389,7 @@ mod tests {
         ReplicaSnapshot {
             round,
             update_counter: round,
+            key_epoch: 0,
             executed: vec![(4, 1)],
             delivered_ids: vec![7],
             zone: Zone::with_default_soa("example.com".parse().expect("valid")),

@@ -108,6 +108,7 @@ pub fn deploy<R: Rng + ?Sized>(
                 reads_via_abcast,
                 keyring,
                 overload: OverloadConfig::default(),
+                refresh: crate::refresh::RefreshCfg::default(),
             };
             Deployment {
                 setup,
@@ -135,6 +136,7 @@ pub fn deploy<R: Rng + ?Sized>(
                 reads_via_abcast,
                 keyring,
                 overload: OverloadConfig::default(),
+                refresh: crate::refresh::RefreshCfg::default(),
             };
             Deployment {
                 setup,
@@ -203,6 +205,7 @@ pub fn deploy<R: Rng + ?Sized>(
                 reads_via_abcast,
                 keyring,
                 overload: OverloadConfig::default(),
+                refresh: crate::refresh::RefreshCfg::default(),
             };
             Deployment {
                 setup,

@@ -160,6 +160,7 @@ pub fn save_deployment(
         }
         out.push_str(&format!("share_index = {}\n", share.index()));
         out.push_str(&format!("share_secret = {}\n", share.secret().to_hex()));
+        out.push_str(&format!("key_epoch = {}\n", share.epoch()));
         atomic_write(&dir.join(format!("replica-{i}.conf")), out.as_bytes())?;
     }
     Ok(())
@@ -232,9 +233,15 @@ pub fn load_replica(conf_path: &Path) -> Result<ReplicaFile, KeyFileError> {
         ubig("verification_base")?,
         verification_keys,
     ));
-    let share = KeyShare::from_parts(
+    // Pre-refresh files (no key_epoch field) load as epoch 0.
+    let key_epoch: u64 = match fields.get("key_epoch").and_then(|v| v.first()) {
+        Some(v) => v.parse().map_err(|_| perr("bad key_epoch"))?,
+        None => 0,
+    };
+    let share = KeyShare::from_parts_at_epoch(
         one("share_index")?.parse().map_err(|_| perr("bad share index"))?,
         ubig("share_secret")?,
+        key_epoch,
     );
 
     let zone_bytes = std::fs::read(
@@ -259,6 +266,7 @@ pub fn load_replica(conf_path: &Path) -> Result<ReplicaFile, KeyFileError> {
         reads_via_abcast: one("reads_via_abcast")? == "true",
         keyring: None,
         overload: crate::overload::OverloadConfig::default(),
+        refresh: crate::refresh::RefreshCfg::default(),
     };
     Ok(ReplicaFile {
         me,
@@ -267,6 +275,23 @@ pub fn load_replica(conf_path: &Path) -> Result<ReplicaFile, KeyFileError> {
         peers,
         link_key: hex_decode(one("link_key")?)?,
     })
+}
+
+/// Reads just the `key_epoch` field of a replica configuration file
+/// (0 for pre-refresh files without the field, `None` if the file is
+/// unreadable). `sdnsd` uses this to refuse starting against a mix of
+/// refreshed and stale sibling key files: shares from different epochs
+/// lie on different polynomials and can never assemble a signature.
+pub fn peek_key_epoch(conf_path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(conf_path).ok()?;
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == "key_epoch" {
+                return v.trim().parse().ok();
+            }
+        }
+    }
+    Some(0)
 }
 
 #[cfg(test)]
@@ -314,6 +339,50 @@ mod tests {
             let sig = pk.assemble(&x, &[share.sign(&x, pk), other.sign(&x, pk)]).unwrap();
             assert!(pk.verify(&x, &sig));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_epoch_survives_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xE70C);
+        let mut deployment = deploy(
+            Group::new(4, 1),
+            ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+            CostModel::free(),
+            example_zone(),
+            384,
+            true,
+            None,
+            &mut rng,
+        );
+        // Re-tag every share (what `sdns-keygen --key-epoch` does).
+        for signer in &mut deployment.signers {
+            if let ReplicaSigner::Threshold { share, .. } = signer {
+                *share = KeyShare::from_parts_at_epoch(share.index(), share.secret().clone(), 3);
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("sdns-keyfile-epoch-{}", std::process::id()));
+        let peers: Vec<SocketAddr> =
+            (0..4).map(|i| format!("127.0.0.1:{}", 5500 + i).parse().unwrap()).collect();
+        save_deployment(&deployment, &peers, b"k", &dir).unwrap();
+        for i in 0..4 {
+            let path = dir.join(format!("replica-{i}.conf"));
+            assert_eq!(peek_key_epoch(&path), Some(3));
+            let loaded = load_replica(&path).unwrap();
+            let ReplicaSigner::Threshold { share, .. } = &loaded.signer else { panic!() };
+            assert_eq!(share.epoch(), 3);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn peek_key_epoch_defaults_to_zero_without_field() {
+        let dir = std::env::temp_dir().join(format!("sdns-keyfile-peek-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("replica-0.conf");
+        std::fs::write(&p, "format = sdns-replica-v1\nme = 0\n").unwrap();
+        assert_eq!(peek_key_epoch(&p), Some(0));
+        assert_eq!(peek_key_epoch(&dir.join("missing.conf")), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

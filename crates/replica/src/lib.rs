@@ -38,6 +38,7 @@ pub mod keyfile;
 mod messages;
 pub mod overload;
 pub mod readplane;
+pub mod refresh;
 pub mod reliable;
 pub mod rrl;
 pub mod snapshot;
@@ -52,6 +53,7 @@ pub use envelope::Envelope;
 pub use genesis::{deploy, example_zone, Deployment};
 pub use messages::ReplicaMsg;
 pub use overload::{OverloadConfig, OverloadCounters, ShedReason};
+pub use refresh::RefreshCfg;
 pub use reliable::{LinkLayer, RetransmitCfg};
 pub use rrl::{Admission, ConnConfig, ConnGovernor, RateLimiter, RrlConfig, RrlDecision};
 pub use replica::{answer_query, NodeId, Replica, ReplicaAction, ReplicaEvent, ReplicaSetup, ReplicaSigner};

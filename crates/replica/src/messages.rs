@@ -3,6 +3,7 @@
 // sdns-lint: coverage-exempt — In-memory message enum; wire encoding/decoding happens in deny-listed tcp/codec.rs.
 
 use sdns_abcast::AbcMsg;
+use sdns_bigint::Ubig;
 use sdns_crypto::protocol::SigMessage;
 
 /// A message on the wire between nodes (replicas and clients).
@@ -66,6 +67,22 @@ pub enum ReplicaMsg {
     /// the reliable-link sublayer — a lost ping must not accumulate in
     /// retransmission buffers during the very partition it detects.
     Ping,
+    /// Proactive refresh: the sender's private polynomial evaluation
+    /// `g(j)` for the receiver, delivered over the authenticated links
+    /// and verified against the broadcast commitments before use.
+    RefreshPoint {
+        /// The refresh epoch the point belongs to.
+        epoch: u64,
+        /// `g(receiver's 1-based index)` of the sender's dealing.
+        point: Ubig,
+    },
+    /// Proactive refresh: a nag asking the receiver to resend its
+    /// `RefreshPoint` for `epoch` (the original was lost or failed
+    /// commitment verification).
+    RefreshResend {
+        /// The refresh epoch whose point is missing.
+        epoch: u64,
+    },
 }
 
 impl ReplicaMsg {
@@ -79,6 +96,8 @@ impl ReplicaMsg {
                 | ReplicaMsg::Seq { .. }
                 | ReplicaMsg::LinkAck { .. }
                 | ReplicaMsg::Ping
+                | ReplicaMsg::RefreshPoint { .. }
+                | ReplicaMsg::RefreshResend { .. }
         )
     }
 }

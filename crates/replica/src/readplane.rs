@@ -571,6 +571,13 @@ pub struct ReadStats {
     pub sync_deltas: AtomicU64,
     /// Full-transfer fallbacks served by the transfer endpoint (mirrored).
     pub sync_fulls: AtomicU64,
+    /// Threshold-share refresh epoch of this core's key share (gauge).
+    pub key_epoch: AtomicU64,
+    /// Signing-clock timestamp (ms) of the last applied refresh (gauge).
+    pub last_refresh_ms: AtomicU64,
+    /// Earliest SIG expiration in the zone, epoch seconds (gauge; 0 for
+    /// an unsigned zone).
+    pub min_sig_expiry_s: AtomicU64,
 }
 
 impl ReadStats {
@@ -588,6 +595,14 @@ impl ReadStats {
         self.early_messages.store(widen(counters.early_messages), Ordering::Relaxed);
         self.retired_ring.store(widen(counters.retired_ring), Ordering::Relaxed);
         self.pending_gateway.store(widen(counters.pending_gateway), Ordering::Relaxed);
+    }
+
+    /// Mirrors the replica's proactive-recovery gauges (called by the
+    /// host after processing replica output, like [`Self::mirror_overload`]).
+    pub fn mirror_refresh(&self, key_epoch: u64, last_refresh_ms: u64, min_sig_expiry_s: u32) {
+        self.key_epoch.store(key_epoch, Ordering::Relaxed);
+        self.last_refresh_ms.store(last_refresh_ms, Ordering::Relaxed);
+        self.min_sig_expiry_s.store(u64::from(min_sig_expiry_s), Ordering::Relaxed);
     }
 }
 
@@ -876,6 +891,9 @@ impl ReadPlane {
             format!("sync_pulls={}", s.sync_pulls.load(Ordering::Relaxed)),
             format!("sync_deltas={}", s.sync_deltas.load(Ordering::Relaxed)),
             format!("sync_fulls={}", s.sync_fulls.load(Ordering::Relaxed)),
+            format!("key_epoch={}", s.key_epoch.load(Ordering::Relaxed)),
+            format!("last_refresh_ms={}", s.last_refresh_ms.load(Ordering::Relaxed)),
+            format!("min_sig_expiry_s={}", s.min_sig_expiry_s.load(Ordering::Relaxed)),
         ];
         let mut lines = lines.to_vec();
         if let Some(edge) = self.edge.get() {

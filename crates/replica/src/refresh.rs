@@ -1,0 +1,564 @@
+//! Proactive share refresh and SIG-expiry re-signing: the replica-side
+//! protocol state around `sdns_crypto::threshold::refresh`.
+//!
+//! Refresh epochs run *through the existing atomic broadcast*: each core
+//! submits its `RefreshDealing` as an abcast payload, so every replica
+//! sees the same dealings in the same order and freezes the same agreed
+//! set of `t + 1` dealings for the next epoch. Private points travel
+//! over the authenticated replica links (`RefreshPoint` messages) and
+//! are verified against the broadcast commitments before any of them
+//! folds into a share. The epoch transition is crash-safe: the new
+//! share is written to a versioned keyfile via `atomic_write` *before*
+//! the in-memory swap, and the agreed dealings live in the WAL until
+//! the epoch barrier drains from the execution queue, so a kill-9 at
+//! any point replays back to a consistent epoch.
+//!
+//! This module holds the pure parts — payload codecs, on-disk share
+//! files, and the bookkeeping state — all panic-free: every input here
+//! is either attacker bytes (abcast payloads) or disk bytes (keyfiles
+//! that survived a crash).
+
+use crate::wal::atomic_write;
+use sdns_bigint::Ubig;
+use sdns_crypto::threshold::refresh::{RefreshDealing, RefreshSecrets};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a refresh-dealing abcast payload.
+pub const DEALING_MAGIC: &[u8; 8] = b"SDNSRFR1";
+/// Magic prefix of a scheduled re-signing abcast payload.
+pub const RESIGN_MAGIC: &[u8; 8] = b"SDNSRSG1";
+/// Magic prefix of a versioned on-disk share file.
+const SHARE_MAGIC: &[u8; 8] = b"SDNSSHR1";
+/// Magic prefix of the dealer's persisted pending secrets.
+const PENDING_MAGIC: &[u8; 8] = b"SDNSPND1";
+
+/// Filename of the dealer's pending-secrets file (one in flight at a
+/// time; replaced atomically when a new epoch is dealt).
+const PENDING_FILE: &str = "refresh-pending.key";
+
+/// Knobs for the proactive-recovery machinery. All-zero (the default)
+/// disables both the epoch timer and the expiry scanner, which keeps
+/// every pre-existing deployment byte-identical in behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshCfg {
+    /// Ticks between refresh epochs; `0` disables proactive refresh.
+    pub interval_ticks: u64,
+    /// Milliseconds the signing-time clock advances per tick. The
+    /// deterministic core has no wall clock, so SIG inception/expiry
+    /// windows move only when this is non-zero.
+    pub clock_step_ms: u64,
+    /// Re-sign RRsets whose SIG expires within this many seconds;
+    /// `0` disables the expiry scanner.
+    pub sig_horizon_s: u32,
+    /// Validity window (seconds) stamped on re-signed SIGs.
+    pub sig_validity_s: u32,
+}
+
+/// Encodes a refresh dealing as an abcast payload:
+/// magic ‖ epoch u64 ‖ dealer u32 ‖ count u32 ‖ (len u32 ‖ bytes)*.
+pub fn encode_dealing_payload(epoch: u64, dealing: &RefreshDealing) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(DEALING_MAGIC);
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(&count32(dealing.dealer).to_be_bytes());
+    out.extend_from_slice(&count32(dealing.commitments.len()).to_be_bytes());
+    for c in &dealing.commitments {
+        push_ubig(&mut out, c);
+    }
+    out
+}
+
+/// Decodes a refresh-dealing payload. `None` on anything malformed —
+/// the payload came through atomic broadcast, so a Byzantine replica
+/// controls every byte.
+pub fn decode_dealing_payload(bytes: &[u8]) -> Option<(u64, RefreshDealing)> {
+    let mut pos = 0usize;
+    if take(bytes, &mut pos, DEALING_MAGIC.len())? != DEALING_MAGIC {
+        return None;
+    }
+    let epoch = u64::from_be_bytes(arr(bytes, &mut pos)?);
+    let dealer = usize::try_from(u32::from_be_bytes(arr(bytes, &mut pos)?)).ok()?;
+    let count = usize::try_from(u32::from_be_bytes(arr(bytes, &mut pos)?)).ok()?;
+    // Byte backing: each commitment costs at least its 4-byte length
+    // prefix, so a short buffer cannot demand a huge allocation.
+    if count > bytes.len().saturating_sub(pos) / 4 {
+        return None;
+    }
+    let mut commitments = Vec::with_capacity(count);
+    for _ in 0..count {
+        commitments.push(take_ubig(bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some((epoch, RefreshDealing { dealer, commitments }))
+}
+
+/// Encodes a scheduled re-signing proposal as an abcast payload:
+/// magic ‖ inception u32 ‖ expiration u32 — exactly 16 bytes.
+pub fn encode_resign_payload(inception: u32, expiration: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(RESIGN_MAGIC);
+    out.extend_from_slice(&inception.to_be_bytes());
+    out.extend_from_slice(&expiration.to_be_bytes());
+    out
+}
+
+/// Decodes a re-signing payload; `None` unless it is exactly the
+/// 16-byte magic ‖ inception ‖ expiration form.
+pub fn decode_resign_payload(bytes: &[u8]) -> Option<(u32, u32)> {
+    let mut pos = 0usize;
+    if take(bytes, &mut pos, RESIGN_MAGIC.len())? != RESIGN_MAGIC {
+        return None;
+    }
+    let inception = u32::from_be_bytes(arr(bytes, &mut pos)?);
+    let expiration = u32::from_be_bytes(arr(bytes, &mut pos)?);
+    if pos != bytes.len() {
+        return None;
+    }
+    Some((inception, expiration))
+}
+
+/// Whether an abcast payload belongs to the refresh subsystem (checked
+/// before `Envelope::decode`; an envelope's first eight bytes are a
+/// small client id, so the magics cannot collide with a real request).
+pub fn is_refresh_payload(bytes: &[u8]) -> bool {
+    bytes.starts_with(DEALING_MAGIC) || bytes.starts_with(RESIGN_MAGIC)
+}
+
+/// A versioned on-disk key share: everything needed to rebuild the
+/// signer after a restart that happened *after* an epoch applied but
+/// *before* any snapshot recorded it — the refreshed secret plus the
+/// full set of refreshed verification keys (the modulus, exponent and
+/// verification base never change across epochs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareFile {
+    /// The refresh epoch this share belongs to.
+    pub epoch: u64,
+    /// This server's 1-based share index.
+    pub index: usize,
+    /// The refreshed share secret.
+    pub secret: Ubig,
+    /// Refreshed verification keys `v'_1 … v'_n` (1-based order).
+    pub verification_keys: Vec<Ubig>,
+}
+
+impl ShareFile {
+    /// Serializes the share file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SHARE_MAGIC);
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&count32(self.index).to_be_bytes());
+        push_ubig(&mut out, &self.secret);
+        out.extend_from_slice(&count32(self.verification_keys.len()).to_be_bytes());
+        for vk in &self.verification_keys {
+            push_ubig(&mut out, vk);
+        }
+        out
+    }
+
+    /// Deserializes a share file; `None` on malformed bytes (a torn or
+    /// tampered file must fall back to the dealt keyfile, not panic).
+    pub fn decode(bytes: &[u8]) -> Option<ShareFile> {
+        let mut pos = 0usize;
+        if take(bytes, &mut pos, SHARE_MAGIC.len())? != SHARE_MAGIC {
+            return None;
+        }
+        let epoch = u64::from_be_bytes(arr(bytes, &mut pos)?);
+        let index = usize::try_from(u32::from_be_bytes(arr(bytes, &mut pos)?)).ok()?;
+        let secret = take_ubig(bytes, &mut pos)?;
+        let count = usize::try_from(u32::from_be_bytes(arr(bytes, &mut pos)?)).ok()?;
+        if count > bytes.len().saturating_sub(pos) / 4 {
+            return None;
+        }
+        let mut verification_keys = Vec::with_capacity(count);
+        for _ in 0..count {
+            verification_keys.push(take_ubig(bytes, &mut pos)?);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(ShareFile { epoch, index, secret, verification_keys })
+    }
+}
+
+/// Path of the versioned share file for `epoch` under `dir`.
+fn share_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("share-epoch-{epoch}.key"))
+}
+
+/// Parses an epoch out of a `share-epoch-<e>.key` filename.
+fn parse_share_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix("share-epoch-")?.strip_suffix(".key")?.parse().ok()
+}
+
+/// Atomically persists a refreshed share under its versioned filename,
+/// then prunes share files of older epochs. The write lands (fsync'd,
+/// renamed into place) *before* any old-epoch file is touched, so a
+/// crash between the two leaves at worst an extra stale file — never a
+/// missing current one.
+///
+/// # Errors
+///
+/// I/O errors from the atomic write. Pruning errors are swallowed: a
+/// leftover old-epoch file is harmless (loads ignore non-latest epochs).
+pub fn persist_share(dir: &Path, file: &ShareFile) -> std::io::Result<()> {
+    atomic_write(&share_path(dir, file.epoch), &file.encode())?;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if let Some(epoch) = name.to_str().and_then(parse_share_epoch) {
+                if epoch < file.epoch {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads the highest-epoch share file under `dir`, ignoring files that
+/// fail to decode (torn writes lose one epoch of refresh, not the key).
+pub fn load_latest_share(dir: &Path) -> Option<ShareFile> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<ShareFile> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if name.to_str().and_then(parse_share_epoch).is_none() {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(entry.path()) else { continue };
+        if let Some(file) = ShareFile::decode(&bytes) {
+            if best.as_ref().map_or(true, |b| file.epoch > b.epoch) {
+                best = Some(file);
+            }
+        }
+    }
+    best
+}
+
+/// Atomically persists the dealer's own pending secrets for `epoch`
+/// *before* the dealing is submitted to broadcast, so a dealer that
+/// crashes mid-refresh can still serve its points on restart.
+///
+/// # Errors
+///
+/// I/O errors from the atomic write.
+pub fn persist_pending(dir: &Path, epoch: u64, secrets: &RefreshSecrets) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(PENDING_MAGIC);
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(&count32(secrets.dealing.dealer).to_be_bytes());
+    out.extend_from_slice(&count32(secrets.dealing.commitments.len()).to_be_bytes());
+    for c in &secrets.dealing.commitments {
+        push_ubig(&mut out, c);
+    }
+    out.extend_from_slice(&count32(secrets.points.len()).to_be_bytes());
+    for p in &secrets.points {
+        push_ubig(&mut out, p);
+    }
+    atomic_write(&dir.join(PENDING_FILE), &out)
+}
+
+/// Loads the dealer's persisted pending secrets, if any.
+pub fn load_pending(dir: &Path) -> Option<(u64, RefreshSecrets)> {
+    let bytes = std::fs::read(dir.join(PENDING_FILE)).ok()?;
+    let mut pos = 0usize;
+    if take(&bytes, &mut pos, PENDING_MAGIC.len())? != PENDING_MAGIC {
+        return None;
+    }
+    let epoch = u64::from_be_bytes(arr(&bytes, &mut pos)?);
+    let dealer = usize::try_from(u32::from_be_bytes(arr(&bytes, &mut pos)?)).ok()?;
+    let n_commit = usize::try_from(u32::from_be_bytes(arr(&bytes, &mut pos)?)).ok()?;
+    if n_commit > bytes.len().saturating_sub(pos) / 4 {
+        return None;
+    }
+    let mut commitments = Vec::with_capacity(n_commit);
+    for _ in 0..n_commit {
+        commitments.push(take_ubig(&bytes, &mut pos)?);
+    }
+    let n_points = usize::try_from(u32::from_be_bytes(arr(&bytes, &mut pos)?)).ok()?;
+    if n_points > bytes.len().saturating_sub(pos) / 4 {
+        return None;
+    }
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        points.push(take_ubig(&bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some((epoch, RefreshSecrets { dealing: RefreshDealing { dealer, commitments }, points }))
+}
+
+/// One epoch's dealing collection in flight: dealings accumulate in
+/// abcast delivery order until `t + 1` distinct valid ones freeze the
+/// agreed set; points then arrive over the links and are verified
+/// lazily against the frozen commitments.
+#[derive(Debug, Clone)]
+pub struct PendingEpoch {
+    /// The epoch being agreed (current share epoch + 1).
+    pub epoch: u64,
+    /// Agreed dealings in abcast delivery order (deduped by dealer).
+    pub dealings: Vec<RefreshDealing>,
+    /// Whether the agreed set is frozen (`t + 1` dealings collected);
+    /// dealings delivered after the freeze are ignored.
+    pub frozen: bool,
+    /// Privately received points, keyed by 1-based dealer index.
+    /// Bounded by `n`: one slot per dealer, last write wins.
+    pub points: BTreeMap<usize, Ubig>,
+    /// Dealers whose stored point has verified against the commitments.
+    pub verified: BTreeSet<usize>,
+}
+
+impl PendingEpoch {
+    /// An empty collection for `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        PendingEpoch {
+            epoch,
+            dealings: Vec::new(),
+            frozen: false,
+            points: BTreeMap::new(),
+            verified: BTreeSet::new(),
+        }
+    }
+
+    /// Whether `dealer` already contributed a dealing to the set.
+    pub fn has_dealer(&self, dealer: usize) -> bool {
+        self.dealings.iter().any(|d| d.dealer == dealer)
+    }
+
+    /// Dealers in the frozen set whose point is still missing or
+    /// unverified — the targets of resend nags.
+    pub fn missing_points(&self) -> Vec<usize> {
+        self.dealings
+            .iter()
+            .map(|d| d.dealer)
+            .filter(|dealer| !self.verified.contains(dealer))
+            .collect()
+    }
+}
+
+/// The replica's proactive-recovery bookkeeping: the epoch timer, the
+/// deterministic signing-time clock, the pending epoch, this dealer's
+/// own secrets, the stale-share latch and the expiry scanner's state.
+#[derive(Debug)]
+pub struct RefreshState {
+    /// Configuration (immutable after construction).
+    pub cfg: RefreshCfg,
+    /// Deterministic signing-time clock in milliseconds (advances by
+    /// `cfg.clock_step_ms` per tick from the genesis SIG inception).
+    pub clock_ms: u64,
+    /// Clock value when the last refresh epoch applied.
+    pub last_refresh_clock_ms: Option<u64>,
+    /// Ticks since the last applied refresh (or since startup).
+    pub ticks_since_refresh: u64,
+    /// The epoch currently being agreed/applied, if any.
+    pub pending: Option<PendingEpoch>,
+    /// This replica's own dealt secrets, kept after application so late
+    /// resend requests can still be served: `(epoch, secrets)`.
+    pub my_secrets: Option<(u64, RefreshSecrets)>,
+    /// Latched when this replica detects it slept through an epoch; a
+    /// stale share must never sign, so the replica degrades read-only.
+    pub stale: bool,
+    /// Whether a re-signing proposal is already in the abcast pipeline
+    /// (cleared when the agreed proposal executes).
+    pub resign_inflight: bool,
+    /// Ticks since the last resend nag for missing points.
+    pub nag_ticks: u64,
+    /// Cached minimum SIG expiry: `(zone_epoch it was computed at,
+    /// seconds — 0 when the zone has no SIGs)`. Avoids a full zone scan
+    /// per stats mirror.
+    pub min_expiry: Option<(u64, u32)>,
+}
+
+impl RefreshState {
+    /// Fresh state with the signing-time clock seated at `clock_ms`.
+    pub fn new(cfg: RefreshCfg, clock_ms: u64) -> Self {
+        RefreshState {
+            cfg,
+            clock_ms,
+            last_refresh_clock_ms: None,
+            ticks_since_refresh: 0,
+            pending: None,
+            my_secrets: None,
+            stale: false,
+            resign_inflight: false,
+            nag_ticks: 0,
+            min_expiry: None,
+        }
+    }
+
+    /// The signing-time clock in whole seconds (SIG windows are u32
+    /// epoch seconds).
+    pub fn clock_s(&self) -> u32 {
+        u32::try_from(self.clock_ms / 1000).unwrap_or(u32::MAX)
+    }
+}
+
+/// Saturating usize→u32 for length prefixes; a saturated count never
+/// round-trips (decode demands byte backing), so it cannot masquerade
+/// as valid.
+fn count32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+fn push_ubig(out: &mut Vec<u8>, v: &Ubig) {
+    let bytes = v.to_bytes_be();
+    out.extend_from_slice(&count32(bytes.len()).to_be_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    let s = bytes.get(*pos..end)?;
+    *pos = end;
+    Some(s)
+}
+
+fn arr<const N: usize>(bytes: &[u8], pos: &mut usize) -> Option<[u8; N]> {
+    take(bytes, pos, N)?.try_into().ok()
+}
+
+fn take_ubig(bytes: &[u8], pos: &mut usize) -> Option<Ubig> {
+    let len = usize::try_from(u32::from_be_bytes(arr(bytes, pos)?)).ok()?;
+    Some(Ubig::from_bytes_be(take(bytes, pos, len)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dealing() -> RefreshDealing {
+        RefreshDealing {
+            dealer: 3,
+            commitments: vec![Ubig::from(0xDEADBEEFu64), Ubig::from(7u64)],
+        }
+    }
+
+    #[test]
+    fn dealing_payload_roundtrip() {
+        let d = sample_dealing();
+        let bytes = encode_dealing_payload(5, &d);
+        assert!(is_refresh_payload(&bytes));
+        assert_eq!(decode_dealing_payload(&bytes), Some((5, d)));
+    }
+
+    #[test]
+    fn dealing_payload_rejects_malformed() {
+        let d = sample_dealing();
+        let good = encode_dealing_payload(5, &d);
+        assert_eq!(decode_dealing_payload(b""), None);
+        assert_eq!(decode_dealing_payload(b"SDNSRFR1"), None);
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(decode_dealing_payload(&trailing), None);
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 1);
+        assert_eq!(decode_dealing_payload(&truncated), None);
+        // A count the bytes cannot back fails fast without allocating.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(DEALING_MAGIC);
+        evil.extend_from_slice(&1u64.to_be_bytes());
+        evil.extend_from_slice(&1u32.to_be_bytes());
+        evil.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        assert_eq!(decode_dealing_payload(&evil), None);
+    }
+
+    #[test]
+    fn resign_payload_roundtrip() {
+        let bytes = encode_resign_payload(100, 200);
+        assert_eq!(bytes.len(), 16);
+        assert!(is_refresh_payload(&bytes));
+        assert_eq!(decode_resign_payload(&bytes), Some((100, 200)));
+        assert_eq!(decode_resign_payload(&bytes[..15]), None);
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(decode_resign_payload(&trailing), None);
+    }
+
+    #[test]
+    fn share_file_roundtrip_and_rejects() {
+        let f = ShareFile {
+            epoch: 9,
+            index: 2,
+            secret: Ubig::from(0x1234_5678_9ABCu64),
+            verification_keys: vec![Ubig::from(11u64), Ubig::from(22u64), Ubig::from(33u64)],
+        };
+        let bytes = f.encode();
+        assert_eq!(ShareFile::decode(&bytes), Some(f.clone()));
+        assert_eq!(ShareFile::decode(b""), None);
+        assert_eq!(ShareFile::decode(&bytes[..bytes.len() - 1]), None);
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(ShareFile::decode(&trailing), None);
+    }
+
+    #[test]
+    fn share_files_persist_versioned_and_pruned() {
+        let dir = tempdir();
+        let mk = |epoch| ShareFile {
+            epoch,
+            index: 1,
+            secret: Ubig::from(epoch),
+            verification_keys: vec![Ubig::from(epoch + 100)],
+        };
+        persist_share(&dir, &mk(1)).unwrap();
+        persist_share(&dir, &mk(2)).unwrap();
+        // Older epoch pruned, latest loads back.
+        assert!(!share_path(&dir, 1).exists());
+        assert_eq!(load_latest_share(&dir), Some(mk(2)));
+        // A torn (corrupt) higher-epoch file is ignored, not fatal.
+        std::fs::write(share_path(&dir, 3), b"garbage").unwrap();
+        assert_eq!(load_latest_share(&dir), Some(mk(2)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pending_secrets_roundtrip() {
+        let dir = tempdir();
+        assert!(load_pending(&dir).is_none());
+        let secrets = RefreshSecrets {
+            dealing: sample_dealing(),
+            points: vec![Ubig::from(1u64), Ubig::from(2u64), Ubig::from(3u64), Ubig::from(4u64)],
+        };
+        persist_pending(&dir, 7, &secrets).unwrap();
+        let (epoch, loaded) = load_pending(&dir).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(loaded.dealing, secrets.dealing);
+        assert_eq!(loaded.points, secrets.points);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pending_epoch_tracks_missing_points() {
+        let mut p = PendingEpoch::new(1);
+        p.dealings.push(RefreshDealing { dealer: 1, commitments: vec![] });
+        p.dealings.push(RefreshDealing { dealer: 3, commitments: vec![] });
+        assert!(p.has_dealer(3));
+        assert!(!p.has_dealer(2));
+        assert_eq!(p.missing_points(), vec![1, 3]);
+        p.verified.insert(1);
+        assert_eq!(p.missing_points(), vec![3]);
+    }
+
+    #[test]
+    fn clock_seconds_saturate() {
+        let mut s = RefreshState::new(RefreshCfg::default(), 5_000);
+        assert_eq!(s.clock_s(), 5);
+        s.clock_ms = u64::MAX;
+        assert_eq!(s.clock_s(), u32::MAX);
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sdns-refresh-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -24,12 +24,19 @@ use sdns_abcast::{Action as NetAction, AtomicBroadcast, Group, HashCoin, Replica
 use sdns_bigint::Ubig;
 use sdns_crypto::pkcs1::HashAlg;
 use sdns_crypto::protocol::{SigAction, SigMessage, SigProtocol, SigningSession};
+use sdns_crypto::threshold::refresh::{
+    create_dealing, refresh_public_key, refresh_share, verify_dealing, verify_point,
+    RefreshDealing,
+};
 use sdns_crypto::threshold::{KeyShare, ThresholdPublicKey};
-use sdns_dns::sign::{install_signature, plan_update_resign, LocalSigner, SigMeta, SigTask};
+use sdns_dns::sign::{
+    install_signature, min_sig_expiry, plan_expiry_resign, plan_update_resign, LocalSigner,
+    SigMeta, SigTask,
+};
 use sdns_dns::tsig::{verify_message, TsigKeyring};
 use sdns_dns::update::apply_update;
 use sdns_dns::zone::QueryResult;
-use sdns_dns::{Message, Opcode, Rcode, RecordType, Zone};
+use sdns_dns::{Message, Opcode, RData, Rcode, RecordType, Zone};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -116,6 +123,33 @@ pub enum ReplicaEvent {
         /// Whether the mode is now active.
         active: bool,
     },
+    /// A proactive-refresh epoch froze its agreed dealing set at this
+    /// replica; execution now waits behind the epoch barrier until
+    /// every private point verifies.
+    RefreshStarted {
+        /// The epoch being agreed (current share epoch + 1).
+        epoch: u64,
+    },
+    /// A proactive-refresh epoch applied: the share and verification
+    /// keys swapped to the new epoch (persisted first).
+    RefreshApplied {
+        /// The share epoch now in effect.
+        epoch: u64,
+    },
+    /// This replica detected it slept through one or more refresh
+    /// epochs: its share is stale and must never sign again, so it
+    /// latches degraded read-only mode.
+    ShareStale {
+        /// The epoch the group reached.
+        expected: u64,
+        /// The epoch this replica's share is at.
+        have: u64,
+    },
+    /// An agreed scheduled re-signing pass planned its tasks.
+    ResignPlanned {
+        /// How many RRsets the pass re-signs.
+        tasks: usize,
+    },
 }
 
 /// The signing capability of the zone at this replica.
@@ -140,11 +174,37 @@ enum Signer {
 /// An update whose re-signing is in progress.
 #[derive(Debug)]
 struct ActiveUpdate {
-    envelope: Envelope,
-    response: Message,
+    /// The client to answer when the last task completes; `None` for
+    /// internally scheduled passes (expiry re-signing) that have no
+    /// client.
+    reply: Option<(Envelope, Message)>,
     tasks: Vec<SigTask>,
     next_task: usize,
     base_session: u64,
+}
+
+/// One queued unit of execution: a client request, an agreed scheduled
+/// re-signing pass, or a refresh-epoch barrier.
+#[derive(Debug)]
+enum ExecItem {
+    /// A client request delivered by atomic broadcast.
+    Request(Envelope),
+    /// An agreed scheduled re-signing pass (SIG-expiry maintenance).
+    Resign {
+        /// Fresh SIG inception (epoch seconds).
+        inception: u32,
+        /// Fresh SIG expiration (epoch seconds).
+        expiration: u32,
+    },
+    /// A refresh-epoch barrier: the agreed dealing set for `epoch` is
+    /// frozen at this point of the total order; execution stops here
+    /// until every private point verifies and the share swaps, so all
+    /// replicas order signing sessions against share epochs
+    /// identically.
+    RefreshBarrier {
+        /// The epoch being applied.
+        epoch: u64,
+    },
 }
 
 /// Shared configuration for building a replica group.
@@ -171,6 +231,9 @@ pub struct ReplicaSetup {
     /// Overload-protection knobs (admission bounds, watchdog and
     /// liveness timers, buffer caps).
     pub overload: OverloadConfig,
+    /// Proactive-recovery knobs (refresh-epoch timer, signing-time
+    /// clock, SIG-expiry scanner). The all-zero default disables both.
+    pub refresh: crate::refresh::RefreshCfg,
 }
 
 /// One replica of the secure distributed name service.
@@ -188,7 +251,7 @@ pub struct Replica {
     keyring: Option<TsigKeyring>,
     abcast: AtomicBroadcast<HashCoin>,
     executed: HashSet<(usize, u64)>,
-    exec_queue: VecDeque<Envelope>,
+    exec_queue: VecDeque<ExecItem>,
     active: Option<ActiveUpdate>,
     sessions: HashMap<u64, SigningSession>,
     /// Signing traffic for sessions this replica has not started yet
@@ -229,6 +292,9 @@ pub struct Replica {
     zone_epoch: u64,
     /// Lazily (re)built read-optimized zone view at `zone_epoch`.
     read_view: Option<std::sync::Arc<crate::readplane::ReadZone>>,
+    /// Proactive-recovery bookkeeping (refresh epochs, signing clock,
+    /// SIG-expiry scanner).
+    refresh: crate::refresh::RefreshState,
     rng: StdRng,
 }
 
@@ -297,6 +363,10 @@ impl Replica {
             durability: None,
             zone_epoch: 0,
             read_view: None,
+            refresh: crate::refresh::RefreshState::new(
+                setup.refresh,
+                u64::from(setup.sig_meta.inception).saturating_mul(1000),
+            ),
             rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ me as u64),
         }
     }
@@ -444,6 +514,11 @@ impl Replica {
         let mut out = Vec::new();
         let disk = durability.take_recovered();
         self.durability = Some(durability);
+        // Restore the refreshed share lifecycle BEFORE replaying the
+        // WAL: a versioned share file from a later epoch means the
+        // crash happened after that epoch applied, so replayed dealings
+        // of applied epochs must see the restored epoch and no-op.
+        self.restore_share_files();
         let Some(disk) = disk else { return out };
 
         // Rebuild the broadcast frontier: the snapshot's round + id set,
@@ -466,6 +541,16 @@ impl Replica {
             self.zone_dirtied();
             self.executed = snap.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
             self.update_counter = snap.update_counter;
+            // The SIG window is replicated state (scheduled re-signing
+            // moves it); re-derive it from the adopted zone so replayed
+            // and future signing passes use the same window everywhere.
+            self.adopt_sig_meta_from_zone();
+            if snap.key_epoch > self.key_epoch() {
+                // The snapshot was taken after an epoch this replica's
+                // share never reached: the share is stale.
+                let have = self.key_epoch();
+                self.mark_share_stale(snap.key_epoch, have, &mut out);
+            }
         }
         let from_snapshot = disk.snapshot.is_some();
         if from_snapshot || !replay_data.is_empty() {
@@ -518,15 +603,25 @@ impl Replica {
         crate::snapshot::ReplicaSnapshot {
             round,
             update_counter: self.update_counter,
+            key_epoch: self.key_epoch(),
             executed: crate::snapshot::executed_to_wire(&self.executed),
             delivered_ids,
             zone: self.zone.clone(),
         }
     }
 
-    /// Whether the execution pipeline is idle (safe to snapshot).
+    /// Whether the execution pipeline is idle (safe to snapshot). A
+    /// pending refresh epoch with collected dealings blocks snapshots:
+    /// compacting the WAL past a dealing delivery would lose it, and
+    /// atomic broadcast never re-delivers.
     fn is_idle(&self) -> bool {
-        self.active.is_none() && self.exec_queue.is_empty()
+        self.active.is_none()
+            && self.exec_queue.is_empty()
+            && self
+                .refresh
+                .pending
+                .as_ref()
+                .map_or(true, |p| p.dealings.is_empty())
     }
 
     /// Answers deferred state requests once idle.
@@ -562,8 +657,19 @@ impl Replica {
         self.zone_dirtied();
         self.executed = state.executed.iter().map(|(c, r)| (*c as usize, *r)).collect();
         self.update_counter = state.update_counter;
+        self.adopt_sig_meta_from_zone();
+        if state.key_epoch > self.key_epoch() {
+            // The group refreshed past this replica's share while it was
+            // down: state transfer restores the zone but cannot restore
+            // the private share, so this replica serves read-only with
+            // the adopted (fully signed) zone until re-keyed.
+            let have = self.key_epoch();
+            self.mark_share_stale(state.key_epoch, have, out);
+        }
         self.abcast.import_state(state.round, state.delivered_ids);
         self.exec_queue.clear();
+        self.refresh.pending = None;
+        self.refresh.resign_inflight = false;
         self.active = None;
         self.sessions.clear();
         self.early_signing.clear();
@@ -691,6 +797,18 @@ impl Replica {
                 // Liveness heartbeat: the `heard` above is its whole
                 // effect.
             }
+            ReplicaMsg::RefreshPoint { epoch, point } => {
+                if from >= self.group.n() {
+                    return out; // clients cannot speak the replica protocol
+                }
+                self.on_refresh_point(from, epoch, point, &mut out);
+            }
+            ReplicaMsg::RefreshResend { epoch } => {
+                if from >= self.group.n() {
+                    return out;
+                }
+                self.on_refresh_resend(from, epoch, &mut out);
+            }
             ReplicaMsg::ClientResponse { .. }
             | ReplicaMsg::Tick
             | ReplicaMsg::Seq { .. }
@@ -718,6 +836,8 @@ impl Replica {
                         | ReplicaMsg::Signing { .. }
                         | ReplicaMsg::StateRequest
                         | ReplicaMsg::StateResponse { .. }
+                        | ReplicaMsg::RefreshPoint { .. }
+                        | ReplicaMsg::RefreshResend { .. }
                 );
                 if eligible && *to != self.me && *to < self.group.n() {
                     let inner = std::mem::replace(msg, ReplicaMsg::Tick);
@@ -822,6 +942,24 @@ impl Replica {
     /// Queues a delivered payload for execution (shared by the live path
     /// and WAL replay, which must not re-log its own frames).
     fn enqueue_delivery(&mut self, round: u64, data: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+        // Refresh-subsystem payloads are discriminated by magic before
+        // envelope decoding. An envelope's first eight bytes are a small
+        // client node id, so the magics cannot collide with a request;
+        // clients cannot inject raw payloads (gateways wrap requests in
+        // envelopes), and a Byzantine *replica* submitting forged
+        // payloads is in-model: dealings are verified structurally and
+        // pointwise, and a forged re-sign proposal fails its agreement
+        // checks or at worst triggers a benign early re-signing pass.
+        if crate::refresh::is_refresh_payload(&data) {
+            if let Some((epoch, dealing)) = crate::refresh::decode_dealing_payload(&data) {
+                self.on_dealing_delivered(epoch, dealing, out);
+            } else if let Some((inception, expiration)) =
+                crate::refresh::decode_resign_payload(&data)
+            {
+                self.exec_queue.push_back(ExecItem::Resign { inception, expiration });
+            }
+            return;
+        }
         let Some(envelope) = Envelope::decode(&data) else {
             return; // Byzantine garbage, identically dropped everywhere
         };
@@ -838,7 +976,7 @@ impl Replica {
             self.shed_update(&envelope, ShedReason::RoundBudget, out);
             return;
         }
-        self.exec_queue.push_back(envelope);
+        self.exec_queue.push_back(ExecItem::Request(envelope));
     }
 
     /// Sheds an update: emits the shed event and answers the client with
@@ -866,10 +1004,28 @@ impl Replica {
         true
     }
 
-    /// Executes queued requests until one blocks on distributed signing.
+    /// Executes queued requests until one blocks on distributed signing
+    /// or an unapplied refresh-epoch barrier.
     fn try_execute(&mut self, out: &mut Vec<ReplicaAction>) {
         while self.active.is_none() {
-            let Some(envelope) = self.exec_queue.pop_front() else { return };
+            let Some(item) = self.exec_queue.pop_front() else { return };
+            let envelope = match item {
+                ExecItem::Request(envelope) => envelope,
+                ExecItem::Resign { inception, expiration } => {
+                    self.execute_resign(inception, expiration, out);
+                    continue;
+                }
+                ExecItem::RefreshBarrier { epoch } => {
+                    if self.try_apply_refresh(epoch, out) {
+                        continue;
+                    }
+                    // Points still missing or unverified: everything
+                    // behind the barrier waits (all replicas stop at the
+                    // same position of the total order).
+                    self.exec_queue.push_front(ExecItem::RefreshBarrier { epoch });
+                    return;
+                }
+            };
             self.gateway_inflight.remove(&envelope.dedup_key());
             if !self.executed.insert(envelope.dedup_key()) {
                 continue; // duplicate submission via another gateway
@@ -992,8 +1148,7 @@ impl Replica {
                 self.update_counter += 1;
                 let base_session = self.update_counter * MAX_TASKS_PER_UPDATE;
                 self.active = Some(ActiveUpdate {
-                    envelope,
-                    response,
+                    reply: Some((envelope, response)),
                     tasks,
                     next_task: 0,
                     base_session,
@@ -1170,12 +1325,14 @@ impl Replica {
             self.finished
                 .advance_watermark(active.base_session.saturating_add(MAX_TASKS_PER_UPDATE));
             self.early_signing.drop_below(self.finished.watermark());
-            let key = active.envelope.dedup_key();
-            out.push(ReplicaAction::Event(ReplicaEvent::Executed {
-                key,
-                rcode: active.response.rcode,
-            }));
-            self.respond(&active.envelope, active.response, out);
+            if let Some((envelope, response)) = active.reply {
+                let key = envelope.dedup_key();
+                out.push(ReplicaAction::Event(ReplicaEvent::Executed {
+                    key,
+                    rcode: response.rcode,
+                }));
+                self.respond(&envelope, response, out);
+            }
             self.try_execute(out);
         }
     }
@@ -1230,6 +1387,7 @@ impl Replica {
         if self.active.is_some() && self.watchdog.on_tick() {
             self.on_watchdog_fire(out);
         }
+        self.refresh_tick(out);
     }
 
     /// Re-evaluates degraded read-only mode: active when fewer than
@@ -1240,7 +1398,10 @@ impl Replica {
         let quorum_ok = !self.liveness.enabled()
             || self.liveness.alive(self.me) >= self.group.n().saturating_sub(self.group.t());
         let durable_ok = !self.durability.as_ref().is_some_and(|d| d.is_degraded());
-        let degraded = !quorum_ok || !durable_ok;
+        // A stale share latches degradation permanently: signing with a
+        // pre-refresh share would hand the mobile adversary the very
+        // cross-epoch material the refresh erased.
+        let degraded = !quorum_ok || !durable_ok || self.refresh.stale;
         if degraded != self.read_only {
             self.read_only = degraded;
             out.push(ReplicaAction::Event(ReplicaEvent::ReadOnly { active: degraded }));
@@ -1277,6 +1438,498 @@ impl Replica {
             let actions = session.on_message(self.me + 1, SigMessage::Resend, &mut self.rng);
             self.emit_signing(session_id, actions, out);
         }
+    }
+
+    /// The threshold-share refresh epoch this replica's share is at
+    /// (0 for local/unsigned signers and before any refresh).
+    pub fn key_epoch(&self) -> u64 {
+        match &self.signer {
+            Signer::Threshold { share, .. } => share.epoch(),
+            _ => 0,
+        }
+    }
+
+    /// This replica's threshold key share (test instrumentation: the
+    /// chaos harness captures shares across epochs to prove cross-epoch
+    /// sets never assemble).
+    pub fn key_share(&self) -> Option<&KeyShare> {
+        match &self.signer {
+            Signer::Threshold { share, .. } => Some(share),
+            _ => None,
+        }
+    }
+
+    /// The deterministic signing-time clock, in milliseconds.
+    pub fn refresh_clock_ms(&self) -> u64 {
+        self.refresh.clock_ms
+    }
+
+    /// Signing-clock timestamp (ms) of the last applied refresh epoch;
+    /// 0 if no refresh has applied yet.
+    pub fn last_refresh_ms(&self) -> u64 {
+        self.refresh.last_refresh_clock_ms.unwrap_or(0)
+    }
+
+    /// Whether this replica latched the stale-share condition.
+    pub fn share_stale(&self) -> bool {
+        self.refresh.stale
+    }
+
+    /// The earliest SIG expiration in the zone (epoch seconds; 0 for a
+    /// zone without SIGs), cached per zone epoch so stats mirrors do not
+    /// rescan an unchanged zone.
+    pub fn min_sig_expiry_s(&mut self) -> u32 {
+        match self.refresh.min_expiry {
+            Some((epoch, v)) if epoch == self.zone_epoch => v,
+            _ => {
+                let v = min_sig_expiry(&self.zone).unwrap_or(0);
+                self.refresh.min_expiry = Some((self.zone_epoch, v));
+                v
+            }
+        }
+    }
+
+    /// Re-derives the SIG validity window from the zone's SOA SIG. The
+    /// window is replicated state (scheduled re-signing advances it),
+    /// but snapshots carry only the zone — and every signing pass
+    /// (updates and expiry re-signing alike) re-signs the SOA with the
+    /// current window, so the SOA SIG always reflects it.
+    fn adopt_sig_meta_from_zone(&mut self) {
+        let origin = self.zone.origin().clone();
+        let Some(sigs) = self.zone.sig_for(&origin, RecordType::Soa) else { return };
+        if let Some(RData::Sig(s)) = sigs.first().map(|r| &r.rdata) {
+            self.sig_meta.inception = s.inception;
+            self.sig_meta.expiration = s.expiration;
+        }
+    }
+
+    /// Restores the crash-safe share lifecycle from the state directory:
+    /// adopts the highest-epoch versioned share file (written *before*
+    /// the in-memory swap, so its presence proves the epoch applied) and
+    /// this dealer's persisted pending secrets (written *before* the
+    /// dealing was submitted, so a restarted dealer still serves its
+    /// points).
+    fn restore_share_files(&mut self) {
+        let Some(dir) = self.durability.as_ref().map(|d| d.dir().to_path_buf()) else {
+            return;
+        };
+        if let Some(file) = crate::refresh::load_latest_share(&dir) {
+            if let Signer::Threshold { pk, share, .. } = &mut self.signer {
+                if file.epoch > share.epoch()
+                    && file.index == share.index()
+                    && file.verification_keys.len() == pk.parties()
+                {
+                    *pk = Arc::new(ThresholdPublicKey::from_parts(
+                        pk.parties(),
+                        pk.threshold(),
+                        pk.modulus().clone(),
+                        pk.exponent().clone(),
+                        pk.verification_base().clone(),
+                        file.verification_keys,
+                    ));
+                    *share = KeyShare::from_parts_at_epoch(file.index, file.secret, file.epoch);
+                }
+            }
+        }
+        if let Some((epoch, secrets)) = crate::refresh::load_pending(&dir) {
+            let current = self.key_epoch();
+            if epoch == current || epoch == current.saturating_add(1) {
+                self.refresh.my_secrets = Some((epoch, secrets));
+            }
+        }
+    }
+
+    /// Latches the stale-share condition: this replica's share belongs
+    /// to a retired epoch (it slept through one or more refreshes), so
+    /// it must never sign again and degrades read-only.
+    fn mark_share_stale(&mut self, expected: u64, have: u64, out: &mut Vec<ReplicaAction>) {
+        if self.refresh.stale || !matches!(self.signer, Signer::Threshold { .. }) {
+            return;
+        }
+        self.refresh.stale = true;
+        out.push(ReplicaAction::Event(ReplicaEvent::ShareStale { expected, have }));
+        self.refresh_degraded(out);
+    }
+
+    /// A refresh dealing came out of atomic broadcast: collect it into
+    /// the pending epoch (deduped by dealer, structurally verified), and
+    /// freeze the agreed set at `t + 1` dealings — every replica sees
+    /// the same delivery order, so every replica freezes the same set.
+    fn on_dealing_delivered(
+        &mut self,
+        epoch: u64,
+        dealing: RefreshDealing,
+        out: &mut Vec<ReplicaAction>,
+    ) {
+        let current = match &self.signer {
+            Signer::Threshold { share, .. } => share.epoch(),
+            _ => return,
+        };
+        if epoch <= current {
+            return; // already applied (WAL replay of a finished epoch)
+        }
+        if epoch != current.saturating_add(1) {
+            self.mark_share_stale(epoch, current, out);
+            return;
+        }
+        let valid = match &self.signer {
+            Signer::Threshold { pk, .. } => verify_dealing(pk, &dealing),
+            _ => false,
+        };
+        if !valid {
+            return; // Byzantine dealing, identically dropped everywhere
+        }
+        let quorum = self.group.one_honest();
+        let pending = self
+            .refresh
+            .pending
+            .get_or_insert_with(|| crate::refresh::PendingEpoch::new(epoch));
+        if pending.epoch != epoch || pending.frozen || pending.has_dealer(dealing.dealer) {
+            return;
+        }
+        pending.dealings.push(dealing);
+        if pending.dealings.len() >= quorum {
+            pending.frozen = true;
+            out.push(ReplicaAction::Event(ReplicaEvent::RefreshStarted { epoch }));
+            self.exec_queue.push_back(ExecItem::RefreshBarrier { epoch });
+        }
+    }
+
+    /// Attempts to apply the frozen epoch at its barrier: seeds this
+    /// dealer's own point, verifies each received point against its
+    /// dealing's commitments (discarding forgeries so a resend can
+    /// replace them), and — once every agreed dealing has a verified
+    /// point — persists the new-epoch share file *before* swapping the
+    /// in-memory share and verification keys. Returns whether the
+    /// barrier may be removed.
+    fn try_apply_refresh(&mut self, epoch: u64, out: &mut Vec<ReplicaAction>) -> bool {
+        let me = self.me;
+        let (new_share, new_pk) = {
+            let Signer::Threshold { pk, share, .. } = &self.signer else {
+                return true; // barrier without threshold signing: drop it
+            };
+            if share.epoch() >= epoch {
+                return true; // already applied
+            }
+            let Some(pending) = self.refresh.pending.as_mut() else {
+                return true; // cleared by state adoption; barrier is moot
+            };
+            if pending.epoch != epoch || !pending.frozen {
+                return true;
+            }
+            // Our own point never crosses the network.
+            if let Some((secret_epoch, secrets)) = &self.refresh.my_secrets {
+                if *secret_epoch == epoch
+                    && secrets.dealing.dealer == me + 1
+                    && pending.has_dealer(me + 1)
+                    && !pending.points.contains_key(&(me + 1))
+                {
+                    if let Some(point) = secrets.points.get(me) {
+                        pending.points.insert(me + 1, point.clone());
+                    }
+                }
+            }
+            // Lazy verification: check stored points once, drop failures
+            // so the nag machinery re-fetches them.
+            let checks: Vec<(usize, Option<bool>)> = pending
+                .dealings
+                .iter()
+                .filter(|d| !pending.verified.contains(&d.dealer))
+                .map(|d| {
+                    let ok = pending
+                        .points
+                        .get(&d.dealer)
+                        .map(|point| verify_point(pk, d, me + 1, point));
+                    (d.dealer, ok)
+                })
+                .collect();
+            for (dealer, ok) in checks {
+                match ok {
+                    Some(true) => {
+                        pending.verified.insert(dealer);
+                    }
+                    Some(false) => {
+                        pending.points.remove(&dealer);
+                    }
+                    None => {}
+                }
+            }
+            let received: Vec<(RefreshDealing, Ubig)> = pending
+                .dealings
+                .iter()
+                .filter(|d| pending.verified.contains(&d.dealer))
+                .filter_map(|d| pending.points.get(&d.dealer).map(|p| (d.clone(), p.clone())))
+                .collect();
+            if received.len() != pending.dealings.len() {
+                return false; // points still missing: stay at the barrier
+            }
+            let dealings: Vec<RefreshDealing> =
+                received.iter().map(|(d, _)| d.clone()).collect();
+            (refresh_share(share, &received), refresh_public_key(pk, &dealings))
+        };
+        // Persist the new epoch BEFORE retiring the old share: a crash
+        // between the write and the swap re-adopts the file on restart.
+        let share_file = crate::refresh::ShareFile {
+            epoch,
+            index: new_share.index(),
+            secret: new_share.secret().clone(),
+            verification_keys: (1..=new_pk.parties())
+                .map(|j| new_pk.verification_key(j).clone())
+                .collect(),
+        };
+        if let Some(dir) = self.durability.as_ref().map(|d| d.dir().to_path_buf()) {
+            if crate::refresh::persist_share(&dir, &share_file).is_err() {
+                out.push(ReplicaAction::Event(ReplicaEvent::DurabilityDegraded));
+            }
+        }
+        if let Signer::Threshold { pk, share, .. } = &mut self.signer {
+            *share = new_share;
+            *pk = Arc::new(new_pk);
+        }
+        // `my_secrets` is kept: a slow peer may still nag for its point.
+        self.refresh.pending = None;
+        self.refresh.ticks_since_refresh = 0;
+        self.refresh.last_refresh_clock_ms = Some(self.refresh.clock_ms);
+        out.push(ReplicaAction::Event(ReplicaEvent::RefreshApplied { epoch }));
+        true
+    }
+
+    /// A peer delivered its private refresh point for this replica.
+    fn on_refresh_point(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        point: Ubig,
+        out: &mut Vec<ReplicaAction>,
+    ) {
+        let current = match &self.signer {
+            Signer::Threshold { share, .. } => share.epoch(),
+            _ => return,
+        };
+        if epoch != current.saturating_add(1) {
+            return; // not the epoch being agreed
+        }
+        let pending = self
+            .refresh
+            .pending
+            .get_or_insert_with(|| crate::refresh::PendingEpoch::new(epoch));
+        if pending.epoch != epoch {
+            return;
+        }
+        // One slot per dealer (last write wins), so a flooder cannot
+        // grow the map past `n`; re-verification happens at the barrier.
+        pending.points.insert(from + 1, point);
+        pending.verified.remove(&(from + 1));
+        self.try_execute(out);
+    }
+
+    /// A peer asks for this dealer's point again (lost or failed
+    /// verification). Served from the persisted dealing secrets,
+    /// rate-limited per peer per tick like signing resends.
+    fn on_refresh_resend(&mut self, from: NodeId, epoch: u64, out: &mut Vec<ReplicaAction>) {
+        if self.corruption.is_corrupted() || !self.resend_budget.allow(from) {
+            return;
+        }
+        let Some((secret_epoch, secrets)) = &self.refresh.my_secrets else { return };
+        if *secret_epoch != epoch {
+            return;
+        }
+        let Some(point) = secrets.points.get(from) else { return };
+        out.push(ReplicaAction::Send {
+            to: from,
+            msg: ReplicaMsg::RefreshPoint { epoch, point: point.clone() },
+        });
+    }
+
+    /// Deals the next refresh epoch: creates (or re-uses, after a
+    /// restart) this replica's dealing, persists the secrets *before*
+    /// anything leaves this process, sends each peer its private point,
+    /// and submits the public dealing to atomic broadcast.
+    fn start_refresh_epoch(&mut self, out: &mut Vec<ReplicaAction>) {
+        let target = match &self.signer {
+            Signer::Threshold { share, .. } => share.epoch().saturating_add(1),
+            _ => return,
+        };
+        let reuse = self
+            .refresh
+            .my_secrets
+            .as_ref()
+            .filter(|(e, _)| *e == target)
+            .map(|(_, s)| s.clone());
+        let secrets = match reuse {
+            Some(s) => s,
+            None => {
+                let Signer::Threshold { pk, .. } = &self.signer else { return };
+                create_dealing(pk, self.me + 1, &mut self.rng)
+            }
+        };
+        if let Some(dir) = self.durability.as_ref().map(|d| d.dir().to_path_buf()) {
+            if crate::refresh::persist_pending(&dir, target, &secrets).is_err() {
+                out.push(ReplicaAction::Event(ReplicaEvent::DurabilityDegraded));
+            }
+        }
+        for to in 0..self.group.n() {
+            if to == self.me {
+                continue;
+            }
+            if let Some(point) = secrets.points.get(to) {
+                out.push(ReplicaAction::Send {
+                    to,
+                    msg: ReplicaMsg::RefreshPoint { epoch: target, point: point.clone() },
+                });
+            }
+        }
+        let payload = crate::refresh::encode_dealing_payload(target, &secrets.dealing);
+        self.refresh.my_secrets = Some((target, secrets));
+        self.refresh.ticks_since_refresh = 0;
+        self.submit_payload(payload, out);
+    }
+
+    /// Tick-driven proactive recovery: advances the signing-time clock,
+    /// nags for missing refresh points, starts refresh epochs on the
+    /// configured interval, and proposes scheduled re-signing when the
+    /// zone's SIG window sinks below the horizon. Inert with the
+    /// default (all-zero) [`crate::refresh::RefreshCfg`].
+    fn refresh_tick(&mut self, out: &mut Vec<ReplicaAction>) {
+        self.refresh.clock_ms =
+            self.refresh.clock_ms.saturating_add(self.refresh.cfg.clock_step_ms);
+        self.refresh.ticks_since_refresh = self.refresh.ticks_since_refresh.saturating_add(1);
+        if self.refresh.stale {
+            return; // a stale share neither deals nor re-signs
+        }
+        // Nag dealers whose point is missing or failed verification.
+        self.refresh.nag_ticks = self.refresh.nag_ticks.saturating_add(1);
+        if self.refresh.nag_ticks >= 4 {
+            self.refresh.nag_ticks = 0;
+            let nags: Vec<(usize, u64)> = match &self.refresh.pending {
+                Some(p) if p.frozen => p
+                    .missing_points()
+                    .into_iter()
+                    .filter(|dealer| *dealer != self.me + 1)
+                    .map(|dealer| (dealer - 1, p.epoch))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            for (to, epoch) in nags {
+                out.push(ReplicaAction::Send { to, msg: ReplicaMsg::RefreshResend { epoch } });
+            }
+        }
+        // Epoch timer.
+        if matches!(self.signer, Signer::Threshold { .. })
+            && self.refresh.cfg.interval_ticks > 0
+            && !self.read_only
+            && self.refresh.pending.is_none()
+            && self.refresh.ticks_since_refresh >= self.refresh.cfg.interval_ticks
+        {
+            self.start_refresh_epoch(out);
+        }
+        // SIG-expiry scanner: propose a re-signing pass through the
+        // normal ordered path. Any replica may propose; the agreed
+        // executions deduplicate deterministically.
+        if self.refresh.cfg.sig_horizon_s > 0
+            && self.refresh.cfg.sig_validity_s > 0
+            && !self.read_only
+            && !self.refresh.resign_inflight
+            && !matches!(self.signer, Signer::None)
+        {
+            let clock_s = self.refresh.clock_s();
+            let min = self.min_sig_expiry_s();
+            if min > 0
+                && min <= clock_s.saturating_add(self.refresh.cfg.sig_horizon_s)
+                && clock_s > self.sig_meta.inception
+            {
+                self.refresh.resign_inflight = true;
+                let expiration = clock_s.saturating_add(self.refresh.cfg.sig_validity_s);
+                let payload = crate::refresh::encode_resign_payload(clock_s, expiration);
+                self.submit_payload(payload, out);
+            }
+        }
+    }
+
+    /// Executes an agreed scheduled re-signing pass. All checks are
+    /// deterministic functions of replicated state, so every replica
+    /// accepts or rejects a proposal identically: the window must be
+    /// exactly the configured width, advance monotonically, start
+    /// inside the current window, and the zone must actually have SIGs
+    /// at or below the horizon (concurrent honest proposals collapse to
+    /// one pass; forged proposals are bounded to one window per pass).
+    fn execute_resign(&mut self, inception: u32, expiration: u32, out: &mut Vec<ReplicaAction>) {
+        self.refresh.resign_inflight = false;
+        let cfg = self.refresh.cfg;
+        if matches!(self.signer, Signer::None)
+            || cfg.sig_horizon_s == 0
+            || cfg.sig_validity_s == 0
+        {
+            return; // scanner disabled: re-sign proposals are not valid input
+        }
+        if expiration <= inception
+            || expiration.wrapping_sub(inception) != cfg.sig_validity_s
+            || inception <= self.sig_meta.inception
+            || inception > self.sig_meta.expiration
+        {
+            return;
+        }
+        let cutoff = inception.saturating_add(cfg.sig_horizon_s);
+        if !min_sig_expiry(&self.zone).is_some_and(|min| min <= cutoff) {
+            return; // an earlier agreed pass already re-signed everything
+        }
+        // Serial bump before planning: the SOA task (always first in the
+        // plan) must cover the new serial, and edges re-sync on it.
+        self.zone.bump_serial();
+        self.zone_dirtied();
+        self.sig_meta.inception = inception;
+        self.sig_meta.expiration = expiration;
+        let mut tasks = plan_expiry_resign(&self.zone, cutoff, &self.sig_meta);
+        // Batch through the same bounded session-id window updates use;
+        // a truncated tail is re-planned by the next scanner pass.
+        let cap = usize::try_from(MAX_TASKS_PER_UPDATE).unwrap_or(usize::MAX) - 1;
+        tasks.truncate(cap);
+        out.push(ReplicaAction::Event(ReplicaEvent::ResignPlanned { tasks: tasks.len() }));
+        match &self.signer {
+            Signer::None => {}
+            Signer::Local(signer) => {
+                let signer = signer.clone();
+                out.push(ReplicaAction::Work {
+                    ref_seconds: self.costs.local_sign * tasks.len() as f64,
+                });
+                for task in &tasks {
+                    let sig = signer.complete(task);
+                    install_signature(&mut self.zone, task, sig);
+                }
+                self.zone_dirtied();
+            }
+            Signer::Threshold { .. } => {
+                if tasks.is_empty() {
+                    return;
+                }
+                self.update_counter += 1;
+                let base_session = self.update_counter * MAX_TASKS_PER_UPDATE;
+                self.active = Some(ActiveUpdate {
+                    reply: None,
+                    tasks,
+                    next_task: 0,
+                    base_session,
+                });
+                self.start_next_task(out);
+            }
+        }
+    }
+
+    /// Submits an internally generated payload to the ordered stream
+    /// (the same path client envelopes take; unreplicated deployments
+    /// deliver directly).
+    fn submit_payload(&mut self, payload: Vec<u8>, out: &mut Vec<ReplicaAction>) {
+        if self.group.n() == 1 {
+            self.on_delivery(0, 0, payload, out);
+            self.try_execute(out);
+            return;
+        }
+        let (actions, deliveries) = self.abcast.submit(payload);
+        self.emit_abcast(actions, out);
+        for d in deliveries {
+            self.on_delivery(d.round, d.payload.id, d.payload.data, out);
+        }
+        self.try_execute(out);
     }
 
     /// Wraps atomic-broadcast actions, expanding broadcasts to the

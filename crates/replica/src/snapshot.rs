@@ -22,6 +22,11 @@ pub struct ReplicaSnapshot {
     pub round: u64,
     /// The signing-session counter.
     pub update_counter: u64,
+    /// The threshold-share refresh epoch the snapshotting replica was
+    /// in (0 for local/unsigned signers). A recovering replica whose
+    /// own share epoch is behind the adopted snapshot's slept through a
+    /// refresh: its share is stale and must never sign again.
+    pub key_epoch: u64,
     /// Executed request keys (client, request id).
     pub executed: Vec<(u64, u64)>,
     /// Delivered payload ids at the broadcast layer.
@@ -46,6 +51,7 @@ impl ReplicaSnapshot {
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.round.to_be_bytes());
         out.extend_from_slice(&self.update_counter.to_be_bytes());
+        out.extend_from_slice(&self.key_epoch.to_be_bytes());
         out.extend_from_slice(&count32(self.executed.len()).to_be_bytes());
         for (c, r) in &self.executed {
             out.extend_from_slice(&c.to_be_bytes());
@@ -86,6 +92,7 @@ impl ReplicaSnapshot {
         }
         let round = u64::from_be_bytes(arr(bytes, &mut pos)?);
         let update_counter = u64::from_be_bytes(arr(bytes, &mut pos)?);
+        let key_epoch = u64::from_be_bytes(arr(bytes, &mut pos)?);
         let n_exec = count(bytes, &mut pos)?;
         // The count must be backed by actual bytes before any allocation:
         // a 4-byte length prefix must never conjure a multi-megabyte
@@ -113,7 +120,7 @@ impl ReplicaSnapshot {
             return Err(WireError::BadRdata);
         }
         let zone = Zone::from_snapshot(zone_bytes)?;
-        Ok(ReplicaSnapshot { round, update_counter, executed, delivered_ids, zone })
+        Ok(ReplicaSnapshot { round, update_counter, key_epoch, executed, delivered_ids, zone })
     }
 
     /// A digest identifying this snapshot (quorum matching compares
@@ -216,6 +223,7 @@ mod tests {
         ReplicaSnapshot {
             round: 42,
             update_counter: 7,
+            key_epoch: 3,
             executed: vec![(1004, 1), (1004, 2), (2000001, 9)],
             delivered_ids: vec![1, (3u128 << 64) | 5],
             zone,
@@ -281,6 +289,7 @@ mod tests {
         // the byte-backing check, not allocate megabytes first.
         let mut evil = Vec::new();
         evil.extend_from_slice(MAGIC);
+        evil.extend_from_slice(&0u64.to_be_bytes());
         evil.extend_from_slice(&0u64.to_be_bytes());
         evil.extend_from_slice(&0u64.to_be_bytes());
         evil.extend_from_slice(&(1u32 << 22).to_be_bytes());

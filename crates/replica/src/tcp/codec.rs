@@ -201,6 +201,15 @@ fn encode_into(msg: &ReplicaMsg, w: &mut Writer) -> Result<(), CodecError> {
             }
         }
         ReplicaMsg::Ping => w.u8(9),
+        ReplicaMsg::RefreshPoint { epoch, point } => {
+            w.u8(10);
+            w.u64(*epoch);
+            w.ubig(point)?;
+        }
+        ReplicaMsg::RefreshResend { epoch } => {
+            w.u8(11);
+            w.u64(*epoch);
+        }
     }
     Ok(())
 }
@@ -330,6 +339,8 @@ fn decode_msg(r: &mut Reader<'_>, depth: u8) -> Result<ReplicaMsg, CodecError> {
             ReplicaMsg::LinkAck { epoch, seqs }
         }
         9 => ReplicaMsg::Ping,
+        10 => ReplicaMsg::RefreshPoint { epoch: r.u64()?, point: r.ubig()? },
+        11 => ReplicaMsg::RefreshResend { epoch: r.u64()? },
         _ => return Err(err("unknown message tag")),
     })
 }
@@ -447,6 +458,22 @@ mod tests {
         });
         roundtrip(ReplicaMsg::LinkAck { epoch: 9, seqs: vec![] });
         roundtrip(ReplicaMsg::LinkAck { epoch: 9, seqs: vec![0, 5, u64::MAX] });
+    }
+
+    #[test]
+    fn refresh_messages() {
+        roundtrip(ReplicaMsg::RefreshPoint {
+            epoch: 3,
+            point: Ubig::from_hex("abcdef0123456789deadbeef").unwrap(),
+        });
+        roundtrip(ReplicaMsg::RefreshPoint { epoch: 0, point: Ubig::zero() });
+        roundtrip(ReplicaMsg::RefreshResend { epoch: u64::MAX });
+        // Truncated point.
+        let mut short = vec![10u8];
+        short.extend_from_slice(&1u64.to_be_bytes());
+        short.extend_from_slice(&8u32.to_be_bytes());
+        short.push(1);
+        assert!(decode(&short).is_err());
     }
 
     #[test]

@@ -710,6 +710,8 @@ fn core_loop(
                     format!("ack(e{epoch},n{})", seqs.len())
                 }
                 ReplicaMsg::Ping => "ping".into(),
+                ReplicaMsg::RefreshPoint { epoch, .. } => format!("refresh-point(e{epoch})"),
+                ReplicaMsg::RefreshResend { epoch } => format!("refresh-resend(e{epoch})"),
             };
             eprintln!("[{me}] <- {from}: {kind}");
         }
@@ -738,6 +740,9 @@ fn core_loop(
             .read_only
             .store(replica.is_read_only(), std::sync::atomic::Ordering::Relaxed);
         plane.stats.mirror_overload(&replica.overload_counters());
+        let (epoch, last_ms) = (replica.key_epoch(), replica.last_refresh_ms());
+        let min_expiry = replica.min_sig_expiry_s();
+        plane.stats.mirror_refresh(epoch, last_ms, min_expiry);
     }
     replica
 }

@@ -170,6 +170,7 @@ fn recovery_tolerates_a_lying_responder() {
     let forged = sdns_replica::snapshot::ReplicaSnapshot {
         round: 999,
         update_counter: 0,
+        key_epoch: 0,
         executed: vec![],
         delivered_ids: vec![],
         zone: example_zone(),

@@ -16,6 +16,7 @@ fn sample_snapshot() -> ReplicaSnapshot {
     ReplicaSnapshot {
         round: 7,
         update_counter: 3,
+        key_epoch: 2,
         executed: vec![(4, 1), (4, 2), (5, 9)],
         delivered_ids: vec![0xDEAD_BEEF, 1, u128::MAX],
         zone: example_zone(),
@@ -64,9 +65,10 @@ fn length_prefixes_cannot_force_allocation() {
     // the claimed count against the bytes actually present — before
     // reserving any memory.
     let encoded = sample_snapshot().encode();
-    // Offsets of the three length prefixes: executed count, delivered
-    // count (after the executed entries), zone length (after the ids).
-    let exec_at = 9 + 8 + 8;
+    // Offsets of the three length prefixes: executed count (after the
+    // round / update-counter / key-epoch words), delivered count (after
+    // the executed entries), zone length (after the ids).
+    let exec_at = 9 + 8 + 8 + 8;
     let ids_at = exec_at + 4 + 3 * 16;
     let zone_at = ids_at + 4 + 3 * 16;
     for at in [exec_at, ids_at, zone_at] {

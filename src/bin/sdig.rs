@@ -14,7 +14,7 @@
 // Command-line entry point: aborting with a message on broken local
 // configuration is acceptable here, so the unwrap/expect lints are relaxed.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use sdns::dns::{answers, Message, Name, RecordType};
+use sdns::dns::{answers, Message, Name, RData, RecordType};
 use sdns::replica::tcp::{read_tcp_message, write_tcp_message, TcpClient};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::process::exit;
@@ -86,6 +86,25 @@ fn query_tcp(server: SocketAddr, query: &[u8], budget: Duration) -> std::io::Res
     stream.set_nodelay(true).ok();
     write_tcp_message(&mut stream, query)?;
     read_tcp_message(&mut stream)
+}
+
+/// Renders a SIG timestamp (seconds since the epoch) in the RFC 2535
+/// presentation format `YYYYMMDDHHMMSS` (UTC), using the
+/// days-to-civil-date conversion of Hinnant's calendrical algorithms.
+fn sig_time(ts: u32) -> String {
+    let secs = u64::from(ts);
+    let (days, rem) = (secs / 86_400, secs % 86_400);
+    let (hh, mm, ss) = (rem / 3_600, (rem % 3_600) / 60, rem % 60);
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}{month:02}{d:02}{hh:02}{mm:02}{ss:02}")
 }
 
 /// UDP-first with TC-bit fallback to TCP, per server in order.
@@ -191,6 +210,30 @@ fn main() {
         println!(";; AUTHORITY SECTION:");
         for r in &resp.authorities {
             println!("{r}");
+        }
+    }
+    // Pretty-print each SIG's validity window so an operator can see at
+    // a glance how close the zone is to its re-signing horizon.
+    let sigs: Vec<_> = resp
+        .answers
+        .iter()
+        .chain(resp.authorities.iter())
+        .filter_map(|r| match &r.rdata {
+            RData::Sig(s) => Some((r, s)),
+            _ => None,
+        })
+        .collect();
+    if !sigs.is_empty() {
+        println!(";; SIG VALIDITY (UTC):");
+        for (r, s) in sigs {
+            println!(
+                ";;   {} {} covered by key {}: {} .. {}",
+                r.name,
+                s.type_covered,
+                s.key_tag,
+                sig_time(s.inception),
+                sig_time(s.expiration)
+            );
         }
     }
     println!(";; Query time: {} ms", started.elapsed().as_millis());

@@ -8,8 +8,13 @@
 //! ```text
 //! sdns-keygen --out DIR [--zone-file FILE] [--origin NAME] [-n N] [-t T]
 //!             [--bits BITS] [--protocol basic|optproof|optte]
-//!             [--base-port PORT] [--host HOST]
+//!             [--base-port PORT] [--host HOST] [--key-epoch E]
 //! ```
+//!
+//! `--key-epoch` stamps the dealt shares with a non-zero refresh epoch
+//! — for re-dealing a cluster whose shares have been proactively
+//! refreshed E times, so freshly written key files agree with the
+//! epoch the live replicas are at (`sdnsd` refuses mixed-epoch files).
 
 // Command-line entry point: aborting with a message on broken local
 // configuration is acceptable here, so the unwrap/expect lints are relaxed.
@@ -28,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sdns-keygen --out DIR [--zone-file FILE] [--origin NAME] [-n N] [-t T]\n\
          \x20                 [--bits BITS] [--protocol basic|optproof|optte]\n\
-         \x20                 [--base-port PORT] [--host HOST]\n\
+         \x20                 [--base-port PORT] [--host HOST] [--key-epoch E]\n\
          \n\
          Runs the dealer ceremony: deals an (n,t) threshold RSA zone key, signs the\n\
          zone under it, and writes replica-<i>.conf + zone.bin into DIR."
@@ -46,6 +51,7 @@ fn main() {
     let mut protocol = SigProtocol::OptTe;
     let mut base_port = 5300u16;
     let mut host = "127.0.0.1".to_owned();
+    let mut key_epoch = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +81,7 @@ fn main() {
             }
             "--base-port" => base_port = val().parse().unwrap_or_else(|_| usage()),
             "--host" => host = val(),
+            "--key-epoch" => key_epoch = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -104,7 +111,7 @@ fn main() {
         "dealing a ({n},{t}) threshold RSA key, {bits}-bit modulus (safe primes; this can take a while)..."
     );
     let mut rng = rand::rngs::StdRng::from_entropy();
-    let deployment = deploy(
+    let mut deployment = deploy(
         Group::new(n, t),
         ZoneSecurity::SignedThreshold(protocol),
         CostModel::free(),
@@ -114,6 +121,18 @@ fn main() {
         None,
         &mut rng,
     );
+    if key_epoch > 0 {
+        // Stamp the freshly dealt shares with the cluster's current
+        // refresh epoch so the new files pass sdnsd's mixed-epoch check.
+        use sdns::crypto::threshold::KeyShare;
+        use sdns::replica::ReplicaSigner;
+        for signer in &mut deployment.signers {
+            if let ReplicaSigner::Threshold { share, .. } = signer {
+                *share =
+                    KeyShare::from_parts_at_epoch(share.index(), share.secret().clone(), key_epoch);
+            }
+        }
+    }
     let peers: Vec<SocketAddr> = (0..n)
         .map(|i| {
             format!("{host}:{}", base_port + i as u16).parse().unwrap_or_else(|e| {

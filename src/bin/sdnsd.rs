@@ -7,6 +7,7 @@
 //! sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]
 //!       [--rrl-rate N] [--rrl-burst N] [--rrl-slip N] [--rrl-prefixes N]
 //!       [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]
+//!       [--refresh-interval-ms MS] [--sig-horizon-s S] [--sig-validity-s S]
 //! ```
 //!
 //! With `--udp`, the replica additionally answers plain DNS-over-UDP on
@@ -34,11 +35,23 @@
 //! cap concurrent plain-DNS TCP connections (oldest-idle eviction at
 //! the global cap), and `--idle-ms`/`--read-ms` bound how long a TCP
 //! client may idle between requests or dribble one request's bytes.
+//!
+//! `--refresh-interval-ms` enables proactive share refresh (§4.4): the
+//! cluster runs a refresh epoch roughly every MS milliseconds, rotating
+//! every replica's key share without changing the zone key.
+//! `--sig-horizon-s`/`--sig-validity-s` (both required together) enable
+//! scheduled re-signing: RRsets whose SIG expires within the horizon
+//! are re-signed with a fresh validity window of the given width.
+//!
+//! At startup, sibling `replica-*.conf` files next to CONFIG-FILE are
+//! cross-checked: a mix of key epochs (some files refreshed, some
+//! stale) can never assemble a signature, so sdnsd refuses to start and
+//! names the stale files instead.
 
 // Command-line entry point: aborting with a message on broken local
 // configuration is acceptable here, so the unwrap/expect lints are relaxed.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use sdns::replica::keyfile::load_replica;
+use sdns::replica::keyfile::{load_replica, peek_key_epoch};
 use sdns::replica::tcp::TcpReplica;
 use sdns::replica::Corruption;
 use std::path::Path;
@@ -59,6 +72,9 @@ fn main() {
     let mut max_conns_per_ip: Option<usize> = None;
     let mut idle_ms: Option<u64> = None;
     let mut read_ms: Option<u64> = None;
+    let mut refresh_interval_ms: Option<u64> = None;
+    let mut sig_horizon_s: Option<u32> = None;
+    let mut sig_validity_s: Option<u32> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         // Numeric governance knobs share one parse-or-die pattern.
@@ -89,6 +105,12 @@ fn main() {
             numeric(&arg, iter.next(), &mut idle_ms);
         } else if arg == "--read-ms" {
             numeric(&arg, iter.next(), &mut read_ms);
+        } else if arg == "--refresh-interval-ms" {
+            numeric(&arg, iter.next(), &mut refresh_interval_ms);
+        } else if arg == "--sig-horizon-s" {
+            numeric(&arg, iter.next(), &mut sig_horizon_s);
+        } else if arg == "--sig-validity-s" {
+            numeric(&arg, iter.next(), &mut sig_validity_s);
         } else if arg == "--udp" {
             udp_port = iter.next().and_then(|v| v.parse().ok());
             if udp_port.is_none() {
@@ -118,13 +140,62 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]\n             [--rrl-rate N] [--rrl-burst N] [--rrl-slip N] [--rrl-prefixes N]\n             [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]\n\nRun one replica from a config written by sdns-keygen.");
+        eprintln!("usage: sdnsd CONFIG-FILE [--udp PORT] [--tcp-dns PORT] [--udp-workers N] [--state-dir DIR]\n             [--rrl-rate N] [--rrl-burst N] [--rrl-slip N] [--rrl-prefixes N]\n             [--max-conns N] [--max-conns-per-ip N] [--idle-ms MS] [--read-ms MS]\n             [--refresh-interval-ms MS] [--sig-horizon-s S] [--sig-validity-s S]\n\nRun one replica from a config written by sdns-keygen.");
         exit(2);
     };
-    let file = load_replica(Path::new(&path)).unwrap_or_else(|e| {
+    let mut file = load_replica(Path::new(&path)).unwrap_or_else(|e| {
         eprintln!("cannot load {path}: {e}");
         exit(1)
     });
+    // Refuse a mix of key epochs across the sibling replica files: a
+    // refreshed share and a stale one lie on different polynomials, so a
+    // cluster started from such a mix can never assemble a signature.
+    let my_epoch = peek_key_epoch(Path::new(&path)).unwrap_or(0);
+    if let Some(dir) = Path::new(&path).parent() {
+        let mut mismatched: Vec<String> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !(name.starts_with("replica-") && name.ends_with(".conf")) {
+                    continue;
+                }
+                if let Some(epoch) = peek_key_epoch(&entry.path()) {
+                    if epoch != my_epoch {
+                        mismatched.push(format!("{name} (key epoch {epoch})"));
+                    }
+                }
+            }
+        }
+        if !mismatched.is_empty() {
+            mismatched.sort();
+            eprintln!(
+                "refusing to start: {path} is at key epoch {my_epoch}, but sibling key files \
+                 are at different epochs: {}",
+                mismatched.join(", ")
+            );
+            eprintln!(
+                "shares from different epochs cannot co-sign; re-run the sdns-keygen ceremony \
+                 (or restore the matching-epoch files) so every replica shares one epoch"
+            );
+            exit(1);
+        }
+    }
+    // Proactive-recovery knobs feed the deterministic tick machinery:
+    // one tick advances the signing clock by tick_ms.
+    const TICK_MS: u64 = 50;
+    if sig_horizon_s.is_some() != sig_validity_s.is_some() {
+        eprintln!("--sig-horizon-s and --sig-validity-s must be given together");
+        exit(2);
+    }
+    let refresh_enabled = refresh_interval_ms.is_some() || sig_horizon_s.is_some();
+    if refresh_enabled {
+        file.setup.refresh = sdns::replica::RefreshCfg {
+            interval_ticks: refresh_interval_ms.map(|ms| (ms / TICK_MS).max(1)).unwrap_or(0),
+            clock_step_ms: TICK_MS,
+            sig_horizon_s: sig_horizon_s.unwrap_or(0),
+            sig_validity_s: sig_validity_s.unwrap_or(0),
+        };
+    }
     let me = file.me;
     let listen = file.peers[me];
     let n = file.setup.group.n();
@@ -174,7 +245,10 @@ fn main() {
         // reliable-link resends that carry recovery traffic.
         config = config
             .with_state_dir(std::path::PathBuf::from(dir))
-            .with_tick(std::time::Duration::from_millis(50));
+            .with_tick(std::time::Duration::from_millis(TICK_MS));
+    } else if refresh_enabled {
+        // Refresh epochs and the SIG-expiry scanner are tick-driven too.
+        config = config.with_tick(std::time::Duration::from_millis(TICK_MS));
     }
     let udp_note = config
         .udp_listen
@@ -196,11 +270,23 @@ fn main() {
     } else {
         String::new()
     };
+    let refresh_note = if refresh_enabled {
+        let mut parts = Vec::new();
+        if let Some(ms) = refresh_interval_ms {
+            parts.push(format!("share refresh every {ms} ms"));
+        }
+        if let (Some(h), Some(v)) = (sig_horizon_s, sig_validity_s) {
+            parts.push(format!("re-sign horizon {h} s validity {v} s"));
+        }
+        format!(", {}", parts.join(", "))
+    } else {
+        String::new()
+    };
     let _handle = TcpReplica::spawn(replica, config).unwrap_or_else(|e| {
         eprintln!("cannot bind {listen}: {e}");
         exit(1)
     });
-    println!("sdnsd: replica {me}/{n} (t = {t}) for zone {origin} listening on {listen}{udp_note}{tcp_note}{durable_note}{rrl_note}");
+    println!("sdnsd: replica {me}/{n} (t = {t}, key epoch {my_epoch}) for zone {origin} listening on {listen}{udp_note}{tcp_note}{durable_note}{rrl_note}{refresh_note}");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::park();

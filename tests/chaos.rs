@@ -2243,3 +2243,317 @@ fn day_in_the_life_soak() {
     );
     assert!(atk_offered > 0, "the plan must include flood traffic (seed {seed})");
 }
+
+// ---------------------------------------------------------------------------
+// Proactive key recovery (§4.4): epoch-driven share refresh, crash-safe
+// share lifecycle, and scheduled SIG-expiry re-signing.
+// ---------------------------------------------------------------------------
+
+use sdns::bigint::Ubig;
+use sdns::crypto::threshold::KeyShare;
+use sdns::replica::RefreshCfg;
+
+/// [`build`] with proactive-recovery knobs (applied to every replica).
+fn build_refresh(
+    seed: u64,
+    plan: FaultPlan,
+    refresh: RefreshCfg,
+) -> (Simulation<Byzantine<ChaosNode>>, Deployment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut deployment = deploy(
+        Group::new(N, T),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    );
+    deployment.setup.refresh = refresh;
+    let mut replicas = deployment.replicas(&[], seed);
+    for r in &mut replicas {
+        r.enable_retransmission(1, RetransmitCfg::default());
+    }
+    let mut nodes: Vec<Byzantine<ChaosNode>> = replicas
+        .into_iter()
+        .map(|r| Byzantine::honest(ChaosNode::Replica(Box::new(r))))
+        .collect();
+    nodes.push(Byzantine::honest(ChaosNode::Client));
+    let net = LatencyMatrix::uniform(N + 1, SimDuration::from_millis(5)).with_jitter(0.2);
+    let mut sim = Simulation::new(nodes, net, seed).with_fault_plan(plan);
+    for i in 0..N {
+        sim.schedule_timer(i, TICK_TIMER, tick());
+    }
+    (sim, deployment)
+}
+
+/// [`build_durable`] with proactive-recovery knobs.
+fn build_durable_refresh(
+    seed: u64,
+    plan: FaultPlan,
+    root: &Path,
+    refresh: RefreshCfg,
+) -> (Simulation<Byzantine<ChaosNode>>, Deployment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut deployment = deploy(
+        Group::new(N, T),
+        ZoneSecurity::SignedThreshold(SigProtocol::OptTe),
+        CostModel::free(),
+        example_zone(),
+        384,
+        true,
+        None,
+        &mut rng,
+    );
+    deployment.setup.refresh = refresh;
+    let (nodes, sends) = durable_nodes(&deployment, seed, root, 1);
+    let net = LatencyMatrix::uniform(N + 1, SimDuration::from_millis(5)).with_jitter(0.2);
+    let mut sim = Simulation::new(nodes, net, seed).with_fault_plan(plan);
+    for i in 0..N {
+        sim.schedule_timer(i, TICK_TIMER, tick());
+    }
+    for (from, to, msg) in sends {
+        sim.inject(SimDuration::ZERO, from, to, msg);
+    }
+    (sim, deployment)
+}
+
+/// Runs until every replica has emitted `RefreshApplied` for `epoch`.
+fn await_refresh_applied(sim: &mut Simulation<Byzantine<ChaosNode>>, epoch: u64) -> bool {
+    let mut seen: HashSet<usize> = HashSet::new();
+    sim.run_until(BUDGET, |ev| {
+        if let ChaosEvent::Replica(ReplicaEvent::RefreshApplied { epoch: e }) = &ev.output {
+            if *e == epoch && ev.node < N {
+                seen.insert(ev.node);
+            }
+        }
+        seen.len() == N
+    })
+}
+
+/// Replica `i`'s current key share (cloned), as a mobile adversary that
+/// has just compromised `i` would capture it.
+fn key_share_of(sim: &Simulation<Byzantine<ChaosNode>>, i: usize) -> KeyShare {
+    let ChaosNode::Replica(replica) = sim.node(i).inner() else {
+        panic!("node {i} is not a replica")
+    };
+    replica.key_share().expect("threshold signer").clone()
+}
+
+/// Replica `i`'s current key-share epoch.
+fn key_epoch_of(sim: &Simulation<Byzantine<ChaosNode>>, i: usize) -> u64 {
+    let ChaosNode::Replica(replica) = sim.node(i).inner() else {
+        panic!("node {i} is not a replica")
+    };
+    replica.key_epoch()
+}
+
+#[test]
+fn refresh_mobile_adversary_never_assembles_across_epochs() {
+    // The paper's §4.4 mobile-adversary model: the attacker compromises
+    // a different replica each epoch, capturing its then-current share.
+    // With t = 1 it holds one share per epoch — and shares from
+    // different epochs lie on different polynomials, so no pair it ever
+    // holds assembles a signature that verifies.
+    let seed = chaos_seed(0xCA05_0400);
+    let refresh =
+        RefreshCfg { interval_ticks: 10, clock_step_ms: 0, sig_horizon_s: 0, sig_validity_s: 0 };
+    let (mut sim, deployment) = build_refresh(seed, FaultPlan::new(), refresh);
+    let pk = deployment.threshold_public_key.clone().expect("threshold deployment");
+
+    // Epoch 0: the adversary starts inside replica 0.
+    let mut stolen: Vec<KeyShare> = vec![key_share_of(&sim, 0)];
+    for epoch in 1..=3u64 {
+        assert!(
+            await_refresh_applied(&mut sim, epoch),
+            "epoch {epoch} never applied everywhere (seed {seed:#x})"
+        );
+        // The adversary moves to the next replica and steals its share.
+        let victim = usize::try_from(epoch).unwrap() % N;
+        stolen.push(key_share_of(&sim, victim));
+    }
+    for (i, share) in stolen.iter().enumerate() {
+        assert_eq!(share.epoch(), i as u64, "captured share carries its epoch");
+    }
+
+    // No cross-epoch pair — the adversary's entire haul — verifies.
+    let x = Ubig::from(0x5D5u64);
+    for a in 0..stolen.len() {
+        for b in 0..stolen.len() {
+            if a == b || stolen[a].index() == stolen[b].index() {
+                continue;
+            }
+            let shares = [stolen[a].sign(&x, &pk), stolen[b].sign(&x, &pk)];
+            if let Ok(sig) = pk.assemble(&x, &shares) {
+                assert!(
+                    !pk.verify(&x, &sig),
+                    "epoch-{a} + epoch-{b} shares assembled a valid signature (seed {seed:#x})"
+                );
+            }
+        }
+    }
+
+    // Positive control: two *current* same-epoch shares still sign, and
+    // the update plane keeps working after three refreshes.
+    let (s0, s1) = (key_share_of(&sim, 0), key_share_of(&sim, 1));
+    assert_eq!(s0.epoch(), s1.epoch());
+    let sig = pk
+        .assemble(&x, &[s0.sign(&x, &pk), s1.sign(&x, &pk)])
+        .expect("same-epoch quorum assembles");
+    assert!(pk.verify(&x, &sig), "refresh must not rotate the zone key");
+
+    inject_update(&mut sim, 0, 1, "fresh.example.com", "203.0.113.31", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "post-refresh update stalled");
+    assert!(await_client_ok(&mut sim, 1), "client never confirmed the post-refresh update");
+    for i in 0..N {
+        assert_signed_answer(&sim, &deployment, i, "fresh.example.com");
+    }
+}
+
+#[test]
+fn refresh_kill9_mid_epoch_restarts_into_consistent_epoch() {
+    // Full-cluster kill -9 the moment epoch 1's dealing set freezes:
+    // some replicas may have applied, some not, every private point in
+    // flight is gone. The WAL replays the agreed dealings, the pending
+    // file restores each dealer's secrets, the resend machinery
+    // re-delivers lost points — the cluster converges on epoch 1 and
+    // keeps threshold-signing.
+    let seed = chaos_seed(0xCA05_0410);
+    let root = fresh_state_root("refresh-kill9");
+    let refresh =
+        RefreshCfg { interval_ticks: 25, clock_step_ms: 0, sig_horizon_s: 0, sig_validity_s: 0 };
+    let (mut sim, deployment) = build_durable_refresh(seed, FaultPlan::new(), &root, refresh);
+
+    inject_update(&mut sim, 0, 1, "before.example.com", "203.0.113.7", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "baseline update stalled");
+    assert!(await_client_ok(&mut sim, 1), "client never confirmed the baseline update");
+
+    // Stop the world once every replica has frozen epoch 1's dealing set.
+    let mut started: HashSet<usize> = HashSet::new();
+    let frozen = sim.run_until(BUDGET, |ev| {
+        if let ChaosEvent::Replica(ReplicaEvent::RefreshStarted { epoch: 1 }) = &ev.output {
+            if ev.node < N {
+                started.insert(ev.node);
+            }
+        }
+        started.len() == N
+    });
+    assert!(frozen, "epoch 1 never froze everywhere (seed {seed:#x})");
+    sim.take_outputs();
+
+    restart_all_durable(&mut sim, &deployment, seed, &root, 2);
+
+    // The restarted cluster completes the interrupted epoch (replicas
+    // that applied pre-crash restored epoch 1 from their share files, so
+    // poll key epochs rather than waiting for fresh events from all).
+    let mut converged = false;
+    for _ in 0..400 {
+        let deadline = sim.now() + SimDuration::from_millis(400);
+        sim.run_until_time(deadline, BUDGET);
+        if (0..N).all(|i| key_epoch_of(&sim, i) == 1) {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "cluster never converged on epoch 1 after the massacre (seed {seed:#x})");
+
+    inject_update(&mut sim, 2, 2, "after.example.com", "203.0.113.9", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 2), &[0, 1, 2, 3]), "post-restart update stalled");
+    assert!(await_client_ok(&mut sim, 2), "client never confirmed the post-restart update");
+    for i in 0..N {
+        let ChaosNode::Replica(replica) = sim.node(i).inner() else { panic!() };
+        assert!(!replica.share_stale(), "replica {i} wrongly latched the stale-share state");
+        assert_signed_answer(&sim, &deployment, i, "after.example.com");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn refresh_converges_under_lossy_links() {
+    // A refresh epoch under 20 % message loss: the dealings ride the
+    // (retransmitting) atomic broadcast, lost private points are
+    // re-fetched by the nag machinery, and the epoch completes without
+    // stalling the update plane.
+    let seed = chaos_seed(0xCA05_0420);
+    let refresh =
+        RefreshCfg { interval_ticks: 10, clock_step_ms: 0, sig_horizon_s: 0, sig_validity_s: 0 };
+    let (mut sim, deployment) = build_refresh(seed, lossy_plan(), refresh);
+
+    assert!(
+        await_refresh_applied(&mut sim, 1),
+        "epoch 1 never converged under loss (seed {seed:#x})"
+    );
+    inject_update(&mut sim, 0, 1, "lossy.example.com", "203.0.113.21", SimDuration::ZERO);
+    assert!(await_executed(&mut sim, (CLIENT, 1), &[0, 1, 2, 3]), "update stalled under loss");
+    assert!(await_client_ok(&mut sim, 1), "client never confirmed the update under loss");
+    for i in 0..N {
+        assert!(key_epoch_of(&sim, i) >= 1, "replica {i} stuck at epoch 0");
+        assert_signed_answer(&sim, &deployment, i, "lossy.example.com");
+    }
+}
+
+#[test]
+fn sig_expiry_soak_never_serves_an_expired_sig() {
+    // 33 virtual days at one hour per tick, with 30-day SIG windows and
+    // a 2-day re-sign horizon: the expiry scanner must re-sign the zone
+    // (through the ordered threshold path) before any SIG lapses. Every
+    // audit asserts, on every replica, that the served SIG's validity
+    // window contains the replica's own clock.
+    let seed = chaos_seed(0xCA05_0430);
+    const DAY: u32 = 86_400;
+    let refresh = RefreshCfg {
+        interval_ticks: 0,
+        clock_step_ms: 3_600_000, // one virtual hour per 200 ms tick
+        sig_horizon_s: 2 * DAY,
+        sig_validity_s: 30 * DAY,
+    };
+    let (mut sim, deployment) = build_refresh(seed, FaultPlan::new(), refresh);
+    let pk = deployment.zone_public_key.clone().expect("signed zone");
+
+    let mut resigns = 0usize;
+    for iter in 0..80 {
+        // Ten ticks (ten virtual hours) between audits.
+        let deadline = sim.now() + SimDuration::from_millis(2_000);
+        sim.run_until_time(deadline, BUDGET);
+        for ev in sim.take_outputs() {
+            if let ChaosEvent::Replica(ReplicaEvent::ResignPlanned { .. }) = ev.output {
+                resigns += 1;
+            }
+        }
+        for i in 0..N {
+            let ChaosNode::Replica(replica) = sim.node(i).inner() else { panic!() };
+            let clock_s = u32::try_from(replica.refresh_clock_ms() / 1000).expect("fits");
+            let query = Message::query(1, "www.example.com".parse().expect("valid"), RecordType::A);
+            let resp = answer_query(replica.zone(), &query);
+            assert_eq!(
+                resp.rcode,
+                Rcode::NoError,
+                "iter {iter}: replica {i} cannot answer (seed {seed:#x})"
+            );
+            let mut sigs = 0;
+            for rec in &resp.answers {
+                if let RData::Sig(s) = &rec.rdata {
+                    sigs += 1;
+                    assert!(
+                        s.inception <= clock_s,
+                        "iter {iter}: replica {i} served a SIG from the future \
+                         (inception {} > clock {clock_s}, seed {seed:#x})",
+                        s.inception
+                    );
+                    assert!(
+                        clock_s < s.expiration,
+                        "iter {iter}: replica {i} served an EXPIRED SIG \
+                         (expiration {} <= clock {clock_s}, seed {seed:#x})",
+                        s.expiration
+                    );
+                }
+            }
+            assert!(sigs > 0, "iter {iter}: replica {i} served an unsigned answer");
+            verify_rrset(&resp.answers, &pk).unwrap_or_else(|e| {
+                panic!("iter {iter}: replica {i} signature invalid: {e:?} (seed {seed:#x})")
+            });
+        }
+    }
+    assert!(resigns > 0, "33 virtual days never crossed the re-sign horizon (seed {seed:#x})");
+}

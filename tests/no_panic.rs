@@ -57,6 +57,7 @@ fn valid_snapshot() -> Vec<u8> {
     let snapshot = ReplicaSnapshot {
         round: 42,
         update_counter: 7,
+        key_epoch: 0,
         executed: vec![(1, 2), (3, 4)],
         delivered_ids: vec![5, 6, 7],
         zone: Zone::with_default_soa(origin()),

@@ -50,6 +50,10 @@ const UNTRUSTED_MODULES: &[&str] = &[
     // Overload governance: fed by peer-controlled session ids and
     // round numbers, so its bounds must hold without panicking.
     "crates/replica/src/overload.rs",
+    // Proactive refresh: decodes refresh dealings out of the agreed
+    // payload stream (possibly Byzantine proposers) and versioned
+    // share/pending key files off disk.
+    "crates/replica/src/refresh.rs",
     // Read plane: parses and answers raw client datagrams, and the
     // DNS-over-UDP/TCP listeners frame bytes straight off the wire.
     "crates/replica/src/readplane.rs",
