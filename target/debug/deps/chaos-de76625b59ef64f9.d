@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-de76625b59ef64f9.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-de76625b59ef64f9: tests/chaos.rs
+
+tests/chaos.rs:

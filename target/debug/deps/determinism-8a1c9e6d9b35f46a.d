@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8a1c9e6d9b35f46a.d: crates/sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8a1c9e6d9b35f46a: crates/sim/tests/determinism.rs
+
+crates/sim/tests/determinism.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edge_e2e-775e8e2e3e86cf01.d: tests/edge_e2e.rs
+
+/root/repo/target/debug/deps/edge_e2e-775e8e2e3e86cf01: tests/edge_e2e.rs
+
+tests/edge_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_sdig=/root/repo/target/debug/sdig
+# env-dep:CARGO_BIN_EXE_sdns-edge=/root/repo/target/debug/sdns-edge

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frames-6cbd5b7eb49b9503.d: crates/replica/tests/frames.rs
+
+/root/repo/target/debug/deps/frames-6cbd5b7eb49b9503: crates/replica/tests/frames.rs
+
+crates/replica/tests/frames.rs:

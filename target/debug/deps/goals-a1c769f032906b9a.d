@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goals-a1c769f032906b9a.d: tests/goals.rs
+
+/root/repo/target/debug/deps/goals-a1c769f032906b9a: tests/goals.rs
+
+tests/goals.rs:

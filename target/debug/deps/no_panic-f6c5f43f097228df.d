@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_panic-f6c5f43f097228df.d: tests/no_panic.rs
+
+/root/repo/target/debug/deps/no_panic-f6c5f43f097228df: tests/no_panic.rs
+
+tests/no_panic.rs:

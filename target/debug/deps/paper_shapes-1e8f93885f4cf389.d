@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-1e8f93885f4cf389.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-1e8f93885f4cf389: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

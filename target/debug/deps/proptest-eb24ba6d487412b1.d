@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-eb24ba6d487412b1.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eb24ba6d487412b1.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eb24ba6d487412b1.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0ca9c0c31da64157.d: crates/crypto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0ca9c0c31da64157: crates/crypto/tests/proptests.rs
+
+crates/crypto/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-497c2597cda9c8fc.d: crates/dns/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-497c2597cda9c8fc: crates/dns/tests/proptests.rs
+
+crates/dns/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-753ffd3335e3aee3.d: crates/bigint/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-753ffd3335e3aee3: crates/bigint/tests/proptests.rs
+
+crates/bigint/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qps-179e71aa6c3bf95d.d: crates/bench/src/bin/qps.rs
+
+/root/repo/target/debug/deps/qps-179e71aa6c3bf95d: crates/bench/src/bin/qps.rs
+
+crates/bench/src/bin/qps.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qps-6a630f3e74a02ec2.d: /root/repo/clippy.toml crates/bench/src/bin/qps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqps-6a630f3e74a02ec2.rmeta: /root/repo/clippy.toml crates/bench/src/bin/qps.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/qps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/readplane-b549fb3e0d09afd0.d: crates/replica/tests/readplane.rs
+
+/root/repo/target/debug/deps/readplane-b549fb3e0d09afd0: crates/replica/tests/readplane.rs
+
+crates/replica/tests/readplane.rs:

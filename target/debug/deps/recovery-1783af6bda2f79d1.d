@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-1783af6bda2f79d1.d: crates/replica/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-1783af6bda2f79d1: crates/replica/tests/recovery.rs
+
+crates/replica/tests/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/refresh_props-fb9804d604b481e7.d: crates/crypto/tests/refresh_props.rs
+
+/root/repo/target/debug/deps/refresh_props-fb9804d604b481e7: crates/crypto/tests/refresh_props.rs
+
+crates/crypto/tests/refresh_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdig-8bc2b71e13593583.d: src/bin/sdig.rs
+
+/root/repo/target/debug/deps/sdig-8bc2b71e13593583: src/bin/sdig.rs
+
+src/bin/sdig.rs:

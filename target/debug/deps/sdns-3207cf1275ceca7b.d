@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns-3207cf1275ceca7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/sdns-3207cf1275ceca7b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdns_abcast-4cc338b4ece181a3.d: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+/root/repo/target/debug/deps/sdns_abcast-4cc338b4ece181a3: crates/abcast/src/lib.rs crates/abcast/src/abba.rs crates/abcast/src/abcast.rs crates/abcast/src/acs.rs crates/abcast/src/coin.rs crates/abcast/src/rbc.rs crates/abcast/src/types.rs
+
+crates/abcast/src/lib.rs:
+crates/abcast/src/abba.rs:
+crates/abcast/src/abcast.rs:
+crates/abcast/src/acs.rs:
+crates/abcast/src/coin.rs:
+crates/abcast/src/rbc.rs:
+crates/abcast/src/types.rs:

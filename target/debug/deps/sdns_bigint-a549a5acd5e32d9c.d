@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdns_bigint-a549a5acd5e32d9c.d: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+/root/repo/target/debug/deps/sdns_bigint-a549a5acd5e32d9c: crates/bigint/src/lib.rs crates/bigint/src/div.rs crates/bigint/src/fmt.rs crates/bigint/src/modctx.rs crates/bigint/src/modular.rs crates/bigint/src/prime.rs crates/bigint/src/rand_ext.rs crates/bigint/src/signed.rs crates/bigint/src/ubig.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/fmt.rs:
+crates/bigint/src/modctx.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/rand_ext.rs:
+crates/bigint/src/signed.rs:
+crates/bigint/src/ubig.rs:

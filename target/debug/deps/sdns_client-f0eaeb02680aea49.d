@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdns_client-f0eaeb02680aea49.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+/root/repo/target/debug/deps/sdns_client-f0eaeb02680aea49: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/scenario.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/scenario.rs:

@@ -18,5 +18,5 @@ crates/crypto/src/threshold/refresh.rs:
 crates/crypto/src/threshold/share.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

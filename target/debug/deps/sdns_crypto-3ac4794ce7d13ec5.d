@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sdns_crypto-3ac4794ce7d13ec5.d: crates/crypto/src/lib.rs crates/crypto/src/hmac.rs crates/crypto/src/ops.rs crates/crypto/src/pkcs1.rs crates/crypto/src/protocol.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold/mod.rs crates/crypto/src/threshold/assemble.rs crates/crypto/src/threshold/dealer.rs crates/crypto/src/threshold/refresh.rs crates/crypto/src/threshold/share.rs
+
+/root/repo/target/debug/deps/sdns_crypto-3ac4794ce7d13ec5: crates/crypto/src/lib.rs crates/crypto/src/hmac.rs crates/crypto/src/ops.rs crates/crypto/src/pkcs1.rs crates/crypto/src/protocol.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold/mod.rs crates/crypto/src/threshold/assemble.rs crates/crypto/src/threshold/dealer.rs crates/crypto/src/threshold/refresh.rs crates/crypto/src/threshold/share.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/ops.rs:
+crates/crypto/src/pkcs1.rs:
+crates/crypto/src/protocol.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/threshold/mod.rs:
+crates/crypto/src/threshold/assemble.rs:
+crates/crypto/src/threshold/dealer.rs:
+crates/crypto/src/threshold/refresh.rs:
+crates/crypto/src/threshold/share.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/sdns_dns-82a04c4d2dcf6f0a.d: /root/repo/clippy.toml crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs Cargo.toml
+/root/repo/target/debug/deps/sdns_dns-82a04c4d2dcf6f0a.d: /root/repo/clippy.toml crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsdns_dns-82a04c4d2dcf6f0a.rmeta: /root/repo/clippy.toml crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs Cargo.toml
+/root/repo/target/debug/deps/libsdns_dns-82a04c4d2dcf6f0a.rmeta: /root/repo/clippy.toml crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs Cargo.toml
 
 /root/repo/clippy.toml:
 crates/dns/src/lib.rs:
+crates/dns/src/answers.rs:
 crates/dns/src/message.rs:
 crates/dns/src/name.rs:
 crates/dns/src/rr.rs:
@@ -15,5 +16,5 @@ crates/dns/src/zone.rs:
 crates/dns/src/zonefile.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sdns_dns-8e76c06b2473ebed.d: crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
+
+/root/repo/target/debug/deps/sdns_dns-8e76c06b2473ebed: crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/answers.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/sign.rs:
+crates/dns/src/tsig.rs:
+crates/dns/src/update.rs:
+crates/dns/src/wire.rs:
+crates/dns/src/zone.rs:
+crates/dns/src/zonefile.rs:

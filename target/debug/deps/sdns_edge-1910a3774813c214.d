@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sdns_edge-1910a3774813c214.d: /root/repo/clippy.toml src/bin/sdns-edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdns_edge-1910a3774813c214.rmeta: /root/repo/clippy.toml src/bin/sdns-edge.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/sdns-edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns_edge-36b4e333043e5122.d: src/bin/sdns-edge.rs
+
+/root/repo/target/debug/deps/sdns_edge-36b4e333043e5122: src/bin/sdns-edge.rs
+
+src/bin/sdns-edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns_edge-d61eb10ff3a85ad9.d: src/bin/sdns-edge.rs
+
+/root/repo/target/debug/deps/sdns_edge-d61eb10ff3a85ad9: src/bin/sdns-edge.rs
+
+src/bin/sdns-edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdns_keygen-4719a8a38126a32e.d: src/bin/sdns-keygen.rs
+
+/root/repo/target/debug/deps/sdns_keygen-4719a8a38126a32e: src/bin/sdns-keygen.rs
+
+src/bin/sdns-keygen.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/sdns_replica-01ce32704acb8b70.d: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+/root/repo/target/debug/deps/sdns_replica-01ce32704acb8b70.d: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
 
-/root/repo/target/debug/deps/libsdns_replica-01ce32704acb8b70.rlib: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+/root/repo/target/debug/deps/libsdns_replica-01ce32704acb8b70.rlib: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
 
-/root/repo/target/debug/deps/libsdns_replica-01ce32704acb8b70.rmeta: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+/root/repo/target/debug/deps/libsdns_replica-01ce32704acb8b70.rmeta: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
 
 crates/replica/src/lib.rs:
 crates/replica/src/config.rs:
@@ -12,10 +12,15 @@ crates/replica/src/genesis.rs:
 crates/replica/src/keyfile.rs:
 crates/replica/src/messages.rs:
 crates/replica/src/overload.rs:
+crates/replica/src/readplane.rs:
+crates/replica/src/refresh.rs:
 crates/replica/src/reliable.rs:
+crates/replica/src/rrl.rs:
 crates/replica/src/snapshot.rs:
 crates/replica/src/replica.rs:
+crates/replica/src/sync.rs:
 crates/replica/src/tcp/mod.rs:
 crates/replica/src/tcp/codec.rs:
+crates/replica/src/tcp/query.rs:
 crates/replica/src/tcp/runtime.rs:
 crates/replica/src/wal.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/sdns_replica-a0360f79fde71758.d: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+
+/root/repo/target/debug/deps/sdns_replica-a0360f79fde71758: crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/config.rs:
+crates/replica/src/durable.rs:
+crates/replica/src/envelope.rs:
+crates/replica/src/genesis.rs:
+crates/replica/src/keyfile.rs:
+crates/replica/src/messages.rs:
+crates/replica/src/overload.rs:
+crates/replica/src/readplane.rs:
+crates/replica/src/refresh.rs:
+crates/replica/src/reliable.rs:
+crates/replica/src/rrl.rs:
+crates/replica/src/snapshot.rs:
+crates/replica/src/replica.rs:
+crates/replica/src/sync.rs:
+crates/replica/src/tcp/mod.rs:
+crates/replica/src/tcp/codec.rs:
+crates/replica/src/tcp/query.rs:
+crates/replica/src/tcp/runtime.rs:
+crates/replica/src/wal.rs:

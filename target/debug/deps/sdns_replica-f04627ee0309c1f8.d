@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/sdns_replica-f04627ee0309c1f8.d: /root/repo/clippy.toml crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs Cargo.toml
+/root/repo/target/debug/deps/sdns_replica-f04627ee0309c1f8.d: /root/repo/clippy.toml crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsdns_replica-f04627ee0309c1f8.rmeta: /root/repo/clippy.toml crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/reliable.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs Cargo.toml
+/root/repo/target/debug/deps/libsdns_replica-f04627ee0309c1f8.rmeta: /root/repo/clippy.toml crates/replica/src/lib.rs crates/replica/src/config.rs crates/replica/src/durable.rs crates/replica/src/envelope.rs crates/replica/src/genesis.rs crates/replica/src/keyfile.rs crates/replica/src/messages.rs crates/replica/src/overload.rs crates/replica/src/readplane.rs crates/replica/src/refresh.rs crates/replica/src/reliable.rs crates/replica/src/rrl.rs crates/replica/src/snapshot.rs crates/replica/src/replica.rs crates/replica/src/sync.rs crates/replica/src/tcp/mod.rs crates/replica/src/tcp/codec.rs crates/replica/src/tcp/query.rs crates/replica/src/tcp/runtime.rs crates/replica/src/wal.rs Cargo.toml
 
 /root/repo/clippy.toml:
 crates/replica/src/lib.rs:
@@ -10,14 +10,20 @@ crates/replica/src/envelope.rs:
 crates/replica/src/genesis.rs:
 crates/replica/src/keyfile.rs:
 crates/replica/src/messages.rs:
+crates/replica/src/overload.rs:
+crates/replica/src/readplane.rs:
+crates/replica/src/refresh.rs:
 crates/replica/src/reliable.rs:
+crates/replica/src/rrl.rs:
 crates/replica/src/snapshot.rs:
 crates/replica/src/replica.rs:
+crates/replica/src/sync.rs:
 crates/replica/src/tcp/mod.rs:
 crates/replica/src/tcp/codec.rs:
+crates/replica/src/tcp/query.rs:
 crates/replica/src/tcp/runtime.rs:
 crates/replica/src/wal.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/sdns_sim-3f9dc9243c52a1f1.d: /root/repo/clippy.toml crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/sdns_sim-3f9dc9243c52a1f1.d: /root/repo/clippy.toml crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsdns_sim-3f9dc9243c52a1f1.rmeta: /root/repo/clippy.toml crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libsdns_sim-3f9dc9243c52a1f1.rmeta: /root/repo/clippy.toml crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs Cargo.toml
 
 /root/repo/clippy.toml:
 crates/sim/src/lib.rs:
@@ -9,7 +9,8 @@ crates/sim/src/fault.rs:
 crates/sim/src/network.rs:
 crates/sim/src/testbed.rs:
 crates/sim/src/time.rs:
+crates/sim/src/traffic.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdns_sim-fe0526e7075a24ed.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs
+
+/root/repo/target/debug/deps/sdns_sim-fe0526e7075a24ed: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/network.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/time.rs:
+crates/sim/src/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdnsd-22bb8128750335da.d: src/bin/sdnsd.rs
+
+/root/repo/target/debug/deps/sdnsd-22bb8128750335da: src/bin/sdnsd.rs
+
+src/bin/sdnsd.rs:

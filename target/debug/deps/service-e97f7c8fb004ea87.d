@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-e97f7c8fb004ea87.d: crates/replica/tests/service.rs
+
+/root/repo/target/debug/deps/service-e97f7c8fb004ea87: crates/replica/tests/service.rs
+
+crates/replica/tests/service.rs:

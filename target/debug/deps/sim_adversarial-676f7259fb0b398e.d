@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_adversarial-676f7259fb0b398e.d: crates/abcast/tests/sim_adversarial.rs
+
+/root/repo/target/debug/deps/sim_adversarial-676f7259fb0b398e: crates/abcast/tests/sim_adversarial.rs
+
+crates/abcast/tests/sim_adversarial.rs:

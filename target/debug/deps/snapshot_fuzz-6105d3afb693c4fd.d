@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_fuzz-6105d3afb693c4fd.d: crates/replica/tests/snapshot_fuzz.rs
+
+/root/repo/target/debug/deps/snapshot_fuzz-6105d3afb693c4fd: crates/replica/tests/snapshot_fuzz.rs
+
+crates/replica/tests/snapshot_fuzz.rs:

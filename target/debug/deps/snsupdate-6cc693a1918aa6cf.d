@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snsupdate-6cc693a1918aa6cf.d: src/bin/snsupdate.rs
+
+/root/repo/target/debug/deps/snsupdate-6cc693a1918aa6cf: src/bin/snsupdate.rs
+
+src/bin/snsupdate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/storm-32ccd4777bf5a376.d: /root/repo/clippy.toml crates/bench/src/bin/storm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm-32ccd4777bf5a376.rmeta: /root/repo/clippy.toml crates/bench/src/bin/storm.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/storm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm-63984a18a75b12df.d: crates/bench/src/bin/storm.rs
+
+/root/repo/target/debug/deps/storm-63984a18a75b12df: crates/bench/src/bin/storm.rs
+
+crates/bench/src/bin/storm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_service-472f54ff61873c82.d: crates/replica/tests/tcp_service.rs
+
+/root/repo/target/debug/deps/tcp_service-472f54ff61873c82: crates/replica/tests/tcp_service.rs
+
+crates/replica/tests/tcp_service.rs:

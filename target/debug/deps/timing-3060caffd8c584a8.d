@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-3060caffd8c584a8.d: crates/crypto/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-3060caffd8c584a8: crates/crypto/tests/timing.rs
+
+crates/crypto/tests/timing.rs:

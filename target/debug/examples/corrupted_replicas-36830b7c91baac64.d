@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corrupted_replicas-36830b7c91baac64.d: examples/corrupted_replicas.rs
+
+/root/repo/target/debug/examples/corrupted_replicas-36830b7c91baac64: examples/corrupted_replicas.rs
+
+examples/corrupted_replicas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/internet_testbed-c6da51c686dd0066.d: examples/internet_testbed.rs
+
+/root/repo/target/debug/examples/internet_testbed-c6da51c686dd0066: examples/internet_testbed.rs
+
+examples/internet_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2d374ec013042d9e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2d374ec013042d9e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_testbed-1f082498372c2162.d: examples/tcp_testbed.rs
+
+/root/repo/target/debug/examples/tcp_testbed-1f082498372c2162: examples/tcp_testbed.rs
+
+examples/tcp_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_signing-b83e2e89f6ffb289.d: examples/threshold_signing.rs
+
+/root/repo/target/debug/examples/threshold_signing-b83e2e89f6ffb289: examples/threshold_signing.rs
+
+examples/threshold_signing.rs:

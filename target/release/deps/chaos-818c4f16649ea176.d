@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-818c4f16649ea176.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-818c4f16649ea176: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6fc9a4eb34ac00a8.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6fc9a4eb34ac00a8.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6fc9a4eb34ac00a8.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

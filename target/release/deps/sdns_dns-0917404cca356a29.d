@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/sdns_dns-0917404cca356a29.d: crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
+/root/repo/target/release/deps/sdns_dns-0917404cca356a29.d: crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
 
-/root/repo/target/release/deps/libsdns_dns-0917404cca356a29.rlib: crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
+/root/repo/target/release/deps/libsdns_dns-0917404cca356a29.rlib: crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
 
-/root/repo/target/release/deps/libsdns_dns-0917404cca356a29.rmeta: crates/dns/src/lib.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
+/root/repo/target/release/deps/libsdns_dns-0917404cca356a29.rmeta: crates/dns/src/lib.rs crates/dns/src/answers.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/rr.rs crates/dns/src/sign.rs crates/dns/src/tsig.rs crates/dns/src/update.rs crates/dns/src/wire.rs crates/dns/src/zone.rs crates/dns/src/zonefile.rs
 
 crates/dns/src/lib.rs:
+crates/dns/src/answers.rs:
 crates/dns/src/message.rs:
 crates/dns/src/name.rs:
 crates/dns/src/rr.rs:

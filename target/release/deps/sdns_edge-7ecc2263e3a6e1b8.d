@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sdns_edge-7ecc2263e3a6e1b8.d: src/bin/sdns-edge.rs
+
+/root/repo/target/release/deps/sdns_edge-7ecc2263e3a6e1b8: src/bin/sdns-edge.rs
+
+src/bin/sdns-edge.rs:

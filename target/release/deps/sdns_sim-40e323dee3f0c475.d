@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/sdns_sim-40e323dee3f0c475.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/sdns_sim-40e323dee3f0c475.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs
 
-/root/repo/target/release/deps/libsdns_sim-40e323dee3f0c475.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libsdns_sim-40e323dee3f0c475.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs
 
-/root/repo/target/release/deps/libsdns_sim-40e323dee3f0c475.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libsdns_sim-40e323dee3f0c475.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/network.rs crates/sim/src/testbed.rs crates/sim/src/time.rs crates/sim/src/traffic.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/engine.rs:
@@ -10,3 +10,4 @@ crates/sim/src/fault.rs:
 crates/sim/src/network.rs:
 crates/sim/src/testbed.rs:
 crates/sim/src/time.rs:
+crates/sim/src/traffic.rs:

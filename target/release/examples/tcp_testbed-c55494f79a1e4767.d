@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tcp_testbed-c55494f79a1e4767.d: examples/tcp_testbed.rs
+
+/root/repo/target/release/examples/tcp_testbed-c55494f79a1e4767: examples/tcp_testbed.rs
+
+examples/tcp_testbed.rs:
